@@ -1,0 +1,70 @@
+// Ablation: the paper's central thesis. The SAME optimized low-level C
+// (unroll&jam + strength reduction + scalar replacement + prefetch) is
+// compiled two ways:
+//   (a) by AUGEM's template-based assembly backend;
+//   (b) by the general-purpose compiler (gcc -O2 / -O3) — the route ATLAS
+//       and friends take.
+// The paper argues (a) beats (b) because the compiler cannot reproduce the
+// Vdup/Shuf vectorization and per-array register allocation.
+
+#include "common.hpp"
+#include "kernel_bench.hpp"
+
+int main() {
+  using namespace augem;
+  using namespace augem::bench;
+
+  print_platform("Ablation: template backend vs general-purpose compiler "
+                 "(same optimized C input)");
+  const Isa isa = host_arch().best_native_isa();
+  const int w = isa_vector_doubles(isa);
+
+  transform::CGenParams p;
+  p.mr = 2 * w;
+  p.nr = w;
+
+  // The shared input: the Optimized C Kernel Generator's output.
+  ir::Kernel opt_c = transform::generate_optimized_c(
+      frontend::KernelKind::kGemm, frontend::BLayout::kRowPanel, p);
+  const std::string c_text = opt_c.to_string();
+
+  const long mc = 384 / p.mr * p.mr, nc = 384 / p.nr * p.nr, kc = 256;
+  Rng rng(47);
+  DoubleBuffer pa(static_cast<std::size_t>(mc * kc));
+  DoubleBuffer pb(static_cast<std::size_t>(nc * kc));
+  DoubleBuffer c(static_cast<std::size_t>(mc * nc));
+  rng.fill(pa.span());
+  rng.fill(pb.span());
+
+  using Fn = void(long, long, long, const double*, const double*, double*, long);
+  auto time_fn = [&](Fn* fn) {
+    fn(mc, nc, kc, pa.data(), pb.data(), c.data(), mc);  // warm up
+    const double s = time_best_of(
+        5, [&] { fn(mc, nc, kc, pa.data(), pb.data(), c.data(), mc); });
+    return mflops(gemm_flops(mc, nc, kc), s);
+  };
+
+  std::printf("%-34s %10s\n", "backend", "MFLOPS");
+
+  // (a) AUGEM template backend.
+  {
+    opt::OptConfig cfg;
+    cfg.isa = isa;
+    const auto gen = generate_kernel(frontend::KernelKind::kGemm,
+                                     {p, cfg, frontend::BLayout::kRowPanel});
+    const jit::CompiledModule mod = jit::assemble(gen.asm_text);
+    std::printf("%-34s %10.1f\n", "AUGEM templates -> assembly",
+                time_fn(mod.fn<Fn>(gen.name)));
+  }
+  // (b) the general-purpose compiler on the identical C text.
+  for (const char* flags : {"-O2", "-O3 -funroll-loops",
+                            "-O3 -funroll-loops -march=native"}) {
+    const jit::CompiledModule mod = jit::compile_c(c_text, flags);
+    std::printf("gcc %-30s %10.1f\n", flags,
+                time_fn(mod.fn<Fn>("dgemm_kernel")));
+  }
+  std::printf("(gcc -march=native may close part of the gap; the paper's "
+              "comparators could not use -march=native since portable "
+              "binaries target the baseline ISA)\n\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Ablation: the data-prefetching transform (paper §2.1) — off versus a
+// sweep of stream-prefetch distances.
+
+#include "common.hpp"
+#include "kernel_bench.hpp"
+
+int main() {
+  using namespace augem;
+  using namespace augem::bench;
+
+  print_platform("Ablation: prefetch distance (GEMM kernel)");
+  const Isa isa = host_arch().best_native_isa();
+  const int w = isa_vector_doubles(isa);
+  GemmKernelBench bench;
+
+  std::printf("%-12s %10s\n", "prefetch", "MFLOPS");
+  for (int distance : {-1, 4, 8, 16, 32, 64}) {
+    transform::CGenParams p;
+    p.mr = 2 * w;
+    p.nr = w;
+    p.prefetch.enabled = distance >= 0;
+    if (distance >= 0) p.prefetch.distance = distance;
+    opt::OptConfig cfg;
+    cfg.isa = isa;
+    if (distance < 0) {
+      std::printf("%-12s %10.1f\n", "off", bench.run(p, cfg));
+    } else {
+      std::printf("dist=%-7d %10.1f\n", distance, bench.run(p, cfg));
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Ablation: the paper's per-array register queues (§3.1: "a separate
+// register queue is dedicated to each array variable … to minimize any
+// false dependence") versus a single shared free list.
+
+#include "common.hpp"
+#include "kernel_bench.hpp"
+
+int main() {
+  using namespace augem;
+  using namespace augem::bench;
+
+  print_platform("Ablation: register allocation policy");
+  const Isa isa = host_arch().best_native_isa();
+  const int w = isa_vector_doubles(isa);
+  GemmKernelBench bench;
+
+  std::printf("%-18s %10s\n", "policy", "MFLOPS");
+  for (const auto policy : {opt::RegAllocPolicy::kPerArrayQueues,
+                            opt::RegAllocPolicy::kSinglePool}) {
+    transform::CGenParams p;
+    p.mr = 2 * w;
+    p.nr = w;
+    opt::OptConfig cfg;
+    cfg.isa = isa;
+    cfg.regalloc = policy;
+    std::printf("%-18s %10.1f\n",
+                policy == opt::RegAllocPolicy::kPerArrayQueues
+                    ? "per-array queues"
+                    : "single pool",
+                bench.run(p, cfg));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: the unroll / unroll&jam search surface (paper §2.1: factors
+// are "extremely sensitive to variations of the underlying machine
+// architecture", hence the empirical tuner). Prints the (mr × nr) MFLOPS
+// grid the tuner searches; infeasible points (register overflow) show 0.
+
+#include "common.hpp"
+#include "kernel_bench.hpp"
+
+int main() {
+  using namespace augem;
+  using namespace augem::bench;
+
+  print_platform("Ablation: register-tile (unroll&jam) search surface");
+  const Isa isa = host_arch().best_native_isa();
+  GemmKernelBench bench;
+
+  const int mrs[] = {2, 4, 8, 16};
+  const int nrs[] = {1, 2, 4, 8};
+  std::printf("%8s", "mr\\nr");
+  for (int nr : nrs) std::printf("  %8d", nr);
+  std::printf("\n");
+  for (int mr : mrs) {
+    std::printf("%8d", mr);
+    for (int nr : nrs) {
+      transform::CGenParams p;
+      p.mr = mr;
+      p.nr = nr;
+      opt::OptConfig cfg;
+      cfg.isa = isa;
+      std::printf("  %8.0f", bench.run(p, cfg));
+    }
+    std::printf("\n");
+  }
+  std::printf("(0 = infeasible: the planner rejects tiles that exceed the "
+              "vector register file)\n\n");
+
+  // Inner-loop unroll (ku) on the best 2w×w tile.
+  const int w = isa_vector_doubles(isa);
+  std::printf("%8s %10s\n", "ku", "MFLOPS");
+  for (int ku : {1, 2, 4}) {
+    transform::CGenParams p;
+    p.mr = 2 * w;
+    p.nr = w;
+    p.ku = ku;
+    opt::OptConfig cfg;
+    cfg.isa = isa;
+    std::printf("%8d %10.1f\n", ku, bench.run(p, cfg));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 19 reproduction: DGEMV MFLOPS across square sizes m = n.
+// Paper: 24 sizes in [2048, 5120]; here scaled down. GEMV is memory-bound,
+// so the tuned libraries bunch within tens of percent (paper gaps:
+// 3.7-23.6%), with GotoBLAS/ATLAS stand-ins trailing modestly.
+
+#include "common.hpp"
+
+int main() {
+  using namespace augem;
+  using namespace augem::bench;
+
+  print_platform("Figure 19: DGEMV, m=n sweep");
+  auto libs = figure_libraries();
+  print_series_header("m=n", libs);
+
+  std::vector<double> sums(libs.size(), 0.0);
+  int rows = 0;
+  for (long mn = 512; mn <= 2048; mn += 256) {
+    Rng rng(19);
+    DoubleBuffer a(static_cast<std::size_t>(mn * mn));
+    DoubleBuffer x(static_cast<std::size_t>(mn));
+    DoubleBuffer y(static_cast<std::size_t>(mn));
+    rng.fill(a.span());
+    rng.fill(x.span());
+
+    std::vector<double> row;
+    for (std::size_t li = 0; li < libs.size(); ++li) {
+      const double mf = measure_mflops(gemv_flops(mn, mn), [&] {
+        libs[li].lib->gemv(mn, mn, 1.0, a.data(), mn, x.data(), 0.0, y.data());
+      });
+      row.push_back(mf);
+      sums[li] += mf;
+    }
+    print_series_row(mn, row);
+    ++rows;
+  }
+  for (double& s : sums) s /= rows;
+  print_average_summary(libs, sums);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 20 reproduction: DAXPY MFLOPS across vector sizes 1e5..2e5 —
+// the paper's exact size range (these fit this machine). Memory-bound:
+// the paper's gaps are 6-45%, largest vs ACML on Piledriver.
+
+#include "common.hpp"
+
+int main() {
+  using namespace augem;
+  using namespace augem::bench;
+
+  print_platform("Figure 20: DAXPY, n = 100000..200000");
+  auto libs = figure_libraries();
+  print_series_header("n", libs);
+
+  std::vector<double> sums(libs.size(), 0.0);
+  int rows = 0;
+  for (long n = 100000; n <= 200000; n += 10000) {
+    Rng rng(23);
+    DoubleBuffer x(static_cast<std::size_t>(n));
+    DoubleBuffer y(static_cast<std::size_t>(n));
+    rng.fill(x.span());
+    rng.fill(y.span());
+
+    std::vector<double> row;
+    for (std::size_t li = 0; li < libs.size(); ++li) {
+      const double mf = measure_mflops(axpy_flops(n) * 16, [&] {
+        for (int r = 0; r < 16; ++r)  // amortize timer resolution
+          libs[li].lib->axpy(n, 1.0000001, x.data(), y.data());
+      });
+      row.push_back(mf);
+      sums[li] += mf;
+    }
+    print_series_row(n, row);
+    ++rows;
+  }
+  for (double& s : sums) s /= rows;
+  print_average_summary(libs, sums);
+  return 0;
+}

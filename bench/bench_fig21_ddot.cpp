@@ -1,0 +1,43 @@
+// Figure 21 reproduction: DDOT MFLOPS across vector sizes 1e5..2e5 (the
+// paper's exact range). Paper gaps: 1-55%, ATLAS trailing on Sandy Bridge
+// and GotoBLAS on Piledriver.
+
+#include "common.hpp"
+
+int main() {
+  using namespace augem;
+  using namespace augem::bench;
+
+  print_platform("Figure 21: DDOT, n = 100000..200000");
+  auto libs = figure_libraries();
+  print_series_header("n", libs);
+
+  std::vector<double> sums(libs.size(), 0.0);
+  int rows = 0;
+  volatile double sink = 0.0;
+  for (long n = 100000; n <= 200000; n += 10000) {
+    Rng rng(29);
+    DoubleBuffer x(static_cast<std::size_t>(n));
+    DoubleBuffer y(static_cast<std::size_t>(n));
+    rng.fill(x.span());
+    rng.fill(y.span());
+
+    std::vector<double> row;
+    for (std::size_t li = 0; li < libs.size(); ++li) {
+      const double mf = measure_mflops(dot_flops(n) * 16, [&] {
+        double acc = 0.0;
+        for (int r = 0; r < 16; ++r)
+          acc += libs[li].lib->dot(n, x.data(), y.data());
+        sink = acc;
+      });
+      row.push_back(mf);
+      sums[li] += mf;
+    }
+    print_series_row(n, row);
+    ++rows;
+  }
+  (void)sink;
+  for (double& s : sums) s /= rows;
+  print_average_summary(libs, sums);
+  return 0;
+}

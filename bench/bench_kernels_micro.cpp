@@ -1,0 +1,86 @@
+// google-benchmark microbenchmarks of the four generated kernels, for
+// fine-grained perf tracking (complements the figure-style sweeps).
+
+#include <benchmark/benchmark.h>
+
+#include "augem/augem.hpp"
+#include "support/buffer.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace augem;
+
+KernelSet& kernels() {
+  static KernelSet set(host_arch().best_native_isa());
+  return set;
+}
+
+void BM_GemmKernel(benchmark::State& state) {
+  KernelSet& set = kernels();
+  const long mn = state.range(0);
+  const long mc = mn / set.gemm_mr() * set.gemm_mr();
+  const long nc = mn / set.gemm_nr() * set.gemm_nr();
+  const long kc = 256;
+  Rng rng(1);
+  DoubleBuffer pa(static_cast<std::size_t>(mc * kc));
+  DoubleBuffer pb(static_cast<std::size_t>(nc * kc));
+  DoubleBuffer c(static_cast<std::size_t>(mc * nc));
+  rng.fill(pa.span());
+  rng.fill(pb.span());
+  for (auto _ : state)
+    set.gemm()(mc, nc, kc, pa.data(), pb.data(), c.data(), mc);
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(mc) * static_cast<double>(nc) *
+          static_cast<double>(kc),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GemmKernel)->Arg(128)->Arg(256)->Arg(384);
+
+void BM_GemvKernel(benchmark::State& state) {
+  const long mn = state.range(0);
+  Rng rng(2);
+  DoubleBuffer a(static_cast<std::size_t>(mn * mn));
+  DoubleBuffer x(static_cast<std::size_t>(mn));
+  DoubleBuffer y(static_cast<std::size_t>(mn));
+  rng.fill(a.span());
+  rng.fill(x.span());
+  for (auto _ : state) kernels().gemv()(mn, mn, a.data(), mn, x.data(), y.data());
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(mn) * static_cast<double>(mn),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GemvKernel)->Arg(512)->Arg(1024);
+
+void BM_AxpyKernel(benchmark::State& state) {
+  const long n = state.range(0);
+  Rng rng(3);
+  DoubleBuffer x(static_cast<std::size_t>(n));
+  DoubleBuffer y(static_cast<std::size_t>(n));
+  rng.fill(x.span());
+  rng.fill(y.span());
+  for (auto _ : state) kernels().axpy()(n, 1.0000001, x.data(), y.data());
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_AxpyKernel)->Arg(10000)->Arg(100000);
+
+void BM_DotKernel(benchmark::State& state) {
+  const long n = state.range(0);
+  Rng rng(4);
+  DoubleBuffer x(static_cast<std::size_t>(n));
+  DoubleBuffer y(static_cast<std::size_t>(n));
+  rng.fill(x.span());
+  rng.fill(y.span());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(kernels().dot()(n, x.data(), y.data()));
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_DotKernel)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+#pragma once
+// Shared benchmark scaffolding: the library roster of the paper's figures
+// (AUGEM + the three comparator stand-ins), timing policy (mean of N runs,
+// as §5 reports), and table formatting.
+//
+// Absolute MFLOPS are machine-specific; EXPERIMENTS.md compares *shapes* —
+// series ordering, rough ratios, crossovers — against the paper's figures.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "augem/augem_blas.hpp"
+#include "blas/libraries.hpp"
+#include "support/arch.hpp"
+#include "support/buffer.hpp"
+#include "support/flops.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace augem::bench {
+
+struct NamedLib {
+  std::string label;   ///< series label incl. which paper library it stands for
+  std::unique_ptr<blas::Blas> lib;
+};
+
+/// The four series of Figs. 18-21 / Table 6: AUGEM vs the stand-ins for
+/// MKL/ACML ("vendorsim"), ATLAS ("atlsim") and GotoBLAS ("gotosim").
+inline std::vector<NamedLib> figure_libraries() {
+  std::vector<NamedLib> libs;
+  libs.push_back({"AUGEM", make_augem_blas()});
+  libs.push_back({"vendorsim(MKL/ACML)", blas::make_vendorsim()});
+  libs.push_back({"atlsim(ATLAS)", blas::make_atlsim()});
+  libs.push_back({"gotosim(GotoBLAS)", blas::make_gotosim()});
+  return libs;
+}
+
+/// Repetitions per measurement (paper: five); override with
+/// AUGEM_BENCH_REPS for quick smoke runs.
+inline int bench_reps() {
+  if (const char* env = std::getenv("AUGEM_BENCH_REPS")) {
+    const int r = std::atoi(env);
+    if (r > 0) return r;
+  }
+  return 3;
+}
+
+/// Mean-of-reps MFLOPS for a workload closure.
+inline double measure_mflops(double flops, const std::function<void()>& fn) {
+  fn();  // warm up (first-touch, JIT paging)
+  return mflops(flops, time_mean_of(bench_reps(), fn));
+}
+
+inline void print_platform(const char* title) {
+  std::printf("==== %s ====\n", title);
+  std::printf("%s", host_arch().report().c_str());
+  std::printf("(shape comparison vs the paper; absolute MFLOPS are "
+              "machine-specific)\n\n");
+  // Spin the FPU briefly so the first measured series is not taken during
+  // the CPU's clock ramp (observed: the first binary of a suite run can
+  // otherwise measure at half frequency).
+  volatile double sink = 1.0;
+  Timer t;
+  while (t.elapsed_s() < 0.4) sink = sink * 1.0000001 + 1e-9;
+  (void)sink;
+}
+
+inline void print_series_header(const char* xlabel,
+                                const std::vector<NamedLib>& libs) {
+  std::printf("%12s", xlabel);
+  for (const NamedLib& l : libs) std::printf("  %20s", l.label.c_str());
+  std::printf("\n");
+}
+
+inline void print_series_row(long x, const std::vector<double>& mflops) {
+  std::printf("%12ld", x);
+  for (double v : mflops) std::printf("  %20.1f", v);
+  std::printf("\n");
+}
+
+/// Prints the paper-style "AUGEM outperforms X by N%" summary from
+/// per-library average MFLOPS (index 0 = AUGEM).
+inline void print_average_summary(const std::vector<NamedLib>& libs,
+                                  const std::vector<double>& avg) {
+  std::printf("\naverage MFLOPS:");
+  for (std::size_t i = 0; i < libs.size(); ++i)
+    std::printf("  %s=%.1f", libs[i].label.c_str(), avg[i]);
+  std::printf("\nAUGEM vs:");
+  for (std::size_t i = 1; i < libs.size(); ++i)
+    std::printf("  %s %+.1f%%", libs[i].label.c_str(),
+                100.0 * (avg[0] / avg[i] - 1.0));
+  std::printf("\n\n");
+}
+
+}  // namespace augem::bench

@@ -1,0 +1,52 @@
+#pragma once
+// Helper for ablation benches: generate + JIT one GEMM kernel configuration
+// and time it on packed blocks.
+
+#include <cstdio>
+#include <string>
+
+#include "augem/augem.hpp"
+#include "support/buffer.hpp"
+#include "support/flops.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace augem::bench {
+
+struct GemmKernelBench {
+  long mc = 384;
+  long nc = 384;
+  long kc = 256;
+  int reps = 5;
+
+  /// MFLOPS of the generated GEMM kernel for this config; 0 if infeasible.
+  double run(const transform::CGenParams& params,
+             const opt::OptConfig& config) const {
+    try {
+      GenerateOptions o;
+      o.params = params;
+      o.config = config;
+      const auto gen = generate_kernel(frontend::KernelKind::kGemm, o);
+      const jit::CompiledModule mod = jit::assemble(gen.asm_text);
+      auto* fn = mod.fn<void(long, long, long, const double*, const double*,
+                             double*, long)>(gen.name);
+
+      const long m = mc / params.mr * params.mr;
+      const long n = nc / params.nr * params.nr;
+      Rng rng(43);
+      DoubleBuffer pa(static_cast<std::size_t>(m * kc));
+      DoubleBuffer pb(static_cast<std::size_t>(n * kc));
+      DoubleBuffer c(static_cast<std::size_t>(m * n));
+      rng.fill(pa.span());
+      rng.fill(pb.span());
+      fn(m, n, kc, pa.data(), pb.data(), c.data(), m);  // warm up
+      const double s = time_best_of(
+          reps, [&] { fn(m, n, kc, pa.data(), pb.data(), c.data(), m); });
+      return mflops(gemm_flops(m, n, kc), s);
+    } catch (const Error&) {
+      return 0.0;  // infeasible configuration (register budget, Shuf shape)
+    }
+  }
+};
+
+}  // namespace augem::bench

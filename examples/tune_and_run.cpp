@@ -1,0 +1,60 @@
+// Empirical tuning demo (paper §2.1): search the unroll / unroll&jam /
+// strategy space for this machine, print the whole trial table, then build
+// a KernelSet from the winner and compare against the untuned defaults.
+//
+//   build/examples/tune_and_run
+
+#include <cstdio>
+
+#include "augem/augem.hpp"
+#include "augem/augem_blas.hpp"
+#include "support/buffer.hpp"
+#include "support/flops.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+#include "tuning/tuner.hpp"
+
+int main() {
+  using namespace augem;
+  const Isa isa = host_arch().best_native_isa();
+  std::printf("Empirical tuning on %s\n\n", isa_name(isa));
+
+  // 1. Search.
+  tuning::TuneWorkload workload;
+  workload.mc = 128;
+  workload.nc = 120;
+  workload.kc = 256;
+  const tuning::TuneResult gemm = tuning::tune_gemm(isa, workload);
+  std::printf("%s\n", gemm.report().c_str());
+  const tuning::TuneResult dot =
+      tuning::tune_level1(frontend::KernelKind::kDot, isa, workload);
+  std::printf("%s\n", dot.report().c_str());
+
+  // 2. Build kernel sets from the winner and from the defaults.
+  transform::CGenParams level1 = dot.params;
+  auto tuned = std::make_shared<KernelSet>(isa, gemm.params,
+                                           gemm.config.strategy, level1);
+  auto tuned_blas =
+      make_augem_blas(tuned, blas::default_block_sizes(host_arch()));
+  auto default_blas = make_augem_blas();
+
+  // 3. Compare on a full GEMM.
+  const long mn = 768, k = 256;
+  Rng rng(5);
+  DoubleBuffer a(static_cast<std::size_t>(mn * k));
+  DoubleBuffer b(static_cast<std::size_t>(k * mn));
+  DoubleBuffer c(static_cast<std::size_t>(mn * mn));
+  rng.fill(a.span());
+  rng.fill(b.span());
+  for (auto [label, lib] :
+       {std::pair<const char*, blas::Blas*>{"defaults", default_blas.get()},
+        {"tuned", tuned_blas.get()}}) {
+    const double s = time_best_of(3, [&] {
+      lib->gemm(blas::Trans::kNo, blas::Trans::kNo, mn, mn, k, 1.0, a.data(),
+                mn, b.data(), k, 0.0, c.data(), mn);
+    });
+    std::printf("DGEMM %ldx%ldx%ld with %-8s : %10.1f MFLOPS\n", mn, mn, k,
+                label, mflops(gemm_flops(mn, mn, k), s));
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "asmgen/abi.hpp"
+
+#include "support/error.hpp"
+
+namespace augem::asmgen {
+
+using opt::Gpr;
+using opt::Vr;
+
+std::vector<ArgLocation> classify_arguments(const ir::Kernel& kernel) {
+  static constexpr Gpr kIntArgRegs[6] = {Gpr::rdi, Gpr::rsi, Gpr::rdx,
+                                         Gpr::rcx, Gpr::r8, Gpr::r9};
+  static constexpr Vr kSseArgRegs[8] = {Vr::v0, Vr::v1, Vr::v2, Vr::v3,
+                                        Vr::v4, Vr::v5, Vr::v6, Vr::v7};
+  std::vector<ArgLocation> out;
+  int next_int = 0;
+  int next_sse = 0;
+  std::int32_t next_stack = 8;  // 0 is the return address
+  for (const ir::Param& p : kernel.params()) {
+    ArgLocation loc;
+    loc.name = p.name;
+    loc.type = p.type;
+    if (p.type == ir::ScalarType::kF64) {
+      AUGEM_CHECK(next_sse < 8, "too many floating-point parameters");
+      loc.vr = kSseArgRegs[next_sse++];
+    } else if (next_int < 6) {
+      loc.gpr = kIntArgRegs[next_int++];
+    } else {
+      loc.in_register = false;
+      loc.entry_stack_offset = next_stack;
+      next_stack += 8;
+    }
+    out.push_back(loc);
+  }
+  return out;
+}
+
+}  // namespace augem::asmgen

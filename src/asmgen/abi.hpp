@@ -1,0 +1,31 @@
+#pragma once
+// SysV x86-64 ABI mapping for generated kernel functions.
+//
+// Kernel parameters (ir::Param order) are classified INTEGER (long,
+// double*) or SSE (double) and assigned rdi/rsi/rdx/rcx/r8/r9 + stack,
+// resp. xmm0-7 — matching how the C/C++ drivers will call the JIT-compiled
+// functions through ordinary function pointers.
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "opt/regs.hpp"
+
+namespace augem::asmgen {
+
+/// Where one parameter arrives at function entry.
+struct ArgLocation {
+  std::string name;
+  ir::ScalarType type;
+  bool in_register = true;
+  opt::Gpr gpr = opt::Gpr::kNoGpr;   ///< INTEGER-class register args
+  opt::Vr vr = opt::Vr::kNoVr;      ///< SSE-class register args
+  /// Stack args: byte offset from entry rsp (return address at 0).
+  std::int32_t entry_stack_offset = 0;
+};
+
+/// Computes the ABI locations of every kernel parameter, in order.
+std::vector<ArgLocation> classify_arguments(const ir::Kernel& kernel);
+
+}  // namespace augem::asmgen

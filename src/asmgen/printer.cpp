@@ -1,0 +1,235 @@
+#include "asmgen/printer.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace augem::asmgen {
+
+using namespace augem::opt;
+
+namespace {
+
+std::string mem_str(const Mem& m) {
+  AUGEM_CHECK(m.valid(), "invalid memory operand");
+  std::ostringstream os;
+  if (m.disp != 0) os << m.disp;
+  os << "(%" << gpr_name(m.base);
+  if (m.has_index())
+    os << ",%" << gpr_name(m.index) << "," << static_cast<int>(m.scale);
+  os << ")";
+  return os.str();
+}
+
+std::string vreg(Vr v, int width) { return std::string("%") + vr_name(v, width); }
+std::string greg(Gpr g) { return std::string("%") + gpr_name(g); }
+
+/// pd/sd suffix by width.
+const char* fp_suffix(int width) { return width == 1 ? "sd" : "pd"; }
+
+std::string two_or_three(const char* sse_op, const MInst& i) {
+  std::ostringstream os;
+  if (!i.vex) {
+    AUGEM_CHECK(i.vdst == i.vsrc1,
+                "two-operand SSE form requires dst == src1 for " << sse_op);
+    os << sse_op << fp_suffix(i.width) << " " << vreg(i.vsrc2, i.width) << ", "
+       << vreg(i.vdst, i.width);
+  } else {
+    os << "v" << sse_op << fp_suffix(i.width) << " " << vreg(i.vsrc2, i.width)
+       << ", " << vreg(i.vsrc1, i.width) << ", " << vreg(i.vdst, i.width);
+  }
+  return os.str();
+}
+
+std::string imm_str(std::int64_t v) { return "$" + std::to_string(v); }
+
+}  // namespace
+
+std::string print_inst(const MInst& i) {
+  std::ostringstream os;
+  switch (i.op) {
+    case MOp::kVZero: {
+      const std::string d = vreg(i.vdst, i.width);
+      return i.vex ? "vxorpd " + d + ", " + d + ", " + d : "xorpd " + d + ", " + d;
+    }
+    case MOp::kVLoad:
+      os << (i.vex ? "v" : "") << "mov" << (i.width == 1 ? "sd" : "upd") << " "
+         << mem_str(i.mem) << ", " << vreg(i.vdst, i.width);
+      return os.str();
+    case MOp::kVStore:
+      os << (i.vex ? "v" : "") << "mov" << (i.width == 1 ? "sd" : "upd") << " "
+         << vreg(i.vsrc1, i.width) << ", " << mem_str(i.mem);
+      return os.str();
+    case MOp::kVBroadcast:
+      AUGEM_CHECK(i.width >= 2, "broadcast width");
+      if (i.width == 2) {
+        os << (i.vex ? "vmovddup " : "movddup ") << mem_str(i.mem) << ", "
+           << vreg(i.vdst, 2);
+      } else {
+        AUGEM_CHECK(i.vex, "256-bit broadcast requires VEX");
+        os << "vbroadcastsd " << mem_str(i.mem) << ", " << vreg(i.vdst, 4);
+      }
+      return os.str();
+    case MOp::kVMov:
+      os << (i.vex ? "vmovapd " : "movapd ") << vreg(i.vsrc1, i.width) << ", "
+         << vreg(i.vdst, i.width);
+      return os.str();
+    case MOp::kVMul:
+      return two_or_three("mul", i);
+    case MOp::kVAdd:
+      return two_or_three("add", i);
+    case MOp::kVFma231:
+      // dst = src1*src2 + dst (Intel VFMADD231 dst, src1, src2).
+      os << "vfmadd231" << fp_suffix(i.width) << " " << vreg(i.vsrc2, i.width)
+         << ", " << vreg(i.vsrc1, i.width) << ", " << vreg(i.vdst, i.width);
+      return os.str();
+    case MOp::kVFma4:
+      // dst = src1*src2 + src3 (AMD VFMADDPD dst, src1, src2, src3).
+      os << "vfmadd" << fp_suffix(i.width) << " " << vreg(i.vsrc3, i.width)
+         << ", " << vreg(i.vsrc2, i.width) << ", " << vreg(i.vsrc1, i.width)
+         << ", " << vreg(i.vdst, i.width);
+      return os.str();
+    case MOp::kVShuf:
+      if (!i.vex) {
+        AUGEM_CHECK(i.vdst == i.vsrc1, "shufpd requires dst == src1");
+        os << "shufpd " << imm_str(i.imm) << ", " << vreg(i.vsrc2, i.width)
+           << ", " << vreg(i.vdst, i.width);
+      } else {
+        os << "vshufpd " << imm_str(i.imm) << ", " << vreg(i.vsrc2, i.width)
+           << ", " << vreg(i.vsrc1, i.width) << ", " << vreg(i.vdst, i.width);
+      }
+      return os.str();
+    case MOp::kVPerm128:
+      os << "vperm2f128 " << imm_str(i.imm) << ", " << vreg(i.vsrc2, 4) << ", "
+         << vreg(i.vsrc1, 4) << ", " << vreg(i.vdst, 4);
+      return os.str();
+    case MOp::kVBlend:
+      if (!i.vex) {
+        AUGEM_CHECK(i.vdst == i.vsrc1, "blendpd requires dst == src1");
+        os << "blendpd " << imm_str(i.imm) << ", " << vreg(i.vsrc2, i.width)
+           << ", " << vreg(i.vdst, i.width);
+      } else {
+        os << "vblendpd " << imm_str(i.imm) << ", " << vreg(i.vsrc2, i.width)
+           << ", " << vreg(i.vsrc1, i.width) << ", " << vreg(i.vdst, i.width);
+      }
+      return os.str();
+    case MOp::kVExtractHigh:
+      os << "vextractf128 $1, " << vreg(i.vsrc1, 4) << ", " << vreg(i.vdst, 2);
+      return os.str();
+    case MOp::kFLoad:
+      os << (i.vex ? "vmovsd " : "movsd ") << mem_str(i.mem) << ", "
+         << vreg(i.vdst, 1);
+      return os.str();
+    case MOp::kFStore:
+      os << (i.vex ? "vmovsd " : "movsd ") << vreg(i.vsrc1, 1) << ", "
+         << mem_str(i.mem);
+      return os.str();
+
+    case MOp::kIMovImm:
+      os << "movabsq " << imm_str(i.imm) << ", " << greg(i.gdst);
+      return os.str();
+    case MOp::kIMov:
+      os << "movq " << greg(i.gsrc) << ", " << greg(i.gdst);
+      return os.str();
+    case MOp::kIAdd:
+      os << "addq " << greg(i.gsrc) << ", " << greg(i.gdst);
+      return os.str();
+    case MOp::kIAddImm:
+      os << "addq " << imm_str(i.imm) << ", " << greg(i.gdst);
+      return os.str();
+    case MOp::kISub:
+      os << "subq " << greg(i.gsrc) << ", " << greg(i.gdst);
+      return os.str();
+    case MOp::kISubImm:
+      os << "subq " << imm_str(i.imm) << ", " << greg(i.gdst);
+      return os.str();
+    case MOp::kIMul:
+      os << "imulq " << greg(i.gsrc) << ", " << greg(i.gdst);
+      return os.str();
+    case MOp::kIMulImm:
+      os << "imulq " << imm_str(i.imm) << ", " << greg(i.gsrc) << ", "
+         << greg(i.gdst);
+      return os.str();
+    case MOp::kIShlImm:
+      os << "salq " << imm_str(i.imm) << ", " << greg(i.gdst);
+      return os.str();
+    case MOp::kINeg:
+      os << "negq " << greg(i.gdst);
+      return os.str();
+    case MOp::kILoad:
+      os << "movq " << mem_str(i.mem) << ", " << greg(i.gdst);
+      return os.str();
+    case MOp::kIStore:
+      os << "movq " << greg(i.gsrc) << ", " << mem_str(i.mem);
+      return os.str();
+    case MOp::kIAddMem:
+      os << "addq " << mem_str(i.mem) << ", " << greg(i.gdst);
+      return os.str();
+    case MOp::kISubMem:
+      os << "subq " << mem_str(i.mem) << ", " << greg(i.gdst);
+      return os.str();
+    case MOp::kIMulMem:
+      os << "imulq " << mem_str(i.mem) << ", " << greg(i.gdst);
+      return os.str();
+    case MOp::kLea:
+      os << "leaq " << mem_str(i.mem) << ", " << greg(i.gdst);
+      return os.str();
+
+    case MOp::kCmp:
+      os << "cmpq " << greg(i.gsrc) << ", " << greg(i.gdst);
+      return os.str();
+    case MOp::kCmpImm:
+      os << "cmpq " << imm_str(i.imm) << ", " << greg(i.gdst);
+      return os.str();
+    case MOp::kJl:
+      return "jl " + i.label;
+    case MOp::kJge:
+      return "jge " + i.label;
+    case MOp::kJne:
+      return "jne " + i.label;
+    case MOp::kJe:
+      return "je " + i.label;
+    case MOp::kJmp:
+      return "jmp " + i.label;
+    case MOp::kLabel:
+      return i.label + ":";
+    case MOp::kPrefetch: {
+      const char* op = i.imm >= 3   ? "prefetcht0"
+                       : i.imm == 2 ? "prefetcht1"
+                       : i.imm == 1 ? "prefetcht2"
+                                    : "prefetchnta";
+      return std::string(op) + " " + mem_str(i.mem);
+    }
+    case MOp::kPush:
+      return "pushq " + greg(i.gsrc);
+    case MOp::kPop:
+      return "popq " + greg(i.gdst);
+    case MOp::kVZeroUpper:
+      return "vzeroupper";
+    case MOp::kRet:
+      return "ret";
+    case MOp::kComment:
+      return "# " + i.label;
+  }
+  AUGEM_FAIL("unhandled machine op");
+}
+
+std::string print_function(const std::string& name, const MInstList& insts) {
+  std::ostringstream os;
+  os << "\t.text\n"
+     << "\t.globl " << name << "\n"
+     << "\t.type " << name << ", @function\n"
+     << name << ":\n";
+  for (const MInst& inst : insts) {
+    const std::string line = print_inst(inst);
+    if (inst.op == MOp::kLabel) {
+      os << line << "\n";
+    } else {
+      os << "\t" << line << "\n";
+    }
+  }
+  os << "\t.size " << name << ", .-" << name << "\n";
+  return os.str();
+}
+
+}  // namespace augem::asmgen

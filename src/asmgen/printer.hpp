@@ -1,0 +1,21 @@
+#pragma once
+// AT&T-syntax x86-64 rendering of the machine IR.
+//
+// The output of `print_function` is a complete assembly translation unit
+// accepted by the GNU assembler; jit/ feeds it to the system toolchain to
+// produce executable kernels.
+
+#include <string>
+
+#include "opt/minst.hpp"
+
+namespace augem::asmgen {
+
+/// Renders one machine instruction as a line of AT&T assembly (no trailing
+/// newline). Enforces the two-operand constraints of non-VEX encodings.
+std::string print_inst(const opt::MInst& inst);
+
+/// Renders a full function: directives, label, body, size footer.
+std::string print_function(const std::string& name, const opt::MInstList& insts);
+
+}  // namespace augem::asmgen

@@ -1,0 +1,101 @@
+#include "augem/augem.hpp"
+
+#include "support/error.hpp"
+
+namespace augem {
+
+using frontend::KernelKind;
+using opt::VecStrategy;
+using transform::CGenParams;
+
+GenerateOptions default_options(KernelKind kind, Isa isa) {
+  GenerateOptions o;
+  o.config.isa = isa;
+  const int w = isa_vector_doubles(isa);
+  switch (kind) {
+    case KernelKind::kGemm:
+      // 2w×w register tile: 8×4 on 256-bit ISAs, 4×2 on SSE — the shapes
+      // hand-written kernels for these machines use. The depth-4 inner
+      // unroll amortizes loop control; software prefetch is off by default
+      // (the packed panels stream L1-resident, so per-iteration prefetches
+      // only burn load-port slots — see bench_ablation_prefetch).
+      o.params.mr = 2 * w;
+      o.params.nr = w;
+      o.params.ku = 4;
+      o.params.prefetch.enabled = false;
+      o.config.strategy = VecStrategy::kVdup;
+      break;
+    case KernelKind::kGemv:
+    case KernelKind::kAxpy:
+    case KernelKind::kDot:
+    case KernelKind::kScal:
+      o.params.unroll = 4 * w;
+      o.params.prefetch.enabled = false;
+      o.config.strategy = VecStrategy::kAuto;
+      break;
+  }
+  return o;
+}
+
+asmgen::GeneratedKernel generate_kernel(KernelKind kind,
+                                        const GenerateOptions& options) {
+  ir::Kernel k =
+      transform::generate_optimized_c(kind, options.layout, options.params);
+  return asmgen::generate_assembly(std::move(k), options.config);
+}
+
+KernelSet::KernelSet(Isa isa) {
+  const GenerateOptions g = default_options(KernelKind::kGemm, isa);
+  const GenerateOptions l = default_options(KernelKind::kAxpy, isa);
+  build(isa, g.params, g.config.strategy, l.params);
+}
+
+KernelSet::KernelSet(Isa isa, const CGenParams& gemm_params,
+                     VecStrategy gemm_strategy,
+                     const CGenParams& level1_params) {
+  build(isa, gemm_params, gemm_strategy, level1_params);
+}
+
+void KernelSet::build(Isa isa, const CGenParams& gemm_params,
+                      VecStrategy gemm_strategy,
+                      const CGenParams& level1_params) {
+  AUGEM_CHECK(host_arch().supports(isa),
+              isa_name(isa) << " is not natively executable on this host; "
+                               "use the VM for that ISA");
+  isa_ = isa;
+  gemm_mr_ = gemm_params.mr;
+  gemm_nr_ = gemm_params.nr;
+
+  auto make = [&](KernelKind kind, const CGenParams& p, VecStrategy s) {
+    GenerateOptions o;
+    o.params = p;
+    o.config.isa = isa;
+    o.config.strategy = s;
+    return generate_kernel(kind, o);
+  };
+  const auto g = make(KernelKind::kGemm, gemm_params, gemm_strategy);
+  const auto v = make(KernelKind::kGemv, level1_params, VecStrategy::kAuto);
+  const auto a = make(KernelKind::kAxpy, level1_params, VecStrategy::kAuto);
+  const auto d = make(KernelKind::kDot, level1_params, VecStrategy::kAuto);
+  const auto sc = make(KernelKind::kScal, level1_params, VecStrategy::kAuto);
+  asm_[0] = g.asm_text;
+  asm_[1] = v.asm_text;
+  asm_[2] = a.asm_text;
+  asm_[3] = d.asm_text;
+  asm_[4] = sc.asm_text;
+
+  // All five kernels live in one shared object.
+  module_ = std::make_unique<jit::CompiledModule>(jit::assemble(
+      g.asm_text + v.asm_text + a.asm_text + d.asm_text + sc.asm_text));
+  gemm_ = module_->fn<GemmFn>(g.name);
+  gemv_ = module_->fn<GemvFn>(v.name);
+  axpy_ = module_->fn<AxpyFn>(a.name);
+  dot_ = module_->fn<DotFn>(d.name);
+  scal_ = module_->fn<ScalFn>(sc.name);
+}
+
+const std::string& KernelSet::asm_text(KernelKind kind) const {
+  return asm_[static_cast<int>(kind)];
+}
+
+}  // namespace augem

@@ -1,0 +1,107 @@
+#include "augem/augem_blas.hpp"
+
+#include <vector>
+
+#include "support/buffer.hpp"
+
+namespace augem {
+
+namespace {
+
+using blas::at;
+using blas::BlockSizes;
+using blas::index_t;
+using blas::Trans;
+
+class AugemBlas final : public blas::Blas {
+ public:
+  AugemBlas(std::shared_ptr<KernelSet> kernels, const BlockSizes& sizes)
+      : kernels_(std::move(kernels)), sizes_(sizes) {}
+
+  std::string name() const override { return "AUGEM"; }
+
+  void gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k, double alpha,
+            const double* a, index_t lda, const double* b, index_t ldb,
+            double beta, double* c, index_t ldc) override {
+    const index_t mr = kernels_->gemm_mr();
+    const index_t nr = kernels_->gemm_nr();
+    auto* fn = kernels_->gemm();
+    blas::blocked_gemm(
+        ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, sizes_,
+        [&](index_t mc, index_t nc, index_t kc, const double* pa,
+            const double* pb, double* cc, index_t ldcc) {
+          if (mc % mr == 0 && nc % nr == 0) {
+            fn(mc, nc, kc, pa, pb, cc, ldcc);
+            return;
+          }
+          // Edge block: the Fig.-12 kernel ABI uses mc/nc both as loop
+          // bounds and as the packed strides, so a partial tile is run on
+          // zero-padded copies and accumulated back. Rare at benchmark
+          // sizes; correctness matters more than speed here.
+          const index_t mp = (mc + mr - 1) / mr * mr;
+          const index_t np = (nc + nr - 1) / nr * nr;
+          pad_a_.assign(static_cast<std::size_t>(mp * kc), 0.0);
+          pad_b_.assign(static_cast<std::size_t>(np * kc), 0.0);
+          pad_c_.assign(static_cast<std::size_t>(mp * np), 0.0);
+          for (index_t l = 0; l < kc; ++l) {
+            for (index_t i = 0; i < mc; ++i)
+              pad_a_[static_cast<std::size_t>(l * mp + i)] = pa[l * mc + i];
+            for (index_t j = 0; j < nc; ++j)
+              pad_b_[static_cast<std::size_t>(l * np + j)] = pb[l * nc + j];
+          }
+          fn(mp, np, kc, pad_a_.data(), pad_b_.data(), pad_c_.data(), mp);
+          for (index_t j = 0; j < nc; ++j)
+            for (index_t i = 0; i < mc; ++i)
+              at(cc, ldcc, i, j) += pad_c_[static_cast<std::size_t>(j * mp + i)];
+        });
+  }
+
+  void gemv(index_t m, index_t n, double alpha, const double* a, index_t lda,
+            const double* x, double beta, double* y) override {
+    for (index_t i = 0; i < m; ++i) y[i] *= beta;
+    if (m <= 0 || n <= 0) return;
+    if (alpha == 1.0) {
+      kernels_->gemv()(m, n, a, lda, x, y);
+      return;
+    }
+    // The generated kernel computes y += A*x; fold alpha into a scaled x.
+    std::vector<double> xs(static_cast<std::size_t>(n));
+    for (index_t j = 0; j < n; ++j) xs[static_cast<std::size_t>(j)] = alpha * x[j];
+    kernels_->gemv()(m, n, a, lda, xs.data(), y);
+  }
+
+  void axpy(index_t n, double alpha, const double* x, double* y) override {
+    if (n > 0) kernels_->axpy()(n, alpha, x, y);
+  }
+
+  double dot(index_t n, const double* x, const double* y) override {
+    return n > 0 ? kernels_->dot()(n, x, y) : 0.0;
+  }
+
+  void scal(index_t n, double alpha, double* x) override {
+    if (n > 0) kernels_->scal()(n, alpha, x);
+  }
+
+ private:
+  std::shared_ptr<KernelSet> kernels_;
+  BlockSizes sizes_;
+  // Scratch for zero-padded edge blocks (one AugemBlas instance is not
+  // safe for concurrent use, like most BLAS handles).
+  std::vector<double> pad_a_, pad_b_, pad_c_;
+};
+
+}  // namespace
+
+std::unique_ptr<blas::Blas> make_augem_blas(std::shared_ptr<KernelSet> kernels,
+                                            const blas::BlockSizes& sizes) {
+  return std::make_unique<AugemBlas>(std::move(kernels), sizes);
+}
+
+std::unique_ptr<blas::Blas> make_augem_blas() {
+  auto kernels =
+      std::make_shared<KernelSet>(host_arch().best_native_isa());
+  return make_augem_blas(std::move(kernels),
+                         blas::default_block_sizes(host_arch()));
+}
+
+}  // namespace augem

@@ -1,0 +1,23 @@
+#pragma once
+// The AUGEM-backed BLAS: blas::Blas implemented on the generated assembly
+// kernels. This is the "AUGEM" series of every figure and table in the
+// paper's evaluation.
+
+#include <memory>
+
+#include "augem/augem.hpp"
+#include "blas/blas.hpp"
+#include "blas/driver.hpp"
+
+namespace augem {
+
+/// Builds an AUGEM BLAS for the host's best natively executable ISA with
+/// default (untuned) kernel configurations.
+std::unique_ptr<blas::Blas> make_augem_blas();
+
+/// Builds an AUGEM BLAS from an explicit kernel set (e.g. a tuned one) and
+/// block sizes.
+std::unique_ptr<blas::Blas> make_augem_blas(std::shared_ptr<KernelSet> kernels,
+                                            const blas::BlockSizes& sizes);
+
+}  // namespace augem

@@ -1,0 +1,162 @@
+#include "blas/blas.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace augem::blas {
+
+void Blas::gemv_t(index_t m, index_t n, double alpha, const double* a,
+                  index_t lda, const double* x, double beta, double* y) {
+  // (A^T x)[j] = dot(column j of A, x): columns are contiguous, so each
+  // row of the result is one Level-1 DOT over unit-stride data.
+  for (index_t j = 0; j < n; ++j)
+    y[j] = alpha * dot(m, &at(a, lda, 0, j), x) + beta * y[j];
+}
+
+void Blas::ger(index_t m, index_t n, double alpha, const double* x,
+               const double* y, double* a, index_t lda) {
+  // One AXPY per column of A (paper §5: "GER … invoke[s] the four low-level
+  // kernels … to obtain high performance").
+  for (index_t j = 0; j < n; ++j)
+    axpy(m, alpha * y[j], x, &at(a, lda, 0, j));
+}
+
+void Blas::symm(index_t m, index_t n, double alpha, const double* a,
+                index_t lda, const double* b, index_t ldb, double beta,
+                double* c, index_t ldc) {
+  // Scale C once, then accumulate alpha * A_sym * B block by block; all
+  // bulk work is GEMM.
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) at(c, ldc, i, j) *= beta;
+
+  std::vector<double> diag(static_cast<std::size_t>(kL3Block * kL3Block));
+  for (index_t bi = 0; bi < m; bi += kL3Block) {
+    const index_t mb = std::min(kL3Block, m - bi);
+    for (index_t bl = 0; bl < m; bl += kL3Block) {
+      const index_t lb = std::min(kL3Block, m - bl);
+      if (bi > bl) {
+        // Strictly-lower stored block, used directly.
+        gemm(Trans::kNo, Trans::kNo, mb, n, lb, alpha, &at(a, lda, bi, bl),
+             lda, &at(b, ldb, bl, 0), ldb, 1.0, &at(c, ldc, bi, 0), ldc);
+      } else if (bi < bl) {
+        // Upper part comes from the transposed stored block.
+        gemm(Trans::kYes, Trans::kNo, mb, n, lb, alpha, &at(a, lda, bl, bi),
+             lda, &at(b, ldb, bl, 0), ldb, 1.0, &at(c, ldc, bi, 0), ldc);
+      } else {
+        // Diagonal block: expand the symmetric block densely, then GEMM.
+        for (index_t jj = 0; jj < lb; ++jj)
+          for (index_t ii = 0; ii < mb; ++ii)
+            diag[static_cast<std::size_t>(jj * mb + ii)] =
+                ii >= jj ? at(a, lda, bi + ii, bl + jj)
+                         : at(a, lda, bl + jj, bi + ii);
+        gemm(Trans::kNo, Trans::kNo, mb, n, lb, alpha, diag.data(), mb,
+             &at(b, ldb, bl, 0), ldb, 1.0, &at(c, ldc, bi, 0), ldc);
+      }
+    }
+  }
+}
+
+void Blas::syrk(index_t n, index_t k, double alpha, const double* a,
+                index_t lda, double beta, double* c, index_t ldc) {
+  std::vector<double> tmp(static_cast<std::size_t>(kL3Block * kL3Block));
+  for (index_t bj = 0; bj < n; bj += kL3Block) {
+    const index_t nb = std::min(kL3Block, n - bj);
+    // Diagonal block through a temporary so only the triangle is touched.
+    gemm(Trans::kNo, Trans::kYes, nb, nb, k, 1.0, &at(a, lda, bj, 0), lda,
+         &at(a, lda, bj, 0), lda, 0.0, tmp.data(), nb);
+    for (index_t jj = 0; jj < nb; ++jj)
+      for (index_t ii = jj; ii < nb; ++ii)
+        at(c, ldc, bj + ii, bj + jj) =
+            alpha * tmp[static_cast<std::size_t>(jj * nb + ii)] +
+            beta * at(c, ldc, bj + ii, bj + jj);
+    // Below-diagonal panel in one GEMM.
+    const index_t rows = n - (bj + nb);
+    if (rows > 0)
+      gemm(Trans::kNo, Trans::kYes, rows, nb, k, alpha,
+           &at(a, lda, bj + nb, 0), lda, &at(a, lda, bj, 0), lda, beta,
+           &at(c, ldc, bj + nb, bj), ldc);
+  }
+}
+
+void Blas::syr2k(index_t n, index_t k, double alpha, const double* a,
+                 index_t lda, const double* b, index_t ldb, double beta,
+                 double* c, index_t ldc) {
+  std::vector<double> tmp(static_cast<std::size_t>(kL3Block * kL3Block));
+  for (index_t bj = 0; bj < n; bj += kL3Block) {
+    const index_t nb = std::min(kL3Block, n - bj);
+    // Diagonal block: A*B^T + B*A^T into a temporary.
+    gemm(Trans::kNo, Trans::kYes, nb, nb, k, 1.0, &at(a, lda, bj, 0), lda,
+         &at(b, ldb, bj, 0), ldb, 0.0, tmp.data(), nb);
+    gemm(Trans::kNo, Trans::kYes, nb, nb, k, 1.0, &at(b, ldb, bj, 0), ldb,
+         &at(a, lda, bj, 0), lda, 1.0, tmp.data(), nb);
+    for (index_t jj = 0; jj < nb; ++jj)
+      for (index_t ii = jj; ii < nb; ++ii)
+        at(c, ldc, bj + ii, bj + jj) =
+            alpha * tmp[static_cast<std::size_t>(jj * nb + ii)] +
+            beta * at(c, ldc, bj + ii, bj + jj);
+    const index_t rows = n - (bj + nb);
+    if (rows > 0) {
+      gemm(Trans::kNo, Trans::kYes, rows, nb, k, alpha,
+           &at(a, lda, bj + nb, 0), lda, &at(b, ldb, bj, 0), ldb, beta,
+           &at(c, ldc, bj + nb, bj), ldc);
+      gemm(Trans::kNo, Trans::kYes, rows, nb, k, alpha,
+           &at(b, ldb, bj + nb, 0), ldb, &at(a, lda, bj, 0), lda, 1.0,
+           &at(c, ldc, bj + nb, bj), ldc);
+    }
+  }
+}
+
+void Blas::trmm(index_t m, index_t n, const double* l, index_t ldl, double* b,
+                index_t ldb) {
+  std::vector<double> diag(static_cast<std::size_t>(kL3Block * kL3Block));
+  std::vector<double> row(static_cast<std::size_t>(kL3Block) *
+                          static_cast<std::size_t>(n));
+  // Bottom-up so lower block-rows of B are still unmodified inputs.
+  index_t bi = ((m - 1) / kL3Block) * kL3Block;
+  for (; bi >= 0; bi -= kL3Block) {
+    const index_t mb = std::min(kL3Block, m - bi);
+    // row := B_i (copy), B_i := L_ii_dense * row.
+    for (index_t j = 0; j < n; ++j)
+      for (index_t ii = 0; ii < mb; ++ii)
+        row[static_cast<std::size_t>(j * mb + ii)] = at(b, ldb, bi + ii, j);
+    for (index_t jj = 0; jj < mb; ++jj)
+      for (index_t ii = 0; ii < mb; ++ii)
+        diag[static_cast<std::size_t>(jj * mb + ii)] =
+            ii >= jj ? at(l, ldl, bi + ii, bi + jj) : 0.0;
+    gemm(Trans::kNo, Trans::kNo, mb, n, mb, 1.0, diag.data(), mb, row.data(),
+         mb, 0.0, &at(b, ldb, bi, 0), ldb);
+    // Contributions from strictly lower columns: B_i += L_i,p * B_p (p<i).
+    if (bi > 0)
+      gemm(Trans::kNo, Trans::kNo, mb, n, bi, 1.0, &at(l, ldl, bi, 0), ldl,
+           &at(b, ldb, 0, 0), ldb, 1.0, &at(b, ldb, bi, 0), ldb);
+    if (bi == 0) break;
+  }
+}
+
+void Blas::trsm(index_t m, index_t n, const double* l, index_t ldl, double* b,
+                index_t ldb) {
+  for (index_t bi = 0; bi < m; bi += kL3Block) {
+    const index_t mb = std::min(kL3Block, m - bi);
+    // Panel update through GEMM: B_i -= L_i,0:bi * B_0:bi.
+    if (bi > 0)
+      gemm(Trans::kNo, Trans::kNo, mb, n, bi, -1.0, &at(l, ldl, bi, 0), ldl,
+           &at(b, ldb, 0, 0), ldb, 1.0, &at(b, ldb, bi, 0), ldb);
+    // Diagonal solve: deliberately plain scalar forward substitution — the
+    // step the paper could not derive from GEMM, translated "in a
+    // straightforward fashion" (§5's TRSM caveat).
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t ii = 0; ii < mb; ++ii) {
+        double acc = at(b, ldb, bi + ii, j);
+        for (index_t p = 0; p < ii; ++p)
+          acc -= at(l, ldl, bi + ii, bi + p) * at(b, ldb, bi + p, j);
+        const double piv = at(l, ldl, bi + ii, bi + ii);
+        AUGEM_CHECK(piv != 0.0, "singular triangular factor");
+        at(b, ldb, bi + ii, j) = acc / piv;
+      }
+    }
+  }
+}
+
+}  // namespace augem::blas

@@ -1,0 +1,94 @@
+#pragma once
+// The BLAS library interface every implementation in this repository
+// satisfies: the AUGEM-backed library (augem/augem_blas) and the three
+// simulated comparators standing in for the paper's MKL/ACML, ATLAS and
+// GotoBLAS (DESIGN.md §2).
+//
+// Implementations provide the four primitive kernels the paper generates
+// (GEMM, GEMV, AXPY, DOT). The six higher-level routines of the paper's
+// Table 6 (SYMM, SYRK, SYR2K, TRMM, TRSM, GER) have default implementations
+// here that cast their bulk computation onto those primitives — exactly the
+// structure the paper's §4 describes (citing Goto & van de Geijn [13]).
+
+#include <memory>
+#include <string>
+
+#include "blas/types.hpp"
+
+namespace augem::blas {
+
+class Blas {
+ public:
+  virtual ~Blas() = default;
+
+  /// Implementation name shown in benchmark output ("AUGEM", "vendorsim"…).
+  virtual std::string name() const = 0;
+
+  // ---- the four generated/primitive kernels --------------------------------
+
+  /// C(m×n) = alpha * op(A) * op(B) + beta * C.
+  virtual void gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                    double alpha, const double* a, index_t lda,
+                    const double* b, index_t ldb, double beta, double* c,
+                    index_t ldc) = 0;
+
+  /// y(m) = alpha * A(m×n) * x + beta * y.
+  virtual void gemv(index_t m, index_t n, double alpha, const double* a,
+                    index_t lda, const double* x, double beta, double* y) = 0;
+
+  /// y += alpha * x.
+  virtual void axpy(index_t n, double alpha, const double* x, double* y) = 0;
+
+  /// dot(x, y).
+  virtual double dot(index_t n, const double* x, const double* y) = 0;
+
+  /// x *= alpha (covered by the svSCAL extension template in the AUGEM
+  /// implementation).
+  virtual void scal(index_t n, double alpha, double* x) = 0;
+
+  /// y(n) = alpha * A^T(n×m... i.e. A is m×n, op=transpose) * x(m) + beta*y.
+  /// Default: one DOT per column of A — the paper's "Level-2 routines
+  /// invoke optimized Level-1 kernels" structure (§4).
+  virtual void gemv_t(index_t m, index_t n, double alpha, const double* a,
+                      index_t lda, const double* x, double beta, double* y);
+
+  // ---- Table 6 routines, cast onto the primitives --------------------------
+
+  /// A(m×n) += alpha * x * y^T — one AXPY per column.
+  virtual void ger(index_t m, index_t n, double alpha, const double* x,
+                   const double* y, double* a, index_t lda);
+
+  /// C = alpha*A*B + beta*C with A symmetric (lower, left): the symmetric
+  /// operand is expanded blockwise and the bulk runs through GEMM.
+  virtual void symm(index_t m, index_t n, double alpha, const double* a,
+                    index_t lda, const double* b, index_t ldb, double beta,
+                    double* c, index_t ldc);
+
+  /// C(n×n, lower) = alpha*A*A^T + beta*C — block panels through GEMM(N,T).
+  virtual void syrk(index_t n, index_t k, double alpha, const double* a,
+                    index_t lda, double beta, double* c, index_t ldc);
+
+  /// C(n×n, lower) = alpha*(A*B^T + B*A^T) + beta*C — two GEMM sweeps.
+  virtual void syr2k(index_t n, index_t k, double alpha, const double* a,
+                     index_t lda, const double* b, index_t ldb, double beta,
+                     double* c, index_t ldc);
+
+  /// B = L*B (left, lower): block panels via GEMM plus small triangular
+  /// block multiplies.
+  virtual void trmm(index_t m, index_t n, const double* l, index_t ldl,
+                    double* b, index_t ldb);
+
+  /// B = L^{-1}*B (left, lower): blocked forward substitution. The
+  /// panel update B2 -= L21*B1 runs through GEMM; the diagonal solve
+  /// B1 = L11^{-1}*B1 is plain scalar code — reproducing the paper's
+  /// observed TRSM weakness (§5: "the first step cannot be simply derived
+  /// from the GEMM kernel").
+  virtual void trsm(index_t m, index_t n, const double* l, index_t ldl,
+                    double* b, index_t ldb);
+
+ protected:
+  /// Block size used by the default Level-3 algorithms.
+  static constexpr index_t kL3Block = 128;
+};
+
+}  // namespace augem::blas

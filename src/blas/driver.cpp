@@ -1,0 +1,57 @@
+#include "blas/driver.hpp"
+
+#include <algorithm>
+
+#include "blas/pack.hpp"
+#include "support/buffer.hpp"
+
+namespace augem::blas {
+
+BlockSizes default_block_sizes(const CpuArch& arch) {
+  BlockSizes s;
+  // kc: a kc-deep B micro-panel (a few columns) plus the A micro-panel
+  // must sit in L1 with room to spare; 256 on a 32KB L1 (the value the
+  // paper's testbeds and OpenBLAS use on this CPU class).
+  s.kc = std::clamp<index_t>(arch.l1d_bytes / (8 * 16), 64, 256);
+  // mc: the packed mc×kc A block targets half of L2.
+  s.mc = std::clamp<index_t>(arch.l2_bytes / 2 / (8 * s.kc), 32, 512);
+  // Round to friendly multiples of the largest register tile we generate.
+  s.kc = s.kc / 8 * 8;
+  s.mc = s.mc / 8 * 8;
+  // nc: bound the packed B panel (kc×nc doubles) to stream from L2/L3.
+  s.nc = 240;
+  return s;
+}
+
+void blocked_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                  double alpha, const double* a, index_t lda, const double* b,
+                  index_t ldb, double beta, double* c, index_t ldc,
+                  const BlockSizes& sizes, const BlockKernel& kernel) {
+  if (m <= 0 || n <= 0) return;
+
+  // beta is applied once up front; the block kernels accumulate.
+  if (beta != 1.0) {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i)
+        at(c, ldc, i, j) = beta == 0.0 ? 0.0 : beta * at(c, ldc, i, j);
+  }
+  if (k <= 0 || alpha == 0.0) return;
+
+  DoubleBuffer pa(static_cast<std::size_t>(sizes.mc * sizes.kc));
+  DoubleBuffer pb(static_cast<std::size_t>(sizes.kc * sizes.nc));
+
+  for (index_t jc = 0; jc < n; jc += sizes.nc) {
+    const index_t nc = std::min(sizes.nc, n - jc);
+    for (index_t pc = 0; pc < k; pc += sizes.kc) {
+      const index_t kc = std::min(sizes.kc, k - pc);
+      pack_b_block(tb, b, ldb, pc, jc, kc, nc, pb.data());
+      for (index_t ic = 0; ic < m; ic += sizes.mc) {
+        const index_t mc = std::min(sizes.mc, m - ic);
+        pack_a_block(ta, a, lda, ic, pc, mc, kc, alpha, pa.data());
+        kernel(mc, nc, kc, pa.data(), pb.data(), &at(c, ldc, ic, jc), ldc);
+      }
+    }
+  }
+}
+
+}  // namespace augem::blas

@@ -1,0 +1,38 @@
+#pragma once
+// The Goto block-partitioned GEMM driver (paper §4.1). Shared by the
+// AUGEM-backed library and the simulated comparators: each supplies a
+// *block kernel* computing C(mc×nc) += PA(mc×kc) * PB(kc×nc) over packed
+// panels; the driver owns the cache blocking, packing and beta handling.
+
+#include <functional>
+
+#include "blas/types.hpp"
+#include "support/arch.hpp"
+
+namespace augem::blas {
+
+/// Cache blocking parameters.
+struct BlockSizes {
+  index_t mc = 128;  ///< A-block rows (L2 resident)
+  index_t nc = 512;  ///< B-panel columns (L3 / memory streamed)
+  index_t kc = 256;  ///< shared depth (A block + B panel rows, L1/L2)
+};
+
+/// Derives block sizes from the cache hierarchy: kc*8 bytes of a B column
+/// must leave room in L1 beside the A micro-panel; mc*kc doubles of packed
+/// A target half of L2.
+BlockSizes default_block_sizes(const CpuArch& arch);
+
+/// C(mc×nc, ldc) += PA * PB over packed panels (see blas/pack.hpp for the
+/// layouts). Must handle arbitrary mc/nc/kc ≥ 0.
+using BlockKernel =
+    std::function<void(index_t mc, index_t nc, index_t kc, const double* pa,
+                       const double* pb, double* c, index_t ldc)>;
+
+/// Full GEMM: C = alpha*op(A)*op(B) + beta*C via packing + block kernel.
+void blocked_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                  double alpha, const double* a, index_t lda, const double* b,
+                  index_t ldb, double beta, double* c, index_t ldc,
+                  const BlockSizes& sizes, const BlockKernel& kernel);
+
+}  // namespace augem::blas

@@ -1,0 +1,27 @@
+#pragma once
+// Factory functions for the comparator BLAS libraries of the evaluation
+// (DESIGN.md §2 maps each to the library it stands in for):
+//
+//   refblas   — naive loops; the "simple C" floor
+//   gotosim   — Goto blocking + 128-bit SSE2/SSE3 kernels, no AVX/FMA:
+//               stands in for GotoBLAS2 1.13, whose losses the paper
+//               attributes precisely to the missing AVX/FMA support
+//   atlsim    — register-tiled plain C compiled by the general-purpose
+//               compiler (auto-vectorization): the ATLAS approach
+//   vendorsim — expert-tuned AVX2+FMA intrinsics kernels: the MKL/ACML
+//               stand-in
+//
+// The AUGEM-backed implementation lives in augem/augem_blas.hpp.
+
+#include <memory>
+
+#include "blas/blas.hpp"
+
+namespace augem::blas {
+
+std::unique_ptr<Blas> make_refblas();
+std::unique_ptr<Blas> make_gotosim();
+std::unique_ptr<Blas> make_atlsim();
+std::unique_ptr<Blas> make_vendorsim();
+
+}  // namespace augem::blas

@@ -1,0 +1,39 @@
+#include "blas/pack.hpp"
+
+namespace augem::blas {
+
+void pack_a_block(Trans ta, const double* a, index_t lda, index_t i0,
+                  index_t k0, index_t mc, index_t kc, double alpha,
+                  double* pa) {
+  if (ta == Trans::kNo) {
+    // Source columns are contiguous: copy column-by-column.
+    for (index_t l = 0; l < kc; ++l) {
+      const double* src = &at(a, lda, i0, k0 + l);
+      double* dst = pa + l * mc;
+      for (index_t i = 0; i < mc; ++i) dst[i] = alpha * src[i];
+    }
+  } else {
+    for (index_t l = 0; l < kc; ++l) {
+      double* dst = pa + l * mc;
+      for (index_t i = 0; i < mc; ++i)
+        dst[i] = alpha * at(a, lda, k0 + l, i0 + i);
+    }
+  }
+}
+
+void pack_b_block(Trans tb, const double* b, index_t ldb, index_t k0,
+                  index_t j0, index_t kc, index_t nc, double* pb) {
+  if (tb == Trans::kNo) {
+    for (index_t j = 0; j < nc; ++j) {
+      const double* src = &at(b, ldb, k0, j0 + j);
+      for (index_t l = 0; l < kc; ++l) pb[l * nc + j] = src[l];
+    }
+  } else {
+    for (index_t l = 0; l < kc; ++l) {
+      double* dst = pb + l * nc;
+      for (index_t j = 0; j < nc; ++j) dst[j] = at(b, ldb, j0 + j, k0 + l);
+    }
+  }
+}
+
+}  // namespace augem::blas

@@ -1,0 +1,41 @@
+#include "blas/libraries.hpp"
+#include "blas/reference.hpp"
+
+namespace augem::blas {
+
+namespace {
+
+/// Naive reference implementation: no blocking, no SIMD, no packing.
+class RefBlas final : public Blas {
+ public:
+  std::string name() const override { return "refblas"; }
+
+  void gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k, double alpha,
+            const double* a, index_t lda, const double* b, index_t ldb,
+            double beta, double* c, index_t ldc) override {
+    ref::gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  }
+
+  void gemv(index_t m, index_t n, double alpha, const double* a, index_t lda,
+            const double* x, double beta, double* y) override {
+    ref::gemv(m, n, alpha, a, lda, x, beta, y);
+  }
+
+  void axpy(index_t n, double alpha, const double* x, double* y) override {
+    ref::axpy(n, alpha, x, y);
+  }
+
+  double dot(index_t n, const double* x, const double* y) override {
+    return ref::dot(n, x, y);
+  }
+
+  void scal(index_t n, double alpha, double* x) override {
+    ref::scal(n, alpha, x);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Blas> make_refblas() { return std::make_unique<RefBlas>(); }
+
+}  // namespace augem::blas

@@ -1,0 +1,133 @@
+#include "blas/reference.hpp"
+
+#include "support/error.hpp"
+
+namespace augem::blas::ref {
+
+void gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k, double alpha,
+          const double* a, index_t lda, const double* b, index_t ldb,
+          double beta, double* c, index_t ldc) {
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (index_t l = 0; l < k; ++l)
+        acc += op_at(a, lda, ta, i, l) * op_at(b, ldb, tb, l, j);
+      at(c, ldc, i, j) = alpha * acc + beta * at(c, ldc, i, j);
+    }
+  }
+}
+
+void gemv(index_t m, index_t n, double alpha, const double* a, index_t lda,
+          const double* x, double beta, double* y) {
+  for (index_t i = 0; i < m; ++i) y[i] *= beta;
+  for (index_t j = 0; j < n; ++j) {
+    const double s = alpha * x[j];
+    for (index_t i = 0; i < m; ++i) y[i] += at(a, lda, i, j) * s;
+  }
+}
+
+void gemv_t(index_t m, index_t n, double alpha, const double* a, index_t lda,
+            const double* x, double beta, double* y) {
+  for (index_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (index_t i = 0; i < m; ++i) acc += at(a, lda, i, j) * x[i];
+    y[j] = alpha * acc + beta * y[j];
+  }
+}
+
+void axpy(index_t n, double alpha, const double* x, double* y) {
+  for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double dot(index_t n, const double* x, const double* y) {
+  double acc = 0.0;
+  for (index_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void scal(index_t n, double alpha, double* x) {
+  for (index_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void ger(index_t m, index_t n, double alpha, const double* x, const double* y,
+         double* a, index_t lda) {
+  for (index_t j = 0; j < n; ++j) {
+    const double s = alpha * y[j];
+    for (index_t i = 0; i < m; ++i) at(a, lda, i, j) += x[i] * s;
+  }
+}
+
+namespace {
+
+/// Symmetric element (i, j) from a lower-triangle-stored matrix.
+double sym_at(const double* a, index_t lda, index_t i, index_t j) {
+  return i >= j ? at(a, lda, i, j) : at(a, lda, j, i);
+}
+
+}  // namespace
+
+void symm(index_t m, index_t n, double alpha, const double* a, index_t lda,
+          const double* b, index_t ldb, double beta, double* c, index_t ldc) {
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (index_t l = 0; l < m; ++l)
+        acc += sym_at(a, lda, i, l) * at(b, ldb, l, j);
+      at(c, ldc, i, j) = alpha * acc + beta * at(c, ldc, i, j);
+    }
+  }
+}
+
+void syrk(index_t n, index_t k, double alpha, const double* a, index_t lda,
+          double beta, double* c, index_t ldc) {
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {  // lower triangle only
+      double acc = 0.0;
+      for (index_t l = 0; l < k; ++l)
+        acc += at(a, lda, i, l) * at(a, lda, j, l);
+      at(c, ldc, i, j) = alpha * acc + beta * at(c, ldc, i, j);
+    }
+  }
+}
+
+void syr2k(index_t n, index_t k, double alpha, const double* a, index_t lda,
+           const double* b, index_t ldb, double beta, double* c, index_t ldc) {
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) {
+      double acc = 0.0;
+      for (index_t l = 0; l < k; ++l)
+        acc += at(a, lda, i, l) * at(b, ldb, j, l) +
+               at(b, ldb, i, l) * at(a, lda, j, l);
+      at(c, ldc, i, j) = alpha * acc + beta * at(c, ldc, i, j);
+    }
+  }
+}
+
+void trmm(index_t m, index_t n, const double* l, index_t ldl, double* b,
+          index_t ldb) {
+  // B = L*B in place: compute rows bottom-up so inputs stay unmodified.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = m - 1; i >= 0; --i) {
+      double acc = 0.0;
+      for (index_t p = 0; p <= i; ++p)
+        acc += at(l, ldl, i, p) * at(b, ldb, p, j);
+      at(b, ldb, i, j) = acc;
+    }
+  }
+}
+
+void trsm(index_t m, index_t n, const double* l, index_t ldl, double* b,
+          index_t ldb) {
+  // Forward substitution, column by column of B.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      double acc = at(b, ldb, i, j);
+      for (index_t p = 0; p < i; ++p)
+        acc -= at(l, ldl, i, p) * at(b, ldb, p, j);
+      AUGEM_CHECK(at(l, ldl, i, i) != 0.0, "singular triangular factor");
+      at(b, ldb, i, j) = acc / at(l, ldl, i, i);
+    }
+  }
+}
+
+}  // namespace augem::blas::ref

@@ -1,0 +1,57 @@
+#pragma once
+// Straightforward reference implementations of every BLAS operation the
+// evaluation uses. These are (a) the test oracle for all optimized paths
+// and (b) the "reference" series some ablations report.
+
+#include "blas/types.hpp"
+
+namespace augem::blas::ref {
+
+/// C(m×n) = alpha * op(A)(m×k) * op(B)(k×n) + beta * C.
+void gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k, double alpha,
+          const double* a, index_t lda, const double* b, index_t ldb,
+          double beta, double* c, index_t ldc);
+
+/// y(m) = alpha * A(m×n) * x(n) + beta * y.
+void gemv(index_t m, index_t n, double alpha, const double* a, index_t lda,
+          const double* x, double beta, double* y);
+
+/// y(n) = alpha * A^T * x + beta * y (A is m×n).
+void gemv_t(index_t m, index_t n, double alpha, const double* a, index_t lda,
+            const double* x, double beta, double* y);
+
+/// y += alpha * x.
+void axpy(index_t n, double alpha, const double* x, double* y);
+
+/// dot(x, y).
+double dot(index_t n, const double* x, const double* y);
+
+/// x *= alpha.
+void scal(index_t n, double alpha, double* x);
+
+/// A(m×n) += alpha * x * y^T.
+void ger(index_t m, index_t n, double alpha, const double* x, const double* y,
+         double* a, index_t lda);
+
+/// C(m×n) = alpha * A * B + beta * C, A symmetric m×m stored in its lower
+/// triangle (Side=Left, Uplo=Lower).
+void symm(index_t m, index_t n, double alpha, const double* a, index_t lda,
+          const double* b, index_t ldb, double beta, double* c, index_t ldc);
+
+/// C(n×n) = alpha * A(n×k) * A^T + beta * C, lower triangle updated.
+void syrk(index_t n, index_t k, double alpha, const double* a, index_t lda,
+          double beta, double* c, index_t ldc);
+
+/// C(n×n) = alpha * (A*B^T + B*A^T) + beta * C, lower triangle updated.
+void syr2k(index_t n, index_t k, double alpha, const double* a, index_t lda,
+           const double* b, index_t ldb, double beta, double* c, index_t ldc);
+
+/// B(m×n) = L * B, L unit-free lower-triangular m×m (Side=Left).
+void trmm(index_t m, index_t n, const double* l, index_t ldl, double* b,
+          index_t ldb);
+
+/// B(m×n) = L^{-1} * B (forward substitution; Side=Left, Lower, NonUnit).
+void trsm(index_t m, index_t n, const double* l, index_t ldl, double* b,
+          index_t ldb);
+
+}  // namespace augem::blas::ref

@@ -1,0 +1,31 @@
+#pragma once
+// Common BLAS-layer conventions.
+//
+// All matrices are column-major with explicit leading dimensions, matching
+// the netlib BLAS the paper's comparators implement. Only the operand
+// shapes the paper's evaluation exercises are supported: `Side::kLeft` and
+// `Uplo::kLower` for the symmetric/triangular routines.
+
+#include <cstdint>
+
+namespace augem::blas {
+
+using index_t = std::int64_t;
+
+enum class Trans : std::uint8_t { kNo, kYes };
+
+/// Element (i, j) of a column-major matrix with leading dimension ld.
+inline double& at(double* a, index_t ld, index_t i, index_t j) {
+  return a[j * ld + i];
+}
+inline const double& at(const double* a, index_t ld, index_t i, index_t j) {
+  return a[j * ld + i];
+}
+
+/// Element (i, j) of op(A): op = transpose ? A^T : A.
+inline const double& op_at(const double* a, index_t ld, Trans t, index_t i,
+                           index_t j) {
+  return t == Trans::kNo ? at(a, ld, i, j) : at(a, ld, j, i);
+}
+
+}  // namespace augem::blas

@@ -1,0 +1,73 @@
+#pragma once
+// "Simple C" implementations of the four DLA kernels the paper optimizes
+// (GEMM Fig. 12, GEMV Fig. 15, AXPY Fig. 16, DOT Fig. 17), expressed in the
+// low-level C IR. These are the *inputs* to the AUGEM pipeline.
+//
+// ABI note: the parameter lists below define the SysV x86-64 signatures of
+// the generated assembly functions (see asmgen/abi.hpp). All extents are
+// `long`, all data is `double`.
+
+#include <string>
+
+#include "ir/kernel.hpp"
+
+namespace augem::frontend {
+
+/// Layout of the packed B block consumed by the GEMM kernel.
+enum class BLayout {
+  /// B[l*nc + j]: row-major packed block, contiguous across the unrolled j
+  /// direction. Both of the paper's vectorization strategies (Vdup and
+  /// Shuf, §3.4) apply.
+  kRowPanel,
+  /// B[j*kc + l]: column-major block, exactly the paper's Fig. 12. The
+  /// unrolled j elements are `kc` apart, so only the Vdup strategy applies
+  /// (the Template Identifier rejects Shuf here).
+  kColMajor,
+};
+
+/// Which kernel a spec describes. The first four are the paper's; kScal is
+/// this repository's demonstration of the paper's stated future work
+/// ("extending our template-based approach to support a much broader
+/// collection of routines"): one new template (svSCAL) plus one specialized
+/// optimizer suffice to cover a new Level-1 routine.
+enum class KernelKind { kGemm, kGemv, kAxpy, kDot, kScal };
+
+const char* kernel_kind_name(KernelKind k);
+
+/// GEMM inner kernel over packed blocks (Goto-style, paper Fig. 12):
+///
+///   void name(long mc, long nc, long kc,
+///             const double* A, const double* B, double* C, long ldc)
+///   // C[j*ldc+i] += sum_l A[l*mc+i] * B_elem(l,j)   for i<mc, j<nc
+ir::Kernel make_gemm_kernel(BLayout layout = BLayout::kRowPanel,
+                            const std::string& name = "dgemm_kernel");
+
+/// GEMV, column-traversal AXPY form (paper Fig. 15):
+///
+///   void name(long m, long n, const double* A, long lda,
+///             const double* x, double* y)
+///   // y[j] += A[i*lda+j] * x[i]   for i<n, j<m   (A column-major)
+ir::Kernel make_gemv_kernel(const std::string& name = "dgemv_kernel");
+
+/// AXPY (paper Fig. 16):
+///
+///   void name(long n, double alpha, const double* x, double* y)
+///   // y[i] += x[i] * alpha
+ir::Kernel make_axpy_kernel(const std::string& name = "daxpy_kernel");
+
+/// DOT (paper Fig. 17):
+///
+///   double name(long n, const double* x, const double* y)
+///   // returns sum_i x[i]*y[i]
+ir::Kernel make_dot_kernel(const std::string& name = "ddot_kernel");
+
+/// SCAL (extension kernel, see KernelKind::kScal):
+///
+///   void name(long n, double alpha, double* x)
+///   // x[i] = x[i] * alpha
+ir::Kernel make_scal_kernel(const std::string& name = "dscal_kernel");
+
+/// Builds the simple-C kernel for `kind` (GEMM uses `layout`).
+ir::Kernel make_kernel(KernelKind kind, BLayout layout = BLayout::kRowPanel);
+
+}  // namespace augem::frontend

@@ -1,0 +1,182 @@
+#include "ir/affine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace augem::ir {
+
+Poly Poly::constant(std::int64_t c) {
+  Poly p;
+  if (c != 0) p.terms_.push_back({c, {}});
+  return p;
+}
+
+Poly Poly::variable(const std::string& name) {
+  Poly p;
+  p.terms_.push_back({1, {name}});
+  return p;
+}
+
+void Poly::canonicalize() {
+  for (PolyTerm& t : terms_) std::sort(t.vars.begin(), t.vars.end());
+  std::sort(terms_.begin(), terms_.end(),
+            [](const PolyTerm& a, const PolyTerm& b) { return a.vars < b.vars; });
+  std::vector<PolyTerm> merged;
+  for (PolyTerm& t : terms_) {
+    if (!merged.empty() && merged.back().same_monomial(t)) {
+      merged.back().coeff += t.coeff;
+    } else {
+      merged.push_back(std::move(t));
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const PolyTerm& t) { return t.coeff == 0; }),
+               merged.end());
+  terms_ = std::move(merged);
+}
+
+Poly Poly::operator+(const Poly& o) const {
+  Poly r;
+  r.terms_ = terms_;
+  r.terms_.insert(r.terms_.end(), o.terms_.begin(), o.terms_.end());
+  r.canonicalize();
+  return r;
+}
+
+Poly Poly::operator-(const Poly& o) const {
+  Poly neg = o;
+  for (PolyTerm& t : neg.terms_) t.coeff = -t.coeff;
+  return *this + neg;
+}
+
+Poly Poly::operator*(const Poly& o) const {
+  Poly r;
+  for (const PolyTerm& a : terms_) {
+    for (const PolyTerm& b : o.terms_) {
+      PolyTerm t;
+      t.coeff = a.coeff * b.coeff;
+      t.vars = a.vars;
+      t.vars.insert(t.vars.end(), b.vars.begin(), b.vars.end());
+      r.terms_.push_back(std::move(t));
+    }
+  }
+  r.canonicalize();
+  return r;
+}
+
+std::int64_t Poly::constant_part() const {
+  for (const PolyTerm& t : terms_)
+    if (t.vars.empty()) return t.coeff;
+  return 0;
+}
+
+Poly Poly::without_constant() const {
+  Poly r;
+  for (const PolyTerm& t : terms_)
+    if (!t.vars.empty()) r.terms_.push_back(t);
+  return r;  // already canonical: subset of a canonical term list
+}
+
+bool Poly::independent_of(const std::string& v) const {
+  for (const PolyTerm& t : terms_)
+    if (std::find(t.vars.begin(), t.vars.end(), v) != t.vars.end()) return false;
+  return true;
+}
+
+std::optional<Poly> Poly::coefficient_of(const std::string& v) const {
+  Poly coeff;
+  for (const PolyTerm& t : terms_) {
+    const auto count = std::count(t.vars.begin(), t.vars.end(), v);
+    if (count == 0) continue;
+    if (count > 1) return std::nullopt;  // quadratic in v
+    PolyTerm reduced = t;
+    reduced.vars.erase(std::find(reduced.vars.begin(), reduced.vars.end(), v));
+    coeff.terms_.push_back(std::move(reduced));
+  }
+  coeff.canonicalize();
+  return coeff;
+}
+
+Poly Poly::drop_terms_with(const std::string& v) const {
+  Poly r;
+  for (const PolyTerm& t : terms_)
+    if (std::find(t.vars.begin(), t.vars.end(), v) == t.vars.end())
+      r.terms_.push_back(t);
+  return r;
+}
+
+Poly Poly::substitute(const std::string& v, const Poly& replacement) const {
+  Poly result;
+  for (const PolyTerm& t : terms_) {
+    const auto count = std::count(t.vars.begin(), t.vars.end(), v);
+    PolyTerm rest = t;
+    for (std::int64_t i = 0; i < count; ++i)
+      rest.vars.erase(std::find(rest.vars.begin(), rest.vars.end(), v));
+    Poly term_poly;
+    term_poly.terms_.push_back(rest);
+    for (std::int64_t i = 0; i < count; ++i) term_poly = term_poly * replacement;
+    result = result + term_poly;
+  }
+  return result;
+}
+
+ExprPtr Poly::to_expr() const {
+  if (terms_.empty()) return ival(0);
+  ExprPtr acc;
+  for (const PolyTerm& t : terms_) {
+    // Build coeff * v1 * v2 * …, eliding a unit coefficient.
+    ExprPtr term;
+    if (t.vars.empty()) {
+      term = ival(t.coeff);
+    } else {
+      for (const std::string& v : t.vars) {
+        term = term ? mul(std::move(term), var(v)) : var(v);
+      }
+      if (t.coeff != 1) {
+        if (t.coeff == -1) {
+          term = sub(ival(0), std::move(term));
+        } else {
+          term = mul(ival(t.coeff), std::move(term));
+        }
+      }
+    }
+    acc = acc ? add(std::move(acc), std::move(term)) : std::move(term);
+  }
+  return acc;
+}
+
+std::string Poly::to_string() const { return to_expr()->to_string(); }
+
+std::optional<Poly> to_poly(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::kIntConst:
+      return Poly::constant(as<IntConst>(e)->value());
+    case ExprKind::kVarRef:
+      return Poly::variable(as<VarRef>(e)->name());
+    case ExprKind::kBinary: {
+      const auto* b = as<Binary>(e);
+      auto l = to_poly(b->lhs());
+      auto r = to_poly(b->rhs());
+      if (!l || !r) return std::nullopt;
+      switch (b->op()) {
+        case BinOp::kAdd: return *l + *r;
+        case BinOp::kSub: return *l - *r;
+        case BinOp::kMul: return *l * *r;
+      }
+      return std::nullopt;
+    }
+    case ExprKind::kFloatConst:
+    case ExprKind::kArrayRef:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+ExprPtr simplify_index(const Expr& e) {
+  if (auto p = to_poly(e)) return p->to_expr();
+  return e.clone();
+}
+
+}  // namespace augem::ir

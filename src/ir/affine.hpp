@@ -1,0 +1,93 @@
+#pragma once
+// Multilinear ("affine with symbolic coefficients") normal form for integer
+// index expressions.
+//
+// Subscripts in DLA kernels are sums of products of loop counters, extent
+// parameters and constants, e.g. `(j + 1) * Kc + l` or `j * LDC + i`. The
+// transforms need to answer questions like:
+//   * what is the coefficient of loop variable `l` in this subscript?
+//     (strength reduction: the cursor increment, possibly symbolic e.g. LDC)
+//   * do two subscripts differ by a compile-time constant?
+//     (cursor sharing, and the Unrolled-template contiguity checks)
+//   * substitute `l := l + 4` and re-canonicalize (loop unrolling).
+//
+// `Poly` is a canonical sum of terms `coeff * v1 * v2 * …` with sorted
+// variable lists and merged duplicates, so structural equality of
+// normalized forms is semantic equality of the polynomials.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace augem::ir {
+
+/// One monomial: `coeff * product(vars)`. `vars` is sorted and may contain
+/// repeats (squares), though subscripts in practice are multilinear.
+struct PolyTerm {
+  std::int64_t coeff = 0;
+  std::vector<std::string> vars;
+
+  bool same_monomial(const PolyTerm& o) const { return vars == o.vars; }
+};
+
+/// Canonical polynomial over integer variables.
+class Poly {
+ public:
+  Poly() = default;
+  static Poly constant(std::int64_t c);
+  static Poly variable(const std::string& name);
+
+  const std::vector<PolyTerm>& terms() const { return terms_; }
+
+  Poly operator+(const Poly& o) const;
+  Poly operator-(const Poly& o) const;
+  Poly operator*(const Poly& o) const;
+
+  bool operator==(const Poly& o) const { return terms_ == o.terms_; }
+
+  /// The pure-constant term (0 if absent).
+  std::int64_t constant_part() const;
+
+  /// This polynomial minus its pure-constant term.
+  Poly without_constant() const;
+
+  /// True if no term mentions `v`.
+  bool independent_of(const std::string& v) const;
+
+  /// Coefficient of `v` as a polynomial (nullopt if any term contains v
+  /// more than once, i.e. the poly is not linear in v).
+  std::optional<Poly> coefficient_of(const std::string& v) const;
+
+  /// The polynomial with every term containing `v` removed.
+  Poly drop_terms_with(const std::string& v) const;
+
+  /// Substitute `v := replacement` and re-canonicalize.
+  Poly substitute(const std::string& v, const Poly& replacement) const;
+
+  /// Rebuilds a (reasonably small) Expr. Returns IntConst(0) for empty.
+  ExprPtr to_expr() const;
+
+  std::string to_string() const;
+
+ private:
+  void canonicalize();
+  std::vector<PolyTerm> terms_;  // sorted by vars; no zero coeffs
+};
+
+inline bool operator==(const PolyTerm& a, const PolyTerm& b) {
+  return a.coeff == b.coeff && a.vars == b.vars;
+}
+
+/// Converts an integer-typed Expr to polynomial normal form.
+/// Returns nullopt for expressions outside +,-,*,constants,variables
+/// (e.g. ArrayRef used as an index).
+std::optional<Poly> to_poly(const Expr& e);
+
+/// Convenience: normalize an index expression (simplify via the polynomial
+/// round-trip). Returns a clone of `e` unchanged if it is not polynomial.
+ExprPtr simplify_index(const Expr& e);
+
+}  // namespace augem::ir

@@ -1,0 +1,71 @@
+#include "ir/expr.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace augem::ir {
+
+bool IntConst::equals(const Expr& other) const {
+  const auto* o = as<IntConst>(other);
+  return o != nullptr && o->value() == value_;
+}
+
+bool VarRef::equals(const Expr& other) const {
+  const auto* o = as<VarRef>(other);
+  return o != nullptr && o->name() == name_;
+}
+
+bool FloatConst::equals(const Expr& other) const {
+  const auto* o = as<FloatConst>(other);
+  return o != nullptr && o->value() == value_;
+}
+
+std::string FloatConst::to_string() const {
+  if (value_ == std::floor(value_) && std::abs(value_) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(value_) << ".0";
+    return os.str();
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << value_;
+  return os.str();
+}
+
+ArrayRef::ArrayRef(std::string base, ExprPtr index)
+    : Expr(ExprKind::kArrayRef), base_(std::move(base)), index_(std::move(index)) {}
+
+ExprPtr ArrayRef::clone() const {
+  return std::make_unique<ArrayRef>(base_, index_->clone());
+}
+
+bool ArrayRef::equals(const Expr& other) const {
+  const auto* o = as<ArrayRef>(other);
+  return o != nullptr && o->base() == base_ && o->index().equals(*index_);
+}
+
+std::string ArrayRef::to_string() const {
+  return base_ + "[" + index_->to_string() + "]";
+}
+
+Binary::Binary(BinOp op, ExprPtr lhs, ExprPtr rhs)
+    : Expr(ExprKind::kBinary), op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+ExprPtr Binary::clone() const {
+  return std::make_unique<Binary>(op_, lhs_->clone(), rhs_->clone());
+}
+
+bool Binary::equals(const Expr& other) const {
+  const auto* o = as<Binary>(other);
+  return o != nullptr && o->op() == op_ && o->lhs().equals(*lhs_) &&
+         o->rhs().equals(*rhs_);
+}
+
+std::string Binary::to_string() const {
+  // Fully parenthesized: the IR is read by tests and humans, never reparsed,
+  // so unambiguous beats pretty.
+  return "(" + lhs_->to_string() + " " + binop_token(op_) + " " +
+         rhs_->to_string() + ")";
+}
+
+}  // namespace augem::ir

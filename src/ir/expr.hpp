@@ -1,0 +1,161 @@
+#pragma once
+// Expression nodes of the low-level C IR.
+//
+// Expressions are intentionally side-effect free; all mutation happens in
+// statements (ir/stmt.hpp). After scalar replacement the right-hand sides in
+// innermost loops degenerate to at most one operator — the three-address
+// form the paper's code templates (Fig. 3) are written against.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace augem::ir {
+
+enum class ExprKind : std::uint8_t {
+  kIntConst,
+  kFloatConst,
+  kVarRef,
+  kArrayRef,
+  kBinary,
+};
+
+enum class BinOp : std::uint8_t { kAdd, kSub, kMul };
+
+inline const char* binop_token(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+  }
+  return "?";
+}
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Base class for all expression nodes. Nodes are immutable after
+/// construction except through `clone`-and-rebuild, which keeps the
+/// transformation passes simple and alias-free.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  ExprKind kind() const { return kind_; }
+
+  virtual ExprPtr clone() const = 0;
+  virtual bool equals(const Expr& other) const = 0;
+  virtual std::string to_string() const = 0;
+
+ protected:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+ private:
+  ExprKind kind_;
+};
+
+/// 64-bit integer literal.
+class IntConst final : public Expr {
+ public:
+  static constexpr ExprKind kKind = ExprKind::kIntConst;
+  explicit IntConst(std::int64_t value) : Expr(ExprKind::kIntConst), value_(value) {}
+  std::int64_t value() const { return value_; }
+
+  ExprPtr clone() const override { return std::make_unique<IntConst>(value_); }
+  bool equals(const Expr& other) const override;
+  std::string to_string() const override { return std::to_string(value_); }
+
+ private:
+  std::int64_t value_;
+};
+
+/// Double literal.
+class FloatConst final : public Expr {
+ public:
+  static constexpr ExprKind kKind = ExprKind::kFloatConst;
+  explicit FloatConst(double value) : Expr(ExprKind::kFloatConst), value_(value) {}
+  double value() const { return value_; }
+
+  ExprPtr clone() const override { return std::make_unique<FloatConst>(value_); }
+  bool equals(const Expr& other) const override;
+  std::string to_string() const override;
+
+ private:
+  double value_;
+};
+
+/// Reference to a named scalar or pointer variable.
+class VarRef final : public Expr {
+ public:
+  static constexpr ExprKind kKind = ExprKind::kVarRef;
+  explicit VarRef(std::string name) : Expr(ExprKind::kVarRef), name_(std::move(name)) {}
+  const std::string& name() const { return name_; }
+
+  ExprPtr clone() const override { return std::make_unique<VarRef>(name_); }
+  bool equals(const Expr& other) const override;
+  std::string to_string() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// `base[index]` where `base` names an array/pointer variable. The paper's
+/// templates always subscript a named pointer, never a computed base, so the
+/// base is a name rather than a sub-expression.
+class ArrayRef final : public Expr {
+ public:
+  static constexpr ExprKind kKind = ExprKind::kArrayRef;
+  ArrayRef(std::string base, ExprPtr index);
+  const std::string& base() const { return base_; }
+  const Expr& index() const { return *index_; }
+
+  ExprPtr clone() const override;
+  bool equals(const Expr& other) const override;
+  std::string to_string() const override;
+
+ private:
+  std::string base_;
+  ExprPtr index_;
+};
+
+/// Binary arithmetic `lhs op rhs`.
+class Binary final : public Expr {
+ public:
+  static constexpr ExprKind kKind = ExprKind::kBinary;
+  Binary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+  BinOp op() const { return op_; }
+  const Expr& lhs() const { return *lhs_; }
+  const Expr& rhs() const { return *rhs_; }
+
+  ExprPtr clone() const override;
+  bool equals(const Expr& other) const override;
+  std::string to_string() const override;
+
+ private:
+  BinOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+// ---- convenience constructors -------------------------------------------
+
+inline ExprPtr ival(std::int64_t v) { return std::make_unique<IntConst>(v); }
+inline ExprPtr fval(double v) { return std::make_unique<FloatConst>(v); }
+inline ExprPtr var(std::string name) { return std::make_unique<VarRef>(std::move(name)); }
+inline ExprPtr arr(std::string base, ExprPtr index) {
+  return std::make_unique<ArrayRef>(std::move(base), std::move(index));
+}
+inline ExprPtr bin(BinOp op, ExprPtr l, ExprPtr r) {
+  return std::make_unique<Binary>(op, std::move(l), std::move(r));
+}
+inline ExprPtr add(ExprPtr l, ExprPtr r) { return bin(BinOp::kAdd, std::move(l), std::move(r)); }
+inline ExprPtr sub(ExprPtr l, ExprPtr r) { return bin(BinOp::kSub, std::move(l), std::move(r)); }
+inline ExprPtr mul(ExprPtr l, ExprPtr r) { return bin(BinOp::kMul, std::move(l), std::move(r)); }
+
+/// Downcast helper: returns nullptr if `e` is not a `T`. Dispatches on the
+/// kind tag (no RTTI), LLVM isa/cast style.
+template <typename T>
+const T* as(const Expr& e) {
+  return e.kind() == T::kKind ? static_cast<const T*>(&e) : nullptr;
+}
+
+}  // namespace augem::ir

@@ -1,0 +1,139 @@
+#include "ir/interp.hpp"
+
+#include "support/error.hpp"
+
+namespace augem::ir {
+
+namespace {
+
+class Interpreter {
+ public:
+  explicit Interpreter(Env env) : env_(std::move(env)) {}
+
+  void run(const StmtList& stmts) {
+    for (const StmtPtr& s : stmts) exec(*s);
+  }
+
+  double result_of(const std::string& name) {
+    return std::get<double>(lookup(name));
+  }
+
+ private:
+  Value& lookup(const std::string& name) {
+    const auto it = env_.find(name);
+    AUGEM_CHECK(it != env_.end(), "unbound variable '" << name << "'");
+    return it->second;
+  }
+
+  Value eval(const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::kIntConst:
+        return as<IntConst>(e)->value();
+      case ExprKind::kFloatConst:
+        return as<FloatConst>(e)->value();
+      case ExprKind::kVarRef:
+        return lookup(as<VarRef>(e)->name());
+      case ExprKind::kArrayRef: {
+        const auto* ref = as<ArrayRef>(e);
+        double* base = std::get<double*>(lookup(ref->base()));
+        const std::int64_t idx = std::get<std::int64_t>(eval(ref->index()));
+        return base[idx];
+      }
+      case ExprKind::kBinary: {
+        const auto* b = as<Binary>(e);
+        const Value l = eval(b->lhs());
+        const Value r = eval(b->rhs());
+        return apply(b->op(), l, r, e);
+      }
+    }
+    AUGEM_FAIL("unhandled expression kind");
+  }
+
+  static Value apply(BinOp op, const Value& l, const Value& r, const Expr& e) {
+    // Integer arithmetic.
+    if (std::holds_alternative<std::int64_t>(l) &&
+        std::holds_alternative<std::int64_t>(r)) {
+      const std::int64_t a = std::get<std::int64_t>(l);
+      const std::int64_t b = std::get<std::int64_t>(r);
+      switch (op) {
+        case BinOp::kAdd: return a + b;
+        case BinOp::kSub: return a - b;
+        case BinOp::kMul: return a * b;
+      }
+    }
+    // Pointer arithmetic (element-granular, as in C pointer math).
+    if (std::holds_alternative<double*>(l) &&
+        std::holds_alternative<std::int64_t>(r)) {
+      double* p = std::get<double*>(l);
+      const std::int64_t b = std::get<std::int64_t>(r);
+      switch (op) {
+        case BinOp::kAdd: return p + b;
+        case BinOp::kSub: return p - b;
+        default: break;
+      }
+    }
+    // Floating point.
+    if (std::holds_alternative<double>(l) && std::holds_alternative<double>(r)) {
+      const double a = std::get<double>(l);
+      const double b = std::get<double>(r);
+      switch (op) {
+        case BinOp::kAdd: return a + b;
+        case BinOp::kSub: return a - b;
+        case BinOp::kMul: return a * b;
+      }
+    }
+    AUGEM_FAIL("type error evaluating " << e.to_string());
+  }
+
+  void exec(const Stmt& s) {
+    switch (s.kind()) {
+      case StmtKind::kAssign: {
+        const auto& a = *as<Assign>(s);
+        const Value v = eval(a.rhs());
+        if (const auto* dst = as<VarRef>(a.lhs())) {
+          env_[dst->name()] = v;  // create-on-write for locals
+          return;
+        }
+        const auto* ref = as<ArrayRef>(a.lhs());
+        AUGEM_CHECK(ref != nullptr, "bad assignment target");
+        double* base = std::get<double*>(lookup(ref->base()));
+        const std::int64_t idx = std::get<std::int64_t>(eval(ref->index()));
+        base[idx] = std::get<double>(v);
+        return;
+      }
+      case StmtKind::kFor: {
+        const auto& f = *as<ForStmt>(s);
+        // `for (v = v; …)` (remainder loops) keeps the current counter.
+        const auto* self = as<VarRef>(f.lower());
+        if (self == nullptr || self->name() != f.var())
+          env_[f.var()] = eval(f.lower());
+        for (;;) {
+          const std::int64_t v = std::get<std::int64_t>(lookup(f.var()));
+          const std::int64_t hi = std::get<std::int64_t>(eval(f.upper()));
+          if (v >= hi) break;
+          run(f.body());
+          env_[f.var()] = v + f.step();
+        }
+        return;
+      }
+      case StmtKind::kPrefetch:
+        return;  // a hint; no architectural effect
+    }
+    AUGEM_FAIL("unhandled statement kind");
+  }
+
+  Env env_;
+};
+
+}  // namespace
+
+double interpret(const Kernel& kernel, Env args) {
+  for (const Param& p : kernel.params())
+    AUGEM_CHECK(args.count(p.name) == 1,
+                "missing argument '" << p.name << "' for kernel " << kernel.name());
+  Interpreter interp(std::move(args));
+  interp.run(kernel.body());
+  return kernel.return_var() ? interp.result_of(*kernel.return_var()) : 0.0;
+}
+
+}  // namespace augem::ir

@@ -1,0 +1,31 @@
+#pragma once
+// Reference interpreter for IR kernels.
+//
+// Executes a Kernel directly against host memory. This is the semantic
+// oracle of the whole framework: the simple-C kernel, every transformed
+// kernel, the machine-code VM, and the JIT-compiled assembly must all agree
+// with it (bit-for-bit for identical evaluation orders; within reassociation
+// tolerance once SIMD vectorization regroups sums).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+#include "ir/kernel.hpp"
+
+namespace augem::ir {
+
+/// Runtime argument/variable value: index integer, double, or data pointer.
+using Value = std::variant<std::int64_t, double, double*>;
+
+/// Environment mapping variable names to values. Kernel parameters must be
+/// pre-populated by the caller; locals are created on first assignment.
+using Env = std::map<std::string, Value>;
+
+/// Runs the kernel with the given arguments. Returns the kernel's return
+/// value (0.0 for void kernels). Throws augem::Error on type errors or
+/// references to unbound variables.
+double interpret(const Kernel& kernel, Env args);
+
+}  // namespace augem::ir

@@ -1,0 +1,88 @@
+#include "ir/kernel.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace augem::ir {
+
+void Kernel::declare_local(const std::string& name, ScalarType type) {
+  AUGEM_CHECK(!is_declared(name), "duplicate variable '" << name << "' in kernel "
+                                                         << name_);
+  locals_.push_back({name, type});
+}
+
+void Kernel::ensure_local(const std::string& name, ScalarType type) {
+  if (!is_declared(name)) {
+    locals_.push_back({name, type});
+    return;
+  }
+  AUGEM_CHECK(type_of(name) == type,
+              "variable '" << name << "' re-declared with a different type");
+}
+
+void Kernel::remove_local(const std::string& name) {
+  const auto it = std::find_if(locals_.begin(), locals_.end(),
+                               [&](const Local& l) { return l.name == name; });
+  AUGEM_CHECK(it != locals_.end(), "no local named '" << name << "'");
+  locals_.erase(it);
+}
+
+ScalarType Kernel::type_of(const std::string& name) const {
+  for (const Param& p : params_)
+    if (p.name == name) return p.type;
+  for (const Local& l : locals_)
+    if (l.name == name) return l.type;
+  AUGEM_FAIL("undeclared variable '" << name << "' in kernel " << name_);
+}
+
+bool Kernel::is_declared(const std::string& name) const {
+  for (const Param& p : params_)
+    if (p.name == name) return true;
+  for (const Local& l : locals_)
+    if (l.name == name) return true;
+  return false;
+}
+
+bool Kernel::is_param(const std::string& name) const {
+  for (const Param& p : params_)
+    if (p.name == name) return true;
+  return false;
+}
+
+std::string Kernel::fresh_name(const std::string& prefix) {
+  for (;;) {
+    std::string candidate = prefix + std::to_string(fresh_counter_++);
+    if (!is_declared(candidate)) return candidate;
+  }
+}
+
+Kernel Kernel::clone() const {
+  Kernel k(name_, params_);
+  k.locals_ = locals_;
+  k.body_ = clone_stmts(body_);
+  k.return_var_ = return_var_;
+  k.fresh_counter_ = fresh_counter_;
+  return k;
+}
+
+std::string Kernel::to_string() const {
+  std::ostringstream os;
+  os << (return_var_ ? "double" : "void") << " " << name_ << "(";
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (i > 0) os << ", ";
+    const Param& p = params_[i];
+    if (p.type == ScalarType::kPtrF64 && p.is_const) os << "const ";
+    os << type_name(p.type) << " " << p.name;
+  }
+  os << ") {\n";
+  for (const Local& l : locals_)
+    os << "  " << type_name(l.type) << " " << l.name << ";\n";
+  for (const StmtPtr& s : body_) os << s->to_string(1) << "\n";
+  if (return_var_) os << "  return " << *return_var_ << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace augem::ir

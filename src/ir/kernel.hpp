@@ -1,0 +1,89 @@
+#pragma once
+// A Kernel is one complete DLA routine in the low-level C IR: a name, a
+// typed parameter list (which fixes the generated function's ABI), locals,
+// and a statement body. This is the unit that flows through the whole
+// AUGEM pipeline: frontend → transforms → template identification →
+// template optimization → assembly generation.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.hpp"
+#include "ir/type.hpp"
+
+namespace augem::ir {
+
+/// One function parameter. Parameter order defines the SysV argument order
+/// of the generated assembly function.
+struct Param {
+  std::string name;
+  ScalarType type;
+  /// For pointer params: true if the kernel never stores through it.
+  bool is_const = true;
+};
+
+/// One local variable (loop counters, scalar-replacement temps,
+/// strength-reduced pointers).
+struct Local {
+  std::string name;
+  ScalarType type;
+};
+
+class Kernel {
+ public:
+  Kernel(std::string name, std::vector<Param> params)
+      : name_(std::move(name)), params_(std::move(params)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Param>& params() const { return params_; }
+  const std::vector<Local>& locals() const { return locals_; }
+  const StmtList& body() const { return body_; }
+  StmtList& mutable_body() { return body_; }
+  void set_body(StmtList body) { body_ = std::move(body); }
+
+  /// Scalar F64 variable whose final value is the function's return value
+  /// (used by DOT); nullopt for void kernels.
+  const std::optional<std::string>& return_var() const { return return_var_; }
+  void set_return_var(std::string v) { return_var_ = std::move(v); }
+
+  /// Declares a local, failing on duplicate names (including vs params).
+  void declare_local(const std::string& name, ScalarType type);
+
+  /// Declares a local only if not yet present (checks type agreement).
+  void ensure_local(const std::string& name, ScalarType type);
+
+  /// Removes a local (used when transforms replace variables).
+  void remove_local(const std::string& name);
+
+  /// Type lookup across params and locals; throws if unknown.
+  ScalarType type_of(const std::string& name) const;
+
+  /// True if `name` is a param or local.
+  bool is_declared(const std::string& name) const;
+
+  /// True if `name` is a parameter (as opposed to a local).
+  bool is_param(const std::string& name) const;
+
+  /// Fresh variable name with the given prefix ("tmp" → "tmp0", "tmp1", …),
+  /// guaranteed not to collide with any declared name.
+  std::string fresh_name(const std::string& prefix);
+
+  /// Deep copy.
+  Kernel clone() const;
+
+  /// Renders the kernel as compilable-looking C (the artifact shown in the
+  /// paper's Figs. 12/13/14).
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::vector<Param> params_;
+  std::vector<Local> locals_;
+  StmtList body_;
+  std::optional<std::string> return_var_;
+  int fresh_counter_ = 0;
+};
+
+}  // namespace augem::ir

@@ -1,0 +1,107 @@
+#include "ir/stmt.hpp"
+
+#include <sstream>
+
+namespace augem::ir {
+
+StmtList clone_stmts(const StmtList& stmts) {
+  StmtList out;
+  out.reserve(stmts.size());
+  for (const StmtPtr& s : stmts) out.push_back(s->clone());
+  return out;
+}
+
+bool stmts_equal(const StmtList& a, const StmtList& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!a[i]->equals(*b[i])) return false;
+  return true;
+}
+
+Assign::Assign(ExprPtr lhs, ExprPtr rhs)
+    : Stmt(StmtKind::kAssign), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+StmtPtr Assign::clone() const {
+  auto copy = std::make_unique<Assign>(lhs_->clone(), rhs_->clone());
+  copy->set_template_tag(template_tag(), region_id());
+  return copy;
+}
+
+bool Assign::equals(const Stmt& other) const {
+  const auto* o = as<Assign>(other);
+  return o != nullptr && o->lhs().equals(*lhs_) && o->rhs().equals(*rhs_);
+}
+
+std::string Assign::to_string(int indent) const {
+  std::ostringstream os;
+  os << indent_str(indent) << lhs_->to_string() << " = " << rhs_->to_string()
+     << ";";
+  if (!template_tag().empty())
+    os << "  /* " << template_tag() << "#" << region_id() << " */";
+  return os.str();
+}
+
+ForStmt::ForStmt(std::string var, ExprPtr lower, ExprPtr upper,
+                 std::int64_t step, StmtList body)
+    : Stmt(StmtKind::kFor),
+      var_(std::move(var)),
+      lower_(std::move(lower)),
+      upper_(std::move(upper)),
+      step_(step),
+      body_(std::move(body)) {}
+
+StmtPtr ForStmt::clone() const {
+  auto copy = std::make_unique<ForStmt>(var_, lower_->clone(), upper_->clone(),
+                                        step_, clone_stmts(body_));
+  copy->set_template_tag(template_tag(), region_id());
+  return copy;
+}
+
+bool ForStmt::equals(const Stmt& other) const {
+  const auto* o = as<ForStmt>(other);
+  return o != nullptr && o->var() == var_ && o->lower().equals(*lower_) &&
+         o->upper().equals(*upper_) && o->step() == step_ &&
+         stmts_equal(o->body(), body_);
+}
+
+std::string ForStmt::to_string(int indent) const {
+  std::ostringstream os;
+  os << indent_str(indent) << "for (" << var_ << " = " << lower_->to_string()
+     << "; " << var_ << " < " << upper_->to_string() << "; " << var_;
+  if (step_ == 1) {
+    os << "++";
+  } else {
+    os << " += " << step_;
+  }
+  os << ") {\n";
+  for (const StmtPtr& s : body_) os << s->to_string(indent + 1) << "\n";
+  os << indent_str(indent) << "}";
+  return os.str();
+}
+
+Prefetch::Prefetch(std::string base, ExprPtr index, int locality)
+    : Stmt(StmtKind::kPrefetch),
+      base_(std::move(base)),
+      index_(std::move(index)),
+      locality_(locality) {}
+
+StmtPtr Prefetch::clone() const {
+  auto copy = std::make_unique<Prefetch>(base_, index_->clone(), locality_);
+  copy->set_template_tag(template_tag(), region_id());
+  return copy;
+}
+
+bool Prefetch::equals(const Stmt& other) const {
+  const auto* o = as<Prefetch>(other);
+  return o != nullptr && o->base() == base_ && o->index().equals(*index_) &&
+         o->locality() == locality_;
+}
+
+std::string Prefetch::to_string(int indent) const {
+  std::ostringstream os;
+  os << indent_str(indent) << "__builtin_prefetch(&" << base_ << "["
+     << index_->to_string() << "], 0, " << locality_ << ");";
+  return os.str();
+}
+
+}  // namespace augem::ir

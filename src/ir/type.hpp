@@ -1,0 +1,28 @@
+#pragma once
+// Scalar types of the "low-level C" IR.
+//
+// The language the paper's templates are defined over is deliberately tiny:
+// 64-bit integers for loop counters and subscripts, doubles for data, and
+// pointers-to-double introduced by strength reduction. Keeping the type
+// lattice this small is what makes exhaustive template matching tractable.
+
+#include <cstdint>
+
+namespace augem::ir {
+
+enum class ScalarType : std::uint8_t {
+  kI64,     ///< loop counters, subscripts, extents
+  kF64,     ///< floating-point data values
+  kPtrF64,  ///< pointer to double (array base or strength-reduced cursor)
+};
+
+inline const char* type_name(ScalarType t) {
+  switch (t) {
+    case ScalarType::kI64: return "long";
+    case ScalarType::kF64: return "double";
+    case ScalarType::kPtrF64: return "double*";
+  }
+  return "?";
+}
+
+}  // namespace augem::ir

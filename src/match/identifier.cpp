@@ -1,0 +1,517 @@
+#include "match/identifier.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <set>
+
+#include "ir/visit.hpp"
+#include "support/error.hpp"
+
+namespace augem::match {
+
+using namespace augem::ir;
+
+const char* template_kind_name(TemplateKind k) {
+  switch (k) {
+    case TemplateKind::kMmComp: return "mmCOMP";
+    case TemplateKind::kMmStore: return "mmSTORE";
+    case TemplateKind::kMvComp: return "mvCOMP";
+    case TemplateKind::kAccInit: return "accINIT";
+    case TemplateKind::kSvScal: return "svSCAL";
+  }
+  return "?";
+}
+
+std::size_t Region::size() const {
+  switch (kind) {
+    case TemplateKind::kMmComp: return mm.size();
+    case TemplateKind::kMmStore: return stores.size();
+    case TemplateKind::kMvComp: return mv.size();
+    case TemplateKind::kAccInit: return acc_inits.size();
+    case TemplateKind::kSvScal: return sv.size();
+  }
+  return 0;
+}
+
+std::string Region::name() const {
+  if (!unrolled()) return template_kind_name(kind);
+  switch (kind) {
+    case TemplateKind::kMmComp: return "mmUnrolledCOMP";
+    case TemplateKind::kMmStore: return "mmUnrolledSTORE";
+    case TemplateKind::kMvComp: return "mvUnrolledCOMP";
+    case TemplateKind::kAccInit: return "accINIT";
+    case TemplateKind::kSvScal: return "svUnrolledSCAL";
+  }
+  return "?";
+}
+
+namespace {
+
+// ---- single-statement views ----------------------------------------------
+
+struct LoadView {
+  std::string dst;
+  std::string base;
+  std::int64_t off;
+};
+
+/// `dst = base[const]` with a scalar destination.
+std::optional<LoadView> view_load(const Stmt& s) {
+  const auto* a = as<Assign>(s);
+  if (a == nullptr) return std::nullopt;
+  const auto* dst = as<VarRef>(a->lhs());
+  const auto* ref = as<ArrayRef>(a->rhs());
+  if (dst == nullptr || ref == nullptr) return std::nullopt;
+  const auto* off = as<IntConst>(ref->index());
+  if (off == nullptr) return std::nullopt;
+  return LoadView{dst->name(), ref->base(), off->value()};
+}
+
+struct BinView {
+  std::string dst;
+  BinOp op;
+  // Operand names; empty when the operand is a literal.
+  std::string lhs;
+  std::string rhs;
+};
+
+/// `dst = a OP b` with variable operands.
+std::optional<BinView> view_binop(const Stmt& s) {
+  const auto* a = as<Assign>(s);
+  if (a == nullptr) return std::nullopt;
+  const auto* dst = as<VarRef>(a->lhs());
+  const auto* b = as<Binary>(a->rhs());
+  if (dst == nullptr || b == nullptr) return std::nullopt;
+  const auto* l = as<VarRef>(b->lhs());
+  const auto* r = as<VarRef>(b->rhs());
+  if (l == nullptr || r == nullptr) return std::nullopt;
+  return BinView{dst->name(), b->op(), l->name(), r->name()};
+}
+
+struct StoreView {
+  std::string base;
+  std::int64_t off;
+  std::string src;
+};
+
+/// `base[const] = src` with a scalar source.
+std::optional<StoreView> view_store(const Stmt& s) {
+  const auto* a = as<Assign>(s);
+  if (a == nullptr) return std::nullopt;
+  const auto* ref = as<ArrayRef>(a->lhs());
+  const auto* src = as<VarRef>(a->rhs());
+  if (ref == nullptr || src == nullptr) return std::nullopt;
+  const auto* off = as<IntConst>(ref->index());
+  if (off == nullptr) return std::nullopt;
+  return StoreView{ref->base(), off->value(), src->name()};
+}
+
+/// `dst = 0.0` accumulator zeroing.
+std::optional<std::string> view_zero_init(const Stmt& s) {
+  const auto* a = as<Assign>(s);
+  if (a == nullptr) return std::nullopt;
+  const auto* dst = as<VarRef>(a->lhs());
+  const auto* c = as<FloatConst>(a->rhs());
+  if (dst == nullptr || c == nullptr || c->value() != 0.0) return std::nullopt;
+  return dst->name();
+}
+
+// ---- window matchers ------------------------------------------------------
+
+/// mmCOMP: Load tA; Load tB; tM = tA*tB; res = res + tM. (4 statements)
+std::optional<MmComp> match_mm_comp(const StmtList& body, std::size_t p) {
+  if (p + 4 > body.size()) return std::nullopt;
+  const auto l0 = view_load(*body[p]);
+  const auto l1 = view_load(*body[p + 1]);
+  const auto m = view_binop(*body[p + 2]);
+  const auto acc = view_binop(*body[p + 3]);
+  if (!l0 || !l1 || !m || !acc) return std::nullopt;
+  if (m->op != BinOp::kMul) return std::nullopt;
+  const bool mul_consumes_loads =
+      (m->lhs == l0->dst && m->rhs == l1->dst) ||
+      (m->lhs == l1->dst && m->rhs == l0->dst);
+  if (!mul_consumes_loads) return std::nullopt;
+  if (acc->op != BinOp::kAdd) return std::nullopt;
+  const std::string& r = acc->dst;
+  const bool accumulates = (acc->lhs == r && acc->rhs == m->dst) ||
+                           (acc->lhs == m->dst && acc->rhs == r);
+  if (!accumulates) return std::nullopt;
+  if (r == l0->dst || r == l1->dst || r == m->dst) return std::nullopt;
+  return MmComp{l0->base, l0->off, l1->base, l1->off, r};
+}
+
+/// mmSTORE: Load t0 = C[c]; t1 = t0 + res; C[c] = t1. (3 statements)
+std::optional<MmStore> match_mm_store(const StmtList& body, std::size_t p) {
+  if (p + 3 > body.size()) return std::nullopt;
+  const auto l0 = view_load(*body[p]);
+  const auto addv = view_binop(*body[p + 1]);
+  const auto st = view_store(*body[p + 2]);
+  if (!l0 || !addv || !st) return std::nullopt;
+  if (addv->op != BinOp::kAdd) return std::nullopt;
+  std::string res;
+  if (addv->lhs == l0->dst) {
+    res = addv->rhs;
+  } else if (addv->rhs == l0->dst) {
+    res = addv->lhs;
+  } else {
+    return std::nullopt;
+  }
+  if (res == l0->dst) return std::nullopt;
+  if (st->base != l0->base || st->off != l0->off) return std::nullopt;
+  if (st->src != addv->dst) return std::nullopt;
+  return MmStore{st->base, st->off, res};
+}
+
+/// svSCAL: Load; Mul-by-scal; Store-back to the same slot. (3 statements)
+std::optional<SvScal> match_sv_scal(const StmtList& body, std::size_t p) {
+  if (p + 3 > body.size()) return std::nullopt;
+  const auto l0 = view_load(*body[p]);
+  const auto m = view_binop(*body[p + 1]);
+  const auto st = view_store(*body[p + 2]);
+  if (!l0 || !m || !st) return std::nullopt;
+  if (m->op != BinOp::kMul) return std::nullopt;
+  std::string scal;
+  if (m->lhs == l0->dst) {
+    scal = m->rhs;
+  } else if (m->rhs == l0->dst) {
+    scal = m->lhs;
+  } else {
+    return std::nullopt;
+  }
+  if (scal == l0->dst) return std::nullopt;
+  if (st->base != l0->base || st->off != l0->off) return std::nullopt;
+  if (st->src != m->dst) return std::nullopt;
+  return SvScal{st->base, st->off, scal};
+}
+
+/// mvCOMP: Load, Load, Mul-by-scal, Add, Store-back. (5 statements)
+/// One load streams `arr_a`; the other reads the updated array `arr_b`,
+/// which is stored back at the same subscript. Load order is free.
+std::optional<MvComp> match_mv_comp(const StmtList& body, std::size_t p) {
+  if (p + 5 > body.size()) return std::nullopt;
+  const auto l0 = view_load(*body[p]);
+  const auto l1 = view_load(*body[p + 1]);
+  const auto m = view_binop(*body[p + 2]);
+  const auto addv = view_binop(*body[p + 3]);
+  const auto st = view_store(*body[p + 4]);
+  if (!l0 || !l1 || !m || !addv || !st) return std::nullopt;
+  if (m->op != BinOp::kMul || addv->op != BinOp::kAdd) return std::nullopt;
+
+  // Which load feeds the multiply? The other one is the updated array.
+  const LoadView* streamed = nullptr;
+  const LoadView* updated = nullptr;
+  std::string scal;
+  auto classify = [&](const LoadView& a, const LoadView& b) -> bool {
+    if (m->lhs == a.dst && m->rhs != b.dst) {
+      streamed = &a;
+      updated = &b;
+      scal = m->rhs;
+      return true;
+    }
+    if (m->rhs == a.dst && m->lhs != b.dst) {
+      streamed = &a;
+      updated = &b;
+      scal = m->lhs;
+      return true;
+    }
+    return false;
+  };
+  if (!classify(*l0, *l1) && !classify(*l1, *l0)) return std::nullopt;
+  if (scal == streamed->dst || scal == updated->dst) return std::nullopt;
+
+  // t3 = updated + product (either order), stored back to the same slot.
+  const bool adds = (addv->lhs == updated->dst && addv->rhs == m->dst) ||
+                    (addv->lhs == m->dst && addv->rhs == updated->dst);
+  if (!adds) return std::nullopt;
+  if (st->base != updated->base || st->off != updated->off) return std::nullopt;
+  if (st->src != addv->dst) return std::nullopt;
+  return MvComp{streamed->base, streamed->off, updated->base, updated->off,
+                scal};
+}
+
+// ---- run classification ----------------------------------------------------
+
+void classify_mm_region(Region& region) {
+  const auto& mm = region.mm;
+  if (mm.size() < 2) {
+    region.shape = UnrolledShape::kIrregular;
+    return;
+  }
+  // All instances must stream the same A cursor (the Vld side).
+  for (const MmComp& inst : mm)
+    if (inst.arr_a != mm[0].arr_a) {
+      region.shape = UnrolledShape::kIrregular;
+      return;
+    }
+
+  // Paired shape: both offsets advance by one on fixed arrays, one shared
+  // accumulator (DOT after unrolling, §4.4).
+  bool paired = true;
+  for (std::size_t k = 0; k < mm.size(); ++k) {
+    paired &= mm[k].arr_b == mm[0].arr_b;
+    paired &= mm[k].off_a == mm[0].off_a + static_cast<std::int64_t>(k);
+    paired &= mm[k].off_b == mm[0].off_b + static_cast<std::int64_t>(k);
+    paired &= mm[k].res == mm[0].res;
+  }
+  if (paired) {
+    region.shape = UnrolledShape::kPaired;
+    region.n1 = static_cast<int>(mm.size());
+    region.n2 = 1;
+    return;
+  }
+
+  // Outer shape: contiguous A offsets × n2 distinct B elements, every
+  // combination exactly once, distinct accumulators. B elements may live on
+  // different cursors (paper Fig. 12's B[j*kc+l] layout): Vdup still
+  // applies; the Shuf strategy additionally requires `b_contiguous`.
+  std::set<std::int64_t> a_offs;
+  std::set<std::pair<std::string, std::int64_t>> b_elems;
+  for (const MmComp& inst : mm) {
+    a_offs.insert(inst.off_a);
+    b_elems.insert({inst.arr_b, inst.off_b});
+  }
+  const std::int64_t a0 = *a_offs.begin();
+  const auto n1 = static_cast<std::int64_t>(a_offs.size());
+  const auto n2 = static_cast<std::int64_t>(b_elems.size());
+  const bool a_contig = *a_offs.rbegin() == a0 + n1 - 1;
+  std::set<std::pair<std::int64_t, std::string>> combos;
+  std::set<std::string> accs;
+  for (const MmComp& inst : mm) {
+    combos.insert({inst.off_a, inst.arr_b + "#" + std::to_string(inst.off_b)});
+    accs.insert(inst.res);
+  }
+  if (a_contig && static_cast<std::int64_t>(mm.size()) == n1 * n2 &&
+      combos.size() == mm.size() && accs.size() == mm.size()) {
+    region.shape = UnrolledShape::kOuter;
+    region.n1 = static_cast<int>(n1);
+    region.n2 = static_cast<int>(n2);
+    bool same_b_arr = true;
+    std::set<std::int64_t> b_offs;
+    for (const MmComp& inst : mm) {
+      same_b_arr &= inst.arr_b == mm[0].arr_b;
+      b_offs.insert(inst.off_b);
+    }
+    region.b_contiguous =
+        same_b_arr && static_cast<std::int64_t>(b_offs.size()) == n2 &&
+        *b_offs.rbegin() == *b_offs.begin() + n2 - 1;
+    return;
+  }
+  region.shape = UnrolledShape::kIrregular;
+}
+
+void classify_mv_region(Region& region) {
+  const auto& mv = region.mv;
+  if (mv.size() < 2) {
+    region.shape = UnrolledShape::kIrregular;
+    return;
+  }
+  bool paired = true;
+  for (std::size_t k = 0; k < mv.size(); ++k) {
+    paired &= mv[k].arr_a == mv[0].arr_a && mv[k].arr_b == mv[0].arr_b;
+    paired &= mv[k].scal == mv[0].scal;
+    paired &= mv[k].off_a == mv[0].off_a + static_cast<std::int64_t>(k);
+    paired &= mv[k].off_b == mv[0].off_b + static_cast<std::int64_t>(k);
+  }
+  region.shape = paired ? UnrolledShape::kPaired : UnrolledShape::kIrregular;
+  region.n1 = static_cast<int>(mv.size());
+}
+
+// ---- the identifier --------------------------------------------------------
+
+class Identifier {
+ public:
+  explicit Identifier(Kernel& kernel) : kernel_(kernel) {}
+
+  MatchResult run() {
+    scan(kernel_.mutable_body());
+    compute_liveness();
+    return std::move(result_);
+  }
+
+ private:
+  /// Scans one statement list, recursing into loops, matching template
+  /// windows and merging consecutive same-kind instances into regions.
+  void scan(StmtList& body) {
+    std::size_t p = 0;
+    while (p < body.size()) {
+      if (auto* loop = as_mutable<ForStmt>(*body[p])) {
+        scan(loop->mutable_body());
+        ++p;
+        continue;
+      }
+      if (auto mv = match_mv_comp(body, p)) {
+        p = grow_mv_region(body, p, std::move(*mv));
+        continue;
+      }
+      if (auto mm = match_mm_comp(body, p)) {
+        p = grow_mm_region(body, p, std::move(*mm));
+        continue;
+      }
+      if (auto st = match_mm_store(body, p)) {
+        p = grow_store_region(body, p, std::move(*st));
+        continue;
+      }
+      if (auto sv = match_sv_scal(body, p)) {
+        p = grow_sv_region(body, p, std::move(*sv));
+        continue;
+      }
+      if (auto init = view_zero_init(*body[p])) {
+        p = grow_init_region(body, p, std::move(*init));
+        continue;
+      }
+      ++p;  // untagged statement (loop control, cursor updates, prefetch)
+    }
+  }
+
+  Region& new_region(TemplateKind kind) {
+    Region r;
+    r.id = static_cast<int>(result_.regions.size());
+    r.kind = kind;
+    result_.regions.push_back(std::move(r));
+    return result_.regions.back();
+  }
+
+  void tag(StmtList& body, std::size_t first, std::size_t last,
+           const Region& region) {
+    for (std::size_t i = first; i < last; ++i)
+      body[i]->set_template_tag(region.name(), region.id);
+  }
+
+  std::size_t grow_mv_region(StmtList& body, std::size_t p, MvComp first) {
+    Region& region = new_region(TemplateKind::kMvComp);
+    region.mv.push_back(std::move(first));
+    std::size_t q = p + 5;
+    while (true) {
+      auto next = match_mv_comp(body, q);
+      if (!next) break;
+      region.mv.push_back(std::move(*next));
+      q += 5;
+    }
+    classify_mv_region(region);
+    tag(body, p, q, region);
+    return q;
+  }
+
+  std::size_t grow_mm_region(StmtList& body, std::size_t p, MmComp first) {
+    Region& region = new_region(TemplateKind::kMmComp);
+    region.mm.push_back(std::move(first));
+    std::size_t q = p + 4;
+    while (true) {
+      auto next = match_mm_comp(body, q);
+      if (!next) break;
+      region.mm.push_back(std::move(*next));
+      q += 4;
+    }
+    classify_mm_region(region);
+    tag(body, p, q, region);
+    return q;
+  }
+
+  std::size_t grow_store_region(StmtList& body, std::size_t p, MmStore first) {
+    Region& region = new_region(TemplateKind::kMmStore);
+    region.stores.push_back(std::move(first));
+    std::size_t q = p + 3;
+    while (true) {
+      auto next = match_mm_store(body, q);
+      if (!next) break;
+      // The paper splits store runs per array: contiguous offsets of one
+      // array form one mmUnrolledSTORE (its Fig. 14 yields two regions for
+      // ptr_C0 / ptr_C1).
+      const MmStore& prev = region.stores.back();
+      if (next->arr != prev.arr || next->off != prev.off + 1) break;
+      region.stores.push_back(std::move(*next));
+      q += 3;
+    }
+    region.shape = UnrolledShape::kPaired;
+    tag(body, p, q, region);
+    return q;
+  }
+
+  std::size_t grow_sv_region(StmtList& body, std::size_t p, SvScal first) {
+    Region& region = new_region(TemplateKind::kSvScal);
+    region.sv.push_back(std::move(first));
+    std::size_t q = p + 3;
+    while (true) {
+      auto next = match_sv_scal(body, q);
+      if (!next) break;
+      const SvScal& prev = region.sv.back();
+      // Paired merge: contiguous offsets on one array with one scal.
+      if (next->arr != prev.arr || next->off != prev.off + 1 ||
+          next->scal != prev.scal)
+        break;
+      region.sv.push_back(std::move(*next));
+      q += 3;
+    }
+    region.shape = region.sv.size() > 1 ? UnrolledShape::kPaired
+                                        : UnrolledShape::kIrregular;
+    tag(body, p, q, region);
+    return q;
+  }
+
+  std::size_t grow_init_region(StmtList& body, std::size_t p,
+                               std::string first) {
+    Region& region = new_region(TemplateKind::kAccInit);
+    region.acc_inits.push_back(std::move(first));
+    std::size_t q = p + 1;
+    while (q < body.size()) {
+      auto next = view_zero_init(*body[q]);
+      if (!next) break;
+      region.acc_inits.push_back(std::move(*next));
+      ++q;
+    }
+    region.shape = UnrolledShape::kPaired;
+    tag(body, p, q, region);
+    return q;
+  }
+
+  /// Records, for every F64 scalar, the last region that reads it
+  /// (program pre-order; reads outside regions pin the variable).
+  void compute_liveness() {
+    auto note_read = [&](const std::string& name, int region_id) {
+      if (!kernel_.is_declared(name)) return;
+      if (kernel_.type_of(name) != ScalarType::kF64) return;
+      result_.last_read_region[name] = region_id;
+    };
+    std::function<void(const StmtList&)> walk = [&](const StmtList& body) {
+      for (const StmtPtr& s : body) {
+        if (const auto* loop = as<ForStmt>(*s)) {
+          walk(loop->body());
+          continue;
+        }
+        const int rid = s->template_tag().empty()
+                            ? MatchResult::kReadBeyondRegions
+                            : s->region_id();
+        if (const auto* a = as<Assign>(*s)) {
+          std::function<void(const Expr&)> reads = [&](const Expr& e) {
+            if (const auto* v = as<VarRef>(e)) {
+              note_read(v->name(), rid);
+            } else if (const auto* b = as<Binary>(e)) {
+              reads(b->lhs());
+              reads(b->rhs());
+            } else if (const auto* r = as<ArrayRef>(e)) {
+              reads(r->index());
+            }
+          };
+          reads(a->rhs());
+          if (const auto* ref = as<ArrayRef>(a->lhs())) reads(ref->index());
+        }
+      }
+    };
+    walk(kernel_.body());
+    if (kernel_.return_var())
+      result_.last_read_region[*kernel_.return_var()] =
+          MatchResult::kReadBeyondRegions;
+  }
+
+  Kernel& kernel_;
+  MatchResult result_;
+};
+
+}  // namespace
+
+MatchResult identify_templates(ir::Kernel& kernel) {
+  return Identifier(kernel).run();
+}
+
+}  // namespace augem::match

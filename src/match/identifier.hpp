@@ -1,0 +1,143 @@
+#pragma once
+// The Template Identifier (paper §2.2).
+//
+// Walks the optimized low-level C kernel with a recursive-descent traversal
+// and tags every run of statements that matches one of the paper's code
+// templates (Fig. 3):
+//
+//   mmCOMP  (A,idx1,B,idx2,res)  : Load, Load, Mul, accumulate-Add
+//   mmSTORE (C,idx,res)          : Load, Add, Store
+//   mvCOMP  (A,idx1,B,idx2,scal) : Load, Load, Mul-by-scal, Add, Store
+//
+// Consecutive instances are merged into the Unrolled variants:
+//
+//   mmUnrolledCOMP : n1×n2 mmCOMPs covering all combinations of contiguous
+//                    A and B elements ("outer" shape, GEMM), or n matched
+//                    pairs advancing both subscripts together ("paired"
+//                    shape, DOT — §4.4 notes DOT reuses the GEMM templates)
+//   mmUnrolledSTORE: n mmSTOREs over contiguous elements of one array
+//   mvUnrolledCOMP : n mvCOMPs advancing both subscripts together
+//
+// Beyond the paper's six templates we also tag accINIT — runs of
+// `res = 0.0` accumulator zeroing — because the Template Optimizer must
+// rewrite those sites when it assigns the accumulators to SIMD registers.
+//
+// Matching is *dataflow-based*: the temps introduced by scalar replacement
+// are verified to be written once and consumed once inside the candidate
+// window, so any statement interleaving with the same dataflow matches the
+// same template (the paper's register-reusing form included).
+//
+// Precondition: the kernel is in three-address form with all in-loop array
+// subscripts reduced to `cursor[integer-constant]`
+// (transform::check_three_address_form + strength reduction).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace augem::match {
+
+enum class TemplateKind : std::uint8_t {
+  kMmComp,
+  kMmStore,
+  kMvComp,
+  kAccInit,
+  kSvScal,  ///< extension template (svSCAL): arr[off] *= scal
+};
+
+const char* template_kind_name(TemplateKind k);
+
+/// Subscript-progression shape of a merged (unrolled) COMP region.
+enum class UnrolledShape : std::uint8_t {
+  kOuter,      ///< n1×n2 combinations (GEMM register tile)
+  kPaired,     ///< both subscripts advance together (DOT, AXPY, GEMV)
+  kIrregular,  ///< instances match individually but do not merge
+};
+
+/// One matched mmCOMP: res += arr_a[off_a] * arr_b[off_b].
+struct MmComp {
+  std::string arr_a;
+  std::int64_t off_a = 0;
+  std::string arr_b;
+  std::int64_t off_b = 0;
+  std::string res;
+};
+
+/// One matched mmSTORE: arr[off] += res.
+struct MmStore {
+  std::string arr;
+  std::int64_t off = 0;
+  std::string res;
+};
+
+/// One matched mvCOMP: arr_b[off_b] += arr_a[off_a] * scal.
+struct MvComp {
+  std::string arr_a;
+  std::int64_t off_a = 0;
+  std::string arr_b;
+  std::int64_t off_b = 0;
+  std::string scal;
+};
+
+/// One matched svSCAL (extension template): arr[off] *= scal.
+/// Three statements: Load, Mul-by-scal, Store-back. Demonstrates the
+/// paper's future-work path of adding templates for further routines.
+struct SvScal {
+  std::string arr;
+  std::int64_t off = 0;
+  std::string scal;
+};
+
+/// A maximal run of same-kind template instances, tagged in the IR with
+/// this region's id. The instance vectors are ordered as matched.
+struct Region {
+  int id = -1;
+  TemplateKind kind{};
+  UnrolledShape shape = UnrolledShape::kIrregular;
+
+  std::vector<MmComp> mm;       // kMmComp
+  std::vector<MmStore> stores;  // kMmStore
+  std::vector<MvComp> mv;       // kMvComp
+  std::vector<std::string> acc_inits;  // kAccInit: zeroed scalars, in order
+  std::vector<SvScal> sv;      // kSvScal
+
+  /// Outer shape extents: n1 distinct A offsets × n2 distinct B elements.
+  int n1 = 1;
+  int n2 = 1;
+
+  /// Outer shape only: true when all B elements sit contiguously on one
+  /// cursor — the precondition of the Shuf vectorization strategy (§3.4).
+  bool b_contiguous = false;
+
+  /// Number of template instances merged into this region.
+  std::size_t size() const;
+  /// True when more than one instance merged (an Unrolled template).
+  bool unrolled() const { return size() > 1; }
+
+  /// The paper's template name for this region, e.g. "mmUnrolledCOMP".
+  std::string name() const;
+};
+
+/// Output of the identifier: parsed regions plus the global liveness facts
+/// the register allocator needs (paper §3.1: "the live range of each
+/// variable is computed globally during the template identification
+/// process").
+struct MatchResult {
+  std::vector<Region> regions;  // regions[i].id == i
+
+  /// For each F64 scalar: the id of the last region that *reads* it.
+  /// kReadBeyondRegions marks reads outside any region (e.g. a remainder
+  /// loop or the kernel's return value) — never release such registers
+  /// based on region position alone.
+  static constexpr int kReadBeyondRegions = 1 << 30;
+  std::map<std::string, int> last_read_region;
+};
+
+/// Identifies all template regions, tagging matched statements in place
+/// (Stmt::set_template_tag) and returning the parsed regions.
+MatchResult identify_templates(ir::Kernel& kernel);
+
+}  // namespace augem::match

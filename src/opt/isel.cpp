@@ -1,0 +1,173 @@
+#include "opt/isel.hpp"
+
+#include "support/error.hpp"
+
+namespace augem::opt {
+
+bool needs_mul_temp(Isa isa) {
+  return isa == Isa::kSse2 || isa == Isa::kAvx;
+}
+
+void emit_load(MInstList& out, Isa isa, int width, Vr dst, Mem m) {
+  out.push_back(vload(dst, m, width, isa_is_vex(isa)));
+}
+
+void emit_broadcast(MInstList& out, Isa isa, int width, Vr dst, Mem m) {
+  AUGEM_CHECK(width >= 2, "broadcast is a vector operation");
+  out.push_back(vbroadcast(dst, m, width, isa_is_vex(isa)));
+}
+
+void emit_store(MInstList& out, Isa isa, int width, Vr src, Mem m) {
+  out.push_back(vstore(src, m, width, isa_is_vex(isa)));
+}
+
+void emit_mul_add(MInstList& out, Isa isa, int width, Vr a, Vr b, Vr acc,
+                  Vr tmp) {
+  switch (isa) {
+    case Isa::kSse2:
+      // Table 1, SSE row: Mov r1,r2; Mul r0,r2; Add r2,r3.
+      AUGEM_CHECK(tmp != Vr::kNoVr && tmp != a && tmp != b && tmp != acc,
+                  "SSE Mul+Add needs a free temp");
+      out.push_back(vmov(tmp, b, width, false));
+      out.push_back(vmul(tmp, tmp, a, width, false));
+      out.push_back(vadd(acc, acc, tmp, width, false));
+      return;
+    case Isa::kAvx:
+      // Table 1, AVX row: Mul r0,r1,r2; Add r2,r3,r3.
+      AUGEM_CHECK(tmp != Vr::kNoVr && tmp != a && tmp != b && tmp != acc,
+                  "AVX Mul+Add needs a free temp");
+      out.push_back(vmul(tmp, a, b, width, true));
+      out.push_back(vadd(acc, acc, tmp, width, true));
+      return;
+    case Isa::kFma3:
+      // Table 1, FMA3 row: FMA3 r0,r1,r3 (accumulator is an input too).
+      out.push_back(vfma231(acc, a, b, width));
+      return;
+    case Isa::kFma4:
+      // Table 1, FMA4 row: FMA4 r0,r1,r3,r3.
+      out.push_back(vfma4(acc, a, b, acc, width));
+      return;
+  }
+  AUGEM_FAIL("unknown ISA");
+}
+
+void emit_add_store(MInstList& out, Isa isa, int width, Vr t, Vr acc, Mem m) {
+  const bool vex = isa_is_vex(isa);
+  // Table 2: Add r1,r2[,r3]; Store.
+  out.push_back(vadd(t, t, acc, width, vex));
+  out.push_back(vstore(t, m, width, vex));
+}
+
+void emit_zero(MInstList& out, Isa isa, int width, Vr dst) {
+  out.push_back(vzero(dst, width, isa_is_vex(isa)));
+}
+
+void emit_mov(MInstList& out, Isa isa, int width, Vr dst, Vr src) {
+  out.push_back(vmov(dst, src, width, isa_is_vex(isa)));
+}
+
+void emit_rotate(MInstList& out, Isa isa, int width, Vr dst, Vr src, int r,
+                 Vr tmp) {
+  AUGEM_CHECK(r >= 1 && r < width, "rotation " << r << " out of range");
+  const bool vex = isa_is_vex(isa);
+  if (width == 2) {
+    // shufpd $1: dst = [src1, src0]. With dst==src the SSE two-operand
+    // form is legal too, but the allocator always hands us a fresh dst.
+    if (!vex && dst != src) out.push_back(vmov(dst, src, width, false));
+    if (!vex) {
+      out.push_back(vshuf(dst, dst, dst, 0b01, width, false));
+    } else {
+      out.push_back(vshuf(dst, src, src, 0b01, width, true));
+    }
+    return;
+  }
+  AUGEM_CHECK(width == 4, "rotate supports widths 2 and 4");
+  AUGEM_CHECK(vex, "256-bit rotate requires a VEX ISA");
+  switch (r) {
+    case 2:
+      // [b2 b3 b0 b1]: swap the 128-bit halves.
+      out.push_back(vperm128(dst, src, src, 0x01));
+      return;
+    case 1:
+    case 3: {
+      AUGEM_CHECK(tmp != Vr::kNoVr && tmp != dst && tmp != src,
+                  "256-bit odd rotate needs a temp");
+      // s = [b1 b0 b3 b2] (swap within halves), p = [b3 b2 b1 b0].
+      out.push_back(vshuf(tmp, src, src, 0b0101, 4, true));      // s → tmp
+      out.push_back(vperm128(dst, tmp, tmp, 0x01));              // p → dst
+      if (r == 1) {
+        // rot1 = [s0 p1 s2 p3] = [b1 b2 b3 b0]
+        out.push_back(vblend(dst, tmp, dst, 0b1010, 4, true));
+      } else {
+        // rot3 = [p0 s1 p2 s3] = [b3 b0 b1 b2]
+        out.push_back(vblend(dst, dst, tmp, 0b1010, 4, true));
+      }
+      return;
+    }
+    default:
+      AUGEM_FAIL("unreachable rotation " << r);
+  }
+}
+
+void emit_lane_gather(MInstList& out, Isa isa, int width, Vr dst,
+                      const std::vector<Vr>& srcs) {
+  AUGEM_CHECK(static_cast<int>(srcs.size()) == width, "one source per lane");
+  for (Vr s : srcs)
+    AUGEM_CHECK(s != dst, "gather destination must not alias a source");
+  const bool vex = isa_is_vex(isa);
+  if (width == 2) {
+    if (srcs[0] == srcs[1]) {
+      out.push_back(vmov(dst, srcs[0], width, vex));
+      return;
+    }
+    // dst = [srcs0[0], srcs1[1]]
+    if (!vex) {
+      out.push_back(vmov(dst, srcs[0], 2, false));
+      out.push_back(vblend(dst, dst, srcs[1], 0b10, 2, false));
+    } else {
+      out.push_back(vblend(dst, srcs[0], srcs[1], 0b10, 2, true));
+    }
+    return;
+  }
+  AUGEM_CHECK(width == 4 && vex, "lane gather supports xmm pairs or VEX ymm");
+  // Pairwise blend tree: t0 covers lanes 0,1; reuse dst for it, then blend
+  // in lanes 2,3 from the second pair.
+  out.push_back(vblend(dst, srcs[0], srcs[1], 0b0010, 4, true));
+  // Upper two lanes: blend srcs[2]/srcs[3] on lanes 2,3 — build into dst
+  // via a second blend selecting per lane.
+  out.push_back(vblend(dst, dst, srcs[2], 0b0100, 4, true));
+  out.push_back(vblend(dst, dst, srcs[3], 0b1000, 4, true));
+}
+
+void emit_hsum(MInstList& out, Isa isa, int width, Vr dst, Vr src, Vr tmp,
+               Vr tmp2) {
+  const bool vex = isa_is_vex(isa);
+  AUGEM_CHECK(tmp != Vr::kNoVr && tmp != src && tmp != dst, "hsum needs a temp");
+  if (width == 1) {
+    if (dst != src) out.push_back(vmov(dst, src, 1, vex));
+    return;
+  }
+  if (width == 2) {
+    // tmp = [src1, src1]; dst = src + tmp (scalar add on lane 0).
+    if (!vex) {
+      out.push_back(vmov(tmp, src, 2, false));
+      out.push_back(vshuf(tmp, tmp, tmp, 0b11, 2, false));
+      if (dst != src) out.push_back(vmov(dst, src, 2, false));
+      out.push_back(vadd(dst, dst, tmp, 1, false));
+    } else {
+      out.push_back(vshuf(tmp, src, src, 0b11, 2, true));
+      out.push_back(vadd(dst, src, tmp, 1, true));
+    }
+    return;
+  }
+  AUGEM_CHECK(width == 4 && vex, "width-4 hsum requires a VEX ISA");
+  AUGEM_CHECK(tmp2 != Vr::kNoVr && tmp2 != tmp && tmp2 != src && tmp2 != dst,
+              "width-4 hsum needs two temps");
+  // tmp = high 128 bits; tmp = lo + hi (2 lanes); then 2-lane hsum.
+  out.push_back(vextract_high(tmp, src));
+  out.push_back(vadd(tmp, tmp, src, 2, true));  // xmm add: lanes 0,1
+  out.push_back(vshuf(tmp2, tmp, tmp, 0b11, 2, true));
+  out.push_back(vadd(dst, tmp, tmp2, 1, true));
+}
+
+}  // namespace augem::opt

@@ -1,0 +1,72 @@
+#pragma once
+// Instruction selection rules (paper Tables 1-4).
+//
+// Each helper emits the machine instructions one abstract template
+// operation maps to on a given ISA. This file IS the paper's portability
+// claim in code: the template optimizers are ISA-agnostic and call these
+// helpers; retargeting SSE2 → AVX → FMA3 → FMA4 changes *only* the
+// sequences below.
+//
+//   Table 1 (mmCOMP):   Load;  Mul+Add → {Mov,Mul,Add} (SSE)
+//                                       | {Mul,Add}     (AVX)
+//                                       | {FMA3}        | {FMA4}
+//   Table 2 (mmSTORE):  Load; Add; Store
+//   Table 3 (mvCOMP):   Load; Mul+Add (as Table 1); Store
+//   Table 4 (Unrolled): Vld; Vdup; Shuf — plus the rotation/gather
+//                       sequences the Shuf strategy needs on 256-bit AVX
+//                       (vshufpd/vperm2f128/vblendpd).
+
+#include "opt/minst.hpp"
+#include "support/arch.hpp"
+
+namespace augem::opt {
+
+/// True when the ISA needs a separate destination register for Mul before
+/// Add (SSE and AVX rows of Table 1); false for the fused FMA3/FMA4 rows.
+bool needs_mul_temp(Isa isa);
+
+/// Load `width` doubles: movsd / movupd / vmovupd.
+void emit_load(MInstList& out, Isa isa, int width, Vr dst, Mem m);
+
+/// Broadcast-load one double into all lanes: the paper's Vdup
+/// (movddup on 128-bit, vbroadcastsd on 256-bit).
+void emit_broadcast(MInstList& out, Isa isa, int width, Vr dst, Mem m);
+
+/// Store `width` doubles.
+void emit_store(MInstList& out, Isa isa, int width, Vr src, Mem m);
+
+/// acc += a * b, per the Mul/Add rows of Tables 1/3.
+/// `tmp` is consumed only when needs_mul_temp(isa); it may equal neither
+/// a, b nor acc.
+void emit_mul_add(MInstList& out, Isa isa, int width, Vr a, Vr b, Vr acc,
+                  Vr tmp);
+
+/// [m] = t + acc where t already holds the loaded destination element(s)
+/// (Table 2's Add+Store). Clobbers t.
+void emit_add_store(MInstList& out, Isa isa, int width, Vr t, Vr acc, Mem m);
+
+/// Zero a register (accumulator initialization).
+void emit_zero(MInstList& out, Isa isa, int width, Vr dst);
+
+/// Full-register copy.
+void emit_mov(MInstList& out, Isa isa, int width, Vr dst, Vr src);
+
+/// dst = rotate_lanes(src, r): dst[i] = src[(i + r) mod width].
+/// The Shuf strategy's Shufi step (§3.4). May clobber tmp (width 4 only).
+/// r must be in [1, width-1].
+void emit_rotate(MInstList& out, Isa isa, int width, Vr dst, Vr src, int r,
+                 Vr tmp);
+
+/// dst[i] = srcs[i][i] — gathers the lane-aligned diagonal of `width`
+/// source registers (unscrambling Shuf accumulators at store time).
+/// srcs[i] is the register providing lane i; registers may repeat.
+/// dst must differ from every entry of srcs.
+void emit_lane_gather(MInstList& out, Isa isa, int width, Vr dst,
+                      const std::vector<Vr>& srcs);
+
+/// dst(lane 0) = horizontal sum of src's `width` lanes. Clobbers tmp and,
+/// for width 4, tmp2. dst may equal src.
+void emit_hsum(MInstList& out, Isa isa, int width, Vr dst, Vr src, Vr tmp,
+               Vr tmp2);
+
+}  // namespace augem::opt

@@ -1,0 +1,503 @@
+#include "opt/minst.hpp"
+
+#include <sstream>
+
+namespace augem::opt {
+
+namespace {
+
+MInst base(MOp op) {
+  MInst i;
+  i.op = op;
+  return i;
+}
+
+}  // namespace
+
+MInst vzero(Vr dst, int width, bool vex) {
+  MInst i = base(MOp::kVZero);
+  i.vdst = dst;
+  i.width = width;
+  i.vex = vex;
+  return i;
+}
+
+MInst vload(Vr dst, Mem m, int width, bool vex) {
+  MInst i = base(MOp::kVLoad);
+  i.vdst = dst;
+  i.mem = m;
+  i.width = width;
+  i.vex = vex;
+  return i;
+}
+
+MInst vstore(Vr src, Mem m, int width, bool vex) {
+  MInst i = base(MOp::kVStore);
+  i.vsrc1 = src;
+  i.mem = m;
+  i.width = width;
+  i.vex = vex;
+  return i;
+}
+
+MInst vbroadcast(Vr dst, Mem m, int width, bool vex) {
+  MInst i = base(MOp::kVBroadcast);
+  i.vdst = dst;
+  i.mem = m;
+  i.width = width;
+  i.vex = vex;
+  return i;
+}
+
+MInst vmov(Vr dst, Vr src, int width, bool vex) {
+  MInst i = base(MOp::kVMov);
+  i.vdst = dst;
+  i.vsrc1 = src;
+  i.width = width;
+  i.vex = vex;
+  return i;
+}
+
+MInst vmul(Vr dst, Vr a, Vr b, int width, bool vex) {
+  MInst i = base(MOp::kVMul);
+  i.vdst = dst;
+  i.vsrc1 = a;
+  i.vsrc2 = b;
+  i.width = width;
+  i.vex = vex;
+  return i;
+}
+
+MInst vadd(Vr dst, Vr a, Vr b, int width, bool vex) {
+  MInst i = base(MOp::kVAdd);
+  i.vdst = dst;
+  i.vsrc1 = a;
+  i.vsrc2 = b;
+  i.width = width;
+  i.vex = vex;
+  return i;
+}
+
+MInst vfma231(Vr dst_acc, Vr a, Vr b, int width) {
+  MInst i = base(MOp::kVFma231);
+  i.vdst = dst_acc;
+  i.vsrc1 = a;
+  i.vsrc2 = b;
+  i.width = width;
+  i.vex = true;
+  return i;
+}
+
+MInst vfma4(Vr dst, Vr a, Vr b, Vr c, int width) {
+  MInst i = base(MOp::kVFma4);
+  i.vdst = dst;
+  i.vsrc1 = a;
+  i.vsrc2 = b;
+  i.vsrc3 = c;
+  i.width = width;
+  i.vex = true;
+  return i;
+}
+
+MInst vshuf(Vr dst, Vr a, Vr b, std::int64_t imm, int width, bool vex) {
+  MInst i = base(MOp::kVShuf);
+  i.vdst = dst;
+  i.vsrc1 = a;
+  i.vsrc2 = b;
+  i.imm = imm;
+  i.width = width;
+  i.vex = vex;
+  return i;
+}
+
+MInst vperm128(Vr dst, Vr a, Vr b, std::int64_t imm) {
+  MInst i = base(MOp::kVPerm128);
+  i.vdst = dst;
+  i.vsrc1 = a;
+  i.vsrc2 = b;
+  i.imm = imm;
+  i.width = 4;
+  i.vex = true;
+  return i;
+}
+
+MInst vblend(Vr dst, Vr a, Vr b, std::int64_t imm, int width, bool vex) {
+  MInst i = base(MOp::kVBlend);
+  i.vdst = dst;
+  i.vsrc1 = a;
+  i.vsrc2 = b;
+  i.imm = imm;
+  i.width = width;
+  i.vex = vex;
+  return i;
+}
+
+MInst vextract_high(Vr dst, Vr src) {
+  MInst i = base(MOp::kVExtractHigh);
+  i.vdst = dst;
+  i.vsrc1 = src;
+  i.width = 4;
+  i.vex = true;
+  return i;
+}
+
+MInst imov_imm(Gpr dst, std::int64_t v) {
+  MInst i = base(MOp::kIMovImm);
+  i.gdst = dst;
+  i.imm = v;
+  return i;
+}
+
+MInst imov(Gpr dst, Gpr src) {
+  MInst i = base(MOp::kIMov);
+  i.gdst = dst;
+  i.gsrc = src;
+  return i;
+}
+
+MInst iadd(Gpr dst, Gpr src) {
+  MInst i = base(MOp::kIAdd);
+  i.gdst = dst;
+  i.gsrc = src;
+  return i;
+}
+
+MInst iadd_imm(Gpr dst, std::int64_t v) {
+  MInst i = base(MOp::kIAddImm);
+  i.gdst = dst;
+  i.imm = v;
+  return i;
+}
+
+MInst isub(Gpr dst, Gpr src) {
+  MInst i = base(MOp::kISub);
+  i.gdst = dst;
+  i.gsrc = src;
+  return i;
+}
+
+MInst isub_imm(Gpr dst, std::int64_t v) {
+  MInst i = base(MOp::kISubImm);
+  i.gdst = dst;
+  i.imm = v;
+  return i;
+}
+
+MInst imul(Gpr dst, Gpr src) {
+  MInst i = base(MOp::kIMul);
+  i.gdst = dst;
+  i.gsrc = src;
+  return i;
+}
+
+MInst imul_imm(Gpr dst, Gpr src, std::int64_t v) {
+  MInst i = base(MOp::kIMulImm);
+  i.gdst = dst;
+  i.gsrc = src;
+  i.imm = v;
+  return i;
+}
+
+MInst ishl_imm(Gpr dst, std::int64_t v) {
+  MInst i = base(MOp::kIShlImm);
+  i.gdst = dst;
+  i.imm = v;
+  return i;
+}
+
+MInst ineg(Gpr dst) {
+  MInst i = base(MOp::kINeg);
+  i.gdst = dst;
+  return i;
+}
+
+MInst iload(Gpr dst, Mem m) {
+  MInst i = base(MOp::kILoad);
+  i.gdst = dst;
+  i.mem = m;
+  return i;
+}
+
+MInst istore(Gpr src, Mem m) {
+  MInst i = base(MOp::kIStore);
+  i.gsrc = src;
+  i.mem = m;
+  return i;
+}
+
+namespace {
+MInst mem_arith(MOp op, Gpr dst, Mem m) {
+  MInst i = base(op);
+  i.gdst = dst;
+  i.mem = m;
+  return i;
+}
+}  // namespace
+
+MInst iadd_mem(Gpr dst, Mem m) { return mem_arith(MOp::kIAddMem, dst, m); }
+MInst isub_mem(Gpr dst, Mem m) { return mem_arith(MOp::kISubMem, dst, m); }
+MInst imul_mem(Gpr dst, Mem m) { return mem_arith(MOp::kIMulMem, dst, m); }
+
+MInst lea(Gpr dst, Mem m) {
+  MInst i = base(MOp::kLea);
+  i.gdst = dst;
+  i.mem = m;
+  return i;
+}
+
+MInst fload(Vr dst, Mem m, bool vex) {
+  MInst i = base(MOp::kFLoad);
+  i.vdst = dst;
+  i.mem = m;
+  i.width = 1;
+  i.vex = vex;
+  return i;
+}
+
+MInst fstore(Vr src, Mem m, bool vex) {
+  MInst i = base(MOp::kFStore);
+  i.vsrc1 = src;
+  i.mem = m;
+  i.width = 1;
+  i.vex = vex;
+  return i;
+}
+
+MInst cmp(Gpr a, Gpr b) {
+  MInst i = base(MOp::kCmp);
+  i.gdst = a;
+  i.gsrc = b;
+  return i;
+}
+
+MInst cmp_imm(Gpr a, std::int64_t v) {
+  MInst i = base(MOp::kCmpImm);
+  i.gdst = a;
+  i.imm = v;
+  return i;
+}
+
+namespace {
+MInst jump(MOp op, std::string l) {
+  MInst i = base(op);
+  i.label = std::move(l);
+  return i;
+}
+}  // namespace
+
+MInst jl(std::string l) { return jump(MOp::kJl, std::move(l)); }
+MInst jge(std::string l) { return jump(MOp::kJge, std::move(l)); }
+MInst jne(std::string l) { return jump(MOp::kJne, std::move(l)); }
+MInst je(std::string l) { return jump(MOp::kJe, std::move(l)); }
+MInst jmp(std::string l) { return jump(MOp::kJmp, std::move(l)); }
+MInst label(std::string name) { return jump(MOp::kLabel, std::move(name)); }
+
+MInst prefetch(Mem m, int locality) {
+  MInst i = base(MOp::kPrefetch);
+  i.mem = m;
+  i.imm = locality;
+  return i;
+}
+
+MInst push(Gpr g) {
+  MInst i = base(MOp::kPush);
+  i.gsrc = g;
+  return i;
+}
+
+MInst pop(Gpr g) {
+  MInst i = base(MOp::kPop);
+  i.gdst = g;
+  return i;
+}
+
+MInst vzeroupper() { return base(MOp::kVZeroUpper); }
+
+MInst ret() { return base(MOp::kRet); }
+
+MInst comment(std::string text) { return jump(MOp::kComment, std::move(text)); }
+
+// ---- def/use ---------------------------------------------------------------
+
+void defs_of(const MInst& inst, std::vector<Gpr>& gprs, std::vector<Vr>& vrs) {
+  gprs.clear();
+  vrs.clear();
+  switch (inst.op) {
+    case MOp::kVZero:
+    case MOp::kVLoad:
+    case MOp::kVBroadcast:
+    case MOp::kVMov:
+    case MOp::kVMul:
+    case MOp::kVAdd:
+    case MOp::kVShuf:
+    case MOp::kVPerm128:
+    case MOp::kVBlend:
+    case MOp::kVExtractHigh:
+    case MOp::kFLoad:
+      vrs.push_back(inst.vdst);
+      break;
+    case MOp::kVFma231:
+    case MOp::kVFma4:
+      vrs.push_back(inst.vdst);
+      break;
+    case MOp::kIMovImm:
+    case MOp::kIMov:
+    case MOp::kIAdd:
+    case MOp::kIAddImm:
+    case MOp::kISub:
+    case MOp::kISubImm:
+    case MOp::kIMul:
+    case MOp::kIMulImm:
+    case MOp::kIShlImm:
+    case MOp::kINeg:
+    case MOp::kILoad:
+    case MOp::kLea:
+    case MOp::kPop:
+    case MOp::kIAddMem:
+    case MOp::kISubMem:
+    case MOp::kIMulMem:
+      gprs.push_back(inst.gdst);
+      break;
+    default:
+      break;
+  }
+}
+
+void uses_of(const MInst& inst, std::vector<Gpr>& gprs, std::vector<Vr>& vrs) {
+  gprs.clear();
+  vrs.clear();
+  if (inst.mem.valid()) {
+    gprs.push_back(inst.mem.base);
+    if (inst.mem.has_index()) gprs.push_back(inst.mem.index);
+  }
+  switch (inst.op) {
+    case MOp::kVStore:
+    case MOp::kFStore:
+      vrs.push_back(inst.vsrc1);
+      break;
+    case MOp::kVMov:
+    case MOp::kVExtractHigh:
+      vrs.push_back(inst.vsrc1);
+      break;
+    case MOp::kVMul:
+    case MOp::kVAdd:
+    case MOp::kVShuf:
+    case MOp::kVPerm128:
+    case MOp::kVBlend:
+      vrs.push_back(inst.vsrc1);
+      vrs.push_back(inst.vsrc2);
+      break;
+    case MOp::kVFma231:
+      vrs.push_back(inst.vsrc1);
+      vrs.push_back(inst.vsrc2);
+      vrs.push_back(inst.vdst);  // accumulator is read-modify-write
+      break;
+    case MOp::kVFma4:
+      vrs.push_back(inst.vsrc1);
+      vrs.push_back(inst.vsrc2);
+      vrs.push_back(inst.vsrc3);
+      break;
+    case MOp::kIMov:
+    case MOp::kIMulImm:
+      gprs.push_back(inst.gsrc);
+      break;
+    case MOp::kIAdd:
+    case MOp::kISub:
+    case MOp::kIMul:
+      gprs.push_back(inst.gsrc);
+      gprs.push_back(inst.gdst);  // read-modify-write
+      break;
+    case MOp::kIAddImm:
+    case MOp::kISubImm:
+    case MOp::kIShlImm:
+    case MOp::kINeg:
+    case MOp::kIAddMem:
+    case MOp::kISubMem:
+    case MOp::kIMulMem:
+      gprs.push_back(inst.gdst);
+      break;
+    case MOp::kIStore:
+    case MOp::kPush:
+      gprs.push_back(inst.gsrc);
+      break;
+    case MOp::kCmp:
+      gprs.push_back(inst.gdst);
+      gprs.push_back(inst.gsrc);
+      break;
+    case MOp::kCmpImm:
+      gprs.push_back(inst.gdst);
+      break;
+    default:
+      break;
+  }
+}
+
+bool touches_memory(const MInst& inst) {
+  switch (inst.op) {
+    case MOp::kVLoad:
+    case MOp::kVStore:
+    case MOp::kVBroadcast:
+    case MOp::kFLoad:
+    case MOp::kFStore:
+    case MOp::kILoad:
+    case MOp::kIStore:
+    case MOp::kIAddMem:
+    case MOp::kISubMem:
+    case MOp::kIMulMem:
+    case MOp::kPrefetch:
+    case MOp::kPush:
+    case MOp::kPop:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool writes_memory(const MInst& inst) {
+  switch (inst.op) {
+    case MOp::kVStore:
+    case MOp::kFStore:
+    case MOp::kIStore:
+    case MOp::kPush:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_control(const MInst& inst) {
+  switch (inst.op) {
+    case MOp::kJl:
+    case MOp::kJge:
+    case MOp::kJne:
+    case MOp::kJe:
+    case MOp::kJmp:
+    case MOp::kLabel:
+    case MOp::kVZeroUpper:
+    case MOp::kRet:
+    case MOp::kPush:
+    case MOp::kPop:
+    case MOp::kCmp:
+    case MOp::kCmpImm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string MInst::to_string() const {
+  std::ostringstream os;
+  os << "op=" << static_cast<int>(op) << " w=" << width;
+  if (vdst != Vr::kNoVr) os << " vdst=" << vr_name(vdst, width);
+  if (vsrc1 != Vr::kNoVr) os << " vsrc1=" << vr_name(vsrc1, width);
+  if (vsrc2 != Vr::kNoVr) os << " vsrc2=" << vr_name(vsrc2, width);
+  if (vsrc3 != Vr::kNoVr) os << " vsrc3=" << vr_name(vsrc3, width);
+  if (gdst != Gpr::kNoGpr) os << " gdst=" << gpr_name(gdst);
+  if (gsrc != Gpr::kNoGpr) os << " gsrc=" << gpr_name(gsrc);
+  if (mem.valid()) os << " mem=" << mem.disp << "(" << gpr_name(mem.base) << ")";
+  if (imm != 0) os << " imm=" << imm;
+  if (!label.empty()) os << " label=" << label;
+  return os.str();
+}
+
+}  // namespace augem::opt

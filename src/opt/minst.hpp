@@ -1,0 +1,182 @@
+#pragma once
+// Machine instruction IR.
+//
+// The Template Optimizer and the Assembly Kernel Generator both emit this
+// three-address machine IR; it is then (a) printed as AT&T-syntax x86-64
+// assembly by asmgen/printer and (b) executed directly by the vm module so
+// that code for every ISA — including FMA4, which the host cannot run — is
+// verified semantically.
+//
+// Semantics are uniformly three-operand; the printer enforces the
+// two-operand SSE constraint `dst == src1` that the instruction-selection
+// rules (paper Tables 1-4) guarantee by construction.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opt/regs.hpp"
+
+namespace augem::opt {
+
+/// Memory operand: base + index*scale + displacement. Strength reduction
+/// keeps data accesses at base+disp; the index form is used by `lea` when
+/// materializing cursor addresses (ptr = base + expr*8).
+struct Mem {
+  Gpr base = Gpr::kNoGpr;
+  Gpr index = Gpr::kNoGpr;
+  std::int8_t scale = 1;
+  std::int32_t disp = 0;
+
+  bool valid() const { return base != Gpr::kNoGpr; }
+  bool has_index() const { return index != Gpr::kNoGpr; }
+};
+
+inline Mem mem_bd(Gpr base, std::int32_t disp) { return Mem{base, Gpr::kNoGpr, 1, disp}; }
+inline Mem mem_bis(Gpr base, Gpr index, std::int8_t scale, std::int32_t disp = 0) {
+  return Mem{base, index, scale, disp};
+}
+
+enum class MOp : std::uint8_t {
+  // --- vector / floating point (operate on `width` doubles) ---
+  kVZero,      // vdst = 0                        (xorpd/vxorpd)
+  kVLoad,      // vdst = [mem]                    (movsd/movupd/vmovupd)
+  kVStore,     // [mem] = vsrc1                   (movsd/movupd/vmovupd)
+  kVBroadcast, // vdst = dup([mem])               (movddup/vbroadcastsd)
+  kVMov,       // vdst = vsrc1                    (movapd/vmovapd)
+  kVMul,       // vdst = vsrc1 * vsrc2            (mulpd/vmulpd)
+  kVAdd,       // vdst = vsrc1 + vsrc2            (addpd/vaddpd)
+  kVFma231,    // vdst += vsrc1 * vsrc2           (vfmadd231pd, FMA3)
+  kVFma4,      // vdst = vsrc1 * vsrc2 + vsrc3    (vfmaddpd, FMA4)
+  kVShuf,      // vdst = shuffle(vsrc1, vsrc2, imm) (shufpd/vshufpd)
+  kVPerm128,   // vdst = perm2f128(vsrc1, vsrc2, imm) (AVX, width 4 only)
+  kVBlend,     // vdst = blend(vsrc1, vsrc2, imm) (blendpd/vblendpd)
+  kVExtractHigh, // vdst(xmm) = high 128 bits of vsrc1(ymm)  (vextractf128 $1)
+
+  // --- integer / pointer (64-bit) ---
+  kIMovImm,    // gdst = imm
+  kIMov,       // gdst = gsrc
+  kIAdd,       // gdst += gsrc
+  kIAddImm,    // gdst += imm
+  kISub,       // gdst -= gsrc
+  kISubImm,    // gdst -= imm
+  kIMul,       // gdst *= gsrc       (imul)
+  kIMulImm,    // gdst = gsrc * imm  (imul 3-operand)
+  kIShlImm,    // gdst <<= imm
+  kINeg,       // gdst = -gdst
+  kILoad,      // gdst = [mem] (64-bit)
+  kIStore,     // [mem] = gsrc
+  kIAddMem,    // gdst += [mem]
+  kISubMem,    // gdst -= [mem]
+  kIMulMem,    // gdst *= [mem]
+  kLea,        // gdst = mem.base + imm (lea imm(base), dst)
+
+  // --- FP spill slots (scalar double to/from the stack frame) ---
+  kFLoad,      // vdst = [mem] scalar  (same as kVLoad width 1; distinct op
+               //                       for frame traffic readability)
+  kFStore,     // [mem] = vsrc1 scalar
+
+  // --- control ---
+  kCmp,        // compare gdst ? gsrc (sets flags; AT&T: cmp %gsrc, %gdst)
+  kCmpImm,     // compare gdst ? imm
+  kJl,         // jump to label if dst <  src (signed)
+  kJge,        // jump if dst >= src
+  kJne, kJe,
+  kJmp,
+  kLabel,      // label definition
+  kPrefetch,   // prefetcht0/t1/t2/nta [mem]; imm = locality (3→t0 … 0→nta)
+  kPush,       // push gsrc
+  kPop,        // pop gdst
+  kVZeroUpper, // clear upper YMM state before returning to SSE callers
+  kRet,
+  kComment,    // no-op; label holds the text
+};
+
+/// One machine instruction. Unused fields keep their defaults.
+struct MInst {
+  MOp op{};
+  int width = 1;  ///< doubles per vector op: 1 (sd), 2 (xmm pd), 4 (ymm pd)
+  bool vex = false;  ///< print VEX (v-prefixed three-operand) encoding
+
+  Vr vdst = Vr::kNoVr;
+  Vr vsrc1 = Vr::kNoVr;
+  Vr vsrc2 = Vr::kNoVr;
+  Vr vsrc3 = Vr::kNoVr;
+
+  Gpr gdst = Gpr::kNoGpr;
+  Gpr gsrc = Gpr::kNoGpr;
+
+  Mem mem{};
+  std::int64_t imm = 0;
+  std::string label;  ///< jump target / label name / comment text
+
+  /// Debug rendering (not assembly syntax; see asmgen/printer for that).
+  std::string to_string() const;
+};
+
+using MInstList = std::vector<MInst>;
+
+// ---- construction helpers --------------------------------------------------
+
+MInst vzero(Vr dst, int width, bool vex);
+MInst vload(Vr dst, Mem m, int width, bool vex);
+MInst vstore(Vr src, Mem m, int width, bool vex);
+MInst vbroadcast(Vr dst, Mem m, int width, bool vex);
+MInst vmov(Vr dst, Vr src, int width, bool vex);
+MInst vmul(Vr dst, Vr a, Vr b, int width, bool vex);
+MInst vadd(Vr dst, Vr a, Vr b, int width, bool vex);
+MInst vfma231(Vr dst_acc, Vr a, Vr b, int width);
+MInst vfma4(Vr dst, Vr a, Vr b, Vr c, int width);
+MInst vshuf(Vr dst, Vr a, Vr b, std::int64_t imm, int width, bool vex);
+MInst vperm128(Vr dst, Vr a, Vr b, std::int64_t imm);
+MInst vblend(Vr dst, Vr a, Vr b, std::int64_t imm, int width, bool vex);
+MInst vextract_high(Vr dst, Vr src);
+
+MInst imov_imm(Gpr dst, std::int64_t v);
+MInst imov(Gpr dst, Gpr src);
+MInst iadd(Gpr dst, Gpr src);
+MInst iadd_imm(Gpr dst, std::int64_t v);
+MInst isub(Gpr dst, Gpr src);
+MInst isub_imm(Gpr dst, std::int64_t v);
+MInst imul(Gpr dst, Gpr src);
+MInst imul_imm(Gpr dst, Gpr src, std::int64_t v);
+MInst ishl_imm(Gpr dst, std::int64_t v);
+MInst ineg(Gpr dst);
+MInst iload(Gpr dst, Mem m);
+MInst istore(Gpr src, Mem m);
+MInst iadd_mem(Gpr dst, Mem m);
+MInst isub_mem(Gpr dst, Mem m);
+MInst imul_mem(Gpr dst, Mem m);
+MInst lea(Gpr dst, Mem m);
+MInst fload(Vr dst, Mem m, bool vex);
+MInst fstore(Vr src, Mem m, bool vex);
+
+MInst cmp(Gpr a, Gpr b);
+MInst cmp_imm(Gpr a, std::int64_t v);
+MInst jl(std::string label);
+MInst jge(std::string label);
+MInst jne(std::string label);
+MInst je(std::string label);
+MInst jmp(std::string label);
+MInst label(std::string name);
+MInst prefetch(Mem m, int locality);
+MInst push(Gpr g);
+MInst pop(Gpr g);
+MInst vzeroupper();
+MInst ret();
+MInst comment(std::string text);
+
+// ---- def/use extraction (scheduler, verifier, tests) -----------------------
+
+/// Registers written by the instruction.
+void defs_of(const MInst& inst, std::vector<Gpr>& gprs, std::vector<Vr>& vrs);
+/// Registers read by the instruction (includes mem.base).
+void uses_of(const MInst& inst, std::vector<Gpr>& gprs, std::vector<Vr>& vrs);
+/// True for loads/stores/prefetches (memory side effects or reads).
+bool touches_memory(const MInst& inst);
+/// True for stores (memory writes).
+bool writes_memory(const MInst& inst);
+/// True for control flow (labels, jumps, ret, push/pop).
+bool is_control(const MInst& inst);
+
+}  // namespace augem::opt

@@ -1,0 +1,487 @@
+#include "opt/optimizers.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace augem::opt {
+
+using match::MatchResult;
+using match::Region;
+using match::TemplateKind;
+
+namespace {
+
+/// Deterministic (A offset rank, B element rank) indexing of an outer-shape
+/// mmUnrolledCOMP region, shared with the planner's layout decisions.
+struct MmIndex {
+  std::vector<std::int64_t> a_offs;
+  std::vector<std::pair<std::string, std::int64_t>> b_elems;
+  std::map<std::pair<int, int>, std::string> res_at;
+  int n1 = 0;
+  int n2 = 0;
+};
+
+MmIndex index_mm_region(const Region& region) {
+  MmIndex idx;
+  for (const match::MmComp& m : region.mm) {
+    idx.a_offs.push_back(m.off_a);
+    idx.b_elems.push_back({m.arr_b, m.off_b});
+  }
+  std::sort(idx.a_offs.begin(), idx.a_offs.end());
+  idx.a_offs.erase(std::unique(idx.a_offs.begin(), idx.a_offs.end()),
+                   idx.a_offs.end());
+  std::sort(idx.b_elems.begin(), idx.b_elems.end());
+  idx.b_elems.erase(std::unique(idx.b_elems.begin(), idx.b_elems.end()),
+                    idx.b_elems.end());
+  for (const match::MmComp& m : region.mm) {
+    const int ia = static_cast<int>(
+        std::lower_bound(idx.a_offs.begin(), idx.a_offs.end(), m.off_a) -
+        idx.a_offs.begin());
+    const int jj = static_cast<int>(
+        std::lower_bound(idx.b_elems.begin(), idx.b_elems.end(),
+                         std::make_pair(m.arr_b, m.off_b)) -
+        idx.b_elems.begin());
+    idx.res_at[{ia, jj}] = m.res;
+  }
+  idx.n1 = static_cast<int>(idx.a_offs.size());
+  idx.n2 = static_cast<int>(idx.b_elems.size());
+  return idx;
+}
+
+std::string region_comment(const Region& region, const RegionPlan& rp) {
+  std::ostringstream os;
+  os << region.name() << "#" << region.id;
+  if (rp.width > 1) {
+    os << " [" << (rp.use_shuf ? "shuf" : "vdup") << " w=" << rp.width << "]";
+  } else {
+    os << " [scalar]";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Vr EmitCtx::group(int gid) {
+  const auto it = group_reg.find(gid);
+  if (it != group_reg.end()) return it->second;
+  const AccGroup& g = plan.groups[static_cast<std::size_t>(gid)];
+  std::string affinity;
+  if (!g.lanes.empty()) {
+    const auto aff = store_affinity.find(g.lanes[0]);
+    if (aff != store_affinity.end()) affinity = aff->second;
+  }
+  const Vr r = vralloc->alloc(affinity);
+  group_reg[gid] = r;
+  return r;
+}
+
+Vr EmitCtx::scalar(const std::string& name) {
+  if (reg_table.contains(name)) return reg_table.lookup(name);
+  std::string affinity;
+  const auto aff = store_affinity.find(name);
+  if (aff != store_affinity.end()) affinity = aff->second;
+  const Vr r = vralloc->alloc(affinity);
+  reg_table.bind(name, r);
+  return r;
+}
+
+void EmitCtx::release_dead_groups(int region_id) {
+  for (auto it = group_reg.begin(); it != group_reg.end();) {
+    const AccGroup& g = plan.groups[static_cast<std::size_t>(it->first)];
+    bool dead = !g.lanes.empty();  // partial groups die at reduction instead
+    for (const std::string& lane : g.lanes) {
+      const auto lr = match->last_read_region.find(lane);
+      dead &= lr != match->last_read_region.end() &&
+              lr->second != MatchResult::kReadBeyondRegions &&
+              lr->second <= region_id;
+    }
+    if (dead) {
+      vralloc->release(it->second);
+      it = group_reg.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void EmitCtx::release_dead_scalars(int region_id) {
+  const auto& table = reg_table.bindings();
+  std::vector<std::string> dead;
+  for (const auto& [name, reg] : table) {
+    if (pinned_scalars.count(name) > 0) continue;
+    const auto lr = match->last_read_region.find(name);
+    if (lr == match->last_read_region.end()) continue;
+    if (lr->second == MatchResult::kReadBeyondRegions) continue;
+    if (lr->second <= region_id) dead.push_back(name);
+  }
+  for (const std::string& name : dead) vralloc->release(reg_table.unbind(name));
+}
+
+void compute_store_affinities(EmitCtx& ctx) {
+  for (const Region& region : ctx.match->regions) {
+    if (region.kind != TemplateKind::kMmStore) continue;
+    for (const match::MmStore& st : region.stores)
+      ctx.store_affinity[st.res] = st.arr;
+  }
+}
+
+namespace {
+
+// ---- scalar (width-1) paths: the paper's §3.1-3.3 base optimizers ----------
+
+void emit_mm_scalar(EmitCtx& ctx, const Region& region) {
+  const Isa isa = ctx.config.isa;
+  for (const match::MmComp& m : region.mm) {
+    const Vr ta = ctx.vralloc->alloc(m.arr_a);
+    emit_load(*ctx.out, isa, 1, ta, ctx.mem_of(m.arr_a, m.off_a));
+    const Vr tb = ctx.vralloc->alloc(m.arr_b);
+    emit_load(*ctx.out, isa, 1, tb, ctx.mem_of(m.arr_b, m.off_b));
+    const Vr acc = ctx.scalar(m.res);
+    const Vr tmp = needs_mul_temp(isa) ? ctx.vralloc->alloc("") : Vr::kNoVr;
+    emit_mul_add(*ctx.out, isa, 1, ta, tb, acc, tmp);
+    if (tmp != Vr::kNoVr) ctx.vralloc->release(tmp);
+    ctx.vralloc->release(ta);
+    ctx.vralloc->release(tb);
+  }
+}
+
+void emit_store_scalar(EmitCtx& ctx, const Region& region) {
+  const Isa isa = ctx.config.isa;
+  for (const match::MmStore& st : region.stores) {
+    const Vr t = ctx.vralloc->alloc(st.arr);
+    const Mem m = ctx.mem_of(st.arr, st.off);
+    emit_load(*ctx.out, isa, 1, t, m);
+    const Vr acc = ctx.scalar(st.res);
+    emit_add_store(*ctx.out, isa, 1, t, acc, m);
+    ctx.vralloc->release(t);
+  }
+}
+
+void emit_mv_scalar(EmitCtx& ctx, const Region& region) {
+  const Isa isa = ctx.config.isa;
+  for (const match::MvComp& m : region.mv) {
+    const Vr tb = ctx.vralloc->alloc(m.arr_b);
+    const Mem mem_b = ctx.mem_of(m.arr_b, m.off_b);
+    emit_load(*ctx.out, isa, 1, tb, mem_b);
+    const Vr ta = ctx.vralloc->alloc(m.arr_a);
+    emit_load(*ctx.out, isa, 1, ta, ctx.mem_of(m.arr_a, m.off_a));
+    AUGEM_CHECK(ctx.reg_table.contains(m.scal),
+                "mvCOMP scalar '" << m.scal << "' has no bound register");
+    const Vr s = ctx.reg_table.lookup(m.scal);
+    const Vr tmp = needs_mul_temp(isa) ? ctx.vralloc->alloc("") : Vr::kNoVr;
+    emit_mul_add(*ctx.out, isa, 1, ta, s, tb, tmp);  // tb += ta * scal
+    emit_store(*ctx.out, isa, 1, tb, mem_b);
+    if (tmp != Vr::kNoVr) ctx.vralloc->release(tmp);
+    ctx.vralloc->release(ta);
+    ctx.vralloc->release(tb);
+  }
+}
+
+// ---- vector paths -----------------------------------------------------------
+
+void emit_mm_outer_vdup(EmitCtx& ctx, const Region& region, int w) {
+  const Isa isa = ctx.config.isa;
+  const MmIndex idx = index_mm_region(region);
+  const std::int64_t a0 = idx.a_offs.front();
+
+  // Vdup the B elements, then Vld the A row blocks (paper Fig. 8 order).
+  std::vector<Vr> vb(static_cast<std::size_t>(idx.n2));
+  for (int jj = 0; jj < idx.n2; ++jj) {
+    const auto& [arr_b, off_b] = idx.b_elems[static_cast<std::size_t>(jj)];
+    vb[static_cast<std::size_t>(jj)] = ctx.vralloc->alloc(arr_b);
+    emit_broadcast(*ctx.out, isa, w, vb[static_cast<std::size_t>(jj)],
+                   ctx.mem_of(arr_b, off_b));
+  }
+  const int row_blocks = idx.n1 / w;
+  std::vector<Vr> va(static_cast<std::size_t>(row_blocks));
+  for (int rb = 0; rb < row_blocks; ++rb) {
+    va[static_cast<std::size_t>(rb)] = ctx.vralloc->alloc(region.mm[0].arr_a);
+    emit_load(*ctx.out, isa, w, va[static_cast<std::size_t>(rb)],
+              ctx.mem_of(region.mm[0].arr_a, a0 + rb * w));
+  }
+  const Vr tmp = needs_mul_temp(isa) ? ctx.vralloc->alloc("") : Vr::kNoVr;
+  for (int jj = 0; jj < idx.n2; ++jj) {
+    for (int rb = 0; rb < row_blocks; ++rb) {
+      const std::string& res = idx.res_at.at({rb * w, jj});
+      const auto [gid, lane] = ctx.plan.lane_of.at(res);
+      AUGEM_CHECK(lane == 0, "row-block accumulator must start at lane 0");
+      emit_mul_add(*ctx.out, isa, w, va[static_cast<std::size_t>(rb)],
+                   vb[static_cast<std::size_t>(jj)], ctx.group(gid), tmp);
+    }
+  }
+  if (tmp != Vr::kNoVr) ctx.vralloc->release(tmp);
+  for (Vr r : va) ctx.vralloc->release(r);
+  for (Vr r : vb) ctx.vralloc->release(r);
+}
+
+void emit_mm_outer_shuf(EmitCtx& ctx, const Region& region, int w) {
+  const Isa isa = ctx.config.isa;
+  const MmIndex idx = index_mm_region(region);
+  AUGEM_CHECK(idx.n1 == w && idx.n2 == w, "Shuf needs an n×n tile");
+
+  const Vr va = ctx.vralloc->alloc(region.mm[0].arr_a);
+  emit_load(*ctx.out, isa, w, va, ctx.mem_of(region.mm[0].arr_a, idx.a_offs[0]));
+  const Vr vb = ctx.vralloc->alloc(idx.b_elems[0].first);
+  emit_load(*ctx.out, isa, w, vb,
+            ctx.mem_of(idx.b_elems[0].first, idx.b_elems[0].second));
+
+  // acc_r's lane 0 holds res(0, r).
+  auto acc_of_rotation = [&](int r) {
+    const std::string& res = idx.res_at.at({0, r});
+    return ctx.group(ctx.plan.lane_of.at(res).first);
+  };
+
+  const Vr tmp = needs_mul_temp(isa) ? ctx.vralloc->alloc("") : Vr::kNoVr;
+  emit_mul_add(*ctx.out, isa, w, va, vb, acc_of_rotation(0), tmp);
+
+  if (w == 2) {
+    const Vr rot = ctx.vralloc->alloc("");
+    emit_rotate(*ctx.out, isa, 2, rot, vb, 1, Vr::kNoVr);
+    emit_mul_add(*ctx.out, isa, 2, va, rot, acc_of_rotation(1), tmp);
+    ctx.vralloc->release(rot);
+  } else {
+    AUGEM_CHECK(w == 4, "Shuf widths are 2 and 4");
+    // s = in-half swap, p = full reverse; rotations derive by blending
+    // (5 shuffle-class ops for all three rotations).
+    const Vr s = ctx.vralloc->alloc("");
+    ctx.out->push_back(vshuf(s, vb, vb, 0b0101, 4, true));
+    const Vr p = ctx.vralloc->alloc("");
+    ctx.out->push_back(vperm128(p, s, s, 0x01));
+    const Vr rot = ctx.vralloc->alloc("");
+    ctx.out->push_back(vblend(rot, s, p, 0b1010, 4, true));  // [b1 b2 b3 b0]
+    emit_mul_add(*ctx.out, isa, 4, va, rot, acc_of_rotation(1), tmp);
+    ctx.out->push_back(vperm128(rot, vb, vb, 0x01));         // [b2 b3 b0 b1]
+    emit_mul_add(*ctx.out, isa, 4, va, rot, acc_of_rotation(2), tmp);
+    ctx.out->push_back(vblend(rot, p, s, 0b1010, 4, true));  // [b3 b0 b1 b2]
+    emit_mul_add(*ctx.out, isa, 4, va, rot, acc_of_rotation(3), tmp);
+    ctx.vralloc->release(rot);
+    ctx.vralloc->release(p);
+    ctx.vralloc->release(s);
+  }
+  if (tmp != Vr::kNoVr) ctx.vralloc->release(tmp);
+  ctx.vralloc->release(va);
+  ctx.vralloc->release(vb);
+}
+
+void emit_mm_paired(EmitCtx& ctx, const Region& region, int w) {
+  const Isa isa = ctx.config.isa;
+  const std::string& res = region.mm[0].res;
+  const auto& partials = ctx.plan.partials_of.at(res);
+  const int p_count = static_cast<int>(region.mm.size()) / w;
+  AUGEM_CHECK(p_count <= static_cast<int>(partials.size()),
+              "more partials required than planned for '" << res << "'");
+
+  const Vr tmp = needs_mul_temp(isa) ? ctx.vralloc->alloc("") : Vr::kNoVr;
+  for (int p = 0; p < p_count; ++p) {
+    const match::MmComp& first = region.mm[static_cast<std::size_t>(p * w)];
+    const Vr vx = ctx.vralloc->alloc(first.arr_a);
+    emit_load(*ctx.out, isa, w, vx, ctx.mem_of(first.arr_a, first.off_a));
+    const Vr vy = ctx.vralloc->alloc(first.arr_b);
+    emit_load(*ctx.out, isa, w, vy, ctx.mem_of(first.arr_b, first.off_b));
+    emit_mul_add(*ctx.out, isa, w, vx, vy,
+                 ctx.group(partials[static_cast<std::size_t>(p)]), tmp);
+    ctx.vralloc->release(vx);
+    ctx.vralloc->release(vy);
+  }
+  if (tmp != Vr::kNoVr) ctx.vralloc->release(tmp);
+  ctx.pending_reductions.insert(res);
+}
+
+void emit_mv_paired(EmitCtx& ctx, const Region& region, int w) {
+  const Isa isa = ctx.config.isa;
+  const std::string& scal = region.mv[0].scal;
+  const auto bc = ctx.broadcast_reg.find(scal);
+  AUGEM_CHECK(bc != ctx.broadcast_reg.end(),
+              "no broadcast register for '" << scal << "'");
+  const Vr svec = bc->second;
+
+  const Vr tmp = needs_mul_temp(isa) ? ctx.vralloc->alloc("") : Vr::kNoVr;
+  const int groups = static_cast<int>(region.mv.size()) / w;
+  for (int g = 0; g < groups; ++g) {
+    const match::MvComp& first = region.mv[static_cast<std::size_t>(g * w)];
+    const Vr vb = ctx.vralloc->alloc(first.arr_b);
+    const Mem mem_b = ctx.mem_of(first.arr_b, first.off_b);
+    emit_load(*ctx.out, isa, w, vb, mem_b);
+    const Vr va = ctx.vralloc->alloc(first.arr_a);
+    emit_load(*ctx.out, isa, w, va, ctx.mem_of(first.arr_a, first.off_a));
+    emit_mul_add(*ctx.out, isa, w, va, svec, vb, tmp);  // vb += va * scal
+    emit_store(*ctx.out, isa, w, vb, mem_b);
+    ctx.vralloc->release(va);
+    ctx.vralloc->release(vb);
+  }
+  if (tmp != Vr::kNoVr) ctx.vralloc->release(tmp);
+}
+
+void emit_store_vector(EmitCtx& ctx, const Region& region, int w) {
+  const Isa isa = ctx.config.isa;
+  const int chunks = static_cast<int>(region.stores.size()) / w;
+  for (int c = 0; c < chunks; ++c) {
+    // Which register holds each lane of this output chunk?
+    std::vector<Vr> srcs(static_cast<std::size_t>(w));
+    bool same_group = true;
+    int gid0 = -1;
+    for (int i = 0; i < w; ++i) {
+      const match::MmStore& st = region.stores[static_cast<std::size_t>(c * w + i)];
+      const auto [gid, lane] = ctx.plan.lane_of.at(st.res);
+      AUGEM_CHECK(lane == i, "store lane misalignment for '" << st.res << "'");
+      srcs[static_cast<std::size_t>(i)] = ctx.group(gid);
+      if (i == 0) gid0 = gid;
+      same_group &= gid == gid0;
+    }
+    Vr col;
+    bool col_owned = false;
+    if (same_group) {
+      col = srcs[0];
+    } else {
+      col = ctx.vralloc->alloc("");
+      emit_lane_gather(*ctx.out, isa, w, col, srcs);
+      col_owned = true;
+    }
+    const match::MmStore& first = region.stores[static_cast<std::size_t>(c * w)];
+    const Vr t = ctx.vralloc->alloc(first.arr);
+    const Mem m = ctx.mem_of(first.arr, first.off);
+    emit_load(*ctx.out, isa, w, t, m);
+    emit_add_store(*ctx.out, isa, w, t, col, m);
+    ctx.vralloc->release(t);
+    if (col_owned) ctx.vralloc->release(col);
+  }
+}
+
+// The svSCAL optimizer (extension template): Vld-Vmul-Vst over `scal`'s
+// broadcast register; scalar fallback mirrors Table 3 minus the Add.
+void emit_sv_scal(EmitCtx& ctx, const Region& region, int w) {
+  const Isa isa = ctx.config.isa;
+  if (w <= 1) {
+    for (const match::SvScal& s : region.sv) {
+      const Vr t = ctx.vralloc->alloc(s.arr);
+      const Mem m = ctx.mem_of(s.arr, s.off);
+      emit_load(*ctx.out, isa, 1, t, m);
+      AUGEM_CHECK(ctx.reg_table.contains(s.scal),
+                  "svSCAL scalar '" << s.scal << "' has no bound register");
+      const Vr sreg = ctx.reg_table.lookup(s.scal);
+      // t = t * scal (two-operand legal: dst == src1).
+      ctx.out->push_back(vmul(t, t, sreg, 1, isa_is_vex(isa)));
+      emit_store(*ctx.out, isa, 1, t, m);
+      ctx.vralloc->release(t);
+    }
+    return;
+  }
+  const std::string& scal = region.sv[0].scal;
+  const auto bc = ctx.broadcast_reg.find(scal);
+  AUGEM_CHECK(bc != ctx.broadcast_reg.end(),
+              "no broadcast register for '" << scal << "'");
+  const int groups = static_cast<int>(region.sv.size()) / w;
+  for (int g = 0; g < groups; ++g) {
+    const match::SvScal& first = region.sv[static_cast<std::size_t>(g * w)];
+    const Vr t = ctx.vralloc->alloc(first.arr);
+    const Mem m = ctx.mem_of(first.arr, first.off);
+    emit_load(*ctx.out, isa, w, t, m);
+    ctx.out->push_back(vmul(t, t, bc->second, w, isa_is_vex(isa)));
+    emit_store(*ctx.out, isa, w, t, m);
+    ctx.vralloc->release(t);
+  }
+}
+
+void emit_acc_init(EmitCtx& ctx, const Region& region) {
+  const Isa isa = ctx.config.isa;
+  std::set<int> zeroed;
+  for (const std::string& name : region.acc_inits) {
+    if (const auto lane = ctx.plan.lane_of.find(name);
+        lane != ctx.plan.lane_of.end()) {
+      const int gid = lane->second.first;
+      if (zeroed.insert(gid).second)
+        emit_zero(*ctx.out, isa, ctx.plan.groups[static_cast<std::size_t>(gid)].width,
+                  ctx.group(gid));
+      continue;
+    }
+    if (const auto part = ctx.plan.partials_of.find(name);
+        part != ctx.plan.partials_of.end()) {
+      for (int gid : part->second) {
+        if (zeroed.insert(gid).second)
+          emit_zero(*ctx.out, isa,
+                    ctx.plan.groups[static_cast<std::size_t>(gid)].width,
+                    ctx.group(gid));
+      }
+      continue;
+    }
+    emit_zero(*ctx.out, isa, 1, ctx.scalar(name));
+  }
+}
+
+}  // namespace
+
+void emit_region(EmitCtx& ctx, const Region& region) {
+  const auto plan_it = ctx.plan.regions.find(region.id);
+  const RegionPlan rp =
+      plan_it != ctx.plan.regions.end() ? plan_it->second : RegionPlan{};
+  ctx.out->push_back(comment(region_comment(region, rp)));
+
+  switch (region.kind) {
+    case TemplateKind::kAccInit:
+      emit_acc_init(ctx, region);
+      break;
+    case TemplateKind::kMmComp:
+      if (rp.width <= 1) {
+        emit_mm_scalar(ctx, region);
+      } else if (region.shape == match::UnrolledShape::kPaired) {
+        emit_mm_paired(ctx, region, rp.width);
+      } else if (rp.use_shuf) {
+        emit_mm_outer_shuf(ctx, region, rp.width);
+      } else {
+        emit_mm_outer_vdup(ctx, region, rp.width);
+      }
+      break;
+    case TemplateKind::kMvComp:
+      if (rp.width <= 1) {
+        emit_mv_scalar(ctx, region);
+      } else {
+        emit_mv_paired(ctx, region, rp.width);
+      }
+      break;
+    case TemplateKind::kMmStore:
+      if (rp.width <= 1) {
+        emit_store_scalar(ctx, region);
+      } else {
+        emit_store_vector(ctx, region, rp.width);
+      }
+      break;
+    case TemplateKind::kSvScal:
+      emit_sv_scal(ctx, region, rp.width);
+      break;
+  }
+
+  ctx.release_dead_groups(region.id);
+  ctx.release_dead_scalars(region.id);
+}
+
+void emit_pending_reductions(EmitCtx& ctx) {
+  const Isa isa = ctx.config.isa;
+  for (const std::string& res : ctx.pending_reductions) {
+    const auto& partials = ctx.plan.partials_of.at(res);
+    const int w = ctx.plan.groups[static_cast<std::size_t>(partials[0])].width;
+    ctx.out->push_back(comment("reduce " + res));
+
+    const Vr acc0 = ctx.group(partials[0]);
+    for (std::size_t p = 1; p < partials.size(); ++p)
+      ctx.out->push_back(
+          vadd(acc0, acc0, ctx.group(partials[p]), w, isa_is_vex(isa)));
+
+    const Vr dst = ctx.vralloc->alloc("");
+    const Vr tmp = ctx.vralloc->alloc("");
+    const Vr tmp2 = w == 4 ? ctx.vralloc->alloc("") : Vr::kNoVr;
+    emit_hsum(*ctx.out, isa, w, dst, acc0, tmp, tmp2);
+    ctx.vralloc->release(tmp);
+    if (tmp2 != Vr::kNoVr) ctx.vralloc->release(tmp2);
+
+    for (int gid : partials) {
+      ctx.vralloc->release(ctx.group_reg.at(gid));
+      ctx.group_reg.erase(gid);
+    }
+    ctx.reg_table.bind(res, dst);
+  }
+  ctx.pending_reductions.clear();
+}
+
+}  // namespace augem::opt

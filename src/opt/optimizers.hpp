@@ -1,0 +1,79 @@
+#pragma once
+// The Template Optimizer proper (paper §2.3, §3): turns identified template
+// regions into machine instructions, combining SIMD vectorization (per the
+// VecPlan), register allocation (per-array queues + the global reg_table)
+// and instruction selection (the Tables 1-4 rules in opt/isel).
+//
+// The Assembly Kernel Generator (asmgen/codegen) owns the traversal of the
+// kernel; it constructs one EmitCtx and calls emit_region for each tagged
+// region it encounters, interleaving its own lowering of the untagged
+// low-level C in between — exactly the Fig. 2 algorithm.
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "match/identifier.hpp"
+#include "opt/isel.hpp"
+#include "opt/plan.hpp"
+#include "opt/regalloc.hpp"
+
+namespace augem::opt {
+
+/// Shared emission state threaded through region optimizers and the global
+/// generator.
+struct EmitCtx {
+  OptConfig config;
+  VecPlan plan;
+  const match::MatchResult* match = nullptr;
+
+  VrAllocator* vralloc = nullptr;
+  RegTable reg_table;  ///< scalar F64 name → register (paper's reg_table)
+
+  /// Lazily allocated accumulator-group registers (group id → register).
+  std::map<int, Vr> group_reg;
+  /// Broadcast registers for mv `scal` values.
+  std::map<std::string, Vr> broadcast_reg;
+  /// Shared accumulators whose partial sums were touched and still await a
+  /// post-loop reduction.
+  std::set<std::string> pending_reductions;
+  /// Accumulator affinity: scalar → the array (cursor) it is stored to.
+  std::map<std::string, std::string> store_affinity;
+  /// Scalars whose registers must never be auto-released (e.g. F64
+  /// parameters living in reserved argument registers).
+  std::set<std::string> pinned_scalars;
+
+  /// Resolves `array[element_offset]` to a machine memory operand (may
+  /// emit a scratch load for a spilled base). Provided by the generator.
+  std::function<Mem(const std::string& array, std::int64_t elem_off)> mem_of;
+
+  MInstList* out = nullptr;
+
+  // -- helpers shared by the region optimizers --
+
+  /// Register holding accumulator group `gid`, allocating on first use.
+  Vr group(int gid);
+  /// Scalar register bound to `name`, binding a fresh one on first use
+  /// (affinity = its store array when known).
+  Vr scalar(const std::string& name);
+  /// Releases group registers whose accumulators are dead after `region_id`
+  /// (uses MatchResult::last_read_region).
+  void release_dead_groups(int region_id);
+  /// Releases a scalar binding whose last read is `region_id` or earlier.
+  void release_dead_scalars(int region_id);
+};
+
+/// Initializes store_affinity from the match result (res → C array).
+void compute_store_affinities(EmitCtx& ctx);
+
+/// Emits machine code for one identified region.
+void emit_region(EmitCtx& ctx, const match::Region& region);
+
+/// Emits the pending partial-sum reductions for every shared accumulator in
+/// `ctx.pending_reductions`, binding the scalar results in reg_table.
+/// Called by the generator right after the loop containing the vectorized
+/// region closes.
+void emit_pending_reductions(EmitCtx& ctx);
+
+}  // namespace augem::opt

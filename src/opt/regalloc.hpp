@@ -1,0 +1,77 @@
+#pragma once
+// Register allocation (paper §3.1).
+//
+// Vector registers: "a separate register queue is dedicated to each array
+// variable, so that different physical registers are used for values from
+// different arrays … to minimize any false dependence". With R registers
+// and m arrays the paper dedicates R/m to each; we partition R across the
+// m arrays plus one pure-temporary pool, and fall back to stealing from the
+// globally least-loaded pool when a queue runs dry (the paper's kernels
+// never exhaust a queue; ours must also survive adversarial configs).
+//
+// The variable→register map (`reg_table` in the paper's Fig. 2) lives here
+// too, shared between the template optimizers and the global assembly
+// generator so allocation decisions stay consistent across regions.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "opt/regs.hpp"
+#include "support/error.hpp"
+
+namespace augem::opt {
+
+enum class RegAllocPolicy {
+  kPerArrayQueues,  ///< the paper's policy
+  kSinglePool,      ///< ablation baseline: one FIFO free list
+};
+
+/// Vector (SIMD) register allocator with per-array affinity queues.
+class VrAllocator {
+ public:
+  /// `affinities` are the array variable names of the kernel; an empty
+  /// string affinity designates the pure-temporary pool (always present).
+  /// `reserved` registers (e.g. xmm0 holding the alpha argument) are never
+  /// handed out.
+  VrAllocator(std::vector<std::string> affinities, RegAllocPolicy policy,
+              std::vector<Vr> reserved = {});
+
+  /// Allocates a register, preferring the queue of `affinity` ("" = temp).
+  /// Throws when every register is in use.
+  Vr alloc(const std::string& affinity);
+
+  /// Returns a register to its home queue.
+  void release(Vr v);
+
+  /// Number of registers currently free.
+  int free_count() const;
+
+  bool in_use(Vr v) const;
+
+ private:
+  int queue_of(const std::string& affinity) const;
+
+  RegAllocPolicy policy_;
+  std::vector<std::string> affinity_names_;  // index = queue id; "" last
+  std::vector<std::vector<Vr>> queues_;      // free registers per queue
+  std::vector<int> home_queue_;              // per register index
+  std::vector<bool> busy_;
+};
+
+/// The global variable→vector-register table (paper Fig. 2's reg_table).
+class RegTable {
+ public:
+  bool contains(const std::string& name) const { return table_.count(name) > 0; }
+  Vr lookup(const std::string& name) const;
+  void bind(const std::string& name, Vr v);
+  /// Removes the binding and returns the register (for release).
+  Vr unbind(const std::string& name);
+  /// All current bindings (deterministic order), e.g. for tests/dumps.
+  const std::map<std::string, Vr>& bindings() const { return table_; }
+
+ private:
+  std::map<std::string, Vr> table_;
+};
+
+}  // namespace augem::opt

@@ -1,0 +1,53 @@
+#include "opt/regs.hpp"
+
+namespace augem::opt {
+
+const char* gpr_name(Gpr g) {
+  switch (g) {
+    case Gpr::rax: return "rax";
+    case Gpr::rcx: return "rcx";
+    case Gpr::rdx: return "rdx";
+    case Gpr::rbx: return "rbx";
+    case Gpr::rsp: return "rsp";
+    case Gpr::rbp: return "rbp";
+    case Gpr::rsi: return "rsi";
+    case Gpr::rdi: return "rdi";
+    case Gpr::r8: return "r8";
+    case Gpr::r9: return "r9";
+    case Gpr::r10: return "r10";
+    case Gpr::r11: return "r11";
+    case Gpr::r12: return "r12";
+    case Gpr::r13: return "r13";
+    case Gpr::r14: return "r14";
+    case Gpr::r15: return "r15";
+    case Gpr::kNoGpr: return "<none>";
+  }
+  return "?";
+}
+
+const char* vr_name(Vr v, int width_doubles) {
+  static const char* xmm[] = {"xmm0", "xmm1", "xmm2", "xmm3", "xmm4", "xmm5",
+                              "xmm6", "xmm7", "xmm8", "xmm9", "xmm10", "xmm11",
+                              "xmm12", "xmm13", "xmm14", "xmm15"};
+  static const char* ymm[] = {"ymm0", "ymm1", "ymm2", "ymm3", "ymm4", "ymm5",
+                              "ymm6", "ymm7", "ymm8", "ymm9", "ymm10", "ymm11",
+                              "ymm12", "ymm13", "ymm14", "ymm15"};
+  if (v == Vr::kNoVr) return "<none>";
+  return width_doubles >= 4 ? ymm[index_of(v)] : xmm[index_of(v)];
+}
+
+bool is_callee_saved(Gpr g) {
+  switch (g) {
+    case Gpr::rbx:
+    case Gpr::rbp:
+    case Gpr::r12:
+    case Gpr::r13:
+    case Gpr::r14:
+    case Gpr::r15:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace augem::opt

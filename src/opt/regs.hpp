@@ -1,0 +1,41 @@
+#pragma once
+// Physical x86-64 registers used by the generated kernels.
+
+#include <cstdint>
+
+namespace augem::opt {
+
+/// General-purpose registers. Values are the standard encoding order;
+/// kNoGpr marks an absent operand.
+enum class Gpr : std::uint8_t {
+  rax, rcx, rdx, rbx, rsp, rbp, rsi, rdi,
+  r8, r9, r10, r11, r12, r13, r14, r15,
+  kNoGpr,
+};
+
+/// SIMD registers xmm0-15 / ymm0-15 (the name is chosen by operand width).
+enum class Vr : std::uint8_t {
+  v0, v1, v2, v3, v4, v5, v6, v7,
+  v8, v9, v10, v11, v12, v13, v14, v15,
+  kNoVr,
+};
+
+constexpr int kNumGprs = 16;
+constexpr int kNumVrs = 16;
+
+/// AT&T register name without the '%' sigil ("rax", "r12", …).
+const char* gpr_name(Gpr g);
+
+/// AT&T name at a width: "xmm3" (width 1 or 2 doubles) or "ymm3" (width 4).
+/// Returned storage is static per (reg, width) combination.
+const char* vr_name(Vr v, int width_doubles);
+
+/// True for the SysV callee-saved GPRs (rbx, rbp, r12-r15).
+bool is_callee_saved(Gpr g);
+
+inline int index_of(Gpr g) { return static_cast<int>(g); }
+inline int index_of(Vr v) { return static_cast<int>(v); }
+inline Gpr gpr_at(int i) { return static_cast<Gpr>(i); }
+inline Vr vr_at(int i) { return static_cast<Vr>(i); }
+
+}  // namespace augem::opt

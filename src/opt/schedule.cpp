@@ -1,0 +1,109 @@
+#include "opt/schedule.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace augem::opt {
+
+namespace {
+
+bool is_barrier(const MInst& inst) {
+  return is_control(inst) || inst.op == MOp::kComment;
+}
+
+bool is_load_like(const MInst& inst) {
+  switch (inst.op) {
+    case MOp::kVLoad:
+    case MOp::kVBroadcast:
+    case MOp::kFLoad:
+    case MOp::kILoad:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Schedules one straight-line span [first, last) in place.
+void schedule_span(MInstList& insts, std::size_t first, std::size_t last) {
+  const std::size_t n = last - first;
+  if (n < 3) return;
+
+  // Dependence edges: pred[i] = indices (span-relative) that must precede i.
+  std::vector<std::vector<std::size_t>> preds(n);
+  std::vector<Gpr> dg, ug, dg2, ug2;
+  std::vector<Vr> dv, uv, dv2, uv2;
+  for (std::size_t i = 0; i < n; ++i) {
+    const MInst& a = insts[first + i];
+    defs_of(a, dg, dv);
+    uses_of(a, ug, uv);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const MInst& b = insts[first + j];
+      defs_of(b, dg2, dv2);
+      uses_of(b, ug2, uv2);
+      bool dep = false;
+      // RAW: b uses a's defs. WAR: b defines a's uses. WAW: same defs.
+      for (Gpr g : dg)
+        dep |= std::count(ug2.begin(), ug2.end(), g) > 0 ||
+               std::count(dg2.begin(), dg2.end(), g) > 0;
+      for (Vr v : dv)
+        dep |= std::count(uv2.begin(), uv2.end(), v) > 0 ||
+               std::count(dv2.begin(), dv2.end(), v) > 0;
+      for (Gpr g : ug) dep |= std::count(dg2.begin(), dg2.end(), g) > 0;
+      for (Vr v : uv) dep |= std::count(dv2.begin(), dv2.end(), v) > 0;
+      // Memory: stores are ordered against all other memory operations
+      // (bases may alias; prefetches are hints and stay free).
+      const bool a_mem = touches_memory(a) && a.op != MOp::kPrefetch;
+      const bool b_mem = touches_memory(b) && b.op != MOp::kPrefetch;
+      if (a_mem && b_mem && (writes_memory(a) || writes_memory(b))) dep = true;
+      if (dep) preds[j].push_back(i);
+    }
+  }
+
+  // Greedy list scheduling: among ready instructions prefer loads (issue
+  // early), then original order for determinism.
+  std::vector<std::size_t> remaining_preds(n);
+  for (std::size_t i = 0; i < n; ++i) remaining_preds[i] = preds[i].size();
+  std::vector<std::vector<std::size_t>> succs(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t p : preds[i]) succs[p].push_back(i);
+
+  std::vector<bool> emitted(n, false);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t pick = n;
+    bool pick_is_load = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (emitted[i] || remaining_preds[i] != 0) continue;
+      const bool load = is_load_like(insts[first + i]);
+      if (pick == n || (load && !pick_is_load)) {
+        pick = i;
+        pick_is_load = load;
+        if (load) break;  // earliest ready load wins
+      }
+    }
+    emitted[pick] = true;
+    order.push_back(pick);
+    for (std::size_t s : succs[pick])
+      if (remaining_preds[s] > 0) --remaining_preds[s];
+  }
+
+  MInstList scheduled;
+  scheduled.reserve(n);
+  for (std::size_t i : order) scheduled.push_back(insts[first + i]);
+  std::move(scheduled.begin(), scheduled.end(), insts.begin() + first);
+}
+
+}  // namespace
+
+void schedule_instructions(MInstList& insts) {
+  std::size_t span_start = 0;
+  for (std::size_t i = 0; i <= insts.size(); ++i) {
+    if (i == insts.size() || is_barrier(insts[i])) {
+      schedule_span(insts, span_start, i);
+      span_start = i + 1;
+    }
+  }
+}
+
+}  // namespace augem::opt

@@ -1,0 +1,23 @@
+#pragma once
+// Instruction scheduling (paper §2.3 lists Instruction Selection/Scheduling
+// among the collectively applied machine-level optimizations).
+//
+// A list scheduler for straight-line instruction runs: builds the register
+// and memory dependence graph and re-orders instructions so that loads and
+// broadcasts issue as early as their dependences allow, hiding load latency
+// under the multiply-add chains — the effect hand-written kernels obtain by
+// interleaving loads of iteration k+1 with arithmetic of iteration k.
+//
+// Control-flow instructions act as barriers; only the straight-line spans
+// between them are reordered, so scheduling a whole function body is safe.
+
+#include "opt/minst.hpp"
+
+namespace augem::opt {
+
+/// Reorders `insts` in place. Semantics-preserving: respects RAW/WAR/WAW
+/// register dependences, keeps stores ordered with all memory accesses, and
+/// never moves anything across control flow.
+void schedule_instructions(MInstList& insts);
+
+}  // namespace augem::opt

@@ -1,0 +1,214 @@
+#include "opt/verifier.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace augem::opt {
+
+namespace {
+
+bool is_cond_jump(MOp op) {
+  return op == MOp::kJl || op == MOp::kJge || op == MOp::kJne ||
+         op == MOp::kJe;
+}
+
+bool requires_vdst(MOp op) {
+  switch (op) {
+    case MOp::kVZero:
+    case MOp::kVLoad:
+    case MOp::kVBroadcast:
+    case MOp::kVMov:
+    case MOp::kVMul:
+    case MOp::kVAdd:
+    case MOp::kVFma231:
+    case MOp::kVFma4:
+    case MOp::kVShuf:
+    case MOp::kVPerm128:
+    case MOp::kVBlend:
+    case MOp::kVExtractHigh:
+    case MOp::kFLoad:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool requires_mem(MOp op) {
+  switch (op) {
+    case MOp::kVLoad:
+    case MOp::kVStore:
+    case MOp::kVBroadcast:
+    case MOp::kFLoad:
+    case MOp::kFStore:
+    case MOp::kILoad:
+    case MOp::kIStore:
+    case MOp::kIAddMem:
+    case MOp::kISubMem:
+    case MOp::kIMulMem:
+    case MOp::kLea:
+    case MOp::kPrefetch:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool two_operand_constrained(MOp op) {
+  return op == MOp::kVMul || op == MOp::kVAdd || op == MOp::kVShuf ||
+         op == MOp::kVBlend;
+}
+
+}  // namespace
+
+std::vector<VerifyIssue> verify_machine_code(const MInstList& insts,
+                                             int num_f64_params) {
+  std::vector<VerifyIssue> issues;
+  auto issue = [&](std::size_t i, const std::string& msg) {
+    issues.push_back({i, msg});
+  };
+
+  // Pass 1: labels.
+  std::set<std::string> labels;
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    if (insts[i].op == MOp::kLabel) {
+      if (!labels.insert(insts[i].label).second)
+        issue(i, "duplicate label '" + insts[i].label + "'");
+    }
+  }
+
+  // Pass 2: linear walk.
+  std::set<int> vr_written;
+  for (int p = 0; p < num_f64_params && p < 8; ++p) vr_written.insert(p);
+  std::set<int> gpr_written = {
+      index_of(Gpr::rdi), index_of(Gpr::rsi), index_of(Gpr::rdx),
+      index_of(Gpr::rcx), index_of(Gpr::r8),  index_of(Gpr::r9),
+      index_of(Gpr::rsp)};
+
+  std::vector<Gpr> push_stack;
+  std::int64_t rsp_delta = 0;
+  bool flags_valid = false;
+  bool saw_ret = false;
+
+  std::vector<Gpr> dg, ug;
+  std::vector<Vr> dv, uv;
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    const MInst& inst = insts[i];
+
+    // Operand completeness.
+    if (requires_vdst(inst.op) && inst.vdst == Vr::kNoVr)
+      issue(i, "missing vector destination");
+    if (requires_mem(inst.op) && !inst.mem.valid())
+      issue(i, "missing/invalid memory operand");
+    if (inst.width != 1 && inst.width != 2 && inst.width != 4)
+      issue(i, "invalid vector width " + std::to_string(inst.width));
+    if (!inst.vex && inst.width == 4)
+      issue(i, "256-bit operation without VEX encoding");
+    if ((inst.op == MOp::kVPerm128 || inst.op == MOp::kVExtractHigh) &&
+        !inst.vex)
+      issue(i, "AVX-only operation without VEX encoding");
+
+    // Two-operand encodings.
+    if (!inst.vex && two_operand_constrained(inst.op) &&
+        inst.vdst != inst.vsrc1)
+      issue(i, "non-VEX two-operand form requires dst == src1");
+
+    // Flags discipline.
+    if (inst.op == MOp::kCmp || inst.op == MOp::kCmpImm) {
+      flags_valid = true;
+    } else if (is_cond_jump(inst.op)) {
+      if (!flags_valid)
+        issue(i, "conditional jump without an immediately preceding compare");
+      if (labels.count(inst.label) == 0)
+        issue(i, "jump to unknown label '" + inst.label + "'");
+    } else if (inst.op == MOp::kJmp) {
+      if (labels.count(inst.label) == 0)
+        issue(i, "jump to unknown label '" + inst.label + "'");
+    } else if (inst.op != MOp::kComment && inst.op != MOp::kLabel &&
+               inst.op != MOp::kPrefetch) {
+      // Arithmetic would clobber EFLAGS on real silicon: the generator
+      // must re-compare before every conditional jump.
+      flags_valid = false;
+    }
+
+    // Frame discipline.
+    switch (inst.op) {
+      case MOp::kPush:
+        push_stack.push_back(inst.gsrc);
+        break;
+      case MOp::kPop:
+        if (push_stack.empty()) {
+          issue(i, "pop without matching push");
+        } else if (push_stack.back() != inst.gdst) {
+          issue(i, std::string("pop order mismatch: expected ") +
+                       gpr_name(push_stack.back()) + ", got " +
+                       gpr_name(inst.gdst));
+          push_stack.pop_back();
+        } else {
+          push_stack.pop_back();
+        }
+        break;
+      case MOp::kISubImm:
+        if (inst.gdst == Gpr::rsp) rsp_delta += inst.imm;
+        break;
+      case MOp::kIAddImm:
+        if (inst.gdst == Gpr::rsp) rsp_delta -= inst.imm;
+        break;
+      case MOp::kRet:
+        saw_ret = true;
+        if (!push_stack.empty())
+          issue(i, std::to_string(push_stack.size()) +
+                       " callee-saved register(s) not restored at ret");
+        if (rsp_delta != 0)
+          issue(i, "unbalanced stack frame at ret (delta " +
+                       std::to_string(rsp_delta) + " bytes)");
+        break;
+      default:
+        if (inst.op != MOp::kPush && inst.op != MOp::kPop) {
+          defs_of(inst, dg, dv);
+          for (Gpr g : dg)
+            if (g == Gpr::rsp && inst.op != MOp::kISubImm &&
+                inst.op != MOp::kIAddImm)
+              issue(i, "unexpected write to rsp");
+        }
+        break;
+    }
+
+    // Initialization (linear order; the generator emits loop bodies after
+    // their guards, so linear order covers every runtime-first execution).
+    uses_of(inst, ug, uv);
+    // Pushes in the prologue save caller-owned values: not "reads" of
+    // generator-initialized state.
+    if (inst.op == MOp::kPush) ug.clear();
+    for (Vr v : uv)
+      if (vr_written.count(index_of(v)) == 0)
+        issue(i, std::string("read of uninitialized vector register ") +
+                     vr_name(v, inst.width));
+    for (Gpr g : ug)
+      if (gpr_written.count(index_of(g)) == 0)
+        issue(i, std::string("read of uninitialized register ") + gpr_name(g));
+    defs_of(inst, dg, dv);
+    for (Vr v : dv) vr_written.insert(index_of(v));
+    for (Gpr g : dg) gpr_written.insert(index_of(g));
+  }
+
+  if (!saw_ret && !insts.empty())
+    issue(insts.size() - 1, "function has no ret");
+  return issues;
+}
+
+void check_machine_code(const MInstList& insts, int num_f64_params) {
+  const std::vector<VerifyIssue> issues =
+      verify_machine_code(insts, num_f64_params);
+  if (issues.empty()) return;
+  std::ostringstream os;
+  os << "machine-code verification failed (" << issues.size() << " issue(s)):";
+  for (const VerifyIssue& vi : issues)
+    os << "\n  [" << vi.index << "] " << vi.message << "  | "
+       << insts[vi.index].to_string();
+  AUGEM_FAIL(os.str());
+}
+
+}  // namespace augem::opt

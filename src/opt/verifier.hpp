@@ -1,0 +1,47 @@
+#pragma once
+// Static verifier for generated machine code.
+//
+// Catches code-generator bugs at generation time instead of as wrong
+// numerics later: every kernel produced by asmgen::generate_assembly is
+// verified before it is printed. The checks are conservative over the
+// control-flow structure the generator emits (reducible counted loops with
+// forward/backward conditional jumps).
+
+#include <string>
+#include <vector>
+
+#include "opt/minst.hpp"
+
+namespace augem::opt {
+
+/// One verifier finding.
+struct VerifyIssue {
+  std::size_t index;   ///< instruction index
+  std::string message;
+};
+
+/// Checks, in order:
+///  * operand completeness: every register field an op requires is set,
+///    memory operands are valid where required;
+///  * two-operand encodings: non-VEX kVMul/kVAdd/kVShuf/kVBlend have
+///    dst == src1 (the constraint the printer would reject);
+///  * widths: vector widths are 1, 2 or 4; 256-bit-only ops are width 4;
+///    non-VEX ops never use width 4;
+///  * control flow: jumps target existing labels; exactly balanced
+///    push/pop (same registers, reverse order) on every path that returns;
+///    rsp adjustments are matched;
+///  * conditional jumps are preceded by a flag-setting compare with no
+///    clobbering instruction in between (flags are not modelled through
+///    arithmetic, which on x86 would alter them — the generator always
+///    re-compares, and the verifier enforces that);
+///  * register initialization: along straight-line order (the generator's
+///    loops always execute their compare first), no vector register is
+///    read before something wrote it, excluding the SysV argument
+///    registers.
+std::vector<VerifyIssue> verify_machine_code(const MInstList& insts,
+                                             int num_f64_params = 0);
+
+/// Throws augem::Error listing all issues when verification fails.
+void check_machine_code(const MInstList& insts, int num_f64_params = 0);
+
+}  // namespace augem::opt

@@ -1,0 +1,87 @@
+#pragma once
+// Aligned, RAII-owned numeric buffers.
+//
+// Generated SIMD kernels use aligned vector loads where possible, so all
+// matrices/vectors in tests, benchmarks and the BLAS layer live in 64-byte
+// aligned storage (a cache line, which also satisfies 32-byte AVX alignment).
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace augem {
+
+/// Heap buffer of `T` aligned to `kAlign` bytes. Movable, non-copyable.
+template <typename T, std::size_t kAlign = 64>
+class AlignedBuffer {
+  static_assert(kAlign >= alignof(T) && (kAlign & (kAlign - 1)) == 0,
+                "alignment must be a power of two and at least alignof(T)");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) : size_(count) {
+    if (count == 0) return;
+    // Round the byte size up to a multiple of the alignment as required by
+    // std::aligned_alloc.
+    const std::size_t bytes = (count * sizeof(T) + kAlign - 1) / kAlign * kAlign;
+    data_ = static_cast<T*>(std::aligned_alloc(kAlign, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+    for (std::size_t i = 0; i < count; ++i) new (data_ + i) T();
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { release(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  std::span<T> span() { return {data_, size_}; }
+  std::span<const T> span() const { return {data_, size_}; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  void release() {
+    if (data_ != nullptr) {
+      for (std::size_t i = size_; i > 0; --i) data_[i - 1].~T();
+      std::free(data_);
+      data_ = nullptr;
+    }
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+using DoubleBuffer = AlignedBuffer<double>;
+
+}  // namespace augem

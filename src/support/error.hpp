@@ -1,0 +1,48 @@
+#pragma once
+// Error handling for the AUGEM framework.
+//
+// The framework is a code generator: almost every failure is a programming
+// or usage error (malformed IR, impossible unroll factor, register pressure
+// overflow).  We signal these with a single exception type carrying a
+// human-readable message, and provide CHECK macros that capture the failing
+// expression and source location.
+
+#include <stdexcept>
+#include <sstream>
+#include <string>
+
+namespace augem {
+
+/// Exception thrown on any AUGEM usage or internal-consistency error.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace augem
+
+/// Throws augem::Error if `expr` is false. Usage:
+///   AUGEM_CHECK(n > 0, "vector length must be positive, got " << n);
+#define AUGEM_CHECK(expr, ...)                                             \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream augem_check_os_;                                  \
+      (void)(augem_check_os_ __VA_OPT__(<< __VA_ARGS__));                  \
+      ::augem::detail::throw_check_failure(#expr, __FILE__, __LINE__,      \
+                                           augem_check_os_.str());         \
+    }                                                                      \
+  } while (0)
+
+/// Unconditional failure with a message.
+#define AUGEM_FAIL(...) AUGEM_CHECK(false, __VA_ARGS__)

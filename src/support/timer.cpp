@@ -1,0 +1,32 @@
+#include "support/timer.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace augem {
+
+double time_best_of(int reps, const std::function<void()>& fn) {
+  AUGEM_CHECK(reps > 0, "need at least one repetition");
+  double best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    fn();
+    const double s = t.elapsed_s();
+    best = (i == 0) ? s : std::min(best, s);
+  }
+  return best;
+}
+
+double time_mean_of(int reps, const std::function<void()>& fn) {
+  AUGEM_CHECK(reps > 0, "need at least one repetition");
+  double total = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    fn();
+    total += t.elapsed_s();
+  }
+  return total / reps;
+}
+
+}  // namespace augem

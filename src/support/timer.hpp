@@ -1,0 +1,44 @@
+#pragma once
+// Wall-clock timing utilities for kernel benchmarking and empirical tuning.
+//
+// The paper times each kernel variant several times and reports the average
+// (§5: "We measured the elapsed time of each evaluation five times").
+// `time_best_of` mirrors the standard practice in the tuner, where the
+// *minimum* is the most reproducible statistic on a noisy machine.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace augem {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds since construction or the last reset().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Runs `fn` `reps` times and returns the fastest single run in seconds.
+double time_best_of(int reps, const std::function<void()>& fn);
+
+/// Runs `fn` `reps` times and returns the mean run time in seconds
+/// (the statistic the paper reports).
+double time_mean_of(int reps, const std::function<void()>& fn);
+
+/// MFLOPS given a flop count and elapsed seconds (the paper's unit).
+inline double mflops(double flops, double seconds) {
+  return seconds > 0 ? flops / seconds / 1.0e6 : 0.0;
+}
+
+}  // namespace augem

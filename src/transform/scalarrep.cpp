@@ -1,0 +1,125 @@
+#include "transform/scalarrep.hpp"
+
+#include "ir/visit.hpp"
+#include "support/error.hpp"
+
+namespace augem::transform {
+
+using namespace augem::ir;
+
+namespace {
+
+bool is_f64_assign(const Assign& a, const Kernel& kernel) {
+  if (as<ArrayRef>(a.lhs()) != nullptr) return true;  // stores are F64
+  const auto* v = as<VarRef>(a.lhs());
+  AUGEM_CHECK(v != nullptr, "assignment lhs must be a variable or array ref");
+  return kernel.type_of(v->name()) == ScalarType::kF64;
+}
+
+bool is_leaf(const Expr& e) {
+  return e.kind() == ExprKind::kVarRef || e.kind() == ExprKind::kFloatConst;
+}
+
+/// Lowers `e` to a leaf operand, emitting load/compute temps into `out`.
+ExprPtr lower_operand(const Expr& e, StmtList& out, Kernel& kernel) {
+  if (is_leaf(e)) return e.clone();
+  const std::string tmp = kernel.fresh_name("tmp");
+  kernel.declare_local(tmp, ScalarType::kF64);
+  if (const auto* ref = as<ArrayRef>(e)) {
+    out.push_back(assign(var(tmp), ref->clone()));
+    return var(tmp);
+  }
+  const auto* b = as<Binary>(e);
+  AUGEM_CHECK(b != nullptr, "unexpected expression in F64 assignment: "
+                                << e.to_string());
+  ExprPtr l = lower_operand(b->lhs(), out, kernel);
+  ExprPtr r = lower_operand(b->rhs(), out, kernel);
+  out.push_back(assign(var(tmp), bin(b->op(), std::move(l), std::move(r))));
+  return var(tmp);
+}
+
+/// Lowers one F64 assignment into three-address statements appended to out.
+void lower_assign(const Assign& a, StmtList& out, Kernel& kernel) {
+  const Expr& rhs = a.rhs();
+
+  if (const auto* store_target = as<ArrayRef>(a.lhs())) {
+    // Store: reduce the RHS to a scalar, then store it.
+    ExprPtr value;
+    if (const auto* b = as<Binary>(rhs)) {
+      // Keep the final operator as its own statement feeding the store.
+      ExprPtr l = lower_operand(b->lhs(), out, kernel);
+      ExprPtr r = lower_operand(b->rhs(), out, kernel);
+      const std::string tmp = kernel.fresh_name("tmp");
+      kernel.declare_local(tmp, ScalarType::kF64);
+      out.push_back(assign(var(tmp), bin(b->op(), std::move(l), std::move(r))));
+      value = var(tmp);
+    } else {
+      value = lower_operand(rhs, out, kernel);
+    }
+    out.push_back(assign(store_target->clone(), std::move(value)));
+    return;
+  }
+
+  // Scalar destination.
+  if (is_leaf(rhs) || rhs.kind() == ExprKind::kArrayRef) {
+    out.push_back(assign(a.lhs().clone(), rhs.clone()));  // load or copy
+    return;
+  }
+  const auto* b = as<Binary>(rhs);
+  AUGEM_CHECK(b != nullptr, "unexpected expression in F64 assignment: "
+                                << rhs.to_string());
+  // Keep the destination on the final operator: `res = res + tmp2` rather
+  // than an extra copy through a temp.
+  ExprPtr l = lower_operand(b->lhs(), out, kernel);
+  ExprPtr r = lower_operand(b->rhs(), out, kernel);
+  out.push_back(assign(a.lhs().clone(), bin(b->op(), std::move(l), std::move(r))));
+}
+
+StmtList process(StmtList stmts, Kernel& kernel) {
+  StmtList out;
+  for (StmtPtr& s : stmts) {
+    if (auto* loop = as_mutable<ForStmt>(*s)) {
+      loop->mutable_body() = process(std::move(loop->mutable_body()), kernel);
+      out.push_back(std::move(s));
+      continue;
+    }
+    const auto* a = as<Assign>(*s);
+    if (a == nullptr || !is_f64_assign(*a, kernel)) {
+      out.push_back(std::move(s));
+      continue;
+    }
+    lower_assign(*a, out, kernel);
+  }
+  return out;
+}
+
+}  // namespace
+
+void scalar_replace(ir::Kernel& kernel) {
+  kernel.mutable_body() = process(std::move(kernel.mutable_body()), kernel);
+}
+
+void check_three_address_form(const ir::Kernel& kernel) {
+  for_each_stmt(kernel.body(), [&](const Stmt& s) {
+    const auto* a = as<Assign>(s);
+    if (a == nullptr) return;
+    if (!is_f64_assign(*a, kernel)) return;
+
+    if (as<ArrayRef>(a->lhs()) != nullptr) {
+      AUGEM_CHECK(is_leaf(a->rhs()),
+                  "store RHS must be a scalar leaf: " << s.to_string(0));
+      return;
+    }
+    const Expr& rhs = a->rhs();
+    if (is_leaf(rhs)) return;  // copy
+    if (const auto* ref = as<ArrayRef>(rhs)) {
+      (void)ref;
+      return;  // load
+    }
+    const auto* b = as<Binary>(rhs);
+    AUGEM_CHECK(b != nullptr && is_leaf(b->lhs()) && is_leaf(b->rhs()),
+                "not three-address form: " << s.to_string(0));
+  });
+}
+
+}  // namespace augem::transform

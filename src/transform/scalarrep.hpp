@@ -1,0 +1,34 @@
+#pragma once
+// Scalar replacement / three-address lowering (paper §2.1).
+//
+// Rewrites every floating-point assignment into the load / single-operator
+// / store form the paper's templates are defined over:
+//
+//   res = res + A[0]*B[0]        →  tmp0 = A[0]; tmp1 = B[0];
+//                                   tmp2 = tmp0 * tmp1; res = res + tmp2;
+//   C[0] = C[0] + res            →  tmp3 = C[0]; tmp4 = tmp3 + res;
+//                                   C[0] = tmp4;
+//
+// Every introduced temp is written exactly once and read exactly once,
+// which the Template Identifier exploits when matching dataflow patterns.
+// Integer and pointer assignments (loop control, cursor updates) pass
+// through untouched.
+//
+// Postcondition (the "IR invariant" of DESIGN.md §5): every F64 assignment
+// is one of
+//   scalar = array[const-or-var]          (load)
+//   scalar = scalar-or-const OP scalar-or-const   (single operator)
+//   scalar = scalar-or-const              (copy)
+//   array[idx] = scalar                   (store)
+
+#include "ir/kernel.hpp"
+
+namespace augem::transform {
+
+/// Applies scalar replacement to the whole kernel body.
+void scalar_replace(ir::Kernel& kernel);
+
+/// Verifies the postcondition above; throws augem::Error on violation.
+void check_three_address_form(const ir::Kernel& kernel);
+
+}  // namespace augem::transform

@@ -1,0 +1,121 @@
+#include "transform/strength.hpp"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "ir/affine.hpp"
+#include "ir/visit.hpp"
+#include "support/error.hpp"
+
+namespace augem::transform {
+
+using namespace augem::ir;
+
+namespace {
+
+/// One cursor introduced for a (base, subscript-family) group.
+struct Cursor {
+  std::string name;      // the new pointer local
+  std::string base;      // original array
+  Poly shape;            // subscript without its constant part
+  Poly increment;        // coeff(v) * step
+  Poly init_index;       // shape with v := lower
+};
+
+/// Group key: array base plus the canonical non-constant subscript part.
+struct GroupKey {
+  std::string base;
+  std::string shape_repr;
+  bool operator<(const GroupKey& o) const {
+    return std::tie(base, shape_repr) < std::tie(o.base, o.shape_repr);
+  }
+};
+
+StmtList process(StmtList stmts, Kernel& kernel);
+
+/// Strength-reduces one loop in place; returns the cursor-init statements
+/// to be placed immediately before it.
+StmtList reduce_loop(ForStmt& loop, Kernel& kernel) {
+  const std::string& v = loop.var();
+
+  // The loop lower bound as a polynomial (0, or the counter itself for
+  // remainder loops that continue from the main loop's final value).
+  const auto lower_poly = to_poly(loop.lower());
+  if (!lower_poly) return {};
+
+  // Discover subscript groups that vary linearly with v.
+  std::map<GroupKey, Cursor> cursors;
+  for_each_expr(loop.body(), [&](const Expr& e) {
+    const auto* ref = as<ArrayRef>(e);
+    if (ref == nullptr) return;
+    const auto poly = to_poly(ref->index());
+    if (!poly) return;
+    const auto coeff = poly->coefficient_of(v);
+    if (!coeff || coeff->terms().empty()) return;  // not linear / invariant
+    const Poly shape = poly->without_constant();
+    const GroupKey key{ref->base(), shape.to_expr()->to_string()};
+    if (cursors.count(key) > 0) return;
+    Cursor c;
+    c.name = kernel.fresh_name("ptr_" + ref->base());
+    c.base = ref->base();
+    c.shape = shape;
+    c.increment = *coeff * Poly::constant(loop.step());
+    c.init_index = shape.substitute(v, *lower_poly);
+    cursors.emplace(key, std::move(c));
+  });
+  if (cursors.empty()) return {};
+
+  for (const auto& [key, c] : cursors)
+    kernel.declare_local(c.name, ScalarType::kPtrF64);
+
+  // Rewrite matching references to cursor[constant].
+  StmtList body = rewrite_stmts(loop.body(), [&](const Expr& e) -> ExprPtr {
+    const auto* ref = as<ArrayRef>(e);
+    if (ref == nullptr) return nullptr;
+    const auto poly = to_poly(ref->index());
+    if (!poly) return nullptr;
+    const GroupKey key{ref->base(), poly->without_constant().to_expr()->to_string()};
+    const auto it = cursors.find(key);
+    if (it == cursors.end()) return nullptr;
+    return arr(it->second.name, ival(poly->constant_part()));
+  });
+
+  // Append the per-iteration cursor advances.
+  for (const auto& [key, c] : cursors)
+    body.push_back(assign(var(c.name), add(var(c.name), c.increment.to_expr())));
+  loop.mutable_body() = std::move(body);
+
+  // Build the init statements `ptr = base + shape(v := lower)`.
+  StmtList inits;
+  for (const auto& [key, c] : cursors) {
+    ExprPtr addr = c.init_index.terms().empty()
+                       ? var(c.base)
+                       : add(var(c.base), c.init_index.to_expr());
+    inits.push_back(assign(var(c.name), std::move(addr)));
+  }
+  return inits;
+}
+
+StmtList process(StmtList stmts, Kernel& kernel) {
+  StmtList out;
+  for (StmtPtr& s : stmts) {
+    if (auto* loop = as_mutable<ForStmt>(*s)) {
+      // Innermost-first: reduce nested loops before this one so that this
+      // level only sees subscripts varying with its own counter.
+      loop->mutable_body() = process(std::move(loop->mutable_body()), kernel);
+      StmtList inits = reduce_loop(*loop, kernel);
+      for (StmtPtr& init : inits) out.push_back(std::move(init));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+void strength_reduce(ir::Kernel& kernel) {
+  kernel.mutable_body() = process(std::move(kernel.mutable_body()), kernel);
+}
+
+}  // namespace augem::transform

@@ -1,0 +1,24 @@
+#pragma once
+// Strength reduction (paper §2.1): replaces repeated array-subscript
+// evaluation inside loops with incrementally advanced pointer cursors —
+// the `ptr_A`, `ptr_B`, `ptr_C0`, `ptr_C1` variables of the paper's Fig. 13.
+//
+// For each loop `for (v = lo; v < hi; v += s)` and each group of array
+// references `base[idx]` in its body whose subscripts are linear in `v` and
+// differ only by compile-time constants, the pass introduces a cursor
+//     ptr = base + (idx without its constant part, with v := lo);
+// rewrites the references to `ptr[const]`, and appends
+//     ptr = ptr + coeff(v) * s;
+// to the loop body. Coefficients may be symbolic (e.g. `ldc`), in which
+// case the increment is a runtime value. Loops are processed
+// innermost-first, so multi-loop subscripts like `A[l*mc + i]` reduce to a
+// cursor over `l` that is re-based once per `i` iteration.
+
+#include "ir/kernel.hpp"
+
+namespace augem::transform {
+
+/// Applies strength reduction to every loop of the kernel (innermost-first).
+void strength_reduce(ir::Kernel& kernel);
+
+}  // namespace augem::transform

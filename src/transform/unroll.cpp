@@ -1,0 +1,313 @@
+#include "transform/unroll.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/affine.hpp"
+#include "ir/visit.hpp"
+#include "support/error.hpp"
+
+namespace augem::transform {
+
+using namespace augem::ir;
+
+namespace {
+
+/// Applies `fn` to the unique loop over `loop_var`, replacing the loop
+/// statement with whatever list `fn` returns. Returns the number of loops
+/// replaced (expected: exactly 1).
+int replace_loop(StmtList& stmts, const std::string& loop_var,
+                 const std::function<StmtList(const ForStmt&)>& fn) {
+  int replaced = 0;
+  StmtList out;
+  for (StmtPtr& s : stmts) {
+    auto* loop = as_mutable<ForStmt>(*s);
+    if (loop != nullptr && loop->var() == loop_var) {
+      StmtList replacement = fn(*loop);
+      for (StmtPtr& r : replacement) out.push_back(std::move(r));
+      ++replaced;
+      continue;
+    }
+    if (loop != nullptr) replaced += replace_loop(loop->mutable_body(), loop_var, fn);
+    out.push_back(std::move(s));
+  }
+  stmts = std::move(out);
+  return replaced;
+}
+
+/// Clone of `body` with `v := v + offset`, re-canonicalizing subscripts so
+/// unrolled indices print as `i + 1` rather than `(i + 1)`-shaped trees
+/// nested inside products.
+StmtList offset_copy(const StmtList& body, const std::string& v,
+                     std::int64_t offset) {
+  StmtList copy =
+      offset == 0 ? clone_stmts(body)
+                  : substitute_var(body, v, *add(var(v), ival(offset)));
+  return rewrite_stmts(copy, [](const Expr& e) -> ExprPtr {
+    if (const auto* a = as<ArrayRef>(e))
+      return arr(a->base(), simplify_index(a->index()));
+    return nullptr;
+  });
+}
+
+/// Read/write name sets of a statement run. Array bases are treated as
+/// single conservative cells.
+struct Effects {
+  std::set<std::string> reads;
+  std::set<std::string> writes;
+};
+
+void collect_expr_reads(const Expr& e, std::set<std::string>& reads) {
+  if (const auto* v = as<VarRef>(e)) {
+    reads.insert(v->name());
+  } else if (const auto* a = as<ArrayRef>(e)) {
+    reads.insert(a->base());
+    collect_expr_reads(a->index(), reads);
+  } else if (const auto* b = as<Binary>(e)) {
+    collect_expr_reads(b->lhs(), reads);
+    collect_expr_reads(b->rhs(), reads);
+  }
+}
+
+void collect_effects(const Stmt& s, Effects& eff) {
+  switch (s.kind()) {
+    case StmtKind::kAssign: {
+      const auto& a = *as<Assign>(s);
+      collect_expr_reads(a.rhs(), eff.reads);
+      if (const auto* v = as<VarRef>(a.lhs())) {
+        eff.writes.insert(v->name());
+      } else if (const auto* ar = as<ArrayRef>(a.lhs())) {
+        eff.writes.insert(ar->base());
+        collect_expr_reads(ar->index(), eff.reads);
+      }
+      break;
+    }
+    case StmtKind::kFor: {
+      const auto& f = *as<ForStmt>(s);
+      eff.writes.insert(f.var());
+      eff.reads.insert(f.var());
+      collect_expr_reads(f.lower(), eff.reads);
+      collect_expr_reads(f.upper(), eff.reads);
+      for (const StmtPtr& b : f.body()) collect_effects(*b, eff);
+      break;
+    }
+    case StmtKind::kPrefetch: {
+      const auto& p = *as<Prefetch>(s);
+      eff.reads.insert(p.base());
+      collect_expr_reads(p.index(), eff.reads);
+      break;
+    }
+  }
+}
+
+Effects effects_of(const StmtList& stmts) {
+  Effects eff;
+  for (const StmtPtr& s : stmts) collect_effects(*s, eff);
+  return eff;
+}
+
+bool disjoint(const std::set<std::string>& a, const std::set<std::string>& b) {
+  return std::none_of(a.begin(), a.end(),
+                      [&](const std::string& x) { return b.count(x) > 0; });
+}
+
+/// True if statements with effects `moved` may be reordered across
+/// statements with effects `crossed` (no read-write or write-write hazard).
+bool reorder_legal(const Effects& moved, const Effects& crossed) {
+  return disjoint(moved.writes, crossed.reads) &&
+         disjoint(moved.writes, crossed.writes) &&
+         disjoint(moved.reads, crossed.writes);
+}
+
+/// Recursively fuses F structurally parallel statement lists: leading
+/// non-loop statements are grouped (in copy order), matching loops are
+/// fused with their bodies jam-merged, and the process repeats on the
+/// tails. Verifies the implied statement reordering is dependence-safe.
+StmtList jam_merge(std::vector<StmtList> copies) {
+  const std::size_t f = copies.size();
+  AUGEM_CHECK(f >= 2, "jam needs at least two copies");
+
+  // Split each copy at its first loop.
+  std::vector<StmtList> pres(f), tails(f);
+  std::vector<StmtPtr> loops(f);
+  bool any_loop = false;
+  for (std::size_t k = 0; k < f; ++k) {
+    StmtList& c = copies[k];
+    std::size_t p = 0;
+    while (p < c.size() && c[p]->kind() != StmtKind::kFor) {
+      pres[k].push_back(std::move(c[p]));
+      ++p;
+    }
+    if (p < c.size()) {
+      any_loop = true;
+      loops[k] = std::move(c[p]);
+      ++p;
+    }
+    while (p < c.size()) {
+      tails[k].push_back(std::move(c[p]));
+      ++p;
+    }
+  }
+
+  StmtList out;
+  if (!any_loop) {
+    for (std::size_t k = 0; k < f; ++k)
+      for (StmtPtr& s : pres[k]) out.push_back(std::move(s));
+    return out;
+  }
+
+  // Every copy must contribute a loop with an identical header; the copies
+  // come from unrolling one body, so a mismatch means the transform was
+  // applied to a kernel outside its domain.
+  for (std::size_t k = 0; k < f; ++k)
+    AUGEM_CHECK(loops[k] != nullptr,
+                "unroll&jam: copy " << k << " lacks the loop its siblings have");
+  const auto& head = *as<ForStmt>(*loops[0]);
+  for (std::size_t k = 1; k < f; ++k) {
+    const auto& lk = *as<ForStmt>(*loops[k]);
+    AUGEM_CHECK(lk.var() == head.var() && lk.step() == head.step() &&
+                    lk.lower().equals(head.lower()) &&
+                    lk.upper().equals(head.upper()),
+                "unroll&jam: loop headers over '" << head.var()
+                                                  << "' diverge across copies");
+  }
+
+  // Legality of the grouping reorder: copy k's pre-statements move ahead of
+  // copies <k's loop and tail; copy k's tail moves behind copies >k's loop
+  // (the pres of later copies were already checked symmetrically).
+  for (std::size_t k = 1; k < f; ++k) {
+    Effects moved = effects_of(pres[k]);
+    for (std::size_t j = 0; j < k; ++j) {
+      Effects crossed;
+      collect_effects(*loops[j], crossed);
+      Effects tail_eff = effects_of(tails[j]);
+      crossed.reads.insert(tail_eff.reads.begin(), tail_eff.reads.end());
+      crossed.writes.insert(tail_eff.writes.begin(), tail_eff.writes.end());
+      AUGEM_CHECK(reorder_legal(moved, crossed),
+                  "unroll&jam: hoisting statements of copy "
+                      << k << " across copy " << j << " is not dependence-safe");
+    }
+  }
+  for (std::size_t k = 0; k + 1 < f; ++k) {
+    Effects moved = effects_of(tails[k]);
+    for (std::size_t j = k + 1; j < f; ++j) {
+      Effects crossed;
+      collect_effects(*loops[j], crossed);
+      AUGEM_CHECK(reorder_legal(moved, crossed),
+                  "unroll&jam: sinking statements of copy "
+                      << k << " across copy " << j << " is not dependence-safe");
+    }
+  }
+
+  for (std::size_t k = 0; k < f; ++k)
+    for (StmtPtr& s : pres[k]) out.push_back(std::move(s));
+
+  std::vector<StmtList> inner_bodies;
+  inner_bodies.reserve(f);
+  for (std::size_t k = 0; k < f; ++k) {
+    auto* lk = as_mutable<ForStmt>(*loops[k]);
+    inner_bodies.push_back(std::move(lk->mutable_body()));
+  }
+  out.push_back(forloop(head.var(), head.lower().clone(), head.upper().clone(),
+                        head.step(), jam_merge(std::move(inner_bodies))));
+
+  bool tails_nonempty = false;
+  for (std::size_t k = 0; k < f; ++k) tails_nonempty |= !tails[k].empty();
+  if (tails_nonempty) {
+    StmtList merged_tails = jam_merge(std::move(tails));
+    for (StmtPtr& s : merged_tails) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Names of floating-point scalars assigned anywhere in `body`.
+std::set<std::string> written_f64_scalars(const StmtList& body,
+                                          const Kernel& kernel) {
+  std::set<std::string> names;
+  for_each_stmt(body, [&](const Stmt& s) {
+    if (const auto* a = as<Assign>(s)) {
+      if (const auto* v = as<VarRef>(a->lhs())) {
+        if (kernel.type_of(v->name()) == ScalarType::kF64)
+          names.insert(v->name());
+      }
+    }
+  });
+  return names;
+}
+
+}  // namespace
+
+void unroll(ir::Kernel& kernel, const std::string& loop_var, int factor,
+            bool assume_divisible) {
+  AUGEM_CHECK(factor >= 1, "unroll factor must be >= 1, got " << factor);
+  if (factor == 1) return;
+
+  const int n = replace_loop(
+      kernel.mutable_body(), loop_var, [&](const ForStmt& loop) -> StmtList {
+        const std::int64_t s = loop.step();
+        StmtList main_body;
+        for (int k = 0; k < factor; ++k) {
+          StmtList copy = offset_copy(loop.body(), loop_var, k * s);
+          for (StmtPtr& st : copy) main_body.push_back(std::move(st));
+        }
+        StmtList out;
+        ExprPtr main_upper =
+            assume_divisible
+                ? loop.upper().clone()
+                : sub(loop.upper().clone(), ival(factor * s - 1));
+        out.push_back(forloop(loop_var, loop.lower().clone(),
+                              std::move(main_upper), factor * s,
+                              std::move(main_body)));
+        if (!assume_divisible) {
+          // Remainder re-enters with the counter value the main loop left:
+          // rendered/lowered as a loop without counter re-initialization.
+          out.push_back(forloop(loop_var, var(loop_var), loop.upper().clone(),
+                                s, clone_stmts(loop.body())));
+        }
+        return out;
+      });
+  AUGEM_CHECK(n == 1, "expected exactly one loop over '" << loop_var
+                                                         << "', found " << n);
+}
+
+void unroll_and_jam(ir::Kernel& kernel, const std::string& loop_var, int factor,
+                    bool assume_divisible) {
+  AUGEM_CHECK(factor >= 1, "unroll&jam factor must be >= 1, got " << factor);
+  AUGEM_CHECK(assume_divisible,
+              "unroll&jam currently requires a divisible trip count (the "
+              "BLAS drivers guarantee this for the register-tile loops)");
+  if (factor == 1) return;
+
+  const int n = replace_loop(
+      kernel.mutable_body(), loop_var, [&](const ForStmt& loop) -> StmtList {
+        const std::int64_t s = loop.step();
+        const std::set<std::string> renamable =
+            written_f64_scalars(loop.body(), kernel);
+
+        std::vector<StmtList> copies;
+        copies.reserve(factor);
+        for (int k = 0; k < factor; ++k) {
+          StmtList copy = offset_copy(loop.body(), loop_var, k * s);
+          if (k > 0) {
+            // Rename per-iteration scalars apart (res → res1, res2, …),
+            // mirroring the res0…res3 expansion of the paper's Fig. 13.
+            for (const std::string& name : renamable) {
+              const std::string renamed = kernel.fresh_name(name);
+              kernel.declare_local(renamed, ScalarType::kF64);
+              copy = substitute_var(copy, name, *var(renamed));
+            }
+          }
+          copies.push_back(std::move(copy));
+        }
+
+        StmtList out;
+        out.push_back(forloop(loop_var, loop.lower().clone(),
+                              loop.upper().clone(), factor * s,
+                              jam_merge(std::move(copies))));
+        return out;
+      });
+  AUGEM_CHECK(n == 1, "expected exactly one loop over '" << loop_var
+                                                         << "', found " << n);
+}
+
+}  // namespace augem::transform

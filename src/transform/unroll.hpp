@@ -1,0 +1,40 @@
+#pragma once
+// Loop unrolling and unroll&jam (paper §2.1).
+//
+// `unroll` rewrites a counted loop
+//     for (v = lo; v < hi; v += s) B(v)
+// into
+//     for (v = lo; v < hi - (F*s - 1); v += F*s) { B(v); B(v+s); … }
+//     for (v = v;  v < hi;            v += s)   B(v)        // remainder
+// The remainder loop re-enters with the counter left by the main loop
+// (rendered as `for (v = v; …)`), and is omitted when the caller asserts
+// the trip count divides the factor (`assume_divisible`), as the GEMM macro
+// driver does for its register-tile loops.
+//
+// `unroll_and_jam` unrolls an *outer* loop and fuses the resulting copies
+// of the inner loop nest, recursively down to the innermost level, so the
+// innermost body ends up with F adjacent copies of the original statements
+// — the shape the paper's Fig. 13 shows for the 2×2-jammed GEMM kernel.
+// Per-iteration scalars written inside the copies (e.g. the `res`
+// accumulator) are renamed apart, producing `res`, `res1`, `res2`, … A
+// conservative legality check verifies that the statements hoisted/sunk
+// around fused loops do not touch state those loops use.
+
+#include <string>
+
+#include "ir/kernel.hpp"
+
+namespace augem::transform {
+
+/// Unrolls the unique loop over `loop_var` by `factor`.
+/// Throws if the loop is absent, duplicated, or factor < 1.
+void unroll(ir::Kernel& kernel, const std::string& loop_var, int factor,
+            bool assume_divisible = false);
+
+/// Unrolls the loop over `loop_var` by `factor` and jams the copies into
+/// the nested loops. Requires every copy of the body to be structurally
+/// parallel (which holds for the DLA kernels this framework targets).
+void unroll_and_jam(ir::Kernel& kernel, const std::string& loop_var, int factor,
+                    bool assume_divisible = false);
+
+}  // namespace augem::transform

@@ -1,0 +1,219 @@
+#include "tuning/tuner.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "asmgen/codegen.hpp"
+#include "jit/jit.hpp"
+#include "support/buffer.hpp"
+#include "support/error.hpp"
+#include "support/flops.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace augem::tuning {
+
+using frontend::KernelKind;
+using opt::OptConfig;
+using opt::VecStrategy;
+using transform::CGenParams;
+
+std::string Trial::describe() const {
+  std::ostringstream os;
+  os << params.to_string() << " strategy=" << opt::vec_strategy_name(strategy);
+  if (feasible) {
+    os << " -> " << static_cast<long>(mflops) << " MFLOPS";
+  } else {
+    os << " -> infeasible";
+  }
+  return os.str();
+}
+
+std::string TuneResult::report() const {
+  std::ostringstream os;
+  os << "tuning " << frontend::kernel_kind_name(kind) << " on "
+     << isa_name(config.isa) << ":\n";
+  for (const Trial& t : trials) os << "  " << t.describe() << "\n";
+  os << "best: " << params.to_string() << " strategy="
+     << opt::vec_strategy_name(config.strategy) << " ("
+     << static_cast<long>(mflops) << " MFLOPS)\n";
+  return os.str();
+}
+
+namespace {
+
+/// Builds + JITs one candidate; returns MFLOPS or nullopt if infeasible.
+/// `time_fn` runs the kernel once and returns the flop count.
+double time_candidate(KernelKind kind, const CGenParams& params,
+                      const OptConfig& config, const TuneWorkload& w) {
+  ir::Kernel opt_c = transform::generate_optimized_c(
+      kind, frontend::BLayout::kRowPanel, params);
+  asmgen::GeneratedKernel gen =
+      asmgen::generate_assembly(std::move(opt_c), config);
+  jit::CompiledModule mod = jit::assemble(gen.asm_text);
+
+  Rng rng(11);
+  switch (kind) {
+    case KernelKind::kGemm: {
+      auto* fn = mod.fn<void(long, long, long, const double*, const double*,
+                             double*, long)>(gen.name);
+      DoubleBuffer a(static_cast<std::size_t>(w.mc * w.kc));
+      DoubleBuffer b(static_cast<std::size_t>(w.nc * w.kc));
+      DoubleBuffer c(static_cast<std::size_t>(w.nc * w.mc));
+      rng.fill(a.span());
+      rng.fill(b.span());
+      const std::int64_t m_main = w.mc / params.mr * params.mr;
+      const std::int64_t n_main = w.nc / params.nr * params.nr;
+      const double s = time_best_of(w.reps, [&] {
+        fn(m_main, n_main, w.kc, a.data(), b.data(), c.data(), w.mc);
+      });
+      return mflops(gemm_flops(m_main, n_main, w.kc), s);
+    }
+    case KernelKind::kGemv: {
+      auto* fn = mod.fn<void(long, long, const double*, long, const double*,
+                             double*)>(gen.name);
+      const std::int64_t m = w.vec_len / 8, n = 64;
+      DoubleBuffer a(static_cast<std::size_t>(m * n));
+      DoubleBuffer x(static_cast<std::size_t>(n));
+      DoubleBuffer y(static_cast<std::size_t>(m));
+      rng.fill(a.span());
+      rng.fill(x.span());
+      const double s = time_best_of(
+          w.reps, [&] { fn(m, n, a.data(), m, x.data(), y.data()); });
+      return mflops(gemv_flops(m, n), s);
+    }
+    case KernelKind::kAxpy: {
+      auto* fn = mod.fn<void(long, double, const double*, double*)>(gen.name);
+      DoubleBuffer x(static_cast<std::size_t>(w.vec_len));
+      DoubleBuffer y(static_cast<std::size_t>(w.vec_len));
+      rng.fill(x.span());
+      const double s = time_best_of(
+          w.reps, [&] { fn(w.vec_len, 1.1, x.data(), y.data()); });
+      return mflops(axpy_flops(w.vec_len), s);
+    }
+    case KernelKind::kScal: {
+      auto* fn = mod.fn<void(long, double, double*)>(gen.name);
+      DoubleBuffer x(static_cast<std::size_t>(w.vec_len));
+      rng.fill(x.span());
+      const double s = time_best_of(
+          w.reps, [&] { fn(w.vec_len, 1.0000001, x.data()); });
+      return mflops(static_cast<double>(w.vec_len), s);
+    }
+    case KernelKind::kDot: {
+      auto* fn = mod.fn<double(long, const double*, const double*)>(gen.name);
+      DoubleBuffer x(static_cast<std::size_t>(w.vec_len));
+      DoubleBuffer y(static_cast<std::size_t>(w.vec_len));
+      rng.fill(x.span());
+      rng.fill(y.span());
+      volatile double sink = 0.0;
+      const double s = time_best_of(
+          w.reps, [&] { sink = fn(w.vec_len, x.data(), y.data()); });
+      (void)sink;
+      return mflops(dot_flops(w.vec_len), s);
+    }
+  }
+  AUGEM_FAIL("unknown kernel kind");
+}
+
+TuneResult run_search(KernelKind kind, Isa isa,
+                      const std::vector<Trial>& candidates,
+                      const TuneWorkload& w) {
+  TuneResult best;
+  best.kind = kind;
+  best.config.isa = isa;
+  for (Trial t : candidates) {
+    OptConfig config;
+    config.isa = isa;
+    config.strategy = t.strategy;
+    try {
+      t.mflops = time_candidate(kind, t.params, config, w);
+      t.feasible = true;
+    } catch (const Error&) {
+      t.mflops = 0.0;
+      t.feasible = false;
+    }
+    if (t.feasible && t.mflops > best.mflops) {
+      best.params = t.params;
+      best.config = config;
+      best.mflops = t.mflops;
+    }
+    best.trials.push_back(std::move(t));
+  }
+  AUGEM_CHECK(best.mflops > 0.0, "no feasible configuration found");
+  return best;
+}
+
+}  // namespace
+
+TuneResult tune_gemm(Isa isa, const TuneWorkload& workload) {
+  const int word = isa_vector_doubles(isa);
+  std::vector<Trial> candidates;
+  for (auto [mr, nr] : {std::pair{word, 2},
+                              {word, word},
+                              {2 * word, 2},
+                              {2 * word, word},
+                              {2 * word, 2 * word}}) {
+    for (int ku : {1, 2, 4}) {
+      for (bool prefetch : {false, true}) {
+        Trial t;
+        t.params.mr = mr;
+        t.params.nr = nr;
+        t.params.ku = ku;
+        t.params.prefetch.enabled = prefetch;
+        t.strategy = VecStrategy::kVdup;
+        candidates.push_back(t);
+        if (mr == word && nr == word && ku == 1) {
+          Trial s = t;
+          s.strategy = VecStrategy::kShuf;
+          candidates.push_back(s);
+        }
+      }
+    }
+  }
+  return run_search(KernelKind::kGemm, isa, candidates, workload);
+}
+
+TuneResult tune_level1(KernelKind kind, Isa isa, const TuneWorkload& workload) {
+  AUGEM_CHECK(kind != KernelKind::kGemm, "use tune_gemm for GEMM");
+  std::vector<Trial> candidates;
+  for (int unroll : {4, 8, 16, 32}) {
+    Trial t;
+    t.params.unroll = unroll;
+    candidates.push_back(t);
+  }
+  return run_search(kind, isa, candidates, workload);
+}
+
+void save_result(const TuneResult& result, const std::string& path) {
+  std::ofstream out(path, std::ios::app);
+  AUGEM_CHECK(out.good(), "cannot write tuning cache " << path);
+  out << frontend::kernel_kind_name(result.kind) << " "
+      << isa_name(result.config.isa) << " " << result.params.mr << " "
+      << result.params.nr << " " << result.params.ku << " "
+      << result.params.unroll << " "
+      << opt::vec_strategy_name(result.config.strategy) << " "
+      << result.mflops << "\n";
+}
+
+bool load_result(KernelKind kind, Isa isa, const std::string& path,
+                 TuneResult& out) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::string k, i, strat;
+  TuneResult r;
+  bool found = false;
+  while (in >> k >> i >> r.params.mr >> r.params.nr >> r.params.ku >>
+         r.params.unroll >> strat >> r.mflops) {
+    if (k != frontend::kernel_kind_name(kind) || i != isa_name(isa)) continue;
+    r.kind = kind;
+    r.config.isa = isa;
+    for (VecStrategy s : {VecStrategy::kVdup, VecStrategy::kShuf,
+                          VecStrategy::kScalar, VecStrategy::kAuto})
+      if (strat == opt::vec_strategy_name(s)) r.config.strategy = s;
+    out = r;
+    found = true;  // keep scanning: last entry wins
+  }
+  return found;
+}
+
+}  // namespace augem::tuning

@@ -1,0 +1,66 @@
+#pragma once
+// Empirical tuning (paper §2.1): "our Optimized C Kernel Generator
+// automatically experiments with different unrolling and unroll&jam
+// configurations and selects the best performing configurations based on
+// the performance of their optimized code."
+//
+// The tuner enumerates candidate (register tile, inner unroll,
+// vectorization strategy) points, generates + JIT-compiles each kernel,
+// times it on representative packed workloads, and returns the winner.
+// Configurations the planner rejects (register-budget overflow, Shuf shape
+// violations) are skipped, exactly like ATLAS-style search spaces prune
+// infeasible points.
+
+#include <string>
+#include <vector>
+
+#include "frontend/kernels.hpp"
+#include "opt/plan.hpp"
+#include "transform/ckernel.hpp"
+
+namespace augem::tuning {
+
+/// One evaluated search point.
+struct Trial {
+  transform::CGenParams params;
+  opt::VecStrategy strategy = opt::VecStrategy::kVdup;
+  double mflops = 0.0;   ///< 0 when the point was infeasible
+  bool feasible = false;
+  std::string describe() const;
+};
+
+/// Search outcome: the winning configuration plus the full trial log.
+struct TuneResult {
+  frontend::KernelKind kind{};
+  transform::CGenParams params;
+  opt::OptConfig config;
+  double mflops = 0.0;
+  std::vector<Trial> trials;
+
+  std::string report() const;
+};
+
+/// Workload extents used for timing (packed-block shapes for GEMM,
+/// vector length for the Level-1/2 kernels).
+struct TuneWorkload {
+  std::int64_t mc = 128;
+  std::int64_t nc = 128;
+  std::int64_t kc = 256;
+  std::int64_t vec_len = 8192;
+  int reps = 5;  ///< timing repetitions per candidate (best-of)
+};
+
+/// Tunes the GEMM register tile and strategy for `isa`.
+TuneResult tune_gemm(Isa isa, const TuneWorkload& workload = {});
+
+/// Tunes the inner-loop unroll factor for GEMV / AXPY / DOT.
+TuneResult tune_level1(frontend::KernelKind kind, Isa isa,
+                       const TuneWorkload& workload = {});
+
+/// Persists / restores a result keyed by (kernel kind, ISA) in a simple
+/// text cache, so repeated runs skip the search.
+void save_result(const TuneResult& result, const std::string& path);
+bool load_result(frontend::KernelKind kind, Isa isa, const std::string& path,
+                 TuneResult& out);
+
+}  // namespace augem::tuning

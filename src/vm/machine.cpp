@@ -1,0 +1,339 @@
+#include "vm/machine.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace augem::vm {
+
+using namespace augem::opt;
+
+namespace {
+constexpr std::size_t kStackBytes = 1 << 16;
+}
+
+Machine::Machine(const MInstList& insts)
+    : insts_(insts), stack_(kStackBytes) {
+  std::map<std::string, std::size_t> labels;
+  for (std::size_t i = 0; i < insts_.size(); ++i) {
+    if (insts_[i].op == MOp::kLabel) {
+      AUGEM_CHECK(labels.emplace(insts_[i].label, i).second,
+                  "duplicate label " << insts_[i].label);
+    }
+  }
+  label_target_.assign(insts_.size(), 0);
+  for (std::size_t i = 0; i < insts_.size(); ++i) {
+    const MInst& inst = insts_[i];
+    switch (inst.op) {
+      case MOp::kJl:
+      case MOp::kJge:
+      case MOp::kJne:
+      case MOp::kJe:
+      case MOp::kJmp: {
+        const auto it = labels.find(inst.label);
+        AUGEM_CHECK(it != labels.end(), "unknown jump target " << inst.label);
+        label_target_[i] = it->second;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+std::int64_t Machine::addr_of(const Mem& m) const {
+  AUGEM_CHECK(m.valid(), "invalid memory operand");
+  std::int64_t a = gpr_[index_of(m.base)] + m.disp;
+  if (m.has_index()) a += gpr_[index_of(m.index)] * m.scale;
+  return a;
+}
+
+double* Machine::ptr_of(const Mem& m) const {
+  return reinterpret_cast<double*>(addr_of(m));
+}
+
+double Machine::call(const std::vector<Arg>& args) {
+  gpr_.fill(0);
+  for (auto& v : vr_) v.fill(0.0);
+  flag_lt_ = flag_eq_ = false;
+
+  // SysV argument passing.
+  static constexpr Gpr kIntArgs[6] = {Gpr::rdi, Gpr::rsi, Gpr::rdx,
+                                      Gpr::rcx, Gpr::r8, Gpr::r9};
+  int next_int = 0, next_sse = 0;
+  std::vector<std::int64_t> stack_args;
+  for (const Arg& a : args) {
+    if (std::holds_alternative<double>(a)) {
+      AUGEM_CHECK(next_sse < 8, "too many double args");
+      vr_[next_sse++][0] = std::get<double>(a);
+      continue;
+    }
+    std::int64_t v = 0;
+    if (std::holds_alternative<std::int64_t>(a)) {
+      v = std::get<std::int64_t>(a);
+    } else if (std::holds_alternative<double*>(a)) {
+      v = reinterpret_cast<std::int64_t>(std::get<double*>(a));
+    } else {
+      v = reinterpret_cast<std::int64_t>(std::get<const double*>(a));
+    }
+    if (next_int < 6) {
+      gpr_[index_of(kIntArgs[next_int++])] = v;
+    } else {
+      stack_args.push_back(v);
+    }
+  }
+
+  // Stack: rsp points at a fake return address; stack args live above it.
+  std::int64_t rsp = reinterpret_cast<std::int64_t>(stack_.data()) +
+                     static_cast<std::int64_t>(stack_.size()) - 4096;
+  rsp &= ~std::int64_t{15};
+  rsp -= 8;  // return-address slot
+  for (std::size_t k = 0; k < stack_args.size(); ++k)
+    std::memcpy(reinterpret_cast<void*>(rsp + 8 + 8 * static_cast<std::int64_t>(k)),
+                &stack_args[k], 8);
+  gpr_[index_of(Gpr::rsp)] = rsp;
+
+  steps_ = 0;
+  std::size_t pc = 0;
+  while (pc < insts_.size()) {
+    AUGEM_CHECK(++steps_ <= step_limit_, "VM step limit exceeded");
+    const MInst& i = insts_[pc];
+    const int w = i.width;
+    switch (i.op) {
+      case MOp::kVZero:
+        vr_[index_of(i.vdst)].fill(0.0);
+        break;
+      case MOp::kVLoad:
+      case MOp::kFLoad: {
+        const double* p = ptr_of(i.mem);
+        auto& d = vr_[index_of(i.vdst)];
+        for (int k = 0; k < 4; ++k) d[k] = k < w ? p[k] : 0.0;
+        break;
+      }
+      case MOp::kVStore:
+      case MOp::kFStore: {
+        double* p = ptr_of(i.mem);
+        const auto& s = vr_[index_of(i.vsrc1)];
+        for (int k = 0; k < w; ++k) p[k] = s[k];
+        break;
+      }
+      case MOp::kVBroadcast: {
+        const double v = *ptr_of(i.mem);
+        auto& d = vr_[index_of(i.vdst)];
+        for (int k = 0; k < 4; ++k) d[k] = k < w ? v : 0.0;
+        break;
+      }
+      case MOp::kVMov:
+        vr_[index_of(i.vdst)] = vr_[index_of(i.vsrc1)];
+        break;
+      case MOp::kVMul:
+      case MOp::kVAdd: {
+        const auto a = vr_[index_of(i.vsrc1)];
+        const auto b = vr_[index_of(i.vsrc2)];
+        auto& d = vr_[index_of(i.vdst)];
+        for (int k = 0; k < 4; ++k) {
+          if (k < w) {
+            d[k] = i.op == MOp::kVMul ? a[k] * b[k] : a[k] + b[k];
+          } else {
+            d[k] = a[k];  // narrower ops inherit src1's upper lanes
+          }
+        }
+        break;
+      }
+      case MOp::kVFma231: {
+        const auto a = vr_[index_of(i.vsrc1)];
+        const auto b = vr_[index_of(i.vsrc2)];
+        auto& d = vr_[index_of(i.vdst)];
+        // Fused: single rounding, exactly as the silicon computes it.
+        for (int k = 0; k < w; ++k) d[k] = std::fma(a[k], b[k], d[k]);
+        break;
+      }
+      case MOp::kVFma4: {
+        const auto a = vr_[index_of(i.vsrc1)];
+        const auto b = vr_[index_of(i.vsrc2)];
+        const auto c = vr_[index_of(i.vsrc3)];
+        auto& d = vr_[index_of(i.vdst)];
+        for (int k = 0; k < 4; ++k)
+          d[k] = k < w ? std::fma(a[k], b[k], c[k]) : a[k];
+        break;
+      }
+      case MOp::kVShuf: {
+        const auto a = vr_[index_of(i.vsrc1)];
+        const auto b = vr_[index_of(i.vsrc2)];
+        auto& d = vr_[index_of(i.vdst)];
+        const auto imm = i.imm;
+        std::array<double, 4> r = a;
+        r[0] = a[imm & 1];
+        r[1] = b[(imm >> 1) & 1];
+        if (w == 4) {
+          r[2] = a[2 + ((imm >> 2) & 1)];
+          r[3] = b[2 + ((imm >> 3) & 1)];
+        }
+        d = r;
+        break;
+      }
+      case MOp::kVPerm128: {
+        const auto a = vr_[index_of(i.vsrc1)];
+        const auto b = vr_[index_of(i.vsrc2)];
+        auto pick = [&](int sel, int lane) {
+          switch (sel & 3) {
+            case 0: return a[lane];
+            case 1: return a[2 + lane];
+            case 2: return b[lane];
+            default: return b[2 + lane];
+          }
+        };
+        auto& d = vr_[index_of(i.vdst)];
+        const auto imm = i.imm;
+        std::array<double, 4> r{};
+        r[0] = pick(static_cast<int>(imm), 0);
+        r[1] = pick(static_cast<int>(imm), 1);
+        r[2] = pick(static_cast<int>(imm >> 4), 0);
+        r[3] = pick(static_cast<int>(imm >> 4), 1);
+        d = r;
+        break;
+      }
+      case MOp::kVBlend: {
+        const auto a = vr_[index_of(i.vsrc1)];
+        const auto b = vr_[index_of(i.vsrc2)];
+        auto& d = vr_[index_of(i.vdst)];
+        std::array<double, 4> r = a;
+        for (int k = 0; k < w; ++k) r[k] = (i.imm >> k) & 1 ? b[k] : a[k];
+        d = r;
+        break;
+      }
+      case MOp::kVExtractHigh: {
+        const auto s = vr_[index_of(i.vsrc1)];
+        auto& d = vr_[index_of(i.vdst)];
+        d = {s[2], s[3], 0.0, 0.0};
+        break;
+      }
+
+      case MOp::kIMovImm:
+        gpr_[index_of(i.gdst)] = i.imm;
+        break;
+      case MOp::kIMov:
+        gpr_[index_of(i.gdst)] = gpr_[index_of(i.gsrc)];
+        break;
+      case MOp::kIAdd:
+        gpr_[index_of(i.gdst)] += gpr_[index_of(i.gsrc)];
+        break;
+      case MOp::kIAddImm:
+        gpr_[index_of(i.gdst)] += i.imm;
+        break;
+      case MOp::kISub:
+        gpr_[index_of(i.gdst)] -= gpr_[index_of(i.gsrc)];
+        break;
+      case MOp::kISubImm:
+        gpr_[index_of(i.gdst)] -= i.imm;
+        break;
+      case MOp::kIMul:
+        gpr_[index_of(i.gdst)] *= gpr_[index_of(i.gsrc)];
+        break;
+      case MOp::kIMulImm:
+        gpr_[index_of(i.gdst)] = gpr_[index_of(i.gsrc)] * i.imm;
+        break;
+      case MOp::kIShlImm:
+        gpr_[index_of(i.gdst)] = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(gpr_[index_of(i.gdst)]) << i.imm);
+        break;
+      case MOp::kINeg:
+        gpr_[index_of(i.gdst)] = -gpr_[index_of(i.gdst)];
+        break;
+      case MOp::kILoad:
+        std::memcpy(&gpr_[index_of(i.gdst)],
+                    reinterpret_cast<void*>(addr_of(i.mem)), 8);
+        break;
+      case MOp::kIAddMem:
+      case MOp::kISubMem:
+      case MOp::kIMulMem: {
+        std::int64_t v = 0;
+        std::memcpy(&v, reinterpret_cast<void*>(addr_of(i.mem)), 8);
+        auto& d = gpr_[index_of(i.gdst)];
+        if (i.op == MOp::kIAddMem) {
+          d += v;
+        } else if (i.op == MOp::kISubMem) {
+          d -= v;
+        } else {
+          d *= v;
+        }
+        break;
+      }
+      case MOp::kIStore:
+        std::memcpy(reinterpret_cast<void*>(addr_of(i.mem)),
+                    &gpr_[index_of(i.gsrc)], 8);
+        break;
+      case MOp::kLea:
+        gpr_[index_of(i.gdst)] = addr_of(i.mem);
+        break;
+
+      case MOp::kCmp: {
+        const std::int64_t a = gpr_[index_of(i.gdst)];
+        const std::int64_t b = gpr_[index_of(i.gsrc)];
+        flag_lt_ = a < b;
+        flag_eq_ = a == b;
+        break;
+      }
+      case MOp::kCmpImm: {
+        const std::int64_t a = gpr_[index_of(i.gdst)];
+        flag_lt_ = a < i.imm;
+        flag_eq_ = a == i.imm;
+        break;
+      }
+      case MOp::kJl:
+        if (flag_lt_) {
+          pc = label_target_[pc];
+          continue;
+        }
+        break;
+      case MOp::kJge:
+        if (!flag_lt_) {
+          pc = label_target_[pc];
+          continue;
+        }
+        break;
+      case MOp::kJne:
+        if (!flag_eq_) {
+          pc = label_target_[pc];
+          continue;
+        }
+        break;
+      case MOp::kJe:
+        if (flag_eq_) {
+          pc = label_target_[pc];
+          continue;
+        }
+        break;
+      case MOp::kJmp:
+        pc = label_target_[pc];
+        continue;
+
+      case MOp::kPush:
+        gpr_[index_of(Gpr::rsp)] -= 8;
+        std::memcpy(reinterpret_cast<void*>(gpr_[index_of(Gpr::rsp)]),
+                    &gpr_[index_of(i.gsrc)], 8);
+        break;
+      case MOp::kPop:
+        std::memcpy(&gpr_[index_of(i.gdst)],
+                    reinterpret_cast<void*>(gpr_[index_of(Gpr::rsp)]), 8);
+        gpr_[index_of(Gpr::rsp)] += 8;
+        break;
+      case MOp::kVZeroUpper:
+        for (auto& v : vr_) v[2] = v[3] = 0.0;
+        break;
+      case MOp::kRet:
+        return vr_[0][0];
+
+      case MOp::kLabel:
+      case MOp::kPrefetch:
+      case MOp::kComment:
+        break;
+    }
+    ++pc;
+  }
+  AUGEM_FAIL("function fell off the end without ret");
+}
+
+}  // namespace augem::vm

@@ -1,0 +1,59 @@
+#pragma once
+// Machine-IR interpreter.
+//
+// Executes a generated kernel's MInstList directly against host memory,
+// emulating the x86-64 register state (16 GPRs, 16 × 256-bit vector
+// registers, comparison flags, a private stack). This is the semantic
+// test-bed for *every* ISA variant the framework targets — in particular
+// AMD FMA4, which the host CPU cannot execute natively (DESIGN.md §2) —
+// and the reference the JIT-compiled native code is cross-checked against.
+//
+// Calls follow the SysV ABI the generated prologue expects: integer and
+// pointer arguments in rdi/rsi/rdx/rcx/r8/r9 then on the stack, doubles in
+// xmm0+. The return value is xmm0 lane 0.
+
+#include <array>
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "opt/minst.hpp"
+
+namespace augem::vm {
+
+/// Argument value for a VM call.
+using Arg = std::variant<std::int64_t, double, double*, const double*>;
+
+class Machine {
+ public:
+  /// Resolves labels; throws on duplicate/missing jump targets.
+  explicit Machine(const opt::MInstList& insts);
+
+  /// Runs the function with the given arguments; returns xmm0 lane 0.
+  /// Throws augem::Error on step-limit overrun (runaway loop) or on
+  /// malformed instructions.
+  double call(const std::vector<Arg>& args);
+
+  /// Upper bound on executed instructions per call (default 500M).
+  void set_step_limit(std::int64_t limit) { step_limit_ = limit; }
+
+  /// Number of instructions executed by the last call.
+  std::int64_t steps_executed() const { return steps_; }
+
+ private:
+  std::int64_t addr_of(const opt::Mem& m) const;
+  double* ptr_of(const opt::Mem& m) const;
+
+  const opt::MInstList& insts_;
+  std::vector<std::size_t> label_target_;  // per instruction index of jumps
+  std::int64_t step_limit_ = 500'000'000;
+  std::int64_t steps_ = 0;
+
+  std::array<std::int64_t, opt::kNumGprs> gpr_{};
+  std::array<std::array<double, 4>, opt::kNumVrs> vr_{};
+  bool flag_lt_ = false;
+  bool flag_eq_ = false;
+  std::vector<std::uint8_t> stack_;
+};
+
+}  // namespace augem::vm

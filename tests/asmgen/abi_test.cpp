@@ -1,0 +1,48 @@
+#include "asmgen/abi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/kernels.hpp"
+
+namespace augem::asmgen {
+namespace {
+
+using opt::Gpr;
+using opt::Vr;
+
+TEST(Abi, GemmSeventhArgOnStack) {
+  const auto args = classify_arguments(frontend::make_gemm_kernel());
+  ASSERT_EQ(args.size(), 7u);
+  EXPECT_EQ(args[0].gpr, Gpr::rdi);  // mc
+  EXPECT_EQ(args[1].gpr, Gpr::rsi);  // nc
+  EXPECT_EQ(args[2].gpr, Gpr::rdx);  // kc
+  EXPECT_EQ(args[3].gpr, Gpr::rcx);  // A
+  EXPECT_EQ(args[4].gpr, Gpr::r8);   // B
+  EXPECT_EQ(args[5].gpr, Gpr::r9);   // C
+  EXPECT_FALSE(args[6].in_register);  // ldc
+  EXPECT_EQ(args[6].entry_stack_offset, 8);
+}
+
+TEST(Abi, AxpyDoubleGoesToXmm0) {
+  const auto args = classify_arguments(frontend::make_axpy_kernel());
+  ASSERT_EQ(args.size(), 4u);
+  EXPECT_EQ(args[0].gpr, Gpr::rdi);  // n
+  EXPECT_EQ(args[1].vr, Vr::v0);     // alpha — SSE class
+  EXPECT_EQ(args[2].gpr, Gpr::rsi);  // x — integer class continues
+  EXPECT_EQ(args[3].gpr, Gpr::rdx);  // y
+}
+
+TEST(Abi, DotAllInRegisters) {
+  const auto args = classify_arguments(frontend::make_dot_kernel());
+  ASSERT_EQ(args.size(), 3u);
+  for (const auto& a : args) EXPECT_TRUE(a.in_register);
+}
+
+TEST(Abi, GemvSixIntegerArgs) {
+  const auto args = classify_arguments(frontend::make_gemv_kernel());
+  ASSERT_EQ(args.size(), 6u);
+  EXPECT_EQ(args[5].gpr, Gpr::r9);
+}
+
+}  // namespace
+}  // namespace augem::asmgen

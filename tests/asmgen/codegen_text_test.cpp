@@ -1,0 +1,145 @@
+// Structural checks on the generated assembly text: ISA-specific
+// instructions appear exactly where the mapping rules (paper Tables 1-4)
+// say they should.
+
+#include <gtest/gtest.h>
+
+#include "../common/genrun.hpp"
+
+namespace augem::testing {
+namespace {
+
+using frontend::BLayout;
+using frontend::KernelKind;
+using opt::OptConfig;
+using opt::VecStrategy;
+using transform::CGenParams;
+
+std::string gemm_asm(Isa isa, VecStrategy s, int mr = 4, int nr = 4) {
+  CGenParams p;
+  p.mr = mr;
+  p.nr = nr;
+  OptConfig c;
+  c.isa = isa;
+  c.strategy = s;
+  return build_kernel(KernelKind::kGemm, p, c).asm_text;
+}
+
+TEST(CodegenText, Fma3KernelUsesFusedMultiplyAdd) {
+  const std::string s = gemm_asm(Isa::kFma3, VecStrategy::kVdup);
+  EXPECT_NE(s.find("vfmadd231pd"), std::string::npos);
+  EXPECT_EQ(s.find("vmulpd"), std::string::npos);  // fused: no discrete mul
+}
+
+TEST(CodegenText, Fma4KernelUsesFourOperandFma) {
+  const std::string s = gemm_asm(Isa::kFma4, VecStrategy::kVdup);
+  EXPECT_NE(s.find("vfmaddpd"), std::string::npos);
+  EXPECT_EQ(s.find("vfmadd231pd"), std::string::npos);
+}
+
+TEST(CodegenText, AvxKernelUsesDiscreteMulAdd) {
+  const std::string s = gemm_asm(Isa::kAvx, VecStrategy::kVdup);
+  EXPECT_NE(s.find("vmulpd"), std::string::npos);
+  EXPECT_NE(s.find("vaddpd"), std::string::npos);
+  EXPECT_EQ(s.find("fmadd"), std::string::npos);
+  EXPECT_NE(s.find("vbroadcastsd"), std::string::npos);  // Vdup on 256-bit
+  EXPECT_NE(s.find("%ymm"), std::string::npos);
+}
+
+TEST(CodegenText, SseKernelIsTwoOperandXmm) {
+  const std::string s = gemm_asm(Isa::kSse2, VecStrategy::kVdup, 2, 2);
+  EXPECT_NE(s.find("mulpd"), std::string::npos);
+  EXPECT_NE(s.find("movddup"), std::string::npos);  // Vdup on 128-bit
+  EXPECT_EQ(s.find("%ymm"), std::string::npos);     // strictly 128-bit
+  EXPECT_EQ(s.find("vmulpd"), std::string::npos);   // no VEX encodings
+}
+
+TEST(CodegenText, ShufStrategyEmitsShuffles) {
+  const std::string avx = gemm_asm(Isa::kAvx, VecStrategy::kShuf);
+  EXPECT_NE(avx.find("vshufpd"), std::string::npos);
+  EXPECT_NE(avx.find("vperm2f128"), std::string::npos);
+  EXPECT_NE(avx.find("vblendpd"), std::string::npos);
+  EXPECT_EQ(avx.find("vbroadcastsd"), std::string::npos);  // no Vdup
+
+  const std::string sse = gemm_asm(Isa::kSse2, VecStrategy::kShuf, 2, 2);
+  EXPECT_NE(sse.find("shufpd"), std::string::npos);
+  EXPECT_EQ(sse.find("movddup"), std::string::npos);
+}
+
+TEST(CodegenText, VdupStrategyHasNoShuffles) {
+  const std::string s = gemm_asm(Isa::kFma3, VecStrategy::kVdup);
+  EXPECT_EQ(s.find("vshufpd"), std::string::npos);
+  EXPECT_EQ(s.find("vperm2f128"), std::string::npos);
+}
+
+TEST(CodegenText, PrefetchInstructionsAppear) {
+  CGenParams p;
+  p.mr = 4;
+  p.nr = 2;
+  p.prefetch.enabled = true;
+  OptConfig c;
+  c.isa = Isa::kFma3;
+  const std::string s =
+      build_kernel(KernelKind::kGemm, p, c).asm_text;
+  EXPECT_NE(s.find("prefetcht0"), std::string::npos);
+}
+
+TEST(CodegenText, RegionCommentsDocumentTemplates) {
+  const std::string s = gemm_asm(Isa::kFma3, VecStrategy::kVdup);
+  EXPECT_NE(s.find("mmUnrolledCOMP"), std::string::npos);
+  EXPECT_NE(s.find("mmUnrolledSTORE"), std::string::npos);
+  EXPECT_NE(s.find("accINIT"), std::string::npos);
+}
+
+TEST(CodegenText, DotReturnsInXmm0) {
+  CGenParams p;
+  p.unroll = 8;
+  OptConfig c;
+  c.isa = Isa::kFma3;
+  const auto g = build_kernel(KernelKind::kDot, p, c);
+  // A reduction sequence must appear before ret.
+  EXPECT_NE(g.asm_text.find("vextractf128"), std::string::npos);
+  EXPECT_NE(g.asm_text.find("ret"), std::string::npos);
+}
+
+TEST(CodegenText, CalleeSavedRegistersAreRestored) {
+  const auto g = [&] {
+    CGenParams p;
+    p.mr = 8;
+    p.nr = 4;
+    OptConfig c;
+    c.isa = Isa::kFma3;
+    return build_kernel(KernelKind::kGemm, p, c);
+  }();
+  for (opt::Gpr r : g.saved_gprs) {
+    const std::string name = opt::gpr_name(r);
+    EXPECT_NE(g.asm_text.find("pushq %" + name), std::string::npos) << name;
+    EXPECT_NE(g.asm_text.find("popq %" + name), std::string::npos) << name;
+  }
+  // Pushes and pops must balance.
+  std::size_t pushes = 0, pops = 0, pos = 0;
+  while ((pos = g.asm_text.find("pushq", pos)) != std::string::npos) {
+    ++pushes;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = g.asm_text.find("popq", pos)) != std::string::npos) {
+    ++pops;
+    ++pos;
+  }
+  EXPECT_EQ(pushes, pops);
+}
+
+TEST(CodegenText, AxpyBroadcastsAlpha) {
+  CGenParams p;
+  p.unroll = 8;
+  OptConfig c;
+  c.isa = Isa::kAvx;
+  const std::string s = build_kernel(KernelKind::kAxpy, p, c).asm_text;
+  // alpha arrives in xmm0, is spilled to the frame and broadcast.
+  EXPECT_NE(s.find("vmovsd %xmm0"), std::string::npos);
+  EXPECT_NE(s.find("vbroadcastsd"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace augem::testing

@@ -1,0 +1,103 @@
+#include "asmgen/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace augem::asmgen {
+namespace {
+
+using namespace augem::opt;
+
+TEST(Printer, LoadsByWidth) {
+  EXPECT_EQ(print_inst(vload(Vr::v1, mem_bd(Gpr::rdi, 16), 1, false)),
+            "movsd 16(%rdi), %xmm1");
+  EXPECT_EQ(print_inst(vload(Vr::v1, mem_bd(Gpr::rdi, 16), 2, false)),
+            "movupd 16(%rdi), %xmm1");
+  EXPECT_EQ(print_inst(vload(Vr::v1, mem_bd(Gpr::rdi, 0), 4, true)),
+            "vmovupd (%rdi), %ymm1");
+}
+
+TEST(Printer, SseTwoOperandMulRequiresDstEqualsSrc1) {
+  EXPECT_EQ(print_inst(vmul(Vr::v2, Vr::v2, Vr::v3, 2, false)),
+            "mulpd %xmm3, %xmm2");
+  EXPECT_THROW(print_inst(vmul(Vr::v2, Vr::v1, Vr::v3, 2, false)), Error);
+}
+
+TEST(Printer, AvxThreeOperand) {
+  EXPECT_EQ(print_inst(vmul(Vr::v2, Vr::v0, Vr::v1, 4, true)),
+            "vmulpd %ymm1, %ymm0, %ymm2");
+  EXPECT_EQ(print_inst(vadd(Vr::v5, Vr::v5, Vr::v6, 1, true)),
+            "vaddsd %xmm6, %xmm5, %xmm5");
+}
+
+TEST(Printer, FmaForms) {
+  // FMA3: acc = a*b + acc.
+  EXPECT_EQ(print_inst(vfma231(Vr::v8, Vr::v0, Vr::v1, 4)),
+            "vfmadd231pd %ymm1, %ymm0, %ymm8");
+  // FMA4: four distinct operands allowed.
+  EXPECT_EQ(print_inst(vfma4(Vr::v8, Vr::v0, Vr::v1, Vr::v8, 4)),
+            "vfmaddpd %ymm8, %ymm1, %ymm0, %ymm8");
+}
+
+TEST(Printer, BroadcastByIsaWidth) {
+  EXPECT_EQ(print_inst(vbroadcast(Vr::v4, mem_bd(Gpr::r8, 8), 2, false)),
+            "movddup 8(%r8), %xmm4");
+  EXPECT_EQ(print_inst(vbroadcast(Vr::v4, mem_bd(Gpr::r8, 8), 4, true)),
+            "vbroadcastsd 8(%r8), %ymm4");
+}
+
+TEST(Printer, ShufflePermuteBlend) {
+  EXPECT_EQ(print_inst(vshuf(Vr::v1, Vr::v2, Vr::v3, 5, 4, true)),
+            "vshufpd $5, %ymm3, %ymm2, %ymm1");
+  EXPECT_EQ(print_inst(vperm128(Vr::v1, Vr::v2, Vr::v2, 1)),
+            "vperm2f128 $1, %ymm2, %ymm2, %ymm1");
+  EXPECT_EQ(print_inst(vblend(Vr::v1, Vr::v2, Vr::v3, 10, 4, true)),
+            "vblendpd $10, %ymm3, %ymm2, %ymm1");
+  EXPECT_EQ(print_inst(vextract_high(Vr::v1, Vr::v9)),
+            "vextractf128 $1, %ymm9, %xmm1");
+}
+
+TEST(Printer, ZeroIdiom) {
+  EXPECT_EQ(print_inst(vzero(Vr::v7, 2, false)), "xorpd %xmm7, %xmm7");
+  EXPECT_EQ(print_inst(vzero(Vr::v7, 4, true)),
+            "vxorpd %ymm7, %ymm7, %ymm7");
+}
+
+TEST(Printer, IntegerAndControl) {
+  EXPECT_EQ(print_inst(imov_imm(Gpr::rax, 42)), "movabsq $42, %rax");
+  EXPECT_EQ(print_inst(iadd(Gpr::rbx, Gpr::rcx)), "addq %rcx, %rbx");
+  EXPECT_EQ(print_inst(imul_imm(Gpr::rdx, Gpr::rsi, 8)),
+            "imulq $8, %rsi, %rdx");
+  EXPECT_EQ(print_inst(ishl_imm(Gpr::r10, 3)), "salq $3, %r10");
+  EXPECT_EQ(print_inst(lea(Gpr::rax, mem_bis(Gpr::rdi, Gpr::r10, 8, 0))),
+            "leaq (%rdi,%r10,8), %rax");
+  EXPECT_EQ(print_inst(cmp(Gpr::rax, Gpr::rbx)), "cmpq %rbx, %rax");
+  EXPECT_EQ(print_inst(jl(".Lbody")), "jl .Lbody");
+  EXPECT_EQ(print_inst(label(".Lbody")), ".Lbody:");
+  EXPECT_EQ(print_inst(ret()), "ret");
+}
+
+TEST(Printer, PrefetchHints) {
+  EXPECT_EQ(print_inst(prefetch(mem_bd(Gpr::rdi, 64), 3)),
+            "prefetcht0 64(%rdi)");
+  EXPECT_EQ(print_inst(prefetch(mem_bd(Gpr::rdi, 64), 0)),
+            "prefetchnta 64(%rdi)");
+}
+
+TEST(Printer, FunctionWrapper) {
+  MInstList insts;
+  insts.push_back(ret());
+  const std::string text = print_function("my_kernel", insts);
+  EXPECT_NE(text.find(".globl my_kernel"), std::string::npos);
+  EXPECT_NE(text.find("my_kernel:"), std::string::npos);
+  EXPECT_NE(text.find("\tret"), std::string::npos);
+  EXPECT_NE(text.find(".size my_kernel"), std::string::npos);
+}
+
+TEST(Printer, CommentsRenderAsHash) {
+  EXPECT_EQ(print_inst(comment("hello")), "# hello");
+}
+
+}  // namespace
+}  // namespace augem::asmgen

@@ -1,0 +1,96 @@
+#include "blas/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blas/reference.hpp"
+#include "support/rng.hpp"
+
+namespace augem::blas {
+namespace {
+
+/// Trivial block kernel: plain loops over the packed layouts.
+void naive_block_kernel(index_t mc, index_t nc, index_t kc, const double* pa,
+                        const double* pb, double* c, index_t ldc) {
+  for (index_t j = 0; j < nc; ++j)
+    for (index_t i = 0; i < mc; ++i) {
+      double acc = 0.0;
+      for (index_t l = 0; l < kc; ++l) acc += pa[l * mc + i] * pb[l * nc + j];
+      at(c, ldc, i, j) += acc;
+    }
+}
+
+void check_driver(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                  double alpha, double beta, const BlockSizes& sizes,
+                  unsigned seed) {
+  Rng rng(seed);
+  const index_t lda = (ta == Trans::kNo ? m : k) + 2;
+  const index_t ldb = (tb == Trans::kNo ? k : n) + 1;
+  const index_t ldc = m + 3;
+  std::vector<double> a(static_cast<std::size_t>(lda * (ta == Trans::kNo ? k : m)));
+  std::vector<double> b(static_cast<std::size_t>(ldb * (tb == Trans::kNo ? n : k)));
+  std::vector<double> c(static_cast<std::size_t>(ldc * n));
+  rng.fill(a);
+  rng.fill(b);
+  rng.fill(c);
+  std::vector<double> c_ref = c;
+
+  blocked_gemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta,
+               c.data(), ldc, sizes, naive_block_kernel);
+  ref::gemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta,
+            c_ref.data(), ldc);
+  const double tol = 1e-11 * static_cast<double>(k > 0 ? k : 1);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    ASSERT_NEAR(c[i], c_ref[i], tol) << i;
+}
+
+TEST(Driver, DefaultBlockSizesFitCaches) {
+  const BlockSizes s = default_block_sizes(host_arch());
+  EXPECT_GE(s.kc, 64);
+  EXPECT_LE(s.kc * 8 * 8, host_arch().l1d_bytes);
+  EXPECT_LE(s.mc * s.kc * 8, host_arch().l2_bytes);
+  EXPECT_EQ(s.mc % 8, 0);
+  EXPECT_EQ(s.kc % 8, 0);
+}
+
+TEST(Driver, SingleBlockExact) {
+  check_driver(Trans::kNo, Trans::kNo, 8, 8, 8, 1.0, 0.0, {16, 16, 16}, 1);
+}
+
+TEST(Driver, MultipleBlocksAllDirections) {
+  check_driver(Trans::kNo, Trans::kNo, 37, 29, 41, 1.0, 1.0, {16, 8, 12}, 2);
+}
+
+TEST(Driver, AlphaFoldedInPacking) {
+  check_driver(Trans::kNo, Trans::kNo, 9, 7, 5, -2.5, 1.0, {8, 8, 8}, 3);
+}
+
+TEST(Driver, BetaZeroOverwritesGarbage) {
+  // beta=0 must clear C even if it contains NaN-free garbage.
+  check_driver(Trans::kNo, Trans::kNo, 6, 6, 6, 1.0, 0.0, {4, 4, 4}, 4);
+}
+
+TEST(Driver, BetaScalesOnceAcrossKBlocks) {
+  // k split across 3 blocks: beta applied exactly once.
+  check_driver(Trans::kNo, Trans::kNo, 5, 5, 30, 1.0, 0.5, {8, 8, 10}, 5);
+}
+
+TEST(Driver, TransposedOperands) {
+  check_driver(Trans::kYes, Trans::kNo, 13, 11, 17, 1.0, 1.0, {8, 8, 8}, 6);
+  check_driver(Trans::kNo, Trans::kYes, 13, 11, 17, 1.0, 1.0, {8, 8, 8}, 7);
+  check_driver(Trans::kYes, Trans::kYes, 13, 11, 17, 2.0, 0.0, {8, 8, 8}, 8);
+}
+
+TEST(Driver, DegenerateSizes) {
+  check_driver(Trans::kNo, Trans::kNo, 0, 5, 5, 1.0, 1.0, {8, 8, 8}, 9);
+  check_driver(Trans::kNo, Trans::kNo, 5, 5, 0, 1.0, 0.5, {8, 8, 8}, 10);
+  check_driver(Trans::kNo, Trans::kNo, 1, 1, 1, 1.0, 1.0, {8, 8, 8}, 11);
+}
+
+TEST(Driver, AlphaZeroOnlyScalesC) {
+  check_driver(Trans::kNo, Trans::kNo, 6, 6, 6, 0.0, 0.5, {8, 8, 8}, 12);
+}
+
+}  // namespace
+}  // namespace augem::blas

@@ -1,0 +1,146 @@
+#pragma once
+// End-to-end helpers: build a kernel through the full AUGEM pipeline
+// (simple C → optimized C → templates → assembly) and execute the result
+// either in the machine-IR VM or natively via the JIT, comparing against
+// the reference oracle.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "asmgen/codegen.hpp"
+#include "frontend/kernels.hpp"
+#include "jit/jit.hpp"
+#include "support/buffer.hpp"
+#include "transform/ckernel.hpp"
+#include "vm/machine.hpp"
+#include "../common/oracle.hpp"
+
+namespace augem::testing {
+
+inline asmgen::GeneratedKernel build_kernel(frontend::KernelKind kind,
+                                            const transform::CGenParams& p,
+                                            const opt::OptConfig& cfg,
+                                            frontend::BLayout layout =
+                                                frontend::BLayout::kRowPanel) {
+  ir::Kernel k = transform::generate_optimized_c(kind, layout, p);
+  return asmgen::generate_assembly(std::move(k), cfg);
+}
+
+enum class Runner { kVm, kJit };
+
+// ---- GEMM ----------------------------------------------------------------
+
+inline void run_gemm(const asmgen::GeneratedKernel& g, Runner runner,
+                     std::int64_t mc, std::int64_t nc, std::int64_t kc,
+                     std::int64_t ldc, frontend::BLayout layout,
+                     unsigned seed = 1) {
+  Rng rng(seed);
+  DoubleBuffer a(static_cast<std::size_t>(mc * kc));
+  DoubleBuffer b(static_cast<std::size_t>(nc * kc));
+  DoubleBuffer c(static_cast<std::size_t>(nc * ldc));
+  rng.fill(a.span());
+  rng.fill(b.span());
+  rng.fill(c.span());
+  std::vector<double> c_ref(c.begin(), c.end());
+
+  if (runner == Runner::kVm) {
+    vm::Machine m(g.insts);
+    m.call({mc, nc, kc, static_cast<const double*>(a.data()),
+            static_cast<const double*>(b.data()), c.data(), ldc});
+  } else {
+    jit::CompiledModule mod = jit::assemble(g.asm_text);
+    auto* fn = mod.fn<void(long, long, long, const double*, const double*,
+                           double*, long)>(g.name);
+    fn(mc, nc, kc, a.data(), b.data(), c.data(), ldc);
+  }
+
+  ref_gemm_block(mc, nc, kc, a.data(), b.data(), c_ref.data(), ldc, layout);
+  const double tol = 1e-12 * static_cast<double>(kc);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    ASSERT_NEAR(c[i], c_ref[i], tol) << "C[" << i << "]";
+}
+
+// ---- GEMV ----------------------------------------------------------------
+
+inline void run_gemv(const asmgen::GeneratedKernel& g, Runner runner,
+                     std::int64_t m, std::int64_t n, std::int64_t lda,
+                     unsigned seed = 1) {
+  Rng rng(seed);
+  DoubleBuffer a(static_cast<std::size_t>(n * lda));
+  DoubleBuffer x(static_cast<std::size_t>(n));
+  DoubleBuffer y(static_cast<std::size_t>(m));
+  rng.fill(a.span());
+  rng.fill(x.span());
+  rng.fill(y.span());
+  std::vector<double> y_ref(y.begin(), y.end());
+
+  if (runner == Runner::kVm) {
+    vm::Machine machine(g.insts);
+    machine.call({m, n, static_cast<const double*>(a.data()), lda,
+                  static_cast<const double*>(x.data()), y.data()});
+  } else {
+    jit::CompiledModule mod = jit::assemble(g.asm_text);
+    auto* fn = mod.fn<void(long, long, const double*, long, const double*,
+                           double*)>(g.name);
+    fn(m, n, a.data(), lda, x.data(), y.data());
+  }
+
+  ref_gemv(m, n, a.data(), lda, x.data(), y_ref.data());
+  const double tol = 1e-12 * static_cast<double>(n);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], y_ref[i], tol) << "y[" << i << "]";
+}
+
+// ---- AXPY ----------------------------------------------------------------
+
+inline void run_axpy(const asmgen::GeneratedKernel& g, Runner runner,
+                     std::int64_t n, unsigned seed = 1) {
+  Rng rng(seed);
+  const double alpha = -0.75;
+  DoubleBuffer x(static_cast<std::size_t>(n));
+  DoubleBuffer y(static_cast<std::size_t>(n));
+  rng.fill(x.span());
+  rng.fill(y.span());
+  std::vector<double> y_ref(y.begin(), y.end());
+
+  if (runner == Runner::kVm) {
+    vm::Machine machine(g.insts);
+    machine.call({n, alpha, static_cast<const double*>(x.data()), y.data()});
+  } else {
+    jit::CompiledModule mod = jit::assemble(g.asm_text);
+    auto* fn = mod.fn<void(long, double, const double*, double*)>(g.name);
+    fn(n, alpha, x.data(), y.data());
+  }
+
+  ref_axpy(n, alpha, x.data(), y_ref.data());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], y_ref[i], 1e-13) << "y[" << i << "]";
+}
+
+// ---- DOT -----------------------------------------------------------------
+
+inline void run_dot(const asmgen::GeneratedKernel& g, Runner runner,
+                    std::int64_t n, unsigned seed = 1) {
+  Rng rng(seed);
+  DoubleBuffer x(static_cast<std::size_t>(n));
+  DoubleBuffer y(static_cast<std::size_t>(n));
+  rng.fill(x.span());
+  rng.fill(y.span());
+
+  double got = 0.0;
+  if (runner == Runner::kVm) {
+    vm::Machine machine(g.insts);
+    got = machine.call({n, static_cast<const double*>(x.data()),
+                        static_cast<const double*>(y.data())});
+  } else {
+    jit::CompiledModule mod = jit::assemble(g.asm_text);
+    auto* fn = mod.fn<double(long, const double*, const double*)>(g.name);
+    got = fn(n, x.data(), y.data());
+  }
+
+  const double want = ref_dot(n, x.data(), y.data());
+  ASSERT_NEAR(got, want, 1e-12 * static_cast<double>(n > 0 ? n : 1));
+}
+
+}  // namespace augem::testing

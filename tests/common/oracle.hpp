@@ -1,0 +1,155 @@
+#pragma once
+// Shared test oracle: straightforward C++ reference implementations of the
+// four kernel semantics (over the packed layouts the kernels use), plus
+// helpers to run an IR kernel in the interpreter against random data and
+// compare. Used by transform, match, opt, asmgen, vm and jit tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "frontend/kernels.hpp"
+#include "ir/interp.hpp"
+#include "support/rng.hpp"
+
+namespace augem::testing {
+
+/// C[j*ldc+i] += sum_l A[l*mc+i] * B_elem(l,j) — the GEMM kernel contract.
+inline void ref_gemm_block(std::int64_t mc, std::int64_t nc, std::int64_t kc,
+                           const double* a, const double* b, double* c,
+                           std::int64_t ldc, frontend::BLayout layout) {
+  for (std::int64_t j = 0; j < nc; ++j)
+    for (std::int64_t i = 0; i < mc; ++i) {
+      double res = 0.0;
+      for (std::int64_t l = 0; l < kc; ++l) {
+        const double bv = layout == frontend::BLayout::kRowPanel
+                              ? b[l * nc + j]
+                              : b[j * kc + l];
+        res += a[l * mc + i] * bv;
+      }
+      c[j * ldc + i] += res;
+    }
+}
+
+/// y[j] += A[i*lda+j] * x[i] — the GEMV kernel contract (A column-major).
+inline void ref_gemv(std::int64_t m, std::int64_t n, const double* a,
+                     std::int64_t lda, const double* x, double* y) {
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < m; ++j) y[j] += a[i * lda + j] * x[i];
+}
+
+/// y[i] += x[i] * alpha.
+inline void ref_axpy(std::int64_t n, double alpha, const double* x, double* y) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] += x[i] * alpha;
+}
+
+/// sum_i x[i] * y[i].
+inline double ref_dot(std::int64_t n, const double* x, const double* y) {
+  double res = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) res += x[i] * y[i];
+  return res;
+}
+
+inline std::vector<double> random_vec(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  rng.fill(v);
+  return v;
+}
+
+/// Element-wise comparison with a tolerance scaled for reassociated sums of
+/// length `depth` with O(1) inputs.
+inline void expect_allclose(const std::vector<double>& got,
+                            const std::vector<double>& want,
+                            std::int64_t depth = 1) {
+  ASSERT_EQ(got.size(), want.size());
+  const double tol = 1e-13 * static_cast<double>(depth > 0 ? depth : 1);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got[i], want[i], tol) << "at index " << i;
+}
+
+/// Runs a GEMM-shaped IR kernel in the interpreter and checks it against
+/// ref_gemm_block on random data.
+inline void check_gemm_kernel_semantics(const ir::Kernel& kernel,
+                                        frontend::BLayout layout,
+                                        std::int64_t mc, std::int64_t nc,
+                                        std::int64_t kc, std::int64_t ldc,
+                                        unsigned seed = 1) {
+  Rng rng(seed);
+  std::vector<double> a = random_vec(static_cast<std::size_t>(mc * kc), rng);
+  std::vector<double> b = random_vec(static_cast<std::size_t>(nc * kc), rng);
+  std::vector<double> c = random_vec(static_cast<std::size_t>(nc * ldc), rng);
+  std::vector<double> c_ref = c;
+
+  ir::Env env;
+  env["mc"] = mc;
+  env["nc"] = nc;
+  env["kc"] = kc;
+  env["ldc"] = ldc;
+  env["A"] = a.data();
+  env["B"] = b.data();
+  env["C"] = c.data();
+  ir::interpret(kernel, std::move(env));
+
+  ref_gemm_block(mc, nc, kc, a.data(), b.data(), c_ref.data(), ldc, layout);
+  expect_allclose(c, c_ref, kc);
+}
+
+inline void check_gemv_kernel_semantics(const ir::Kernel& kernel,
+                                        std::int64_t m, std::int64_t n,
+                                        std::int64_t lda, unsigned seed = 1) {
+  Rng rng(seed);
+  std::vector<double> a = random_vec(static_cast<std::size_t>(n * lda), rng);
+  std::vector<double> x = random_vec(static_cast<std::size_t>(n), rng);
+  std::vector<double> y = random_vec(static_cast<std::size_t>(m), rng);
+  std::vector<double> y_ref = y;
+
+  ir::Env env;
+  env["m"] = m;
+  env["n"] = n;
+  env["A"] = a.data();
+  env["lda"] = lda;
+  env["x"] = x.data();
+  env["y"] = y.data();
+  ir::interpret(kernel, std::move(env));
+
+  ref_gemv(m, n, a.data(), lda, x.data(), y_ref.data());
+  expect_allclose(y, y_ref, n);
+}
+
+inline void check_axpy_kernel_semantics(const ir::Kernel& kernel,
+                                        std::int64_t n, unsigned seed = 1) {
+  Rng rng(seed);
+  const double alpha = 1.7;
+  std::vector<double> x = random_vec(static_cast<std::size_t>(n), rng);
+  std::vector<double> y = random_vec(static_cast<std::size_t>(n), rng);
+  std::vector<double> y_ref = y;
+
+  ir::Env env;
+  env["n"] = n;
+  env["alpha"] = alpha;
+  env["x"] = x.data();
+  env["y"] = y.data();
+  ir::interpret(kernel, std::move(env));
+
+  ref_axpy(n, alpha, x.data(), y_ref.data());
+  expect_allclose(y, y_ref);
+}
+
+inline void check_dot_kernel_semantics(const ir::Kernel& kernel, std::int64_t n,
+                                       unsigned seed = 1) {
+  Rng rng(seed);
+  std::vector<double> x = random_vec(static_cast<std::size_t>(n), rng);
+  std::vector<double> y = random_vec(static_cast<std::size_t>(n), rng);
+
+  ir::Env env;
+  env["n"] = n;
+  env["x"] = x.data();
+  env["y"] = y.data();
+  const double got = ir::interpret(kernel, std::move(env));
+  const double want = ref_dot(n, x.data(), y.data());
+  ASSERT_NEAR(got, want, 1e-13 * static_cast<double>(n));
+}
+
+}  // namespace augem::testing

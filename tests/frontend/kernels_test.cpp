@@ -1,0 +1,112 @@
+#include "frontend/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/visit.hpp"
+
+namespace augem::frontend {
+namespace {
+
+using namespace augem::ir;
+
+int count_loops(const StmtList& body) {
+  int n = 0;
+  for_each_stmt(body, [&](const Stmt& s) {
+    if (s.kind() == StmtKind::kFor) ++n;
+  });
+  return n;
+}
+
+TEST(Frontend, GemmHasThreeNestedLoops) {
+  Kernel k = make_gemm_kernel();
+  EXPECT_EQ(k.name(), "dgemm_kernel");
+  EXPECT_EQ(count_loops(k.body()), 3);
+  EXPECT_EQ(k.params().size(), 7u);
+  EXPECT_FALSE(k.return_var().has_value());
+}
+
+TEST(Frontend, GemmRowPanelSubscripts) {
+  Kernel k = make_gemm_kernel(BLayout::kRowPanel);
+  const std::string s = k.to_string();
+  EXPECT_NE(s.find("A[((l * mc) + i)]"), std::string::npos);
+  EXPECT_NE(s.find("B[((l * nc) + j)]"), std::string::npos);
+  EXPECT_NE(s.find("C[((j * ldc) + i)]"), std::string::npos);
+}
+
+TEST(Frontend, GemmColMajorMatchesPaperFig12) {
+  Kernel k = make_gemm_kernel(BLayout::kColMajor);
+  const std::string s = k.to_string();
+  // B subscript per paper Fig. 12: B[j*Kc + l].
+  EXPECT_NE(s.find("B[((j * kc) + l)]"), std::string::npos);
+}
+
+TEST(Frontend, GemmCUpdateIsLoadAddStore) {
+  Kernel k = make_gemm_kernel();
+  const std::string s = k.to_string();
+  EXPECT_NE(s.find("C[((j * ldc) + i)] = (C[((j * ldc) + i)] + res);"),
+            std::string::npos);
+}
+
+TEST(Frontend, GemvShapeMatchesFig15) {
+  Kernel k = make_gemv_kernel();
+  EXPECT_EQ(count_loops(k.body()), 2);
+  const std::string s = k.to_string();
+  EXPECT_NE(s.find("scal = x[i];"), std::string::npos);
+  EXPECT_NE(s.find("y[j] = (y[j] + (A[((i * lda) + j)] * scal));"),
+            std::string::npos);
+}
+
+TEST(Frontend, AxpyShapeMatchesFig16) {
+  Kernel k = make_axpy_kernel();
+  EXPECT_EQ(count_loops(k.body()), 1);
+  const std::string s = k.to_string();
+  EXPECT_NE(s.find("y[i] = (y[i] + (x[i] * alpha));"), std::string::npos);
+  // alpha is an F64 parameter, passed in xmm0 by the generated code.
+  EXPECT_EQ(k.type_of("alpha"), ScalarType::kF64);
+}
+
+TEST(Frontend, DotShapeMatchesFig17) {
+  Kernel k = make_dot_kernel();
+  EXPECT_EQ(count_loops(k.body()), 1);
+  ASSERT_TRUE(k.return_var().has_value());
+  EXPECT_EQ(*k.return_var(), "res");
+  const std::string s = k.to_string();
+  EXPECT_NE(s.find("res = (res + (x[i] * y[i]));"), std::string::npos);
+}
+
+TEST(Frontend, AllKernelsTypeCheckTheirVariables) {
+  for (KernelKind kind :
+       {KernelKind::kGemm, KernelKind::kGemv, KernelKind::kAxpy, KernelKind::kDot}) {
+    Kernel k = make_kernel(kind);
+    // Every variable mentioned anywhere must be declared.
+    for_each_expr(k.body(), [&](const Expr& e) {
+      if (const auto* v = as<VarRef>(e)) {
+        EXPECT_TRUE(k.is_declared(v->name()));
+      }
+      if (const auto* a = as<ArrayRef>(e)) {
+        EXPECT_TRUE(k.is_declared(a->base()));
+        EXPECT_EQ(k.type_of(a->base()), ScalarType::kPtrF64);
+      }
+    });
+  }
+}
+
+TEST(Frontend, PointerConstnessReflectsWrites) {
+  Kernel k = make_gemm_kernel();
+  for (const Param& p : k.params()) {
+    if (p.name == "A" || p.name == "B") {
+      EXPECT_TRUE(p.is_const);
+    }
+    if (p.name == "C") {
+      EXPECT_FALSE(p.is_const);
+    }
+  }
+}
+
+TEST(Frontend, KindNames) {
+  EXPECT_STREQ(kernel_kind_name(KernelKind::kGemm), "gemm");
+  EXPECT_STREQ(kernel_kind_name(KernelKind::kDot), "dot");
+}
+
+}  // namespace
+}  // namespace augem::frontend

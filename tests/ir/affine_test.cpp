@@ -1,0 +1,119 @@
+#include "ir/affine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace augem::ir {
+namespace {
+
+Poly poly_of(const ExprPtr& e) {
+  auto p = to_poly(*e);
+  EXPECT_TRUE(p.has_value());
+  return *p;
+}
+
+TEST(Poly, ConstantsFold) {
+  // (2 + 3) * 4 = 20
+  auto p = poly_of(mul(add(ival(2), ival(3)), ival(4)));
+  EXPECT_EQ(p.constant_part(), 20);
+  EXPECT_EQ(p.terms().size(), 1u);
+}
+
+TEST(Poly, ZeroVanishes) {
+  auto p = poly_of(sub(var("i"), var("i")));
+  EXPECT_TRUE(p.terms().empty());
+  EXPECT_EQ(p.to_expr()->to_string(), "0");
+}
+
+TEST(Poly, CanonicalOrderingMakesEqualitySemantic) {
+  auto a = poly_of(add(mul(var("l"), var("mc")), var("i")));
+  auto b = poly_of(add(var("i"), mul(var("mc"), var("l"))));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Poly, CoefficientOfLoopVar) {
+  // (j * ldc + i): coeff of j is ldc, coeff of i is 1.
+  auto p = poly_of(add(mul(var("j"), var("ldc")), var("i")));
+  auto cj = p.coefficient_of("j");
+  ASSERT_TRUE(cj.has_value());
+  EXPECT_EQ(cj->to_expr()->to_string(), "ldc");
+  auto ci = p.coefficient_of("i");
+  ASSERT_TRUE(ci.has_value());
+  EXPECT_EQ(ci->constant_part(), 1);
+}
+
+TEST(Poly, CoefficientOfAbsentVarIsZero) {
+  auto p = poly_of(var("i"));
+  auto c = p.coefficient_of("j");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(c->terms().empty());
+}
+
+TEST(Poly, QuadraticHasNoLinearCoefficient) {
+  auto p = poly_of(mul(var("i"), var("i")));
+  EXPECT_FALSE(p.coefficient_of("i").has_value());
+}
+
+TEST(Poly, SubstituteUnrolls) {
+  // (l * mc + i) with l := l + 1  →  l*mc + mc + i
+  auto p = poly_of(add(mul(var("l"), var("mc")), var("i")));
+  auto q = p.substitute("l", poly_of(add(var("l"), ival(1))));
+  auto expected = poly_of(add(add(mul(var("l"), var("mc")), var("mc")), var("i")));
+  EXPECT_EQ(q, expected);
+}
+
+TEST(Poly, SubstituteConstant) {
+  auto p = poly_of(add(mul(var("i"), ival(8)), ival(3)));
+  auto q = p.substitute("i", Poly::constant(2));
+  EXPECT_EQ(q.constant_part(), 19);
+}
+
+TEST(Poly, WithoutConstantAndConstantPart) {
+  auto p = poly_of(add(add(var("i"), ival(5)), mul(var("j"), var("k"))));
+  EXPECT_EQ(p.constant_part(), 5);
+  auto nc = p.without_constant();
+  EXPECT_EQ(nc.constant_part(), 0);
+  EXPECT_EQ((nc + Poly::constant(5)), p);
+}
+
+TEST(Poly, IndependentOf) {
+  auto p = poly_of(add(mul(var("j"), var("ldc")), var("i")));
+  EXPECT_FALSE(p.independent_of("j"));
+  EXPECT_FALSE(p.independent_of("ldc"));
+  EXPECT_TRUE(p.independent_of("l"));
+}
+
+TEST(Poly, DropTermsWith) {
+  auto p = poly_of(add(mul(var("j"), var("ldc")), var("i")));
+  auto d = p.drop_terms_with("j");
+  EXPECT_EQ(d.to_expr()->to_string(), "i");
+}
+
+TEST(Poly, ArithmeticRoundTripThroughExpr) {
+  auto p = poly_of(add(mul(ival(2), var("a")), mul(var("b"), var("c"))));
+  auto q = poly_of(p.to_expr());
+  EXPECT_EQ(p, q);
+}
+
+TEST(Poly, NegativeCoefficientPrints) {
+  auto p = poly_of(sub(ival(0), var("x")));
+  auto q = poly_of(p.to_expr());
+  EXPECT_EQ(p, q);
+}
+
+TEST(Poly, NonPolynomialReturnsNullopt) {
+  EXPECT_FALSE(to_poly(*fval(1.0)).has_value());
+  EXPECT_FALSE(to_poly(*arr("A", ival(0))).has_value());
+  EXPECT_FALSE(to_poly(*add(var("i"), arr("A", ival(0)))).has_value());
+}
+
+TEST(Poly, SimplifyIndexFoldsUnrolledSubscript) {
+  // (i + 0) stays i; ((l + 1) * 4) becomes 4*l + 4.
+  EXPECT_EQ(simplify_index(*add(var("i"), ival(0)))->to_string(), "i");
+  auto s = simplify_index(*mul(add(var("l"), ival(1)), ival(4)));
+  auto p = to_poly(*s);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->constant_part(), 4);
+}
+
+}  // namespace
+}  // namespace augem::ir

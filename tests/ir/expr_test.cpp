@@ -1,0 +1,67 @@
+#include "ir/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace augem::ir {
+namespace {
+
+TEST(Expr, IntConstRoundTrip) {
+  auto e = ival(42);
+  EXPECT_EQ(e->kind(), ExprKind::kIntConst);
+  EXPECT_EQ(as<IntConst>(*e)->value(), 42);
+  EXPECT_EQ(e->to_string(), "42");
+}
+
+TEST(Expr, FloatConstPrintsAsDouble) {
+  EXPECT_EQ(fval(0.0)->to_string(), "0.0");
+  EXPECT_EQ(fval(2.0)->to_string(), "2.0");
+  EXPECT_EQ(fval(-3.0)->to_string(), "-3.0");
+}
+
+TEST(Expr, VarRefName) {
+  auto e = var("tmp0");
+  EXPECT_EQ(as<VarRef>(*e)->name(), "tmp0");
+  EXPECT_EQ(e->to_string(), "tmp0");
+}
+
+TEST(Expr, ArrayRefPrints) {
+  auto e = arr("A", add(var("i"), ival(1)));
+  EXPECT_EQ(e->to_string(), "A[(i + 1)]");
+  EXPECT_EQ(as<ArrayRef>(*e)->base(), "A");
+}
+
+TEST(Expr, BinaryPrintsFullyParenthesized) {
+  auto e = mul(add(var("a"), var("b")), var("c"));
+  EXPECT_EQ(e->to_string(), "((a + b) * c)");
+}
+
+TEST(Expr, CloneIsDeepAndEqual) {
+  auto e = add(arr("A", mul(var("l"), var("mc"))), fval(1.5));
+  auto c = e->clone();
+  EXPECT_TRUE(e->equals(*c));
+  EXPECT_NE(e.get(), c.get());
+}
+
+TEST(Expr, EqualsDistinguishesStructure) {
+  EXPECT_FALSE(ival(1)->equals(*ival(2)));
+  EXPECT_FALSE(var("a")->equals(*var("b")));
+  EXPECT_FALSE(add(var("a"), var("b"))->equals(*sub(var("a"), var("b"))));
+  EXPECT_FALSE(add(var("a"), var("b"))->equals(*add(var("b"), var("a"))));
+  EXPECT_FALSE(ival(1)->equals(*fval(1.0)));
+  EXPECT_FALSE(arr("A", ival(0))->equals(*arr("B", ival(0))));
+}
+
+TEST(Expr, AsReturnsNullOnWrongKind) {
+  auto e = ival(1);
+  EXPECT_EQ(as<VarRef>(*e), nullptr);
+  EXPECT_NE(as<IntConst>(*e), nullptr);
+}
+
+TEST(Expr, BinopTokens) {
+  EXPECT_STREQ(binop_token(BinOp::kAdd), "+");
+  EXPECT_STREQ(binop_token(BinOp::kSub), "-");
+  EXPECT_STREQ(binop_token(BinOp::kMul), "*");
+}
+
+}  // namespace
+}  // namespace augem::ir

@@ -1,0 +1,134 @@
+#include "ir/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "frontend/kernels.hpp"
+#include "support/error.hpp"
+#include "../common/oracle.hpp"
+
+namespace augem::ir {
+namespace {
+
+TEST(Interp, SimpleAssignAndReturn) {
+  Kernel k("f", {{"n", ScalarType::kI64}});
+  k.declare_local("res", ScalarType::kF64);
+  StmtList body;
+  body.push_back(assign(var("res"), fval(2.5)));
+  k.set_body(std::move(body));
+  k.set_return_var("res");
+  EXPECT_DOUBLE_EQ(interpret(k, {{"n", std::int64_t{0}}}), 2.5);
+}
+
+TEST(Interp, LoopAccumulates) {
+  Kernel k("f", {{"n", ScalarType::kI64}});
+  k.declare_local("i", ScalarType::kI64);
+  k.declare_local("res", ScalarType::kF64);
+  StmtList inner;
+  inner.push_back(assign(var("res"), add(var("res"), fval(1.0))));
+  StmtList body;
+  body.push_back(assign(var("res"), fval(0.0)));
+  body.push_back(forloop("i", ival(0), var("n"), 1, std::move(inner)));
+  k.set_body(std::move(body));
+  k.set_return_var("res");
+  EXPECT_DOUBLE_EQ(interpret(k, {{"n", std::int64_t{7}}}), 7.0);
+}
+
+TEST(Interp, SteppedLoopCountsCorrectly) {
+  Kernel k("f", {{"n", ScalarType::kI64}});
+  k.declare_local("i", ScalarType::kI64);
+  k.declare_local("res", ScalarType::kF64);
+  StmtList inner;
+  inner.push_back(assign(var("res"), add(var("res"), fval(1.0))));
+  StmtList body;
+  body.push_back(assign(var("res"), fval(0.0)));
+  body.push_back(forloop("i", ival(0), var("n"), 3, std::move(inner)));
+  k.set_body(std::move(body));
+  k.set_return_var("res");
+  // i = 0, 3, 6 for n = 8 → 3 iterations.
+  EXPECT_DOUBLE_EQ(interpret(k, {{"n", std::int64_t{8}}}), 3.0);
+}
+
+TEST(Interp, RemainderLoopContinuesCounter) {
+  // for (i = 0; i < 5; i += 2) res += 1;  then  for (i = i; i < 7; i++) res += 10;
+  Kernel k("f", {{"n", ScalarType::kI64}});
+  k.declare_local("i", ScalarType::kI64);
+  k.declare_local("res", ScalarType::kF64);
+  StmtList b1, b2, body;
+  b1.push_back(assign(var("res"), add(var("res"), fval(1.0))));
+  b2.push_back(assign(var("res"), add(var("res"), fval(10.0))));
+  body.push_back(assign(var("res"), fval(0.0)));
+  body.push_back(forloop("i", ival(0), ival(5), 2, std::move(b1)));
+  body.push_back(forloop("i", var("i"), ival(7), 1, std::move(b2)));
+  k.set_body(std::move(body));
+  k.set_return_var("res");
+  // Main: i = 0,2,4 (3 iters, i ends at 6). Remainder: i = 6 (1 iter).
+  EXPECT_DOUBLE_EQ(interpret(k, {{"n", std::int64_t{0}}}), 13.0);
+}
+
+TEST(Interp, ArrayLoadStoreAndPointerArithmetic) {
+  Kernel k("f", {{"p", ScalarType::kPtrF64, false}});
+  k.declare_local("q", ScalarType::kPtrF64);
+  k.declare_local("t", ScalarType::kF64);
+  StmtList body;
+  body.push_back(assign(var("q"), add(var("p"), ival(2))));  // q = p + 2
+  body.push_back(assign(var("t"), arr("q", ival(1))));       // t = q[1] = p[3]
+  body.push_back(assign(arr("q", ival(0)), var("t")));       // q[0] = t → p[2]
+  k.set_body(std::move(body));
+  std::vector<double> data = {0, 1, 2, 3};
+  interpret(k, {{"p", data.data()}});
+  EXPECT_DOUBLE_EQ(data[2], 3.0);
+}
+
+TEST(Interp, PrefetchIsANoop) {
+  Kernel k("f", {{"p", ScalarType::kPtrF64, true}});
+  StmtList body;
+  body.push_back(prefetch("p", ival(100000)));  // way out of bounds: ignored
+  k.set_body(std::move(body));
+  std::vector<double> data = {1.0};
+  EXPECT_NO_THROW(interpret(k, {{"p", data.data()}}));
+}
+
+TEST(Interp, MissingArgumentThrows) {
+  Kernel k = frontend::make_dot_kernel();
+  EXPECT_THROW(interpret(k, {}), augem::Error);
+}
+
+TEST(Interp, UnboundVariableThrows) {
+  Kernel k("f", {});
+  StmtList body;
+  body.push_back(assign(var("a"), var("b")));
+  k.set_body(std::move(body));
+  EXPECT_THROW(interpret(k, {}), augem::Error);
+}
+
+// ---- the four simple-C kernels match their mathematical contracts -------
+
+TEST(Interp, SimpleGemmRowPanelMatchesReference) {
+  augem::testing::check_gemm_kernel_semantics(
+      frontend::make_gemm_kernel(frontend::BLayout::kRowPanel),
+      frontend::BLayout::kRowPanel, 6, 5, 7, 9);
+}
+
+TEST(Interp, SimpleGemmColMajorMatchesReference) {
+  augem::testing::check_gemm_kernel_semantics(
+      frontend::make_gemm_kernel(frontend::BLayout::kColMajor),
+      frontend::BLayout::kColMajor, 4, 3, 5, 6);
+}
+
+TEST(Interp, SimpleGemvMatchesReference) {
+  augem::testing::check_gemv_kernel_semantics(frontend::make_gemv_kernel(),
+                                              /*m=*/13, /*n=*/7, /*lda=*/15);
+}
+
+TEST(Interp, SimpleAxpyMatchesReference) {
+  augem::testing::check_axpy_kernel_semantics(frontend::make_axpy_kernel(), 23);
+}
+
+TEST(Interp, SimpleDotMatchesReference) {
+  augem::testing::check_dot_kernel_semantics(frontend::make_dot_kernel(), 31);
+}
+
+}  // namespace
+}  // namespace augem::ir

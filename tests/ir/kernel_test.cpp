@@ -1,0 +1,99 @@
+#include "ir/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace augem::ir {
+namespace {
+
+Kernel sample_kernel() {
+  Kernel k("axpy", {{"n", ScalarType::kI64},
+                    {"alpha", ScalarType::kF64},
+                    {"x", ScalarType::kPtrF64, true},
+                    {"y", ScalarType::kPtrF64, false}});
+  k.declare_local("i", ScalarType::kI64);
+  StmtList body;
+  body.push_back(forloop("i", ival(0), var("n"), 1, {}));
+  k.set_body(std::move(body));
+  return k;
+}
+
+TEST(Kernel, TypeLookup) {
+  Kernel k = sample_kernel();
+  EXPECT_EQ(k.type_of("n"), ScalarType::kI64);
+  EXPECT_EQ(k.type_of("alpha"), ScalarType::kF64);
+  EXPECT_EQ(k.type_of("x"), ScalarType::kPtrF64);
+  EXPECT_EQ(k.type_of("i"), ScalarType::kI64);
+  EXPECT_THROW(k.type_of("nope"), augem::Error);
+}
+
+TEST(Kernel, DeclaredAndParamChecks) {
+  Kernel k = sample_kernel();
+  EXPECT_TRUE(k.is_declared("n"));
+  EXPECT_TRUE(k.is_declared("i"));
+  EXPECT_FALSE(k.is_declared("zz"));
+  EXPECT_TRUE(k.is_param("n"));
+  EXPECT_FALSE(k.is_param("i"));
+}
+
+TEST(Kernel, DuplicateDeclarationThrows) {
+  Kernel k = sample_kernel();
+  EXPECT_THROW(k.declare_local("n", ScalarType::kI64), augem::Error);
+  EXPECT_THROW(k.declare_local("i", ScalarType::kF64), augem::Error);
+}
+
+TEST(Kernel, EnsureLocalIsIdempotentButTypeChecked) {
+  Kernel k = sample_kernel();
+  k.ensure_local("tmp", ScalarType::kF64);
+  EXPECT_NO_THROW(k.ensure_local("tmp", ScalarType::kF64));
+  EXPECT_THROW(k.ensure_local("tmp", ScalarType::kI64), augem::Error);
+}
+
+TEST(Kernel, RemoveLocal) {
+  Kernel k = sample_kernel();
+  k.declare_local("tmp", ScalarType::kF64);
+  k.remove_local("tmp");
+  EXPECT_FALSE(k.is_declared("tmp"));
+  EXPECT_THROW(k.remove_local("tmp"), augem::Error);
+}
+
+TEST(Kernel, FreshNamesNeverCollide) {
+  Kernel k = sample_kernel();
+  k.declare_local("tmp0", ScalarType::kF64);
+  const std::string a = k.fresh_name("tmp");
+  EXPECT_NE(a, "tmp0");
+  k.declare_local(a, ScalarType::kF64);
+  const std::string b = k.fresh_name("tmp");
+  EXPECT_NE(b, a);
+  EXPECT_NE(b, "tmp0");
+}
+
+TEST(Kernel, CloneIsDeep) {
+  Kernel k = sample_kernel();
+  Kernel c = k.clone();
+  EXPECT_EQ(c.name(), "axpy");
+  EXPECT_TRUE(stmts_equal(k.body(), c.body()));
+  c.mutable_body().clear();
+  EXPECT_EQ(k.body().size(), 1u);
+}
+
+TEST(Kernel, ToStringHasSignatureAndLocals) {
+  Kernel k = sample_kernel();
+  const std::string s = k.to_string();
+  EXPECT_NE(s.find("void axpy(long n, double alpha, const double* x, double* y)"),
+            std::string::npos);
+  EXPECT_NE(s.find("long i;"), std::string::npos);
+}
+
+TEST(Kernel, ReturnVarPrintsDoubleSignature) {
+  Kernel k("dot", {{"n", ScalarType::kI64}});
+  k.declare_local("res", ScalarType::kF64);
+  k.set_return_var("res");
+  const std::string s = k.to_string();
+  EXPECT_NE(s.find("double dot("), std::string::npos);
+  EXPECT_NE(s.find("return res;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace augem::ir

@@ -1,0 +1,83 @@
+#include "ir/stmt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace augem::ir {
+namespace {
+
+StmtPtr sample_loop() {
+  StmtList body;
+  body.push_back(assign(var("res"), add(var("res"), arr("A", var("i")))));
+  return forloop("i", ival(0), var("n"), 1, std::move(body));
+}
+
+TEST(Stmt, AssignPrints) {
+  auto s = assign(var("tmp0"), arr("A", ival(0)));
+  EXPECT_EQ(s->to_string(0), "tmp0 = A[0];");
+}
+
+TEST(Stmt, AssignWithTagPrintsAnnotation) {
+  auto s = assign(var("tmp0"), arr("A", ival(0)));
+  s->set_template_tag("mmCOMP", 3);
+  EXPECT_NE(s->to_string(0).find("mmCOMP#3"), std::string::npos);
+}
+
+TEST(Stmt, ForLoopPrintsHeaderAndBody) {
+  const std::string text = sample_loop()->to_string(0);
+  EXPECT_NE(text.find("for (i = 0; i < n; i++)"), std::string::npos);
+  EXPECT_NE(text.find("res = (res + A[i]);"), std::string::npos);
+}
+
+TEST(Stmt, ForLoopWithStepPrintsPlusEquals) {
+  auto s = forloop("j", ival(0), var("n"), 4, {});
+  EXPECT_NE(s->to_string(0).find("j += 4"), std::string::npos);
+}
+
+TEST(Stmt, PrefetchPrints) {
+  auto s = prefetch("A", add(var("i"), ival(64)), 0);
+  EXPECT_EQ(s->to_string(0), "__builtin_prefetch(&A[(i + 64)], 0, 0);");
+}
+
+TEST(Stmt, CloneIsDeepEqualAndKeepsTag) {
+  auto s = sample_loop();
+  s->set_template_tag("outer", 1);
+  auto c = s->clone();
+  EXPECT_TRUE(s->equals(*c));
+  EXPECT_EQ(c->template_tag(), "outer");
+  EXPECT_EQ(c->region_id(), 1);
+}
+
+TEST(Stmt, EqualsIgnoresTemplateTags) {
+  auto a = assign(var("x"), ival(1));
+  auto b = assign(var("x"), ival(1));
+  b->set_template_tag("mmSTORE", 7);
+  EXPECT_TRUE(a->equals(*b));
+}
+
+TEST(Stmt, EqualsDistinguishesLoops) {
+  auto a = forloop("i", ival(0), var("n"), 1, {});
+  auto b = forloop("i", ival(0), var("n"), 2, {});
+  auto c = forloop("k", ival(0), var("n"), 1, {});
+  EXPECT_FALSE(a->equals(*b));
+  EXPECT_FALSE(a->equals(*c));
+}
+
+TEST(Stmt, CloneStmtsCopiesAll) {
+  StmtList l;
+  l.push_back(assign(var("a"), ival(1)));
+  l.push_back(sample_loop());
+  StmtList c = clone_stmts(l);
+  EXPECT_TRUE(stmts_equal(l, c));
+  EXPECT_NE(l[0].get(), c[0].get());
+}
+
+TEST(Stmt, ClearTemplateTag) {
+  auto s = assign(var("x"), ival(1));
+  s->set_template_tag("mmCOMP", 2);
+  s->clear_template_tag();
+  EXPECT_TRUE(s->template_tag().empty());
+  EXPECT_EQ(s->region_id(), -1);
+}
+
+}  // namespace
+}  // namespace augem::ir

@@ -1,0 +1,89 @@
+#include "jit/jit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace augem::jit {
+namespace {
+
+TEST(Jit, ToolchainIsAvailable) { EXPECT_TRUE(toolchain_available()); }
+
+TEST(Jit, AssemblesAndCallsTrivialFunction) {
+  // long forty_two() { return 42; }
+  const std::string text =
+      "\t.text\n"
+      "\t.globl forty_two\n"
+      "forty_two:\n"
+      "\tmovq $42, %rax\n"
+      "\tret\n";
+  CompiledModule mod = assemble(text);
+  auto* fn = mod.fn<long()>("forty_two");
+  EXPECT_EQ(fn(), 42);
+}
+
+TEST(Jit, PassesArgumentsPerSysV) {
+  // long add3(long a, long b, long c) { return a + b + c; }
+  const std::string text =
+      "\t.text\n"
+      "\t.globl add3\n"
+      "add3:\n"
+      "\tmovq %rdi, %rax\n"
+      "\taddq %rsi, %rax\n"
+      "\taddq %rdx, %rax\n"
+      "\tret\n";
+  CompiledModule mod = assemble(text);
+  EXPECT_EQ(mod.fn<long(long, long, long)>("add3")(10, 20, 12), 42);
+}
+
+TEST(Jit, DoubleReturnInXmm0) {
+  // double twice(double x) { return x + x; }
+  const std::string text =
+      "\t.text\n"
+      "\t.globl twice\n"
+      "twice:\n"
+      "\taddsd %xmm0, %xmm0\n"
+      "\tret\n";
+  CompiledModule mod = assemble(text);
+  EXPECT_DOUBLE_EQ(mod.fn<double(double)>("twice")(2.5), 5.0);
+}
+
+TEST(Jit, SyntaxErrorReportsDiagnostics) {
+  try {
+    assemble("\t.text\n\tthis_is_not_an_instruction %rax\n");
+    FAIL() << "expected assembler failure";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("assembler failed"),
+              std::string::npos);
+  }
+}
+
+TEST(Jit, MissingSymbolThrows) {
+  CompiledModule mod = assemble(
+      "\t.text\n\t.globl f\nf:\n\tret\n");
+  EXPECT_NE(mod.raw_symbol("f"), nullptr);
+  EXPECT_THROW(mod.raw_symbol("nope"), Error);
+}
+
+TEST(Jit, ModuleIsMovable) {
+  CompiledModule a = assemble("\t.text\n\t.globl g\ng:\n\tret\n");
+  CompiledModule b = std::move(a);
+  EXPECT_NE(b.raw_symbol("g"), nullptr);
+}
+
+TEST(Jit, TempFilesAreCleanedUp) {
+  std::string so;
+  {
+    CompiledModule mod = assemble("\t.text\n\t.globl h\nh:\n\tret\n");
+    so = mod.so_path();
+    std::ifstream exists(so);
+    EXPECT_TRUE(exists.good());
+  }
+  std::ifstream gone(so);
+  EXPECT_FALSE(gone.good());
+}
+
+}  // namespace
+}  // namespace augem::jit

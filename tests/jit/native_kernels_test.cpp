@@ -1,0 +1,134 @@
+// Native execution of generated kernels: the same pipeline outputs that the
+// VM validated are assembled with the system toolchain and run on the host
+// CPU, cross-checked against the reference oracle. Only host-supported ISAs
+// run here (FMA4 coverage lives in the VM tests).
+
+#include <gtest/gtest.h>
+
+#include "support/arch.hpp"
+#include "../common/genrun.hpp"
+
+namespace augem::testing {
+namespace {
+
+using frontend::BLayout;
+using frontend::KernelKind;
+using opt::OptConfig;
+using opt::VecStrategy;
+using transform::CGenParams;
+
+std::vector<Isa> runnable_isas() {
+  std::vector<Isa> out;
+  for (Isa isa : host_arch().native_isas())
+    if (isa != Isa::kFma4) out.push_back(isa);
+  return out;
+}
+
+TEST(NativeKernels, DotAllHostIsas) {
+  CGenParams p;
+  p.unroll = 8;
+  for (Isa isa : runnable_isas()) {
+    SCOPED_TRACE(isa_name(isa));
+    OptConfig c;
+    c.isa = isa;
+    auto g = build_kernel(KernelKind::kDot, p, c);
+    run_dot(g, Runner::kJit, 1003);
+    run_dot(g, Runner::kJit, 4);
+    run_dot(g, Runner::kJit, 0);
+  }
+}
+
+TEST(NativeKernels, AxpyAllHostIsas) {
+  CGenParams p;
+  p.unroll = 8;
+  for (Isa isa : runnable_isas()) {
+    SCOPED_TRACE(isa_name(isa));
+    OptConfig c;
+    c.isa = isa;
+    auto g = build_kernel(KernelKind::kAxpy, p, c);
+    run_axpy(g, Runner::kJit, 517);
+    run_axpy(g, Runner::kJit, 3);
+  }
+}
+
+TEST(NativeKernels, GemvAllHostIsas) {
+  CGenParams p;
+  p.unroll = 8;
+  for (Isa isa : runnable_isas()) {
+    SCOPED_TRACE(isa_name(isa));
+    OptConfig c;
+    c.isa = isa;
+    auto g = build_kernel(KernelKind::kGemv, p, c);
+    run_gemv(g, Runner::kJit, 65, 17, 67);
+  }
+}
+
+struct NativeGemmCase {
+  VecStrategy strategy;
+  int mr, nr, ku;
+};
+
+class NativeGemm : public ::testing::TestWithParam<NativeGemmCase> {};
+
+TEST_P(NativeGemm, MatchesReferenceOnHostBestIsa) {
+  const Isa isa = host_arch().best_native_isa();
+  const NativeGemmCase c = GetParam();
+  const int w = isa_vector_doubles(isa);
+  if (c.strategy == VecStrategy::kShuf && (c.mr != w || c.nr != w))
+    GTEST_SKIP() << "Shuf needs an n×n tile";
+  CGenParams p;
+  p.mr = c.mr;
+  p.nr = c.nr;
+  p.ku = c.ku;
+  OptConfig cfg;
+  cfg.isa = isa;
+  cfg.strategy = c.strategy;
+  auto g = build_kernel(KernelKind::kGemm, p, cfg);
+  run_gemm(g, Runner::kJit, 4 * c.mr, 4 * c.nr, 37, 4 * c.mr + 5,
+           BLayout::kRowPanel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tiles, NativeGemm,
+    ::testing::Values(NativeGemmCase{VecStrategy::kVdup, 4, 4, 1},
+                      NativeGemmCase{VecStrategy::kVdup, 8, 4, 1},
+                      NativeGemmCase{VecStrategy::kVdup, 8, 2, 2},
+                      NativeGemmCase{VecStrategy::kShuf, 4, 4, 1},
+                      NativeGemmCase{VecStrategy::kVdup, 2, 2, 1},
+                      NativeGemmCase{VecStrategy::kScalar, 2, 2, 1}));
+
+TEST(NativeKernels, VmAndJitBitwiseAgree) {
+  // The VM and the silicon must produce identical doubles for identical
+  // instruction streams (same evaluation order — no tolerance needed).
+  CGenParams p;
+  p.mr = 4;
+  p.nr = 2;
+  OptConfig c;
+  c.isa = host_arch().best_native_isa();
+  auto g = build_kernel(KernelKind::kGemm, p, c);
+
+  const std::int64_t mc = 8, nc = 4, kc = 11, ldc = 9;
+  Rng rng(3);
+  DoubleBuffer a(static_cast<std::size_t>(mc * kc));
+  DoubleBuffer b(static_cast<std::size_t>(nc * kc));
+  DoubleBuffer c1(static_cast<std::size_t>(nc * ldc));
+  rng.fill(a.span());
+  rng.fill(b.span());
+  rng.fill(c1.span());
+  std::vector<double> c2(c1.begin(), c1.end());
+
+  vm::Machine machine(g.insts);
+  machine.call({mc, nc, kc, static_cast<const double*>(a.data()),
+                static_cast<const double*>(b.data()), c1.data(), ldc});
+
+  jit::CompiledModule mod = jit::assemble(g.asm_text);
+  auto* fn = mod.fn<void(long, long, long, const double*, const double*,
+                         double*, long)>(g.name);
+  fn(mc, nc, kc, a.data(), b.data(), c2.data(), ldc);
+
+  for (std::size_t i = 0; i < c1.size(); ++i)
+    ASSERT_EQ(c1[i], c2[i]) << "VM and native disagree at " << i;
+}
+
+}  // namespace
+}  // namespace augem::testing

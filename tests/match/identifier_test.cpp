@@ -1,0 +1,220 @@
+#include "match/identifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "frontend/kernels.hpp"
+#include "ir/visit.hpp"
+#include "transform/ckernel.hpp"
+
+namespace augem::match {
+namespace {
+
+using namespace augem::ir;
+using frontend::BLayout;
+using frontend::KernelKind;
+
+Kernel optimized(KernelKind kind, transform::CGenParams p = {},
+                 BLayout layout = BLayout::kRowPanel) {
+  p.prefetch.enabled = false;  // keep test expectations focused on templates
+  return transform::generate_optimized_c(kind, layout, p);
+}
+
+std::vector<const Region*> regions_of_kind(const MatchResult& r,
+                                           TemplateKind k) {
+  std::vector<const Region*> out;
+  for (const Region& region : r.regions)
+    if (region.kind == k) out.push_back(&region);
+  return out;
+}
+
+TEST(Identifier, GemmFindsAllPaperTemplates) {
+  transform::CGenParams p;
+  p.mr = 2;
+  p.nr = 2;
+  p.ku = 1;
+  Kernel k = optimized(KernelKind::kGemm, p);
+  MatchResult r = identify_templates(k);
+
+  // One mmUnrolledCOMP with 2×2 instances (paper Fig. 14 lines 13-19).
+  auto comps = regions_of_kind(r, TemplateKind::kMmComp);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0]->mm.size(), 4u);
+  EXPECT_EQ(comps[0]->shape, UnrolledShape::kOuter);
+  EXPECT_EQ(comps[0]->n1, 2);
+  EXPECT_EQ(comps[0]->n2, 2);
+  EXPECT_TRUE(comps[0]->b_contiguous);
+  EXPECT_EQ(comps[0]->name(), "mmUnrolledCOMP");
+
+  // Two mmUnrolledSTOREs, one per C cursor (paper Fig. 14 lines 21-24).
+  auto stores = regions_of_kind(r, TemplateKind::kMmStore);
+  ASSERT_EQ(stores.size(), 2u);
+  EXPECT_EQ(stores[0]->stores.size(), 2u);
+  EXPECT_EQ(stores[1]->stores.size(), 2u);
+  EXPECT_NE(stores[0]->stores[0].arr, stores[1]->stores[0].arr);
+  EXPECT_EQ(stores[0]->name(), "mmUnrolledSTORE");
+
+  // One accINIT region zeroing all four accumulators.
+  auto inits = regions_of_kind(r, TemplateKind::kAccInit);
+  ASSERT_EQ(inits.size(), 1u);
+  EXPECT_EQ(inits[0]->acc_inits.size(), 4u);
+}
+
+TEST(Identifier, GemmOuterShapeOffsetsAndAccumulators) {
+  transform::CGenParams p;
+  p.mr = 4;
+  p.nr = 2;
+  Kernel k = optimized(KernelKind::kGemm, p);
+  MatchResult r = identify_templates(k);
+  auto comps = regions_of_kind(r, TemplateKind::kMmComp);
+  ASSERT_EQ(comps.size(), 1u);
+  const Region& c = *comps[0];
+  EXPECT_EQ(c.n1 * c.n2, 8);
+  // Accumulators all distinct.
+  std::set<std::string> accs;
+  for (const MmComp& m : c.mm) accs.insert(m.res);
+  EXPECT_EQ(accs.size(), 8u);
+  // A offsets span 0..3, B offsets span 0..1 (or vice versa).
+  std::set<std::int64_t> a_offs, b_offs;
+  for (const MmComp& m : c.mm) {
+    a_offs.insert(m.off_a);
+    b_offs.insert(m.off_b);
+  }
+  EXPECT_EQ(a_offs.size() * b_offs.size(), 8u);
+}
+
+TEST(Identifier, GemmInnerUnrollMakesKuRegions) {
+  transform::CGenParams p;
+  p.mr = 2;
+  p.nr = 2;
+  p.ku = 2;
+  Kernel k = optimized(KernelKind::kGemm, p);
+  MatchResult r = identify_templates(k);
+  // ku=2 duplicates the tile body (cursor advances split the runs), and the
+  // remainder l-loop holds one more → 3 mmUnrolledCOMP regions.
+  auto comps = regions_of_kind(r, TemplateKind::kMmComp);
+  EXPECT_EQ(comps.size(), 3u);
+  for (const Region* c : comps) EXPECT_EQ(c->shape, UnrolledShape::kOuter);
+}
+
+TEST(Identifier, DotIsPairedSharedAccumulator) {
+  transform::CGenParams p;
+  p.unroll = 8;
+  Kernel k = optimized(KernelKind::kDot, p);
+  MatchResult r = identify_templates(k);
+  auto comps = regions_of_kind(r, TemplateKind::kMmComp);
+  // Main loop region (8 paired instances) + remainder region (1 instance).
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0]->shape, UnrolledShape::kPaired);
+  EXPECT_EQ(comps[0]->mm.size(), 8u);
+  EXPECT_EQ(comps[0]->mm[0].res, comps[0]->mm[7].res);
+  EXPECT_FALSE(comps[1]->unrolled());
+}
+
+TEST(Identifier, AxpyIsPairedMvComp) {
+  transform::CGenParams p;
+  p.unroll = 4;
+  Kernel k = optimized(KernelKind::kAxpy, p);
+  MatchResult r = identify_templates(k);
+  auto mvs = regions_of_kind(r, TemplateKind::kMvComp);
+  ASSERT_EQ(mvs.size(), 2u);  // main + remainder
+  EXPECT_EQ(mvs[0]->shape, UnrolledShape::kPaired);
+  EXPECT_EQ(mvs[0]->mv.size(), 4u);
+  EXPECT_EQ(mvs[0]->mv[0].scal, "alpha");
+  EXPECT_EQ(mvs[0]->name(), "mvUnrolledCOMP");
+}
+
+TEST(Identifier, GemvIsPairedMvCompWithLoadedScal) {
+  transform::CGenParams p;
+  p.unroll = 4;
+  Kernel k = optimized(KernelKind::kGemv, p);
+  MatchResult r = identify_templates(k);
+  auto mvs = regions_of_kind(r, TemplateKind::kMvComp);
+  ASSERT_EQ(mvs.size(), 2u);
+  EXPECT_EQ(mvs[0]->shape, UnrolledShape::kPaired);
+  EXPECT_EQ(mvs[0]->mv[0].scal, "scal");
+  // The streamed array is the A cursor; the updated array is the y cursor.
+  EXPECT_NE(mvs[0]->mv[0].arr_a, mvs[0]->mv[0].arr_b);
+}
+
+TEST(Identifier, TagsAreAppliedToStatements) {
+  transform::CGenParams p;
+  p.mr = 2;
+  p.nr = 2;
+  Kernel k = optimized(KernelKind::kGemm, p);
+  identify_templates(k);
+  int tagged = 0, untagged_assigns = 0;
+  for_each_stmt(k.body(), [&](const Stmt& s) {
+    if (s.kind() != StmtKind::kAssign) return;
+    if (s.template_tag().empty()) {
+      ++untagged_assigns;
+    } else {
+      ++tagged;
+    }
+  });
+  // 4 inits + 4*4 comp stmts + 4*3 store stmts = 32 tagged.
+  EXPECT_EQ(tagged, 32);
+  // Cursor inits and advances stay untagged.
+  EXPECT_GT(untagged_assigns, 0);
+}
+
+TEST(Identifier, LivenessTracksAccumulatorLastRead) {
+  transform::CGenParams p;
+  p.mr = 2;
+  p.nr = 2;
+  Kernel k = optimized(KernelKind::kGemm, p);
+  MatchResult r = identify_templates(k);
+  // Every accumulator's last read is in an mmSTORE region.
+  auto comps = regions_of_kind(r, TemplateKind::kMmComp);
+  for (const MmComp& m : comps[0]->mm) {
+    ASSERT_TRUE(r.last_read_region.count(m.res));
+    const int region = r.last_read_region.at(m.res);
+    ASSERT_GE(region, 0);
+    ASSERT_LT(region, static_cast<int>(r.regions.size()));
+    EXPECT_EQ(r.regions[region].kind, TemplateKind::kMmStore);
+  }
+}
+
+TEST(Identifier, DotReturnPinsAccumulator) {
+  Kernel k = optimized(KernelKind::kDot);
+  MatchResult r = identify_templates(k);
+  ASSERT_TRUE(r.last_read_region.count("res"));
+  EXPECT_EQ(r.last_read_region.at("res"), MatchResult::kReadBeyondRegions);
+}
+
+TEST(Identifier, ColMajorGemmStillMatchesOuter) {
+  transform::CGenParams p;
+  p.mr = 4;
+  p.nr = 2;
+  Kernel k = optimized(KernelKind::kGemm, p, BLayout::kColMajor);
+  MatchResult r = identify_templates(k);
+  auto comps = regions_of_kind(r, TemplateKind::kMmComp);
+  ASSERT_EQ(comps.size(), 1u);
+  // With B[j*kc+l] the two j columns live on distinct cursors: the outer
+  // shape still holds (Vdup applies), but Shuf's contiguity precondition
+  // does not.
+  EXPECT_EQ(comps[0]->shape, UnrolledShape::kOuter);
+  EXPECT_EQ(comps[0]->mm.size(), 8u);
+  EXPECT_FALSE(comps[0]->b_contiguous);
+}
+
+TEST(Identifier, SimpleKernelWithoutPipelineMatchesNothing) {
+  // Subscripts are not strength-reduced: the matcher requires constant
+  // offsets and finds no regions.
+  Kernel k = frontend::make_gemm_kernel();
+  MatchResult r = identify_templates(k);
+  // Only the trivial accumulator zeroing matches; no COMP/STORE regions.
+  for (const Region& region : r.regions)
+    EXPECT_EQ(region.kind, TemplateKind::kAccInit);
+}
+
+TEST(Identifier, KindNames) {
+  EXPECT_STREQ(template_kind_name(TemplateKind::kMmComp), "mmCOMP");
+  EXPECT_STREQ(template_kind_name(TemplateKind::kMvComp), "mvCOMP");
+  EXPECT_STREQ(template_kind_name(TemplateKind::kMmStore), "mmSTORE");
+  EXPECT_STREQ(template_kind_name(TemplateKind::kAccInit), "accINIT");
+}
+
+}  // namespace
+}  // namespace augem::match

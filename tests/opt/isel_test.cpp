@@ -1,0 +1,207 @@
+// Golden tests for the instruction-selection rules — the executable form of
+// the paper's Tables 1-4. Each rule is checked both textually (the exact
+// instruction sequence) and semantically (executed in the VM).
+
+#include "opt/isel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "asmgen/printer.hpp"
+#include "support/error.hpp"
+#include "vm/machine.hpp"
+
+namespace augem::opt {
+namespace {
+
+std::vector<std::string> lines_of(const MInstList& insts) {
+  std::vector<std::string> out;
+  for (const MInst& i : insts) out.push_back(asmgen::print_inst(i));
+  return out;
+}
+
+// ---- Table 1 (and 3): the Mul+Add rows -------------------------------------
+
+TEST(IselTable1, SseRowIsMovMulAdd) {
+  MInstList out;
+  emit_mul_add(out, Isa::kSse2, 2, Vr::v0, Vr::v1, Vr::v3, Vr::v2);
+  EXPECT_EQ(lines_of(out), (std::vector<std::string>{
+                               "movapd %xmm1, %xmm2",
+                               "mulpd %xmm0, %xmm2",
+                               "addpd %xmm2, %xmm3",
+                           }));
+}
+
+TEST(IselTable1, AvxRowIsMulAdd) {
+  MInstList out;
+  emit_mul_add(out, Isa::kAvx, 4, Vr::v0, Vr::v1, Vr::v3, Vr::v2);
+  EXPECT_EQ(lines_of(out), (std::vector<std::string>{
+                               "vmulpd %ymm1, %ymm0, %ymm2",
+                               "vaddpd %ymm2, %ymm3, %ymm3",
+                           }));
+}
+
+TEST(IselTable1, Fma3RowIsSingleFused) {
+  MInstList out;
+  emit_mul_add(out, Isa::kFma3, 4, Vr::v0, Vr::v1, Vr::v3, Vr::kNoVr);
+  EXPECT_EQ(lines_of(out), (std::vector<std::string>{
+                               "vfmadd231pd %ymm1, %ymm0, %ymm3",
+                           }));
+}
+
+TEST(IselTable1, Fma4RowIsSingleFourOperand) {
+  MInstList out;
+  emit_mul_add(out, Isa::kFma4, 4, Vr::v0, Vr::v1, Vr::v3, Vr::kNoVr);
+  EXPECT_EQ(lines_of(out), (std::vector<std::string>{
+                               "vfmaddpd %ymm3, %ymm1, %ymm0, %ymm3",
+                           }));
+}
+
+TEST(IselTable1, TempRequiredOnlyForNonFused) {
+  EXPECT_TRUE(needs_mul_temp(Isa::kSse2));
+  EXPECT_TRUE(needs_mul_temp(Isa::kAvx));
+  EXPECT_FALSE(needs_mul_temp(Isa::kFma3));
+  EXPECT_FALSE(needs_mul_temp(Isa::kFma4));
+  MInstList out;
+  EXPECT_THROW(emit_mul_add(out, Isa::kSse2, 2, Vr::v0, Vr::v1, Vr::v3,
+                            Vr::kNoVr),
+               Error);
+}
+
+/// Semantics: acc += a*b on every ISA, executed in the VM.
+TEST(IselTable1, AllRowsComputeMulAdd) {
+  for (Isa isa : {Isa::kSse2, Isa::kAvx, Isa::kFma3, Isa::kFma4}) {
+    const int w = isa_vector_doubles(isa);
+    double a[4] = {1, 2, 3, 4};
+    double b[4] = {10, 20, 30, 40};
+    double acc[4] = {100, 100, 100, 100};
+    MInstList insts;
+    // Load operands, run the rule, store the accumulator back.
+    insts.push_back(vload(Vr::v0, mem_bd(Gpr::rdi, 0), w, isa_is_vex(isa)));
+    insts.push_back(vload(Vr::v1, mem_bd(Gpr::rsi, 0), w, isa_is_vex(isa)));
+    insts.push_back(vload(Vr::v3, mem_bd(Gpr::rdx, 0), w, isa_is_vex(isa)));
+    emit_mul_add(insts, isa, w, Vr::v0, Vr::v1, Vr::v3, Vr::v2);
+    insts.push_back(vstore(Vr::v3, mem_bd(Gpr::rdx, 0), w, isa_is_vex(isa)));
+    insts.push_back(ret());
+    vm::Machine m(insts);
+    m.call({static_cast<double*>(a), static_cast<double*>(b),
+            static_cast<double*>(acc)});
+    for (int i = 0; i < w; ++i)
+      EXPECT_DOUBLE_EQ(acc[i], 100.0 + a[i] * b[i]) << isa_name(isa) << i;
+    for (int i = w; i < 4; ++i) EXPECT_DOUBLE_EQ(acc[i], 100.0);
+  }
+}
+
+// ---- Table 2: mmSTORE Load-Add-Store ----------------------------------------
+
+TEST(IselTable2, AddStoreSequence) {
+  MInstList out;
+  emit_add_store(out, Isa::kAvx, 4, Vr::v1, Vr::v2, mem_bd(Gpr::r9, 8));
+  EXPECT_EQ(lines_of(out), (std::vector<std::string>{
+                               "vaddpd %ymm2, %ymm1, %ymm1",
+                               "vmovupd %ymm1, 8(%r9)",
+                           }));
+  MInstList sse;
+  emit_add_store(sse, Isa::kSse2, 2, Vr::v1, Vr::v2, mem_bd(Gpr::r9, 8));
+  EXPECT_EQ(lines_of(sse), (std::vector<std::string>{
+                               "addpd %xmm2, %xmm1",
+                               "movupd %xmm1, 8(%r9)",
+                           }));
+}
+
+// ---- Table 4: Vld / Vdup / Shuf ---------------------------------------------
+
+TEST(IselTable4, VdupMapsToMovddupAndVbroadcastsd) {
+  MInstList sse, avx;
+  emit_broadcast(sse, Isa::kSse2, 2, Vr::v4, mem_bd(Gpr::r8, 0));
+  emit_broadcast(avx, Isa::kAvx, 4, Vr::v4, mem_bd(Gpr::r8, 0));
+  EXPECT_EQ(lines_of(sse)[0], "movddup (%r8), %xmm4");
+  EXPECT_EQ(lines_of(avx)[0], "vbroadcastsd (%r8), %ymm4");
+}
+
+TEST(IselTable4, RotationSemantics) {
+  // dst[i] = src[(i + r) mod w] on every vector ISA.
+  for (Isa isa : {Isa::kSse2, Isa::kAvx}) {
+    const int w = isa_vector_doubles(isa);
+    for (int r = 1; r < w; ++r) {
+      double src[4] = {1, 2, 3, 4};
+      double dst[4] = {0, 0, 0, 0};
+      MInstList insts;
+      insts.push_back(vload(Vr::v1, mem_bd(Gpr::rdi, 0), w, isa_is_vex(isa)));
+      emit_rotate(insts, isa, w, Vr::v2, Vr::v1, r, Vr::v3);
+      insts.push_back(vstore(Vr::v2, mem_bd(Gpr::rsi, 0), w, isa_is_vex(isa)));
+      insts.push_back(ret());
+      vm::Machine m(insts);
+      m.call({static_cast<double*>(src), static_cast<double*>(dst)});
+      for (int i = 0; i < w; ++i)
+        EXPECT_DOUBLE_EQ(dst[i], src[(i + r) % w])
+            << isa_name(isa) << " r=" << r << " lane " << i;
+    }
+  }
+}
+
+TEST(IselTable4, LaneGatherPicksDiagonal) {
+  // Four source registers, dst[i] = srcs[i][i].
+  double mem[16];
+  for (int i = 0; i < 16; ++i) mem[i] = i;
+  double dst[4] = {0, 0, 0, 0};
+  MInstList insts;
+  const Vr regs[4] = {Vr::v1, Vr::v2, Vr::v3, Vr::v4};
+  for (int g = 0; g < 4; ++g)
+    insts.push_back(vload(regs[g], mem_bd(Gpr::rdi, 32 * g), 4, true));
+  emit_lane_gather(insts, Isa::kAvx, 4, Vr::v5,
+                   {regs[0], regs[1], regs[2], regs[3]});
+  insts.push_back(vstore(Vr::v5, mem_bd(Gpr::rsi, 0), 4, true));
+  insts.push_back(ret());
+  vm::Machine m(insts);
+  m.call({static_cast<double*>(mem), static_cast<double*>(dst)});
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(dst[i], 4 * i + i) << i;
+}
+
+TEST(IselTable4, LaneGatherWidth2) {
+  double mem[4] = {10, 11, 20, 21};
+  double dst[2] = {0, 0};
+  for (Isa isa : {Isa::kSse2, Isa::kAvx}) {
+    MInstList insts;
+    insts.push_back(vload(Vr::v1, mem_bd(Gpr::rdi, 0), 2, isa_is_vex(isa)));
+    insts.push_back(vload(Vr::v2, mem_bd(Gpr::rdi, 16), 2, isa_is_vex(isa)));
+    emit_lane_gather(insts, isa, 2, Vr::v3, {Vr::v1, Vr::v2});
+    insts.push_back(vstore(Vr::v3, mem_bd(Gpr::rsi, 0), 2, isa_is_vex(isa)));
+    insts.push_back(ret());
+    vm::Machine m(insts);
+    m.call({static_cast<double*>(mem), static_cast<double*>(dst)});
+    EXPECT_DOUBLE_EQ(dst[0], 10);  // srcs[0] lane 0
+    EXPECT_DOUBLE_EQ(dst[1], 21);  // srcs[1] lane 1
+  }
+}
+
+TEST(IselHsum, AllWidthsAndIsas) {
+  for (Isa isa : {Isa::kSse2, Isa::kAvx, Isa::kFma3}) {
+    const int w = isa_vector_doubles(isa);
+    double src[4] = {1.5, 2.25, 3.125, 4.0625};
+    double want = 0;
+    for (int i = 0; i < w; ++i) want += src[i];
+    double dst[1] = {0};
+    MInstList insts;
+    insts.push_back(vload(Vr::v1, mem_bd(Gpr::rdi, 0), w, isa_is_vex(isa)));
+    emit_hsum(insts, isa, w, Vr::v2, Vr::v1, Vr::v3, Vr::v4);
+    insts.push_back(vstore(Vr::v2, mem_bd(Gpr::rsi, 0), 1, isa_is_vex(isa)));
+    insts.push_back(ret());
+    vm::Machine m(insts);
+    m.call({static_cast<double*>(src), static_cast<double*>(dst)});
+    EXPECT_DOUBLE_EQ(dst[0], want) << isa_name(isa);
+  }
+}
+
+TEST(IselGuards, RotateValidatesArguments) {
+  MInstList out;
+  EXPECT_THROW(emit_rotate(out, Isa::kAvx, 4, Vr::v1, Vr::v2, 0, Vr::v3), Error);
+  EXPECT_THROW(emit_rotate(out, Isa::kAvx, 4, Vr::v1, Vr::v2, 4, Vr::v3), Error);
+  // Odd 256-bit rotations need a distinct temp.
+  EXPECT_THROW(emit_rotate(out, Isa::kAvx, 4, Vr::v1, Vr::v2, 1, Vr::kNoVr),
+               Error);
+}
+
+}  // namespace
+}  // namespace augem::opt

@@ -1,0 +1,97 @@
+#include "opt/minst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace augem::opt {
+namespace {
+
+bool contains_gpr(const std::vector<Gpr>& v, Gpr g) {
+  return std::find(v.begin(), v.end(), g) != v.end();
+}
+bool contains_vr(const std::vector<Vr>& v, Vr r) {
+  return std::find(v.begin(), v.end(), r) != v.end();
+}
+
+TEST(MInst, FmaDefUse) {
+  // FMA3 accumulator is both read and written.
+  const MInst i = vfma231(Vr::v3, Vr::v0, Vr::v1, 4);
+  std::vector<Gpr> dg, ug;
+  std::vector<Vr> dv, uv;
+  defs_of(i, dg, dv);
+  uses_of(i, ug, uv);
+  EXPECT_TRUE(contains_vr(dv, Vr::v3));
+  EXPECT_TRUE(contains_vr(uv, Vr::v0));
+  EXPECT_TRUE(contains_vr(uv, Vr::v1));
+  EXPECT_TRUE(contains_vr(uv, Vr::v3));
+}
+
+TEST(MInst, Fma4ReadsThreeSources) {
+  const MInst i = vfma4(Vr::v5, Vr::v0, Vr::v1, Vr::v2, 4);
+  std::vector<Gpr> ug;
+  std::vector<Vr> uv;
+  uses_of(i, ug, uv);
+  EXPECT_TRUE(contains_vr(uv, Vr::v0));
+  EXPECT_TRUE(contains_vr(uv, Vr::v1));
+  EXPECT_TRUE(contains_vr(uv, Vr::v2));
+  EXPECT_FALSE(contains_vr(uv, Vr::v5));  // pure destination
+}
+
+TEST(MInst, MemOperandBaseAndIndexAreUses) {
+  const MInst i = vload(Vr::v0, mem_bis(Gpr::rdi, Gpr::r10, 8, 16), 4, true);
+  std::vector<Gpr> ug;
+  std::vector<Vr> uv;
+  uses_of(i, ug, uv);
+  EXPECT_TRUE(contains_gpr(ug, Gpr::rdi));
+  EXPECT_TRUE(contains_gpr(ug, Gpr::r10));
+}
+
+TEST(MInst, ReadModifyWriteIntegerOps) {
+  const MInst i = iadd(Gpr::rax, Gpr::rbx);
+  std::vector<Gpr> dg, ug;
+  std::vector<Vr> dv, uv;
+  defs_of(i, dg, dv);
+  uses_of(i, ug, uv);
+  EXPECT_TRUE(contains_gpr(dg, Gpr::rax));
+  EXPECT_TRUE(contains_gpr(ug, Gpr::rax));
+  EXPECT_TRUE(contains_gpr(ug, Gpr::rbx));
+}
+
+TEST(MInst, MemoryClassification) {
+  EXPECT_TRUE(touches_memory(vload(Vr::v0, mem_bd(Gpr::rdi, 0), 4, true)));
+  EXPECT_TRUE(touches_memory(prefetch(mem_bd(Gpr::rdi, 0), 3)));
+  EXPECT_FALSE(touches_memory(vmul(Vr::v0, Vr::v1, Vr::v2, 4, true)));
+  EXPECT_TRUE(writes_memory(vstore(Vr::v0, mem_bd(Gpr::rdi, 0), 4, true)));
+  EXPECT_FALSE(writes_memory(vload(Vr::v0, mem_bd(Gpr::rdi, 0), 4, true)));
+  EXPECT_TRUE(writes_memory(istore(Gpr::rax, mem_bd(Gpr::rsp, 8))));
+  EXPECT_TRUE(touches_memory(iadd_mem(Gpr::rax, mem_bd(Gpr::rsp, 8))));
+  EXPECT_FALSE(writes_memory(iadd_mem(Gpr::rax, mem_bd(Gpr::rsp, 8))));
+}
+
+TEST(MInst, ControlClassification) {
+  EXPECT_TRUE(is_control(jl("x")));
+  EXPECT_TRUE(is_control(label("x")));
+  EXPECT_TRUE(is_control(ret()));
+  EXPECT_TRUE(is_control(cmp(Gpr::rax, Gpr::rbx)));
+  EXPECT_FALSE(is_control(vadd(Vr::v0, Vr::v0, Vr::v1, 4, true)));
+  EXPECT_FALSE(is_control(comment("hi")));
+}
+
+TEST(MInst, MemHelpers) {
+  const Mem m = mem_bd(Gpr::rsi, -8);
+  EXPECT_TRUE(m.valid());
+  EXPECT_FALSE(m.has_index());
+  const Mem mi = mem_bis(Gpr::rsi, Gpr::rcx, 8, 0);
+  EXPECT_TRUE(mi.has_index());
+  EXPECT_FALSE(Mem{}.valid());
+}
+
+TEST(MInst, DebugToStringMentionsOperands) {
+  const std::string s = vfma231(Vr::v3, Vr::v0, Vr::v1, 4).to_string();
+  EXPECT_NE(s.find("ymm3"), std::string::npos);
+  EXPECT_NE(s.find("ymm0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace augem::opt

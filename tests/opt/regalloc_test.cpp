@@ -1,0 +1,106 @@
+#include "opt/regalloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace augem::opt {
+namespace {
+
+TEST(VrAllocator, PerArrayQueuesSeparateArrays) {
+  VrAllocator alloc({"A", "B", "C"}, RegAllocPolicy::kPerArrayQueues);
+  // Registers handed to different arrays must be distinct, and repeated
+  // allocations to one array must also be distinct.
+  const Vr a1 = alloc.alloc("A");
+  const Vr a2 = alloc.alloc("A");
+  const Vr b1 = alloc.alloc("B");
+  const Vr c1 = alloc.alloc("C");
+  const Vr t1 = alloc.alloc("");
+  std::set<Vr> all = {a1, a2, b1, c1, t1};
+  EXPECT_EQ(all.size(), 5u);
+}
+
+TEST(VrAllocator, ReleaseReturnsToHomeQueue) {
+  VrAllocator alloc({"A"}, RegAllocPolicy::kPerArrayQueues);
+  const Vr a1 = alloc.alloc("A");
+  alloc.release(a1);
+  // The same register comes back for the same affinity (front of queue).
+  EXPECT_EQ(alloc.alloc("A"), a1);
+}
+
+TEST(VrAllocator, DoubleReleaseThrows) {
+  VrAllocator alloc({}, RegAllocPolicy::kSinglePool);
+  const Vr r = alloc.alloc("");
+  alloc.release(r);
+  EXPECT_THROW(alloc.release(r), Error);
+}
+
+TEST(VrAllocator, StealsWhenQueueExhausted) {
+  // With 2 affinities + temp pool, each queue holds ~16/3 registers;
+  // drawing 10 for "A" must succeed by stealing.
+  VrAllocator alloc({"A", "B"}, RegAllocPolicy::kPerArrayQueues);
+  std::set<Vr> got;
+  for (int i = 0; i < 10; ++i) got.insert(alloc.alloc("A"));
+  EXPECT_EQ(got.size(), 10u);
+}
+
+TEST(VrAllocator, ExhaustionThrows) {
+  VrAllocator alloc({}, RegAllocPolicy::kSinglePool);
+  for (int i = 0; i < kNumVrs; ++i) alloc.alloc("");
+  EXPECT_EQ(alloc.free_count(), 0);
+  EXPECT_THROW(alloc.alloc(""), Error);
+}
+
+TEST(VrAllocator, ReservedRegistersNeverHandedOut) {
+  VrAllocator alloc({"A"}, RegAllocPolicy::kPerArrayQueues, {Vr::v0, Vr::v1});
+  EXPECT_TRUE(alloc.in_use(Vr::v0));
+  EXPECT_TRUE(alloc.in_use(Vr::v1));
+  for (int i = 0; i < kNumVrs - 2; ++i) {
+    const Vr r = alloc.alloc(i % 2 == 0 ? "A" : "");
+    EXPECT_NE(r, Vr::v0);
+    EXPECT_NE(r, Vr::v1);
+  }
+  EXPECT_EQ(alloc.free_count(), 0);
+}
+
+TEST(VrAllocator, SinglePoolIgnoresAffinity) {
+  VrAllocator alloc({"A", "B"}, RegAllocPolicy::kSinglePool);
+  // Sequential allocations come out in register order regardless of array.
+  const Vr r0 = alloc.alloc("A");
+  const Vr r1 = alloc.alloc("B");
+  EXPECT_EQ(index_of(r1), index_of(r0) + 1);
+}
+
+TEST(VrAllocator, UnknownAffinityFallsToTempPool) {
+  VrAllocator alloc({"A"}, RegAllocPolicy::kPerArrayQueues);
+  EXPECT_NO_THROW(alloc.alloc("never-declared"));
+}
+
+TEST(RegTable, BindLookupUnbind) {
+  RegTable t;
+  EXPECT_FALSE(t.contains("res"));
+  t.bind("res", Vr::v7);
+  EXPECT_TRUE(t.contains("res"));
+  EXPECT_EQ(t.lookup("res"), Vr::v7);
+  EXPECT_EQ(t.unbind("res"), Vr::v7);
+  EXPECT_FALSE(t.contains("res"));
+}
+
+TEST(RegTable, ErrorsOnMisuse) {
+  RegTable t;
+  t.bind("x", Vr::v1);
+  EXPECT_THROW(t.bind("x", Vr::v2), Error);  // rebinding
+  EXPECT_THROW(t.lookup("y"), Error);
+  EXPECT_THROW(t.unbind("y"), Error);
+}
+
+TEST(RegTable, BindingsAreDeterministicallyOrdered) {
+  RegTable t;
+  t.bind("b", Vr::v2);
+  t.bind("a", Vr::v1);
+  auto it = t.bindings().begin();
+  EXPECT_EQ(it->first, "a");
+}
+
+}  // namespace
+}  // namespace augem::opt

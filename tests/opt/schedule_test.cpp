@@ -1,0 +1,98 @@
+#include "opt/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace augem::opt {
+namespace {
+
+std::vector<MOp> ops_of(const MInstList& l) {
+  std::vector<MOp> out;
+  for (const MInst& i : l) out.push_back(i.op);
+  return out;
+}
+
+TEST(Schedule, HoistsIndependentLoadAboveArithmetic) {
+  MInstList l;
+  l.push_back(vload(Vr::v0, mem_bd(Gpr::rdi, 0), 4, true));   // load A
+  l.push_back(vfma231(Vr::v2, Vr::v0, Vr::v3, 4));            // uses v0
+  l.push_back(vload(Vr::v1, mem_bd(Gpr::rsi, 0), 4, true));   // independent
+  l.push_back(vfma231(Vr::v4, Vr::v1, Vr::v3, 4));
+  schedule_instructions(l);
+  // The second load moves ahead of the first FMA.
+  EXPECT_EQ(ops_of(l), (std::vector<MOp>{MOp::kVLoad, MOp::kVLoad,
+                                         MOp::kVFma231, MOp::kVFma231}));
+}
+
+TEST(Schedule, RespectsRegisterDependences) {
+  MInstList l;
+  l.push_back(vfma231(Vr::v2, Vr::v0, Vr::v1, 4));
+  l.push_back(vload(Vr::v0, mem_bd(Gpr::rdi, 0), 4, true));  // WAR on v0
+  schedule_instructions(l);
+  EXPECT_EQ(l[0].op, MOp::kVFma231);  // load may not jump the anti-dep
+}
+
+TEST(Schedule, StoresStayOrderedWithLoads) {
+  MInstList l;
+  l.push_back(vstore(Vr::v0, mem_bd(Gpr::rdi, 0), 4, true));
+  l.push_back(vload(Vr::v1, mem_bd(Gpr::rsi, 0), 4, true));  // may alias
+  schedule_instructions(l);
+  EXPECT_EQ(l[0].op, MOp::kVStore);
+}
+
+TEST(Schedule, ControlFlowIsABarrier) {
+  MInstList l;
+  l.push_back(vfma231(Vr::v2, Vr::v0, Vr::v1, 4));
+  l.push_back(label("L0"));
+  l.push_back(vload(Vr::v3, mem_bd(Gpr::rdi, 0), 4, true));
+  schedule_instructions(l);
+  EXPECT_EQ(l[1].op, MOp::kLabel);
+  EXPECT_EQ(l[2].op, MOp::kVLoad);  // stays after the label
+}
+
+TEST(Schedule, CounterIncrementStaysBeforeItsCompare) {
+  MInstList l;
+  l.push_back(iadd_imm(Gpr::rax, 1));
+  l.push_back(cmp(Gpr::rax, Gpr::rbx));
+  l.push_back(jl("body"));
+  l.push_back(label("body"));
+  schedule_instructions(l);
+  EXPECT_EQ(ops_of(l), (std::vector<MOp>{MOp::kIAddImm, MOp::kCmp, MOp::kJl,
+                                         MOp::kLabel}));
+}
+
+TEST(Schedule, PrefetchesMayMoveFreely) {
+  MInstList l;
+  l.push_back(vfma231(Vr::v2, Vr::v0, Vr::v1, 4));
+  l.push_back(prefetch(mem_bd(Gpr::rdi, 64), 3));
+  l.push_back(vload(Vr::v3, mem_bd(Gpr::rsi, 0), 4, true));
+  schedule_instructions(l);
+  // The load jumps ahead; the prefetch doesn't block it.
+  EXPECT_EQ(l[0].op, MOp::kVLoad);
+}
+
+TEST(Schedule, ScratchMemBaseReloadIsOrdered) {
+  // A load through r10 must not drift above the instruction that sets r10.
+  MInstList l;
+  l.push_back(iload(Gpr::r10, mem_bd(Gpr::rsp, 8)));
+  l.push_back(vload(Vr::v0, mem_bd(Gpr::r10, 0), 4, true));
+  l.push_back(iload(Gpr::r10, mem_bd(Gpr::rsp, 16)));  // WAW + WAR
+  l.push_back(vload(Vr::v1, mem_bd(Gpr::r10, 0), 4, true));
+  schedule_instructions(l);
+  EXPECT_EQ(ops_of(l), (std::vector<MOp>{MOp::kILoad, MOp::kVLoad, MOp::kILoad,
+                                         MOp::kVLoad}));
+}
+
+TEST(Schedule, DeterministicOnTies) {
+  MInstList a, b;
+  for (int i = 0; i < 6; ++i) {
+    a.push_back(vfma231(vr_at(i), Vr::v14, Vr::v15, 4));
+    b.push_back(vfma231(vr_at(i), Vr::v14, Vr::v15, 4));
+  }
+  schedule_instructions(a);
+  schedule_instructions(b);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].vdst, b[i].vdst) << i;
+}
+
+}  // namespace
+}  // namespace augem::opt

@@ -1,0 +1,170 @@
+#include "opt/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace augem::opt {
+namespace {
+
+MInstList minimal_ok() {
+  MInstList l;
+  l.push_back(vzero(Vr::v0, 1, false));
+  l.push_back(ret());
+  return l;
+}
+
+bool has_issue(const MInstList& l, const std::string& fragment,
+               int f64_params = 0) {
+  for (const VerifyIssue& i : verify_machine_code(l, f64_params))
+    if (i.message.find(fragment) != std::string::npos) return true;
+  return false;
+}
+
+TEST(Verifier, CleanFunctionPasses) {
+  EXPECT_TRUE(verify_machine_code(minimal_ok()).empty());
+  EXPECT_NO_THROW(check_machine_code(minimal_ok()));
+}
+
+TEST(Verifier, MissingRetFlagged) {
+  MInstList l;
+  l.push_back(vzero(Vr::v0, 1, false));
+  EXPECT_TRUE(has_issue(l, "no ret"));
+}
+
+TEST(Verifier, TwoOperandViolation) {
+  MInstList l;
+  l.push_back(vzero(Vr::v0, 2, false));
+  l.push_back(vzero(Vr::v1, 2, false));
+  l.push_back(vzero(Vr::v2, 2, false));
+  l.push_back(vmul(Vr::v2, Vr::v0, Vr::v1, 2, false));  // dst != src1, SSE
+  l.push_back(ret());
+  EXPECT_TRUE(has_issue(l, "dst == src1"));
+}
+
+TEST(Verifier, WidthFourRequiresVex) {
+  MInstList l;
+  MInst bad = vzero(Vr::v0, 4, false);
+  l.push_back(bad);
+  l.push_back(ret());
+  EXPECT_TRUE(has_issue(l, "without VEX"));
+}
+
+TEST(Verifier, CondJumpNeedsCompare) {
+  MInstList l;
+  l.push_back(label("x"));
+  l.push_back(jl("x"));  // no compare at all
+  l.push_back(ret());
+  EXPECT_TRUE(has_issue(l, "without an immediately preceding compare"));
+}
+
+TEST(Verifier, ArithmeticInvalidatesFlags) {
+  MInstList l;
+  l.push_back(imov_imm(Gpr::rax, 0));
+  l.push_back(label("x"));
+  l.push_back(cmp_imm(Gpr::rax, 5));
+  l.push_back(iadd_imm(Gpr::rax, 1));  // clobbers EFLAGS
+  l.push_back(jl("x"));
+  l.push_back(ret());
+  EXPECT_TRUE(has_issue(l, "without an immediately preceding compare"));
+}
+
+TEST(Verifier, CommentsDoNotInvalidateFlags) {
+  MInstList l;
+  l.push_back(imov_imm(Gpr::rax, 0));
+  l.push_back(label("x"));
+  l.push_back(cmp_imm(Gpr::rax, 5));
+  l.push_back(comment("still fine"));
+  l.push_back(jl("x"));
+  l.push_back(ret());
+  EXPECT_TRUE(verify_machine_code(l).empty());
+}
+
+TEST(Verifier, UnknownJumpTarget) {
+  MInstList l;
+  l.push_back(imov_imm(Gpr::rax, 0));
+  l.push_back(cmp_imm(Gpr::rax, 5));
+  l.push_back(jl("nowhere"));
+  l.push_back(ret());
+  EXPECT_TRUE(has_issue(l, "unknown label"));
+}
+
+TEST(Verifier, UnbalancedPushes) {
+  MInstList l;
+  l.push_back(push(Gpr::rbx));
+  l.push_back(ret());
+  EXPECT_TRUE(has_issue(l, "not restored"));
+}
+
+TEST(Verifier, PopOrderMismatch) {
+  MInstList l;
+  l.push_back(push(Gpr::rbx));
+  l.push_back(push(Gpr::r12));
+  l.push_back(pop(Gpr::rbx));  // should be r12 first
+  l.push_back(pop(Gpr::r12));
+  l.push_back(ret());
+  EXPECT_TRUE(has_issue(l, "pop order mismatch"));
+}
+
+TEST(Verifier, UnbalancedFrameAdjustment) {
+  MInstList l;
+  l.push_back(isub_imm(Gpr::rsp, 64));
+  l.push_back(ret());
+  EXPECT_TRUE(has_issue(l, "unbalanced stack frame"));
+}
+
+TEST(Verifier, BalancedFramePasses) {
+  MInstList l;
+  l.push_back(push(Gpr::rbx));
+  l.push_back(isub_imm(Gpr::rsp, 64));
+  l.push_back(imov_imm(Gpr::rbx, 7));
+  l.push_back(iadd_imm(Gpr::rsp, 64));
+  l.push_back(pop(Gpr::rbx));
+  l.push_back(ret());
+  EXPECT_TRUE(verify_machine_code(l).empty());
+}
+
+TEST(Verifier, UninitializedVectorReadFlagged) {
+  MInstList l;
+  l.push_back(vmov(Vr::v1, Vr::v9, 2, true));  // v9 never written
+  l.push_back(ret());
+  EXPECT_TRUE(has_issue(l, "uninitialized vector register"));
+}
+
+TEST(Verifier, F64ParamsPreinitializeXmm) {
+  MInstList l;
+  l.push_back(vmov(Vr::v1, Vr::v0, 1, true));  // xmm0 = alpha argument
+  l.push_back(ret());
+  EXPECT_TRUE(has_issue(l, "uninitialized vector register", 0));
+  EXPECT_FALSE(has_issue(l, "uninitialized vector register", 1));
+}
+
+TEST(Verifier, UninitializedGprReadFlagged) {
+  MInstList l;
+  l.push_back(imov(Gpr::rax, Gpr::r15));  // r15 is not an argument register
+  l.push_back(ret());
+  EXPECT_TRUE(has_issue(l, "uninitialized register r15"));
+}
+
+TEST(Verifier, ArgumentRegistersArePreinitialized) {
+  MInstList l;
+  l.push_back(imov(Gpr::rax, Gpr::rdi));
+  l.push_back(iload(Gpr::rbx, mem_bd(Gpr::rsp, 8)));
+  l.push_back(ret());
+  EXPECT_TRUE(verify_machine_code(l).empty());
+}
+
+TEST(Verifier, CheckThrowsWithIndexedMessages) {
+  MInstList l;
+  l.push_back(push(Gpr::rbx));
+  l.push_back(ret());
+  try {
+    check_machine_code(l);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("[1]"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace augem::opt

@@ -1,0 +1,66 @@
+#include "support/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+namespace augem {
+namespace {
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  DoubleBuffer b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(AlignedBuffer, AllocatesAligned) {
+  DoubleBuffer b(1001);
+  EXPECT_EQ(b.size(), 1001u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % 64, 0u);
+}
+
+TEST(AlignedBuffer, ZeroInitialized) {
+  DoubleBuffer b(257);
+  for (double x : b) EXPECT_EQ(x, 0.0);
+}
+
+TEST(AlignedBuffer, OddSizesRoundUpAllocation) {
+  // 3 doubles = 24 bytes, not a multiple of 64; must still allocate fine.
+  DoubleBuffer b(3);
+  b[0] = 1;
+  b[2] = 3;
+  EXPECT_EQ(b[0] + b[1] + b[2], 4.0);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  DoubleBuffer a(16);
+  std::iota(a.begin(), a.end(), 0.0);
+  double* p = a.data();
+  DoubleBuffer b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(b[15], 15.0);
+
+  DoubleBuffer c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(AlignedBuffer, SpanCoversWholeBuffer) {
+  DoubleBuffer b(8);
+  auto s = b.span();
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.data(), b.data());
+}
+
+TEST(AlignedBuffer, CustomAlignment) {
+  AlignedBuffer<double, 4096> page(10);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(page.data()) % 4096, 0u);
+}
+
+}  // namespace
+}  // namespace augem

@@ -1,0 +1,45 @@
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace augem {
+namespace {
+
+TEST(Error, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(AUGEM_CHECK(1 + 1 == 2, "math works"));
+}
+
+TEST(Error, CheckThrowsOnFalse) {
+  EXPECT_THROW(AUGEM_CHECK(false, "boom"), Error);
+}
+
+TEST(Error, MessageContainsExpressionAndDetail) {
+  try {
+    const int n = -3;
+    AUGEM_CHECK(n > 0, "vector length must be positive, got " << n);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("n > 0"), std::string::npos);
+    EXPECT_NE(what.find("got -3"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckWithoutMessage) {
+  try {
+    AUGEM_CHECK(false);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("false"), std::string::npos);
+  }
+}
+
+TEST(Error, FailAlwaysThrows) {
+  EXPECT_THROW(AUGEM_FAIL("unreachable state " << 17), Error);
+}
+
+}  // namespace
+}  // namespace augem

@@ -1,0 +1,56 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace augem {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) any_diff |= (a.uniform() != b.uniform());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = r.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, FillCoversWholeSpan) {
+  Rng r(9);
+  std::vector<double> v(64, 99.0);
+  r.fill(v);
+  for (double x : v) {
+    EXPECT_GE(x, -1.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace augem

@@ -1,0 +1,59 @@
+#include "support/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace augem {
+namespace {
+
+TEST(Timer, ElapsedIsMonotonic) {
+  Timer t;
+  const double a = t.elapsed_s();
+  const double b = t.elapsed_s();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1;
+  t.reset();
+  EXPECT_LT(t.elapsed_s(), 1.0);
+}
+
+TEST(Timer, BestOfCountsInvocations) {
+  int calls = 0;
+  time_best_of(5, [&] { ++calls; });
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(Timer, MeanOfCountsInvocations) {
+  int calls = 0;
+  time_mean_of(3, [&] { ++calls; });
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Timer, BestOfRejectsZeroReps) {
+  EXPECT_THROW(time_best_of(0, [] {}), Error);
+}
+
+TEST(Timer, MflopsComputesCorrectly) {
+  EXPECT_DOUBLE_EQ(mflops(2.0e6, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(mflops(1.0e6, 0.5), 2.0);
+  EXPECT_EQ(mflops(1.0e6, 0.0), 0.0);
+}
+
+TEST(Timer, BestOfIsAtMostMean) {
+  volatile double sink = 0;
+  auto work = [&] {
+    for (int i = 0; i < 10000; ++i) sink = sink + 1;
+  };
+  const double best = time_best_of(5, work);
+  const double mean = time_mean_of(5, work);
+  EXPECT_LE(best, mean * 1.5 + 1e-6);  // generous slack for noise
+}
+
+}  // namespace
+}  // namespace augem

@@ -1,0 +1,124 @@
+#include "transform/ckernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/visit.hpp"
+#include "support/error.hpp"
+#include "transform/scalarrep.hpp"
+#include "../common/oracle.hpp"
+
+namespace augem::transform {
+namespace {
+
+using namespace augem::ir;
+using frontend::BLayout;
+using frontend::KernelKind;
+
+TEST(CKernelGen, ParamsToString) {
+  CGenParams p;
+  p.mr = 8;
+  p.nr = 4;
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("mr=8"), std::string::npos);
+  EXPECT_NE(s.find("nr=4"), std::string::npos);
+  EXPECT_NE(s.find("prefetch=on"), std::string::npos);
+}
+
+TEST(CKernelGen, OutputIsThreeAddress) {
+  for (KernelKind kind : {KernelKind::kGemm, KernelKind::kGemv,
+                          KernelKind::kAxpy, KernelKind::kDot}) {
+    Kernel k = generate_optimized_c(kind, BLayout::kRowPanel, {});
+    EXPECT_NO_THROW(check_three_address_form(k));
+  }
+}
+
+TEST(CKernelGen, RejectsInvalidParams) {
+  CGenParams p;
+  p.mr = 0;
+  EXPECT_THROW(generate_optimized_c(KernelKind::kGemm, BLayout::kRowPanel, p),
+               augem::Error);
+  CGenParams q;
+  q.unroll = -1;
+  EXPECT_THROW(generate_optimized_c(KernelKind::kAxpy, BLayout::kRowPanel, q),
+               augem::Error);
+}
+
+TEST(CKernelGen, GemmOutputShapeMatchesFig13) {
+  CGenParams p;
+  p.mr = 2;
+  p.nr = 2;
+  p.ku = 1;
+  Kernel k = generate_optimized_c(KernelKind::kGemm, BLayout::kRowPanel, p);
+  const std::string s = k.to_string();
+  // The optimized kernel exhibits all the Fig. 13 ingredients:
+  EXPECT_NE(s.find("ptr_A"), std::string::npos);   // strength-reduced cursors
+  EXPECT_NE(s.find("ptr_C"), std::string::npos);
+  EXPECT_NE(s.find("tmp"), std::string::npos);     // scalar replacement
+  EXPECT_NE(s.find("__builtin_prefetch"), std::string::npos);
+  EXPECT_NE(s.find("res"), std::string::npos);     // expanded accumulators
+}
+
+struct GemmCase {
+  int mr, nr, ku;
+  BLayout layout;
+};
+
+class GemmPipeline : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmPipeline, SemanticsPreservedAcrossTileSpace) {
+  const GemmCase c = GetParam();
+  CGenParams p;
+  p.mr = c.mr;
+  p.nr = c.nr;
+  p.ku = c.ku;
+  Kernel k = generate_optimized_c(KernelKind::kGemm, c.layout, p);
+  augem::testing::check_gemm_kernel_semantics(
+      k, c.layout, /*mc=*/2 * c.mr, /*nc=*/2 * c.nr, /*kc=*/2 * c.ku + 3,
+      /*ldc=*/2 * c.mr + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TileSweep, GemmPipeline,
+    ::testing::Values(GemmCase{1, 1, 1, BLayout::kRowPanel},
+                      GemmCase{2, 2, 1, BLayout::kRowPanel},
+                      GemmCase{4, 2, 1, BLayout::kRowPanel},
+                      GemmCase{4, 4, 2, BLayout::kRowPanel},
+                      GemmCase{8, 2, 2, BLayout::kRowPanel},
+                      GemmCase{8, 4, 4, BLayout::kRowPanel},
+                      GemmCase{2, 2, 1, BLayout::kColMajor},
+                      GemmCase{4, 4, 2, BLayout::kColMajor},
+                      GemmCase{8, 2, 4, BLayout::kColMajor}));
+
+class Level1Pipeline : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Level1Pipeline, AxpySemantics) {
+  const auto [u, n] = GetParam();
+  CGenParams p;
+  p.unroll = u;
+  Kernel k = generate_optimized_c(KernelKind::kAxpy, BLayout::kRowPanel, p);
+  augem::testing::check_axpy_kernel_semantics(k, n);
+}
+
+TEST_P(Level1Pipeline, DotSemantics) {
+  const auto [u, n] = GetParam();
+  CGenParams p;
+  p.unroll = u;
+  Kernel k = generate_optimized_c(KernelKind::kDot, BLayout::kRowPanel, p);
+  augem::testing::check_dot_kernel_semantics(k, n);
+}
+
+TEST_P(Level1Pipeline, GemvSemantics) {
+  const auto [u, m] = GetParam();
+  CGenParams p;
+  p.unroll = u;
+  Kernel k = generate_optimized_c(KernelKind::kGemv, BLayout::kRowPanel, p);
+  augem::testing::check_gemv_kernel_semantics(k, m, /*n=*/4, /*lda=*/m + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UnrollSweep, Level1Pipeline,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+                       ::testing::Values(1, 7, 16, 33, 100)));
+
+}  // namespace
+}  // namespace augem::transform

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "frontend/kernels.hpp"
+#include "ir/visit.hpp"
+#include "support/error.hpp"
+#include "transform/unroll.hpp"
+#include "../common/oracle.hpp"
+
+namespace augem::transform {
+namespace {
+
+using namespace augem::ir;
+using frontend::BLayout;
+
+int count_loops(const StmtList& body) {
+  int n = 0;
+  for_each_stmt(body, [&](const Stmt& s) {
+    if (s.kind() == StmtKind::kFor) ++n;
+  });
+  return n;
+}
+
+const ForStmt* find_loop(const StmtList& body, const std::string& v) {
+  const ForStmt* found = nullptr;
+  for_each_stmt(body, [&](const Stmt& s) {
+    if (const auto* f = as<ForStmt>(s)) {
+      if (f->var() == v && found == nullptr) found = f;
+    }
+  });
+  return found;
+}
+
+TEST(UnrollAndJam, GemmTwoByTwoProducesSingleInnerLoop) {
+  Kernel k = frontend::make_gemm_kernel();
+  unroll_and_jam(k, "j", 2, true);
+  unroll_and_jam(k, "i", 2, true);
+  // Still exactly three loops: j, i, l — the copies were fused (Fig. 13).
+  EXPECT_EQ(count_loops(k.body()), 3);
+
+  // The innermost loop carries all mr*nr = 4 multiply-accumulate statements.
+  const ForStmt* l = find_loop(k.body(), "l");
+  ASSERT_NE(l, nullptr);
+  EXPECT_EQ(l->body().size(), 4u);
+
+  // Four distinct accumulators (res expanded like res0…res3 in the paper).
+  const ForStmt* i = find_loop(k.body(), "i");
+  ASSERT_NE(i, nullptr);
+  int inits = 0, stores = 0;
+  for (const StmtPtr& s : i->body()) {
+    const auto* a = as<Assign>(*s);
+    if (a == nullptr) continue;
+    if (a->rhs().kind() == ExprKind::kFloatConst) ++inits;
+    if (a->lhs().kind() == ExprKind::kArrayRef) ++stores;
+  }
+  EXPECT_EQ(inits, 4);
+  EXPECT_EQ(stores, 4);
+}
+
+TEST(UnrollAndJam, AccumulatorsAreRenamedApart) {
+  Kernel k = frontend::make_gemm_kernel();
+  unroll_and_jam(k, "j", 2, true);
+  // Two accumulators now exist: the original `res` plus a renamed sibling.
+  int res_like = 0;
+  for (const auto& local : k.locals())
+    if (local.name.rfind("res", 0) == 0) ++res_like;
+  EXPECT_EQ(res_like, 2);
+}
+
+TEST(UnrollAndJam, StepBecomesFactor) {
+  Kernel k = frontend::make_gemm_kernel();
+  unroll_and_jam(k, "j", 4, true);
+  const ForStmt* j = find_loop(k.body(), "j");
+  ASSERT_NE(j, nullptr);
+  EXPECT_EQ(j->step(), 4);
+  EXPECT_EQ(j->upper().to_string(), "nc");
+}
+
+TEST(UnrollAndJam, RequiresDivisibleContract) {
+  Kernel k = frontend::make_gemm_kernel();
+  EXPECT_THROW(unroll_and_jam(k, "j", 2, /*assume_divisible=*/false),
+               augem::Error);
+}
+
+TEST(UnrollAndJam, FactorOneIsNoop) {
+  Kernel k = frontend::make_gemm_kernel();
+  Kernel orig = k.clone();
+  unroll_and_jam(k, "j", 1, true);
+  EXPECT_TRUE(stmts_equal(k.body(), orig.body()));
+}
+
+TEST(UnrollAndJam, RejectsUnsafeFusion) {
+  // for (j...) { s = B[j]; for (l...) { B[l] = s; } }
+  // Hoisting copy 1's `s1 = B[j+1]` above copy 0's loop crosses a loop that
+  // writes B — must be rejected.
+  Kernel k("bad", {{"n", ScalarType::kI64}, {"B", ScalarType::kPtrF64, false}});
+  k.declare_local("j", ScalarType::kI64);
+  k.declare_local("l", ScalarType::kI64);
+  k.declare_local("s", ScalarType::kF64);
+  StmtList inner;
+  inner.push_back(assign(arr("B", var("l")), var("s")));
+  StmtList outer;
+  outer.push_back(assign(var("s"), arr("B", var("j"))));
+  outer.push_back(forloop("l", ival(0), var("n"), 1, std::move(inner)));
+  StmtList body;
+  body.push_back(forloop("j", ival(0), var("n"), 1, std::move(outer)));
+  k.set_body(std::move(body));
+  EXPECT_THROW(unroll_and_jam(k, "j", 2, true), augem::Error);
+}
+
+class JamSemantics
+    : public ::testing::TestWithParam<std::tuple<int, int, BLayout>> {};
+
+TEST_P(JamSemantics, GemmMatchesReference) {
+  const auto [nr, mr, layout] = GetParam();
+  Kernel k = frontend::make_gemm_kernel(layout);
+  unroll_and_jam(k, "j", nr, true);
+  unroll_and_jam(k, "i", mr, true);
+  // mc/nc divisible by the tile as the driver guarantees; ldc > mc.
+  augem::testing::check_gemm_kernel_semantics(k, layout, 4 * mr, 2 * nr,
+                                              /*kc=*/7, /*ldc=*/4 * mr + 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tiles, JamSemantics,
+    ::testing::Combine(::testing::Values(1, 2, 4), ::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(BLayout::kRowPanel,
+                                         BLayout::kColMajor)));
+
+TEST(UnrollAndJam, ComposesWithInnerUnroll) {
+  Kernel k = frontend::make_gemm_kernel();
+  unroll_and_jam(k, "j", 2, true);
+  unroll_and_jam(k, "i", 2, true);
+  unroll(k, "l", 2);
+  // 2x2 tile, l unrolled by 2 with remainder: l body has 8 statements.
+  const ForStmt* l = find_loop(k.body(), "l");
+  ASSERT_NE(l, nullptr);
+  EXPECT_EQ(l->body().size(), 8u);
+  augem::testing::check_gemm_kernel_semantics(k, BLayout::kRowPanel, 4, 4, 5, 4);
+}
+
+}  // namespace
+}  // namespace augem::transform

@@ -1,0 +1,170 @@
+#include "transform/scalarrep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+
+#include "frontend/kernels.hpp"
+#include "ir/visit.hpp"
+#include "support/error.hpp"
+#include "transform/strength.hpp"
+#include "transform/unroll.hpp"
+#include "../common/oracle.hpp"
+
+namespace augem::transform {
+namespace {
+
+using namespace augem::ir;
+using frontend::BLayout;
+
+const ForStmt* first_loop(const StmtList& body, const std::string& v) {
+  const ForStmt* found = nullptr;
+  for_each_stmt(body, [&](const Stmt& s) {
+    if (const auto* f = as<ForStmt>(s)) {
+      if (f->var() == v && found == nullptr) found = f;
+    }
+  });
+  return found;
+}
+
+TEST(ScalarReplace, MmCompBecomesFourStatements) {
+  // res = res + A[l*mc+i]*B[l*nc+j] → Load, Load, Mul, Add (paper §3.1).
+  Kernel k = frontend::make_gemm_kernel();
+  scalar_replace(k);
+  check_three_address_form(k);
+  const ForStmt* l = first_loop(k.body(), "l");
+  ASSERT_NE(l, nullptr);
+  ASSERT_EQ(l->body().size(), 4u);
+  const std::string s3 = l->body()[3]->to_string(0);
+  EXPECT_NE(s3.find("res = (res + tmp"), std::string::npos);
+}
+
+TEST(ScalarReplace, MmStoreBecomesThreeStatements) {
+  // C[idx] = C[idx] + res → Load, Add, Store (paper §3.2).
+  Kernel k = frontend::make_gemm_kernel();
+  scalar_replace(k);
+  const ForStmt* i = first_loop(k.body(), "i");
+  ASSERT_NE(i, nullptr);
+  // i body: res init, l loop, then the 3-statement store.
+  ASSERT_EQ(i->body().size(), 5u);
+  EXPECT_EQ(i->body()[4]->to_string(0).rfind("C[", 0), 0u);
+}
+
+TEST(ScalarReplace, MvCompBecomesFiveStatements) {
+  // y[j] = y[j] + A[..]*scal → Load, Load, Mul, Add, Store (paper §3.3).
+  Kernel k = frontend::make_gemv_kernel();
+  scalar_replace(k);
+  check_three_address_form(k);
+  const ForStmt* j = first_loop(k.body(), "j");
+  ASSERT_NE(j, nullptr);
+  EXPECT_EQ(j->body().size(), 5u);
+}
+
+TEST(ScalarReplace, LoadsAndCopiesPassThrough) {
+  Kernel k = frontend::make_gemv_kernel();
+  scalar_replace(k);
+  // `scal = x[i]` is already a load; it must survive unchanged.
+  bool found = false;
+  for_each_stmt(k.body(), [&](const Stmt& s) {
+    if (s.to_string(0).find("scal = x[i];") != std::string::npos) found = true;
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(ScalarReplace, IntegerAssignsUntouched) {
+  Kernel k = frontend::make_gemm_kernel();
+  strength_reduce(k);  // introduces pointer assignments
+  Kernel before = k.clone();
+  scalar_replace(k);
+  // Pointer updates like `ptr = ptr + mc` must appear verbatim.
+  int ptr_updates_before = 0, ptr_updates_after = 0;
+  auto count = [](const Kernel& kk, int& n) {
+    for_each_stmt(kk.body(), [&](const Stmt& s) {
+      if (const auto* a = as<Assign>(s)) {
+        const auto* v = as<VarRef>(a->lhs());
+        if (v != nullptr && kk.type_of(v->name()) == ScalarType::kPtrF64) ++n;
+      }
+    });
+  };
+  count(before, ptr_updates_before);
+  count(k, ptr_updates_after);
+  EXPECT_EQ(ptr_updates_before, ptr_updates_after);
+}
+
+TEST(ScalarReplace, TempsAreSingleUse) {
+  Kernel k = frontend::make_gemm_kernel();
+  unroll_and_jam(k, "j", 2, true);
+  unroll_and_jam(k, "i", 2, true);
+  strength_reduce(k);
+  scalar_replace(k);
+  // Each tmp is written once and read once.
+  std::map<std::string, int> writes, reads;
+  for_each_stmt(k.body(), [&](const Stmt& s) {
+    const auto* a = as<Assign>(s);
+    if (a == nullptr) return;
+    if (const auto* v = as<VarRef>(a->lhs())) {
+      if (v->name().rfind("tmp", 0) == 0) ++writes[v->name()];
+    }
+    std::function<void(const Expr&)> walk = [&](const Expr& e) {
+      if (const auto* v = as<VarRef>(e)) {
+        if (v->name().rfind("tmp", 0) == 0) ++reads[v->name()];
+      } else if (const auto* b = as<Binary>(e)) {
+        walk(b->lhs());
+        walk(b->rhs());
+      } else if (const auto* r = as<ArrayRef>(e)) {
+        walk(r->index());
+      }
+    };
+    walk(a->rhs());
+  });
+  EXPECT_FALSE(writes.empty());
+  for (const auto& [name, n] : writes) EXPECT_EQ(n, 1) << name;
+  for (const auto& [name, n] : reads) EXPECT_EQ(n, 1) << name;
+}
+
+TEST(ScalarReplace, CheckRejectsNonThreeAddress) {
+  Kernel k = frontend::make_dot_kernel();  // rhs has a nested multiply
+  EXPECT_THROW(check_three_address_form(k), augem::Error);
+  scalar_replace(k);
+  EXPECT_NO_THROW(check_three_address_form(k));
+}
+
+class ScalarRepSemantics : public ::testing::TestWithParam<BLayout> {};
+
+TEST_P(ScalarRepSemantics, FullGemmPipelinePreservesSemantics) {
+  Kernel k = frontend::make_gemm_kernel(GetParam());
+  unroll_and_jam(k, "j", 2, true);
+  unroll_and_jam(k, "i", 4, true);
+  unroll(k, "l", 2);
+  strength_reduce(k);
+  scalar_replace(k);
+  augem::testing::check_gemm_kernel_semantics(k, GetParam(), 8, 6, 9, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, ScalarRepSemantics,
+                         ::testing::Values(BLayout::kRowPanel,
+                                           BLayout::kColMajor));
+
+TEST(ScalarReplace, Level1PipelinesPreserveSemantics) {
+  Kernel ka = frontend::make_axpy_kernel();
+  unroll(ka, "i", 4);
+  strength_reduce(ka);
+  scalar_replace(ka);
+  augem::testing::check_axpy_kernel_semantics(ka, 19);
+
+  Kernel kd = frontend::make_dot_kernel();
+  unroll(kd, "i", 4);
+  strength_reduce(kd);
+  scalar_replace(kd);
+  augem::testing::check_dot_kernel_semantics(kd, 19);
+
+  Kernel kv = frontend::make_gemv_kernel();
+  unroll(kv, "j", 4);
+  strength_reduce(kv);
+  scalar_replace(kv);
+  augem::testing::check_gemv_kernel_semantics(kv, 11, 5, 12);
+}
+
+}  // namespace
+}  // namespace augem::transform

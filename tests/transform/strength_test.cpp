@@ -1,0 +1,146 @@
+#include "transform/strength.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "frontend/kernels.hpp"
+#include "ir/visit.hpp"
+#include "transform/unroll.hpp"
+#include "../common/oracle.hpp"
+
+namespace augem::transform {
+namespace {
+
+using namespace augem::ir;
+using frontend::BLayout;
+
+/// After strength reduction every array reference inside a loop must be
+/// cursor[integer-constant].
+void expect_all_refs_are_cursor_const(const Kernel& k) {
+  for_each_stmt(k.body(), [&](const Stmt& s) {
+    if (s.kind() != StmtKind::kFor) return;
+    const auto& f = *as<ForStmt>(s);
+    for_each_expr(f.body(), [&](const Expr& e) {
+      if (const auto* ref = as<ArrayRef>(e))
+        EXPECT_EQ(ref->index().kind(), ExprKind::kIntConst)
+            << "non-reduced reference: " << ref->to_string();
+    });
+  });
+}
+
+int count_ptr_locals(const Kernel& k) {
+  int n = 0;
+  for (const auto& l : k.locals())
+    if (l.type == ScalarType::kPtrF64) ++n;
+  return n;
+}
+
+TEST(StrengthReduce, GemmIntroducesPaperCursors) {
+  Kernel k = frontend::make_gemm_kernel();
+  unroll_and_jam(k, "j", 2, true);
+  unroll_and_jam(k, "i", 2, true);
+  strength_reduce(k);
+  expect_all_refs_are_cursor_const(k);
+  // ptr_A, ptr_B (inner loop) + ptr_C0, ptr_C1 (i loop) = 4, as in Fig. 13.
+  EXPECT_EQ(count_ptr_locals(k), 4);
+}
+
+TEST(StrengthReduce, ColMajorLayoutAlsoGetsFourCursors) {
+  Kernel k = frontend::make_gemm_kernel(BLayout::kColMajor);
+  unroll_and_jam(k, "j", 2, true);
+  unroll_and_jam(k, "i", 2, true);
+  strength_reduce(k);
+  expect_all_refs_are_cursor_const(k);
+  // ptr_A + two ptr_B cursors (B[j*kc+l] and B[(j+1)*kc+l] differ by the
+  // symbolic constant kc) + two ptr_C cursors = 5.
+  EXPECT_EQ(count_ptr_locals(k), 5);
+}
+
+TEST(StrengthReduce, CursorOffsetsSpanTheTile) {
+  Kernel k = frontend::make_gemm_kernel();
+  unroll_and_jam(k, "j", 2, true);
+  unroll_and_jam(k, "i", 4, true);
+  strength_reduce(k);
+  // A references must appear with offsets 0..3 on one cursor.
+  std::set<std::int64_t> offsets;
+  for_each_expr(k.body(), [&](const Expr& e) {
+    if (const auto* ref = as<ArrayRef>(e)) {
+      if (ref->base().rfind("ptr_A", 0) == 0)
+        offsets.insert(as<IntConst>(ref->index())->value());
+    }
+  });
+  EXPECT_EQ(offsets, (std::set<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(StrengthReduce, InvariantRefsAreLeftAlone) {
+  // x[5] inside the loop does not vary with i: no cursor for it.
+  Kernel k("f", {{"n", ScalarType::kI64},
+                 {"x", ScalarType::kPtrF64, true},
+                 {"y", ScalarType::kPtrF64, false}});
+  k.declare_local("i", ScalarType::kI64);
+  StmtList inner;
+  inner.push_back(assign(arr("y", var("i")), arr("x", ival(5))));
+  StmtList body;
+  body.push_back(forloop("i", ival(0), var("n"), 1, std::move(inner)));
+  k.set_body(std::move(body));
+  strength_reduce(k);
+  EXPECT_EQ(count_ptr_locals(k), 1);  // only y gets a cursor
+  bool x5_survives = false;
+  for_each_expr(k.body(), [&](const Expr& e) {
+    if (const auto* ref = as<ArrayRef>(e)) {
+      if (ref->base() == "x") x5_survives = true;
+    }
+  });
+  EXPECT_TRUE(x5_survives);
+}
+
+class StrengthSemantics : public ::testing::TestWithParam<BLayout> {};
+
+TEST_P(StrengthSemantics, GemmAfterTilePreservesSemantics) {
+  Kernel k = frontend::make_gemm_kernel(GetParam());
+  unroll_and_jam(k, "j", 2, true);
+  unroll_and_jam(k, "i", 4, true);
+  unroll(k, "l", 2);
+  strength_reduce(k);
+  augem::testing::check_gemm_kernel_semantics(k, GetParam(), 8, 4, 7, 11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, StrengthSemantics,
+                         ::testing::Values(BLayout::kRowPanel,
+                                           BLayout::kColMajor));
+
+TEST(StrengthReduce, GemvPreservesSemantics) {
+  Kernel k = frontend::make_gemv_kernel();
+  unroll(k, "j", 4);
+  strength_reduce(k);
+  expect_all_refs_are_cursor_const(k);
+  augem::testing::check_gemv_kernel_semantics(k, 13, 6, 17);
+}
+
+TEST(StrengthReduce, AxpyAndDotPreserveSemantics) {
+  Kernel ka = frontend::make_axpy_kernel();
+  unroll(ka, "i", 8);
+  strength_reduce(ka);
+  augem::testing::check_axpy_kernel_semantics(ka, 37);
+
+  Kernel kd = frontend::make_dot_kernel();
+  unroll(kd, "i", 8);
+  strength_reduce(kd);
+  augem::testing::check_dot_kernel_semantics(kd, 37);
+}
+
+TEST(StrengthReduce, RemainderLoopCursorsStartWhereMainEnded) {
+  // n = 5, unroll 4: main handles i = 0..3, remainder i = 4. The remainder
+  // cursor must be initialized from the live counter.
+  Kernel k = frontend::make_axpy_kernel();
+  unroll(k, "i", 4);
+  strength_reduce(k);
+  augem::testing::check_axpy_kernel_semantics(k, 5);
+  augem::testing::check_axpy_kernel_semantics(k, 4);
+  augem::testing::check_axpy_kernel_semantics(k, 3);
+  augem::testing::check_axpy_kernel_semantics(k, 0);
+}
+
+}  // namespace
+}  // namespace augem::transform

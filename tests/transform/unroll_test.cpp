@@ -1,0 +1,134 @@
+#include "transform/unroll.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/kernels.hpp"
+#include "ir/visit.hpp"
+#include "support/error.hpp"
+#include "../common/oracle.hpp"
+
+namespace augem::transform {
+namespace {
+
+using namespace augem::ir;
+using frontend::BLayout;
+
+const ForStmt* find_loop(const StmtList& body, const std::string& v) {
+  const ForStmt* found = nullptr;
+  for_each_stmt(body, [&](const Stmt& s) {
+    if (const auto* f = as<ForStmt>(s))
+      if (f->var() == v) found = f;
+  });
+  return found;
+}
+
+int count_loops_over(const StmtList& body, const std::string& v) {
+  int n = 0;
+  for_each_stmt(body, [&](const Stmt& s) {
+    if (const auto* f = as<ForStmt>(s))
+      if (f->var() == v) ++n;
+  });
+  return n;
+}
+
+TEST(Unroll, FactorOneIsNoop) {
+  Kernel k = frontend::make_axpy_kernel();
+  Kernel orig = k.clone();
+  unroll(k, "i", 1);
+  EXPECT_TRUE(stmts_equal(k.body(), orig.body()));
+}
+
+TEST(Unroll, CreatesMainAndRemainderLoops) {
+  Kernel k = frontend::make_axpy_kernel();
+  unroll(k, "i", 4);
+  EXPECT_EQ(count_loops_over(k.body(), "i"), 2);
+  const ForStmt* main = as<ForStmt>(*k.body()[0]);
+  ASSERT_NE(main, nullptr);
+  EXPECT_EQ(main->step(), 4);
+  EXPECT_EQ(main->body().size(), 4u);
+  // Main loop bound shrinks by factor*step - 1.
+  EXPECT_EQ(main->upper().to_string(), "(n - 3)");
+  // Remainder continues from the counter.
+  const ForStmt* rem = as<ForStmt>(*k.body()[1]);
+  ASSERT_NE(rem, nullptr);
+  EXPECT_EQ(rem->step(), 1);
+  EXPECT_EQ(rem->lower().to_string(), "i");
+}
+
+TEST(Unroll, DivisibleSkipsRemainder) {
+  Kernel k = frontend::make_axpy_kernel();
+  unroll(k, "i", 4, /*assume_divisible=*/true);
+  EXPECT_EQ(count_loops_over(k.body(), "i"), 1);
+  const ForStmt* main = as<ForStmt>(*k.body()[0]);
+  EXPECT_EQ(main->upper().to_string(), "n");
+}
+
+TEST(Unroll, SubscriptsAreOffsetAndSimplified) {
+  Kernel k = frontend::make_axpy_kernel();
+  unroll(k, "i", 2, true);
+  const ForStmt* main = find_loop(k.body(), "i");
+  ASSERT_NE(main, nullptr);
+  const std::string s0 = main->body()[0]->to_string(0);
+  const std::string s1 = main->body()[1]->to_string(0);
+  EXPECT_NE(s0.find("x[i]"), std::string::npos);
+  EXPECT_NE(s1.find("x[(1 + i)]"), std::string::npos);
+}
+
+TEST(Unroll, UnknownLoopThrows) {
+  Kernel k = frontend::make_axpy_kernel();
+  EXPECT_THROW(unroll(k, "zz", 2), augem::Error);
+}
+
+TEST(Unroll, BadFactorThrows) {
+  Kernel k = frontend::make_axpy_kernel();
+  EXPECT_THROW(unroll(k, "i", 0), augem::Error);
+}
+
+// Semantics preserved for awkward trip counts (0, 1, < factor, = factor,
+// non-multiples).
+class UnrollSemantics : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(UnrollSemantics, AxpyMatchesReference) {
+  const auto [factor, n] = GetParam();
+  Kernel k = frontend::make_axpy_kernel();
+  unroll(k, "i", factor);
+  augem::testing::check_axpy_kernel_semantics(k, n);
+}
+
+TEST_P(UnrollSemantics, DotMatchesReference) {
+  const auto [factor, n] = GetParam();
+  Kernel k = frontend::make_dot_kernel();
+  unroll(k, "i", factor);
+  augem::testing::check_dot_kernel_semantics(k, n);
+}
+
+TEST_P(UnrollSemantics, GemvInnerUnrollMatchesReference) {
+  const auto [factor, m] = GetParam();
+  Kernel k = frontend::make_gemv_kernel();
+  unroll(k, "j", factor);
+  augem::testing::check_gemv_kernel_semantics(k, m, /*n=*/5, /*lda=*/m + 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FactorsAndSizes, UnrollSemantics,
+    ::testing::Combine(::testing::Values(2, 3, 4, 8),
+                       ::testing::Values(0, 1, 3, 8, 17, 64)));
+
+TEST(Unroll, InnerGemmLoopWithRemainder) {
+  Kernel k = frontend::make_gemm_kernel();
+  unroll(k, "l", 4);
+  augem::testing::check_gemm_kernel_semantics(k, BLayout::kRowPanel, 3, 2, 10, 5);
+  Kernel k2 = frontend::make_gemm_kernel();
+  unroll(k2, "l", 4);
+  augem::testing::check_gemm_kernel_semantics(k2, BLayout::kRowPanel, 3, 2, 3, 5);
+}
+
+TEST(Unroll, NestedUnrollOfTwoLoops) {
+  Kernel k = frontend::make_gemm_kernel();
+  unroll(k, "l", 2);
+  unroll(k, "i", 2, true);  // both copies of the l-loop nest under i copies
+  augem::testing::check_gemm_kernel_semantics(k, BLayout::kRowPanel, 4, 3, 7, 6);
+}
+
+}  // namespace
+}  // namespace augem::transform

@@ -1,0 +1,96 @@
+#include "tuning/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "support/arch.hpp"
+
+namespace augem::tuning {
+namespace {
+
+using frontend::KernelKind;
+
+TuneWorkload quick_workload() {
+  TuneWorkload w;
+  w.mc = 64;
+  w.nc = 32;
+  w.kc = 64;
+  w.vec_len = 2048;
+  w.reps = 2;
+  return w;
+}
+
+TEST(Tuner, GemmSearchFindsFeasibleWinner) {
+  const TuneResult r = tune_gemm(host_arch().best_native_isa(), quick_workload());
+  EXPECT_GT(r.mflops, 0.0);
+  EXPECT_GE(r.params.mr, 1);
+  EXPECT_GE(r.params.nr, 1);
+  // The trial log records every candidate, feasible or not.
+  EXPECT_GE(r.trials.size(), 8u);
+  int feasible = 0;
+  for (const Trial& t : r.trials) feasible += t.feasible ? 1 : 0;
+  EXPECT_GT(feasible, 0);
+  // The winner's score appears among the trials.
+  bool winner_logged = false;
+  for (const Trial& t : r.trials) winner_logged |= t.mflops == r.mflops;
+  EXPECT_TRUE(winner_logged);
+}
+
+TEST(Tuner, GemmSearchIncludesShufCandidate) {
+  const TuneResult r = tune_gemm(host_arch().best_native_isa(), quick_workload());
+  bool has_shuf = false;
+  for (const Trial& t : r.trials)
+    has_shuf |= t.strategy == opt::VecStrategy::kShuf;
+  EXPECT_TRUE(has_shuf);
+}
+
+TEST(Tuner, Level1SearchSweepsUnroll) {
+  const TuneResult r =
+      tune_level1(KernelKind::kDot, host_arch().best_native_isa(), quick_workload());
+  EXPECT_GT(r.mflops, 0.0);
+  EXPECT_EQ(r.trials.size(), 4u);
+  EXPECT_EQ(r.kind, KernelKind::kDot);
+}
+
+TEST(Tuner, Level1RejectsGemm) {
+  EXPECT_THROW(tune_level1(KernelKind::kGemm, Isa::kSse2, quick_workload()),
+               Error);
+}
+
+TEST(Tuner, ReportMentionsEveryTrial) {
+  const TuneResult r =
+      tune_level1(KernelKind::kAxpy, host_arch().best_native_isa(), quick_workload());
+  const std::string report = r.report();
+  EXPECT_NE(report.find("best:"), std::string::npos);
+  EXPECT_NE(report.find("axpy"), std::string::npos);
+  EXPECT_NE(report.find("MFLOPS"), std::string::npos);
+}
+
+TEST(Tuner, SaveLoadRoundTrip) {
+  const std::string path = "/tmp/augem_tuner_test_cache.txt";
+  std::remove(path.c_str());
+
+  TuneResult r = tune_level1(KernelKind::kAxpy, host_arch().best_native_isa(),
+                             quick_workload());
+  save_result(r, path);
+
+  TuneResult loaded;
+  ASSERT_TRUE(load_result(KernelKind::kAxpy, r.config.isa, path, loaded));
+  EXPECT_EQ(loaded.params.unroll, r.params.unroll);
+  EXPECT_EQ(loaded.config.isa, r.config.isa);
+
+  // Wrong kind / ISA miss.
+  TuneResult miss;
+  EXPECT_FALSE(load_result(KernelKind::kDot, r.config.isa, path, miss));
+  std::remove(path.c_str());
+}
+
+TEST(Tuner, LoadFromMissingFileFails) {
+  TuneResult out;
+  EXPECT_FALSE(load_result(KernelKind::kAxpy, Isa::kSse2,
+                           "/tmp/does_not_exist_augem.txt", out));
+}
+
+}  // namespace
+}  // namespace augem::tuning
