@@ -81,6 +81,18 @@ inline void print_series_row(long x, const std::vector<double>& mflops) {
   std::printf("\n");
 }
 
+/// One machine-readable result row (one JSON object per line, so runs can
+/// be concatenated and post-processed with line-oriented tools). Used by
+/// the scaling benchmarks alongside the human-readable tables above.
+inline void print_json_row(const char* bench, const char* lib, long m, long n,
+                           long k, int threads, double gflops,
+                           double speedup) {
+  std::printf(
+      "{\"bench\":\"%s\",\"lib\":\"%s\",\"m\":%ld,\"n\":%ld,\"k\":%ld,"
+      "\"threads\":%d,\"gflops\":%.3f,\"speedup_vs_1t\":%.3f}\n",
+      bench, lib, m, n, k, threads, gflops, speedup);
+}
+
 /// Prints the paper-style "AUGEM outperforms X by N%" summary from
 /// per-library average MFLOPS (index 0 = AUGEM).
 inline void print_average_summary(const std::vector<NamedLib>& libs,

@@ -1,8 +1,9 @@
 #include "augem/augem_blas.hpp"
 
+#include <algorithm>
 #include <vector>
 
-#include "support/buffer.hpp"
+#include "support/scratch.hpp"
 
 namespace augem {
 
@@ -10,13 +11,14 @@ namespace {
 
 using blas::at;
 using blas::BlockSizes;
+using blas::GemmContext;
 using blas::index_t;
 using blas::Trans;
 
 class AugemBlas final : public blas::Blas {
  public:
-  AugemBlas(std::shared_ptr<KernelSet> kernels, const BlockSizes& sizes)
-      : kernels_(std::move(kernels)), sizes_(sizes) {}
+  AugemBlas(std::shared_ptr<KernelSet> kernels, const GemmContext& ctx)
+      : kernels_(std::move(kernels)), ctx_(ctx) {}
 
   std::string name() const override { return "AUGEM"; }
 
@@ -27,9 +29,9 @@ class AugemBlas final : public blas::Blas {
     const index_t nr = kernels_->gemm_nr();
     auto* fn = kernels_->gemm();
     blas::blocked_gemm(
-        ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, sizes_,
-        [&](index_t mc, index_t nc, index_t kc, const double* pa,
-            const double* pb, double* cc, index_t ldcc) {
+        ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx_,
+        [mr, nr, fn](index_t mc, index_t nc, index_t kc, const double* pa,
+                     const double* pb, double* cc, index_t ldcc) {
           if (mc % mr == 0 && nc % nr == 0) {
             fn(mc, nc, kc, pa, pb, cc, ldcc);
             return;
@@ -37,22 +39,30 @@ class AugemBlas final : public blas::Blas {
           // Edge block: the Fig.-12 kernel ABI uses mc/nc both as loop
           // bounds and as the packed strides, so a partial tile is run on
           // zero-padded copies and accumulated back. Rare at benchmark
-          // sizes; correctness matters more than speed here.
+          // sizes; correctness matters more than speed here. The pads live
+          // in per-thread scratch — the threaded driver calls this block
+          // kernel concurrently.
           const index_t mp = (mc + mr - 1) / mr * mr;
           const index_t np = (nc + nr - 1) / nr * nr;
-          pad_a_.assign(static_cast<std::size_t>(mp * kc), 0.0);
-          pad_b_.assign(static_cast<std::size_t>(np * kc), 0.0);
-          pad_c_.assign(static_cast<std::size_t>(mp * np), 0.0);
+          double* pad_a = scratch_doubles(static_cast<std::size_t>(mp * kc),
+                                          Scratch::kGemmPadA);
+          double* pad_b = scratch_doubles(static_cast<std::size_t>(np * kc),
+                                          Scratch::kGemmPadB);
+          double* pad_c = scratch_doubles(static_cast<std::size_t>(mp * np),
+                                          Scratch::kGemmPadC);
+          std::fill(pad_a, pad_a + mp * kc, 0.0);
+          std::fill(pad_b, pad_b + np * kc, 0.0);
+          std::fill(pad_c, pad_c + mp * np, 0.0);
           for (index_t l = 0; l < kc; ++l) {
             for (index_t i = 0; i < mc; ++i)
-              pad_a_[static_cast<std::size_t>(l * mp + i)] = pa[l * mc + i];
+              pad_a[l * mp + i] = pa[l * mc + i];
             for (index_t j = 0; j < nc; ++j)
-              pad_b_[static_cast<std::size_t>(l * np + j)] = pb[l * nc + j];
+              pad_b[l * np + j] = pb[l * nc + j];
           }
-          fn(mp, np, kc, pad_a_.data(), pad_b_.data(), pad_c_.data(), mp);
+          fn(mp, np, kc, pad_a, pad_b, pad_c, mp);
           for (index_t j = 0; j < nc; ++j)
             for (index_t i = 0; i < mc; ++i)
-              at(cc, ldcc, i, j) += pad_c_[static_cast<std::size_t>(j * mp + i)];
+              at(cc, ldcc, i, j) += pad_c[j * mp + i];
         });
   }
 
@@ -84,17 +94,25 @@ class AugemBlas final : public blas::Blas {
 
  private:
   std::shared_ptr<KernelSet> kernels_;
-  BlockSizes sizes_;
-  // Scratch for zero-padded edge blocks (one AugemBlas instance is not
-  // safe for concurrent use, like most BLAS handles).
-  std::vector<double> pad_a_, pad_b_, pad_c_;
+  GemmContext ctx_;
 };
 
 }  // namespace
 
 std::unique_ptr<blas::Blas> make_augem_blas(std::shared_ptr<KernelSet> kernels,
+                                            const blas::BlockSizes& sizes,
+                                            int num_threads) {
+  GemmContext ctx = blas::threaded_gemm_context(sizes);
+  ctx.threads = std::max(1, num_threads);
+  // jr chunks must keep the generated register tile's column grouping.
+  ctx.jr_granule = std::max<index_t>(8, kernels->gemm_nr());
+  return std::make_unique<AugemBlas>(std::move(kernels), ctx);
+}
+
+std::unique_ptr<blas::Blas> make_augem_blas(std::shared_ptr<KernelSet> kernels,
                                             const blas::BlockSizes& sizes) {
-  return std::make_unique<AugemBlas>(std::move(kernels), sizes);
+  const int threads = ThreadPool::global().num_threads();
+  return make_augem_blas(std::move(kernels), sizes, threads);
 }
 
 std::unique_ptr<blas::Blas> make_augem_blas() {

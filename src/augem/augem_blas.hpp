@@ -12,12 +12,20 @@
 namespace augem {
 
 /// Builds an AUGEM BLAS for the host's best natively executable ISA with
-/// default (untuned) kernel configurations.
+/// default (untuned) kernel configurations. GEMM runs on the global thread
+/// pool (AUGEM_NUM_THREADS or all detected cores; 1 → the serial driver).
 std::unique_ptr<blas::Blas> make_augem_blas();
 
 /// Builds an AUGEM BLAS from an explicit kernel set (e.g. a tuned one) and
-/// block sizes.
+/// block sizes, threaded like the default factory.
 std::unique_ptr<blas::Blas> make_augem_blas(std::shared_ptr<KernelSet> kernels,
                                             const blas::BlockSizes& sizes);
+
+/// As above with an explicit GEMM thread count (clamped to the global pool
+/// size; 1 selects the bit-identical serial driver). Used by the scaling
+/// benchmarks and the driver tuner.
+std::unique_ptr<blas::Blas> make_augem_blas(std::shared_ptr<KernelSet> kernels,
+                                            const blas::BlockSizes& sizes,
+                                            int num_threads);
 
 }  // namespace augem

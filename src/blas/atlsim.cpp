@@ -59,14 +59,14 @@ void block_kernel_c(index_t mc, index_t nc, index_t kc, const double* pa,
 
 class AtlSim final : public Blas {
  public:
-  AtlSim() : sizes_(default_block_sizes(host_arch())) {}
+  AtlSim() : ctx_(threaded_gemm_context(default_block_sizes(host_arch()))) {}
 
   std::string name() const override { return "atlsim"; }
 
   void gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k, double alpha,
             const double* a, index_t lda, const double* b, index_t ldb,
             double beta, double* c, index_t ldc) override {
-    blocked_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, sizes_,
+    blocked_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx_,
                  block_kernel_c);
   }
 
@@ -103,7 +103,7 @@ class AtlSim final : public Blas {
   }
 
  private:
-  BlockSizes sizes_;
+  GemmContext ctx_;
 };
 
 }  // namespace

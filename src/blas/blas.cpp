@@ -1,9 +1,9 @@
 #include "blas/blas.hpp"
 
 #include <algorithm>
-#include <vector>
 
 #include "support/error.hpp"
+#include "support/scratch.hpp"
 
 namespace augem::blas {
 
@@ -31,7 +31,10 @@ void Blas::symm(index_t m, index_t n, double alpha, const double* a,
   for (index_t j = 0; j < n; ++j)
     for (index_t i = 0; i < m; ++i) at(c, ldc, i, j) *= beta;
 
-  std::vector<double> diag(static_cast<std::size_t>(kL3Block * kL3Block));
+  // Per-thread cached scratch: symm is called in loops (e.g. by solvers),
+  // so the diagonal-block temporary must not hit the allocator per call.
+  double* diag = scratch_doubles(
+      static_cast<std::size_t>(kL3Block * kL3Block), Scratch::kLevel3TmpA);
   for (index_t bi = 0; bi < m; bi += kL3Block) {
     const index_t mb = std::min(kL3Block, m - bi);
     for (index_t bl = 0; bl < m; bl += kL3Block) {
@@ -48,10 +51,10 @@ void Blas::symm(index_t m, index_t n, double alpha, const double* a,
         // Diagonal block: expand the symmetric block densely, then GEMM.
         for (index_t jj = 0; jj < lb; ++jj)
           for (index_t ii = 0; ii < mb; ++ii)
-            diag[static_cast<std::size_t>(jj * mb + ii)] =
+            diag[jj * mb + ii] =
                 ii >= jj ? at(a, lda, bi + ii, bl + jj)
                          : at(a, lda, bl + jj, bi + ii);
-        gemm(Trans::kNo, Trans::kNo, mb, n, lb, alpha, diag.data(), mb,
+        gemm(Trans::kNo, Trans::kNo, mb, n, lb, alpha, diag, mb,
              &at(b, ldb, bl, 0), ldb, 1.0, &at(c, ldc, bi, 0), ldc);
       }
     }
@@ -60,16 +63,17 @@ void Blas::symm(index_t m, index_t n, double alpha, const double* a,
 
 void Blas::syrk(index_t n, index_t k, double alpha, const double* a,
                 index_t lda, double beta, double* c, index_t ldc) {
-  std::vector<double> tmp(static_cast<std::size_t>(kL3Block * kL3Block));
+  double* tmp = scratch_doubles(
+      static_cast<std::size_t>(kL3Block * kL3Block), Scratch::kLevel3TmpA);
   for (index_t bj = 0; bj < n; bj += kL3Block) {
     const index_t nb = std::min(kL3Block, n - bj);
     // Diagonal block through a temporary so only the triangle is touched.
     gemm(Trans::kNo, Trans::kYes, nb, nb, k, 1.0, &at(a, lda, bj, 0), lda,
-         &at(a, lda, bj, 0), lda, 0.0, tmp.data(), nb);
+         &at(a, lda, bj, 0), lda, 0.0, tmp, nb);
     for (index_t jj = 0; jj < nb; ++jj)
       for (index_t ii = jj; ii < nb; ++ii)
         at(c, ldc, bj + ii, bj + jj) =
-            alpha * tmp[static_cast<std::size_t>(jj * nb + ii)] +
+            alpha * tmp[jj * nb + ii] +
             beta * at(c, ldc, bj + ii, bj + jj);
     // Below-diagonal panel in one GEMM.
     const index_t rows = n - (bj + nb);
@@ -83,18 +87,19 @@ void Blas::syrk(index_t n, index_t k, double alpha, const double* a,
 void Blas::syr2k(index_t n, index_t k, double alpha, const double* a,
                  index_t lda, const double* b, index_t ldb, double beta,
                  double* c, index_t ldc) {
-  std::vector<double> tmp(static_cast<std::size_t>(kL3Block * kL3Block));
+  double* tmp = scratch_doubles(
+      static_cast<std::size_t>(kL3Block * kL3Block), Scratch::kLevel3TmpA);
   for (index_t bj = 0; bj < n; bj += kL3Block) {
     const index_t nb = std::min(kL3Block, n - bj);
     // Diagonal block: A*B^T + B*A^T into a temporary.
     gemm(Trans::kNo, Trans::kYes, nb, nb, k, 1.0, &at(a, lda, bj, 0), lda,
-         &at(b, ldb, bj, 0), ldb, 0.0, tmp.data(), nb);
+         &at(b, ldb, bj, 0), ldb, 0.0, tmp, nb);
     gemm(Trans::kNo, Trans::kYes, nb, nb, k, 1.0, &at(b, ldb, bj, 0), ldb,
-         &at(a, lda, bj, 0), lda, 1.0, tmp.data(), nb);
+         &at(a, lda, bj, 0), lda, 1.0, tmp, nb);
     for (index_t jj = 0; jj < nb; ++jj)
       for (index_t ii = jj; ii < nb; ++ii)
         at(c, ldc, bj + ii, bj + jj) =
-            alpha * tmp[static_cast<std::size_t>(jj * nb + ii)] +
+            alpha * tmp[jj * nb + ii] +
             beta * at(c, ldc, bj + ii, bj + jj);
     const index_t rows = n - (bj + nb);
     if (rows > 0) {
@@ -110,9 +115,11 @@ void Blas::syr2k(index_t n, index_t k, double alpha, const double* a,
 
 void Blas::trmm(index_t m, index_t n, const double* l, index_t ldl, double* b,
                 index_t ldb) {
-  std::vector<double> diag(static_cast<std::size_t>(kL3Block * kL3Block));
-  std::vector<double> row(static_cast<std::size_t>(kL3Block) *
-                          static_cast<std::size_t>(n));
+  double* diag = scratch_doubles(
+      static_cast<std::size_t>(kL3Block * kL3Block), Scratch::kLevel3TmpA);
+  double* row = scratch_doubles(
+      static_cast<std::size_t>(kL3Block) * static_cast<std::size_t>(n),
+      Scratch::kLevel3TmpB);
   // Bottom-up so lower block-rows of B are still unmodified inputs.
   index_t bi = ((m - 1) / kL3Block) * kL3Block;
   for (; bi >= 0; bi -= kL3Block) {
@@ -120,12 +127,12 @@ void Blas::trmm(index_t m, index_t n, const double* l, index_t ldl, double* b,
     // row := B_i (copy), B_i := L_ii_dense * row.
     for (index_t j = 0; j < n; ++j)
       for (index_t ii = 0; ii < mb; ++ii)
-        row[static_cast<std::size_t>(j * mb + ii)] = at(b, ldb, bi + ii, j);
+        row[j * mb + ii] = at(b, ldb, bi + ii, j);
     for (index_t jj = 0; jj < mb; ++jj)
       for (index_t ii = 0; ii < mb; ++ii)
-        diag[static_cast<std::size_t>(jj * mb + ii)] =
+        diag[jj * mb + ii] =
             ii >= jj ? at(l, ldl, bi + ii, bi + jj) : 0.0;
-    gemm(Trans::kNo, Trans::kNo, mb, n, mb, 1.0, diag.data(), mb, row.data(),
+    gemm(Trans::kNo, Trans::kNo, mb, n, mb, 1.0, diag, mb, row,
          mb, 0.0, &at(b, ldb, bi, 0), ldb);
     // Contributions from strictly lower columns: B_i += L_i,p * B_p (p<i).
     if (bi > 0)

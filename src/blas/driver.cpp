@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "blas/pack.hpp"
-#include "support/buffer.hpp"
+#include "support/scratch.hpp"
 
 namespace augem::blas {
 
@@ -18,17 +18,39 @@ BlockSizes default_block_sizes(const CpuArch& arch) {
   // Round to friendly multiples of the largest register tile we generate.
   s.kc = s.kc / 8 * 8;
   s.mc = s.mc / 8 * 8;
-  // nc: bound the packed B panel (kc×nc doubles) to stream from L2/L3.
-  s.nc = 240;
+  // nc: the packed kc×nc B panel targets half of the LLC — it is streamed
+  // once per (jc, pc) step and, under the threaded driver, shared read-only
+  // by every core of the socket.
+  s.nc = std::clamp<index_t>(arch.l3_bytes / 2 / (8 * s.kc), 240, 4096);
+  s.nc = s.nc / 8 * 8;
   return s;
 }
 
-void blocked_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
-                  double alpha, const double* a, index_t lda, const double* b,
-                  index_t ldb, double beta, double* c, index_t ldc,
-                  const BlockSizes& sizes, const BlockKernel& kernel) {
-  if (m <= 0 || n <= 0) return;
+GemmContext serial_gemm_context(const BlockSizes& sizes) {
+  GemmContext ctx;
+  ctx.sizes = sizes;
+  ctx.threads = 1;
+  return ctx;
+}
 
+GemmContext threaded_gemm_context(const BlockSizes& sizes) {
+  GemmContext ctx;
+  ctx.sizes = sizes;
+  ctx.pool = &ThreadPool::global();
+  ctx.threads = ctx.pool->num_threads();
+  return ctx;
+}
+
+namespace {
+
+index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
+
+/// The historical single-core macro loop, byte-for-byte the reference the
+/// parallel decomposition must reproduce.
+void serial_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                 double alpha, const double* a, index_t lda, const double* b,
+                 index_t ldb, double beta, double* c, index_t ldc,
+                 const BlockSizes& sizes, const BlockKernel& kernel) {
   // beta is applied once up front; the block kernels accumulate.
   if (beta != 1.0) {
     for (index_t j = 0; j < n; ++j)
@@ -37,21 +59,143 @@ void blocked_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
   }
   if (k <= 0 || alpha == 0.0) return;
 
-  DoubleBuffer pa(static_cast<std::size_t>(sizes.mc * sizes.kc));
-  DoubleBuffer pb(static_cast<std::size_t>(sizes.kc * sizes.nc));
+  double* pa = scratch_doubles(static_cast<std::size_t>(sizes.mc * sizes.kc),
+                               Scratch::kGemmPackA);
+  double* pb = scratch_doubles(static_cast<std::size_t>(sizes.kc * sizes.nc),
+                               Scratch::kGemmPackB);
 
   for (index_t jc = 0; jc < n; jc += sizes.nc) {
     const index_t nc = std::min(sizes.nc, n - jc);
     for (index_t pc = 0; pc < k; pc += sizes.kc) {
       const index_t kc = std::min(sizes.kc, k - pc);
-      pack_b_block(tb, b, ldb, pc, jc, kc, nc, pb.data());
+      pack_b_block(tb, b, ldb, pc, jc, kc, nc, pb);
       for (index_t ic = 0; ic < m; ic += sizes.mc) {
         const index_t mc = std::min(sizes.mc, m - ic);
-        pack_a_block(ta, a, lda, ic, pc, mc, kc, alpha, pa.data());
-        kernel(mc, nc, kc, pa.data(), pb.data(), &at(c, ldc, ic, jc), ldc);
+        pack_a_block(ta, a, lda, ic, pc, mc, kc, alpha, pa);
+        kernel(mc, nc, kc, pa, pb, &at(c, ldc, ic, jc), ldc);
       }
     }
   }
+}
+
+void parallel_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                   double alpha, const double* a, index_t lda, const double* b,
+                   index_t ldb, double beta, double* c, index_t ldc,
+                   const GemmContext& ctx, int threads,
+                   const BlockKernel& kernel) {
+  ThreadPool& pool = *ctx.pool;
+  const index_t T = threads;
+  const BlockSizes& s = ctx.sizes;
+
+  // Up-front beta sweep over all of C: a full-matrix pass that would
+  // otherwise serialize small-k calls; columns split contiguously so each
+  // element is scaled exactly once (bit-identical to the serial sweep).
+  // Note: run() dispatches to every pool participant; a context may use
+  // fewer (ctx.threads < pool size, e.g. during a tuner sweep), so tids
+  // beyond T idle — but must still reach every barrier.
+  if (beta != 1.0) {
+    pool.run([&](int tid) {
+      if (tid >= T) return;
+      const index_t j0 = n * tid / T;
+      const index_t j1 = n * (tid + 1) / T;
+      for (index_t j = j0; j < j1; ++j)
+        for (index_t i = 0; i < m; ++i)
+          at(c, ldc, i, j) = beta == 0.0 ? 0.0 : beta * at(c, ldc, i, j);
+    });
+  }
+  if (k <= 0 || alpha == 0.0) return;
+
+  const index_t granule = std::max<index_t>(1, ctx.jr_granule);
+  // Shared packed-B panel: lives in the calling thread's scratch cache,
+  // cooperatively written by all threads before the barrier and read-only
+  // after it. Workers see it through the captured pointer.
+  double* pb = scratch_doubles(static_cast<std::size_t>(s.kc * s.nc),
+                               Scratch::kGemmPackB);
+
+  for (index_t jc = 0; jc < n; jc += s.nc) {
+    const index_t nc = std::min(s.nc, n - jc);
+    // 2D decomposition of this panel: ic blocks × jr chunks. The jr split
+    // activates only when C has fewer row blocks than threads (tall-skinny);
+    // chunk boundaries stay on granule multiples so every kernel call sees
+    // the serial sweep's register-tile boundaries.
+    const index_t iblocks = ceil_div(m, s.mc);
+    index_t jw = nc;  // jr chunk width
+    index_t njr = 1;
+    if (iblocks < T && nc > granule) {
+      const index_t want = ceil_div(T, iblocks);
+      jw = std::max(granule, ceil_div(ceil_div(nc, want), granule) * granule);
+      njr = ceil_div(nc, jw);
+    }
+    for (index_t pc = 0; pc < k; pc += s.kc) {
+      const index_t kc = std::min(s.kc, k - pc);
+      pool.run([&](int tid) {
+        // Phase 1 — cooperative B pack. The panel is stored as njr
+        // contiguous chunk-panels (chunk q covers columns [q*jw, q*jw+w)
+        // with row stride w, at offset kc*q*jw); each thread packs one
+        // l-slice of every chunk.
+        const index_t l0 = tid < T ? kc * tid / T : kc;
+        const index_t l1 = tid < T ? kc * (tid + 1) / T : kc;
+        if (l1 > l0) {
+          for (index_t q = 0; q < njr; ++q) {
+            const index_t j0 = q * jw;
+            const index_t w = std::min(jw, nc - j0);
+            pack_b_block(tb, b, ldb, pc + l0, jc + j0, l1 - l0, w,
+                         pb + kc * j0 + l0 * w);
+          }
+        }
+        pool.barrier();
+        if (tid >= T) return;
+        // Phase 2 — partition the (ic block × jr chunk) grid round-robin.
+        // A blocks are packed privately per thread: redundant across jr
+        // chunks of one block, but free of sharing traffic.
+        double* pa = scratch_doubles(static_cast<std::size_t>(s.mc * kc),
+                                     Scratch::kGemmPackA);
+        const index_t items = iblocks * njr;
+        index_t packed_bi = -1;
+        for (index_t it = tid; it < items; it += T) {
+          const index_t bi = it / njr;
+          const index_t q = it % njr;
+          const index_t ic = bi * s.mc;
+          const index_t mc = std::min(s.mc, m - ic);
+          if (bi != packed_bi) {
+            pack_a_block(ta, a, lda, ic, pc, mc, kc, alpha, pa);
+            packed_bi = bi;
+          }
+          const index_t j0 = q * jw;
+          const index_t w = std::min(jw, nc - j0);
+          kernel(mc, w, kc, pa, pb + kc * j0, &at(c, ldc, ic, jc + j0), ldc);
+        }
+        // The run()'s completion handshake is the end-of-region barrier: pb
+        // is not repacked until every thread returned.
+      });
+    }
+  }
+}
+
+}  // namespace
+
+void blocked_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                  double alpha, const double* a, index_t lda, const double* b,
+                  index_t ldb, double beta, double* c, index_t ldc,
+                  const GemmContext& ctx, const BlockKernel& kernel) {
+  if (m <= 0 || n <= 0) return;
+  const int threads =
+      ctx.pool != nullptr ? std::min(ctx.threads, ctx.pool->num_threads()) : 1;
+  if (threads <= 1) {
+    serial_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+                ctx.sizes, kernel);
+    return;
+  }
+  parallel_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx,
+                threads, kernel);
+}
+
+void blocked_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                  double alpha, const double* a, index_t lda, const double* b,
+                  index_t ldb, double beta, double* c, index_t ldc,
+                  const BlockSizes& sizes, const BlockKernel& kernel) {
+  blocked_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+               serial_gemm_context(sizes), kernel);
 }
 
 }  // namespace augem::blas

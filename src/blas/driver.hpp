@@ -2,12 +2,14 @@
 // The Goto block-partitioned GEMM driver (paper §4.1). Shared by the
 // AUGEM-backed library and the simulated comparators: each supplies a
 // *block kernel* computing C(mc×nc) += PA(mc×kc) * PB(kc×nc) over packed
-// panels; the driver owns the cache blocking, packing and beta handling.
+// panels; the driver owns the cache blocking, packing, beta handling and —
+// through a GemmContext — the multi-threaded macro-loop decomposition.
 
 #include <functional>
 
 #include "blas/types.hpp"
 #include "support/arch.hpp"
+#include "support/threadpool.hpp"
 
 namespace augem::blas {
 
@@ -20,16 +22,53 @@ struct BlockSizes {
 
 /// Derives block sizes from the cache hierarchy: kc*8 bytes of a B column
 /// must leave room in L1 beside the A micro-panel; mc*kc doubles of packed
-/// A target half of L2.
+/// A target half of L2; the kc×nc packed B panel targets half of the LLC.
 BlockSizes default_block_sizes(const CpuArch& arch);
 
 /// C(mc×nc, ldc) += PA * PB over packed panels (see blas/pack.hpp for the
-/// layouts). Must handle arbitrary mc/nc/kc ≥ 0.
+/// layouts). Must handle arbitrary mc/nc/kc ≥ 0. Under the threaded driver
+/// the kernel is invoked concurrently from several threads on disjoint C
+/// blocks, so it must be reentrant (stateless or thread-local state only).
 using BlockKernel =
     std::function<void(index_t mc, index_t nc, index_t kc, const double* pa,
                        const double* pb, double* c, index_t ldc)>;
 
-/// Full GEMM: C = alpha*op(A)*op(B) + beta*C via packing + block kernel.
+/// Execution context of one GEMM entry: blocking plus threading.
+///
+/// With threads == 1 (or no pool) the driver runs the exact serial macro
+/// loop. Otherwise the BLIS-style 2D decomposition is used: for each
+/// (jc, pc) panel all threads cooperatively pack B — shared read-only
+/// afterwards — then partition the ic loop, each thread packing its A
+/// blocks into per-thread scratch; when C has fewer ic blocks than threads
+/// (tall-skinny), the jr sub-loop inside the panel is split as the second
+/// dimension. jr splits land on jr_granule column multiples so every block
+/// kernel sees the same register-tile boundaries as the serial sweep — the
+/// parallel result is bit-identical to the serial one for any kernel whose
+/// per-element operation order depends only on the position inside its
+/// column tile (true of all kernels in this repository; granule 8 covers
+/// every generated tile width nr ∈ {2, 4, 8}).
+struct GemmContext {
+  BlockSizes sizes;
+  int threads = 1;            ///< participants used (clamped to pool size)
+  ThreadPool* pool = nullptr; ///< null → serial regardless of `threads`
+  index_t jr_granule = 8;     ///< jr split alignment, ≥ the kernel tile width
+};
+
+/// Serial context (bit-identical to the historical single-core driver).
+GemmContext serial_gemm_context(const BlockSizes& sizes);
+
+/// Context on the process-global pool, sized by AUGEM_NUM_THREADS or the
+/// detected core count.
+GemmContext threaded_gemm_context(const BlockSizes& sizes);
+
+/// Full GEMM: C = alpha*op(A)*op(B) + beta*C via packing + block kernel,
+/// decomposed across ctx.threads workers.
+void blocked_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                  double alpha, const double* a, index_t lda, const double* b,
+                  index_t ldb, double beta, double* c, index_t ldc,
+                  const GemmContext& ctx, const BlockKernel& kernel);
+
+/// Serial convenience overload (historical entry point).
 void blocked_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
                   double alpha, const double* a, index_t lda, const double* b,
                   index_t ldb, double beta, double* c, index_t ldc,

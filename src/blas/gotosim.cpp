@@ -58,14 +58,14 @@ void block_kernel_sse(index_t mc, index_t nc, index_t kc, const double* pa,
 
 class GotoSim final : public Blas {
  public:
-  GotoSim() : sizes_(default_block_sizes(host_arch())) {}
+  GotoSim() : ctx_(threaded_gemm_context(default_block_sizes(host_arch()))) {}
 
   std::string name() const override { return "gotosim"; }
 
   void gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k, double alpha,
             const double* a, index_t lda, const double* b, index_t ldb,
             double beta, double* c, index_t ldc) override {
-    blocked_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, sizes_,
+    blocked_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, ctx_,
                  block_kernel_sse);
   }
 
@@ -126,7 +126,7 @@ class GotoSim final : public Blas {
   }
 
  private:
-  BlockSizes sizes_;
+  GemmContext ctx_;
 };
 
 }  // namespace

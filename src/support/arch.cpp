@@ -4,6 +4,7 @@
 
 #include <array>
 #include <sstream>
+#include <thread>
 
 #include "support/error.hpp"
 
@@ -144,6 +145,11 @@ CpuArch detect_host() {
   if (std::int64_t l1 = cache_bytes_leaf4(1); l1 > 0) a.l1d_bytes = l1;
   if (std::int64_t l2 = cache_bytes_leaf4(2); l2 > 0) a.l2_bytes = l2;
   if (std::int64_t l3 = cache_bytes_leaf4(3); l3 > 0) a.l3_bytes = l3;
+
+  // Logical processors available to this process: the default width of the
+  // threaded BLAS driver (ThreadPool::default_num_threads).
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw >= 1) a.cores = static_cast<int>(hw);
   return a;
 }
 

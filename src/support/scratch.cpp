@@ -1,0 +1,14 @@
+#include "support/scratch.hpp"
+
+#include "support/buffer.hpp"
+
+namespace augem {
+
+double* scratch_doubles(std::size_t count, Scratch slot) {
+  thread_local DoubleBuffer buffers[static_cast<int>(Scratch::kCount)];
+  DoubleBuffer& buf = buffers[static_cast<int>(slot)];
+  if (buf.size() < count) buf = DoubleBuffer(count);
+  return buf.data();
+}
+
+}  // namespace augem

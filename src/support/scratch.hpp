@@ -1,0 +1,36 @@
+#pragma once
+// Per-thread scratch-buffer cache.
+//
+// The blocked GEMM driver needs packing panels on every call; allocating
+// them with aligned_alloc each time puts the allocator on the hot path and,
+// worse, serializes the parallel driver on the heap lock. Instead each
+// thread keeps one grow-only aligned buffer per named slot, reused across
+// calls for the lifetime of the thread (pool workers are persistent, so the
+// steady state performs no allocation at all).
+//
+// Buffers are returned uninitialized: callers own the contents and must
+// fully write what they read. Two live uses of the same slot on the same
+// thread would alias — slots are named per call site to prevent that.
+
+#include <cstddef>
+
+namespace augem {
+
+/// Named scratch slots; each (thread, slot) pair is one cached buffer.
+enum class Scratch : int {
+  kGemmPackA,   ///< per-thread packed A block (mc×kc)
+  kGemmPackB,   ///< shared packed B panel (kc×nc), owned by the caller thread
+  kGemmPadA,    ///< zero-padded edge-tile A copy (augem block kernel)
+  kGemmPadB,    ///< zero-padded edge-tile B copy
+  kGemmPadC,    ///< zero-padded edge-tile C accumulator
+  kLevel3TmpA,  ///< Level-3 default algorithms: diagonal/temporary block
+  kLevel3TmpB,  ///< Level-3 default algorithms: second temporary block
+  kCount
+};
+
+/// Returns this thread's cached 64-byte-aligned buffer for `slot`, grown to
+/// hold at least `count` doubles. The pointer stays valid until the next
+/// larger request for the same slot on the same thread.
+double* scratch_doubles(std::size_t count, Scratch slot);
+
+}  // namespace augem

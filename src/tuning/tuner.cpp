@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include <algorithm>
+
 #include "asmgen/codegen.hpp"
 #include "jit/jit.hpp"
 #include "support/buffer.hpp"
@@ -182,6 +184,86 @@ TuneResult tune_level1(KernelKind kind, Isa isa, const TuneWorkload& workload) {
     candidates.push_back(t);
   }
   return run_search(kind, isa, candidates, workload);
+}
+
+std::string DriverTrial::describe() const {
+  std::ostringstream os;
+  os << "threads=" << threads << " mc=" << sizes.mc << " nc=" << sizes.nc
+     << " kc=" << sizes.kc << " -> " << static_cast<long>(mflops)
+     << " MFLOPS";
+  return os.str();
+}
+
+blas::GemmContext DriverTuneResult::context() const {
+  blas::GemmContext ctx = blas::threaded_gemm_context(sizes);
+  ctx.threads = threads;
+  return ctx;
+}
+
+std::string DriverTuneResult::report() const {
+  std::ostringstream os;
+  os << "tuning the blocked GEMM driver:\n";
+  for (const DriverTrial& t : trials) os << "  " << t.describe() << "\n";
+  os << "best: threads=" << threads << " mc=" << sizes.mc << " nc="
+     << sizes.nc << " kc=" << sizes.kc << " ("
+     << static_cast<long>(mflops) << " MFLOPS)\n";
+  return os.str();
+}
+
+DriverTuneResult tune_driver(const blas::BlockKernel& kernel,
+                             const blas::BlockSizes& base, std::int64_t m,
+                             std::int64_t n, std::int64_t k, int reps) {
+  AUGEM_CHECK(m > 0 && n > 0 && k > 0, "driver workload must be non-empty");
+  ThreadPool& pool = ThreadPool::global();
+
+  std::vector<int> thread_counts;
+  for (int t = 1; t < pool.num_threads(); t *= 2) thread_counts.push_back(t);
+  thread_counts.push_back(pool.num_threads());
+
+  // Block-size scalings around the cache-derived base, clamped and kept on
+  // the register-tile multiple the serial derivation uses.
+  auto rounded = [](blas::index_t v) {
+    return std::max<blas::index_t>(8, v / 8 * 8);
+  };
+  std::vector<blas::BlockSizes> size_variants{base};
+  blas::BlockSizes half_mc = base, twice_mc = base, half_nc = base;
+  half_mc.mc = rounded(base.mc / 2);
+  twice_mc.mc = rounded(base.mc * 2);
+  half_nc.nc = rounded(base.nc / 2);
+  size_variants.push_back(half_mc);
+  size_variants.push_back(twice_mc);
+  size_variants.push_back(half_nc);
+
+  Rng rng(23);
+  DoubleBuffer a(static_cast<std::size_t>(m * k));
+  DoubleBuffer b(static_cast<std::size_t>(k * n));
+  DoubleBuffer c(static_cast<std::size_t>(m * n));
+  rng.fill(a.span());
+  rng.fill(b.span());
+
+  DriverTuneResult best;
+  for (const blas::BlockSizes& sizes : size_variants) {
+    for (int threads : thread_counts) {
+      blas::GemmContext ctx = blas::threaded_gemm_context(sizes);
+      ctx.threads = threads;
+      DriverTrial trial;
+      trial.threads = threads;
+      trial.sizes = sizes;
+      const double s = time_best_of(reps, [&] {
+        blas::blocked_gemm(blas::Trans::kNo, blas::Trans::kNo, m, n, k, 1.0,
+                           a.data(), m, b.data(), k, 0.0, c.data(), m, ctx,
+                           kernel);
+      });
+      trial.mflops = mflops(gemm_flops(m, n, k), s);
+      if (trial.mflops > best.mflops) {
+        best.threads = threads;
+        best.sizes = sizes;
+        best.mflops = trial.mflops;
+      }
+      best.trials.push_back(trial);
+    }
+  }
+  return best;
 }
 
 void save_result(const TuneResult& result, const std::string& path) {

@@ -52,6 +52,21 @@ TEST(Driver, DefaultBlockSizesFitCaches) {
   EXPECT_LE(s.mc * s.kc * 8, host_arch().l2_bytes);
   EXPECT_EQ(s.mc % 8, 0);
   EXPECT_EQ(s.kc % 8, 0);
+  // nc scales with the LLC: the packed kc×nc B panel stays within (half
+  // of) L3 unless the 240-column floor dominates on tiny caches.
+  EXPECT_GE(s.nc, 240);
+  EXPECT_EQ(s.nc % 8, 0);
+  if (s.nc > 240)
+    EXPECT_LE(s.nc * s.kc * 8, host_arch().l3_bytes / 2 + 8 * s.kc * 8);
+}
+
+TEST(Driver, DefaultBlockSizesNcTracksL3) {
+  CpuArch small = sandy_bridge_arch();
+  small.l3_bytes = 2 * 1024 * 1024;
+  CpuArch big = sandy_bridge_arch();
+  big.l3_bytes = 32 * 1024 * 1024;
+  EXPECT_LT(default_block_sizes(small).nc, default_block_sizes(big).nc);
+  EXPECT_LE(default_block_sizes(big).nc, 4096);
 }
 
 TEST(Driver, SingleBlockExact) {

@@ -1,0 +1,40 @@
+#include "support/scratch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+namespace augem {
+namespace {
+
+TEST(Scratch, ReusesAllocationAcrossCalls) {
+  double* first = scratch_doubles(128, Scratch::kGemmPackA);
+  first[0] = 1.0;
+  first[127] = 2.0;
+  // Same or smaller request on the same slot returns the cached buffer.
+  EXPECT_EQ(scratch_doubles(128, Scratch::kGemmPackA), first);
+  EXPECT_EQ(scratch_doubles(16, Scratch::kGemmPackA), first);
+}
+
+TEST(Scratch, SlotsAreIndependent) {
+  double* a = scratch_doubles(64, Scratch::kGemmPackA);
+  double* b = scratch_doubles(64, Scratch::kGemmPackB);
+  EXPECT_NE(a, b);
+}
+
+TEST(Scratch, IsCacheLineAligned) {
+  const double* p = scratch_doubles(8, Scratch::kGemmPadC);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+}
+
+TEST(Scratch, PerThreadBuffersAreDistinct) {
+  double* mine = scratch_doubles(32, Scratch::kGemmPadA);
+  double* theirs = nullptr;
+  std::thread other([&] { theirs = scratch_doubles(32, Scratch::kGemmPadA); });
+  other.join();
+  EXPECT_NE(mine, theirs);
+}
+
+}  // namespace
+}  // namespace augem

@@ -1,0 +1,112 @@
+#include "support/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace augem {
+namespace {
+
+TEST(ThreadPool, RunsEveryParticipantExactlyOnce) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.num_threads(), 4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](int tid) { hits[static_cast<std::size_t>(tid)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossSubmits) {
+  // The same workers must serve many batches: no one-shot state, no leaked
+  // epochs. 100 submits each add tid-sums into a shared counter.
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int batch = 0; batch < 100; ++batch)
+    pool.run([&](int tid) { total += tid + 1; });
+  EXPECT_EQ(total.load(), 100 * (1 + 2 + 3));
+}
+
+TEST(ThreadPool, BarrierSeparatesPhases) {
+  // Each participant writes its slot, barriers, then reads every other
+  // slot: without a correct barrier some thread observes a stale zero.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> written(4, 0);
+    std::vector<long> sums(4, -1);
+    pool.run([&](int tid) {
+      written[static_cast<std::size_t>(tid)] = tid + 1;
+      pool.barrier();
+      sums[static_cast<std::size_t>(tid)] =
+          std::accumulate(written.begin(), written.end(), 0L);
+    });
+    for (long s : sums) EXPECT_EQ(s, 1 + 2 + 3 + 4) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, BarrierIsReusableWithinOneSubmit) {
+  // Sense reversal: many consecutive barriers in a single task must each
+  // separate the phases around them.
+  ThreadPool pool(3);
+  constexpr int kPhases = 20;
+  std::vector<std::vector<int>> phase_counts(
+      kPhases, std::vector<int>(3, 0));
+  std::atomic<bool> ok{true};
+  pool.run([&](int tid) {
+    for (int p = 0; p < kPhases; ++p) {
+      phase_counts[static_cast<std::size_t>(p)][static_cast<std::size_t>(tid)] = 1;
+      pool.barrier();
+      int seen = 0;
+      for (int v : phase_counts[static_cast<std::size_t>(p)]) seen += v;
+      if (seen != 3) ok = false;
+      pool.barrier();
+    }
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPool, SingleThreadDegenerateRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int calls = 0;
+  pool.run([&](int tid) {
+    EXPECT_EQ(tid, 0);
+    ++calls;
+    pool.barrier();  // must be a no-op, not a deadlock
+    pool.barrier();
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run([](int tid) {
+                 if (tid == 2) throw Error("boom");
+               }),
+               Error);
+  // The pool stays usable after a failed batch.
+  std::atomic<int> count{0};
+  pool.run([&](int) { count++; });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPool, RejectsNonPositiveSize) {
+  EXPECT_THROW(ThreadPool pool(0), Error);
+}
+
+TEST(ThreadPool, DefaultThreadsHonorsEnvOverride) {
+  // Note: ThreadPool::global() latches its size at first use; this checks
+  // the resolver, not the global pool.
+  setenv("AUGEM_NUM_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_num_threads(), 3);
+  setenv("AUGEM_NUM_THREADS", "bogus", 1);
+  EXPECT_GE(ThreadPool::default_num_threads(), 1);
+  unsetenv("AUGEM_NUM_THREADS");
+  EXPECT_GE(ThreadPool::default_num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace augem
