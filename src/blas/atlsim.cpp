@@ -72,7 +72,8 @@ class AtlSim final : public Blas {
 
   void gemv(index_t m, index_t n, double alpha, const double* a, index_t lda,
             const double* x, double beta, double* y) override {
-    for (index_t i = 0; i < m; ++i) y[i] *= beta;
+    beta_scale(y, m, beta);
+    if (alpha == 0.0) return;
     for (index_t j = 0; j < n; ++j) {
       const double s = alpha * x[j];
       const double* col = &at(a, lda, 0, j);
@@ -81,6 +82,7 @@ class AtlSim final : public Blas {
   }
 
   void axpy(index_t n, double alpha, const double* x, double* y) override {
+    if (alpha == 0.0) return;
     for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
   }
 
@@ -99,6 +101,10 @@ class AtlSim final : public Blas {
   }
 
   void scal(index_t n, double alpha, double* x) override {
+    if (alpha == 0.0) {
+      for (index_t i = 0; i < n; ++i) x[i] = 0.0;
+      return;
+    }
     for (index_t i = 0; i < n; ++i) x[i] *= alpha;
   }
 

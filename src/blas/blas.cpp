@@ -11,14 +11,17 @@ void Blas::gemv_t(index_t m, index_t n, double alpha, const double* a,
                   index_t lda, const double* x, double beta, double* y) {
   // (A^T x)[j] = dot(column j of A, x): columns are contiguous, so each
   // row of the result is one Level-1 DOT over unit-stride data.
+  beta_scale(y, n, beta);
+  if (m <= 0 || alpha == 0.0) return;
   for (index_t j = 0; j < n; ++j)
-    y[j] = alpha * dot(m, &at(a, lda, 0, j), x) + beta * y[j];
+    y[j] += alpha * dot(m, &at(a, lda, 0, j), x);
 }
 
 void Blas::ger(index_t m, index_t n, double alpha, const double* x,
                const double* y, double* a, index_t lda) {
   // One AXPY per column of A (paper §5: "GER … invoke[s] the four low-level
   // kernels … to obtain high performance").
+  if (alpha == 0.0) return;  // netlib dger: A untouched, even for NaN x/y
   for (index_t j = 0; j < n; ++j)
     axpy(m, alpha * y[j], x, &at(a, lda, 0, j));
 }
@@ -26,10 +29,9 @@ void Blas::ger(index_t m, index_t n, double alpha, const double* x,
 void Blas::symm(index_t m, index_t n, double alpha, const double* a,
                 index_t lda, const double* b, index_t ldb, double beta,
                 double* c, index_t ldc) {
-  // Scale C once, then accumulate alpha * A_sym * B block by block; all
-  // bulk work is GEMM.
-  for (index_t j = 0; j < n; ++j)
-    for (index_t i = 0; i < m; ++i) at(c, ldc, i, j) *= beta;
+  // Scale C once (beta == 0 overwrites — beta_scale semantics), then
+  // accumulate alpha * A_sym * B block by block; all bulk work is GEMM.
+  for (index_t j = 0; j < n; ++j) beta_scale(&at(c, ldc, 0, j), m, beta);
 
   // Per-thread cached scratch: symm is called in loops (e.g. by solvers),
   // so the diagonal-block temporary must not hit the allocator per call.
@@ -70,11 +72,12 @@ void Blas::syrk(index_t n, index_t k, double alpha, const double* a,
     // Diagonal block through a temporary so only the triangle is touched.
     gemm(Trans::kNo, Trans::kYes, nb, nb, k, 1.0, &at(a, lda, bj, 0), lda,
          &at(a, lda, bj, 0), lda, 0.0, tmp, nb);
-    for (index_t jj = 0; jj < nb; ++jj)
+    for (index_t jj = 0; jj < nb; ++jj) {
+      beta_scale(&at(c, ldc, bj + jj, bj + jj), nb - jj, beta);
+      if (alpha == 0.0) continue;
       for (index_t ii = jj; ii < nb; ++ii)
-        at(c, ldc, bj + ii, bj + jj) =
-            alpha * tmp[jj * nb + ii] +
-            beta * at(c, ldc, bj + ii, bj + jj);
+        at(c, ldc, bj + ii, bj + jj) += alpha * tmp[jj * nb + ii];
+    }
     // Below-diagonal panel in one GEMM.
     const index_t rows = n - (bj + nb);
     if (rows > 0)
@@ -96,11 +99,12 @@ void Blas::syr2k(index_t n, index_t k, double alpha, const double* a,
          &at(b, ldb, bj, 0), ldb, 0.0, tmp, nb);
     gemm(Trans::kNo, Trans::kYes, nb, nb, k, 1.0, &at(b, ldb, bj, 0), ldb,
          &at(a, lda, bj, 0), lda, 1.0, tmp, nb);
-    for (index_t jj = 0; jj < nb; ++jj)
+    for (index_t jj = 0; jj < nb; ++jj) {
+      beta_scale(&at(c, ldc, bj + jj, bj + jj), nb - jj, beta);
+      if (alpha == 0.0) continue;
       for (index_t ii = jj; ii < nb; ++ii)
-        at(c, ldc, bj + ii, bj + jj) =
-            alpha * tmp[jj * nb + ii] +
-            beta * at(c, ldc, bj + ii, bj + jj);
+        at(c, ldc, bj + ii, bj + jj) += alpha * tmp[jj * nb + ii];
+    }
     const index_t rows = n - (bj + nb);
     if (rows > 0) {
       gemm(Trans::kNo, Trans::kYes, rows, nb, k, alpha,

@@ -51,12 +51,9 @@ void serial_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
                  double alpha, const double* a, index_t lda, const double* b,
                  index_t ldb, double beta, double* c, index_t ldc,
                  const BlockSizes& sizes, const BlockKernel& kernel) {
-  // beta is applied once up front; the block kernels accumulate.
-  if (beta != 1.0) {
-    for (index_t j = 0; j < n; ++j)
-      for (index_t i = 0; i < m; ++i)
-        at(c, ldc, i, j) = beta == 0.0 ? 0.0 : beta * at(c, ldc, i, j);
-  }
+  // beta is applied once up front (overwriting when beta == 0, see
+  // beta_scale); the block kernels accumulate.
+  for (index_t j = 0; j < n; ++j) beta_scale(&at(c, ldc, 0, j), m, beta);
   if (k <= 0 || alpha == 0.0) return;
 
   double* pa = scratch_doubles(static_cast<std::size_t>(sizes.mc * sizes.kc),
@@ -98,9 +95,7 @@ void parallel_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
       if (tid >= T) return;
       const index_t j0 = n * tid / T;
       const index_t j1 = n * (tid + 1) / T;
-      for (index_t j = j0; j < j1; ++j)
-        for (index_t i = 0; i < m; ++i)
-          at(c, ldc, i, j) = beta == 0.0 ? 0.0 : beta * at(c, ldc, i, j);
+      for (index_t j = j0; j < j1; ++j) beta_scale(&at(c, ldc, 0, j), m, beta);
     });
   }
   if (k <= 0 || alpha == 0.0) return;

@@ -71,7 +71,8 @@ class GotoSim final : public Blas {
 
   void gemv(index_t m, index_t n, double alpha, const double* a, index_t lda,
             const double* x, double beta, double* y) override {
-    for (index_t i = 0; i < m; ++i) y[i] *= beta;
+    beta_scale(y, m, beta);
+    if (alpha == 0.0) return;
     for (index_t j = 0; j < n; ++j) {
       const double s = alpha * x[j];
       const double* col = &at(a, lda, 0, j);
@@ -87,6 +88,7 @@ class GotoSim final : public Blas {
   }
 
   void axpy(index_t n, double alpha, const double* x, double* y) override {
+    if (alpha == 0.0) return;
     const __m128d va = _mm_set1_pd(alpha);
     index_t i = 0;
     for (; i + 4 <= n; i += 4) {
@@ -118,6 +120,10 @@ class GotoSim final : public Blas {
   }
 
   void scal(index_t n, double alpha, double* x) override {
+    if (alpha == 0.0) {  // overwrite, never multiply NaN/Inf payloads away
+      for (index_t i = 0; i < n; ++i) x[i] = 0.0;
+      return;
+    }
     const __m128d va = _mm_set1_pd(alpha);
     index_t i = 0;
     for (; i + 2 <= n; i += 2)

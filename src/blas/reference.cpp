@@ -7,19 +7,25 @@ namespace augem::blas::ref {
 void gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k, double alpha,
           const double* a, index_t lda, const double* b, index_t ldb,
           double beta, double* c, index_t ldc) {
+  // netlib structure: scale C first (beta == 0 overwrites, so garbage /
+  // NaN in C never propagates), and the alpha term only participates when
+  // there is an actual k-sum to accumulate.
+  for (index_t j = 0; j < n; ++j) beta_scale(&at(c, ldc, 0, j), m, beta);
+  if (k <= 0 || alpha == 0.0) return;
   for (index_t j = 0; j < n; ++j) {
     for (index_t i = 0; i < m; ++i) {
       double acc = 0.0;
       for (index_t l = 0; l < k; ++l)
         acc += op_at(a, lda, ta, i, l) * op_at(b, ldb, tb, l, j);
-      at(c, ldc, i, j) = alpha * acc + beta * at(c, ldc, i, j);
+      at(c, ldc, i, j) += alpha * acc;
     }
   }
 }
 
 void gemv(index_t m, index_t n, double alpha, const double* a, index_t lda,
           const double* x, double beta, double* y) {
-  for (index_t i = 0; i < m; ++i) y[i] *= beta;
+  beta_scale(y, m, beta);
+  if (n <= 0 || alpha == 0.0) return;
   for (index_t j = 0; j < n; ++j) {
     const double s = alpha * x[j];
     for (index_t i = 0; i < m; ++i) y[i] += at(a, lda, i, j) * s;
@@ -28,14 +34,17 @@ void gemv(index_t m, index_t n, double alpha, const double* a, index_t lda,
 
 void gemv_t(index_t m, index_t n, double alpha, const double* a, index_t lda,
             const double* x, double beta, double* y) {
+  beta_scale(y, n, beta);
+  if (m <= 0 || alpha == 0.0) return;
   for (index_t j = 0; j < n; ++j) {
     double acc = 0.0;
     for (index_t i = 0; i < m; ++i) acc += at(a, lda, i, j) * x[i];
-    y[j] = alpha * acc + beta * y[j];
+    y[j] += alpha * acc;
   }
 }
 
 void axpy(index_t n, double alpha, const double* x, double* y) {
+  if (alpha == 0.0) return;  // netlib daxpy: y untouched, even for NaN x
   for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
@@ -46,11 +55,18 @@ double dot(index_t n, const double* x, const double* y) {
 }
 
 void scal(index_t n, double alpha, double* x) {
+  // alpha == 0 overwrites (same policy as beta_scale): "scale to nothing"
+  // must not keep NaN/Inf alive in x.
+  if (alpha == 0.0) {
+    for (index_t i = 0; i < n; ++i) x[i] = 0.0;
+    return;
+  }
   for (index_t i = 0; i < n; ++i) x[i] *= alpha;
 }
 
 void ger(index_t m, index_t n, double alpha, const double* x, const double* y,
          double* a, index_t lda) {
+  if (alpha == 0.0) return;  // netlib dger early-out
   for (index_t j = 0; j < n; ++j) {
     const double s = alpha * y[j];
     for (index_t i = 0; i < m; ++i) at(a, lda, i, j) += x[i] * s;

@@ -28,4 +28,19 @@ inline const double& op_at(const double* a, index_t ld, Trans t, index_t i,
   return t == Trans::kNo ? at(a, ld, i, j) : at(a, ld, j, i);
 }
 
+/// BLAS output-operand scaling: y[i] = beta * y[i], except that beta == 0
+/// *overwrites* with zero instead of multiplying — the netlib convention
+/// ("when BETA is supplied as zero then Y need not be set on input"), so
+/// NaN/Inf payloads in an uninitialized output operand never leak into the
+/// result. Every implementation in this repository must route its beta
+/// handling through these semantics (see docs/correctness.md).
+inline void beta_scale(double* y, index_t n, double beta) {
+  if (beta == 1.0) return;
+  if (beta == 0.0) {
+    for (index_t i = 0; i < n; ++i) y[i] = 0.0;
+  } else {
+    for (index_t i = 0; i < n; ++i) y[i] *= beta;
+  }
+}
+
 }  // namespace augem::blas

@@ -69,7 +69,8 @@ class VendorSim final : public Blas {
 
   void gemv(index_t m, index_t n, double alpha, const double* a, index_t lda,
             const double* x, double beta, double* y) override {
-    for (index_t i = 0; i < m; ++i) y[i] *= beta;
+    beta_scale(y, m, beta);
+    if (alpha == 0.0) return;
     for (index_t j = 0; j < n; ++j) {
       const double s = alpha * x[j];
       const double* col = &at(a, lda, 0, j);
@@ -88,6 +89,7 @@ class VendorSim final : public Blas {
   }
 
   void axpy(index_t n, double alpha, const double* x, double* y) override {
+    if (alpha == 0.0) return;
     const __m256d va = _mm256_set1_pd(alpha);
     index_t i = 0;
     for (; i + 8 <= n; i += 8) {
@@ -119,6 +121,10 @@ class VendorSim final : public Blas {
   }
 
   void scal(index_t n, double alpha, double* x) override {
+    if (alpha == 0.0) {
+      for (index_t i = 0; i < n; ++i) x[i] = 0.0;
+      return;
+    }
     const __m256d va = _mm256_set1_pd(alpha);
     index_t i = 0;
     for (; i + 8 <= n; i += 8) {

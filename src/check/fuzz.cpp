@@ -1,0 +1,1185 @@
+#include "check/fuzz.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <span>
+#include <sstream>
+
+#include "asmgen/codegen.hpp"
+#include "augem/augem_blas.hpp"
+#include "blas/driver.hpp"
+#include "blas/libraries.hpp"
+#include "blas/reference.hpp"
+#include "check/ulp.hpp"
+#include "frontend/kernels.hpp"
+#include "ir/interp.hpp"
+#include "jit/jit.hpp"
+#include "opt/verifier.hpp"
+#include "support/arch.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "transform/ckernel.hpp"
+#include "vm/machine.hpp"
+
+namespace augem::check {
+
+namespace {
+
+using blas::index_t;
+using blas::Trans;
+using frontend::BLayout;
+using frontend::KernelKind;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---- deterministic seeding ------------------------------------------------
+
+/// splitmix64 finalizer: one well-mixed sub-seed per (master seed, index),
+/// so any single case reproduces without replaying the ones before it.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ull * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// ---- guarded buffers ------------------------------------------------------
+
+/// Guard elements appended past every payload, holding a fixed bit pattern.
+/// A path that writes past the end of its output (or any input) flips them.
+constexpr std::size_t kGuardLen = 8;
+
+double guard_value() {
+  const std::uint64_t bits = 0xdeadbeefcafef00dull;
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+struct Buf {
+  std::vector<double> v;  ///< payload followed by kGuardLen guard elements
+  std::size_t n;          ///< payload length
+
+  Buf(std::size_t n_, Rng& rng) : v(n_ + kGuardLen), n(n_) {
+    rng.fill(std::span<double>(v.data(), n));
+    std::fill(v.begin() + static_cast<std::ptrdiff_t>(n), v.end(),
+              guard_value());
+  }
+
+  double* data() { return v.data(); }
+  const double* cdata() const { return v.data(); }
+
+  bool guard_ok() const {
+    const double g = guard_value();
+    for (std::size_t i = n; i < v.size(); ++i)
+      if (std::memcmp(&v[i], &g, sizeof(double)) != 0) return false;
+    return true;
+  }
+
+  std::vector<double> payload() const {
+    return std::vector<double>(v.begin(),
+                               v.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+};
+
+// ---- special-value poisoning ----------------------------------------------
+
+enum class Poison { kNone, kNaN, kInf, kMix };
+
+const char* poison_name(Poison p) {
+  switch (p) {
+    case Poison::kNone: return "none";
+    case Poison::kNaN: return "nan";
+    case Poison::kInf: return "inf";
+    case Poison::kMix: return "mix";
+  }
+  return "?";
+}
+
+void poison(Buf& b, Rng& rng, Poison p) {
+  if (p == Poison::kNone || b.n == 0) return;
+  const int count = static_cast<int>(rng.uniform_int(1, 3));
+  for (int i = 0; i < count; ++i) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(b.n) - 1));
+    switch (p) {
+      case Poison::kNone: break;
+      case Poison::kNaN: b.v[pos] = kNaN; break;
+      case Poison::kInf: b.v[pos] = rng.uniform_int(0, 1) ? kInf : -kInf; break;
+      case Poison::kMix: {
+        const double menu[4] = {kNaN, kInf, -kInf, 0.0};
+        b.v[pos] = menu[rng.uniform_int(0, 3)];
+        break;
+      }
+    }
+  }
+}
+
+// ---- kernel configurations ------------------------------------------------
+
+struct CaseConfig {
+  KernelKind op = KernelKind::kGemm;
+  BLayout layout = BLayout::kRowPanel;
+  Isa isa = Isa::kAvx;
+  opt::VecStrategy strategy = opt::VecStrategy::kAuto;
+  transform::CGenParams params;
+
+  std::string to_string() const {
+    std::ostringstream os;
+    os << frontend::kernel_kind_name(op) << " isa=" << isa_name(isa)
+       << " strategy=" << opt::vec_strategy_name(strategy);
+    if (op == KernelKind::kGemm)
+      os << " layout="
+         << (layout == BLayout::kRowPanel ? "row-panel" : "col-major");
+    os << " " << params.to_string();
+    return os.str();
+  }
+};
+
+template <typename T, std::size_t N>
+T pick(Rng& rng, const T (&menu)[N]) {
+  return menu[rng.uniform_int(0, static_cast<std::int64_t>(N) - 1)];
+}
+
+constexpr std::int64_t kSlackMenu[3] = {0, 1, 5};
+constexpr std::int64_t kSmallSlackMenu[3] = {0, 1, 3};
+
+CaseConfig draw_config(Rng& rng) {
+  CaseConfig c;
+  constexpr KernelKind kOps[5] = {KernelKind::kGemm, KernelKind::kGemv,
+                                  KernelKind::kAxpy, KernelKind::kDot,
+                                  KernelKind::kScal};
+  c.op = pick(rng, kOps);
+  constexpr Isa kIsas[4] = {Isa::kSse2, Isa::kAvx, Isa::kFma3, Isa::kFma4};
+  c.isa = pick(rng, kIsas);
+  constexpr opt::VecStrategy kStrategies[4] = {
+      opt::VecStrategy::kAuto, opt::VecStrategy::kVdup,
+      opt::VecStrategy::kShuf, opt::VecStrategy::kScalar};
+  c.strategy = pick(rng, kStrategies);
+  if (c.op == KernelKind::kGemm)
+    c.layout =
+        rng.uniform_int(0, 1) ? BLayout::kColMajor : BLayout::kRowPanel;
+  constexpr int kTiles[4] = {1, 2, 4, 8};
+  c.params.mr = pick(rng, kTiles);
+  c.params.nr = pick(rng, kTiles);
+  constexpr int kKus[3] = {1, 2, 4};
+  c.params.ku = pick(rng, kKus);
+  constexpr int kUnrolls[5] = {1, 2, 4, 8, 16};
+  c.params.unroll = pick(rng, kUnrolls);
+  c.params.prefetch.enabled = rng.uniform_int(0, 1) != 0;
+  constexpr int kDistances[4] = {4, 8, 16, 32};
+  c.params.prefetch.distance = pick(rng, kDistances);
+  c.params.prefetch.prefetch_stores = rng.uniform_int(0, 1) != 0;
+  return c;
+}
+
+// ---- kernel-contract oracles ----------------------------------------------
+// Plain-C mirrors of the generated kernels' contracts (no alpha/beta special
+// cases — those are BLAS-level semantics and live in blas::ref, which is the
+// oracle for the driver/wrapper checks below). Kept local so src/ never
+// depends on test headers.
+
+void oracle_gemm_block(index_t mc, index_t nc, index_t kc, const double* a,
+                       const double* b, double* c, index_t ldc,
+                       BLayout layout) {
+  for (index_t j = 0; j < nc; ++j)
+    for (index_t i = 0; i < mc; ++i) {
+      double res = 0.0;
+      for (index_t l = 0; l < kc; ++l) {
+        const double bv =
+            layout == BLayout::kRowPanel ? b[l * nc + j] : b[j * kc + l];
+        res += a[l * mc + i] * bv;
+      }
+      c[j * ldc + i] += res;
+    }
+}
+
+void oracle_gemv(index_t m, index_t n, const double* a, index_t lda,
+                 const double* x, double* y) {
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < m; ++j) y[j] += a[i * lda + j] * x[i];
+}
+
+void oracle_axpy(index_t n, double alpha, const double* x, double* y) {
+  for (index_t i = 0; i < n; ++i) y[i] += x[i] * alpha;
+}
+
+double oracle_dot(index_t n, const double* x, const double* y) {
+  double res = 0.0;
+  for (index_t i = 0; i < n; ++i) res += x[i] * y[i];
+  return res;
+}
+
+void oracle_scal(index_t n, double alpha, double* x) {
+  for (index_t i = 0; i < n; ++i) x[i] = x[i] * alpha;
+}
+
+// ---- comparison -----------------------------------------------------------
+
+std::string fmt_mismatch(const char* what, std::size_t i, double got,
+                         double want) {
+  std::ostringstream os;
+  os.precision(17);
+  os << what << "[" << i << "]: got " << got << ", want " << want
+     << " (ulp distance " << ulp_distance(got, want) << ")";
+  return os.str();
+}
+
+std::optional<std::string> compare_out(const char* what, const double* got,
+                                       const double* want, std::size_t count,
+                                       const CompareSpec& spec) {
+  for (std::size_t i = 0; i < count; ++i)
+    if (!spec.close(got[i], want[i]))
+      return fmt_mismatch(what, i, got[i], want[i]);
+  return std::nullopt;
+}
+
+std::optional<std::string> check_untouched(const char* what, const Buf& buf,
+                                           const std::vector<double>& before) {
+  if (!buf.guard_ok()) return std::string(what) + ": guard region overwritten";
+  if (std::memcmp(buf.v.data(), before.data(),
+                  before.size() * sizeof(double)) != 0)
+    return std::string(what) + ": read-only input was modified";
+  return std::nullopt;
+}
+
+// ---- problem instances ----------------------------------------------------
+
+/// A dimension near the "interesting" boundaries of `unit` (an unroll or
+/// tile factor): 0, 1, exact multiples, multiples ± 1, and small primes.
+std::int64_t dim_near(Rng& rng, std::int64_t unit) {
+  unit = std::max<std::int64_t>(1, unit);
+  const std::int64_t q = rng.uniform_int(1, 3);
+  switch (rng.uniform_int(0, 7)) {
+    case 0: return 0;
+    case 1: return 1;
+    case 2: return unit * q;
+    case 3: return std::max<std::int64_t>(0, unit * q - 1);
+    case 4: return unit * q + 1;
+    case 5: {
+      constexpr std::int64_t kPrimes[6] = {2, 3, 5, 7, 13, 31};
+      return pick(rng, kPrimes);
+    }
+    default: return rng.uniform_int(1, 4 * unit);
+  }
+}
+
+double draw_alpha(Rng& rng, bool allow_nonfinite) {
+  const std::int64_t roll = rng.uniform_int(0, allow_nonfinite ? 7 : 5);
+  switch (roll) {
+    case 0: return 0.0;
+    case 1: return 1.0;
+    case 2: return -1.0;
+    case 3: return 0.5;
+    case 6: return kNaN;
+    case 7: return rng.uniform_int(0, 1) ? kInf : -kInf;
+    default: return rng.uniform(-2.0, 2.0);
+  }
+}
+
+/// Kernel-contract-level instance. Meaning of d[] per op:
+///   GEMM: d0=mc (multiple of mr), d1=nc (multiple of nr), d2=kc, d3=ldc slack
+///   GEMV: d0=m, d1=n, d2=lda slack
+///   AXPY/DOT/SCAL: d0=n
+struct KInstance {
+  std::int64_t d[4] = {0, 0, 0, 0};
+  double alpha = 1.0;  ///< axpy/scal only (kernel ABIs without alpha ignore it)
+  Poison p = Poison::kNone;
+
+  std::string to_string(KernelKind op) const {
+    std::ostringstream os;
+    os.precision(17);
+    switch (op) {
+      case KernelKind::kGemm:
+        os << "mc=" << d[0] << " nc=" << d[1] << " kc=" << d[2]
+           << " ldc=" << d[0] + d[3];
+        break;
+      case KernelKind::kGemv:
+        os << "m=" << d[0] << " n=" << d[1]
+           << " lda=" << std::max<std::int64_t>(1, d[0] + d[2]);
+        break;
+      default:
+        os << "n=" << d[0] << " alpha=" << alpha;
+        break;
+    }
+    os << " poison=" << poison_name(p);
+    return os.str();
+  }
+};
+
+KInstance draw_kinstance(Rng& rng, const CaseConfig& cfg) {
+  KInstance in;
+  switch (cfg.op) {
+    case KernelKind::kGemm:
+      in.d[0] = cfg.params.mr * rng.uniform_int(1, 3);
+      in.d[1] = cfg.params.nr * rng.uniform_int(1, 3);
+      in.d[2] = dim_near(rng, cfg.params.ku);
+      in.d[3] = pick(rng, kSlackMenu);
+      break;
+    case KernelKind::kGemv:
+      in.d[0] = dim_near(rng, cfg.params.unroll);
+      in.d[1] = dim_near(rng, 4);
+      in.d[2] = pick(rng, kSlackMenu);
+      break;
+    default:
+      in.d[0] = dim_near(rng, cfg.params.unroll);
+      in.alpha = draw_alpha(rng, /*allow_nonfinite=*/true);
+      break;
+  }
+  constexpr Poison kPoisons[8] = {Poison::kNone, Poison::kNone, Poison::kNone,
+                                  Poison::kNone, Poison::kNone, Poison::kNaN,
+                                  Poison::kInf,  Poison::kMix};
+  in.p = pick(rng, kPoisons);
+  return in;
+}
+
+// ---- per-case runtime -----------------------------------------------------
+
+struct CaseRt {
+  std::uint64_t case_seed = 0;
+  CaseConfig cfg;
+  /// Set once generation succeeds (GeneratedKernel has no default state).
+  std::optional<asmgen::GeneratedKernel> g;
+  std::unique_ptr<jit::CompiledModule> mod;  ///< null when the JIT path is off
+};
+
+enum class Path { kInterp, kVm, kJit };
+
+const char* path_name(Path p) {
+  switch (p) {
+    case Path::kInterp: return "interp";
+    case Path::kVm: return "vm";
+    case Path::kJit: return "jit";
+  }
+  return "?";
+}
+
+/// Runs one kernel-level path on one instance and cross-checks it against
+/// the kernel-contract oracle. Data is a pure function of (case seed,
+/// instance), so shrinking re-runs stay deterministic.
+std::optional<std::string> check_kernel(CaseRt& rt, Path path,
+                                        const KInstance& in) {
+  Rng rng(mix(rt.case_seed, 0xda7a));
+  const asmgen::GeneratedKernel& g = *rt.g;
+
+  switch (rt.cfg.op) {
+    case KernelKind::kGemm: {
+      const index_t mc = in.d[0], nc = in.d[1], kc = in.d[2];
+      const index_t ldc = mc + in.d[3];
+      Buf a(static_cast<std::size_t>(mc * kc), rng);
+      Buf b(static_cast<std::size_t>(nc * kc), rng);
+      Buf c(static_cast<std::size_t>(nc * ldc), rng);
+      poison(a, rng, in.p);
+      poison(b, rng, in.p);
+      poison(c, rng, in.p);
+      const std::vector<double> a0 = a.payload(), b0 = b.payload();
+      std::vector<double> want = c.payload();
+      oracle_gemm_block(mc, nc, kc, a.cdata(), b.cdata(), want.data(), ldc,
+                        rt.cfg.layout);
+      switch (path) {
+        case Path::kInterp: {
+          ir::Env env;
+          env["mc"] = mc;
+          env["nc"] = nc;
+          env["kc"] = kc;
+          env["ldc"] = ldc;
+          env["A"] = a.data();
+          env["B"] = b.data();
+          env["C"] = c.data();
+          ir::interpret(g.source, std::move(env));
+          break;
+        }
+        case Path::kVm: {
+          vm::Machine m(g.insts);
+          m.call({mc, nc, kc, a.cdata(), b.cdata(), c.data(), ldc});
+          break;
+        }
+        case Path::kJit: {
+          auto* fn = rt.mod->fn<void(long, long, long, const double*,
+                                     const double*, double*, long)>(g.name);
+          fn(mc, nc, kc, a.cdata(), b.cdata(), c.data(), ldc);
+          break;
+        }
+      }
+      CompareSpec spec{.depth = kc + 1, .scale = 1.0};
+      if (auto m = compare_out("C", c.cdata(), want.data(), c.n, spec))
+        return m;
+      if (!c.guard_ok()) return std::string("C: guard region overwritten");
+      if (auto m = check_untouched("A", a, a0)) return m;
+      if (auto m = check_untouched("B", b, b0)) return m;
+      return std::nullopt;
+    }
+
+    case KernelKind::kGemv: {
+      const index_t m = in.d[0], n = in.d[1];
+      const index_t lda = std::max<index_t>(1, m + in.d[2]);
+      Buf a(static_cast<std::size_t>(n * lda), rng);
+      Buf x(static_cast<std::size_t>(n), rng);
+      Buf y(static_cast<std::size_t>(m), rng);
+      poison(a, rng, in.p);
+      poison(x, rng, in.p);
+      poison(y, rng, in.p);
+      const std::vector<double> a0 = a.payload(), x0 = x.payload();
+      std::vector<double> want = y.payload();
+      oracle_gemv(m, n, a.cdata(), lda, x.cdata(), want.data());
+      switch (path) {
+        case Path::kInterp: {
+          ir::Env env;
+          env["m"] = m;
+          env["n"] = n;
+          env["A"] = a.data();
+          env["lda"] = lda;
+          env["x"] = x.data();
+          env["y"] = y.data();
+          ir::interpret(g.source, std::move(env));
+          break;
+        }
+        case Path::kVm: {
+          vm::Machine machine(g.insts);
+          machine.call({m, n, a.cdata(), lda, x.cdata(), y.data()});
+          break;
+        }
+        case Path::kJit: {
+          auto* fn = rt.mod->fn<void(long, long, const double*, long,
+                                     const double*, double*)>(g.name);
+          fn(m, n, a.cdata(), lda, x.cdata(), y.data());
+          break;
+        }
+      }
+      CompareSpec spec{.depth = n + 1, .scale = 1.0};
+      if (auto mm = compare_out("y", y.cdata(), want.data(), y.n, spec))
+        return mm;
+      if (!y.guard_ok()) return std::string("y: guard region overwritten");
+      if (auto mm = check_untouched("A", a, a0)) return mm;
+      if (auto mm = check_untouched("x", x, x0)) return mm;
+      return std::nullopt;
+    }
+
+    case KernelKind::kAxpy:
+    case KernelKind::kDot:
+    case KernelKind::kScal: {
+      const index_t n = in.d[0];
+      Buf x(static_cast<std::size_t>(n), rng);
+      Buf y(static_cast<std::size_t>(n), rng);
+      poison(x, rng, in.p);
+      poison(y, rng, in.p);
+      const std::vector<double> x0 = x.payload(), y0 = y.payload();
+
+      if (rt.cfg.op == KernelKind::kDot) {
+        const double want = oracle_dot(n, x.cdata(), y.cdata());
+        double got = 0.0;
+        switch (path) {
+          case Path::kInterp: {
+            ir::Env env;
+            env["n"] = n;
+            env["x"] = x.data();
+            env["y"] = y.data();
+            got = ir::interpret(g.source, std::move(env));
+            break;
+          }
+          case Path::kVm: {
+            vm::Machine machine(g.insts);
+            got = machine.call({n, x.cdata(), y.cdata()});
+            break;
+          }
+          case Path::kJit: {
+            auto* fn =
+                rt.mod->fn<double(long, const double*, const double*)>(g.name);
+            got = fn(n, x.cdata(), y.cdata());
+            break;
+          }
+        }
+        CompareSpec spec{.depth = std::max<index_t>(n, 1), .scale = 1.0};
+        if (!spec.close(got, want)) return fmt_mismatch("dot", 0, got, want);
+        if (auto mm = check_untouched("x", x, x0)) return mm;
+        if (auto mm = check_untouched("y", y, y0)) return mm;
+        return std::nullopt;
+      }
+
+      const bool is_axpy = rt.cfg.op == KernelKind::kAxpy;
+      Buf& out = is_axpy ? y : x;
+      std::vector<double> want = out.payload();
+      if (is_axpy)
+        oracle_axpy(n, in.alpha, x.cdata(), want.data());
+      else
+        oracle_scal(n, in.alpha, want.data());
+      switch (path) {
+        case Path::kInterp: {
+          ir::Env env;
+          env["n"] = n;
+          env["alpha"] = in.alpha;
+          env["x"] = x.data();
+          if (is_axpy) env["y"] = y.data();
+          ir::interpret(g.source, std::move(env));
+          break;
+        }
+        case Path::kVm: {
+          vm::Machine machine(g.insts);
+          if (is_axpy)
+            machine.call({n, in.alpha, x.cdata(), y.data()});
+          else
+            machine.call({n, in.alpha, x.data()});
+          break;
+        }
+        case Path::kJit: {
+          if (is_axpy) {
+            auto* fn =
+                rt.mod->fn<void(long, double, const double*, double*)>(g.name);
+            fn(n, in.alpha, x.cdata(), y.data());
+          } else {
+            auto* fn = rt.mod->fn<void(long, double, double*)>(g.name);
+            fn(n, in.alpha, x.data());
+          }
+          break;
+        }
+      }
+      CompareSpec spec{.depth = 1, .scale = 2.0};
+      const char* what = is_axpy ? "y" : "x";
+      if (auto mm = compare_out(what, out.cdata(), want.data(), out.n, spec))
+        return mm;
+      if (!out.guard_ok())
+        return std::string(what) + ": guard region overwritten";
+      if (is_axpy) {
+        if (auto mm = check_untouched("x", x, x0)) return mm;
+      } else if (!x.guard_ok()) {
+        return std::string("x: guard region overwritten");
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- blocked-driver instances (GEMM only) ---------------------------------
+
+/// BLAS-level GEMM instance for the blocked driver. alpha stays finite: the
+/// driver folds alpha into the packed A panels while the oracle folds it
+/// after the k-sum; for nonfinite alpha the two orders legitimately produce
+/// different NaN/Inf classes (that divergence is documented, not a bug).
+/// A/B may carry NaN/Inf only under alpha == ±1, where the fold is exact.
+struct DInstance {
+  std::int64_t m = 1, n = 1, k = 1;
+  std::int64_t sa = 0, sb = 0, sc = 0;  ///< leading-dimension slack
+  Trans ta = Trans::kNo, tb = Trans::kNo;
+  double alpha = 1.0, beta = 1.0;
+  Poison pc = Poison::kNone;  ///< poisoning of the initial C
+  bool poison_ab = false;     ///< poison A/B too (requires alpha == ±1)
+
+  std::string to_string() const {
+    std::ostringstream os;
+    os.precision(17);
+    os << "m=" << m << " n=" << n << " k=" << k << " ta="
+       << (ta == Trans::kYes ? "T" : "N")
+       << " tb=" << (tb == Trans::kYes ? "T" : "N") << " alpha=" << alpha
+       << " beta=" << beta << " slack=(" << sa << "," << sb << "," << sc
+       << ") poisonC=" << poison_name(pc) << " poisonAB=" << poison_ab;
+    return os.str();
+  }
+};
+
+DInstance draw_dinstance(Rng& rng, const CaseConfig& cfg) {
+  DInstance in;
+  in.m = dim_near(rng, cfg.params.mr);
+  in.n = dim_near(rng, cfg.params.nr);
+  in.k = dim_near(rng, 4);
+  in.sa = pick(rng, kSmallSlackMenu);
+  in.sb = pick(rng, kSmallSlackMenu);
+  in.sc = pick(rng, kSmallSlackMenu);
+  in.ta = rng.uniform_int(0, 1) ? Trans::kYes : Trans::kNo;
+  in.tb = rng.uniform_int(0, 1) ? Trans::kYes : Trans::kNo;
+  in.alpha = draw_alpha(rng, /*allow_nonfinite=*/false);
+  in.beta = draw_alpha(rng, /*allow_nonfinite=*/true);
+  constexpr Poison kPoisons[6] = {Poison::kNone, Poison::kNone, Poison::kNone,
+                                  Poison::kNaN,  Poison::kInf,  Poison::kMix};
+  in.pc = pick(rng, kPoisons);
+  if (rng.uniform_int(0, 2) == 0) {
+    in.alpha = rng.uniform_int(0, 1) ? 1.0 : -1.0;
+    in.poison_ab = true;
+  }
+  return in;
+}
+
+std::optional<std::string> check_driver(CaseRt& rt,
+                                        const augem::GemmBlockFn& block,
+                                        bool threaded, const DInstance& in) {
+  Rng rng(mix(rt.case_seed, threaded ? 0xd217 : 0xd215));
+  const index_t rows_a = in.ta == Trans::kNo ? in.m : in.k;
+  const index_t cols_a = in.ta == Trans::kNo ? in.k : in.m;
+  const index_t rows_b = in.tb == Trans::kNo ? in.k : in.n;
+  const index_t cols_b = in.tb == Trans::kNo ? in.n : in.k;
+  const index_t lda = std::max<index_t>(1, rows_a + in.sa);
+  const index_t ldb = std::max<index_t>(1, rows_b + in.sb);
+  const index_t ldc = std::max<index_t>(1, in.m + in.sc);
+
+  Buf a(static_cast<std::size_t>(lda * cols_a), rng);
+  Buf b(static_cast<std::size_t>(ldb * cols_b), rng);
+  Buf c(static_cast<std::size_t>(ldc * in.n), rng);
+  poison(c, rng, in.pc);
+  if (in.poison_ab) {
+    poison(a, rng, in.pc == Poison::kNone ? Poison::kMix : in.pc);
+    poison(b, rng, in.pc == Poison::kNone ? Poison::kMix : in.pc);
+  }
+  const std::vector<double> a0 = a.payload(), b0 = b.payload();
+  std::vector<double> want = c.payload();
+  blas::ref::gemm(in.ta, in.tb, in.m, in.n, in.k, in.alpha, a.cdata(), lda,
+                  b.cdata(), ldb, in.beta, want.data(), ldc);
+
+  // Tiny cache blocks force multi-block macro loops even at fuzz sizes.
+  blas::BlockSizes sizes;
+  sizes.mc = rt.cfg.params.mr * 2;
+  sizes.nc = std::max<index_t>(8, rt.cfg.params.nr * 2);
+  sizes.kc = 6;
+  blas::GemmContext ctx = threaded ? blas::threaded_gemm_context(sizes)
+                                   : blas::serial_gemm_context(sizes);
+  ctx.jr_granule = std::max<index_t>(8, rt.cfg.params.nr);
+  blas::blocked_gemm(in.ta, in.tb, in.m, in.n, in.k, in.alpha, a.cdata(), lda,
+                     b.cdata(), ldb, in.beta, c.data(), ldc, ctx,
+                     augem::padded_gemm_block_kernel(block, rt.cfg.params.mr,
+                                                     rt.cfg.params.nr));
+
+  CompareSpec spec{.depth = in.k + 1, .scale = 2.0};
+  if (auto mm = compare_out("C", c.cdata(), want.data(), c.n, spec)) return mm;
+  if (!c.guard_ok()) return std::string("C: guard region overwritten");
+  if (auto mm = check_untouched("A", a, a0)) return mm;
+  if (auto mm = check_untouched("B", b, b0)) return mm;
+  return std::nullopt;
+}
+
+// ---- BLAS-level wrapper instances -----------------------------------------
+
+/// Instance for the Blas-interface sweep (AUGEM wrappers + the comparator
+/// libraries vs the netlib-semantics oracle blas::ref). Nonfinite alpha is
+/// allowed only for axpy/scal, where every implementation applies alpha
+/// element-wise (exactly the same products); for gemm/gemv a nonfinite
+/// alpha meeting a near-cancelling sum makes the result class depend on
+/// summation order. Nonfinite beta is allowed everywhere: beta scales the
+/// caller's exact y/C values identically in every implementation.
+struct BInstance {
+  std::int64_t m = 1, n = 1, k = 1;
+  std::int64_t slack = 0;
+  Trans ta = Trans::kNo, tb = Trans::kNo;
+  double alpha = 1.0, beta = 1.0;
+  Poison pdata = Poison::kNone;  ///< x / A / y-initial / C-initial poisoning
+
+  std::string to_string(KernelKind op) const {
+    std::ostringstream os;
+    os.precision(17);
+    switch (op) {
+      case KernelKind::kGemm:
+        os << "m=" << m << " n=" << n << " k=" << k
+           << " ta=" << (ta == Trans::kYes ? "T" : "N")
+           << " tb=" << (tb == Trans::kYes ? "T" : "N");
+        break;
+      case KernelKind::kGemv:
+        os << "m=" << m << " n=" << n;
+        break;
+      default:
+        os << "n=" << n;
+        break;
+    }
+    os << " alpha=" << alpha << " beta=" << beta << " slack=" << slack
+       << " poison=" << poison_name(pdata);
+    return os.str();
+  }
+};
+
+BInstance draw_binstance(Rng& rng, const CaseConfig& cfg) {
+  BInstance in;
+  in.m = dim_near(rng, cfg.params.mr);
+  in.n = dim_near(rng, std::max(cfg.params.nr, cfg.params.unroll));
+  in.k = dim_near(rng, 4);
+  in.slack = pick(rng, kSmallSlackMenu);
+  in.ta = rng.uniform_int(0, 1) ? Trans::kYes : Trans::kNo;
+  in.tb = rng.uniform_int(0, 1) ? Trans::kYes : Trans::kNo;
+  const bool elementwise_alpha =
+      cfg.op == KernelKind::kAxpy || cfg.op == KernelKind::kScal;
+  in.alpha = draw_alpha(rng, elementwise_alpha);
+  in.beta = draw_alpha(rng, /*allow_nonfinite=*/true);
+  constexpr Poison kPoisons[7] = {Poison::kNone, Poison::kNone, Poison::kNone,
+                                  Poison::kNone, Poison::kNaN,  Poison::kInf,
+                                  Poison::kMix};
+  in.pdata = pick(rng, kPoisons);
+  // GEMM implementations fold alpha into their packed panels; keep A/B
+  // finite unless the fold is exact (see DInstance).
+  if (cfg.op == KernelKind::kGemm && in.pdata != Poison::kNone &&
+      in.alpha != 1.0 && in.alpha != -1.0)
+    in.alpha = 1.0;
+  return in;
+}
+
+/// One Blas implementation (including sub-variants like gemv_t) vs blas::ref.
+std::optional<std::string> check_blas(std::uint64_t case_seed,
+                                      blas::Blas& impl, KernelKind op,
+                                      bool transposed_gemv,
+                                      const BInstance& in) {
+  Rng rng(mix(case_seed, 0xb1a5 + (transposed_gemv ? 1 : 0)));
+  switch (op) {
+    case KernelKind::kGemm: {
+      const index_t rows_a = in.ta == Trans::kNo ? in.m : in.k;
+      const index_t cols_a = in.ta == Trans::kNo ? in.k : in.m;
+      const index_t rows_b = in.tb == Trans::kNo ? in.k : in.n;
+      const index_t cols_b = in.tb == Trans::kNo ? in.n : in.k;
+      const index_t lda = std::max<index_t>(1, rows_a + in.slack);
+      const index_t ldb = std::max<index_t>(1, rows_b + in.slack);
+      const index_t ldc = std::max<index_t>(1, in.m + in.slack);
+      Buf a(static_cast<std::size_t>(lda * cols_a), rng);
+      Buf b(static_cast<std::size_t>(ldb * cols_b), rng);
+      Buf c(static_cast<std::size_t>(ldc * in.n), rng);
+      poison(c, rng, in.pdata);
+      if (in.alpha == 1.0 || in.alpha == -1.0) {
+        poison(a, rng, in.pdata);
+        poison(b, rng, in.pdata);
+      }
+      std::vector<double> want = c.payload();
+      blas::ref::gemm(in.ta, in.tb, in.m, in.n, in.k, in.alpha, a.cdata(), lda,
+                      b.cdata(), ldb, in.beta, want.data(), ldc);
+      impl.gemm(in.ta, in.tb, in.m, in.n, in.k, in.alpha, a.cdata(), lda,
+                b.cdata(), ldb, in.beta, c.data(), ldc);
+      CompareSpec spec{.depth = in.k + 1, .scale = 2.0};
+      if (auto mm = compare_out("C", c.cdata(), want.data(), c.n, spec))
+        return mm;
+      if (!c.guard_ok()) return std::string("C: guard region overwritten");
+      return std::nullopt;
+    }
+
+    case KernelKind::kGemv: {
+      const index_t lda = std::max<index_t>(1, in.m + in.slack);
+      Buf a(static_cast<std::size_t>(lda * in.n), rng);
+      const index_t xlen = transposed_gemv ? in.m : in.n;
+      const index_t ylen = transposed_gemv ? in.n : in.m;
+      Buf x(static_cast<std::size_t>(xlen), rng);
+      Buf y(static_cast<std::size_t>(ylen), rng);
+      poison(a, rng, in.pdata);
+      poison(x, rng, in.pdata);
+      poison(y, rng, in.pdata);
+      std::vector<double> want = y.payload();
+      if (transposed_gemv) {
+        blas::ref::gemv_t(in.m, in.n, in.alpha, a.cdata(), lda, x.cdata(),
+                          in.beta, want.data());
+        impl.gemv_t(in.m, in.n, in.alpha, a.cdata(), lda, x.cdata(), in.beta,
+                    y.data());
+      } else {
+        blas::ref::gemv(in.m, in.n, in.alpha, a.cdata(), lda, x.cdata(),
+                        in.beta, want.data());
+        impl.gemv(in.m, in.n, in.alpha, a.cdata(), lda, x.cdata(), in.beta,
+                  y.data());
+      }
+      CompareSpec spec{.depth = (transposed_gemv ? in.m : in.n) + 1,
+                       .scale = 2.0};
+      if (auto mm = compare_out("y", y.cdata(), want.data(), y.n, spec))
+        return mm;
+      if (!y.guard_ok()) return std::string("y: guard region overwritten");
+      return std::nullopt;
+    }
+
+    case KernelKind::kAxpy: {
+      Buf x(static_cast<std::size_t>(in.n), rng);
+      Buf y(static_cast<std::size_t>(in.n), rng);
+      poison(x, rng, in.pdata);
+      poison(y, rng, in.pdata);
+      std::vector<double> want = y.payload();
+      blas::ref::axpy(in.n, in.alpha, x.cdata(), want.data());
+      impl.axpy(in.n, in.alpha, x.cdata(), y.data());
+      CompareSpec spec{.depth = 1, .scale = 2.0};
+      if (auto mm = compare_out("y", y.cdata(), want.data(), y.n, spec))
+        return mm;
+      if (!y.guard_ok()) return std::string("y: guard region overwritten");
+      return std::nullopt;
+    }
+
+    case KernelKind::kDot: {
+      Buf x(static_cast<std::size_t>(in.n), rng);
+      Buf y(static_cast<std::size_t>(in.n), rng);
+      poison(x, rng, in.pdata);
+      poison(y, rng, in.pdata);
+      const double want = blas::ref::dot(in.n, x.cdata(), y.cdata());
+      const double got = impl.dot(in.n, x.cdata(), y.cdata());
+      CompareSpec spec{.depth = std::max<index_t>(in.n, 1), .scale = 1.0};
+      if (!spec.close(got, want)) return fmt_mismatch("dot", 0, got, want);
+      return std::nullopt;
+    }
+
+    case KernelKind::kScal: {
+      Buf x(static_cast<std::size_t>(in.n), rng);
+      poison(x, rng, in.pdata);
+      std::vector<double> want = x.payload();
+      blas::ref::scal(in.n, in.alpha, want.data());
+      impl.scal(in.n, in.alpha, x.data());
+      CompareSpec spec{.depth = 1, .scale = 2.0};
+      if (auto mm = compare_out("x", x.cdata(), want.data(), x.n, spec))
+        return mm;
+      if (!x.guard_ok()) return std::string("x: guard region overwritten");
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- shrinking ------------------------------------------------------------
+
+/// Greedy per-dimension minimization: repeatedly halve each dimension (in
+/// `gran` units, not below `lo`) while `fails()` — which must re-run the
+/// failing check against the dimensions through the pointers — stays true.
+void shrink_dims(const std::vector<std::int64_t*>& dims,
+                 const std::vector<std::int64_t>& lo,
+                 const std::vector<std::int64_t>& gran,
+                 const std::function<bool()>& fails, int budget = 64) {
+  bool progress = true;
+  while (progress && budget > 0) {
+    progress = false;
+    for (std::size_t d = 0; d < dims.size() && budget > 0; ++d) {
+      while (*dims[d] > lo[d] && budget > 0) {
+        const std::int64_t save = *dims[d];
+        std::int64_t next = (save / gran[d] / 2) * gran[d];
+        if (next == save) next = save - gran[d];
+        next = std::max(next, lo[d]);
+        if (next == save) break;
+        *dims[d] = next;
+        --budget;
+        if (!fails()) {
+          *dims[d] = save;
+          break;
+        }
+        progress = true;
+      }
+    }
+  }
+}
+
+template <typename T>
+void try_simplify(T& field, T candidate, const std::function<bool()>& fails) {
+  const T save = field;
+  field = candidate;
+  if (!fails()) field = save;
+}
+
+// ---- run context ----------------------------------------------------------
+
+struct NamedBlas {
+  std::string name;
+  std::unique_ptr<blas::Blas> impl;
+};
+
+struct RunCtx {
+  bool jit_ok = false;
+  std::vector<NamedBlas> impls;
+};
+
+RunCtx make_run_ctx(const FuzzOptions& opts) {
+  RunCtx ctx;
+  ctx.jit_ok = opts.run_jit && jit::toolchain_available();
+  if (!opts.run_blas) return ctx;
+  ctx.impls.push_back({"refblas", blas::make_refblas()});
+  ctx.impls.push_back({"gotosim", blas::make_gotosim()});
+  ctx.impls.push_back({"atlsim", blas::make_atlsim()});
+  if (host_arch().has_avx2 && host_arch().has_fma3)
+    ctx.impls.push_back({"vendorsim", blas::make_vendorsim()});
+  if (ctx.jit_ok) {
+    try {
+      ctx.impls.push_back({"augem", augem::make_augem_blas()});
+    } catch (const Error&) {
+      // No natively generatable kernel set on this host; the VM paths still
+      // cover the generated code.
+    }
+  }
+  return ctx;
+}
+
+int count_f64_params(const ir::Kernel& k) {
+  int n = 0;
+  for (const ir::Param& p : k.params())
+    if (p.type == ir::ScalarType::kF64) ++n;
+  return n;
+}
+
+void log_failure(const FuzzOptions& opts, const Failure& f) {
+  if (opts.log == nullptr) return;
+  *opts.log << "FAIL case " << f.case_index << " [" << f.path << "] "
+            << f.config << " | " << f.instance << "\n  " << f.detail << "\n";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FuzzReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"seed\":" << seed << ",\"cases_run\":" << cases_run
+     << ",\"configs_rejected\":" << configs_rejected << ",\"path_runs\":{";
+  bool first = true;
+  for (const auto& [name, count] : path_runs) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << count;
+  }
+  os << "},\"failures\":[";
+  first = true;
+  for (const Failure& f : failures) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"case\":" << f.case_index << ",\"case_seed\":" << f.case_seed
+       << ",\"path\":\"" << json_escape(f.path) << "\",\"config\":\""
+       << json_escape(f.config) << "\",\"instance\":\""
+       << json_escape(f.instance) << "\",\"detail\":\""
+       << json_escape(f.detail) << "\"}";
+  }
+  os << "],\"ok\":" << (failures.empty() ? "true" : "false") << "}";
+  return os.str();
+}
+
+FuzzReport run_fuzz(const FuzzOptions& opts) {
+  FuzzReport rep;
+  rep.seed = opts.seed;
+  RunCtx run = make_run_ctx(opts);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const std::int64_t begin = opts.only_case >= 0 ? opts.only_case : 0;
+  const std::int64_t end =
+      opts.only_case >= 0 ? opts.only_case + 1 : opts.cases;
+
+  for (std::int64_t ci = begin; ci < end; ++ci) {
+    if (opts.time_budget_seconds > 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - t0;
+      if (elapsed.count() > opts.time_budget_seconds) break;
+    }
+    if (static_cast<std::int64_t>(rep.failures.size()) >= opts.max_failures)
+      break;
+
+    const std::uint64_t case_seed =
+        mix(opts.seed, static_cast<std::uint64_t>(ci));
+    Rng rng(case_seed);
+    CaseRt rt;
+    rt.case_seed = case_seed;
+    rt.cfg = draw_config(rng);
+
+    // All instance draws happen up front so that toggling individual paths
+    // never changes what any other path sees for the same (seed, case).
+    const KInstance kin = draw_kinstance(rng, rt.cfg);
+    const DInstance din = draw_dinstance(rng, rt.cfg);
+    const BInstance bin = draw_binstance(rng, rt.cfg);
+
+    ++rep.cases_run;
+
+    auto record = [&](const std::string& path, const std::string& instance,
+                      const std::string& detail) {
+      Failure f;
+      f.case_index = ci;
+      f.case_seed = case_seed;
+      f.path = path;
+      f.config = rt.cfg.to_string();
+      f.instance = instance;
+      f.detail = detail;
+      log_failure(opts, f);
+      rep.failures.push_back(std::move(f));
+    };
+
+    // ---- generation + static verification --------------------------------
+    try {
+      ir::Kernel k = transform::generate_optimized_c(rt.cfg.op, rt.cfg.layout,
+                                                     rt.cfg.params);
+      opt::OptConfig oc;
+      oc.isa = rt.cfg.isa;
+      oc.strategy = rt.cfg.strategy;
+      rt.g.emplace(asmgen::generate_assembly(std::move(k), oc));
+    } catch (const Error&) {
+      // The planner / register allocator refused this configuration — an
+      // expected outcome for out-of-domain points, not a failure.
+      ++rep.configs_rejected;
+      continue;
+    }
+
+    ++rep.path_runs["verifier"];
+    const std::vector<opt::VerifyIssue> issues =
+        opt::verify_machine_code(rt.g->insts, count_f64_params(rt.g->source));
+    if (!issues.empty()) {
+      std::ostringstream os;
+      for (const opt::VerifyIssue& is : issues)
+        os << "[inst " << is.index << "] " << is.message << "; ";
+      record("verifier", kin.to_string(rt.cfg.op), os.str());
+      continue;  // the machine code is suspect; skip the numeric paths
+    }
+
+    const bool native = run.jit_ok && host_arch().supports(rt.cfg.isa);
+    if (native) {
+      try {
+        rt.mod = std::make_unique<jit::CompiledModule>(
+            jit::assemble(rt.g->asm_text));
+      } catch (const Error& e) {
+        record("jit-assemble", kin.to_string(rt.cfg.op), e.what());
+        continue;
+      }
+    }
+
+    // ---- kernel-contract paths -------------------------------------------
+    std::vector<Path> paths;
+    if (opts.run_interp) paths.push_back(Path::kInterp);
+    if (opts.run_vm) paths.push_back(Path::kVm);
+    if (rt.mod != nullptr) paths.push_back(Path::kJit);
+    for (Path p : paths) {
+      ++rep.path_runs[path_name(p)];
+      auto run_check = [&](const KInstance& inst) -> std::optional<std::string> {
+        try {
+          return check_kernel(rt, p, inst);
+        } catch (const Error& e) {
+          return std::string("execution error: ") + e.what();
+        }
+      };
+      std::optional<std::string> fail = run_check(kin);
+      if (!fail) continue;
+      KInstance small = kin;
+      if (opts.shrink) {
+        auto fails = [&]() { return run_check(small).has_value(); };
+        const std::int64_t mr = rt.cfg.params.mr, nr = rt.cfg.params.nr;
+        if (rt.cfg.op == KernelKind::kGemm)
+          shrink_dims({&small.d[0], &small.d[1], &small.d[2], &small.d[3]},
+                      {mr, nr, 0, 0}, {mr, nr, 1, 1}, fails);
+        else
+          shrink_dims({&small.d[0], &small.d[1], &small.d[2]}, {0, 0, 0},
+                      {1, 1, 1}, fails);
+        try_simplify(small.p, Poison::kNone, fails);
+        try_simplify(small.alpha, 1.0, fails);
+        fail = run_check(small);
+        if (!fail) {  // shrinking lost the failure; report the original
+          small = kin;
+          fail = run_check(small);
+        }
+      }
+      record(path_name(p), small.to_string(rt.cfg.op),
+             fail.value_or("unreproducible after shrink"));
+    }
+
+    // ---- blocked driver (GEMM configurations) ----------------------------
+    // The driver's pack_b produces the row-panel layout (pb[l*nc + j]);
+    // col-major-layout kernels are VM/interp-only by construction.
+    if (opts.run_driver && rt.cfg.op == KernelKind::kGemm &&
+        rt.cfg.layout == BLayout::kRowPanel) {
+      augem::GemmBlockFn block;
+      if (rt.mod != nullptr) {
+        auto* fn = rt.mod->fn<void(long, long, long, const double*,
+                                   const double*, double*, long)>(rt.g->name);
+        block = fn;
+      } else {
+        // VM-backed block kernel: a fresh Machine per call keeps the
+        // threaded driver's concurrent invocations independent.
+        const opt::MInstList* insts = &rt.g->insts;
+        block = [insts](long mc, long nc, long kc, const double* pa,
+                        const double* pb, double* c, long ldc) {
+          vm::Machine m(*insts);
+          m.call({mc, nc, kc, pa, pb, c, ldc});
+        };
+      }
+      for (const bool threaded : {false, true}) {
+        const char* pname = threaded ? "driver-threaded" : "driver-serial";
+        ++rep.path_runs[pname];
+        auto run_check =
+            [&](const DInstance& inst) -> std::optional<std::string> {
+          try {
+            return check_driver(rt, block, threaded, inst);
+          } catch (const Error& e) {
+            return std::string("execution error: ") + e.what();
+          }
+        };
+        std::optional<std::string> fail = run_check(din);
+        if (!fail) continue;
+        DInstance small = din;
+        if (opts.shrink) {
+          auto fails = [&]() { return run_check(small).has_value(); };
+          shrink_dims({&small.m, &small.n, &small.k, &small.sa, &small.sb,
+                       &small.sc},
+                      {0, 0, 0, 0, 0, 0}, {1, 1, 1, 1, 1, 1}, fails);
+          try_simplify(small.pc, Poison::kNone, fails);
+          try_simplify(small.poison_ab, false, fails);
+          try_simplify(small.beta, 1.0, fails);
+          try_simplify(small.alpha, 1.0, fails);
+          fail = run_check(small);
+          if (!fail) {
+            small = din;
+            fail = run_check(small);
+          }
+        }
+        record(pname, small.to_string(),
+               fail.value_or("unreproducible after shrink"));
+      }
+    }
+
+    // ---- BLAS wrappers vs the netlib oracle ------------------------------
+    if (opts.run_blas) {
+      for (NamedBlas& nb : run.impls) {
+        if (static_cast<std::int64_t>(rep.failures.size()) >=
+            opts.max_failures)
+          break;
+        const int variants = rt.cfg.op == KernelKind::kGemv ? 2 : 1;
+        for (int v = 0; v < variants; ++v) {
+          const bool transposed = v == 1;
+          std::string pname = "blas:" + nb.name + ":" +
+                              frontend::kernel_kind_name(rt.cfg.op);
+          if (transposed) pname += "_t";
+          ++rep.path_runs[pname];
+          auto run_check =
+              [&](const BInstance& inst) -> std::optional<std::string> {
+            try {
+              return check_blas(case_seed, *nb.impl, rt.cfg.op, transposed,
+                                inst);
+            } catch (const Error& e) {
+              return std::string("execution error: ") + e.what();
+            }
+          };
+          std::optional<std::string> fail = run_check(bin);
+          if (!fail) continue;
+          BInstance small = bin;
+          if (opts.shrink) {
+            auto fails = [&]() { return run_check(small).has_value(); };
+            shrink_dims({&small.m, &small.n, &small.k, &small.slack},
+                        {0, 0, 0, 0}, {1, 1, 1, 1}, fails);
+            try_simplify(small.pdata, Poison::kNone, fails);
+            try_simplify(small.beta, 1.0, fails);
+            try_simplify(small.alpha, 1.0, fails);
+            fail = run_check(small);
+            if (!fail) {
+              small = bin;
+              fail = run_check(small);
+            }
+          }
+          record(pname, small.to_string(rt.cfg.op),
+                 fail.value_or("unreproducible after shrink"));
+        }
+      }
+    }
+
+    if (opts.log != nullptr && (ci + 1) % 100 == 0)
+      *opts.log << "  ..." << (ci + 1) << " cases, " << rep.configs_rejected
+                << " rejected, " << rep.failures.size() << " failures\n";
+  }
+  return rep;
+}
+
+}  // namespace augem::check

@@ -1,0 +1,41 @@
+#include "check/ulp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace augem::check {
+
+namespace {
+
+/// Maps a double onto an unsigned scale where adjacent representable
+/// values are adjacent integers and ordering matches numeric ordering
+/// (negative values are reflected below the positives).
+std::uint64_t ordered_key(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return (u >> 63) != 0 ? ~u : (u | 0x8000000000000000ull);
+}
+
+}  // namespace
+
+std::uint64_t ulp_distance(double a, double b) {
+  const bool na = std::isnan(a), nb = std::isnan(b);
+  if (na || nb) return na && nb ? 0 : std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t ka = ordered_key(a), kb = ordered_key(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+bool CompareSpec::close(double got, double want) const {
+  if (std::isnan(want) || std::isnan(got))
+    return std::isnan(want) && std::isnan(got);
+  if (std::isinf(want) || std::isinf(got)) return got == want;
+  const double d = static_cast<double>(std::max<std::int64_t>(depth, 1));
+  const double abs_tol = 1e-12 * d * std::max(scale, 1.0);
+  if (std::abs(got - want) <= abs_tol) return true;
+  return ulp_distance(got, want) <=
+         max_ulps * static_cast<std::uint64_t>(std::max<std::int64_t>(depth, 1));
+}
+
+}  // namespace augem::check

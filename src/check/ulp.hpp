@@ -1,0 +1,37 @@
+#pragma once
+// Floating-point comparison policy of the differential harness.
+//
+// Different execution paths of the same kernel legitimately differ in the
+// last bits: SIMD vectorization regroups reductions, FMA fuses the
+// multiply-add rounding, and the blocked driver splits the k-sum at block
+// boundaries. The comparison therefore accepts a reassociation-sized slack
+// that scales with the reduction depth, but is exact about the *class* of
+// the value: NaN must meet NaN, and an infinity must match in sign.
+// See docs/correctness.md for the full policy statement.
+
+#include <cstdint>
+
+namespace augem::check {
+
+/// Distance between two doubles in units in the last place, measured on
+/// the monotonic integer number line of IEEE-754 bit patterns (so the
+/// distance across 0 counts the representable values in between). NaN on
+/// either side yields the maximum distance unless both are NaN (0).
+std::uint64_t ulp_distance(double a, double b);
+
+/// One comparison context: how deep a reduction produced the value and how
+/// large the summed terms can be.
+struct CompareSpec {
+  std::int64_t depth = 1;       ///< reduction length behind each element
+  double scale = 1.0;           ///< magnitude bound of the summed terms
+  std::uint64_t max_ulps = 256; ///< per-depth-unit ULP budget
+
+  /// True when `got` is an acceptable value for oracle result `want`:
+  ///  * both NaN (any payload), or
+  ///  * both the same signed infinity, or
+  ///  * finite and within depth·scale·1e-12 absolutely, or within
+  ///    depth·max_ulps ULPs.
+  bool close(double got, double want) const;
+};
+
+}  // namespace augem::check

@@ -273,10 +273,17 @@ void unroll(ir::Kernel& kernel, const std::string& loop_var, int factor,
 void unroll_and_jam(ir::Kernel& kernel, const std::string& loop_var, int factor,
                     bool assume_divisible) {
   AUGEM_CHECK(factor >= 1, "unroll&jam factor must be >= 1, got " << factor);
+  if (factor == 1) return;  // a 1-jam is the identity; divisibility is vacuous
   AUGEM_CHECK(assume_divisible,
-              "unroll&jam currently requires a divisible trip count (the "
-              "BLAS drivers guarantee this for the register-tile loops)");
-  if (factor == 1) return;
+              "unroll&jam over '"
+                  << loop_var << "' by factor " << factor
+                  << " requires a trip count divisible by the factor: once "
+                     "iterations are jammed, no remainder loop can restore "
+                     "the leftover ones. The BLAS drivers guarantee "
+                     "divisibility for the register-tile loops by padding "
+                     "partial tiles (augem::padded_gemm_block_kernel); for "
+                     "a general loop use unroll(), which emits a remainder "
+                     "loop");
 
   const int n = replace_loop(
       kernel.mutable_body(), loop_var, [&](const ForStmt& loop) -> StmtList {

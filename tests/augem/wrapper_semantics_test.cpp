@@ -1,0 +1,117 @@
+// Regression tests for the AUGEM wrapper layer's BLAS edge-case semantics.
+// The generated kernels are pure accumulators (y += A*x, x *= alpha, …);
+// netlib's beta/alpha special cases are the *wrapper's* job, and getting
+// them wrong is invisible to random-data tests: the bugs only show against
+// NaN/Inf-poisoned outputs or alpha/beta ∈ {0}. Each test here fails on the
+// pre-beta_scale wrappers (y[i] *= 0 keeps NaN alive; see
+// docs/correctness.md).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "augem/augem_blas.hpp"
+#include "blas/reference.hpp"
+#include "jit/jit.hpp"
+#include "support/rng.hpp"
+
+namespace augem {
+namespace {
+
+using blas::index_t;
+
+const double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+class AugemWrapperSemantics : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!jit::toolchain_available())
+      GTEST_SKIP() << "no assembler toolchain; AUGEM BLAS needs native kernels";
+    lib_ = make_augem_blas();
+  }
+  std::unique_ptr<blas::Blas> lib_;
+  Rng rng_{7};
+};
+
+TEST_F(AugemWrapperSemantics, GemvBetaZeroOverwritesNaN) {
+  // The generated GEMV kernel accumulates into y, so the wrapper must
+  // *clear* y when beta == 0 — scaling (y *= 0) keeps a poisoned y NaN.
+  const index_t m = 37, n = 11;
+  std::vector<double> a(static_cast<std::size_t>(m * n)),
+      x(static_cast<std::size_t>(n));
+  rng_.fill(a);
+  rng_.fill(x);
+  std::vector<double> y(static_cast<std::size_t>(m), kNaN);
+  std::vector<double> want(static_cast<std::size_t>(m), 0.0);
+  lib_->gemv(m, n, 1.0, a.data(), m, x.data(), 0.0, y.data());
+  blas::ref::gemv(m, n, 1.0, a.data(), m, x.data(), 0.0, want.data());
+  for (index_t i = 0; i < m; ++i) {
+    ASSERT_TRUE(std::isfinite(y[i])) << "y[" << i << "]";
+    ASSERT_NEAR(y[i], want[i], 1e-12 * static_cast<double>(n));
+  }
+}
+
+TEST_F(AugemWrapperSemantics, GemvAlphaZeroSkipsKernel) {
+  const index_t m = 8, n = 6;
+  std::vector<double> a(static_cast<std::size_t>(m * n), kNaN),
+      x(static_cast<std::size_t>(n), kNaN), y(static_cast<std::size_t>(m));
+  rng_.fill(y);
+  const std::vector<double> y0 = y;
+  lib_->gemv(m, n, 0.0, a.data(), m, x.data(), 0.5, y.data());
+  for (index_t i = 0; i < m; ++i)
+    ASSERT_DOUBLE_EQ(y[i], 0.5 * y0[static_cast<std::size_t>(i)]);
+}
+
+TEST_F(AugemWrapperSemantics, GemvNonUnitAlphaFoldsIntoX) {
+  const index_t m = 19, n = 9;
+  std::vector<double> a(static_cast<std::size_t>(m * n)),
+      x(static_cast<std::size_t>(n)), y(static_cast<std::size_t>(m));
+  rng_.fill(a);
+  rng_.fill(x);
+  rng_.fill(y);
+  std::vector<double> want = y;
+  lib_->gemv(m, n, -1.5, a.data(), m, x.data(), 2.0, y.data());
+  blas::ref::gemv(m, n, -1.5, a.data(), m, x.data(), 2.0, want.data());
+  for (index_t i = 0; i < m; ++i)
+    ASSERT_NEAR(y[i], want[i], 1e-11 * static_cast<double>(n));
+}
+
+TEST_F(AugemWrapperSemantics, ScalZeroClearsNaN) {
+  std::vector<double> x = {kNaN, 1.0, kNaN, -2.0};
+  lib_->scal(static_cast<index_t>(x.size()), 0.0, x.data());
+  for (double v : x) ASSERT_EQ(v, 0.0);
+}
+
+TEST_F(AugemWrapperSemantics, AxpyAlphaZeroLeavesYUntouched) {
+  const index_t n = 23;
+  std::vector<double> x(static_cast<std::size_t>(n), kNaN),
+      y(static_cast<std::size_t>(n));
+  rng_.fill(y);
+  const std::vector<double> y0 = y;
+  lib_->axpy(n, 0.0, x.data(), y.data());
+  EXPECT_EQ(y, y0);
+}
+
+TEST_F(AugemWrapperSemantics, GemmBetaZeroOverwritesNaN) {
+  const index_t m = 29, n = 13, k = 7;
+  std::vector<double> a(static_cast<std::size_t>(m * k)),
+      b(static_cast<std::size_t>(k * n));
+  rng_.fill(a);
+  rng_.fill(b);
+  std::vector<double> c(static_cast<std::size_t>(m * n), kNaN);
+  std::vector<double> want(static_cast<std::size_t>(m * n), 0.0);
+  lib_->gemm(blas::Trans::kNo, blas::Trans::kNo, m, n, k, 1.0, a.data(), m,
+             b.data(), k, 0.0, c.data(), m);
+  blas::ref::gemm(blas::Trans::kNo, blas::Trans::kNo, m, n, k, 1.0, a.data(),
+                  m, b.data(), k, 0.0, want.data(), m);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(c[i])) << "C[" << i << "]";
+    ASSERT_NEAR(c[i], want[i], 1e-11 * static_cast<double>(k));
+  }
+}
+
+}  // namespace
+}  // namespace augem

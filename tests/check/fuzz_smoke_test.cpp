@@ -1,0 +1,95 @@
+// Bounded tier-1 run of the differential fuzzing harness: a fixed-seed
+// slice of the search space on every ctest invocation, so a regression in
+// any execution path (interpreter, VM, JIT, driver, wrappers) or in the
+// static verifier surfaces in CI, not just in long fuzzing sessions. The
+// full-size runs live behind tools/fuzz_kernels.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/fuzz.hpp"
+
+namespace augem::check {
+namespace {
+
+TEST(FuzzSmoke, BoundedSweepFindsNoMismatches) {
+  FuzzOptions opts;
+  opts.seed = 2026;
+  opts.cases = 120;
+  const FuzzReport rep = run_fuzz(opts);
+  EXPECT_EQ(rep.cases_run, 120);
+  std::ostringstream details;
+  for (const Failure& f : rep.failures)
+    details << "[" << f.path << "] " << f.config << " | " << f.instance
+            << " | " << f.detail << "\n";
+  EXPECT_TRUE(rep.ok()) << details.str();
+
+  // Every path family must actually have run — a harness that silently
+  // skips a path would report hollow "OK"s.
+  EXPECT_GT(rep.path_runs.at("verifier"), 0);
+  EXPECT_GT(rep.path_runs.at("interp"), 0);
+  EXPECT_GT(rep.path_runs.at("vm"), 0);
+  EXPECT_GT(rep.path_runs.at("driver-serial"), 0);
+  EXPECT_GT(rep.path_runs.at("driver-threaded"), 0);
+  bool any_blas = false;
+  for (const auto& [name, runs] : rep.path_runs)
+    any_blas |= name.rfind("blas:", 0) == 0 && runs > 0;
+  EXPECT_TRUE(any_blas);
+}
+
+TEST(FuzzSmoke, DeterministicForFixedSeed) {
+  FuzzOptions opts;
+  opts.seed = 99;
+  opts.cases = 25;
+  const FuzzReport a = run_fuzz(opts);
+  const FuzzReport b = run_fuzz(opts);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.cases_run, b.cases_run);
+  EXPECT_EQ(a.configs_rejected, b.configs_rejected);
+}
+
+TEST(FuzzSmoke, SingleCaseReplayMatchesTheSweep) {
+  // `--case I` must reproduce exactly what the sweep did for case I —
+  // this is the contract the failure reports' repro lines rely on.
+  FuzzOptions sweep;
+  sweep.seed = 5;
+  sweep.cases = 10;
+  const FuzzReport full = run_fuzz(sweep);
+
+  FuzzOptions one = sweep;
+  one.only_case = 7;
+  const FuzzReport replay = run_fuzz(one);
+  EXPECT_EQ(replay.cases_run, 1);
+  EXPECT_EQ(replay.failures.size(), 0u);
+  EXPECT_EQ(full.ok(), true);
+}
+
+TEST(FuzzSmoke, PathTogglesDisableOnlyTheirPath) {
+  FuzzOptions opts;
+  opts.seed = 12;
+  opts.cases = 15;
+  opts.run_jit = false;
+  opts.run_blas = false;
+  const FuzzReport rep = run_fuzz(opts);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.path_runs.count("jit"), 0u);
+  for (const auto& [name, runs] : rep.path_runs)
+    EXPECT_NE(name.rfind("blas:", 0), 0u) << name << " ran " << runs;
+  EXPECT_GT(rep.path_runs.at("vm"), 0);
+}
+
+TEST(FuzzSmoke, ReportSerializesToJson) {
+  FuzzOptions opts;
+  opts.seed = 3;
+  opts.cases = 5;
+  const FuzzReport rep = run_fuzz(opts);
+  const std::string json = rep.to_json();
+  EXPECT_NE(json.find("\"seed\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cases_run\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"path_runs\":{"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace augem::check

@@ -1,0 +1,95 @@
+// Unit tests for the harness's floating-point comparison policy: the
+// comparator itself must be trustworthy before its verdicts mean anything.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "check/ulp.hpp"
+
+namespace augem::check {
+namespace {
+
+const double kNaN = std::numeric_limits<double>::quiet_NaN();
+const double kInf = std::numeric_limits<double>::infinity();
+
+TEST(UlpDistance, IdenticalValuesAreZeroApart) {
+  EXPECT_EQ(ulp_distance(1.0, 1.0), 0u);
+  EXPECT_EQ(ulp_distance(0.0, 0.0), 0u);
+  EXPECT_EQ(ulp_distance(-3.5, -3.5), 0u);
+  EXPECT_EQ(ulp_distance(kInf, kInf), 0u);
+}
+
+TEST(UlpDistance, AdjacentRepresentablesAreOneApart) {
+  const double next = std::nextafter(1.0, 2.0);
+  EXPECT_EQ(ulp_distance(1.0, next), 1u);
+  const double prev = std::nextafter(-2.0, -3.0);
+  EXPECT_EQ(ulp_distance(-2.0, prev), 1u);
+}
+
+TEST(UlpDistance, CountsRepresentablesAcrossZero) {
+  // -0.0 and +0.0 are distinct bit patterns, adjacent on the monotonic
+  // line (the comparator's absolute term makes the distinction moot near
+  // zero). The smallest subnormals sit one step outside each of them.
+  EXPECT_EQ(ulp_distance(0.0, -0.0), 1u);
+  const double tiny = std::nextafter(0.0, 1.0);
+  EXPECT_EQ(ulp_distance(tiny, 0.0), 1u);
+  EXPECT_EQ(ulp_distance(-tiny, -0.0), 1u);
+  EXPECT_EQ(ulp_distance(-tiny, tiny), 3u);
+}
+
+TEST(UlpDistance, NaNHandling) {
+  EXPECT_EQ(ulp_distance(kNaN, kNaN), 0u);
+  EXPECT_EQ(ulp_distance(kNaN, 1.0),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(ulp_distance(0.0, kNaN),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(CompareSpec, NaNMustMeetNaN) {
+  CompareSpec spec;
+  EXPECT_TRUE(spec.close(kNaN, kNaN));
+  EXPECT_FALSE(spec.close(kNaN, 0.0));
+  EXPECT_FALSE(spec.close(0.0, kNaN));
+  EXPECT_FALSE(spec.close(kNaN, kInf));
+}
+
+TEST(CompareSpec, InfinityMustMatchInSign) {
+  CompareSpec spec;
+  EXPECT_TRUE(spec.close(kInf, kInf));
+  EXPECT_TRUE(spec.close(-kInf, -kInf));
+  EXPECT_FALSE(spec.close(kInf, -kInf));
+  EXPECT_FALSE(spec.close(kInf, 1e308));
+  EXPECT_FALSE(spec.close(1e308, kInf));
+}
+
+TEST(CompareSpec, ExactAndNearbyFinitesPass) {
+  CompareSpec spec{.depth = 4, .scale = 1.0};
+  EXPECT_TRUE(spec.close(0.5, 0.5));
+  // A few ULPs of reassociation noise is the whole point of the policy.
+  double x = 1.0 / 3.0;
+  double y = x;
+  for (int i = 0; i < 3; ++i) y = std::nextafter(y, 1.0);
+  EXPECT_TRUE(spec.close(y, x));
+}
+
+TEST(CompareSpec, GrosslyWrongValuesFail) {
+  CompareSpec spec{.depth = 100, .scale = 1.0};
+  EXPECT_FALSE(spec.close(0.51273, 0.86203));
+  EXPECT_FALSE(spec.close(1.0, -1.0));
+  EXPECT_FALSE(spec.close(2.0, 1.0));
+}
+
+TEST(CompareSpec, AbsoluteTolCoversCancellationNearZero) {
+  // Two orderings of a cancelling sum can disagree by ~1e-16 absolutely
+  // while being millions of ULPs apart near zero; the absolute term of the
+  // policy must absorb that.
+  CompareSpec spec{.depth = 8, .scale = 1.0};
+  EXPECT_TRUE(spec.close(1e-17, -1e-17));
+  EXPECT_TRUE(spec.close(0.0, 5e-15));
+}
+
+}  // namespace
+}  // namespace augem::check

@@ -1,0 +1,49 @@
+// unroll&jam has no remainder story: once iterations are jammed into one
+// fused body, a leftover trip cannot be peeled back out. The transform must
+// therefore *reject* assume_divisible == false with an error that explains
+// the constraint and names the alternatives — a silent wrong-answer here was
+// only caught by the differential harness on tile-misaligned shapes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "frontend/kernels.hpp"
+#include "support/error.hpp"
+#include "transform/unroll.hpp"
+
+namespace augem::transform {
+namespace {
+
+TEST(UnrollAndJamDivisibility, RejectsNonDivisibleRequest) {
+  ir::Kernel k = frontend::make_gemm_kernel();
+  EXPECT_THROW(unroll_and_jam(k, "j", 2, /*assume_divisible=*/false),
+               augem::Error);
+}
+
+TEST(UnrollAndJamDivisibility, ErrorExplainsTheConstraintAndTheFix) {
+  ir::Kernel k = frontend::make_gemm_kernel();
+  try {
+    unroll_and_jam(k, "j", 4, /*assume_divisible=*/false);
+    FAIL() << "expected augem::Error";
+  } catch (const augem::Error& e) {
+    const std::string msg = e.what();
+    // Names the loop and factor of the offending request…
+    EXPECT_NE(msg.find("'j'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("factor 4"), std::string::npos) << msg;
+    // …explains why (no remainder loop can exist once copies are jammed)…
+    EXPECT_NE(msg.find("remainder"), std::string::npos) << msg;
+    // …and points at both escape hatches.
+    EXPECT_NE(msg.find("padded_gemm_block_kernel"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("unroll()"), std::string::npos) << msg;
+  }
+}
+
+TEST(UnrollAndJamDivisibility, FactorOneIsAlwaysLegal) {
+  // factor == 1 jams nothing; divisibility is vacuous and must not throw.
+  ir::Kernel k = frontend::make_gemm_kernel();
+  EXPECT_NO_THROW(unroll_and_jam(k, "j", 1, /*assume_divisible=*/false));
+}
+
+}  // namespace
+}  // namespace augem::transform

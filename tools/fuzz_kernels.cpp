@@ -1,0 +1,133 @@
+// Differential fuzzer CLI for the codegen pipeline (see src/check/fuzz.hpp
+// and docs/correctness.md). Exit code 0 when every case agreed, 1 when any
+// mismatch was found, 2 on usage errors.
+//
+// Typical runs:
+//   fuzz_kernels --cases 1000 --seed 7
+//   fuzz_kernels --seed 7 --case 123        # replay one failing case
+//   fuzz_kernels --json report.json --quiet
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "check/fuzz.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --seed N           master seed (default 1)\n"
+      << "  --cases N          number of cases (default 1000)\n"
+      << "  --case I           run only case index I (reproducer mode)\n"
+      << "  --time-budget S    stop early after S seconds\n"
+      << "  --max-failures N   stop after N failures (default 16)\n"
+      << "  --json PATH        write the machine-readable report to PATH\n"
+      << "  --no-interp | --no-vm | --no-jit | --no-driver | --no-blas\n"
+      << "                     disable individual execution paths\n"
+      << "  --no-shrink        report original instances without minimizing\n"
+      << "  --quiet            suppress progress/failure narration\n";
+  return 2;
+}
+
+bool parse_i64(const char* s, std::int64_t& out) {
+  char* end = nullptr;
+  out = std::strtoll(s, &end, 10);
+  return end != nullptr && *end == '\0' && end != s;
+}
+
+bool parse_f64(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end != nullptr && *end == '\0' && end != s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  augem::check::FuzzOptions opts;
+  std::string json_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    std::int64_t iv = 0;
+    double dv = 0;
+    if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr || !parse_i64(v, iv)) return usage(argv[0]);
+      opts.seed = static_cast<std::uint64_t>(iv);
+    } else if (arg == "--cases") {
+      const char* v = next();
+      if (v == nullptr || !parse_i64(v, opts.cases)) return usage(argv[0]);
+    } else if (arg == "--case") {
+      const char* v = next();
+      if (v == nullptr || !parse_i64(v, opts.only_case)) return usage(argv[0]);
+    } else if (arg == "--time-budget") {
+      const char* v = next();
+      if (v == nullptr || !parse_f64(v, dv)) return usage(argv[0]);
+      opts.time_budget_seconds = dv;
+    } else if (arg == "--max-failures") {
+      const char* v = next();
+      if (v == nullptr || !parse_i64(v, opts.max_failures))
+        return usage(argv[0]);
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      json_path = v;
+    } else if (arg == "--no-interp") {
+      opts.run_interp = false;
+    } else if (arg == "--no-vm") {
+      opts.run_vm = false;
+    } else if (arg == "--no-jit") {
+      opts.run_jit = false;
+    } else if (arg == "--no-driver") {
+      opts.run_driver = false;
+    } else if (arg == "--no-blas") {
+      opts.run_blas = false;
+    } else if (arg == "--no-shrink") {
+      opts.shrink = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+  if (!quiet) opts.log = &std::cerr;
+
+  const augem::check::FuzzReport rep = augem::check::run_fuzz(opts);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << rep.to_json() << "\n";
+  }
+
+  if (!quiet) {
+    std::cerr << "seed " << rep.seed << ": " << rep.cases_run << " cases, "
+              << rep.configs_rejected << " configs rejected, "
+              << rep.failures.size() << " failures\n";
+    for (const auto& [path, runs] : rep.path_runs)
+      std::cerr << "  " << path << ": " << runs << " runs\n";
+  }
+  if (!rep.ok()) {
+    for (const auto& f : rep.failures)
+      std::cout << "FAIL case " << f.case_index << " [" << f.path << "] "
+                << f.config << " | " << f.instance << " | " << f.detail
+                << "\n    reproduce: fuzz_kernels --seed " << rep.seed
+                << " --case " << f.case_index << "\n";
+    return 1;
+  }
+  std::cout << "OK: " << rep.cases_run << " cases, no mismatches\n";
+  return 0;
+}
