@@ -1,0 +1,79 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+namespace augem::analysis {
+
+using opt::MInst;
+using opt::MInstList;
+using opt::MOp;
+
+bool is_cond_jump(MOp op) {
+  return op == MOp::kJl || op == MOp::kJge || op == MOp::kJne ||
+         op == MOp::kJe;
+}
+
+namespace {
+
+bool ends_block(MOp op) {
+  return is_cond_jump(op) || op == MOp::kJmp || op == MOp::kRet;
+}
+
+}  // namespace
+
+Cfg build_cfg(const MInstList& insts) {
+  Cfg cfg;
+  cfg.insts = &insts;
+  if (insts.empty()) return cfg;
+
+  // Leaders: 0, every label, every instruction after a jump/ret.
+  std::vector<char> leader(insts.size(), 0);
+  leader[0] = 1;
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    if (insts[i].op == MOp::kLabel) leader[i] = 1;
+    if (ends_block(insts[i].op) && i + 1 < insts.size()) leader[i + 1] = 1;
+  }
+
+  cfg.block_of.assign(insts.size(), 0);
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    if (leader[i]) {
+      BasicBlock b;
+      b.first = i;
+      cfg.blocks.push_back(b);
+    }
+    cfg.block_of[i] = cfg.blocks.size() - 1;
+    cfg.blocks.back().last = i + 1;
+  }
+
+  for (std::size_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+    const MInst& head = insts[cfg.blocks[bi].first];
+    if (head.op == MOp::kLabel) cfg.label_block.emplace(head.label, bi);
+  }
+
+  auto add_edge = [&](std::size_t from, std::size_t to) {
+    auto& ss = cfg.blocks[from].succs;
+    if (std::find(ss.begin(), ss.end(), to) == ss.end()) {
+      ss.push_back(to);
+      cfg.blocks[to].preds.push_back(from);
+    }
+  };
+
+  for (std::size_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+    const MInst& tail = insts[cfg.blocks[bi].last - 1];
+    const bool has_next = bi + 1 < cfg.blocks.size();
+    if (tail.op == MOp::kRet) continue;
+    if (tail.op == MOp::kJmp || is_cond_jump(tail.op)) {
+      auto it = cfg.label_block.find(tail.label);
+      if (it != cfg.label_block.end()) add_edge(bi, it->second);
+      // Conditional jumps (and jumps to unknown labels, which the
+      // structural pass reports) also fall through.
+      if ((tail.op != MOp::kJmp || it == cfg.label_block.end()) && has_next)
+        add_edge(bi, bi + 1);
+      continue;
+    }
+    if (has_next) add_edge(bi, bi + 1);
+  }
+  return cfg;
+}
+
+}  // namespace augem::analysis

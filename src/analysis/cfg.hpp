@@ -1,0 +1,46 @@
+#pragma once
+// Control-flow graph over the machine IR.
+//
+// Basic blocks are maximal straight-line instruction ranges: a block starts
+// at instruction 0, at every label, and after every jump or ret; it ends
+// before the next leader. Edges follow the jump targets plus fall-through.
+// The old verifier walked instructions in linear order only; every dataflow
+// pass (definite assignment, liveness, flag discipline, symbolic bounds)
+// is formulated over this graph instead, so properties hold along every
+// execution path rather than along the emission order.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/findings.hpp"
+#include "opt/minst.hpp"
+
+namespace augem::analysis {
+
+struct BasicBlock {
+  std::size_t first = 0;  ///< index of the first instruction
+  std::size_t last = 0;   ///< one past the last instruction
+  std::vector<std::size_t> succs;
+  std::vector<std::size_t> preds;
+};
+
+struct Cfg {
+  const opt::MInstList* insts = nullptr;
+  std::vector<BasicBlock> blocks;           ///< in instruction order
+  std::vector<std::size_t> block_of;        ///< instruction index -> block id
+  std::map<std::string, std::size_t> label_block;  ///< label -> block id
+
+  std::size_t size() const { return blocks.size(); }
+};
+
+/// True for kJl/kJge/kJne/kJe.
+bool is_cond_jump(opt::MOp op);
+
+/// Builds the CFG. Jumps to unknown labels get no edge (the structural pass
+/// reports them); such jumps are treated as fall-through so later passes
+/// still see a connected graph.
+Cfg build_cfg(const opt::MInstList& insts);
+
+}  // namespace augem::analysis

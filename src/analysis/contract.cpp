@@ -1,0 +1,73 @@
+#include "analysis/contract.hpp"
+
+namespace augem::analysis {
+
+using frontend::BLayout;
+using frontend::KernelKind;
+using ir::Poly;
+
+const BufferSpec* KernelContract::buffer_for(const std::string& param) const {
+  for (const BufferSpec& b : buffers)
+    if (b.param == param) return &b;
+  return nullptr;
+}
+
+const ParamFacts* KernelContract::facts_for(const std::string& param) const {
+  for (const ParamFacts& f : facts)
+    if (f.name == param) return &f;
+  return nullptr;
+}
+
+KernelContract contract_for(KernelKind kind, BLayout layout,
+                            const transform::CGenParams& params,
+                            const ir::Kernel& kernel) {
+  KernelContract c;
+  for (const ir::Param& p : kernel.params())
+    c.args.push_back({p.name, p.type == ir::ScalarType::kF64});
+
+  auto v = [](const char* n) { return Poly::variable(n); };
+
+  switch (kind) {
+    case KernelKind::kGemm:
+      // C[j*ldc+i] += sum_l A[l*mc+i] * B_elem(l,j), i<mc, j<nc, l<kc.
+      // The blocked drivers pad/partition so the register tile divides the
+      // block (unroll&jam rejects anything else) and call with the full C
+      // leading dimension, so mc <= ldc.
+      (void)layout;  // row-panel B[l*nc+j] and col-major B[j*kc+l] have the
+                     // same kc*nc footprint.
+      c.facts.push_back({"mc", params.mr, v("ldc")});
+      c.facts.push_back({"nc", params.nr, std::nullopt});
+      c.facts.push_back({"kc", 1, std::nullopt});
+      c.facts.push_back({"ldc", 1, std::nullopt});
+      c.buffers.push_back({"A", v("mc") * v("kc"), false});
+      c.buffers.push_back({"B", v("kc") * v("nc"), false});
+      c.buffers.push_back({"C", v("ldc") * v("nc"), true});
+      break;
+    case KernelKind::kGemv:
+      // y[j] += A[i*lda+j] * x[i], i<n, j<m, A column-major: m <= lda.
+      c.facts.push_back({"m", 1, v("lda")});
+      c.facts.push_back({"n", 1, std::nullopt});
+      c.facts.push_back({"lda", 1, std::nullopt});
+      c.buffers.push_back({"A", v("lda") * v("n"), false});
+      c.buffers.push_back({"x", v("n"), false});
+      c.buffers.push_back({"y", v("m"), true});
+      break;
+    case KernelKind::kAxpy:
+      c.facts.push_back({"n", 1, std::nullopt});
+      c.buffers.push_back({"x", v("n"), false});
+      c.buffers.push_back({"y", v("n"), true});
+      break;
+    case KernelKind::kDot:
+      c.facts.push_back({"n", 1, std::nullopt});
+      c.buffers.push_back({"x", v("n"), false});
+      c.buffers.push_back({"y", v("n"), false});
+      break;
+    case KernelKind::kScal:
+      c.facts.push_back({"n", 1, std::nullopt});
+      c.buffers.push_back({"x", v("n"), true});
+      break;
+  }
+  return c;
+}
+
+}  // namespace augem::analysis

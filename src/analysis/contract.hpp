@@ -1,0 +1,61 @@
+#pragma once
+// Caller-side contracts for the generated kernels.
+//
+// The symbolic bounds pass (analysis/bounds) proves that every memory
+// access of a generated kernel stays inside the caller's buffers. The
+// buffers and the arithmetic facts that make those proofs possible are not
+// inferable from the machine code — they are the ABI documented in
+// frontend/kernels.hpp plus the guarantees the blocked drivers give their
+// inner kernels (e.g. `mc % mr == 0`, `mc <= ldc`). A KernelContract states
+// them explicitly per kernel kind.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frontend/kernels.hpp"
+#include "ir/affine.hpp"
+#include "ir/kernel.hpp"
+#include "transform/ckernel.hpp"
+
+namespace augem::analysis {
+
+/// Facts about one integer parameter, used during bound elimination.
+struct ParamFacts {
+  std::string name;
+  std::int64_t divisible_by = 1;       ///< e.g. mc % mr == 0
+  std::optional<ir::Poly> upper_bound; ///< e.g. mc <= ldc
+};
+
+/// One caller buffer reachable through a pointer parameter.
+struct BufferSpec {
+  std::string param;      ///< pointer parameter name ("A", "x", …)
+  ir::Poly extent_elems;  ///< number of doubles the caller guarantees
+  bool writable = false;  ///< stores allowed (C, y) or read-only (A, B, x)
+};
+
+/// One kernel parameter in ABI order.
+struct ArgSpec {
+  std::string name;
+  bool is_f64 = false;  ///< SSE class (xmm0-7); else INTEGER class
+};
+
+struct KernelContract {
+  std::vector<ArgSpec> args;       ///< ABI order (= ir::Kernel param order)
+  std::vector<ParamFacts> facts;   ///< integer-parameter facts
+  std::vector<BufferSpec> buffers;
+
+  const BufferSpec* buffer_for(const std::string& param) const;
+  const ParamFacts* facts_for(const std::string& param) const;
+};
+
+/// Builds the contract for one generated kernel configuration. `params`
+/// supplies the register-tile divisibility the blocked drivers guarantee
+/// (GEMM is always called with mc % mr == 0 and nc % nr == 0).
+KernelContract contract_for(frontend::KernelKind kind,
+                            frontend::BLayout layout,
+                            const transform::CGenParams& params,
+                            const ir::Kernel& kernel);
+
+}  // namespace augem::analysis

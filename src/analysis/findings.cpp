@@ -1,0 +1,72 @@
+#include "analysis/findings.hpp"
+
+#include <sstream>
+
+namespace augem::analysis {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+std::size_t AnalysisReport::count(Severity s) const {
+  std::size_t n = 0;
+  for (const Finding& f : findings)
+    if (f.severity == s) ++n;
+  return n;
+}
+
+std::string AnalysisReport::to_string(const opt::MInstList& insts) const {
+  std::ostringstream os;
+  for (const Finding& f : findings) {
+    os << "[" << f.index << "] " << severity_name(f.severity) << " " << f.kind
+       << ": " << f.message;
+    if (f.index < insts.size()) os << "  | " << insts[f.index].to_string();
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::ostringstream os;
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
+std::string AnalysisReport::to_json(const opt::MInstList& insts) const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i) os << ",";
+    os << "{\"index\":" << f.index << ",\"severity\":\""
+       << severity_name(f.severity) << "\",\"kind\":\"" << json_escape(f.kind)
+       << "\",\"message\":\"" << json_escape(f.message) << "\"";
+    if (f.index < insts.size())
+      os << ",\"inst\":\"" << json_escape(insts[f.index].to_string()) << "\"";
+    os << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace augem::analysis

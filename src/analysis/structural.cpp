@@ -1,0 +1,185 @@
+#include "analysis/passes.hpp"
+
+#include <set>
+#include <string>
+
+namespace augem::analysis {
+
+using opt::Gpr;
+using opt::MInst;
+using opt::MInstList;
+using opt::MOp;
+using opt::Vr;
+
+namespace {
+
+bool requires_vdst(MOp op) {
+  switch (op) {
+    case MOp::kVZero:
+    case MOp::kVLoad:
+    case MOp::kVBroadcast:
+    case MOp::kVMov:
+    case MOp::kVMul:
+    case MOp::kVAdd:
+    case MOp::kVFma231:
+    case MOp::kVFma4:
+    case MOp::kVShuf:
+    case MOp::kVPerm128:
+    case MOp::kVBlend:
+    case MOp::kVExtractHigh:
+    case MOp::kFLoad:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool requires_mem(MOp op) {
+  switch (op) {
+    case MOp::kVLoad:
+    case MOp::kVStore:
+    case MOp::kVBroadcast:
+    case MOp::kFLoad:
+    case MOp::kFStore:
+    case MOp::kILoad:
+    case MOp::kIStore:
+    case MOp::kIAddMem:
+    case MOp::kISubMem:
+    case MOp::kIMulMem:
+    case MOp::kLea:
+    case MOp::kPrefetch:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool two_operand_constrained(MOp op) {
+  return op == MOp::kVMul || op == MOp::kVAdd || op == MOp::kVShuf ||
+         op == MOp::kVBlend;
+}
+
+}  // namespace
+
+void run_structural_checks(const Cfg& cfg, AnalysisReport& report) {
+  const MInstList& insts = *cfg.insts;
+  auto err = [&](std::size_t i, const char* kind, const std::string& msg) {
+    report.add(i, Severity::kError, kind, msg);
+  };
+
+  // Labels.
+  std::set<std::string> labels;
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    if (insts[i].op == MOp::kLabel) {
+      if (!labels.insert(insts[i].label).second)
+        err(i, "duplicate-label", "duplicate label '" + insts[i].label + "'");
+    }
+  }
+
+  std::vector<Gpr> push_stack;
+  std::int64_t rsp_delta = 0;
+  bool saw_ret = false;
+  std::vector<Gpr> dg;
+  std::vector<Vr> dv;
+
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    const MInst& inst = insts[i];
+
+    // Operand completeness and encodings.
+    if (requires_vdst(inst.op) && inst.vdst == Vr::kNoVr)
+      err(i, "missing-operand", "missing vector destination");
+    if (requires_mem(inst.op) && !inst.mem.valid())
+      err(i, "missing-operand", "missing/invalid memory operand");
+    if (inst.width != 1 && inst.width != 2 && inst.width != 4)
+      err(i, "invalid-width",
+          "invalid vector width " + std::to_string(inst.width));
+    if (!inst.vex && inst.width == 4)
+      err(i, "vex-required", "256-bit operation without VEX encoding");
+    if ((inst.op == MOp::kVPerm128 || inst.op == MOp::kVExtractHigh) &&
+        !inst.vex)
+      err(i, "vex-required", "AVX-only operation without VEX encoding");
+    if (!inst.vex && two_operand_constrained(inst.op) &&
+        inst.vdst != inst.vsrc1)
+      err(i, "two-operand-form", "non-VEX two-operand form requires dst == src1");
+
+    if ((is_cond_jump(inst.op) || inst.op == MOp::kJmp) &&
+        labels.count(inst.label) == 0)
+      err(i, "unknown-label", "jump to unknown label '" + inst.label + "'");
+
+    // Frame discipline (linear order: the generator's prologue/epilogue are
+    // straight-line; loops never push).
+    switch (inst.op) {
+      case MOp::kPush:
+        push_stack.push_back(inst.gsrc);
+        break;
+      case MOp::kPop:
+        if (push_stack.empty()) {
+          err(i, "push-pop-mismatch", "pop without matching push");
+        } else if (push_stack.back() != inst.gdst) {
+          err(i, "push-pop-mismatch",
+              std::string("pop order mismatch: expected ") +
+                  gpr_name(push_stack.back()) + ", got " + gpr_name(inst.gdst));
+          push_stack.pop_back();
+        } else {
+          push_stack.pop_back();
+        }
+        break;
+      case MOp::kISubImm:
+        if (inst.gdst == Gpr::rsp) rsp_delta += inst.imm;
+        break;
+      case MOp::kIAddImm:
+        if (inst.gdst == Gpr::rsp) rsp_delta -= inst.imm;
+        break;
+      case MOp::kRet:
+        saw_ret = true;
+        if (!push_stack.empty())
+          err(i, "push-pop-mismatch",
+              std::to_string(push_stack.size()) +
+                  " callee-saved register(s) not restored at ret");
+        if (rsp_delta != 0)
+          err(i, "unbalanced-frame",
+              "unbalanced stack frame at ret (delta " +
+                  std::to_string(rsp_delta) + " bytes)");
+        break;
+      default: {
+        defs_of(inst, dg, dv);
+        for (Gpr g : dg)
+          if (g == Gpr::rsp)
+            err(i, "rsp-write", "unexpected write to rsp");
+        break;
+      }
+    }
+  }
+
+  if (!saw_ret && !insts.empty())
+    err(insts.size() - 1, "missing-ret", "function has no ret");
+}
+
+void run_flags_check(const Cfg& cfg, AnalysisReport& report) {
+  const MInstList& insts = *cfg.insts;
+  // Per-block scan with flags invalid at block entry. The generator always
+  // places the compare in the same block as its conditional jump (emit_loop
+  // guards and latches); requiring this is strictly stronger than the old
+  // linear rule, which let flag state leak across labels.
+  for (const BasicBlock& b : cfg.blocks) {
+    bool flags_valid = false;
+    for (std::size_t i = b.first; i < b.last; ++i) {
+      const MInst& inst = insts[i];
+      if (inst.op == MOp::kCmp || inst.op == MOp::kCmpImm) {
+        flags_valid = true;
+      } else if (is_cond_jump(inst.op)) {
+        if (!flags_valid)
+          report.add(i, Severity::kError, "flags-clobbered",
+                     "conditional jump without an immediately preceding "
+                     "compare");
+      } else if (inst.op != MOp::kComment && inst.op != MOp::kLabel &&
+                 inst.op != MOp::kPrefetch && inst.op != MOp::kJmp) {
+        // Arithmetic would clobber EFLAGS on real silicon: the generator
+        // must re-compare before every conditional jump.
+        flags_valid = false;
+      }
+    }
+  }
+}
+
+}  // namespace augem::analysis

@@ -1,0 +1,44 @@
+// Implements the opt/verifier.hpp API as a thin wrapper over the analysis
+// passes. The old straight-line verifier lived in src/opt/verifier.cpp; its
+// checks (and message wording) are subsumed by analysis/structural.cpp and
+// analysis/dataflow.cpp, which additionally run over the CFG — so GPR
+// reads-before-writes and post-loop vector reads are now caught along every
+// path, not just in emission order. Only error-severity findings become
+// VerifyIssues: warnings (dead stores, queue-reuse hazards) are advisory
+// and reported through the full analysis::analyze API or tools/mirlint.
+
+#include "opt/verifier.hpp"
+
+#include <sstream>
+
+#include "analysis/analyzer.hpp"
+#include "support/error.hpp"
+
+namespace augem::opt {
+
+std::vector<VerifyIssue> verify_machine_code(const MInstList& insts,
+                                             int num_f64_params) {
+  analysis::AnalyzeOptions options;
+  options.num_f64_params = num_f64_params;
+  const analysis::AnalysisReport report = analysis::analyze(insts, options);
+
+  std::vector<VerifyIssue> issues;
+  for (const analysis::Finding& f : report.findings)
+    if (f.severity == analysis::Severity::kError)
+      issues.push_back({f.index, f.message});
+  return issues;
+}
+
+void check_machine_code(const MInstList& insts, int num_f64_params) {
+  const std::vector<VerifyIssue> issues =
+      verify_machine_code(insts, num_f64_params);
+  if (issues.empty()) return;
+  std::ostringstream os;
+  os << "machine-code verification failed (" << issues.size() << " issue(s)):";
+  for (const VerifyIssue& vi : issues)
+    os << "\n  [" << vi.index << "] " << vi.message << "  | "
+       << insts[vi.index].to_string();
+  AUGEM_FAIL(os.str());
+}
+
+}  // namespace augem::opt

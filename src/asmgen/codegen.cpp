@@ -9,11 +9,11 @@
 #include <optional>
 #include <set>
 
+#include "analysis/analyzer.hpp"
 #include "asmgen/abi.hpp"
 #include "asmgen/printer.hpp"
 #include "ir/visit.hpp"
 #include "opt/schedule.hpp"
-#include "opt/verifier.hpp"
 #include "support/error.hpp"
 
 namespace augem::asmgen {
@@ -40,8 +40,9 @@ constexpr Gpr kScratch1 = Gpr::r11;
 
 class CodeGenerator {
  public:
-  CodeGenerator(ir::Kernel kernel, const OptConfig& config)
-      : kernel_(std::move(kernel)), config_(config) {
+  CodeGenerator(ir::Kernel kernel, const OptConfig& config,
+                const analysis::KernelContract* contract)
+      : kernel_(std::move(kernel)), config_(config), contract_(contract) {
     match_ = match::identify_templates(kernel_);
     plan_ = plan_vectorization(match_, config_);
   }
@@ -57,13 +58,17 @@ class CodeGenerator {
 
     if (config_.schedule) schedule_instructions(out_);
 
-    // Every generated kernel is statically verified before leaving the
+    // Every generated kernel is statically analyzed before leaving the
     // generator (operand completeness, encoding constraints, frame and
-    // flags discipline, initialization).
+    // flags discipline, path-sensitive initialization — and, when the
+    // caller supplies a contract, symbolic memory-bounds proofs).
     int f64_params = 0;
     for (const Param& p : kernel_.params())
       if (p.type == ScalarType::kF64) ++f64_params;
-    check_machine_code(out_, f64_params);
+    analysis::AnalyzeOptions aopts;
+    aopts.num_f64_params = f64_params;
+    aopts.contract = contract_;
+    analysis::check_clean(analysis::analyze(out_, aopts), out_);
 
     std::string text = print_function(kernel_.name(), out_);
     return GeneratedKernel{kernel_.name(),  std::move(text),
@@ -665,6 +670,7 @@ class CodeGenerator {
 
   ir::Kernel kernel_;
   OptConfig config_;
+  const analysis::KernelContract* contract_;
   match::MatchResult match_;
   VecPlan plan_;
 
@@ -686,8 +692,9 @@ class CodeGenerator {
 
 }  // namespace
 
-GeneratedKernel generate_assembly(ir::Kernel kernel, const OptConfig& config) {
-  return CodeGenerator(std::move(kernel), config).run();
+GeneratedKernel generate_assembly(ir::Kernel kernel, const OptConfig& config,
+                                  const analysis::KernelContract* contract) {
+  return CodeGenerator(std::move(kernel), config, contract).run();
 }
 
 }  // namespace augem::asmgen

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/contract.hpp"
 #include "ir/kernel.hpp"
 #include "opt/optimizers.hpp"
 #include "opt/plan.hpp"
@@ -32,8 +33,11 @@ struct GeneratedKernel {
 
 /// Runs the full machine-level pipeline on an optimized low-level C kernel:
 /// template identification, vectorization planning, template optimization,
-/// global translation, optional scheduling, and printing.
+/// global translation, optional scheduling, and printing. The result is
+/// statically analyzed (analysis/analyzer.hpp) before it is returned; with a
+/// contract the analyzer additionally proves every memory access in bounds.
 /// The kernel is taken by value: identification tags its statements.
-GeneratedKernel generate_assembly(ir::Kernel kernel, const opt::OptConfig& config);
+GeneratedKernel generate_assembly(ir::Kernel kernel, const opt::OptConfig& config,
+                                  const analysis::KernelContract* contract = nullptr);
 
 }  // namespace augem::asmgen

@@ -1,5 +1,6 @@
 #include "augem/augem.hpp"
 
+#include "analysis/contract.hpp"
 #include "support/error.hpp"
 
 namespace augem {
@@ -41,7 +42,11 @@ asmgen::GeneratedKernel generate_kernel(KernelKind kind,
                                         const GenerateOptions& options) {
   ir::Kernel k =
       transform::generate_optimized_c(kind, options.layout, options.params);
-  return asmgen::generate_assembly(std::move(k), options.config);
+  // With the calling contract in hand we can demand full memory-safety
+  // proofs at generation time, not just structural well-formedness.
+  const analysis::KernelContract contract =
+      analysis::contract_for(kind, options.layout, options.params, k);
+  return asmgen::generate_assembly(std::move(k), options.config, &contract);
 }
 
 KernelSet::KernelSet(Isa isa) {

@@ -12,6 +12,7 @@
 #include <span>
 #include <sstream>
 
+#include "analysis/analyzer.hpp"
 #include "asmgen/codegen.hpp"
 #include "augem/augem_blas.hpp"
 #include "blas/driver.hpp"
@@ -245,7 +246,10 @@ std::optional<std::string> compare_out(const char* what, const double* got,
 std::optional<std::string> check_untouched(const char* what, const Buf& buf,
                                            const std::vector<double>& before) {
   if (!buf.guard_ok()) return std::string(what) + ": guard region overwritten";
-  if (std::memcmp(buf.v.data(), before.data(),
+  // Zero-extent buffers have nothing to compare (and data() may be null,
+  // which memcmp's nonnull contract forbids even for length 0).
+  if (!before.empty() &&
+      std::memcmp(buf.v.data(), before.data(),
                   before.size() * sizeof(double)) != 0)
     return std::string(what) + ": read-only input was modified";
   return std::nullopt;
@@ -1026,6 +1030,29 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
         os << "[inst " << is.index << "] " << is.message << "; ";
       record("verifier", kin.to_string(rt.cfg.op), os.str());
       continue;  // the machine code is suspect; skip the numeric paths
+    }
+
+    // ---- full static analysis with bounds proofs --------------------------
+    // Beyond the structural verifier: prove, from the kernel contract alone,
+    // that every memory access stays inside the caller's buffers. A proof
+    // failure here is a generator bug even if every numeric path agrees.
+    ++rep.path_runs["mirlint"];
+    {
+      const analysis::KernelContract contract = analysis::contract_for(
+          rt.cfg.op, rt.cfg.layout, rt.cfg.params, rt.g->source);
+      analysis::AnalyzeOptions aopts;
+      aopts.num_f64_params = count_f64_params(rt.g->source);
+      aopts.contract = &contract;
+      const analysis::AnalysisReport ar = analysis::analyze(rt.g->insts, aopts);
+      if (ar.errors() > 0) {
+        std::ostringstream os;
+        for (const analysis::Finding& f : ar.findings)
+          if (f.severity == analysis::Severity::kError)
+            os << "[inst " << f.index << "] " << f.kind << ": " << f.message
+               << "; ";
+        record("mirlint", kin.to_string(rt.cfg.op), os.str());
+        continue;
+      }
     }
 
     const bool native = run.jit_ok && host_arch().supports(rt.cfg.isa);

@@ -3,9 +3,14 @@
 //
 // Catches code-generator bugs at generation time instead of as wrong
 // numerics later: every kernel produced by asmgen::generate_assembly is
-// verified before it is printed. The checks are conservative over the
-// control-flow structure the generator emits (reducible counted loops with
-// forward/backward conditional jumps).
+// verified before it is printed.
+//
+// This header is a compatibility facade: the implementation lives in
+// src/analysis (see analysis/analyzer.hpp), which builds a real CFG and
+// runs the checks below as dataflow passes over every path, plus — when
+// given a KernelContract — symbolic memory-bounds proofs. This API reports
+// only error-severity findings; use analysis::analyze or tools/mirlint for
+// the advisory warnings (dead stores, register-queue reuse hazards).
 
 #include <string>
 #include <vector>
@@ -34,10 +39,9 @@ struct VerifyIssue {
 ///    clobbering instruction in between (flags are not modelled through
 ///    arithmetic, which on x86 would alter them — the generator always
 ///    re-compares, and the verifier enforces that);
-///  * register initialization: along straight-line order (the generator's
-///    loops always execute their compare first), no vector register is
-///    read before something wrote it, excluding the SysV argument
-///    registers.
+///  * register initialization: along every CFG path, no vector or
+///    general-purpose register is read before something wrote it,
+///    excluding the SysV argument registers.
 std::vector<VerifyIssue> verify_machine_code(const MInstList& insts,
                                              int num_f64_params = 0);
 

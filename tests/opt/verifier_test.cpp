@@ -154,6 +154,55 @@ TEST(Verifier, ArgumentRegistersArePreinitialized) {
   EXPECT_TRUE(verify_machine_code(l).empty());
 }
 
+// Regression: the pre-CFG verifier walked instructions in emission order, so
+// a register defined only on one path looked defined everywhere. The
+// analyzer must catch a read whose definition can be jumped over.
+TEST(Verifier, GprDefinedOnlyOnOnePathFlagged) {
+  MInstList l;
+  l.push_back(imov_imm(Gpr::rax, 0));
+  l.push_back(cmp_imm(Gpr::rax, 5));
+  l.push_back(jge("skip"));
+  l.push_back(imov_imm(Gpr::rbx, 1));  // defined only on the fallthrough
+  l.push_back(label("skip"));
+  l.push_back(imov(Gpr::rcx, Gpr::rbx));  // uninitialized via the jump
+  l.push_back(ret());
+  EXPECT_TRUE(has_issue(l, "uninitialized register rbx"));
+}
+
+// Regression: a vector register written only inside a pre-guarded loop is
+// undefined after it when the loop runs zero iterations — in emission order
+// the write precedes the read, so the old verifier accepted this.
+TEST(Verifier, PostLoopReadOfLoopOnlyVectorFlagged) {
+  MInstList l;
+  l.push_back(imov_imm(Gpr::rax, 0));
+  l.push_back(cmp_imm(Gpr::rax, 5));
+  l.push_back(jge("end"));  // zero-trip path skips the body entirely
+  l.push_back(label("body"));
+  l.push_back(vzero(Vr::v3, 2, true));
+  l.push_back(iadd_imm(Gpr::rax, 1));
+  l.push_back(cmp_imm(Gpr::rax, 5));
+  l.push_back(jl("body"));
+  l.push_back(label("end"));
+  l.push_back(vmov(Vr::v1, Vr::v3, 2, true));
+  l.push_back(ret());
+  EXPECT_TRUE(has_issue(l, "uninitialized vector register"));
+}
+
+// The dual: a definition that dominates the read through both paths of a
+// diamond must NOT be flagged (no straight-line false positive either).
+TEST(Verifier, DominatingDefinitionAcrossJoinPasses) {
+  MInstList l;
+  l.push_back(imov_imm(Gpr::rbx, 1));  // dominates everything below
+  l.push_back(imov_imm(Gpr::rax, 0));
+  l.push_back(cmp_imm(Gpr::rax, 5));
+  l.push_back(jge("skip"));
+  l.push_back(iadd_imm(Gpr::rbx, 1));
+  l.push_back(label("skip"));
+  l.push_back(imov(Gpr::rcx, Gpr::rbx));
+  l.push_back(ret());
+  EXPECT_TRUE(verify_machine_code(l).empty());
+}
+
 TEST(Verifier, CheckThrowsWithIndexedMessages) {
   MInstList l;
   l.push_back(push(Gpr::rbx));

@@ -1,0 +1,305 @@
+// mirlint — static analyzer for AUGEM-generated machine kernels.
+//
+// Generates a kernel exactly as augemc would, then runs the full analysis
+// pipeline (analysis/analyzer.hpp) on its machine IR: CFG construction,
+// structural and encoding checks, flag liveness, path-sensitive definite
+// assignment, dead-store and register-queue-reuse detection, and symbolic
+// memory-bounds proofs against the kernel's calling contract.
+//
+//   mirlint [options]
+//     --kernel gemm|gemv|axpy|dot|scal   kernel to analyze (default gemm)
+//     --isa sse2|avx|fma3|fma4           target ISA (default fma3)
+//     --layout rowpanel|colmajor         packed-B layout (GEMM)
+//     --strategy vdup|shuf|scalar|auto   vectorization strategy
+//     --mr N --nr N --ku N --unroll N    tile / unroll parameters
+//     --prefetch N | --no-prefetch       software prefetching
+//     --no-schedule                      disable instruction scheduling
+//     --no-bounds                        skip the symbolic bounds pass
+//     --text                             human-readable findings (default JSON)
+//     --sweep                            analyze the full op x layout x ISA x
+//                                        strategy x tile grid; print a summary
+//     --help
+//
+// Exit status: 0 when no error-severity findings, 1 otherwise (warnings
+// alone — dead stores, queue-reuse hazards, long prefetches — exit 0).
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "asmgen/codegen.hpp"
+#include "frontend/kernels.hpp"
+#include "opt/plan.hpp"
+#include "support/error.hpp"
+#include "transform/ckernel.hpp"
+
+namespace {
+
+using namespace augem;
+using frontend::BLayout;
+using frontend::KernelKind;
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(code == 0 ? stdout : stderr, R"(mirlint — machine-IR static analyzer
+usage: mirlint [--kernel K] [--isa I] [config options] [--text] [--sweep]
+  --kernel gemm|gemv|axpy|dot|scal    (default gemm)
+  --isa sse2|avx|fma3|fma4            (default fma3)
+  --layout rowpanel|colmajor
+  --strategy vdup|shuf|scalar|auto
+  --mr N --nr N --ku N --unroll N
+  --prefetch DIST | --no-prefetch
+  --no-schedule   disable instruction scheduling
+  --no-bounds     skip the symbolic memory-bounds pass
+  --text          human-readable findings instead of JSON
+  --sweep         analyze every op x layout x ISA x strategy x tile config
+exit: 0 = no errors (warnings allowed), 1 = error findings or bad usage
+)");
+  std::exit(code);
+}
+
+std::optional<KernelKind> parse_kernel(const std::string& s) {
+  for (KernelKind k : {KernelKind::kGemm, KernelKind::kGemv, KernelKind::kAxpy,
+                       KernelKind::kDot, KernelKind::kScal})
+    if (s == frontend::kernel_kind_name(k)) return k;
+  return std::nullopt;
+}
+
+std::optional<Isa> parse_isa(const std::string& s) {
+  for (Isa i : {Isa::kSse2, Isa::kAvx, Isa::kFma3, Isa::kFma4}) {
+    std::string name = isa_name(i);
+    for (char& c : name) c = static_cast<char>(std::tolower(c));
+    if (s == name) return i;
+  }
+  return std::nullopt;
+}
+
+struct Case {
+  KernelKind op = KernelKind::kGemm;
+  BLayout layout = BLayout::kRowPanel;
+  opt::OptConfig config;
+  transform::CGenParams params;
+
+  std::string to_string() const {
+    std::string s = frontend::kernel_kind_name(op);
+    s += " [";
+    s += isa_name(config.isa);
+    s += ", ";
+    s += vec_strategy_name(config.strategy);
+    if (op == KernelKind::kGemm) {
+      s += layout == BLayout::kRowPanel ? ", rowpanel" : ", colmajor";
+    }
+    s += ", ";
+    s += params.to_string();
+    s += "]";
+    return s;
+  }
+};
+
+/// Generates and analyzes one configuration. Returns the number of
+/// error-severity findings (a generation-time verifier throw counts as one).
+int analyze_case(const Case& c, bool with_bounds, bool as_text, bool print) {
+  asmgen::GeneratedKernel gen = [&] {
+    // Generate WITHOUT a contract: the analyzer below is the one reporting,
+    // so generation-time bounds failures don't abort before we can print.
+    ir::Kernel k = transform::generate_optimized_c(c.op, c.layout, c.params);
+    return asmgen::generate_assembly(std::move(k), c.config);
+  }();
+
+  int f64_params = 0;
+  for (const ir::Param& p : gen.source.params())
+    if (p.type == ir::ScalarType::kF64) ++f64_params;
+
+  const analysis::KernelContract contract =
+      analysis::contract_for(c.op, c.layout, c.params, gen.source);
+  analysis::AnalyzeOptions aopts;
+  aopts.num_f64_params = f64_params;
+  if (with_bounds) aopts.contract = &contract;
+
+  const analysis::AnalysisReport report = analysis::analyze(gen.insts, aopts);
+  if (print) {
+    if (as_text)
+      std::fputs(report.to_string(gen.insts).c_str(), stdout);
+    else
+      std::fputs(report.to_json(gen.insts).c_str(), stdout);
+  }
+  return static_cast<int>(report.errors());
+}
+
+int run_sweep(bool with_bounds) {
+  int analyzed = 0, rejected = 0, errors = 0, warnings = 0, failed_cases = 0;
+  auto visit = [&](const Case& c) {
+    try {
+      ir::Kernel k = transform::generate_optimized_c(c.op, c.layout, c.params);
+      asmgen::GeneratedKernel gen =
+          asmgen::generate_assembly(std::move(k), c.config);
+
+      int f64_params = 0;
+      for (const ir::Param& p : gen.source.params())
+        if (p.type == ir::ScalarType::kF64) ++f64_params;
+      const analysis::KernelContract contract =
+          analysis::contract_for(c.op, c.layout, c.params, gen.source);
+      analysis::AnalyzeOptions aopts;
+      aopts.num_f64_params = f64_params;
+      if (with_bounds) aopts.contract = &contract;
+
+      const analysis::AnalysisReport report =
+          analysis::analyze(gen.insts, aopts);
+      ++analyzed;
+      warnings += static_cast<int>(report.count(analysis::Severity::kWarning));
+      if (report.errors() > 0) {
+        ++failed_cases;
+        errors += static_cast<int>(report.errors());
+        std::printf("FAIL %s\n", c.to_string().c_str());
+        for (const analysis::Finding& f : report.findings)
+          if (f.severity == analysis::Severity::kError)
+            std::printf("  [%zu] %s: %s\n", f.index, f.kind.c_str(),
+                        f.message.c_str());
+      }
+    } catch (const Error& e) {
+      // Planner / register-allocator rejections are expected out-of-domain
+      // outcomes; a verification failure inside generation is a real error.
+      if (std::strstr(e.what(), "machine-code verification failed") !=
+          nullptr) {
+        ++failed_cases;
+        ++errors;
+        std::printf("FAIL %s\n  generation-time verification: %s\n",
+                    c.to_string().c_str(), e.what());
+      } else {
+        ++rejected;
+      }
+    }
+  };
+
+  const Isa isas[] = {Isa::kSse2, Isa::kAvx, Isa::kFma3, Isa::kFma4};
+  const opt::VecStrategy strategies[] = {
+      opt::VecStrategy::kVdup, opt::VecStrategy::kShuf,
+      opt::VecStrategy::kScalar, opt::VecStrategy::kAuto};
+
+  for (Isa isa : isas) {
+    const int w = isa_vector_doubles(isa);
+    for (opt::VecStrategy strat : strategies) {
+      // GEMM: both layouts, a grid of register tiles and inner unrolls.
+      for (BLayout layout : {BLayout::kRowPanel, BLayout::kColMajor}) {
+        for (const auto& [mr, nr] : {std::pair{w, w},       {2 * w, w},
+                                     std::pair{2 * w, 2 * w}, {4 * w, w},
+                                     std::pair{w, 2 * w}}) {
+          for (int ku : {1, 2, 4}) {
+            for (bool pf : {false, true}) {
+              Case c;
+              c.op = KernelKind::kGemm;
+              c.layout = layout;
+              c.config.isa = isa;
+              c.config.strategy = strat;
+              c.params.mr = mr;
+              c.params.nr = nr;
+              c.params.ku = ku;
+              c.params.prefetch.enabled = pf;
+              visit(c);
+            }
+          }
+        }
+      }
+      // Level-1/2 kernels: unroll grid.
+      for (KernelKind op : {KernelKind::kGemv, KernelKind::kAxpy,
+                            KernelKind::kDot, KernelKind::kScal}) {
+        for (int unroll : {1, 2, w, 2 * w, 4 * w}) {
+          for (bool pf : {false, true}) {
+            Case c;
+            c.op = op;
+            c.config.isa = isa;
+            c.config.strategy = strat;
+            c.params.unroll = unroll;
+            c.params.prefetch.enabled = pf;
+            visit(c);
+          }
+        }
+      }
+    }
+  }
+
+  std::printf(
+      "mirlint sweep: %d configs analyzed, %d rejected (out of domain), "
+      "%d warning(s), %d error finding(s) in %d config(s)\n",
+      analyzed, rejected, warnings, errors, failed_cases);
+  return errors > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Case c;
+  c.config.isa = Isa::kFma3;
+  bool with_bounds = true;
+  bool as_text = false;
+  bool sweep = false;
+
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      usage(1);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else if (arg == "--kernel") {
+      const auto k = parse_kernel(need_value(i));
+      if (!k) usage(1);
+      c.op = *k;
+    } else if (arg == "--isa") {
+      const auto isa = parse_isa(need_value(i));
+      if (!isa) usage(1);
+      c.config.isa = *isa;
+    } else if (arg == "--layout") {
+      const std::string v = need_value(i);
+      if (v == "rowpanel") c.layout = BLayout::kRowPanel;
+      else if (v == "colmajor") c.layout = BLayout::kColMajor;
+      else usage(1);
+    } else if (arg == "--strategy") {
+      const std::string v = need_value(i);
+      if (v == "vdup") c.config.strategy = opt::VecStrategy::kVdup;
+      else if (v == "shuf") c.config.strategy = opt::VecStrategy::kShuf;
+      else if (v == "scalar") c.config.strategy = opt::VecStrategy::kScalar;
+      else if (v == "auto") c.config.strategy = opt::VecStrategy::kAuto;
+      else usage(1);
+    } else if (arg == "--mr") {
+      c.params.mr = std::stoi(need_value(i));
+    } else if (arg == "--nr") {
+      c.params.nr = std::stoi(need_value(i));
+    } else if (arg == "--ku") {
+      c.params.ku = std::stoi(need_value(i));
+    } else if (arg == "--unroll") {
+      c.params.unroll = std::stoi(need_value(i));
+    } else if (arg == "--prefetch") {
+      c.params.prefetch.enabled = true;
+      c.params.prefetch.distance = std::stoi(need_value(i));
+    } else if (arg == "--no-prefetch") {
+      c.params.prefetch.enabled = false;
+    } else if (arg == "--no-schedule") {
+      c.config.schedule = false;
+    } else if (arg == "--no-bounds") {
+      with_bounds = false;
+    } else if (arg == "--text") {
+      as_text = true;
+    } else if (arg == "--sweep") {
+      sweep = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(1);
+    }
+  }
+
+  try {
+    if (sweep) return run_sweep(with_bounds);
+    return analyze_case(c, with_bounds, as_text, /*print=*/true) > 0 ? 1 : 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "mirlint: %s\n", e.what());
+    return 1;
+  }
+}
