@@ -1,0 +1,151 @@
+// Serving cost of the kernel runtime (docs/runtime.md): how much latency
+// the dispatch layers add to a BLAS call, stage by stage.
+//
+//   cold_resolve      empty cache dir: tuner + generate + assemble + store
+//   db_warm_resolve   fresh process, same dir: database hit, build only
+//   code_cache_hit    resolve again inside one runtime: in-memory hit
+//   dispatched_call   full runtime-BLAS DGEMM call, warm caches
+//   direct_call       same problem through a pre-resolved kernel (floor)
+//
+// One JSON object per line, like the scaling benchmarks, plus a table.
+// The cold rows use the real per-shape tuning workload, so they show the
+// cost `augem_tunedb prewarm` amortizes away; set AUGEM_BENCH_QUICK=1 to
+// use the reduced CI workload instead.
+
+#include "common.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "blas/driver.hpp"
+#include "runtime/runtime_blas.hpp"
+
+namespace {
+
+using namespace augem;
+using namespace augem::bench;
+namespace rt = augem::runtime;
+
+rt::RuntimeConfig dir_config(const std::string& dir) {
+  rt::RuntimeConfig cfg;
+  cfg.cache_dir = dir;
+  cfg.use_persistent = true;
+  if (const char* env = std::getenv("AUGEM_BENCH_QUICK");
+      env != nullptr && env[0] == '1') {
+    tuning::TuneWorkload w;
+    w.mc = 32;
+    w.nc = 32;
+    w.kc = 64;
+    w.vec_len = 2048;
+    w.reps = 1;
+    cfg.workload_override = w;
+  }
+  return cfg;
+}
+
+void print_json(const char* stage, const char* kind, double ms) {
+  std::printf("{\"bench\":\"dispatch_overhead\",\"stage\":\"%s\","
+              "\"kind\":\"%s\",\"ms\":%.6f}\n",
+              stage, kind, ms);
+}
+
+void print_row(const char* stage, const char* kind, double ms) {
+  std::printf("%-18s %-5s %14.3f ms\n", stage, kind, ms);
+}
+
+}  // namespace
+
+int main() {
+  print_platform("Dispatch overhead: kernel-runtime serving cost per stage");
+
+  char dir_template[] = "/tmp/augem_bench_dispatch_XXXXXX";
+  const char* dir = mkdtemp(dir_template);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+
+  const struct {
+    frontend::KernelKind kind;
+    const char* name;
+  } kinds[] = {{frontend::KernelKind::kGemm, "gemm"},
+               {frontend::KernelKind::kGemv, "gemv"},
+               {frontend::KernelKind::kAxpy, "axpy"},
+               {frontend::KernelKind::kDot, "dot"}};
+  const rt::ShapeClass shape = rt::ShapeClass::kLarge;
+
+  std::vector<std::pair<std::string, double>> rows;
+  auto record = [&](const char* stage, const char* kind, double ms) {
+    print_row(stage, kind, ms);
+    rows.emplace_back(std::string(stage) + "/" + kind, ms);
+    print_json(stage, kind, ms);
+  };
+
+  // Stage 1+2: resolve latency, cold then database-warm. The second
+  // runtime replays the database the first one wrote, so its resolve
+  // skips the tuner but still generates + assembles.
+  rt::KernelRuntime cold(dir_config(dir));
+  for (const auto& k : kinds) {
+    Timer t;
+    (void)cold.resolve(k.kind, shape);
+    record("cold_resolve", k.name, t.elapsed_s() * 1e3);
+  }
+  rt::KernelRuntime warm(dir_config(dir));
+  for (const auto& k : kinds) {
+    Timer t;
+    (void)warm.resolve(k.kind, shape);
+    record("db_warm_resolve", k.name, t.elapsed_s() * 1e3);
+  }
+
+  // Stage 3: in-memory hit. Mean over many calls — a single hit is below
+  // timer resolution.
+  for (const auto& k : kinds) {
+    const int reps = 10000;
+    Timer t;
+    for (int i = 0; i < reps; ++i) (void)warm.resolve(k.kind, shape);
+    record("code_cache_hit", k.name, t.elapsed_s() * 1e3 / reps);
+  }
+
+  // Stage 4 vs floor: a dispatched DGEMM call with every cache warm,
+  // against the same problem through the already-resolved kernel. The
+  // difference is the steady-state tax of going through the runtime.
+  {
+    const blas::index_t mn = 256;
+    Rng rng(17);
+    DoubleBuffer a(static_cast<std::size_t>(mn * mn));
+    DoubleBuffer b(static_cast<std::size_t>(mn * mn));
+    DoubleBuffer c(static_cast<std::size_t>(mn * mn));
+    rng.fill(a.span());
+    rng.fill(b.span());
+
+    auto lib = rt::make_runtime_blas(warm);
+    auto dispatched = [&] {
+      lib->gemm(blas::Trans::kNo, blas::Trans::kNo, mn, mn, mn, 1.0, a.data(),
+                mn, b.data(), mn, 0.0, c.data(), mn);
+    };
+    dispatched();  // warm every cache on this exact shape class
+    record("dispatched_call", "gemm",
+           time_mean_of(bench_reps(), dispatched) * 1e3);
+
+    const auto kernel =
+        warm.resolve(frontend::KernelKind::kGemm,
+                     rt::classify_gemm_shape(mn, mn, mn));
+    const auto ctx = blas::serial_gemm_context(
+        blas::block_sizes_for_shape(host_arch(), mn, mn, mn));
+    const auto block_fn = padded_gemm_block_kernel(
+        kernel->fn<KernelSet::GemmFn>(), kernel->mr, kernel->nr);
+    auto direct = [&] {
+      blas::blocked_gemm(blas::Trans::kNo, blas::Trans::kNo, mn, mn, mn, 1.0,
+                         a.data(), mn, b.data(), mn, 0.0, c.data(), mn, ctx,
+                         block_fn);
+    };
+    direct();
+    record("direct_call", "gemm", time_mean_of(bench_reps(), direct) * 1e3);
+  }
+
+  rt::TuningDatabase(dir).purge();
+  ::remove(dir);
+  return 0;
+}

@@ -34,37 +34,20 @@ class AugemBlas final : public blas::Blas {
 
   void gemv(index_t m, index_t n, double alpha, const double* a, index_t lda,
             const double* x, double beta, double* y) override {
-    // beta == 0 must overwrite (beta_scale), not multiply: `y[i] *= beta`
-    // would keep NaN/Inf from an uninitialized y alive. alpha == 0 leaves
-    // y at beta*y without ever reading A or x (netlib dgemv).
-    blas::beta_scale(y, m, beta);
-    if (m <= 0 || n <= 0 || alpha == 0.0) return;
-    if (alpha == 1.0) {
-      kernels_->gemv()(m, n, a, lda, x, y);
-      return;
-    }
-    // The generated kernel computes y += A*x; fold alpha into a scaled x.
-    std::vector<double> xs(static_cast<std::size_t>(n));
-    for (index_t j = 0; j < n; ++j) xs[static_cast<std::size_t>(j)] = alpha * x[j];
-    kernels_->gemv()(m, n, a, lda, xs.data(), y);
+    gemv_with_blas_semantics(kernels_->gemv(), m, n, alpha, a, lda, x, beta,
+                             y);
   }
 
   void axpy(index_t n, double alpha, const double* x, double* y) override {
-    if (alpha == 0.0) return;  // netlib daxpy: y untouched, even for NaN x
-    if (n > 0) kernels_->axpy()(n, alpha, x, y);
+    axpy_with_blas_semantics(kernels_->axpy(), n, alpha, x, y);
   }
 
   double dot(index_t n, const double* x, const double* y) override {
-    return n > 0 ? kernels_->dot()(n, x, y) : 0.0;
+    return dot_with_blas_semantics(kernels_->dot(), n, x, y);
   }
 
   void scal(index_t n, double alpha, double* x) override {
-    if (n <= 0) return;
-    if (alpha == 0.0) {  // overwrite: scal-to-zero must clear NaN/Inf
-      std::fill(x, x + n, 0.0);
-      return;
-    }
-    kernels_->scal()(n, alpha, x);
+    scal_with_blas_semantics(kernels_->scal(), n, alpha, x);
   }
 
  private:
@@ -73,6 +56,46 @@ class AugemBlas final : public blas::Blas {
 };
 
 }  // namespace
+
+void gemv_with_blas_semantics(KernelSet::GemvFn* fn, index_t m, index_t n,
+                              double alpha, const double* a, index_t lda,
+                              const double* x, double beta, double* y) {
+  // beta == 0 must overwrite (beta_scale), not multiply: `y[i] *= beta`
+  // would keep NaN/Inf from an uninitialized y alive. alpha == 0 leaves
+  // y at beta*y without ever reading A or x (netlib dgemv).
+  blas::beta_scale(y, m, beta);
+  if (m <= 0 || n <= 0 || alpha == 0.0) return;
+  if (alpha == 1.0) {
+    fn(m, n, a, lda, x, y);
+    return;
+  }
+  // The generated kernel computes y += A*x; fold alpha into a scaled x.
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j)
+    xs[static_cast<std::size_t>(j)] = alpha * x[j];
+  fn(m, n, a, lda, xs.data(), y);
+}
+
+void axpy_with_blas_semantics(KernelSet::AxpyFn* fn, index_t n, double alpha,
+                              const double* x, double* y) {
+  if (alpha == 0.0) return;  // netlib daxpy: y untouched, even for NaN x
+  if (n > 0) fn(n, alpha, x, y);
+}
+
+double dot_with_blas_semantics(KernelSet::DotFn* fn, index_t n,
+                               const double* x, const double* y) {
+  return n > 0 ? fn(n, x, y) : 0.0;
+}
+
+void scal_with_blas_semantics(KernelSet::ScalFn* fn, index_t n, double alpha,
+                              double* x) {
+  if (n <= 0) return;
+  if (alpha == 0.0) {  // overwrite: scal-to-zero must clear NaN/Inf
+    std::fill(x, x + n, 0.0);
+    return;
+  }
+  fn(n, alpha, x);
+}
 
 blas::BlockKernel padded_gemm_block_kernel(GemmBlockFn fn, index_t mr,
                                            index_t nr) {

@@ -31,6 +31,34 @@ using GemmBlockFn = std::function<void(long mc, long nc, long kc,
 blas::BlockKernel padded_gemm_block_kernel(GemmBlockFn fn, blas::index_t mr,
                                            blas::index_t nr);
 
+// ---- netlib-semantics wrappers around the raw generated kernels ----------
+//
+// The generated functions are pure accumulate/compute loops (y += A*x,
+// y += alpha*x, …); the BLAS edge rules — beta == 0 overwrites, alpha == 0
+// never reads the inputs, non-positive extents are no-ops — live here so
+// every Blas built on generated kernels (the classic KernelSet-backed one
+// and the dispatching runtime one) shares one audited implementation
+// (docs/correctness.md).
+
+/// y = alpha*A*x + beta*y around a `y += A*x` kernel.
+void gemv_with_blas_semantics(KernelSet::GemvFn* fn, blas::index_t m,
+                              blas::index_t n, double alpha, const double* a,
+                              blas::index_t lda, const double* x, double beta,
+                              double* y);
+
+/// y += alpha*x around a `y += alpha*x` kernel (alpha == 0 leaves y
+/// untouched even for NaN x — netlib daxpy).
+void axpy_with_blas_semantics(KernelSet::AxpyFn* fn, blas::index_t n,
+                              double alpha, const double* x, double* y);
+
+/// dot(x, y); n <= 0 returns 0 without calling the kernel.
+double dot_with_blas_semantics(KernelSet::DotFn* fn, blas::index_t n,
+                               const double* x, const double* y);
+
+/// x *= alpha; alpha == 0 overwrites with zeros (clears NaN/Inf).
+void scal_with_blas_semantics(KernelSet::ScalFn* fn, blas::index_t n,
+                              double alpha, double* x);
+
 /// Builds an AUGEM BLAS for the host's best natively executable ISA with
 /// default (untuned) kernel configurations. GEMM runs on the global thread
 /// pool (AUGEM_NUM_THREADS or all detected cores; 1 → the serial driver).

@@ -26,6 +26,35 @@ BlockSizes default_block_sizes(const CpuArch& arch) {
   return s;
 }
 
+BlockSizes block_sizes_for_shape(const CpuArch& arch, index_t m, index_t n,
+                                 index_t k) {
+  BlockSizes s = default_block_sizes(arch);
+  // Clamp to the problem, rounded up to the 8-granule every generated
+  // register tile divides: packing scratch shrinks from cache-sized to
+  // problem-sized, and the macro loops make exactly one trip per clamped
+  // dimension.
+  const auto clamp_to = [](index_t block, index_t extent) {
+    if (extent <= 0) return std::min<index_t>(block, 8);
+    return std::min(block, (extent + 7) / 8 * 8);
+  };
+  s.mc = clamp_to(s.mc, m);
+  s.nc = clamp_to(s.nc, n);
+  s.kc = clamp_to(s.kc, k);
+  return s;
+}
+
+GemmContext gemm_context_for_shape(const CpuArch& arch, index_t m, index_t n,
+                                   index_t k) {
+  const BlockSizes sizes = block_sizes_for_shape(arch, m, n, k);
+  // Threading repays its pool wake + barrier only past a work threshold;
+  // 2mnk flops below ~16 MFLOP run serial (the crossover every scaling
+  // bench on the CI class machines shows is in the 1-64 MFLOP decade).
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(k);
+  if (flops < 16.0e6) return serial_gemm_context(sizes);
+  return threaded_gemm_context(sizes);
+}
+
 GemmContext serial_gemm_context(const BlockSizes& sizes) {
   GemmContext ctx;
   ctx.sizes = sizes;

@@ -54,6 +54,21 @@ struct GemmContext {
   index_t jr_granule = 8;     ///< jr split alignment, ≥ the kernel tile width
 };
 
+/// Shape-aware blocking for the dispatching runtime (docs/runtime.md):
+/// starts from default_block_sizes(arch) and clamps each block to the
+/// problem extent (rounded up to the register-tile granule), so a small or
+/// skinny GEMM never packs panels sized for the cache-blocked regime.
+BlockSizes block_sizes_for_shape(const CpuArch& arch, index_t m, index_t n,
+                                 index_t k);
+
+/// Execution context for one (m, n, k) problem on `arch`: shape-clamped
+/// block sizes, and a serial macro loop for problems too small to repay a
+/// pool wake (threading is a per-call decision, not a per-library one).
+/// The threaded and serial paths are bit-identical, so this only affects
+/// speed.
+GemmContext gemm_context_for_shape(const CpuArch& arch, index_t m, index_t n,
+                                   index_t k);
+
 /// Serial context (bit-identical to the historical single-core driver).
 GemmContext serial_gemm_context(const BlockSizes& sizes);
 

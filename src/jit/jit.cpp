@@ -3,11 +3,11 @@
 #include <dlfcn.h>
 #include <unistd.h>
 
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
-#include <sstream>
+#include <vector>
 
 #include "support/error.hpp"
 
@@ -44,13 +44,21 @@ const std::string& CompiledModule::so_path() const { return impl_->so_path; }
 
 namespace {
 
-std::string temp_base() {
-  static std::atomic<int> counter{0};
+/// Creates (and keeps) a fresh empty file `<tmpdir>/augem_jit_XXXXXX<suffix>`
+/// and returns its path. mkstemps makes the creation atomic and exclusive
+/// (O_CREAT|O_EXCL on a kernel-randomized name), so concurrent processes —
+/// or a PID-reusing successor of a crashed one — sharing the temp directory
+/// can never collide on a path the way a pid+counter scheme could.
+std::string make_temp_file(const char* suffix) {
   const char* dir = std::getenv("TMPDIR");
-  std::ostringstream os;
-  os << (dir != nullptr ? dir : "/tmp") << "/augem_jit_" << getpid() << "_"
-     << counter.fetch_add(1);
-  return os.str();
+  std::string tmpl = std::string(dir != nullptr && dir[0] != '\0' ? dir : "/tmp") +
+                     "/augem_jit_XXXXXX" + suffix;
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const int fd = mkstemps(buf.data(), static_cast<int>(std::strlen(suffix)));
+  AUGEM_CHECK(fd >= 0, "cannot create temp file " << tmpl);
+  close(fd);
+  return std::string(buf.data());
 }
 
 /// Runs a shell command, capturing combined output; returns exit status.
@@ -67,9 +75,8 @@ int run_command(const std::string& cmd, std::string& output) {
 
 CompiledModule assemble(const std::string& asm_text) {
   auto impl = std::make_unique<CompiledModule::Impl>();
-  const std::string base = temp_base();
-  impl->s_path = base + ".s";
-  impl->so_path = base + ".so";
+  impl->s_path = make_temp_file(".s");
+  impl->so_path = make_temp_file(".so");
 
   {
     std::ofstream out(impl->s_path);
@@ -93,9 +100,8 @@ CompiledModule assemble(const std::string& asm_text) {
 
 CompiledModule compile_c(const std::string& c_text, const std::string& flags) {
   auto impl = std::make_unique<CompiledModule::Impl>();
-  const std::string base = temp_base();
-  impl->s_path = base + ".c";
-  impl->so_path = base + ".so";
+  impl->s_path = make_temp_file(".c");
+  impl->so_path = make_temp_file(".so");
   {
     std::ofstream out(impl->s_path);
     AUGEM_CHECK(out.good(), "cannot write " << impl->s_path);

@@ -1,0 +1,128 @@
+#include "runtime/dispatch.hpp"
+
+#include "augem/augem.hpp"
+#include "support/error.hpp"
+
+namespace augem::runtime {
+
+using frontend::KernelKind;
+
+tuning::TuneWorkload tune_workload_for(KernelKind kind, ShapeClass shape) {
+  tuning::TuneWorkload w;
+  if (kind == KernelKind::kGemm) {
+    switch (shape) {
+      case ShapeClass::kSmall:
+        // One L1-resident block: the regime where loop overhead and tile
+        // edge handling dominate.
+        w.mc = 32;
+        w.nc = 32;
+        w.kc = 64;
+        break;
+      case ShapeClass::kSkinny:
+        // Panel-shaped: deep k, starved n — B-element reuse is minimal.
+        w.mc = 128;
+        w.nc = 32;
+        w.kc = 256;
+        break;
+      case ShapeClass::kLarge:
+        // The classic cache-blocked regime (the tuner's default).
+        w.mc = 128;
+        w.nc = 128;
+        w.kc = 256;
+        break;
+    }
+  } else {
+    w.vec_len = shape == ShapeClass::kSmall ? 2048 : 32768;
+  }
+  return w;
+}
+
+KernelRuntime::KernelRuntime(RuntimeConfig config)
+    : config_(std::move(config)),
+      isa_(select_dispatch_isa(host_arch())),
+      cache_(config_.code_cache_capacity, config_.code_cache_shards) {
+  if (config_.use_persistent)
+    db_ = std::make_unique<TuningDatabase>(config_.cache_dir);
+}
+
+KernelRuntime& KernelRuntime::global() {
+  static KernelRuntime runtime{RuntimeConfig{}};
+  return runtime;
+}
+
+RuntimeCounters KernelRuntime::counters() const {
+  RuntimeCounters c;
+  c.db_hits = db_hits_.load(std::memory_order_relaxed);
+  c.db_misses = db_misses_.load(std::memory_order_relaxed);
+  c.tuner_runs = tuner_runs_.load(std::memory_order_relaxed);
+  c.builds = builds_.load(std::memory_order_relaxed);
+  return c;
+}
+
+TunedVariant KernelRuntime::tuned_variant_for(const KernelKey& key) {
+  TunedVariant v;
+  if (db_ != nullptr && db_->lookup(key, v)) {
+    db_hits_.fetch_add(1, std::memory_order_relaxed);
+    return v;
+  }
+  db_misses_.fetch_add(1, std::memory_order_relaxed);
+
+  if (config_.tune_on_miss) {
+    tuner_runs_.fetch_add(1, std::memory_order_relaxed);
+    const tuning::TuneWorkload w = config_.workload_override
+                                       ? *config_.workload_override
+                                       : tune_workload_for(key.kind, key.shape);
+    const tuning::TuneResult r =
+        key.kind == KernelKind::kGemm
+            ? tuning::tune_gemm(key.isa, w)
+            : tuning::tune_level1(key.kind, key.isa, w);
+    v = TunedVariant::from_tune_result(r);
+  } else {
+    // No search: the per-ISA default configuration (what an untuned
+    // KernelSet would build). mflops 0 marks the entry as untimed.
+    const GenerateOptions o = default_options(key.kind, key.isa);
+    v.params = o.params;
+    v.strategy = o.config.strategy;
+    v.mflops = 0.0;
+  }
+  if (db_ != nullptr) db_->store(key, v);
+  return v;
+}
+
+std::shared_ptr<const CachedKernel> KernelRuntime::build_kernel(
+    const KernelKey& key) {
+  const TunedVariant variant = tuned_variant_for(key);
+  builds_.fetch_add(1, std::memory_order_relaxed);
+
+  // Regeneration goes through the same pipeline as direct use of the
+  // public API: generate_kernel attaches the calling contract and demands
+  // a clean mirlint analysis (memory-safety proofs included) before any
+  // text is assembled.
+  GenerateOptions options = default_options(key.kind, key.isa);
+  options.params = variant.params;
+  options.config.isa = key.isa;
+  options.config.strategy = variant.strategy;
+  const asmgen::GeneratedKernel gen = generate_kernel(key.kind, options);
+
+  auto kernel = std::make_shared<CachedKernel>();
+  kernel->key = key;
+  kernel->variant = variant;
+  if (key.kind == KernelKind::kGemm) {
+    kernel->mr = variant.params.mr;
+    kernel->nr = variant.params.nr;
+  }
+  kernel->symbol = gen.name;
+  kernel->module =
+      std::make_shared<jit::CompiledModule>(jit::assemble(gen.asm_text));
+  kernel->entry = kernel->module->raw_symbol(gen.name);
+  return kernel;
+}
+
+std::shared_ptr<const CachedKernel> KernelRuntime::resolve(KernelKind kind,
+                                                           ShapeClass shape) {
+  KernelKey key = host_kernel_key(kind, shape);
+  key.isa = isa_;
+  return cache_.get_or_build(key, [&] { return build_kernel(key); });
+}
+
+}  // namespace augem::runtime

@@ -1,0 +1,331 @@
+#include "runtime/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace augem::runtime {
+
+std::optional<double> Json::number(const std::string& key) const {
+  const Json* v = get(key);
+  if (v == nullptr || !v->is_number()) return std::nullopt;
+  return v->as_number();
+}
+
+std::optional<std::string> Json::string(const std::string& key) const {
+  const Json* v = get(key);
+  if (v == nullptr || !v->is_string()) return std::nullopt;
+  return v->as_string();
+}
+
+std::optional<bool> Json::boolean(const std::string& key) const {
+  const Json* v = get(key);
+  if (v == nullptr || !v->is_bool()) return std::nullopt;
+  return v->as_bool();
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::ostringstream& os) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void dump_number(double v, std::ostringstream& os) {
+  // Integers print without a fraction (keys and tile sizes stay readable);
+  // everything else uses enough digits to round-trip.
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+  } else {
+    os << "null";  // JSON has no Inf/NaN; null marks the record corrupt
+  }
+}
+
+void dump_value(const Json& j, std::ostringstream& os) {
+  switch (j.type()) {
+    case Json::Type::kNull: os << "null"; break;
+    case Json::Type::kBool: os << (j.as_bool() ? "true" : "false"); break;
+    case Json::Type::kNumber: dump_number(j.as_number(), os); break;
+    case Json::Type::kString: dump_string(j.as_string(), os); break;
+    case Json::Type::kArray: {
+      os << '[';
+      bool first = true;
+      for (const Json& item : j.items()) {
+        if (!first) os << ',';
+        first = false;
+        dump_value(item, os);
+      }
+      os << ']';
+      break;
+    }
+    case Json::Type::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, value] : j.fields()) {
+        if (!first) os << ',';
+        first = false;
+        dump_string(key, os);
+        os << ':';
+        dump_value(value, os);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+/// Recursive-descent parser. Every method returns false on malformed
+/// input; the cursor position is then meaningless.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool parse_document(Json& out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    return pos_ == text_.size();  // trailing garbage = corrupt record
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(Json& out, int depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == 'n') {
+      if (!literal("null")) return false;
+      out = Json();
+      return true;
+    }
+    if (c == 't') {
+      if (!literal("true")) return false;
+      out = Json(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!literal("false")) return false;
+      out = Json(false);
+      return true;
+    }
+    if (c == '"') return parse_string(out);
+    if (c == '[') return parse_array(out, depth);
+    if (c == '{') return parse_object(out, depth);
+    return parse_number(out);
+  }
+
+  bool parse_string(Json& out) {
+    std::string s;
+    if (!parse_raw_string(s)) return false;
+    out = Json(std::move(s));
+    return true;
+  }
+
+  bool parse_raw_string(std::string& s) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    s.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': s += '"'; break;
+          case '\\': s += '\\'; break;
+          case '/': s += '/'; break;
+          case 'b': s += '\b'; break;
+          case 'f': s += '\f'; break;
+          case 'n': s += '\n'; break;
+          case 'r': s += '\r'; break;
+          case 't': s += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            // The database only ever stores ASCII; encode BMP code points
+            // as UTF-8 so foreign records survive a round trip.
+            if (code < 0x80) {
+              s += static_cast<char>(code);
+            } else if (code < 0x800) {
+              s += static_cast<char>(0xc0 | (code >> 6));
+              s += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              s += static_cast<char>(0xe0 | (code >> 12));
+              s += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              s += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default: return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // unescaped control character
+      } else {
+        s += c;
+      }
+    }
+    return false;  // unterminated string
+  }
+
+  bool parse_number(Json& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (!digits) return false;
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+        ++pos_;
+      bool exp_digits = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        exp_digits = true;
+      }
+      if (!exp_digits) return false;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return false;
+    out = Json(v);
+    return true;
+  }
+
+  bool parse_array(Json& out, int depth) {
+    ++pos_;  // '['
+    out = Json::array();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Json item;
+      skip_ws();
+      if (!parse_value(item, depth + 1)) return false;
+      out.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_object(Json& out, int depth) {
+    ++pos_;  // '{'
+    out = Json::object();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_raw_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      Json value;
+      if (!parse_value(value, depth + 1)) return false;
+      out[key] = std::move(value);
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::ostringstream os;
+  dump_value(*this, os);
+  return os.str();
+}
+
+std::optional<Json> parse_json(std::string_view text) {
+  Json out;
+  Parser p(text);
+  if (!p.parse_document(out)) return std::nullopt;
+  return out;
+}
+
+}  // namespace augem::runtime

@@ -1,0 +1,77 @@
+#pragma once
+// Cache keying for the kernel runtime (docs/runtime.md).
+//
+// A tuned kernel is only valid on the machine class it was tuned for and
+// for the problem-shape regime it was timed on, so both the persistent
+// tuning database and the in-memory code cache key entries by the full
+// tuple (CPU signature, kernel kind, ISA, element type, shape class).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "frontend/kernels.hpp"
+#include "support/arch.hpp"
+
+namespace augem::runtime {
+
+/// Problem-shape buckets the dispatcher routes between. Different regimes
+/// want different tuned variants: tiny problems live in registers/L1 and
+/// are dominated by call overhead, skinny GEMMs (panel × panel) starve the
+/// register tile in one direction, and large square-ish problems are the
+/// regime the classic tuning workload represents.
+enum class ShapeClass : std::uint8_t { kSmall, kSkinny, kLarge };
+
+const char* shape_class_name(ShapeClass s);
+std::optional<ShapeClass> parse_shape_class(const std::string& name);
+
+/// Buckets a GEMM problem. Non-positive extents classify as kSmall (the
+/// dispatcher never reaches the kernel for those, but the key must still
+/// be well-defined).
+ShapeClass classify_gemm_shape(std::int64_t m, std::int64_t n, std::int64_t k);
+
+/// Buckets a Level-1/2 problem by its traversal length (kSkinny never
+/// applies: a vector has no second extent to starve).
+ShapeClass classify_vector_shape(std::int64_t n);
+
+/// Stable identifier of the machine class a tuning result is valid for:
+/// brand string plus the features and cache geometry that change which
+/// code wins. Sanitized to [A-Za-z0-9._-] so it can appear in file names
+/// and JSON keys verbatim.
+std::string cpu_signature(const CpuArch& arch);
+
+/// Round-trip helpers for persisted enum fields.
+std::optional<frontend::KernelKind> parse_kernel_kind(const std::string& name);
+std::optional<Isa> parse_isa(const std::string& name);
+
+/// The full cache key. `dtype` is always "f64" today; it is part of the
+/// key (and of the persisted record) so a future single-precision backend
+/// cannot collide with existing entries.
+struct KernelKey {
+  std::string cpu;
+  frontend::KernelKind kind = frontend::KernelKind::kGemm;
+  Isa isa = Isa::kSse2;
+  std::string dtype = "f64";
+  ShapeClass shape = ShapeClass::kLarge;
+
+  /// Canonical flat form, e.g. "gemm/FMA3/f64/large@GenuineIntel...".
+  /// Used as the code-cache map key and the database record key.
+  std::string to_string() const;
+
+  bool operator==(const KernelKey& other) const {
+    return cpu == other.cpu && kind == other.kind && isa == other.isa &&
+           dtype == other.dtype && shape == other.shape;
+  }
+};
+
+/// Key for the host CPU: best dispatchable ISA (FMA3 > AVX > SSE2, decided
+/// from CPUID feature bits at runtime) and the given kind/shape.
+KernelKey host_kernel_key(frontend::KernelKind kind, ShapeClass shape);
+
+/// The dispatcher's ISA ladder. FMA4 is deliberately not dispatched even
+/// when present: on every FMA4 machine this repository models, FMA3 is
+/// also present and at least as fast (paper Table 5's Piledriver).
+Isa select_dispatch_isa(const CpuArch& arch);
+
+}  // namespace augem::runtime

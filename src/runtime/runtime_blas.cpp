@@ -1,0 +1,105 @@
+#include "runtime/runtime_blas.hpp"
+
+#include "augem/augem_blas.hpp"
+#include "blas/driver.hpp"
+
+namespace augem::runtime {
+
+namespace {
+
+using blas::at;
+using blas::index_t;
+using blas::Trans;
+using frontend::KernelKind;
+
+class RuntimeBlas final : public blas::Blas {
+ public:
+  explicit RuntimeBlas(KernelRuntime& rt) : rt_(rt) {}
+
+  std::string name() const override { return "AUGEM-runtime"; }
+
+  void gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k, double alpha,
+            const double* a, index_t lda, const double* b, index_t ldb,
+            double beta, double* c, index_t ldc) override {
+    if (m <= 0 || n <= 0) return;
+    if (k <= 0 || alpha == 0.0) {
+      // Degenerate update: only the beta scaling of C happens; resolving
+      // (possibly tuning) a kernel for it would be absurd.
+      for (index_t j = 0; j < n; ++j) blas::beta_scale(&at(c, ldc, 0, j), m, beta);
+      return;
+    }
+    const auto kernel = rt_.resolve(KernelKind::kGemm,
+                                    classify_gemm_shape(m, n, k));
+    blas::blocked_gemm(
+        ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+        gemm_context_for_tile(m, n, k, kernel->nr),
+        padded_gemm_block_kernel(kernel->fn<KernelSet::GemmFn>(), kernel->mr,
+                                 kernel->nr));
+  }
+
+  void gemv(index_t m, index_t n, double alpha, const double* a, index_t lda,
+            const double* x, double beta, double* y) override {
+    if (m <= 0) return;
+    if (n <= 0 || alpha == 0.0) {
+      blas::beta_scale(y, m, beta);
+      return;
+    }
+    const auto kernel =
+        rt_.resolve(KernelKind::kGemv, classify_vector_shape(m));
+    gemv_with_blas_semantics(kernel->fn<KernelSet::GemvFn>(), m, n, alpha, a,
+                             lda, x, beta, y);
+  }
+
+  void axpy(index_t n, double alpha, const double* x, double* y) override {
+    if (n <= 0 || alpha == 0.0) return;
+    const auto kernel =
+        rt_.resolve(KernelKind::kAxpy, classify_vector_shape(n));
+    axpy_with_blas_semantics(kernel->fn<KernelSet::AxpyFn>(), n, alpha, x, y);
+  }
+
+  double dot(index_t n, const double* x, const double* y) override {
+    if (n <= 0) return 0.0;
+    const auto kernel = rt_.resolve(KernelKind::kDot, classify_vector_shape(n));
+    return dot_with_blas_semantics(kernel->fn<KernelSet::DotFn>(), n, x, y);
+  }
+
+  void scal(index_t n, double alpha, double* x) override {
+    if (n <= 0) return;
+    if (alpha == 0.0) {
+      scal_with_blas_semantics(nullptr_scal(), n, alpha, x);  // zero fill only
+      return;
+    }
+    const auto kernel =
+        rt_.resolve(KernelKind::kScal, classify_vector_shape(n));
+    scal_with_blas_semantics(kernel->fn<KernelSet::ScalFn>(), n, alpha, x);
+  }
+
+ private:
+  /// scal's alpha == 0 path never calls the kernel; passing a null fn
+  /// keeps the zero-fill semantics without resolving one.
+  static KernelSet::ScalFn* nullptr_scal() { return nullptr; }
+
+  /// Shape-aware context with the jr split kept on the resolved kernel's
+  /// column-tile multiple (the bit-exactness condition of the threaded
+  /// driver, see blas/driver.hpp).
+  static blas::GemmContext gemm_context_for_tile(index_t m, index_t n,
+                                                 index_t k, int nr) {
+    blas::GemmContext ctx = blas::gemm_context_for_shape(host_arch(), m, n, k);
+    ctx.jr_granule = std::max<index_t>(8, nr);
+    return ctx;
+  }
+
+  KernelRuntime& rt_;
+};
+
+}  // namespace
+
+std::unique_ptr<blas::Blas> make_runtime_blas() {
+  return make_runtime_blas(KernelRuntime::global());
+}
+
+std::unique_ptr<blas::Blas> make_runtime_blas(KernelRuntime& runtime) {
+  return std::make_unique<RuntimeBlas>(runtime);
+}
+
+}  // namespace augem::runtime

@@ -1,0 +1,229 @@
+#include "runtime/tunedb.hpp"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "runtime/json.hpp"
+#include "support/error.hpp"
+
+namespace augem::runtime {
+
+TunedVariant TunedVariant::from_tune_result(const tuning::TuneResult& r) {
+  TunedVariant v;
+  v.params = r.params;
+  v.strategy = r.config.strategy;
+  v.mflops = r.mflops;
+  return v;
+}
+
+tuning::TuneResult TunedVariant::to_tune_result(const KernelKey& key) const {
+  tuning::TuneResult r;
+  r.kind = key.kind;
+  r.params = params;
+  r.config.isa = key.isa;
+  r.config.strategy = strategy;
+  r.mflops = mflops;
+  return r;
+}
+
+std::string default_cache_dir() {
+  if (const char* dir = std::getenv("AUGEM_CACHE_DIR");
+      dir != nullptr && dir[0] != '\0')
+    return dir;
+  if (const char* home = std::getenv("HOME");
+      home != nullptr && home[0] != '\0')
+    return std::string(home) + "/.cache/augem";
+  return "/tmp/augem-cache";
+}
+
+bool tune_cache_disabled() {
+  const char* v = std::getenv("AUGEM_DISABLE_TUNE_CACHE");
+  return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+}
+
+namespace {
+
+/// mkdir -p: every component, existing directories tolerated.
+void make_dirs(const std::string& path) {
+  std::string partial;
+  std::istringstream is(path);
+  std::string component;
+  if (!path.empty() && path[0] == '/') partial = "/";
+  while (std::getline(is, component, '/')) {
+    if (component.empty()) continue;
+    partial += component + "/";
+    ::mkdir(partial.c_str(), 0755);  // EEXIST is fine
+  }
+}
+
+std::optional<DbEntry> decode_record(const Json& rec) {
+  if (!rec.is_object()) return std::nullopt;
+  const auto schema = rec.number("schema");
+  if (!schema || static_cast<int>(*schema) != kTuneDbSchema)
+    return std::nullopt;
+
+  const auto cpu = rec.string("cpu");
+  const auto kind_name = rec.string("kind");
+  const auto isa = rec.string("isa");
+  const auto dtype = rec.string("dtype");
+  const auto shape_name = rec.string("shape");
+  const auto mr = rec.number("mr");
+  const auto nr = rec.number("nr");
+  const auto ku = rec.number("ku");
+  const auto unroll = rec.number("unroll");
+  const auto prefetch = rec.boolean("prefetch");
+  const auto strategy_name = rec.string("strategy");
+  const auto mflops = rec.number("mflops");
+  if (!cpu || !kind_name || !isa || !dtype || !shape_name || !mr || !nr ||
+      !ku || !unroll || !prefetch || !strategy_name || !mflops)
+    return std::nullopt;
+
+  DbEntry e;
+  e.key.cpu = *cpu;
+  e.key.dtype = *dtype;
+  const auto kind = parse_kernel_kind(*kind_name);
+  const auto parsed_isa = parse_isa(*isa);
+  const auto shape = parse_shape_class(*shape_name);
+  if (!kind || !parsed_isa || !shape) return std::nullopt;
+  e.key.kind = *kind;
+  e.key.isa = *parsed_isa;
+  e.key.shape = *shape;
+
+  e.variant.params.mr = static_cast<int>(*mr);
+  e.variant.params.nr = static_cast<int>(*nr);
+  e.variant.params.ku = static_cast<int>(*ku);
+  e.variant.params.unroll = static_cast<int>(*unroll);
+  e.variant.params.prefetch.enabled = *prefetch;
+  if (const auto dist = rec.number("prefetch_distance"))
+    e.variant.params.prefetch.distance = static_cast<int>(*dist);
+  e.variant.mflops = *mflops;
+
+  bool strategy_known = false;
+  for (opt::VecStrategy s :
+       {opt::VecStrategy::kAuto, opt::VecStrategy::kVdup,
+        opt::VecStrategy::kShuf, opt::VecStrategy::kScalar})
+    if (*strategy_name == opt::vec_strategy_name(s)) {
+      e.variant.strategy = s;
+      strategy_known = true;
+    }
+  if (!strategy_known) return std::nullopt;
+
+  // Reject parameter values no generator configuration can produce — a
+  // bit-flipped record must not reach the kernel generator.
+  const auto plausible = [](int v) { return v >= 1 && v <= 1024; };
+  if (!plausible(e.variant.params.mr) || !plausible(e.variant.params.nr) ||
+      !plausible(e.variant.params.ku) || !plausible(e.variant.params.unroll))
+    return std::nullopt;
+  return e;
+}
+
+Json encode_record(const KernelKey& key, const TunedVariant& v) {
+  Json rec = Json::object();
+  rec["schema"] = Json(kTuneDbSchema);
+  rec["cpu"] = Json(key.cpu);
+  rec["kind"] = Json(frontend::kernel_kind_name(key.kind));
+  rec["isa"] = Json(isa_name(key.isa));
+  rec["dtype"] = Json(key.dtype);
+  rec["shape"] = Json(shape_class_name(key.shape));
+  rec["mr"] = Json(v.params.mr);
+  rec["nr"] = Json(v.params.nr);
+  rec["ku"] = Json(v.params.ku);
+  rec["unroll"] = Json(v.params.unroll);
+  rec["prefetch"] = Json(v.params.prefetch.enabled);
+  rec["prefetch_distance"] = Json(v.params.prefetch.distance);
+  rec["strategy"] = Json(opt::vec_strategy_name(v.strategy));
+  rec["mflops"] = Json(v.mflops);
+  return rec;
+}
+
+}  // namespace
+
+TuningDatabase::TuningDatabase(std::string dir)
+    : dir_(dir.empty() ? default_cache_dir() : std::move(dir)) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  replay_locked();
+}
+
+std::string TuningDatabase::file_path() const {
+  // The schema version is part of the file name as well as of each record:
+  // a future incompatible format starts from a fresh file instead of
+  // fighting this one for the same bytes.
+  return dir_ + "/tunedb-v" + std::to_string(kTuneDbSchema) + ".jsonl";
+}
+
+void TuningDatabase::replay_locked() {
+  entries_.clear();
+  skipped_ = 0;
+  std::ifstream in(file_path());
+  if (!in.good()) return;  // no database yet: every lookup misses
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto doc = parse_json(line);
+    const auto entry = doc ? decode_record(*doc) : std::nullopt;
+    if (!entry) {
+      // Corrupt, truncated, or foreign-schema line: skip it. The entry it
+      // would have named simply misses and gets re-tuned + re-appended.
+      ++skipped_;
+      continue;
+    }
+    entries_[entry->key.to_string()] = *entry;  // last entry wins
+  }
+}
+
+bool TuningDatabase::lookup(const KernelKey& key, TunedVariant& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key.to_string());
+  if (it == entries_.end()) return false;
+  out = it->second.variant;
+  return true;
+}
+
+void TuningDatabase::append_locked(const KernelKey& key,
+                                   const TunedVariant& variant) {
+  make_dirs(dir_);
+  std::ofstream out(file_path(), std::ios::app);
+  AUGEM_CHECK(out.good(), "cannot write tuning database " << file_path());
+  out << encode_record(key, variant).dump() << "\n";
+  out.flush();
+}
+
+void TuningDatabase::store(const KernelKey& key, const TunedVariant& variant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DbEntry e;
+  e.key = key;
+  e.variant = variant;
+  entries_[key.to_string()] = e;
+  append_locked(key, variant);
+}
+
+void TuningDatabase::reload() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  replay_locked();
+}
+
+void TuningDatabase::purge() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  skipped_ = 0;
+  std::remove(file_path().c_str());
+}
+
+std::vector<DbEntry> TuningDatabase::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<DbEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+std::uint64_t TuningDatabase::skipped_records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return skipped_;
+}
+
+}  // namespace augem::runtime

@@ -1,0 +1,101 @@
+#pragma once
+// Persistent tuning database (docs/runtime.md).
+//
+// The empirical tuner (paper §2.1) is expensive — dozens of generate +
+// assemble + time cycles per kernel — and its verdict only depends on the
+// machine, so re-running it per process throws the cost away. This store
+// persists tuned variants across processes as a line-oriented JSON file
+// under a per-user cache directory (default ~/.cache/augem, overridden by
+// AUGEM_CACHE_DIR; AUGEM_DISABLE_TUNE_CACHE=1 disables persistence
+// entirely).
+//
+// Durability contract: records are appended atomically-per-line with
+// last-entry-wins replay, every record carries a schema version, and any
+// line that fails to parse or validate is *skipped* — a corrupt or
+// truncated database degrades to a cold cache, it never takes the process
+// down.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/key.hpp"
+#include "tuning/tuner.hpp"
+
+namespace augem::runtime {
+
+/// The persisted payload of one database entry: everything needed to
+/// regenerate the winning kernel deterministically, plus the score for
+/// reporting.
+struct TunedVariant {
+  transform::CGenParams params;
+  opt::VecStrategy strategy = opt::VecStrategy::kVdup;
+  double mflops = 0.0;
+
+  /// Conversion from/to the tuner's result type.
+  static TunedVariant from_tune_result(const tuning::TuneResult& r);
+  tuning::TuneResult to_tune_result(const KernelKey& key) const;
+};
+
+/// One (key, variant) pair as stored on disk.
+struct DbEntry {
+  KernelKey key;
+  TunedVariant variant;
+};
+
+/// Schema version written into every record; loaders skip records from a
+/// different schema (they will be re-tuned and re-appended).
+inline constexpr int kTuneDbSchema = 1;
+
+/// Resolves the cache directory: $AUGEM_CACHE_DIR, else $HOME/.cache/augem,
+/// else /tmp/augem-cache. The directory is not created here.
+std::string default_cache_dir();
+
+/// True when AUGEM_DISABLE_TUNE_CACHE is set to a non-empty value other
+/// than "0": the runtime then keeps everything in memory only.
+bool tune_cache_disabled();
+
+/// The on-disk store. Thread-safe; every instance replays the file on
+/// construction, so a second instance (or a second process) pointed at the
+/// same directory warm-starts from entries the first one wrote.
+class TuningDatabase {
+ public:
+  /// Opens (and replays) the database in `dir`; empty selects
+  /// default_cache_dir(). The directory is created on first store.
+  explicit TuningDatabase(std::string dir = "");
+
+  /// Looks up the variant for `key`. Returns false on miss.
+  bool lookup(const KernelKey& key, TunedVariant& out) const;
+
+  /// Inserts/overwrites the entry and appends it to the on-disk file.
+  void store(const KernelKey& key, const TunedVariant& variant);
+
+  /// Re-reads the file, picking up entries other processes appended.
+  void reload();
+
+  /// Deletes the on-disk file and clears memory.
+  void purge();
+
+  /// All live entries (after last-entry-wins replay), sorted by key.
+  std::vector<DbEntry> entries() const;
+
+  const std::string& dir() const { return dir_; }
+  std::string file_path() const;
+
+  /// Lines skipped by the last replay because they were corrupt, from a
+  /// different schema, or truncated. Exposed for tests and the CLI.
+  std::uint64_t skipped_records() const;
+
+ private:
+  void replay_locked();
+  void append_locked(const KernelKey& key, const TunedVariant& variant);
+
+  std::string dir_;
+  mutable std::mutex mutex_;
+  std::map<std::string, DbEntry> entries_;  ///< keyed by KernelKey::to_string
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace augem::runtime

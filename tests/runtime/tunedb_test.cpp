@@ -1,0 +1,200 @@
+#include "runtime/tunedb.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace augem::runtime {
+namespace {
+
+using frontend::KernelKind;
+
+/// Private database directory per test, removed on teardown.
+class TuneDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/augem_tunedb_test_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    TuningDatabase(dir_).purge();
+    ::rmdir(dir_.c_str());
+  }
+
+  static KernelKey test_key(KernelKind kind = KernelKind::kGemm,
+                            ShapeClass shape = ShapeClass::kLarge) {
+    KernelKey key;
+    key.cpu = "testcpu_vfma3_l32.256.8192";
+    key.kind = kind;
+    key.isa = Isa::kFma3;
+    key.shape = shape;
+    return key;
+  }
+
+  static TunedVariant test_variant(double mflops = 1000.0) {
+    TunedVariant v;
+    v.params.mr = 4;
+    v.params.nr = 4;
+    v.params.ku = 2;
+    v.params.unroll = 16;
+    v.params.prefetch.enabled = true;
+    v.params.prefetch.distance = 64;
+    v.strategy = opt::VecStrategy::kShuf;
+    v.mflops = mflops;
+    return v;
+  }
+
+  void append_raw(const std::string& line) {
+    std::ofstream out(TuningDatabase(dir_).file_path(), std::ios::app);
+    out << line << "\n";
+  }
+
+  std::string dir_;
+};
+
+TEST_F(TuneDbTest, RoundTripAcrossStoreInstances) {
+  // The warm-start contract: a second instance (standing in for a second
+  // process) replays what the first one stored.
+  {
+    TuningDatabase db(dir_);
+    TunedVariant miss;
+    EXPECT_FALSE(db.lookup(test_key(), miss));
+    db.store(test_key(), test_variant());
+  }
+  TuningDatabase db2(dir_);
+  TunedVariant got;
+  ASSERT_TRUE(db2.lookup(test_key(), got));
+  EXPECT_EQ(got.params.mr, 4);
+  EXPECT_EQ(got.params.nr, 4);
+  EXPECT_EQ(got.params.ku, 2);
+  EXPECT_EQ(got.params.unroll, 16);
+  EXPECT_TRUE(got.params.prefetch.enabled);
+  EXPECT_EQ(got.params.prefetch.distance, 64);
+  EXPECT_EQ(got.strategy, opt::VecStrategy::kShuf);
+  EXPECT_EQ(got.mflops, 1000.0);
+  EXPECT_EQ(db2.skipped_records(), 0u);
+}
+
+TEST_F(TuneDbTest, LastEntryWinsOnReplay) {
+  {
+    TuningDatabase db(dir_);
+    db.store(test_key(), test_variant(100.0));
+    db.store(test_key(), test_variant(2500.0));
+  }
+  TuningDatabase db2(dir_);
+  TunedVariant got;
+  ASSERT_TRUE(db2.lookup(test_key(), got));
+  EXPECT_EQ(got.mflops, 2500.0);
+  EXPECT_EQ(db2.entries().size(), 1u);  // one live entry, two file lines
+}
+
+TEST_F(TuneDbTest, KeysAreIndependent) {
+  TuningDatabase db(dir_);
+  db.store(test_key(KernelKind::kGemm, ShapeClass::kLarge), test_variant(1.0));
+  db.store(test_key(KernelKind::kGemm, ShapeClass::kSmall), test_variant(2.0));
+  db.store(test_key(KernelKind::kAxpy, ShapeClass::kLarge), test_variant(3.0));
+  EXPECT_EQ(db.entries().size(), 3u);
+  TunedVariant got;
+  ASSERT_TRUE(db.lookup(test_key(KernelKind::kGemm, ShapeClass::kSmall), got));
+  EXPECT_EQ(got.mflops, 2.0);
+  EXPECT_FALSE(db.lookup(test_key(KernelKind::kDot, ShapeClass::kLarge), got));
+}
+
+TEST_F(TuneDbTest, CorruptAndTruncatedLinesAreSkippedNotFatal) {
+  {
+    TuningDatabase db(dir_);
+    db.store(test_key(), test_variant(42.0));
+  }
+  // Simulate every corruption mode the contract covers: binary garbage, a
+  // syntactically truncated record (torn write), a record from a foreign
+  // schema, a structurally valid record with implausible parameters, and a
+  // blank line (which is tolerated silently, not counted).
+  append_raw("\x01\x02 not json at all");
+  append_raw("{\"schema\":1,\"cpu\":\"trunc");
+  append_raw("{\"schema\":999,\"cpu\":\"x\"}");
+  append_raw(
+      "{\"schema\":1,\"cpu\":\"c\",\"kind\":\"gemm\",\"isa\":\"FMA3\","
+      "\"dtype\":\"f64\",\"shape\":\"large\",\"mr\":0,\"nr\":4,\"ku\":1,"
+      "\"unroll\":8,\"prefetch\":false,\"strategy\":\"vdup\",\"mflops\":1}");
+  append_raw("");
+
+  TuningDatabase db2(dir_);
+  EXPECT_EQ(db2.skipped_records(), 4u);
+  TunedVariant got;
+  ASSERT_TRUE(db2.lookup(test_key(), got));  // the good record survives
+  EXPECT_EQ(got.mflops, 42.0);
+
+  // Storing after recovery re-appends cleanly and a third replay is whole.
+  db2.store(test_key(KernelKind::kDot, ShapeClass::kSmall), test_variant());
+  TuningDatabase db3(dir_);
+  EXPECT_EQ(db3.entries().size(), 2u);
+}
+
+TEST_F(TuneDbTest, WholeFileGarbageDegradesToColdCache) {
+  append_raw("complete nonsense");
+  append_raw("[1,2,3]");  // valid JSON, wrong shape
+  TuningDatabase db(dir_);
+  EXPECT_EQ(db.entries().size(), 0u);
+  EXPECT_EQ(db.skipped_records(), 2u);
+  // Still writable.
+  db.store(test_key(), test_variant());
+  TunedVariant got;
+  EXPECT_TRUE(db.lookup(test_key(), got));
+}
+
+TEST_F(TuneDbTest, PurgeDeletesFileAndMemory) {
+  TuningDatabase db(dir_);
+  db.store(test_key(), test_variant());
+  db.purge();
+  EXPECT_EQ(db.entries().size(), 0u);
+  std::ifstream in(db.file_path());
+  EXPECT_FALSE(in.good());
+  TunedVariant got;
+  EXPECT_FALSE(db.lookup(test_key(), got));
+}
+
+TEST_F(TuneDbTest, ReloadPicksUpForeignAppends) {
+  TuningDatabase writer(dir_);
+  TuningDatabase reader(dir_);
+  writer.store(test_key(), test_variant(7.0));
+  TunedVariant got;
+  EXPECT_FALSE(reader.lookup(test_key(), got));  // replayed before the write
+  reader.reload();
+  ASSERT_TRUE(reader.lookup(test_key(), got));
+  EXPECT_EQ(got.mflops, 7.0);
+}
+
+TEST_F(TuneDbTest, VersionedFileName) {
+  TuningDatabase db(dir_);
+  EXPECT_NE(db.file_path().find("tunedb-v1.jsonl"), std::string::npos);
+}
+
+TEST(TuneDbEnv, CacheDirAndDisableFlagsHonored) {
+  // Scoped env manipulation; restore whatever was set before.
+  const char* old_dir = std::getenv("AUGEM_CACHE_DIR");
+  const std::string saved_dir = old_dir ? old_dir : "";
+  const char* old_dis = std::getenv("AUGEM_DISABLE_TUNE_CACHE");
+  const std::string saved_dis = old_dis ? old_dis : "";
+
+  ::setenv("AUGEM_CACHE_DIR", "/tmp/augem_env_test", 1);
+  EXPECT_EQ(default_cache_dir(), "/tmp/augem_env_test");
+
+  ::unsetenv("AUGEM_DISABLE_TUNE_CACHE");
+  EXPECT_FALSE(tune_cache_disabled());
+  ::setenv("AUGEM_DISABLE_TUNE_CACHE", "0", 1);
+  EXPECT_FALSE(tune_cache_disabled());  // explicit "0" means enabled
+  ::setenv("AUGEM_DISABLE_TUNE_CACHE", "1", 1);
+  EXPECT_TRUE(tune_cache_disabled());
+
+  if (old_dir) ::setenv("AUGEM_CACHE_DIR", saved_dir.c_str(), 1);
+  else ::unsetenv("AUGEM_CACHE_DIR");
+  if (old_dis) ::setenv("AUGEM_DISABLE_TUNE_CACHE", saved_dis.c_str(), 1);
+  else ::unsetenv("AUGEM_DISABLE_TUNE_CACHE");
+}
+
+}  // namespace
+}  // namespace augem::runtime
