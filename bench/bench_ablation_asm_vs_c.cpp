@@ -16,6 +16,7 @@ int main() {
 
   print_platform("Ablation: template backend vs general-purpose compiler "
                  "(same optimized C input)");
+  SuiteReporter reporter("ablation_asm_vs_c");
   const Isa isa = host_arch().best_native_isa();
   const int w = isa_vector_doubles(isa);
 
@@ -37,11 +38,10 @@ int main() {
   rng.fill(pb.span());
 
   using Fn = void(long, long, long, const double*, const double*, double*, long);
-  auto time_fn = [&](Fn* fn) {
-    fn(mc, nc, kc, pa.data(), pb.data(), c.data(), mc);  // warm up
-    const double s = time_best_of(
-        5, [&] { fn(mc, nc, kc, pa.data(), pb.data(), c.data(), mc); });
-    return mflops(gemm_flops(mc, nc, kc), s);
+  auto time_fn = [&](const std::string& series, Fn* fn) {
+    return reporter.measure_mflops(
+        series, mc, nc, kc, gemm_flops(mc, nc, kc),
+        [&] { fn(mc, nc, kc, pa.data(), pb.data(), c.data(), mc); });
   };
 
   std::printf("%-34s %10s\n", "backend", "MFLOPS");
@@ -54,14 +54,17 @@ int main() {
                                      {p, cfg, frontend::BLayout::kRowPanel});
     const jit::CompiledModule mod = jit::assemble(gen.asm_text);
     std::printf("%-34s %10.1f\n", "AUGEM templates -> assembly",
-                time_fn(mod.fn<Fn>(gen.name)));
+                time_fn("augem_templates", mod.fn<Fn>(gen.name)));
   }
   // (b) the general-purpose compiler on the identical C text.
   for (const char* flags : {"-O2", "-O3 -funroll-loops",
                             "-O3 -funroll-loops -march=native"}) {
     const jit::CompiledModule mod = jit::compile_c(c_text, flags);
+    std::string series = std::string("gcc_") + flags;
+    for (char& ch : series)
+      if (ch == ' ' || ch == '-' || ch == '=') ch = '_';
     std::printf("gcc %-30s %10.1f\n", flags,
-                time_fn(mod.fn<Fn>("dgemm_kernel")));
+                time_fn(series, mod.fn<Fn>("dgemm_kernel")));
   }
   std::printf("(gcc -march=native may close part of the gap; the paper's "
               "comparators could not use -march=native since portable "

@@ -11,6 +11,7 @@ int main() {
   using namespace augem::bench;
 
   print_platform("Ablation: same templates, different ISA mapping rules");
+  SuiteReporter reporter("ablation_isa");
   GemmKernelBench bench;
 
   std::printf("%-8s %-10s %10s\n", "ISA", "tile", "MFLOPS");
@@ -24,7 +25,7 @@ int main() {
     cfg.isa = isa;
     cfg.strategy = opt::VecStrategy::kVdup;
     std::printf("%-8s %dx%-8d %10.1f\n", isa_name(isa), p.mr, p.nr,
-                bench.run(p, cfg));
+                bench.run(p, cfg, &reporter, isa_name(isa)));
   }
   std::printf("(FMA4 code is generated and semantically verified in the VM; "
               "this host cannot execute it natively)\n\n");

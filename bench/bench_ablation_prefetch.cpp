@@ -11,6 +11,7 @@ int main() {
   print_platform("Ablation: prefetch distance (GEMM kernel)");
   const Isa isa = host_arch().best_native_isa();
   const int w = isa_vector_doubles(isa);
+  SuiteReporter reporter("ablation_prefetch");
   GemmKernelBench bench;
 
   std::printf("%-12s %10s\n", "prefetch", "MFLOPS");
@@ -22,10 +23,16 @@ int main() {
     if (distance >= 0) p.prefetch.distance = distance;
     opt::OptConfig cfg;
     cfg.isa = isa;
+    char series[32];
+    if (distance < 0)
+      std::snprintf(series, sizeof series, "off");
+    else
+      std::snprintf(series, sizeof series, "dist%d", distance);
+    const double mf = bench.run(p, cfg, &reporter, series);
     if (distance < 0) {
-      std::printf("%-12s %10.1f\n", "off", bench.run(p, cfg));
+      std::printf("%-12s %10.1f\n", "off", mf);
     } else {
-      std::printf("dist=%-7d %10.1f\n", distance, bench.run(p, cfg));
+      std::printf("dist=%-7d %10.1f\n", distance, mf);
     }
   }
   std::printf("\n");

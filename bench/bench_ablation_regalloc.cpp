@@ -12,6 +12,7 @@ int main() {
   print_platform("Ablation: register allocation policy");
   const Isa isa = host_arch().best_native_isa();
   const int w = isa_vector_doubles(isa);
+  SuiteReporter reporter("ablation_regalloc");
   GemmKernelBench bench;
 
   std::printf("%-18s %10s\n", "policy", "MFLOPS");
@@ -23,11 +24,11 @@ int main() {
     opt::OptConfig cfg;
     cfg.isa = isa;
     cfg.regalloc = policy;
+    const bool queues = policy == opt::RegAllocPolicy::kPerArrayQueues;
     std::printf("%-18s %10.1f\n",
-                policy == opt::RegAllocPolicy::kPerArrayQueues
-                    ? "per-array queues"
-                    : "single pool",
-                bench.run(p, cfg));
+                queues ? "per-array queues" : "single pool",
+                bench.run(p, cfg, &reporter,
+                          queues ? "per_array_queues" : "single_pool"));
   }
   std::printf("\n");
   return 0;

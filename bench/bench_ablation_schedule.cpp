@@ -12,6 +12,7 @@ int main() {
   print_platform("Ablation: instruction scheduling");
   const Isa isa = host_arch().best_native_isa();
   const int w = isa_vector_doubles(isa);
+  SuiteReporter reporter("ablation_schedule");
   GemmKernelBench bench;
 
   std::printf("%-12s %10s\n", "scheduler", "MFLOPS");
@@ -22,7 +23,8 @@ int main() {
     opt::OptConfig cfg;
     cfg.isa = isa;
     cfg.schedule = sched;
-    std::printf("%-12s %10.1f\n", sched ? "on" : "off", bench.run(p, cfg));
+    std::printf("%-12s %10.1f\n", sched ? "on" : "off",
+                bench.run(p, cfg, &reporter, sched ? "on" : "off"));
   }
   std::printf("\n");
   return 0;

@@ -12,6 +12,7 @@ int main() {
 
   print_platform("Ablation: register-tile (unroll&jam) search surface");
   const Isa isa = host_arch().best_native_isa();
+  SuiteReporter reporter("ablation_unroll");
   GemmKernelBench bench;
 
   const int mrs[] = {2, 4, 8, 16};
@@ -27,7 +28,9 @@ int main() {
       p.nr = nr;
       opt::OptConfig cfg;
       cfg.isa = isa;
-      std::printf("  %8.0f", bench.run(p, cfg));
+      char series[32];
+      std::snprintf(series, sizeof series, "mr%d_nr%d", mr, nr);
+      std::printf("  %8.0f", bench.run(p, cfg, &reporter, series));
     }
     std::printf("\n");
   }
@@ -44,7 +47,9 @@ int main() {
     p.ku = ku;
     opt::OptConfig cfg;
     cfg.isa = isa;
-    std::printf("%8d %10.1f\n", ku, bench.run(p, cfg));
+    char series[32];
+    std::snprintf(series, sizeof series, "ku%d", ku);
+    std::printf("%8d %10.1f\n", ku, bench.run(p, cfg, &reporter, series));
   }
   std::printf("\n");
   return 0;

@@ -13,6 +13,7 @@ int main() {
   print_platform("Ablation: Vdup vs Shuf vectorization (GEMM kernel)");
   const Isa isa = host_arch().best_native_isa();
   const int w = isa_vector_doubles(isa);
+  SuiteReporter reporter("ablation_vdup_shuf");
   GemmKernelBench bench;
 
   struct Case {
@@ -34,7 +35,11 @@ int main() {
     opt::OptConfig cfg;
     cfg.isa = isa;
     cfg.strategy = c.strategy;
-    std::printf("%-14s %10.1f\n", c.label, bench.run(p, cfg));
+    std::string series = c.label;
+    for (char& ch : series)
+      if (ch == ' ') ch = '_';
+    std::printf("%-14s %10.1f\n", c.label,
+                bench.run(p, cfg, &reporter, series));
   }
   std::printf("\n");
   return 0;

@@ -76,11 +76,19 @@ int main() {
                {frontend::KernelKind::kDot, "dot"}};
   const rt::ShapeClass shape = rt::ShapeClass::kLarge;
 
-  std::vector<std::pair<std::string, double>> rows;
-  auto record = [&](const char* stage, const char* kind, double ms) {
+  SuiteReporter reporter("dispatch_overhead");
+  const perf::BenchRunner runner;
+  // Latency rows carry median_s only (gflops = 0): one-shot stages cannot
+  // be re-measured, so they are recorded as informational trajectory rows.
+  auto record = [&](const char* stage, const char* kind, double ms,
+                    int reps) {
     print_row(stage, kind, ms);
-    rows.emplace_back(std::string(stage) + "/" + kind, ms);
     print_json(stage, kind, ms);
+    perf::BenchRow row;
+    row.name = std::string(stage) + "/" + kind;
+    row.median_s = ms / 1e3;
+    row.reps = reps;
+    reporter.add_row(row);
   };
 
   // Stage 1+2: resolve latency, cold then database-warm. The second
@@ -88,24 +96,26 @@ int main() {
   // skips the tuner but still generates + assembles.
   rt::KernelRuntime cold(dir_config(dir));
   for (const auto& k : kinds) {
-    Timer t;
+    perf::Stopwatch t;
     (void)cold.resolve(k.kind, shape);
-    record("cold_resolve", k.name, t.elapsed_s() * 1e3);
+    record("cold_resolve", k.name, t.elapsed_s() * 1e3, 1);
   }
   rt::KernelRuntime warm(dir_config(dir));
   for (const auto& k : kinds) {
-    Timer t;
+    perf::Stopwatch t;
     (void)warm.resolve(k.kind, shape);
-    record("db_warm_resolve", k.name, t.elapsed_s() * 1e3);
+    record("db_warm_resolve", k.name, t.elapsed_s() * 1e3, 1);
   }
 
-  // Stage 3: in-memory hit. Mean over many calls — a single hit is below
-  // timer resolution.
+  // Stage 3: in-memory hit. Batched — a single hit is below timer
+  // resolution — then measured like any kernel: median of adaptive reps.
   for (const auto& k : kinds) {
-    const int reps = 10000;
-    Timer t;
-    for (int i = 0; i < reps; ++i) (void)warm.resolve(k.kind, shape);
-    record("code_cache_hit", k.name, t.elapsed_s() * 1e3 / reps);
+    const int batch = 10000;
+    const auto meas = runner.run(0.0, [&] {
+      for (int i = 0; i < batch; ++i) (void)warm.resolve(k.kind, shape);
+    });
+    record("code_cache_hit", k.name, meas.seconds.median * 1e3 / batch,
+           static_cast<int>(meas.seconds.n));
   }
 
   // Stage 4 vs floor: a dispatched DGEMM call with every cache warm,
@@ -125,9 +135,12 @@ int main() {
       lib->gemm(blas::Trans::kNo, blas::Trans::kNo, mn, mn, mn, 1.0, a.data(),
                 mn, b.data(), mn, 0.0, c.data(), mn);
     };
-    dispatched();  // warm every cache on this exact shape class
-    record("dispatched_call", "gemm",
-           time_mean_of(bench_reps(), dispatched) * 1e3);
+    const auto dispatched_meas =
+        runner.run(gemm_flops(mn, mn, mn), dispatched);
+    reporter.add_row(perf::BenchRow::from_measurement(
+        dispatched_meas, "dispatched_call/gemm", mn, mn, mn));
+    print_row("dispatched_call", "gemm", dispatched_meas.seconds.median * 1e3);
+    print_json("dispatched_call", "gemm", dispatched_meas.seconds.median * 1e3);
 
     const auto kernel =
         warm.resolve(frontend::KernelKind::kGemm,
@@ -141,8 +154,11 @@ int main() {
                          a.data(), mn, b.data(), mn, 0.0, c.data(), mn, ctx,
                          block_fn);
     };
-    direct();
-    record("direct_call", "gemm", time_mean_of(bench_reps(), direct) * 1e3);
+    const auto direct_meas = runner.run(gemm_flops(mn, mn, mn), direct);
+    reporter.add_row(perf::BenchRow::from_measurement(
+        direct_meas, "direct_call/gemm", mn, mn, mn));
+    print_row("direct_call", "gemm", direct_meas.seconds.median * 1e3);
+    print_json("direct_call", "gemm", direct_meas.seconds.median * 1e3);
   }
 
   rt::TuningDatabase(dir).purge();

@@ -15,6 +15,7 @@ int main() {
 
   print_platform("Figure 18: DGEMM, m=n sweep, k=256");
   auto libs = figure_libraries();
+  SuiteReporter reporter("fig18_dgemm");
   print_series_header("m=n (k=256)", libs);
 
   const long k = 256;
@@ -30,10 +31,12 @@ int main() {
 
     std::vector<double> row;
     for (std::size_t li = 0; li < libs.size(); ++li) {
-      const double mf = measure_mflops(gemm_flops(mn, mn, k), [&] {
-        libs[li].lib->gemm(blas::Trans::kNo, blas::Trans::kNo, mn, mn, k, 1.0,
-                           a.data(), mn, b.data(), k, 0.0, c.data(), mn);
-      });
+      const double mf = reporter.measure_mflops(
+          libs[li].label, mn, mn, k, gemm_flops(mn, mn, k), [&] {
+            libs[li].lib->gemm(blas::Trans::kNo, blas::Trans::kNo, mn, mn, k,
+                               1.0, a.data(), mn, b.data(), k, 0.0, c.data(),
+                               mn);
+          });
       row.push_back(mf);
       sums[li] += mf;
     }

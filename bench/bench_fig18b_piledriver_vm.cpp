@@ -23,6 +23,9 @@ int main() {
   using namespace augem::bench;
 
   print_platform("Figure 18(b): Piledriver ISA paths, executed in the VM");
+  // Deterministic bench: the recorded metric is FLOPs per dynamic VM
+  // instruction (higher = better, zero noise), not wall-clock GFLOPS.
+  SuiteReporter reporter("fig18b_piledriver_vm");
 
   const long mc = 16, nc = 8, kc = 32, ldc = mc;
   std::printf("GEMM %ldx%ldx%ld on packed panels; identical templates, "
@@ -68,6 +71,17 @@ int main() {
                 p.nr, static_cast<long long>(m.steps_executed()),
                 static_cast<double>(m.steps_executed()) / flops,
                 max_err < 1e-10 ? "ok" : "FAILED");
+
+    perf::BenchRow row;
+    row.name = std::string("flops_per_instr/") + isa_name(isa);
+    row.m = mc;
+    row.n = nc;
+    row.k = kc;
+    row.gflops = flops / static_cast<double>(m.steps_executed());
+    row.gflops_lo = row.gflops;  // deterministic: zero-width interval
+    row.gflops_hi = row.gflops;
+    row.reps = 1;
+    reporter.add_row(row);
   }
   std::printf(
       "\nFMA3 and FMA4 execute the same instruction count (one fused op per\n"

@@ -11,6 +11,7 @@ int main() {
 
   print_platform("Figure 19: DGEMV, m=n sweep");
   auto libs = figure_libraries();
+  SuiteReporter reporter("fig19_dgemv");
   print_series_header("m=n", libs);
 
   std::vector<double> sums(libs.size(), 0.0);
@@ -25,9 +26,11 @@ int main() {
 
     std::vector<double> row;
     for (std::size_t li = 0; li < libs.size(); ++li) {
-      const double mf = measure_mflops(gemv_flops(mn, mn), [&] {
-        libs[li].lib->gemv(mn, mn, 1.0, a.data(), mn, x.data(), 0.0, y.data());
-      });
+      const double mf = reporter.measure_mflops(
+          libs[li].label, mn, mn, 0, gemv_flops(mn, mn), [&] {
+            libs[li].lib->gemv(mn, mn, 1.0, a.data(), mn, x.data(), 0.0,
+                               y.data());
+          });
       row.push_back(mf);
       sums[li] += mf;
     }

@@ -10,6 +10,7 @@ int main() {
 
   print_platform("Figure 20: DAXPY, n = 100000..200000");
   auto libs = figure_libraries();
+  SuiteReporter reporter("fig20_daxpy");
   print_series_header("n", libs);
 
   std::vector<double> sums(libs.size(), 0.0);
@@ -23,10 +24,11 @@ int main() {
 
     std::vector<double> row;
     for (std::size_t li = 0; li < libs.size(); ++li) {
-      const double mf = measure_mflops(axpy_flops(n) * 16, [&] {
-        for (int r = 0; r < 16; ++r)  // amortize timer resolution
-          libs[li].lib->axpy(n, 1.0000001, x.data(), y.data());
-      });
+      const double mf = reporter.measure_mflops(
+          libs[li].label, n, 0, 0, axpy_flops(n) * 16, [&] {
+            for (int r = 0; r < 16; ++r)  // amortize timer resolution
+              libs[li].lib->axpy(n, 1.0000001, x.data(), y.data());
+          });
       row.push_back(mf);
       sums[li] += mf;
     }

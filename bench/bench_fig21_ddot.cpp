@@ -10,6 +10,7 @@ int main() {
 
   print_platform("Figure 21: DDOT, n = 100000..200000");
   auto libs = figure_libraries();
+  SuiteReporter reporter("fig21_ddot");
   print_series_header("n", libs);
 
   std::vector<double> sums(libs.size(), 0.0);
@@ -24,12 +25,13 @@ int main() {
 
     std::vector<double> row;
     for (std::size_t li = 0; li < libs.size(); ++li) {
-      const double mf = measure_mflops(dot_flops(n) * 16, [&] {
-        double acc = 0.0;
-        for (int r = 0; r < 16; ++r)
-          acc += libs[li].lib->dot(n, x.data(), y.data());
-        sink = acc;
-      });
+      const double mf = reporter.measure_mflops(
+          libs[li].label, n, 0, 0, dot_flops(n) * 16, [&] {
+            double acc = 0.0;
+            for (int r = 0; r < 16; ++r)
+              acc += libs[li].lib->dot(n, x.data(), y.data());
+            sink = acc;
+          });
       row.push_back(mf);
       sums[li] += mf;
     }

@@ -1,86 +1,58 @@
-// google-benchmark microbenchmarks of the four generated kernels, for
-// fine-grained perf tracking (complements the figure-style sweeps).
+// Microbenchmarks of the generated kernels, for fine-grained perf tracking
+// (complements the figure-style sweeps). Runs the shared "micro" suite
+// (src/perf/suites.hpp) — the same points tools/bench_gate gates on — so
+// this binary, the gate, and the bench_quick_gate ctest all produce
+// byte-compatible BENCH_micro.json trajectories.
+//
+//   bench_kernels_micro [--quick] [--pessimize]
+//
+// --quick shrinks problems to the tier-1 smoke sizes; --pessimize runs the
+// deliberately slow kernel configuration (for exercising the gate by hand).
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstring>
 
-#include "augem/augem.hpp"
-#include "support/buffer.hpp"
-#include "support/rng.hpp"
+#include "common.hpp"
+#include "perf/suites.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace augem;
+  using namespace augem::bench;
 
-using namespace augem;
+  perf::SuiteOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(argv[i], "--pessimize") == 0) {
+      options.pessimize = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_kernels_micro [--quick] [--pessimize]\n");
+      return 2;
+    }
+  }
 
-KernelSet& kernels() {
-  static KernelSet set(host_arch().best_native_isa());
-  return set;
+  print_platform("Micro: generated kernels through BenchRunner");
+  const perf::BenchReport report = perf::run_suite("micro", options);
+
+  std::printf("%-8s %10s %10s %10s  %-28s %6s %6s\n", "kernel", "m", "n", "k",
+              "GFLOPS [95% CI]", "reps", "freq");
+  const CpuArch& arch = host_arch();
+  for (const perf::BenchRow& r : report.rows) {
+    char ci[40];
+    std::snprintf(ci, sizeof ci, "%.2f [%.2f, %.2f]", r.gflops, r.gflops_lo,
+                  r.gflops_hi);
+    std::printf("%-8s %10ld %10ld %10ld  %-28s %6d %6s\n", r.name.c_str(),
+                r.m, r.n, r.k, ci, r.reps, r.frequency_stable ? "ok" : "DRIFT");
+  }
+  if (!report.rows.empty())
+    std::printf("roofline: gemm %s\n",
+                perf::roofline_annotation(report.rows.front().gflops, arch,
+                                          arch.best_native_isa())
+                    .c_str());
+
+  const std::string path = perf::write_report(report);
+  std::printf("trajectory: %s (%zu rows, rev %s)\n\n", path.c_str(),
+              report.rows.size(), report.git_rev.c_str());
+  return 0;
 }
-
-void BM_GemmKernel(benchmark::State& state) {
-  KernelSet& set = kernels();
-  const long mn = state.range(0);
-  const long mc = mn / set.gemm_mr() * set.gemm_mr();
-  const long nc = mn / set.gemm_nr() * set.gemm_nr();
-  const long kc = 256;
-  Rng rng(1);
-  DoubleBuffer pa(static_cast<std::size_t>(mc * kc));
-  DoubleBuffer pb(static_cast<std::size_t>(nc * kc));
-  DoubleBuffer c(static_cast<std::size_t>(mc * nc));
-  rng.fill(pa.span());
-  rng.fill(pb.span());
-  for (auto _ : state)
-    set.gemm()(mc, nc, kc, pa.data(), pb.data(), c.data(), mc);
-  state.counters["FLOPS"] = benchmark::Counter(
-      2.0 * static_cast<double>(mc) * static_cast<double>(nc) *
-          static_cast<double>(kc),
-      benchmark::Counter::kIsIterationInvariantRate);
-}
-BENCHMARK(BM_GemmKernel)->Arg(128)->Arg(256)->Arg(384);
-
-void BM_GemvKernel(benchmark::State& state) {
-  const long mn = state.range(0);
-  Rng rng(2);
-  DoubleBuffer a(static_cast<std::size_t>(mn * mn));
-  DoubleBuffer x(static_cast<std::size_t>(mn));
-  DoubleBuffer y(static_cast<std::size_t>(mn));
-  rng.fill(a.span());
-  rng.fill(x.span());
-  for (auto _ : state) kernels().gemv()(mn, mn, a.data(), mn, x.data(), y.data());
-  state.counters["FLOPS"] = benchmark::Counter(
-      2.0 * static_cast<double>(mn) * static_cast<double>(mn),
-      benchmark::Counter::kIsIterationInvariantRate);
-}
-BENCHMARK(BM_GemvKernel)->Arg(512)->Arg(1024);
-
-void BM_AxpyKernel(benchmark::State& state) {
-  const long n = state.range(0);
-  Rng rng(3);
-  DoubleBuffer x(static_cast<std::size_t>(n));
-  DoubleBuffer y(static_cast<std::size_t>(n));
-  rng.fill(x.span());
-  rng.fill(y.span());
-  for (auto _ : state) kernels().axpy()(n, 1.0000001, x.data(), y.data());
-  state.counters["FLOPS"] = benchmark::Counter(
-      2.0 * static_cast<double>(n),
-      benchmark::Counter::kIsIterationInvariantRate);
-}
-BENCHMARK(BM_AxpyKernel)->Arg(10000)->Arg(100000);
-
-void BM_DotKernel(benchmark::State& state) {
-  const long n = state.range(0);
-  Rng rng(4);
-  DoubleBuffer x(static_cast<std::size_t>(n));
-  DoubleBuffer y(static_cast<std::size_t>(n));
-  rng.fill(x.span());
-  rng.fill(y.span());
-  for (auto _ : state)
-    benchmark::DoNotOptimize(kernels().dot()(n, x.data(), y.data()));
-  state.counters["FLOPS"] = benchmark::Counter(
-      2.0 * static_cast<double>(n),
-      benchmark::Counter::kIsIterationInvariantRate);
-}
-BENCHMARK(BM_DotKernel)->Arg(10000)->Arg(100000);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
 
   const long mn = argc > 1 ? std::atol(argv[1]) : 2048;
   print_platform("Thread scaling: DGEMM, m=n=k sweep over thread counts");
+  SuiteReporter reporter("scaling_threads");
 
   auto kernels = std::make_shared<KernelSet>(host_arch().best_native_isa());
   const blas::BlockSizes sizes = blas::default_block_sizes(host_arch());
@@ -47,10 +48,13 @@ int main(int argc, char** argv) {
   std::vector<std::pair<int, double>> rows;
   for (int t : thread_counts) {
     auto lib = make_augem_blas(kernels, sizes, t);
-    const double mf = measure_mflops(gemm_flops(mn, mn, mn), [&] {
-      lib->gemm(blas::Trans::kNo, blas::Trans::kNo, mn, mn, mn, 1.0, a.data(),
-                mn, b.data(), mn, 0.0, c.data(), mn);
-    });
+    const double mf = reporter.measure_mflops(
+        "AUGEM", mn, mn, mn, gemm_flops(mn, mn, mn),
+        [&] {
+          lib->gemm(blas::Trans::kNo, blas::Trans::kNo, mn, mn, mn, 1.0,
+                    a.data(), mn, b.data(), mn, 0.0, c.data(), mn);
+        },
+        t);
     const double gflops = mf / 1000.0;
     if (t == 1) serial_gflops = gflops;
     const double speedup = serial_gflops > 0.0 ? gflops / serial_gflops : 0.0;

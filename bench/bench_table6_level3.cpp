@@ -16,72 +16,79 @@ using blas::index_t;
 
 struct Routine {
   const char* name;
-  double (*run)(blas::Blas&, long mn, long k, Rng&);
+  double (*run)(SuiteReporter&, const std::string& series, blas::Blas&,
+                long mn, long k, Rng&);
 };
 
-double run_symm(blas::Blas& lib, long mn, long k, Rng& rng) {
+double run_symm(SuiteReporter& rep, const std::string& series,
+                blas::Blas& lib, long mn, long k, Rng& rng) {
   (void)k;
   DoubleBuffer a(static_cast<std::size_t>(mn * mn));
   DoubleBuffer b(static_cast<std::size_t>(mn * 256));
   DoubleBuffer c(static_cast<std::size_t>(mn * 256));
   rng.fill(a.span());
   rng.fill(b.span());
-  return measure_mflops(symm_flops(mn, 256), [&] {
+  return rep.measure_mflops(series, mn, 256, 0, symm_flops(mn, 256), [&] {
     lib.symm(mn, 256, 1.0, a.data(), mn, b.data(), mn, 0.0, c.data(), mn);
   });
 }
 
-double run_syrk(blas::Blas& lib, long mn, long k, Rng& rng) {
+double run_syrk(SuiteReporter& rep, const std::string& series,
+                blas::Blas& lib, long mn, long k, Rng& rng) {
   DoubleBuffer a(static_cast<std::size_t>(mn * k));
   DoubleBuffer c(static_cast<std::size_t>(mn * mn));
   rng.fill(a.span());
-  return measure_mflops(syrk_flops(mn, k), [&] {
+  return rep.measure_mflops(series, mn, 0, k, syrk_flops(mn, k), [&] {
     lib.syrk(mn, k, 1.0, a.data(), mn, 0.0, c.data(), mn);
   });
 }
 
-double run_syr2k(blas::Blas& lib, long mn, long k, Rng& rng) {
+double run_syr2k(SuiteReporter& rep, const std::string& series,
+                blas::Blas& lib, long mn, long k, Rng& rng) {
   DoubleBuffer a(static_cast<std::size_t>(mn * k));
   DoubleBuffer b(static_cast<std::size_t>(mn * k));
   DoubleBuffer c(static_cast<std::size_t>(mn * mn));
   rng.fill(a.span());
   rng.fill(b.span());
-  return measure_mflops(syr2k_flops(mn, k), [&] {
+  return rep.measure_mflops(series, mn, 0, k, syr2k_flops(mn, k), [&] {
     lib.syr2k(mn, k, 1.0, a.data(), mn, b.data(), mn, 0.0, c.data(), mn);
   });
 }
 
-double run_trmm(blas::Blas& lib, long mn, long k, Rng& rng) {
+double run_trmm(SuiteReporter& rep, const std::string& series,
+                blas::Blas& lib, long mn, long k, Rng& rng) {
   (void)k;
   DoubleBuffer l(static_cast<std::size_t>(mn * mn));
   DoubleBuffer b(static_cast<std::size_t>(mn * 256));
   rng.fill(l.span());
   rng.fill(b.span());
-  return measure_mflops(trmm_flops(mn, 256), [&] {
+  return rep.measure_mflops(series, mn, 256, 0, trmm_flops(mn, 256), [&] {
     lib.trmm(mn, 256, l.data(), mn, b.data(), mn);
   });
 }
 
-double run_trsm(blas::Blas& lib, long mn, long k, Rng& rng) {
+double run_trsm(SuiteReporter& rep, const std::string& series,
+                blas::Blas& lib, long mn, long k, Rng& rng) {
   (void)k;
   DoubleBuffer l(static_cast<std::size_t>(mn * mn));
   DoubleBuffer b(static_cast<std::size_t>(mn * 256));
   rng.fill(l.span());
   for (long i = 0; i < mn; ++i) l[i * mn + i] = 4.0 + i % 3;
   rng.fill(b.span());
-  return measure_mflops(trsm_flops(mn, 256), [&] {
+  return rep.measure_mflops(series, mn, 256, 0, trsm_flops(mn, 256), [&] {
     lib.trsm(mn, 256, l.data(), mn, b.data(), mn);
   });
 }
 
-double run_ger(blas::Blas& lib, long mn, long k, Rng& rng) {
+double run_ger(SuiteReporter& rep, const std::string& series,
+                blas::Blas& lib, long mn, long k, Rng& rng) {
   (void)k;
   DoubleBuffer x(static_cast<std::size_t>(mn));
   DoubleBuffer y(static_cast<std::size_t>(mn));
   DoubleBuffer a(static_cast<std::size_t>(mn * mn));
   rng.fill(x.span());
   rng.fill(y.span());
-  return measure_mflops(ger_flops(mn, mn) * 4, [&] {
+  return rep.measure_mflops(series, mn, mn, 0, ger_flops(mn, mn) * 4, [&] {
     for (int r = 0; r < 4; ++r)
       lib.ger(mn, mn, 1.0000001, x.data(), y.data(), a.data(), mn);
   });
@@ -92,6 +99,7 @@ double run_ger(blas::Blas& lib, long mn, long k, Rng& rng) {
 int main() {
   print_platform("Table 6: higher-level DLA routines (avg MFLOPS)");
   auto libs = figure_libraries();
+  augem::bench::SuiteReporter reporter("table6_level3");
 
   const Routine routines[] = {
       {"SYMM", run_symm},  {"SYRK", run_syrk}, {"SYR2K", run_syr2k},
@@ -113,7 +121,8 @@ int main() {
       for (long mn : is_ger ? std::vector<long>{768, 1024}
                             : std::vector<long>{256, 384, 512}) {
         Rng rng(37);
-        sum += r.run(*l.lib, mn, 256, rng);
+        sum += r.run(reporter, std::string(r.name) + "/" + l.label, *l.lib,
+                     mn, 256, rng);
         ++count;
       }
       std::printf("  %20.1f", sum / count);

@@ -1,15 +1,18 @@
 #pragma once
 // Helper for ablation benches: generate + JIT one GEMM kernel configuration
-// and time it on packed blocks.
+// and time it on packed blocks. Measurement goes through perf::BenchRunner
+// like everything else — historically this helper reported best-of while
+// the figure benches reported mean-of; both now report the median of
+// adaptive post-warmup repetitions (docs/benchmarking.md).
 
 #include <cstdio>
 #include <string>
 
 #include "augem/augem.hpp"
+#include "common.hpp"
 #include "support/buffer.hpp"
 #include "support/flops.hpp"
 #include "support/rng.hpp"
-#include "support/timer.hpp"
 
 namespace augem::bench {
 
@@ -17,11 +20,13 @@ struct GemmKernelBench {
   long mc = 384;
   long nc = 384;
   long kc = 256;
-  int reps = 5;
 
   /// MFLOPS of the generated GEMM kernel for this config; 0 if infeasible.
-  double run(const transform::CGenParams& params,
-             const opt::OptConfig& config) const {
+  /// With a reporter, the point is also recorded as a trajectory row named
+  /// `series`.
+  double run(const transform::CGenParams& params, const opt::OptConfig& config,
+             SuiteReporter* reporter = nullptr,
+             const std::string& series = {}) const {
     try {
       GenerateOptions o;
       o.params = params;
@@ -39,10 +44,13 @@ struct GemmKernelBench {
       DoubleBuffer c(static_cast<std::size_t>(m * n));
       rng.fill(pa.span());
       rng.fill(pb.span());
-      fn(m, n, kc, pa.data(), pb.data(), c.data(), m);  // warm up
-      const double s = time_best_of(
-          reps, [&] { fn(m, n, kc, pa.data(), pb.data(), c.data(), m); });
-      return mflops(gemm_flops(m, n, kc), s);
+      const auto work = [&] {
+        fn(m, n, kc, pa.data(), pb.data(), c.data(), m);
+      };
+      const double flops = gemm_flops(m, n, kc);
+      if (reporter != nullptr)
+        return reporter->measure_mflops(series, m, n, kc, flops, work);
+      return perf::BenchRunner().run(flops, work).mflops();
     } catch (const Error&) {
       return 0.0;  // infeasible configuration (register budget, Shuf shape)
     }

@@ -1,0 +1,41 @@
+#include "perf/clock.hpp"
+
+#include <chrono>
+
+namespace augem::perf {
+
+double monotonic_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double time_call(const std::function<void()>& fn) {
+  const double t0 = monotonic_now_s();
+  fn();
+  return monotonic_now_s() - t0;
+}
+
+void spin_fpu(double seconds) {
+  volatile double sink = 1.0;
+  const double t0 = monotonic_now_s();
+  while (monotonic_now_s() - t0 < seconds)
+    sink = sink * 1.0000001 + 1e-9;
+  (void)sink;
+}
+
+double frequency_probe_s() {
+  // A serial dependency chain: the loop's wall time is latency-bound and
+  // scales with 1/frequency, unaffected by memory or issue width.
+  constexpr int kIters = 200000;
+  volatile double seed = 1.0;
+  double acc = seed;
+  const double t0 = monotonic_now_s();
+  for (int i = 0; i < kIters; ++i) acc = acc * 1.0000001 + 1e-12;
+  const double t1 = monotonic_now_s();
+  seed = acc;
+  (void)seed;
+  return t1 - t0;
+}
+
+}  // namespace augem::perf

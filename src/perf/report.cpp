@@ -1,0 +1,249 @@
+#include "perf/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "perf/roofline.hpp"
+#include "support/arch.hpp"
+#include "support/error.hpp"
+
+#ifndef AUGEM_GIT_REV
+#define AUGEM_GIT_REV "unknown"
+#endif
+
+namespace augem::perf {
+
+std::string BenchRow::key() const {
+  std::ostringstream os;
+  os << name << "/" << m << "x" << n << "x" << k << "/t" << threads;
+  return os.str();
+}
+
+double BenchRow::rel_noise() const {
+  if (gflops <= 0.0) return 0.0;
+  const double half =
+      std::max(gflops - gflops_lo, gflops_hi > 0.0 ? gflops_hi - gflops : 0.0);
+  return half / gflops;
+}
+
+BenchRow BenchRow::from_measurement(const Measurement& meas, std::string name,
+                                    long mm, long nn, long kk, int threads) {
+  BenchRow r;
+  r.name = std::move(name);
+  r.m = mm;
+  r.n = nn;
+  r.k = kk;
+  r.threads = threads;
+  r.gflops = meas.gflops();
+  r.gflops_lo = meas.gflops_lo();
+  r.gflops_hi = meas.gflops_hi();
+  r.median_s = meas.seconds.median;
+  r.mad_s = meas.seconds.mad;
+  r.reps = static_cast<int>(meas.seconds.n);
+  r.frequency_stable = meas.frequency_stable;
+  return r;
+}
+
+Json BenchReport::to_json() const {
+  Json j = Json::object();
+  j["schema"] = Json(schema);
+  j["bench"] = Json(bench);
+  j["machine"] = Json(machine);
+  j["git_rev"] = Json(git_rev);
+  j["timestamp"] = Json(timestamp);
+  j["peak_gflops"] = Json(peak_gflops);
+  Json rows_j = Json::array();
+  for (const BenchRow& r : rows) {
+    Json row = Json::object();
+    row["name"] = Json(r.name);
+    row["m"] = Json(static_cast<std::int64_t>(r.m));
+    row["n"] = Json(static_cast<std::int64_t>(r.n));
+    row["k"] = Json(static_cast<std::int64_t>(r.k));
+    row["threads"] = Json(r.threads);
+    row["gflops"] = Json(r.gflops);
+    row["gflops_lo"] = Json(r.gflops_lo);
+    row["gflops_hi"] = Json(r.gflops_hi);
+    row["median_s"] = Json(r.median_s);
+    row["mad_s"] = Json(r.mad_s);
+    row["reps"] = Json(r.reps);
+    row["frequency_stable"] = Json(r.frequency_stable);
+    rows_j.push_back(std::move(row));
+  }
+  j["rows"] = std::move(rows_j);
+  return j;
+}
+
+std::optional<BenchReport> BenchReport::from_json(const Json& j) {
+  if (!j.is_object()) return std::nullopt;
+  const auto schema = j.number("schema");
+  if (!schema || static_cast<int>(*schema) != kReportSchemaVersion)
+    return std::nullopt;
+  const auto bench = j.string("bench");
+  const auto machine = j.string("machine");
+  const Json* rows = j.get("rows");
+  if (!bench || !machine || rows == nullptr || !rows->is_array())
+    return std::nullopt;
+
+  BenchReport r;
+  r.bench = *bench;
+  r.machine = *machine;
+  r.git_rev = j.string("git_rev").value_or("unknown");
+  r.timestamp = j.string("timestamp").value_or("");
+  r.peak_gflops = j.number("peak_gflops").value_or(0.0);
+  for (const Json& row_j : rows->items()) {
+    if (!row_j.is_object()) return std::nullopt;
+    const auto name = row_j.string("name");
+    const auto gflops = row_j.number("gflops");
+    if (!name || !gflops) return std::nullopt;  // corrupt row: reject the file
+    BenchRow row;
+    row.name = *name;
+    row.m = static_cast<long>(row_j.number("m").value_or(0));
+    row.n = static_cast<long>(row_j.number("n").value_or(0));
+    row.k = static_cast<long>(row_j.number("k").value_or(0));
+    row.threads = static_cast<int>(row_j.number("threads").value_or(1));
+    row.gflops = *gflops;
+    row.gflops_lo = row_j.number("gflops_lo").value_or(*gflops);
+    row.gflops_hi = row_j.number("gflops_hi").value_or(*gflops);
+    row.median_s = row_j.number("median_s").value_or(0.0);
+    row.mad_s = row_j.number("mad_s").value_or(0.0);
+    row.reps = static_cast<int>(row_j.number("reps").value_or(0));
+    row.frequency_stable = row_j.boolean("frequency_stable").value_or(true);
+    r.rows.push_back(std::move(row));
+  }
+  return r;
+}
+
+BenchReport make_host_report(std::string bench) {
+  BenchReport r;
+  r.bench = std::move(bench);
+  const CpuArch& arch = host_arch();
+  r.machine = cpu_signature(arch);
+  r.git_rev = AUGEM_GIT_REV;
+  r.peak_gflops = peak_gflops(arch, arch.best_native_isa());
+  char buf[32];
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  r.timestamp = buf;
+  return r;
+}
+
+std::string bench_output_dir() {
+  if (const char* env = std::getenv("AUGEM_BENCH_DIR"))
+    if (env[0] != '\0') return env;
+  return ".";
+}
+
+std::string write_report(const BenchReport& report, std::string dir) {
+  if (dir.empty()) dir = bench_output_dir();
+  const std::string path = dir + "/" + report.file_name();
+  std::ofstream out(path);
+  AUGEM_CHECK(out.good(), "cannot open benchmark report file " + path);
+  out << report.to_json().dump() << "\n";
+  out.close();
+  AUGEM_CHECK(out.good(), "failed writing benchmark report " + path);
+  return path;
+}
+
+std::optional<BenchReport> load_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return std::nullopt;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto j = parse_json(buf.str());
+  if (!j) return std::nullopt;
+  return BenchReport::from_json(*j);
+}
+
+const char* row_verdict_name(RowVerdict v) {
+  switch (v) {
+    case RowVerdict::kUnchanged: return "unchanged";
+    case RowVerdict::kImproved: return "improved";
+    case RowVerdict::kRegressed: return "regressed";
+    case RowVerdict::kNew: return "new";
+    case RowVerdict::kMissing: return "missing";
+  }
+  return "?";
+}
+
+bool DiffResult::any_regression() const {
+  for (const RowDiff& r : rows)
+    if (r.verdict == RowVerdict::kRegressed) return true;
+  return false;
+}
+
+std::string DiffResult::to_string() const {
+  std::ostringstream os;
+  if (machine_mismatch) os << "machine signatures differ; not comparable\n";
+  if (schema_mismatch) os << "schema versions differ; not comparable\n";
+  char line[192];
+  for (const RowDiff& r : rows) {
+    if (r.verdict == RowVerdict::kNew || r.verdict == RowVerdict::kMissing) {
+      std::snprintf(line, sizeof line, "%-40s %-10s\n", r.key.c_str(),
+                    row_verdict_name(r.verdict));
+    } else {
+      std::snprintf(line, sizeof line,
+                    "%-40s %-10s %8.2f -> %8.2f GFLOPS  %+6.1f%% (noise "
+                    "%.1f%%)\n",
+                    r.key.c_str(), row_verdict_name(r.verdict), r.base_gflops,
+                    r.cur_gflops, 100.0 * r.delta_rel, 100.0 * r.noise_rel);
+    }
+    os << line;
+  }
+  return os.str();
+}
+
+DiffResult diff_reports(const BenchReport& base, const BenchReport& cur,
+                        const DiffOptions& options) {
+  DiffResult result;
+  result.schema_mismatch = base.schema != cur.schema;
+  result.machine_mismatch =
+      options.require_same_machine && base.machine != cur.machine;
+  if (!result.comparable()) return result;
+
+  std::map<std::string, const BenchRow*> base_rows;
+  for (const BenchRow& r : base.rows) base_rows[r.key()] = &r;
+
+  for (const BenchRow& c : cur.rows) {
+    RowDiff d;
+    d.key = c.key();
+    d.cur_gflops = c.gflops;
+    auto it = base_rows.find(d.key);
+    if (it == base_rows.end()) {
+      d.verdict = RowVerdict::kNew;
+      result.rows.push_back(std::move(d));
+      continue;
+    }
+    const BenchRow& b = *it->second;
+    base_rows.erase(it);
+    d.base_gflops = b.gflops;
+    if (b.gflops > 0.0) d.delta_rel = (c.gflops - b.gflops) / b.gflops;
+    // Pooled noise: both rows' CIs, each relative to its own median. A
+    // change only counts when it clears the threshold *plus* this noise.
+    d.noise_rel = b.rel_noise() + c.rel_noise();
+    const double bar = options.threshold + d.noise_rel;
+    if (d.delta_rel < -bar)
+      d.verdict = RowVerdict::kRegressed;
+    else if (d.delta_rel > bar)
+      d.verdict = RowVerdict::kImproved;
+    else
+      d.verdict = RowVerdict::kUnchanged;
+    result.rows.push_back(std::move(d));
+  }
+  for (const auto& [key, row] : base_rows) {
+    RowDiff d;
+    d.key = key;
+    d.base_gflops = row->gflops;
+    d.verdict = RowVerdict::kMissing;
+    result.rows.push_back(std::move(d));
+  }
+  return result;
+}
+
+}  // namespace augem::perf

@@ -1,0 +1,127 @@
+#pragma once
+// Schema-versioned benchmark trajectory files and the noise-aware diff.
+//
+// Every bench target writes a BENCH_<name>.json into the current directory
+// (or AUGEM_BENCH_DIR): machine signature, git revision, peak-GFLOPS
+// ceiling, and one row per measured point with the median GFLOPS *and its
+// CI bounds*. Two reports for the same machine can then be diffed with a
+// verdict per row — improved / regressed / unchanged — where "changed"
+// means *beyond both the configured threshold and the pooled confidence
+// intervals*, so timer noise cannot fail a gate. tools/bench_gate is the
+// CLI over this; docs/benchmarking.md documents the schema.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "perf/bench_runner.hpp"
+#include "support/json.hpp"
+
+namespace augem::perf {
+
+/// Bumped whenever a field changes meaning; readers reject other versions
+/// (a baseline from a different schema must not silently gate a PR).
+inline constexpr int kReportSchemaVersion = 1;
+
+/// One measured point of a bench. `name` identifies the point within the
+/// bench ("AUGEM", "gemm", ...); (m, n, k, threads) complete the identity
+/// a diff matches rows by.
+struct BenchRow {
+  std::string name;
+  long m = 0;
+  long n = 0;
+  long k = 0;
+  int threads = 1;
+  double gflops = 0.0;
+  double gflops_lo = 0.0;  ///< CI bounds (lo = slow edge)
+  double gflops_hi = 0.0;
+  double median_s = 0.0;
+  double mad_s = 0.0;
+  int reps = 0;
+  bool frequency_stable = true;
+
+  /// Row identity within a report (what diffs join on).
+  std::string key() const;
+  /// The larger CI half-width, as a fraction of the median GFLOPS.
+  double rel_noise() const;
+
+  static BenchRow from_measurement(const Measurement& m, std::string name,
+                                   long mm = 0, long nn = 0, long kk = 0,
+                                   int threads = 1);
+};
+
+struct BenchReport {
+  int schema = kReportSchemaVersion;
+  std::string bench;    ///< short name; the file is BENCH_<bench>.json
+  std::string machine;  ///< cpu_signature(host_arch())
+  std::string git_rev;  ///< configure-time revision, "unknown" outside git
+  std::string timestamp;  ///< ISO-8601 UTC
+  double peak_gflops = 0.0;  ///< 0 when the frequency is unknown
+  std::vector<BenchRow> rows;
+
+  std::string file_name() const { return "BENCH_" + bench + ".json"; }
+  Json to_json() const;
+  static std::optional<BenchReport> from_json(const Json& j);
+};
+
+/// A report skeleton for the host: machine signature, git revision,
+/// timestamp, and the roofline ceiling for the host's best native ISA.
+BenchReport make_host_report(std::string bench);
+
+/// $AUGEM_BENCH_DIR or "." — where trajectory files land.
+std::string bench_output_dir();
+
+/// Writes `report` as <dir>/BENCH_<bench>.json (dir defaults to
+/// bench_output_dir()). Returns the path written. Throws augem::Error on
+/// I/O failure.
+std::string write_report(const BenchReport& report, std::string dir = {});
+
+/// Loads and validates a report; nullopt on unreadable / malformed /
+/// wrong-schema files.
+std::optional<BenchReport> load_report(const std::string& path);
+
+// ---- diffing ---------------------------------------------------------------
+
+enum class RowVerdict {
+  kUnchanged,  ///< inside threshold + pooled CI noise
+  kImproved,
+  kRegressed,
+  kNew,      ///< row only in the current report
+  kMissing,  ///< row only in the baseline
+};
+
+const char* row_verdict_name(RowVerdict v);
+
+struct RowDiff {
+  std::string key;
+  double base_gflops = 0.0;
+  double cur_gflops = 0.0;
+  double delta_rel = 0.0;  ///< (cur - base) / base
+  double noise_rel = 0.0;  ///< pooled relative CI of the two rows
+  RowVerdict verdict = RowVerdict::kUnchanged;
+};
+
+struct DiffOptions {
+  /// Relative change that counts as real *beyond* the pooled CI (the
+  /// "5% beyond the pooled CI" rule).
+  double threshold = 0.05;
+  /// Refuse to compare reports from different machine signatures (a
+  /// baseline from another machine says nothing about this one).
+  bool require_same_machine = true;
+};
+
+struct DiffResult {
+  std::vector<RowDiff> rows;
+  bool machine_mismatch = false;
+  bool schema_mismatch = false;
+
+  bool comparable() const { return !machine_mismatch && !schema_mismatch; }
+  bool any_regression() const;
+  /// Human-readable multi-line verdict table.
+  std::string to_string() const;
+};
+
+DiffResult diff_reports(const BenchReport& base, const BenchReport& cur,
+                        const DiffOptions& options = {});
+
+}  // namespace augem::perf

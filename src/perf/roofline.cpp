@@ -1,0 +1,40 @@
+#include "perf/roofline.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace augem::perf {
+
+double flops_per_cycle(Isa isa) {
+  switch (isa) {
+    case Isa::kSse2: return 4.0;
+    case Isa::kAvx:  return 8.0;
+    case Isa::kFma3:
+    case Isa::kFma4: return 16.0;
+  }
+  return 0.0;
+}
+
+double peak_gflops(const CpuArch& arch, Isa isa) {
+  double ghz = arch.nominal_ghz;
+  if (ghz <= 0.0) {
+    if (const char* env = std::getenv("AUGEM_NOMINAL_GHZ")) {
+      const double v = std::atof(env);
+      if (v > 0.0) ghz = v;
+    }
+  }
+  return ghz > 0.0 ? ghz * flops_per_cycle(isa) : 0.0;
+}
+
+std::string roofline_annotation(double gflops, const CpuArch& arch, Isa isa) {
+  char buf[96];
+  const double peak = peak_gflops(arch, isa);
+  if (peak > 0.0)
+    std::snprintf(buf, sizeof buf, "%.1f GFLOPS (%.0f%% of %.1f peak)",
+                  gflops, 100.0 * gflops / peak, peak);
+  else
+    std::snprintf(buf, sizeof buf, "%.1f GFLOPS (peak unknown)", gflops);
+  return buf;
+}
+
+}  // namespace augem::perf

@@ -1,0 +1,45 @@
+#include "perf/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace augem::perf {
+
+double median(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  const std::size_t mid = samples.size() / 2;
+  std::nth_element(samples.begin(), samples.begin() + mid, samples.end());
+  const double hi = samples[mid];
+  if (samples.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(samples.begin(), samples.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double mad(const std::vector<double>& samples, double center) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> dev;
+  dev.reserve(samples.size());
+  for (double s : samples) dev.push_back(std::abs(s - center));
+  return median(std::move(dev));
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  const auto [lo, hi] = std::minmax_element(samples.begin(), samples.end());
+  s.min = *lo;
+  s.max = *hi;
+  s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+  s.median = median(samples);
+  s.mad = mad(samples, s.median);
+  // 1.96 (normal 95%) * 1.253 (sqrt(pi/2), median vs mean efficiency)
+  // * 1.4826 (MAD -> sigma under normality) / sqrt(n).
+  s.ci_half =
+      1.96 * 1.253 * 1.4826 * s.mad / std::sqrt(static_cast<double>(s.n));
+  return s;
+}
+
+}  // namespace augem::perf

@@ -1,0 +1,44 @@
+#pragma once
+// Robust sample statistics for noisy timing data: median, median absolute
+// deviation (MAD), and a MAD-based confidence interval on the median.
+//
+// Why median/MAD and not mean/stddev: timing samples on a busy machine are
+// right-skewed (interrupts, frequency dips, page faults stretch individual
+// runs; nothing shortens them), so the mean and the standard deviation are
+// dominated by the outliers the harness is trying to ignore. The median and
+// the MAD are insensitive to any minority of contaminated samples.
+
+#include <cstddef>
+#include <vector>
+
+namespace augem::perf {
+
+/// Median of `samples` (averaged middle pair for even sizes). 0 for empty.
+double median(std::vector<double> samples);
+
+/// Median absolute deviation around `center`. 0 for empty.
+double mad(const std::vector<double>& samples, double center);
+
+/// Robust summary of one measurement's samples.
+struct Summary {
+  std::size_t n = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double mad = 0.0;      ///< median absolute deviation around the median
+  double ci_half = 0.0;  ///< 95% CI half-width on the median (MAD-based)
+
+  /// CI half-width relative to the median (0 when the median is 0).
+  double rel_ci() const { return median > 0.0 ? ci_half / median : 0.0; }
+};
+
+/// Summarizes `samples`. The CI half-width is
+///   1.96 * 1.253 * (1.4826 * MAD) / sqrt(n)
+/// — normal 95% quantile × the median's sampling-efficiency penalty × the
+/// normal-consistent sigma estimate from the MAD. With n = 1 (or MAD = 0 on
+/// a quantized clock) the CI collapses to 0; BenchRunner's min_reps floor
+/// is what guarantees the interval is meaningful.
+Summary summarize(const std::vector<double>& samples);
+
+}  // namespace augem::perf

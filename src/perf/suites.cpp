@@ -1,0 +1,137 @@
+#include "perf/suites.hpp"
+
+#include <algorithm>
+
+#include "augem/augem.hpp"
+#include "perf/clock.hpp"
+#include "support/buffer.hpp"
+#include "support/error.hpp"
+#include "support/flops.hpp"
+#include "support/rng.hpp"
+
+namespace augem::perf {
+
+namespace {
+
+KernelSet make_suite_kernels(bool pessimize) {
+  const Isa isa = host_arch().best_native_isa();
+  if (!pessimize) return KernelSet(isa);
+  // The deliberately slow configuration: scalar GEMM (the §3.1-3.3
+  // optimizers without SIMD — several× slower than Vdup on any SIMD
+  // machine) and unroll-1 level-1 kernels.
+  transform::CGenParams gemm;
+  gemm.mr = 4;
+  gemm.nr = 2;
+  gemm.ku = 1;
+  gemm.prefetch.enabled = false;
+  transform::CGenParams level1;
+  level1.unroll = 1;
+  level1.prefetch.enabled = false;
+  return KernelSet(isa, gemm, opt::VecStrategy::kScalar, level1);
+}
+
+struct Sizes {
+  long gemm_mc, gemm_nc, gemm_kc;
+  long gemv_mn;
+  long vec_n;
+  int vec_batch;  ///< calls per timed run (amortizes timer resolution)
+};
+
+Sizes sizes_for(bool quick) {
+  if (quick) return {128, 128, 128, 256, 20000, 8};
+  return {384, 384, 256, 1024, 100000, 16};
+}
+
+RunnerOptions runner_for(const SuiteOptions& options) {
+  RunnerOptions r = options.runner;
+  if (options.quick) {
+    // Tier-1 budget: looser CI, tighter wall clock. Fixed-rep mode
+    // (AUGEM_BENCH_REPS) already pinned the budgets in from_env().
+    r.target_rel_ci = std::max(r.target_rel_ci, 0.08);
+    r.max_seconds = std::min(r.max_seconds, 0.5);
+    r.max_reps = std::min(r.max_reps, 20);
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::string> suite_names() { return {"micro", "level1"}; }
+
+bool is_suite_name(const std::string& name) {
+  const auto names = suite_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+BenchReport run_suite(const std::string& name, const SuiteOptions& options) {
+  AUGEM_CHECK(is_suite_name(name),
+              "unknown bench suite '" << name << "' (known: micro, level1)");
+  const Sizes sz = sizes_for(options.quick);
+  const BenchRunner runner(runner_for(options));
+  KernelSet set = make_suite_kernels(options.pessimize);
+  BenchReport report = make_host_report(name);
+
+  Rng rng(101);
+  if (name == "micro") {
+    // GEMM on packed blocks (the inner kernel the whole system exists
+    // for), sized to the resident working set the blocked driver creates.
+    const long mc = sz.gemm_mc / set.gemm_mr() * set.gemm_mr();
+    const long nc = sz.gemm_nc / set.gemm_nr() * set.gemm_nr();
+    const long kc = sz.gemm_kc;
+    DoubleBuffer pa(static_cast<std::size_t>(mc * kc));
+    DoubleBuffer pb(static_cast<std::size_t>(nc * kc));
+    DoubleBuffer c(static_cast<std::size_t>(mc * nc));
+    rng.fill(pa.span());
+    rng.fill(pb.span());
+    const Measurement gm = runner.run(gemm_flops(mc, nc, kc), [&] {
+      set.gemm()(mc, nc, kc, pa.data(), pb.data(), c.data(), mc);
+    });
+    report.rows.push_back(BenchRow::from_measurement(gm, "gemm", mc, nc, kc));
+
+    const long mn = sz.gemv_mn;
+    DoubleBuffer a(static_cast<std::size_t>(mn * mn));
+    DoubleBuffer x(static_cast<std::size_t>(mn));
+    DoubleBuffer y(static_cast<std::size_t>(mn));
+    rng.fill(a.span());
+    rng.fill(x.span());
+    rng.fill(y.span());
+    const Measurement vm = runner.run(gemv_flops(mn, mn), [&] {
+      set.gemv()(mn, mn, a.data(), mn, x.data(), y.data());
+    });
+    report.rows.push_back(BenchRow::from_measurement(vm, "gemv", mn, mn));
+  }
+
+  // The streaming level-1 kernels, in both suites ("micro" tracks them at
+  // in-cache-ish sizes; "level1" is the memory-bound figure regime).
+  {
+    const long n = name == "level1" && !options.quick ? 200000 : sz.vec_n;
+    const int batch = sz.vec_batch;
+    DoubleBuffer x(static_cast<std::size_t>(n));
+    DoubleBuffer y(static_cast<std::size_t>(n));
+    rng.fill(x.span());
+    rng.fill(y.span());
+
+    const Measurement am = runner.run(axpy_flops(n) * batch, [&] {
+      for (int r = 0; r < batch; ++r)
+        set.axpy()(n, 1.0000001, x.data(), y.data());
+    });
+    report.rows.push_back(BenchRow::from_measurement(am, "axpy", n));
+
+    volatile double sink = 0.0;
+    const Measurement dm = runner.run(dot_flops(n) * batch, [&] {
+      double acc = 0.0;
+      for (int r = 0; r < batch; ++r) acc += set.dot()(n, x.data(), y.data());
+      sink = acc;
+    });
+    (void)sink;
+    report.rows.push_back(BenchRow::from_measurement(dm, "dot", n));
+
+    const Measurement sm = runner.run(static_cast<double>(n) * batch, [&] {
+      for (int r = 0; r < batch; ++r) set.scal()(n, 1.0000001, x.data());
+    });
+    report.rows.push_back(BenchRow::from_measurement(sm, "scal", n));
+  }
+  return report;
+}
+
+}  // namespace augem::perf

@@ -1,98 +1,14 @@
 #pragma once
-// Minimal JSON support for the kernel runtime: the persistent tuning
-// database stores one JSON object per line, and tools/augem_tunedb emits
-// machine-readable output. Deliberately small — objects, arrays, strings,
-// doubles, bools, null — because the records the runtime reads and writes
-// never need more, and a hand-rolled parser keeps the subsystem free of
-// external dependencies.
-//
-// Parsing is *tolerant by construction*: `parse` returns std::nullopt on
-// any malformed input instead of throwing, so a corrupt database line is a
-// skipped record, never a fatal error (the contract docs/runtime.md
-// documents).
+// Compatibility forwarder: the JSON value/parser moved to support/json.hpp
+// so the perf harness (src/perf) can share it without pulling in the whole
+// runtime stack. Runtime code (and its tests) keep the augem::runtime::Json
+// spelling via these using-declarations.
 
-#include <map>
-#include <optional>
-#include <string>
-#include <string_view>
-#include <vector>
+#include "support/json.hpp"
 
 namespace augem::runtime {
 
-/// One JSON value. Numbers are always doubles (the database round-trips
-/// small integers exactly; doubles have 53 mantissa bits).
-class Json {
- public:
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-
-  Json() = default;
-  explicit Json(bool b) : type_(Type::kBool), bool_(b) {}
-  Json(double v) : type_(Type::kNumber), num_(v) {}
-  Json(int v) : Json(static_cast<double>(v)) {}
-  Json(std::int64_t v) : Json(static_cast<double>(v)) {}
-  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
-  Json(const char* s) : Json(std::string(s)) {}
-
-  static Json array() {
-    Json j;
-    j.type_ = Type::kArray;
-    return j;
-  }
-  static Json object() {
-    Json j;
-    j.type_ = Type::kObject;
-    return j;
-  }
-
-  Type type() const { return type_; }
-  bool is_object() const { return type_ == Type::kObject; }
-  bool is_array() const { return type_ == Type::kArray; }
-  bool is_number() const { return type_ == Type::kNumber; }
-  bool is_string() const { return type_ == Type::kString; }
-  bool is_bool() const { return type_ == Type::kBool; }
-
-  double as_number(double fallback = 0.0) const {
-    return is_number() ? num_ : fallback;
-  }
-  bool as_bool(bool fallback = false) const {
-    return is_bool() ? bool_ : fallback;
-  }
-  const std::string& as_string() const { return str_; }
-
-  std::vector<Json>& items() { return items_; }
-  const std::vector<Json>& items() const { return items_; }
-  void push_back(Json v) { items_.push_back(std::move(v)); }
-
-  /// Object field access; `get` returns null for a missing key.
-  Json& operator[](const std::string& key) { return fields_[key]; }
-  const Json* get(const std::string& key) const {
-    auto it = fields_.find(key);
-    return it == fields_.end() ? nullptr : &it->second;
-  }
-  bool has(const std::string& key) const { return fields_.count(key) > 0; }
-  const std::map<std::string, Json>& fields() const { return fields_; }
-
-  /// Typed field helpers for record decoding: nullopt when the field is
-  /// missing or the wrong type (callers treat that as a corrupt record).
-  std::optional<double> number(const std::string& key) const;
-  std::optional<std::string> string(const std::string& key) const;
-  std::optional<bool> boolean(const std::string& key) const;
-
-  /// Serializes to compact JSON (no whitespace; keys in sorted order so
-  /// records are byte-stable across runs).
-  std::string dump() const;
-
- private:
-  Type type_ = Type::kNull;
-  bool bool_ = false;
-  double num_ = 0.0;
-  std::string str_;
-  std::vector<Json> items_;
-  std::map<std::string, Json> fields_;
-};
-
-/// Parses one JSON document. Returns nullopt on any syntax error or on
-/// trailing garbage after the document — never throws.
-std::optional<Json> parse_json(std::string_view text);
+using augem::Json;
+using augem::parse_json;
 
 }  // namespace augem::runtime

@@ -48,23 +48,6 @@ ShapeClass classify_vector_shape(std::int64_t n) {
   return n <= 4096 ? ShapeClass::kSmall : ShapeClass::kLarge;
 }
 
-std::string cpu_signature(const CpuArch& arch) {
-  std::ostringstream os;
-  os << arch.name << "_v" << (arch.has_fma4 ? "fma4." : "")
-     << (arch.has_fma3 ? "fma3" : arch.has_avx ? "avx" : "sse2")
-     << (arch.has_avx2 ? ".avx2" : "") << "_l" << arch.l1d_bytes / 1024 << "."
-     << arch.l2_bytes / 1024 << "." << arch.l3_bytes / 1024;
-  std::string s = os.str();
-  std::replace_if(
-      s.begin(), s.end(),
-      [](char c) {
-        return !(std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
-                 c == '_' || c == '-');
-      },
-      '-');
-  return s;
-}
-
 std::optional<KernelKind> parse_kernel_kind(const std::string& name) {
   for (KernelKind k : {KernelKind::kGemm, KernelKind::kGemv, KernelKind::kAxpy,
                        KernelKind::kDot, KernelKind::kScal})

@@ -35,11 +35,10 @@ ShapeClass classify_gemm_shape(std::int64_t m, std::int64_t n, std::int64_t k);
 /// applies: a vector has no second extent to starve).
 ShapeClass classify_vector_shape(std::int64_t n);
 
-/// Stable identifier of the machine class a tuning result is valid for:
-/// brand string plus the features and cache geometry that change which
-/// code wins. Sanitized to [A-Za-z0-9._-] so it can appear in file names
-/// and JSON keys verbatim.
-std::string cpu_signature(const CpuArch& arch);
+/// Stable identifier of the machine class a tuning result is valid for.
+/// Shared with the perf harness; the definition lives with CpuArch in
+/// support/arch.hpp.
+using ::augem::cpu_signature;
 
 /// Round-trip helpers for persisted enum fields.
 std::optional<frontend::KernelKind> parse_kernel_kind(const std::string& name);

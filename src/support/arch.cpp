@@ -155,6 +155,21 @@ CpuArch detect_host() {
 
 }  // namespace
 
+std::string cpu_signature(const CpuArch& arch) {
+  std::ostringstream os;
+  os << arch.name << "_v" << (arch.has_fma4 ? "fma4." : "")
+     << (arch.has_fma3 ? "fma3" : arch.has_avx ? "avx" : "sse2")
+     << (arch.has_avx2 ? ".avx2" : "") << "_l" << arch.l1d_bytes / 1024 << "."
+     << arch.l2_bytes / 1024 << "." << arch.l3_bytes / 1024;
+  std::string s = os.str();
+  for (char& c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '-';
+  }
+  return s;
+}
+
 const CpuArch& host_arch() {
   static const CpuArch arch = detect_host();
   return arch;

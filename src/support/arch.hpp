@@ -66,6 +66,13 @@ struct CpuArch {
   std::string report() const;
 };
 
+/// Stable identifier of the machine class a tuning or benchmark result is
+/// valid for: brand string plus the features and cache geometry that change
+/// which code wins. Sanitized to [A-Za-z0-9._-] so it can appear in file
+/// names and JSON keys verbatim. (Shared by the kernel runtime's cache keys
+/// and the perf harness's BENCH_*.json reports.)
+std::string cpu_signature(const CpuArch& arch);
+
 /// Detect the host CPU via CPUID (features + cache sizes).
 const CpuArch& host_arch();
 

@@ -1,4 +1,4 @@
-#include "runtime/json.hpp"
+#include "support/json.hpp"
 
 #include <cctype>
 #include <cmath>
@@ -6,7 +6,7 @@
 #include <cstdlib>
 #include <sstream>
 
-namespace augem::runtime {
+namespace augem {
 
 std::optional<double> Json::number(const std::string& key) const {
   const Json* v = get(key);
@@ -328,4 +328,4 @@ std::optional<Json> parse_json(std::string_view text) {
   return out;
 }
 
-}  // namespace augem::runtime
+}  // namespace augem

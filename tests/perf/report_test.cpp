@@ -1,0 +1,171 @@
+#include "perf/report.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace augem::perf {
+namespace {
+
+BenchRow make_row(const std::string& name, double gflops, double rel_noise,
+                  long m = 100, long n = 100, long k = 100) {
+  BenchRow r;
+  r.name = name;
+  r.m = m;
+  r.n = n;
+  r.k = k;
+  r.gflops = gflops;
+  r.gflops_lo = gflops * (1.0 - rel_noise);
+  r.gflops_hi = gflops * (1.0 + rel_noise);
+  r.median_s = 1.0e-3;
+  r.mad_s = 1.0e-6;
+  r.reps = 9;
+  return r;
+}
+
+BenchReport make_report(const std::string& machine = "test-machine") {
+  BenchReport rep;
+  rep.bench = "unit";
+  rep.machine = machine;
+  rep.git_rev = "deadbee";
+  rep.timestamp = "2026-01-01T00:00:00Z";
+  rep.peak_gflops = 33.6;
+  rep.rows.push_back(make_row("gemm", 30.0, 0.01));
+  rep.rows.push_back(make_row("axpy", 9.0, 0.01, 20000, 0, 0));
+  return rep;
+}
+
+TEST(Report, RowKeyAndNoise) {
+  const BenchRow r = make_row("gemm", 30.0, 0.02, 384, 384, 256);
+  EXPECT_EQ(r.key(), "gemm/384x384x256/t1");
+  EXPECT_NEAR(r.rel_noise(), 0.02, 1e-9);
+  BenchRow zero;
+  EXPECT_DOUBLE_EQ(zero.rel_noise(), 0.0);
+}
+
+TEST(Report, JsonRoundTrip) {
+  const BenchReport rep = make_report();
+  const auto back = BenchReport::from_json(rep.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->schema, kReportSchemaVersion);
+  EXPECT_EQ(back->bench, rep.bench);
+  EXPECT_EQ(back->machine, rep.machine);
+  EXPECT_EQ(back->git_rev, rep.git_rev);
+  EXPECT_EQ(back->timestamp, rep.timestamp);
+  EXPECT_DOUBLE_EQ(back->peak_gflops, rep.peak_gflops);
+  ASSERT_EQ(back->rows.size(), rep.rows.size());
+  for (std::size_t i = 0; i < rep.rows.size(); ++i) {
+    EXPECT_EQ(back->rows[i].key(), rep.rows[i].key());
+    EXPECT_DOUBLE_EQ(back->rows[i].gflops, rep.rows[i].gflops);
+    EXPECT_DOUBLE_EQ(back->rows[i].gflops_lo, rep.rows[i].gflops_lo);
+    EXPECT_DOUBLE_EQ(back->rows[i].gflops_hi, rep.rows[i].gflops_hi);
+    EXPECT_EQ(back->rows[i].reps, rep.rows[i].reps);
+  }
+}
+
+TEST(Report, RejectsWrongSchema) {
+  Json j = make_report().to_json();
+  j["schema"] = Json(kReportSchemaVersion + 1);
+  EXPECT_FALSE(BenchReport::from_json(j).has_value());
+}
+
+TEST(Report, WriteAndLoad) {
+  char tmpl[] = "/tmp/augem_report_test_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  const BenchReport rep = make_report();
+  const std::string path = write_report(rep, dir);
+  EXPECT_EQ(path, dir + "/BENCH_unit.json");
+  const auto back = load_report(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->machine, rep.machine);
+  EXPECT_FALSE(load_report(dir + "/nonexistent.json").has_value());
+  std::remove(path.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(Diff, UnchangedWithinThresholdPlusNoise) {
+  const BenchReport base = make_report();
+  BenchReport cur = make_report();
+  // -6% on gemm with 1%+1% noise and a 5% threshold: inside the 7% bar.
+  cur.rows[0] = make_row("gemm", 30.0 * 0.94, 0.01);
+  const DiffResult d = diff_reports(base, cur);
+  ASSERT_EQ(d.rows.size(), 2u);
+  EXPECT_EQ(d.rows[0].verdict, RowVerdict::kUnchanged);
+  EXPECT_FALSE(d.any_regression());
+}
+
+TEST(Diff, RegressionBeyondPooledBar) {
+  const BenchReport base = make_report();
+  BenchReport cur = make_report();
+  cur.rows[0] = make_row("gemm", 15.0, 0.01);  // 2x slowdown
+  const DiffResult d = diff_reports(base, cur);
+  EXPECT_EQ(d.rows[0].verdict, RowVerdict::kRegressed);
+  EXPECT_NEAR(d.rows[0].delta_rel, -0.5, 1e-9);
+  EXPECT_TRUE(d.any_regression());
+  EXPECT_NE(d.to_string().find("regressed"), std::string::npos);
+}
+
+TEST(Diff, ImprovementAndNoiseWidensBar) {
+  const BenchReport base = make_report();
+  BenchReport cur = make_report();
+  cur.rows[0] = make_row("gemm", 33.0, 0.01);  // +10% beyond the 7% bar
+  EXPECT_EQ(diff_reports(base, cur).rows[0].verdict, RowVerdict::kImproved);
+  // Same +10% under massive measurement noise: not a credible change.
+  cur.rows[0] = make_row("gemm", 33.0, 0.20);
+  EXPECT_EQ(diff_reports(base, cur).rows[0].verdict, RowVerdict::kUnchanged);
+}
+
+TEST(Diff, NewAndMissingRows) {
+  const BenchReport base = make_report();
+  BenchReport cur = make_report();
+  cur.rows[1] = make_row("dot", 13.0, 0.01, 20000, 0, 0);
+  const DiffResult d = diff_reports(base, cur);
+  ASSERT_EQ(d.rows.size(), 3u);  // gemm joined, dot new, axpy missing
+  EXPECT_EQ(d.rows[1].verdict, RowVerdict::kNew);
+  EXPECT_EQ(d.rows[2].verdict, RowVerdict::kMissing);
+  EXPECT_FALSE(d.any_regression());  // new/missing never fail the gate
+}
+
+TEST(Diff, MachineMismatchIsNotComparable) {
+  const BenchReport base = make_report("machine-a");
+  const BenchReport cur = make_report("machine-b");
+  const DiffResult d = diff_reports(base, cur);
+  EXPECT_TRUE(d.machine_mismatch);
+  EXPECT_FALSE(d.comparable());
+  EXPECT_TRUE(d.rows.empty());
+
+  DiffOptions options;
+  options.require_same_machine = false;
+  EXPECT_TRUE(diff_reports(base, cur, options).comparable());
+}
+
+TEST(Diff, CustomThreshold) {
+  const BenchReport base = make_report();
+  BenchReport cur = make_report();
+  cur.rows[0] = make_row("gemm", 30.0 * 0.90, 0.01);  // -10%
+  DiffOptions loose;
+  loose.threshold = 0.5;
+  EXPECT_EQ(diff_reports(base, cur, loose).rows[0].verdict,
+            RowVerdict::kUnchanged);
+  DiffOptions tight;
+  tight.threshold = 0.05;
+  EXPECT_EQ(diff_reports(base, cur, tight).rows[0].verdict,
+            RowVerdict::kRegressed);
+}
+
+TEST(Report, MakeHostReportHasIdentity) {
+  const BenchReport rep = make_host_report("x");
+  EXPECT_EQ(rep.bench, "x");
+  EXPECT_EQ(rep.schema, kReportSchemaVersion);
+  EXPECT_FALSE(rep.machine.empty());
+  EXPECT_FALSE(rep.git_rev.empty());
+  EXPECT_NE(rep.timestamp.find('T'), std::string::npos);
+  EXPECT_EQ(rep.file_name(), "BENCH_x.json");
+}
+
+}  // namespace
+}  // namespace augem::perf

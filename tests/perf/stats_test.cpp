@@ -1,0 +1,60 @@
+#include "perf/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace augem::perf {
+namespace {
+
+TEST(Stats, MedianOddEvenEmpty) {
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, MedianIgnoresOutliers) {
+  // One contaminated sample (an interrupt-stretched run) must not move the
+  // median — this is the whole reason the harness is median-based.
+  EXPECT_DOUBLE_EQ(median({1.0, 1.0, 1.0, 1.0, 500.0}), 1.0);
+}
+
+TEST(Stats, MadAroundCenter) {
+  EXPECT_DOUBLE_EQ(mad({}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(mad({1.0, 1.0, 1.0}, 1.0), 0.0);
+  // Deviations from 2: {1, 0, 1} -> median 1.
+  EXPECT_DOUBLE_EQ(mad({1.0, 2.0, 3.0}, 2.0), 1.0);
+}
+
+TEST(Stats, SummarizeFields) {
+  const Summary s = summarize({2.0, 1.0, 4.0, 3.0, 5.0});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mad, 1.0);
+  // ci_half = 1.96 * 1.253 * (1.4826 * MAD) / sqrt(n)
+  EXPECT_NEAR(s.ci_half, 1.96 * 1.253 * 1.4826 * 1.0 / std::sqrt(5.0), 1e-12);
+  EXPECT_NEAR(s.rel_ci(), s.ci_half / 3.0, 1e-12);
+}
+
+TEST(Stats, CiCollapsesOnConstantSamples) {
+  // MAD = 0 on a quantized clock -> zero-width interval (documented
+  // behavior; the min_reps floor is what keeps this meaningful).
+  const Summary s = summarize({2.0, 2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.ci_half, 0.0);
+  EXPECT_DOUBLE_EQ(s.rel_ci(), 0.0);
+}
+
+TEST(Stats, RelCiZeroWhenMedianZero) {
+  Summary s;
+  s.median = 0.0;
+  s.ci_half = 1.0;
+  EXPECT_DOUBLE_EQ(s.rel_ci(), 0.0);
+}
+
+}  // namespace
+}  // namespace augem::perf
