@@ -161,6 +161,83 @@ int main() {
     print_json("direct_call", "gemm", direct_meas.seconds.median * 1e3);
   }
 
+  // Stage 5: amortized dispatch. The same 16^3 problem served two ways —
+  // `batch` individual dgemm calls (each re-classifying the shape,
+  // re-probing the code cache, and running the packed blocked driver) vs
+  // one gemm_batch_strided call that resolves once and streams every
+  // instance through the cached small kernel. A third series, the raw
+  // resolved-kernel loop, is the compute floor: per-call *overhead* is
+  // latency minus that floor, and the 4096-instance pair is the headline —
+  // batched overhead must sit >= 10x below individual overhead, with the
+  // batched/individual latency CIs non-overlapping in the trajectory.
+  {
+    const blas::index_t d = 16;
+    const blas::index_t stride = d * d;
+    auto lib = rt::make_runtime_blas(warm);
+    frontend::SmallGemmSpec spec;  // alpha=1, beta=1: plain accumulate
+    spec.m = spec.n = spec.k = static_cast<int>(d);
+    const auto small = warm.resolve_small(spec);
+    auto* small_fn = small->fn<SmallGemmFn>();
+    Rng rng(23);
+    for (const long batch : {1L, 64L, 4096L}) {
+      DoubleBuffer a(static_cast<std::size_t>(stride * batch));
+      DoubleBuffer b(static_cast<std::size_t>(stride * batch));
+      DoubleBuffer c(static_cast<std::size_t>(stride * batch));
+      rng.fill(a.span());
+      rng.fill(b.span());
+      rng.fill(c.span());
+      const double flops = gemm_flops(d, d, d) * static_cast<double>(batch);
+      const double db = static_cast<double>(batch);
+
+      auto batched = [&] {
+        lib->gemm_batch_strided(d, d, d, 1.0, a.data(), d, stride, b.data(),
+                                d, stride, 1.0, c.data(), d, stride, batch);
+      };
+      batched();  // warm: resolve + JIT outside the timed region
+      const auto bm = runner.run(flops, batched);
+      reporter.add_row(perf::BenchRow::from_measurement(
+          bm, "batched_call/b" + std::to_string(batch), d, d, d));
+
+      auto individual = [&] {
+        for (long p = 0; p < batch; ++p)
+          lib->gemm(blas::Trans::kNo, blas::Trans::kNo, d, d, d, 1.0,
+                    a.data() + p * stride, d, b.data() + p * stride, d, 1.0,
+                    c.data() + p * stride, d);
+      };
+      individual();
+      const auto im = runner.run(flops, individual);
+      reporter.add_row(perf::BenchRow::from_measurement(
+          im, "individual_call/b" + std::to_string(batch), d, d, d));
+
+      auto floor_loop = [&] {
+        for (long p = 0; p < batch; ++p)
+          small_fn(a.data() + p * stride, d, b.data() + p * stride, d,
+                   c.data() + p * stride, d, nullptr, 1.0, 1.0);
+      };
+      const auto fm = runner.run(flops, floor_loop);
+      reporter.add_row(perf::BenchRow::from_measurement(
+          fm, "kernel_floor/b" + std::to_string(batch), d, d, d));
+
+      const double bpc = bm.seconds.median / db;
+      const double ipc = im.seconds.median / db;
+      const double fpc = fm.seconds.median / db;
+      const double b_over = std::max(bpc - fpc, 0.0);
+      const double i_over = std::max(ipc - fpc, 0.0);
+      std::printf("batch=%-5ld batched %8.1f ns/call  individual %8.1f "
+                  "ns/call  floor %8.1f ns/call  overhead %.1f vs %.1f ns "
+                  "(%.0fx)\n",
+                  batch, bpc * 1e9, ipc * 1e9, fpc * 1e9, b_over * 1e9,
+                  i_over * 1e9, i_over / std::max(b_over, 1e-12));
+      std::printf("{\"bench\":\"dispatch_overhead\",\"stage\":\"batch\","
+                  "\"batch\":%ld,\"batched_ns_call\":%.1f,"
+                  "\"individual_ns_call\":%.1f,\"floor_ns_call\":%.1f,"
+                  "\"batched_overhead_ns\":%.1f,\"individual_overhead_ns\""
+                  ":%.1f,\"overhead_ratio\":%.1f}\n",
+                  batch, bpc * 1e9, ipc * 1e9, fpc * 1e9, b_over * 1e9,
+                  i_over * 1e9, i_over / std::max(b_over, 1e-12));
+    }
+  }
+
   rt::TuningDatabase(dir).purge();
   ::remove(dir);
   return 0;

@@ -223,6 +223,7 @@ class BoundsEngine {
       if (const ParamFacts* f = contract_.facts_for(a.name)) {
         si.divisible_by = f->divisible_by;
         si.hi = f->upper_bound;
+        if (f->min_value) si.lo = Poly::constant(*f->min_value);
       }
       if (contract_.buffer_for(a.name) != nullptr)
         pointer_syms_.insert(a.name);

@@ -70,4 +70,26 @@ KernelContract contract_for(KernelKind kind, BLayout layout,
   return c;
 }
 
+KernelContract contract_for_small_gemm(const frontend::SmallGemmSpec& spec,
+                                       const ir::Kernel& kernel) {
+  KernelContract c;
+  for (const ir::Param& p : kernel.params())
+    c.args.push_back({p.name, p.type == ir::ScalarType::kF64});
+
+  auto v = [](const char* n) { return Poly::variable(n); };
+  auto n = [](std::int64_t x) { return Poly::constant(x); };
+
+  // A[l*lda+i], B[j*ldb+l], C[j*ldc+i] with i<m, j<n, l<k all constants;
+  // the batch driver guarantees the leading dimensions cover the accessed
+  // panel of each operand.
+  c.facts.push_back({"lda", 1, std::nullopt, spec.m});
+  c.facts.push_back({"ldb", 1, std::nullopt, spec.k});
+  c.facts.push_back({"ldc", 1, std::nullopt, spec.m});
+  c.buffers.push_back({"A", v("lda") * n(spec.k), false});
+  c.buffers.push_back({"B", v("ldb") * n(spec.n), false});
+  c.buffers.push_back({"C", v("ldc") * n(spec.n), true});
+  if (spec.epilogue.bias) c.buffers.push_back({"bias", n(spec.m), false});
+  return c;
+}
+
 }  // namespace augem::analysis

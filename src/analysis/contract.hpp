@@ -26,6 +26,10 @@ struct ParamFacts {
   std::string name;
   std::int64_t divisible_by = 1;       ///< e.g. mc % mr == 0
   std::optional<ir::Poly> upper_bound; ///< e.g. mc <= ldc
+  /// Constant lower bound, e.g. lda >= m for a small-GEMM kernel whose
+  /// extents are compile-time constants (the leading dimensions are the
+  /// only runtime values left to relate the buffers to the accesses).
+  std::optional<std::int64_t> min_value;
 };
 
 /// One caller buffer reachable through a pointer parameter.
@@ -57,5 +61,14 @@ KernelContract contract_for(frontend::KernelKind kind,
                             frontend::BLayout layout,
                             const transform::CGenParams& params,
                             const ir::Kernel& kernel);
+
+/// Contract for a shape-specialized small-GEMM kernel (see
+/// frontend::make_small_gemm_kernel). The extents m/n/k are baked into the
+/// code, so the facts relate the runtime leading dimensions to them
+/// (lda >= m, ldb >= k, ldc >= m) and the buffer extents are lda*k, ldb*n,
+/// ldc*n — plus the epilogue's bias vector (m elements) when the spec
+/// fuses a bias add.
+KernelContract contract_for_small_gemm(const frontend::SmallGemmSpec& spec,
+                                       const ir::Kernel& kernel);
 
 }  // namespace augem::analysis

@@ -21,6 +21,7 @@ bool requires_vdst(MOp op) {
     case MOp::kVMov:
     case MOp::kVMul:
     case MOp::kVAdd:
+    case MOp::kVMax:
     case MOp::kVFma231:
     case MOp::kVFma4:
     case MOp::kVShuf:
@@ -55,8 +56,8 @@ bool requires_mem(MOp op) {
 }
 
 bool two_operand_constrained(MOp op) {
-  return op == MOp::kVMul || op == MOp::kVAdd || op == MOp::kVShuf ||
-         op == MOp::kVBlend;
+  return op == MOp::kVMul || op == MOp::kVAdd || op == MOp::kVMax ||
+         op == MOp::kVShuf || op == MOp::kVBlend;
 }
 
 }  // namespace

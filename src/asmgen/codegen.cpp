@@ -142,6 +142,10 @@ class CodeGenerator {
         touch(m.arr_b);
       }
       for (const auto& st : region.stores) touch(st.arr);
+      for (const auto& st : region.epis) {
+        touch(st.arr);
+        if (st.bias) touch(st.bias_arr);
+      }
     }
 
     std::function<void(const StmtList&, int)> walk = [&](const StmtList& body,
@@ -254,6 +258,10 @@ class CodeGenerator {
         touch(m.arr_b);
       }
       for (const auto& st : region.stores) touch(st.arr);
+      for (const auto& st : region.epis) {
+        touch(st.arr);
+        if (st.bias) touch(st.bias_arr);
+      }
     }
     vralloc_ = std::make_unique<VrAllocator>(affinities, config_.regalloc,
                                              reserved);
@@ -631,11 +639,13 @@ class CodeGenerator {
 
   /// dst = dst OP rhs.
   void apply_int_op(BinOp op, Gpr dst, const Expr& rhs, Gpr scratch) {
+    AUGEM_CHECK(op != BinOp::kMax, "max is floating-point only");
     if (const auto* c = ir::as<IntConst>(rhs)) {
       switch (op) {
         case BinOp::kAdd: out_.push_back(iadd_imm(dst, c->value())); return;
         case BinOp::kSub: out_.push_back(isub_imm(dst, c->value())); return;
         case BinOp::kMul: out_.push_back(imul_imm(dst, dst, c->value())); return;
+        case BinOp::kMax: break;
       }
     }
     Gpr src;
@@ -648,6 +658,7 @@ class CodeGenerator {
           case BinOp::kAdd: out_.push_back(iadd_mem(dst, slot_mem(h.slot))); return;
           case BinOp::kSub: out_.push_back(isub_mem(dst, slot_mem(h.slot))); return;
           case BinOp::kMul: out_.push_back(imul_mem(dst, slot_mem(h.slot))); return;
+          case BinOp::kMax: break;
         }
       }
       src = h.reg;
@@ -660,6 +671,7 @@ class CodeGenerator {
       case BinOp::kAdd: out_.push_back(iadd(dst, src)); return;
       case BinOp::kSub: out_.push_back(isub(dst, src)); return;
       case BinOp::kMul: out_.push_back(imul(dst, src)); return;
+      case BinOp::kMax: break;
     }
   }
 

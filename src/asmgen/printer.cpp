@@ -78,6 +78,8 @@ std::string print_inst(const MInst& i) {
       return two_or_three("mul", i);
     case MOp::kVAdd:
       return two_or_three("add", i);
+    case MOp::kVMax:
+      return two_or_three("max", i);
     case MOp::kVFma231:
       // dst = src1*src2 + dst (Intel VFMADD231 dst, src1, src2).
       os << "vfmadd231" << fp_suffix(i.width) << " " << vreg(i.vsrc2, i.width)

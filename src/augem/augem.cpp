@@ -49,6 +49,56 @@ asmgen::GeneratedKernel generate_kernel(KernelKind kind,
   return asmgen::generate_assembly(std::move(k), options.config, &contract);
 }
 
+CGenParams small_gemm_params(const frontend::SmallGemmSpec& spec, Isa isa) {
+  CGenParams p;
+  p.ku = 1;  // ignored: the depth loop unrolls by the spec's k
+  p.prefetch.enabled = false;  // straight-line code over tiny operands
+  const int w = isa_vector_doubles(isa);
+  auto pick = [](int n, std::initializer_list<int> ladder) {
+    for (int c : ladder)
+      if (c >= 1 && n % c == 0) return c;
+    return 1;
+  };
+  int mr = pick(spec.m, {2 * w, w, 2});
+  int nr = pick(spec.n, {4, 2});
+  // Accumulator groups this tile would hold resident, at the width the
+  // planner will pick for it.
+  auto groups = [&](int mr_, int nr_) {
+    const int wv = mr_ % w == 0 ? w : (mr_ % 2 == 0 ? 2 : 1);
+    return mr_ / wv * nr_;
+  };
+  // The fully-unrolled body keeps every accumulator group resident plus,
+  // per k-step, the A vectors and B broadcast in flight. A scaling epilogue
+  // additionally pins broadcast alpha and beta for the whole kernel, and
+  // ISAs without a fused multiply-add burn an extra mul temporary on every
+  // accumulate — either condition empirically caps the workable tile at
+  // ~4 resident groups out of the 16 vector registers.
+  const bool has_fma = isa == Isa::kFma3 || isa == Isa::kFma4;
+  const int budget = spec.epilogue.scale || !has_fma ? 6 : 12;
+  while (groups(mr, nr) > budget && nr > 1) nr /= 2;
+  while (groups(mr, nr) > budget && mr > w) mr /= 2;
+  p.mr = mr;
+  p.nr = nr;
+  return p;
+}
+
+GenerateOptions default_small_gemm_options(const frontend::SmallGemmSpec& spec,
+                                           Isa isa) {
+  GenerateOptions o;
+  o.config.isa = isa;
+  o.config.strategy = VecStrategy::kVdup;
+  o.params = small_gemm_params(spec, isa);
+  return o;
+}
+
+asmgen::GeneratedKernel generate_small_gemm_kernel(
+    const frontend::SmallGemmSpec& spec, const GenerateOptions& options) {
+  ir::Kernel k = transform::generate_small_gemm_c(spec, options.params);
+  const analysis::KernelContract contract =
+      analysis::contract_for_small_gemm(spec, k);
+  return asmgen::generate_assembly(std::move(k), options.config, &contract);
+}
+
 KernelSet::KernelSet(Isa isa) {
   const GenerateOptions g = default_options(KernelKind::kGemm, isa);
   const GenerateOptions l = default_options(KernelKind::kAxpy, isa);

@@ -34,6 +34,31 @@ GenerateOptions default_options(frontend::KernelKind kind, Isa isa);
 asmgen::GeneratedKernel generate_kernel(frontend::KernelKind kind,
                                         const GenerateOptions& options);
 
+/// Signature of every shape-specialized small-GEMM kernel (see
+/// frontend::make_small_gemm_kernel). `bias` may be null when the spec's
+/// epilogue does not fuse a bias add; `alpha`/`beta` are read only when it
+/// fuses scaling.
+using SmallGemmFn = void(const double* a, long lda, const double* b, long ldb,
+                         double* c, long ldc, const double* bias, double alpha,
+                         double beta);
+
+/// Register tile for a small-GEMM spec on `isa`: the largest mr in
+/// {2w, w, 2, 1} dividing m and nr in {4, 2, 1} dividing n that keep the
+/// accumulator groups (plus the epilogue's broadcast scalars) inside the
+/// vector register budget.
+transform::CGenParams small_gemm_params(const frontend::SmallGemmSpec& spec,
+                                        Isa isa);
+
+/// Default generation options for a small-GEMM spec on `isa`.
+GenerateOptions default_small_gemm_options(const frontend::SmallGemmSpec& spec,
+                                           Isa isa);
+
+/// Full pipeline for one shape-specialized small-GEMM kernel, including the
+/// memory-safety proofs against its contract (lda >= m, ldb >= k, ldc >= m,
+/// bias extent m when fused).
+asmgen::GeneratedKernel generate_small_gemm_kernel(
+    const frontend::SmallGemmSpec& spec, const GenerateOptions& options);
+
 /// The four generated kernels, JIT-compiled and callable.
 class KernelSet {
  public:

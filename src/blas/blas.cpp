@@ -7,6 +7,37 @@
 
 namespace augem::blas {
 
+void Blas::gemm_batch_strided(index_t m, index_t n, index_t k, double alpha,
+                              const double* a, index_t lda, index_t stride_a,
+                              const double* b, index_t ldb, index_t stride_b,
+                              double beta, double* c, index_t ldc,
+                              index_t stride_c, index_t batch,
+                              const double* bias, index_t stride_bias,
+                              bool relu) {
+  if (m <= 0 || n <= 0 || batch <= 0) return;
+  for (index_t p = 0; p < batch; ++p) {
+    const double* ap = a + p * stride_a;
+    const double* bp = b + p * stride_b;
+    double* cp = c + p * stride_c;
+    const double* biasp = bias == nullptr ? nullptr : bias + p * stride_bias;
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        double sum = 0.0;
+        for (index_t l = 0; l < k; ++l)
+          sum += at(ap, lda, i, l) * at(bp, ldb, l, j);
+        // beta == 0 overwrites so garbage in an uninitialized C never
+        // propagates (beta_scale semantics).
+        double v = (beta == 0.0 ? 0.0 : beta * at(cp, ldc, i, j)) + alpha * sum;
+        if (biasp != nullptr) v += biasp[i];
+        // MAXPD semantics, matching the generated epilogue: the clamp
+        // operand wins on NaN, so relu(NaN) == 0.
+        if (relu) v = v > 0.0 ? v : 0.0;
+        at(cp, ldc, i, j) = v;
+      }
+    }
+  }
+}
+
 void Blas::gemv_t(index_t m, index_t n, double alpha, const double* a,
                   index_t lda, const double* x, double beta, double* y) {
   // (A^T x)[j] = dot(column j of A, x): columns are contiguous, so each

@@ -32,6 +32,30 @@ class Blas {
                     const double* b, index_t ldb, double beta, double* c,
                     index_t ldc) = 0;
 
+  /// Batch-strided GEMM with optional fused epilogue, over `batch`
+  /// same-shaped instances:
+  ///
+  ///   C_p = relu?( alpha * A_p * B_p + beta * C_p + bias_p )
+  ///
+  /// where X_p = X + p * stride_x (no transposition; all instances share
+  /// m, n, k and the leading dimensions). `bias` is null for no bias add,
+  /// else instance p adds bias[p*stride_bias + i] to every element of row
+  /// i (stride_bias 0 shares one vector across the batch). `relu` clamps
+  /// at zero after everything else, with max-semantics: a NaN result
+  /// clamps to 0. beta == 0 overwrites (beta_scale semantics).
+  ///
+  /// The default implementation is a straightforward reference loop — it
+  /// doubles as the oracle the fuzz harness checks fast paths against.
+  /// RuntimeBlas overrides it with the amortized-dispatch fast path.
+  virtual void gemm_batch_strided(index_t m, index_t n, index_t k,
+                                  double alpha, const double* a, index_t lda,
+                                  index_t stride_a, const double* b,
+                                  index_t ldb, index_t stride_b, double beta,
+                                  double* c, index_t ldc, index_t stride_c,
+                                  index_t batch,
+                                  const double* bias = nullptr,
+                                  index_t stride_bias = 0, bool relu = false);
+
   /// y(m) = alpha * A(m×n) * x + beta * y.
   virtual void gemv(index_t m, index_t n, double alpha, const double* a,
                     index_t lda, const double* x, double beta, double* y) = 0;

@@ -23,6 +23,8 @@
 #include "ir/interp.hpp"
 #include "jit/jit.hpp"
 #include "opt/verifier.hpp"
+#include "runtime/dispatch.hpp"
+#include "runtime/runtime_blas.hpp"
 #include "support/arch.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -827,6 +829,106 @@ std::optional<std::string> check_blas(std::uint64_t case_seed,
   return std::nullopt;
 }
 
+// ---- batched small-GEMM instances -----------------------------------------
+
+/// Instance for the batch-strided serving path (gemm_batch_strided with
+/// fused epilogues) vs the reference batch loop in blas::Blas. Shapes are
+/// drawn mostly inside the small-kernel window so the amortized-dispatch
+/// fast path is what actually runs; a minority lands outside it to cover
+/// the blocked fallback with the post-pass epilogue. Both sides multiply
+/// alpha into the finished k-sum and scale C by beta as one product each,
+/// so nonfinite alpha/beta see identical expression trees.
+struct TInstance {
+  std::int64_t m = 1, n = 1, k = 1, batch = 1;
+  std::int64_t sa = 0, sb = 0, sc = 0;  ///< leading-dimension slack
+  double alpha = 1.0, beta = 1.0;
+  int bias_mode = 0;  ///< 0 none, 1 shared vector (stride 0), 2 per-instance
+  bool relu = false;
+  Poison p = Poison::kNone;  ///< A/B/C/bias poisoning
+
+  std::string to_string() const {
+    std::ostringstream os;
+    os.precision(17);
+    os << "m=" << m << " n=" << n << " k=" << k << " batch=" << batch
+       << " alpha=" << alpha << " beta=" << beta << " slack=(" << sa << ","
+       << sb << "," << sc << ") bias=" << bias_mode << " relu=" << relu
+       << " poison=" << poison_name(p);
+    return os.str();
+  }
+};
+
+TInstance draw_tinstance(Rng& rng) {
+  TInstance in;
+  // Mostly window-interior shapes (the fast path), a few just outside.
+  constexpr std::int64_t kDims[10] = {1, 2, 3, 4, 5, 8, 13, 16, 31, 32};
+  in.m = pick(rng, kDims);
+  in.n = pick(rng, kDims);
+  in.k = pick(rng, kDims);
+  if (rng.uniform_int(0, 4) == 0) in.m = 33 + rng.uniform_int(0, 7);
+  constexpr std::int64_t kBatches[6] = {1, 2, 3, 7, 16, 33};
+  in.batch = pick(rng, kBatches);
+  in.sa = pick(rng, kSmallSlackMenu);
+  in.sb = pick(rng, kSmallSlackMenu);
+  in.sc = pick(rng, kSmallSlackMenu);
+  in.alpha = draw_alpha(rng, /*allow_nonfinite=*/true);
+  in.beta = draw_alpha(rng, /*allow_nonfinite=*/true);
+  in.bias_mode = static_cast<int>(rng.uniform_int(0, 2));
+  in.relu = rng.uniform_int(0, 1) != 0;
+  constexpr Poison kPoisons[7] = {Poison::kNone, Poison::kNone, Poison::kNone,
+                                  Poison::kNone, Poison::kNaN,  Poison::kInf,
+                                  Poison::kMix};
+  in.p = pick(rng, kPoisons);
+  return in;
+}
+
+std::optional<std::string> check_batch(std::uint64_t case_seed,
+                                       blas::Blas& fast, blas::Blas& oracle,
+                                       const TInstance& in) {
+  Rng rng(mix(case_seed, 0xba7c));
+  const index_t lda = in.m + in.sa;
+  const index_t ldb = in.k + in.sb;
+  const index_t ldc = in.m + in.sc;
+  const index_t stride_a = lda * in.k;
+  const index_t stride_b = ldb * in.n;
+  const index_t stride_c = ldc * in.n;
+  const index_t stride_bias = in.bias_mode == 2 ? in.m : 0;
+
+  Buf a(static_cast<std::size_t>(stride_a * in.batch), rng);
+  Buf b(static_cast<std::size_t>(stride_b * in.batch), rng);
+  Buf c(static_cast<std::size_t>(stride_c * in.batch), rng);
+  const std::size_t bias_len = in.bias_mode == 0
+                                   ? 0
+                                   : static_cast<std::size_t>(
+                                         in.m + stride_bias * (in.batch - 1));
+  Buf bias(bias_len, rng);
+  poison(a, rng, in.p);
+  poison(b, rng, in.p);
+  poison(c, rng, in.p);
+  if (in.bias_mode != 0) poison(bias, rng, in.p);
+  const std::vector<double> a0 = a.payload(), b0 = b.payload();
+  const std::vector<double> bias0 = bias.payload();
+
+  std::vector<double> want = c.payload();
+  const double* bias_ptr = in.bias_mode == 0 ? nullptr : bias.cdata();
+  // The oracle runs on a plain copy (no guards needed: the base-class
+  // reference loop is the semantics definition, not code under test).
+  oracle.gemm_batch_strided(in.m, in.n, in.k, in.alpha, a.cdata(), lda,
+                            stride_a, b.cdata(), ldb, stride_b, in.beta,
+                            want.data(), ldc, stride_c, in.batch, bias_ptr,
+                            stride_bias, in.relu);
+  fast.gemm_batch_strided(in.m, in.n, in.k, in.alpha, a.cdata(), lda, stride_a,
+                          b.cdata(), ldb, stride_b, in.beta, c.data(), ldc,
+                          stride_c, in.batch, bias_ptr, stride_bias, in.relu);
+
+  CompareSpec spec{.depth = in.k + 2, .scale = 2.0};
+  if (auto mm = compare_out("C", c.cdata(), want.data(), c.n, spec)) return mm;
+  if (!c.guard_ok()) return std::string("C: guard region overwritten");
+  if (auto mm = check_untouched("A", a, a0)) return mm;
+  if (auto mm = check_untouched("B", b, b0)) return mm;
+  if (auto mm = check_untouched("bias", bias, bias0)) return mm;
+  return std::nullopt;
+}
+
 // ---- shrinking ------------------------------------------------------------
 
 /// Greedy per-dimension minimization: repeatedly halve each dimension (in
@@ -872,14 +974,42 @@ struct NamedBlas {
   std::unique_ptr<blas::Blas> impl;
 };
 
+/// Base-class batch oracle: only gemm_batch_strided (inherited, the
+/// reference loop) is ever called; the pure virtuals are inert stubs.
+class BatchOracle final : public blas::Blas {
+ public:
+  std::string name() const override { return "batch-oracle"; }
+  void gemm(Trans, Trans, index_t, index_t, index_t, double, const double*,
+            index_t, const double*, index_t, double, double*,
+            index_t) override {}
+  void gemv(index_t, index_t, double, const double*, index_t, const double*,
+            double, double*) override {}
+  void axpy(index_t, double, const double*, double*) override {}
+  double dot(index_t, const double*, const double*) override { return 0.0; }
+  void scal(index_t, double, double*) override {}
+};
+
 struct RunCtx {
   bool jit_ok = false;
   std::vector<NamedBlas> impls;
+  /// Batched-path runtime (memory-only, no tuner) + the serving BLAS on
+  /// top of it; null when the JIT path is off or unavailable.
+  std::unique_ptr<runtime::KernelRuntime> batch_rt;
+  std::unique_ptr<blas::Blas> batch_impl;
+  BatchOracle batch_oracle;
 };
 
 RunCtx make_run_ctx(const FuzzOptions& opts) {
   RunCtx ctx;
   ctx.jit_ok = opts.run_jit && jit::toolchain_available();
+  if (opts.run_batch && ctx.jit_ok) {
+    runtime::RuntimeConfig rc;
+    rc.use_persistent = false;
+    rc.tune_on_miss = false;
+    rc.code_cache_capacity = 64;
+    ctx.batch_rt = std::make_unique<runtime::KernelRuntime>(rc);
+    ctx.batch_impl = runtime::make_runtime_blas(*ctx.batch_rt);
+  }
   if (!opts.run_blas) return ctx;
   ctx.impls.push_back({"refblas", blas::make_refblas()});
   ctx.impls.push_back({"gotosim", blas::make_gotosim()});
@@ -990,6 +1120,7 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
     const KInstance kin = draw_kinstance(rng, rt.cfg);
     const DInstance din = draw_dinstance(rng, rt.cfg);
     const BInstance bin = draw_binstance(rng, rt.cfg);
+    const TInstance tin = draw_tinstance(rng);
 
     ++rep.cases_run;
 
@@ -1199,6 +1330,46 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
           record(pname, small.to_string(rt.cfg.op),
                  fail.value_or("unreproducible after shrink"));
         }
+      }
+    }
+
+    // ---- batched small-GEMM serving path vs the reference epilogue loop --
+    // Gated on GEMM configs so the fast path still sees ~1/5 of all cases
+    // without ballooning JIT builds (each distinct shape+epilogue builds
+    // once into the run's shared code cache).
+    if (opts.run_batch && run.batch_impl != nullptr &&
+        rt.cfg.op == KernelKind::kGemm &&
+        static_cast<std::int64_t>(rep.failures.size()) < opts.max_failures) {
+      ++rep.path_runs["batch"];
+      auto run_check = [&](const TInstance& inst) -> std::optional<std::string> {
+        try {
+          return check_batch(case_seed, *run.batch_impl, run.batch_oracle,
+                             inst);
+        } catch (const Error& e) {
+          return std::string("execution error: ") + e.what();
+        }
+      };
+      std::optional<std::string> fail = run_check(tin);
+      if (fail) {
+        TInstance small = tin;
+        if (opts.shrink) {
+          auto fails = [&]() { return run_check(small).has_value(); };
+          shrink_dims({&small.batch, &small.m, &small.n, &small.k, &small.sa,
+                       &small.sb, &small.sc},
+                      {1, 1, 1, 1, 0, 0, 0}, {1, 1, 1, 1, 1, 1, 1}, fails);
+          try_simplify(small.p, Poison::kNone, fails);
+          try_simplify(small.relu, false, fails);
+          try_simplify(small.bias_mode, 0, fails);
+          try_simplify(small.beta, 1.0, fails);
+          try_simplify(small.alpha, 1.0, fails);
+          fail = run_check(small);
+          if (!fail) {
+            small = tin;
+            fail = run_check(small);
+          }
+        }
+        record("batch", small.to_string(),
+               fail.value_or("unreproducible after shrink"));
       }
     }
 

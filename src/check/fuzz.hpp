@@ -14,7 +14,11 @@
 //   * for GEMM, the blocked driver — serial and threaded — through
 //     `augem::padded_gemm_block_kernel`,
 //   * the BLAS-level wrappers (AUGEM + the simulated comparator libraries)
-//     against the netlib-semantics oracle `blas::ref`.
+//     against the netlib-semantics oracle `blas::ref`,
+//   * the batched small-GEMM serving path (`gemm_batch_strided` with fused
+//     alpha/beta, bias, and ReLU epilogues) against the reference batch
+//     loop in `blas::Blas` — including NaN/Inf propagation through the
+//     MAXPD-semantics ReLU (relu(NaN) == 0).
 //
 // Every generated kernel additionally passes through the static machine-code
 // verifier (`opt::verify_machine_code`). All numeric paths are cross-checked
@@ -42,6 +46,8 @@ struct FuzzOptions {
   bool run_jit = true;      ///< native JIT path (auto-skipped off-ISA)
   bool run_driver = true;   ///< blocked GEMM driver, serial + threaded
   bool run_blas = true;     ///< BLAS-level wrappers vs blas::ref
+  bool run_batch = true;    ///< batched small-GEMM fast path vs the
+                            ///< reference epilogue oracle (JIT hosts only)
   bool shrink = true;       ///< minimize failing instances
 
   std::int64_t max_failures = 16;  ///< stop after this many failures

@@ -155,6 +155,84 @@ ir::Kernel make_scal_kernel(const std::string& name) {
   return k;
 }
 
+std::string EpilogueSpec::tag() const {
+  std::string s;
+  if (scale) s += "+scale";
+  if (bias) s += "+bias";
+  if (relu) s += "+relu";
+  return s;
+}
+
+std::string EpilogueSpec::suffix() const {
+  std::string s;
+  if (scale) s += "_scale";
+  if (bias) s += "_bias";
+  if (relu) s += "_relu";
+  return s;
+}
+
+std::string SmallGemmSpec::to_string() const {
+  return std::to_string(m) + "x" + std::to_string(n) + "x" + std::to_string(k) +
+         epilogue.tag();
+}
+
+ir::Kernel make_small_gemm_kernel(const SmallGemmSpec& spec,
+                                  const std::string& name) {
+  AUGEM_CHECK(spec.m > 0 && spec.n > 0 && spec.k > 0,
+              "small-GEMM extents must be positive");
+  std::string fn = name;
+  if (fn.empty()) {
+    fn = "dgemm_small_" + std::to_string(spec.m) + "x" +
+         std::to_string(spec.n) + "x" + std::to_string(spec.k) +
+         spec.epilogue.suffix();
+  }
+  Kernel k(fn, {
+                   {"A", ScalarType::kPtrF64, /*is_const=*/true},
+                   {"lda", ScalarType::kI64},
+                   {"B", ScalarType::kPtrF64, /*is_const=*/true},
+                   {"ldb", ScalarType::kI64},
+                   {"C", ScalarType::kPtrF64, /*is_const=*/false},
+                   {"ldc", ScalarType::kI64},
+                   {"bias", ScalarType::kPtrF64, /*is_const=*/true},
+                   {"alpha", ScalarType::kF64},
+                   {"beta", ScalarType::kF64},
+               });
+  k.declare_local("i", ScalarType::kI64);
+  k.declare_local("j", ScalarType::kI64);
+  k.declare_local("l", ScalarType::kI64);
+  k.declare_local("res", ScalarType::kF64);
+
+  StmtList l_body;
+  // res = res + A[l*lda + i] * B[j*ldb + l];
+  l_body.push_back(assign(
+      var("res"),
+      add(var("res"), mul(arr("A", add(mul(var("l"), var("lda")), var("i"))),
+                          arr("B", add(mul(var("j"), var("ldb")), var("l")))))));
+
+  StmtList i_body;
+  i_body.push_back(assign(var("res"), fval(0.0)));
+  i_body.push_back(forloop("l", ival(0), ival(spec.k), 1, std::move(l_body)));
+  auto c_ref = [&] { return arr("C", add(mul(var("j"), var("ldc")), var("i"))); };
+  // C[j*ldc+i] = relu(scale(C[j*ldc+i], res) + bias[i]) per the spec.
+  ExprPtr upd;
+  if (spec.epilogue.scale) {
+    upd = add(mul(c_ref(), var("beta")), mul(var("res"), var("alpha")));
+  } else {
+    upd = add(c_ref(), var("res"));
+  }
+  if (spec.epilogue.bias) upd = add(std::move(upd), arr("bias", var("i")));
+  if (spec.epilogue.relu) upd = fmax2(std::move(upd), fval(0.0));
+  i_body.push_back(assign(c_ref(), std::move(upd)));
+
+  StmtList j_body;
+  j_body.push_back(forloop("i", ival(0), ival(spec.m), 1, std::move(i_body)));
+
+  StmtList body;
+  body.push_back(forloop("j", ival(0), ival(spec.n), 1, std::move(j_body)));
+  k.set_body(std::move(body));
+  return k;
+}
+
 ir::Kernel make_kernel(KernelKind kind, BLayout layout) {
   switch (kind) {
     case KernelKind::kGemm: return make_gemm_kernel(layout);

@@ -70,4 +70,64 @@ ir::Kernel make_scal_kernel(const std::string& name = "dscal_kernel");
 /// Builds the simple-C kernel for `kind` (GEMM uses `layout`).
 ir::Kernel make_kernel(KernelKind kind, BLayout layout = BLayout::kRowPanel);
 
+// ---- shape-specialized small GEMM ----------------------------------------
+
+/// Optional epilogue fused into the small-GEMM store. The combined update is
+///
+///   C[j*ldc+i] = relu( scale(C[j*ldc+i], res) + bias[i] )
+///
+/// where scale(c, r) is `c*beta + r*alpha` when `scale` is set and `c + r`
+/// otherwise, the bias term appears only when `bias` is set, and relu(x) is
+/// `max(x, 0.0)` (MAXPD semantics: relu(NaN) == 0.0) when `relu` is set.
+struct EpilogueSpec {
+  bool scale = false;  ///< alpha/beta scaling instead of plain accumulate
+  bool bias = false;   ///< add bias[i] (one vector of m doubles)
+  bool relu = false;   ///< clamp at zero
+
+  bool any() const { return scale || bias || relu; }
+  /// Display tag, e.g. "+scale+bias+relu"; empty for a plain store.
+  std::string tag() const;
+  /// Symbol-safe suffix, e.g. "_scale_bias_relu"; empty for a plain store.
+  std::string suffix() const;
+
+  friend bool operator==(const EpilogueSpec& a, const EpilogueSpec& b) {
+    return a.scale == b.scale && a.bias == b.bias && a.relu == b.relu;
+  }
+  friend bool operator!=(const EpilogueSpec& a, const EpilogueSpec& b) {
+    return !(a == b);
+  }
+};
+
+/// A fully shape-specialized small GEMM problem: every extent is a compile-
+/// time constant, A/B are read in place (no packing), and the epilogue is
+/// fused into the generated store.
+struct SmallGemmSpec {
+  int m = 16;
+  int n = 16;
+  int k = 16;
+  EpilogueSpec epilogue;
+
+  /// e.g. "16x16x16+bias+relu".
+  std::string to_string() const;
+
+  friend bool operator==(const SmallGemmSpec& a, const SmallGemmSpec& b) {
+    return a.m == b.m && a.n == b.n && a.k == b.k && a.epilogue == b.epilogue;
+  }
+  friend bool operator!=(const SmallGemmSpec& a, const SmallGemmSpec& b) {
+    return !(a == b);
+  }
+};
+
+/// Small-GEMM kernel over unpacked column-major operands with the fused
+/// epilogue of `spec`. Loop bounds are the spec's constants, so the whole
+/// kernel unrolls away under the small-GEMM pipeline. Signature (uniform
+/// across epilogue variants; unused trailing operands are simply ignored):
+///
+///   void name(const double* A, long lda, const double* B, long ldb,
+///             double* C, long ldc, const double* bias,
+///             double alpha, double beta)
+///   // C[j*ldc+i] = epilogue(C[j*ldc+i], sum_l A[l*lda+i] * B[j*ldb+l])
+ir::Kernel make_small_gemm_kernel(const SmallGemmSpec& spec,
+                                  const std::string& name = "");
+
 }  // namespace augem::frontend

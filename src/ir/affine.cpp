@@ -164,6 +164,7 @@ std::optional<Poly> to_poly(const Expr& e) {
         case BinOp::kAdd: return *l + *r;
         case BinOp::kSub: return *l - *r;
         case BinOp::kMul: return *l * *r;
+        case BinOp::kMax: return std::nullopt;  // not affine
       }
       return std::nullopt;
     }

@@ -20,13 +20,14 @@ enum class ExprKind : std::uint8_t {
   kBinary,
 };
 
-enum class BinOp : std::uint8_t { kAdd, kSub, kMul };
+enum class BinOp : std::uint8_t { kAdd, kSub, kMul, kMax };
 
 inline const char* binop_token(BinOp op) {
   switch (op) {
     case BinOp::kAdd: return "+";
     case BinOp::kSub: return "-";
     case BinOp::kMul: return "*";
+    case BinOp::kMax: return "max";
   }
   return "?";
 }
@@ -150,6 +151,7 @@ inline ExprPtr bin(BinOp op, ExprPtr l, ExprPtr r) {
 inline ExprPtr add(ExprPtr l, ExprPtr r) { return bin(BinOp::kAdd, std::move(l), std::move(r)); }
 inline ExprPtr sub(ExprPtr l, ExprPtr r) { return bin(BinOp::kSub, std::move(l), std::move(r)); }
 inline ExprPtr mul(ExprPtr l, ExprPtr r) { return bin(BinOp::kMul, std::move(l), std::move(r)); }
+inline ExprPtr fmax2(ExprPtr l, ExprPtr r) { return bin(BinOp::kMax, std::move(l), std::move(r)); }
 
 /// Downcast helper: returns nullptr if `e` is not a `T`. Dispatches on the
 /// kind tag (no RTTI), LLVM isa/cast style.

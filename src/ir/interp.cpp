@@ -59,6 +59,7 @@ class Interpreter {
         case BinOp::kAdd: return a + b;
         case BinOp::kSub: return a - b;
         case BinOp::kMul: return a * b;
+        case BinOp::kMax: return a > b ? a : b;
       }
     }
     // Pointer arithmetic (element-granular, as in C pointer math).
@@ -80,6 +81,8 @@ class Interpreter {
         case BinOp::kAdd: return a + b;
         case BinOp::kSub: return a - b;
         case BinOp::kMul: return a * b;
+        // MAXPD semantics: src2 wins when src1 is NaN, so relu(NaN) == 0.
+        case BinOp::kMax: return a > b ? a : b;
       }
     }
     AUGEM_FAIL("type error evaluating " << e.to_string());

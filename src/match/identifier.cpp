@@ -19,6 +19,7 @@ const char* template_kind_name(TemplateKind k) {
     case TemplateKind::kMvComp: return "mvCOMP";
     case TemplateKind::kAccInit: return "accINIT";
     case TemplateKind::kSvScal: return "svSCAL";
+    case TemplateKind::kMmEpiStore: return "mmEpiSTORE";
   }
   return "?";
 }
@@ -30,6 +31,7 @@ std::size_t Region::size() const {
     case TemplateKind::kMvComp: return mv.size();
     case TemplateKind::kAccInit: return acc_inits.size();
     case TemplateKind::kSvScal: return sv.size();
+    case TemplateKind::kMmEpiStore: return epis.size();
   }
   return 0;
 }
@@ -42,6 +44,7 @@ std::string Region::name() const {
     case TemplateKind::kMvComp: return "mvUnrolledCOMP";
     case TemplateKind::kAccInit: return "accINIT";
     case TemplateKind::kSvScal: return "svUnrolledSCAL";
+    case TemplateKind::kMmEpiStore: return "mmUnrolledEpiSTORE";
   }
   return "?";
 }
@@ -107,6 +110,27 @@ std::optional<StoreView> view_store(const Stmt& s) {
   return StoreView{ref->base(), off->value(), src->name()};
 }
 
+struct MaxZeroView {
+  std::string dst;
+  std::string src;
+};
+
+/// `dst = src max 0.0` — the lowered ReLU clamp (scalar_replace keeps the
+/// literal in place, so the rhs of the Binary is a FloatConst, which the
+/// generic view_binop rejects).
+std::optional<MaxZeroView> view_max_zero(const Stmt& s) {
+  const auto* a = as<Assign>(s);
+  if (a == nullptr) return std::nullopt;
+  const auto* dst = as<VarRef>(a->lhs());
+  const auto* b = as<Binary>(a->rhs());
+  if (dst == nullptr || b == nullptr || b->op() != BinOp::kMax)
+    return std::nullopt;
+  const auto* l = as<VarRef>(b->lhs());
+  const auto* r = as<FloatConst>(b->rhs());
+  if (l == nullptr || r == nullptr || r->value() != 0.0) return std::nullopt;
+  return MaxZeroView{dst->name(), l->name()};
+}
+
 /// `dst = 0.0` accumulator zeroing.
 std::optional<std::string> view_zero_init(const Stmt& s) {
   const auto* a = as<Assign>(s);
@@ -161,6 +185,99 @@ std::optional<MmStore> match_mm_store(const StmtList& body, std::size_t p) {
   if (st->base != l0->base || st->off != l0->off) return std::nullopt;
   if (st->src != addv->dst) return std::nullopt;
   return MmStore{st->base, st->off, res};
+}
+
+/// mmEpiSTORE: Load t0 = C[c]; [scale or plain accumulate]; [bias add];
+/// [relu]; C[c] = t. Returns nullopt for the plain accumulate-only form —
+/// that is the classic mmSTORE and must keep matching it.
+std::optional<EpiStore> match_epi_store(const StmtList& body, std::size_t p) {
+  if (p >= body.size()) return std::nullopt;
+  const auto l0 = view_load(*body[p]);
+  if (!l0) return std::nullopt;
+  EpiStore e;
+  e.arr = l0->base;
+  e.off = l0->off;
+  std::size_t q = p + 1;
+  std::string cur;  // name carrying the value-so-far
+
+  if (q >= body.size()) return std::nullopt;
+  const auto b1 = view_binop(*body[q]);
+  if (!b1) return std::nullopt;
+  if (b1->op == BinOp::kMul) {
+    // Scale form: t1 = t0*beta; t2 = res*alpha; t3 = t1 + t2.
+    if (b1->lhs == l0->dst) {
+      e.beta = b1->rhs;
+    } else if (b1->rhs == l0->dst) {
+      e.beta = b1->lhs;
+    } else {
+      return std::nullopt;
+    }
+    if (e.beta == l0->dst) return std::nullopt;
+    if (q + 2 >= body.size()) return std::nullopt;
+    const auto b2 = view_binop(*body[q + 1]);
+    const auto b3 = view_binop(*body[q + 2]);
+    if (!b2 || b2->op != BinOp::kMul) return std::nullopt;
+    // Source-order convention (make_small_gemm_kernel emits res*alpha and
+    // scalar replacement preserves operand order): lhs is the accumulator.
+    e.res = b2->lhs;
+    e.alpha = b2->rhs;
+    if (e.res == e.alpha) return std::nullopt;
+    if (!b3 || b3->op != BinOp::kAdd) return std::nullopt;
+    const bool adds = (b3->lhs == b1->dst && b3->rhs == b2->dst) ||
+                      (b3->lhs == b2->dst && b3->rhs == b1->dst);
+    if (!adds) return std::nullopt;
+    cur = b3->dst;
+    e.scale = true;
+    q += 3;
+  } else if (b1->op == BinOp::kAdd) {
+    // Plain accumulate: t1 = t0 + res.
+    if (b1->lhs == l0->dst) {
+      e.res = b1->rhs;
+    } else if (b1->rhs == l0->dst) {
+      e.res = b1->lhs;
+    } else {
+      return std::nullopt;
+    }
+    if (e.res == l0->dst) return std::nullopt;
+    cur = b1->dst;
+    q += 1;
+  } else {
+    return std::nullopt;
+  }
+
+  // Optional bias add: tb = bias[boff]; t = cur + tb.
+  if (q + 2 <= body.size()) {
+    const auto lb = view_load(*body[q]);
+    const auto ba = view_binop(*body[q + 1]);
+    if (lb && ba && ba->op == BinOp::kAdd &&
+        ((ba->lhs == cur && ba->rhs == lb->dst) ||
+         (ba->lhs == lb->dst && ba->rhs == cur))) {
+      e.bias = true;
+      e.bias_arr = lb->base;
+      e.bias_off = lb->off;
+      cur = ba->dst;
+      q += 2;
+    }
+  }
+
+  // Optional relu clamp: t = cur max 0.0.
+  if (q < body.size()) {
+    if (const auto mz = view_max_zero(*body[q]); mz && mz->src == cur) {
+      e.relu = true;
+      cur = mz->dst;
+      q += 1;
+    }
+  }
+
+  if (q >= body.size()) return std::nullopt;
+  const auto st = view_store(*body[q]);
+  if (!st || st->base != e.arr || st->off != e.off || st->src != cur)
+    return std::nullopt;
+  q += 1;
+
+  if (!e.scale && !e.bias && !e.relu) return std::nullopt;  // plain mmSTORE
+  e.len = q - p;
+  return e;
 }
 
 /// svSCAL: Load; Mul-by-scal; Store-back to the same slot. (3 statements)
@@ -348,6 +465,10 @@ class Identifier {
         p = grow_mm_region(body, p, std::move(*mm));
         continue;
       }
+      if (auto epi = match_epi_store(body, p)) {
+        p = grow_epi_region(body, p, std::move(*epi));
+        continue;
+      }
       if (auto st = match_mm_store(body, p)) {
         p = grow_store_region(body, p, std::move(*st));
         continue;
@@ -422,6 +543,27 @@ class Identifier {
       if (next->arr != prev.arr || next->off != prev.off + 1) break;
       region.stores.push_back(std::move(*next));
       q += 3;
+    }
+    region.shape = UnrolledShape::kPaired;
+    tag(body, p, q, region);
+    return q;
+  }
+
+  std::size_t grow_epi_region(StmtList& body, std::size_t p, EpiStore first) {
+    Region& region = new_region(TemplateKind::kMmEpiStore);
+    std::size_t q = p + first.len;
+    region.epis.push_back(std::move(first));
+    while (true) {
+      auto next = match_epi_store(body, q);
+      if (!next) break;
+      // Merge rule mirrors mmUnrolledSTORE — contiguous offsets on one C
+      // cursor — plus: identical epilogue and a contiguous bias slice.
+      const EpiStore& prev = region.epis.back();
+      if (next->arr != prev.arr || next->off != prev.off + 1) break;
+      if (!next->same_epilogue(prev)) break;
+      if (next->bias && next->bias_off != prev.bias_off + 1) break;
+      q += next->len;
+      region.epis.push_back(std::move(*next));
     }
     region.shape = UnrolledShape::kPaired;
     tag(body, p, q, region);

@@ -46,6 +46,11 @@ enum class TemplateKind : std::uint8_t {
   kMvComp,
   kAccInit,
   kSvScal,  ///< extension template (svSCAL): arr[off] *= scal
+  /// Epilogue store (small-GEMM fused epilogues):
+  ///   arr[off] = relu(scale(arr[off], res) + bias[boff])
+  /// with each of scale / bias / relu optional (but at least one present;
+  /// the plain form is the classic mmSTORE).
+  kMmEpiStore,
 };
 
 const char* template_kind_name(TemplateKind k);
@@ -71,6 +76,36 @@ struct MmStore {
   std::string arr;
   std::int64_t off = 0;
   std::string res;
+};
+
+/// One matched mmEpiSTORE:
+///   arr[off] = relu( scale(arr[off], res) + bias_arr[bias_off] ).
+/// `scale(c, r)` is `c*beta + r*alpha` when `scale` is set, else `c + r`.
+struct EpiStore {
+  std::string arr;
+  std::int64_t off = 0;
+  std::string res;
+
+  bool scale = false;
+  std::string alpha;  ///< scalar multiplying res (when scale)
+  std::string beta;   ///< scalar multiplying the loaded C value (when scale)
+
+  bool bias = false;
+  std::string bias_arr;
+  std::int64_t bias_off = 0;
+
+  bool relu = false;
+
+  /// Statements consumed by this instance (the window length varies with
+  /// the feature set: 4 to 8 statements).
+  std::size_t len = 0;
+
+  /// True when both instances apply the identical epilogue (same features
+  /// and the same scalar operands).
+  bool same_epilogue(const EpiStore& o) const {
+    return scale == o.scale && bias == o.bias && relu == o.relu &&
+           alpha == o.alpha && beta == o.beta && bias_arr == o.bias_arr;
+  }
 };
 
 /// One matched mvCOMP: arr_b[off_b] += arr_a[off_a] * scal.
@@ -103,6 +138,7 @@ struct Region {
   std::vector<MvComp> mv;       // kMvComp
   std::vector<std::string> acc_inits;  // kAccInit: zeroed scalars, in order
   std::vector<SvScal> sv;      // kSvScal
+  std::vector<EpiStore> epis;  // kMmEpiStore
 
   /// Outer shape extents: n1 distinct A offsets × n2 distinct B elements.
   int n1 = 1;

@@ -78,6 +78,16 @@ MInst vadd(Vr dst, Vr a, Vr b, int width, bool vex) {
   return i;
 }
 
+MInst vmax(Vr dst, Vr a, Vr b, int width, bool vex) {
+  MInst i = base(MOp::kVMax);
+  i.vdst = dst;
+  i.vsrc1 = a;
+  i.vsrc2 = b;
+  i.width = width;
+  i.vex = vex;
+  return i;
+}
+
 MInst vfma231(Vr dst_acc, Vr a, Vr b, int width) {
   MInst i = base(MOp::kVFma231);
   i.vdst = dst_acc;
@@ -329,6 +339,7 @@ void defs_of(const MInst& inst, std::vector<Gpr>& gprs, std::vector<Vr>& vrs) {
     case MOp::kVMov:
     case MOp::kVMul:
     case MOp::kVAdd:
+    case MOp::kVMax:
     case MOp::kVShuf:
     case MOp::kVPerm128:
     case MOp::kVBlend:
@@ -381,6 +392,7 @@ void uses_of(const MInst& inst, std::vector<Gpr>& gprs, std::vector<Vr>& vrs) {
       break;
     case MOp::kVMul:
     case MOp::kVAdd:
+    case MOp::kVMax:
     case MOp::kVShuf:
     case MOp::kVPerm128:
     case MOp::kVBlend:

@@ -90,6 +90,10 @@ enum class MOp : std::uint8_t {
   kVZeroUpper, // clear upper YMM state before returning to SSE callers
   kRet,
   kComment,    // no-op; label holds the text
+
+  // Appended past the original set so the numeric op ids in existing
+  // machine-IR dumps (golden snapshots) stay stable.
+  kVMax,       // vdst = max(vsrc1, vsrc2)        (maxpd/vmaxpd; NaN -> vsrc2)
 };
 
 /// One machine instruction. Unused fields keep their defaults.
@@ -125,6 +129,7 @@ MInst vbroadcast(Vr dst, Mem m, int width, bool vex);
 MInst vmov(Vr dst, Vr src, int width, bool vex);
 MInst vmul(Vr dst, Vr a, Vr b, int width, bool vex);
 MInst vadd(Vr dst, Vr a, Vr b, int width, bool vex);
+MInst vmax(Vr dst, Vr a, Vr b, int width, bool vex);
 MInst vfma231(Vr dst_acc, Vr a, Vr b, int width);
 MInst vfma4(Vr dst, Vr a, Vr b, Vr c, int width);
 MInst vshuf(Vr dst, Vr a, Vr b, std::int64_t imm, int width, bool vex);

@@ -121,9 +121,13 @@ void EmitCtx::release_dead_scalars(int region_id) {
 
 void compute_store_affinities(EmitCtx& ctx) {
   for (const Region& region : ctx.match->regions) {
-    if (region.kind != TemplateKind::kMmStore) continue;
-    for (const match::MmStore& st : region.stores)
-      ctx.store_affinity[st.res] = st.arr;
+    if (region.kind == TemplateKind::kMmStore) {
+      for (const match::MmStore& st : region.stores)
+        ctx.store_affinity[st.res] = st.arr;
+    } else if (region.kind == TemplateKind::kMmEpiStore) {
+      for (const match::EpiStore& st : region.epis)
+        ctx.store_affinity[st.res] = st.arr;
+    }
   }
 }
 
@@ -349,6 +353,124 @@ void emit_store_vector(EmitCtx& ctx, const Region& region, int w) {
   }
 }
 
+// The mmEpiSTORE optimizer (small-GEMM fused epilogues): Table 2's
+// Load-Add-Store extended with optional alpha/beta scaling (Vmul + the
+// Mul/Add rows against broadcast alpha), a bias Vld-Vadd, and a ReLU Vmax
+// against a region-hoisted zero register. The plain form never reaches
+// here — the identifier leaves it to mmSTORE.
+
+void emit_epi_store_scalar(EmitCtx& ctx, const Region& region) {
+  const Isa isa = ctx.config.isa;
+  const bool vex = isa_is_vex(isa);
+  Vr z = Vr::kNoVr;
+  for (const match::EpiStore& st : region.epis) {
+    const Vr t = ctx.vralloc->alloc(st.arr);
+    const Mem m = ctx.mem_of(st.arr, st.off);
+    emit_load(*ctx.out, isa, 1, t, m);
+    const Vr acc = ctx.scalar(st.res);
+    if (st.scale) {
+      AUGEM_CHECK(ctx.reg_table.contains(st.alpha) &&
+                      ctx.reg_table.contains(st.beta),
+                  "epilogue scalars '" << st.alpha << "'/'" << st.beta
+                                       << "' have no bound registers");
+      ctx.out->push_back(vmul(t, t, ctx.reg_table.lookup(st.beta), 1, vex));
+      const Vr tmp = needs_mul_temp(isa) ? ctx.vralloc->alloc("") : Vr::kNoVr;
+      emit_mul_add(*ctx.out, isa, 1, acc, ctx.reg_table.lookup(st.alpha), t,
+                   tmp);  // t = C*beta + res*alpha
+      if (tmp != Vr::kNoVr) ctx.vralloc->release(tmp);
+    } else {
+      ctx.out->push_back(vadd(t, t, acc, 1, vex));
+    }
+    if (st.bias) {
+      const Vr tb = ctx.vralloc->alloc(st.bias_arr);
+      emit_load(*ctx.out, isa, 1, tb, ctx.mem_of(st.bias_arr, st.bias_off));
+      ctx.out->push_back(vadd(t, t, tb, 1, vex));
+      ctx.vralloc->release(tb);
+    }
+    if (st.relu) {
+      if (z == Vr::kNoVr) {
+        z = ctx.vralloc->alloc("");
+        emit_zero(*ctx.out, isa, 1, z);
+      }
+      ctx.out->push_back(vmax(t, t, z, 1, vex));
+    }
+    emit_store(*ctx.out, isa, 1, t, m);
+    ctx.vralloc->release(t);
+  }
+  if (z != Vr::kNoVr) ctx.vralloc->release(z);
+}
+
+void emit_epi_store_vector(EmitCtx& ctx, const Region& region, int w) {
+  const Isa isa = ctx.config.isa;
+  const bool vex = isa_is_vex(isa);
+  const match::EpiStore& head = region.epis[0];
+  Vr alpha_bc = Vr::kNoVr;
+  Vr beta_bc = Vr::kNoVr;
+  if (head.scale) {
+    const auto a = ctx.broadcast_reg.find(head.alpha);
+    const auto b = ctx.broadcast_reg.find(head.beta);
+    AUGEM_CHECK(a != ctx.broadcast_reg.end() && b != ctx.broadcast_reg.end(),
+                "no broadcast registers for epilogue scalars '"
+                    << head.alpha << "'/'" << head.beta << "'");
+    alpha_bc = a->second;
+    beta_bc = b->second;
+  }
+  Vr z = Vr::kNoVr;
+  if (head.relu) {
+    z = ctx.vralloc->alloc("");
+    emit_zero(*ctx.out, isa, w, z);
+  }
+  const Vr tmp =
+      head.scale && needs_mul_temp(isa) ? ctx.vralloc->alloc("") : Vr::kNoVr;
+  const int chunks = static_cast<int>(region.epis.size()) / w;
+  for (int c = 0; c < chunks; ++c) {
+    std::vector<Vr> srcs(static_cast<std::size_t>(w));
+    bool same_group = true;
+    int gid0 = -1;
+    for (int i = 0; i < w; ++i) {
+      const match::EpiStore& st =
+          region.epis[static_cast<std::size_t>(c * w + i)];
+      const auto [gid, lane] = ctx.plan.lane_of.at(st.res);
+      AUGEM_CHECK(lane == i, "store lane misalignment for '" << st.res << "'");
+      srcs[static_cast<std::size_t>(i)] = ctx.group(gid);
+      if (i == 0) gid0 = gid;
+      same_group &= gid == gid0;
+    }
+    Vr col;
+    bool col_owned = false;
+    if (same_group) {
+      col = srcs[0];
+    } else {
+      col = ctx.vralloc->alloc("");
+      emit_lane_gather(*ctx.out, isa, w, col, srcs);
+      col_owned = true;
+    }
+    const match::EpiStore& first = region.epis[static_cast<std::size_t>(c * w)];
+    const Vr t = ctx.vralloc->alloc(first.arr);
+    const Mem m = ctx.mem_of(first.arr, first.off);
+    emit_load(*ctx.out, isa, w, t, m);
+    if (first.scale) {
+      ctx.out->push_back(vmul(t, t, beta_bc, w, vex));
+      emit_mul_add(*ctx.out, isa, w, col, alpha_bc, t, tmp);
+    } else {
+      ctx.out->push_back(vadd(t, t, col, w, vex));
+    }
+    if (first.bias) {
+      const Vr tb = ctx.vralloc->alloc(first.bias_arr);
+      emit_load(*ctx.out, isa, w, tb,
+                ctx.mem_of(first.bias_arr, first.bias_off));
+      ctx.out->push_back(vadd(t, t, tb, w, vex));
+      ctx.vralloc->release(tb);
+    }
+    if (first.relu) ctx.out->push_back(vmax(t, t, z, w, vex));
+    emit_store(*ctx.out, isa, w, t, m);
+    ctx.vralloc->release(t);
+    if (col_owned) ctx.vralloc->release(col);
+  }
+  if (tmp != Vr::kNoVr) ctx.vralloc->release(tmp);
+  if (z != Vr::kNoVr) ctx.vralloc->release(z);
+}
+
 // The svSCAL optimizer (extension template): Vld-Vmul-Vst over `scal`'s
 // broadcast register; scalar fallback mirrors Table 3 minus the Add.
 void emit_sv_scal(EmitCtx& ctx, const Region& region, int w) {
@@ -449,6 +571,13 @@ void emit_region(EmitCtx& ctx, const Region& region) {
       break;
     case TemplateKind::kSvScal:
       emit_sv_scal(ctx, region, rp.width);
+      break;
+    case TemplateKind::kMmEpiStore:
+      if (rp.width <= 1) {
+        emit_epi_store_scalar(ctx, region);
+      } else {
+        emit_epi_store_vector(ctx, region, rp.width);
+      }
       break;
   }
 

@@ -51,6 +51,7 @@ class Planner {
       case TemplateKind::kMmStore: break;  // planned after all COMP regions
       case TemplateKind::kAccInit: break;  // follows the accumulator plans
       case TemplateKind::kSvScal: plan_sv(region); break;
+      case TemplateKind::kMmEpiStore: break;  // planned with the stores
     }
   }
 
@@ -245,6 +246,32 @@ class Planner {
         ok = static_cast<int>(region.stores.size()) % w == 0;
       }
       if (ok && w > 1) rp.width = w;
+      plan_.regions[region.id] = rp;
+    }
+    plan_epi_stores();
+  }
+
+  /// Epilogue stores vectorize exactly like plain stores; a vectorized
+  /// scale form additionally keeps broadcast alpha/beta registers resident.
+  void plan_epi_stores() {
+    for (const Region& region : match_.regions) {
+      if (region.kind != TemplateKind::kMmEpiStore) continue;
+      RegionPlan rp;
+      bool ok = !region.epis.empty();
+      int w = 1;
+      for (const match::EpiStore& st : region.epis)
+        ok &= plan_.lane_of.count(st.res) > 0;
+      if (ok) {
+        w = plan_.groups[plan_.lane_of[region.epis[0].res].first].width;
+        ok = static_cast<int>(region.epis.size()) % w == 0;
+      }
+      if (ok && w > 1) {
+        rp.width = w;
+        if (region.epis[0].scale) {
+          plan_.broadcast_scals.insert(region.epis[0].alpha);
+          plan_.broadcast_scals.insert(region.epis[0].beta);
+        }
+      }
       plan_.regions[region.id] = rp;
     }
   }

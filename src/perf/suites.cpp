@@ -4,6 +4,8 @@
 
 #include "augem/augem.hpp"
 #include "perf/clock.hpp"
+#include "runtime/dispatch.hpp"
+#include "runtime/runtime_blas.hpp"
 #include "support/buffer.hpp"
 #include "support/error.hpp"
 #include "support/flops.hpp"
@@ -56,7 +58,81 @@ RunnerOptions runner_for(const SuiteOptions& options) {
 
 }  // namespace
 
-std::vector<std::string> suite_names() { return {"micro", "level1"}; }
+namespace {
+
+/// The batched small-GEMM serving path (docs/runtime.md): dispatch is
+/// resolved once per (shape, epilogue) variant and thousands of instances
+/// stream through the cached shape-specialized kernel. Pessimize mode
+/// re-pays dispatch per instance (batch-of-1 calls through the same API),
+/// which is exactly the overhead the fast path exists to amortize — so a
+/// normal-config baseline vs a pessimized run must gate as regressed.
+BenchReport run_batch_small(const SuiteOptions& options,
+                            const BenchRunner& runner) {
+  using runtime::KernelRuntime;
+  using runtime::RuntimeConfig;
+
+  RuntimeConfig cfg;
+  cfg.use_persistent = false;  // hermetic: no cross-process tuning state
+  cfg.tune_on_miss = false;
+  KernelRuntime rt(cfg);
+  const std::unique_ptr<blas::Blas> lib = runtime::make_runtime_blas(rt);
+
+  const long batch = options.quick ? 256 : 2048;
+  struct Point {
+    int d;          ///< m = n = k (the square small-kernel shapes)
+    bool fused;     ///< bias + relu epilogue fused into the kernel
+    const char* name;
+  };
+  const Point points[] = {
+      {16, false, "batch_gemm"},
+      {8, false, "batch_gemm"},
+      {16, true, "batch_gemm_bias_relu"},
+  };
+
+  BenchReport report = make_host_report("batch_small");
+  Rng rng(101);
+  for (const Point& pt : points) {
+    const long d = pt.d;
+    const long stride = d * d;
+    DoubleBuffer a(static_cast<std::size_t>(batch * stride));
+    DoubleBuffer b(static_cast<std::size_t>(batch * stride));
+    DoubleBuffer c(static_cast<std::size_t>(batch * stride));
+    DoubleBuffer bias(static_cast<std::size_t>(d));
+    rng.fill(a.span());
+    rng.fill(b.span());
+    rng.fill(c.span());
+    rng.fill(bias.span());
+    const double* bias_p = pt.fused ? bias.data() : nullptr;
+    const bool relu = pt.fused;
+
+    auto run_batched = [&] {
+      lib->gemm_batch_strided(d, d, d, 1.0, a.data(), d, stride, b.data(), d,
+                              stride, 1.0, c.data(), d, stride, batch, bias_p,
+                              0, relu);
+    };
+    auto run_per_instance = [&] {
+      for (long p = 0; p < batch; ++p)
+        lib->gemm_batch_strided(d, d, d, 1.0, a.data() + p * stride, d, stride,
+                                b.data() + p * stride, d, stride, 1.0,
+                                c.data() + p * stride, d, stride, 1, bias_p, 0,
+                                relu);
+    };
+    run_batched();  // warm: generate + JIT the variant outside the timing
+    const double flops = gemm_flops(d, d, d) * static_cast<double>(batch);
+    const Measurement m =
+        options.pessimize ? runner.run(flops, run_per_instance)
+                          : runner.run(flops, run_batched);
+    report.rows.push_back(
+        BenchRow::from_measurement(m, pt.name, d, d, d));
+  }
+  return report;
+}
+
+}  // namespace
+
+std::vector<std::string> suite_names() {
+  return {"micro", "level1", "batch_small"};
+}
 
 bool is_suite_name(const std::string& name) {
   const auto names = suite_names();
@@ -64,10 +140,13 @@ bool is_suite_name(const std::string& name) {
 }
 
 BenchReport run_suite(const std::string& name, const SuiteOptions& options) {
-  AUGEM_CHECK(is_suite_name(name),
-              "unknown bench suite '" << name << "' (known: micro, level1)");
+  AUGEM_CHECK(is_suite_name(name), "unknown bench suite '"
+                                       << name
+                                       << "' (known: micro, level1, "
+                                          "batch_small)");
   const Sizes sz = sizes_for(options.quick);
   const BenchRunner runner(runner_for(options));
+  if (name == "batch_small") return run_batch_small(options, runner);
   KernelSet set = make_suite_kernels(options.pessimize);
   BenchReport report = make_host_report(name);
 

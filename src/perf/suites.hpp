@@ -26,8 +26,9 @@ struct SuiteOptions {
 };
 
 /// The suites bench_gate knows: "micro" (all five generated kernels on
-/// packed-block / in-cache problems) and "level1" (the memory-bound
-/// streaming kernels at figure sizes).
+/// packed-block / in-cache problems), "level1" (the memory-bound
+/// streaming kernels at figure sizes), and "batch_small" (the batched
+/// small-GEMM fast path with amortized dispatch and fused epilogues).
 std::vector<std::string> suite_names();
 bool is_suite_name(const std::string& name);
 

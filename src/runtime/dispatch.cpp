@@ -37,6 +37,13 @@ tuning::TuneWorkload tune_workload_for(KernelKind kind, ShapeClass shape) {
   return w;
 }
 
+bool use_small_gemm_kernel(std::int64_t m, std::int64_t n, std::int64_t k) {
+  // Fully unrolled code: the instruction count grows with m*n*k, so the
+  // window is capped where the straight-line body would stop fitting the
+  // uop cache / L1I and the blocked kernel catches up anyway.
+  return m >= 1 && m <= 32 && n >= 1 && n <= 32 && k >= 1 && k <= 32;
+}
+
 KernelRuntime::KernelRuntime(RuntimeConfig config)
     : config_(std::move(config)),
       isa_(select_dispatch_isa(host_arch())),
@@ -67,7 +74,16 @@ TunedVariant KernelRuntime::tuned_variant_for(const KernelKey& key) {
   }
   db_misses_.fetch_add(1, std::memory_order_relaxed);
 
-  if (config_.tune_on_miss) {
+  if (key.small) {
+    // Small-GEMM variants skip the empirical tuner: with every extent a
+    // compile-time constant the register tile follows from the shape, and
+    // the batched serving path cannot afford a search per (shape, epilogue).
+    // mflops 0 marks the entry as untimed.
+    const GenerateOptions o = default_small_gemm_options(*key.small, key.isa);
+    v.params = o.params;
+    v.strategy = o.config.strategy;
+    v.mflops = 0.0;
+  } else if (config_.tune_on_miss) {
     tuner_runs_.fetch_add(1, std::memory_order_relaxed);
     const tuning::TuneWorkload w = config_.workload_override
                                        ? *config_.workload_override
@@ -98,11 +114,15 @@ std::shared_ptr<const CachedKernel> KernelRuntime::build_kernel(
   // public API: generate_kernel attaches the calling contract and demands
   // a clean mirlint analysis (memory-safety proofs included) before any
   // text is assembled.
-  GenerateOptions options = default_options(key.kind, key.isa);
+  GenerateOptions options = key.small
+                                ? default_small_gemm_options(*key.small, key.isa)
+                                : default_options(key.kind, key.isa);
   options.params = variant.params;
   options.config.isa = key.isa;
   options.config.strategy = variant.strategy;
-  const asmgen::GeneratedKernel gen = generate_kernel(key.kind, options);
+  const asmgen::GeneratedKernel gen =
+      key.small ? generate_small_gemm_kernel(*key.small, options)
+                : generate_kernel(key.kind, options);
 
   auto kernel = std::make_shared<CachedKernel>();
   kernel->key = key;
@@ -122,6 +142,14 @@ std::shared_ptr<const CachedKernel> KernelRuntime::resolve(KernelKind kind,
                                                            ShapeClass shape) {
   KernelKey key = host_kernel_key(kind, shape);
   key.isa = isa_;
+  return cache_.get_or_build(key, [&] { return build_kernel(key); });
+}
+
+std::shared_ptr<const CachedKernel> KernelRuntime::resolve_small(
+    const frontend::SmallGemmSpec& spec) {
+  KernelKey key = host_kernel_key(KernelKind::kGemm, ShapeClass::kSmall);
+  key.isa = isa_;
+  key.small = spec;
   return cache_.get_or_build(key, [&] { return build_kernel(key); });
 }
 

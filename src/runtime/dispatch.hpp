@@ -62,6 +62,13 @@ struct RuntimeCounters {
 tuning::TuneWorkload tune_workload_for(frontend::KernelKind kind,
                                        ShapeClass shape);
 
+/// True when (m, n, k) should be served by a shape-specialized fully
+/// unrolled small-GEMM kernel instead of the blocked driver. Only the
+/// batched serving path (gemm_batch_strided) routes through this: the
+/// shape repeats thousands of times there, so the one-time generation cost
+/// amortizes; a single dgemm call keeps the blocked path.
+bool use_small_gemm_kernel(std::int64_t m, std::int64_t n, std::int64_t k);
+
 class KernelRuntime {
  public:
   explicit KernelRuntime(RuntimeConfig config = {});
@@ -76,6 +83,14 @@ class KernelRuntime {
   /// impossible (e.g. no toolchain).
   std::shared_ptr<const CachedKernel> resolve(frontend::KernelKind kind,
                                               ShapeClass shape);
+
+  /// Resolves the shape-specialized small-GEMM kernel for `spec` on the
+  /// host CPU. The spec (extents + fused epilogue) is part of the cache
+  /// key, so each variant is generated, verified, and assembled exactly
+  /// once; the empirical tuner is skipped (the register tile follows
+  /// directly from the baked-in extents).
+  std::shared_ptr<const CachedKernel> resolve_small(
+      const frontend::SmallGemmSpec& spec);
 
   /// The ISA every resolution targets (FMA3 > AVX > SSE2 from CPUID).
   Isa dispatch_isa() const { return isa_; }

@@ -63,8 +63,10 @@ std::optional<Isa> parse_isa(const std::string& name) {
 
 std::string KernelKey::to_string() const {
   std::ostringstream os;
-  os << frontend::kernel_kind_name(kind) << "/" << isa_name(isa) << "/"
-     << dtype << "/" << shape_class_name(shape) << "@" << cpu;
+  os << frontend::kernel_kind_name(kind);
+  if (small) os << small->to_string();
+  os << "/" << isa_name(isa) << "/" << dtype << "/" << shape_class_name(shape)
+     << "@" << cpu;
   return os.str();
 }
 

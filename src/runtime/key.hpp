@@ -54,13 +54,21 @@ struct KernelKey {
   std::string dtype = "f64";
   ShapeClass shape = ShapeClass::kLarge;
 
-  /// Canonical flat form, e.g. "gemm/FMA3/f64/large@GenuineIntel...".
+  /// Shape-specialized small-GEMM variant (batched serving path): the
+  /// baked-in extents and fused epilogue are part of the identity, so
+  /// every (shape, epilogue) combination is generated, verified, and
+  /// JIT-compiled exactly once and never collides with the blocked kernel.
+  std::optional<frontend::SmallGemmSpec> small;
+
+  /// Canonical flat form, e.g. "gemm/FMA3/f64/large@GenuineIntel..." —
+  /// small-GEMM variants embed the spec: "gemm16x16x16+bias+relu/FMA3/...".
   /// Used as the code-cache map key and the database record key.
   std::string to_string() const;
 
   bool operator==(const KernelKey& other) const {
     return cpu == other.cpu && kind == other.kind && isa == other.isa &&
-           dtype == other.dtype && shape == other.shape;
+           dtype == other.dtype && shape == other.shape &&
+           small == other.small;
   }
 };
 

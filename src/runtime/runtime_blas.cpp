@@ -1,7 +1,10 @@
 #include "runtime/runtime_blas.hpp"
 
+#include <algorithm>
+
 #include "augem/augem_blas.hpp"
 #include "blas/driver.hpp"
+#include "support/threadpool.hpp"
 
 namespace augem::runtime {
 
@@ -35,6 +38,76 @@ class RuntimeBlas final : public blas::Blas {
         gemm_context_for_tile(m, n, k, kernel->nr),
         padded_gemm_block_kernel(kernel->fn<KernelSet::GemmFn>(), kernel->mr,
                                  kernel->nr));
+  }
+
+  void gemm_batch_strided(index_t m, index_t n, index_t k, double alpha,
+                          const double* a, index_t lda, index_t stride_a,
+                          const double* b, index_t ldb, index_t stride_b,
+                          double beta, double* c, index_t ldc,
+                          index_t stride_c, index_t batch, const double* bias,
+                          index_t stride_bias, bool relu) override {
+    if (m <= 0 || n <= 0 || batch <= 0) return;
+    if (k <= 0) {
+      // Degenerate depth: no product term. The reference loop applies the
+      // beta/bias/relu epilogue; resolving a kernel for it would be absurd.
+      Blas::gemm_batch_strided(m, n, k, alpha, a, lda, stride_a, b, ldb,
+                               stride_b, beta, c, ldc, stride_c, batch, bias,
+                               stride_bias, relu);
+      return;
+    }
+    if (!use_small_gemm_kernel(m, n, k)) {
+      // Above the small-kernel window the blocked path wins; run it per
+      // instance (it parallelizes internally) and fuse the epilogue after.
+      for (index_t p = 0; p < batch; ++p) {
+        gemm(Trans::kNo, Trans::kNo, m, n, k, alpha, a + p * stride_a, lda,
+             b + p * stride_b, ldb, beta, c + p * stride_c, ldc);
+        apply_epilogue(m, n, c + p * stride_c, ldc,
+                       bias == nullptr ? nullptr : bias + p * stride_bias,
+                       relu);
+      }
+      return;
+    }
+
+    // Dispatch is resolved ONCE per (shape, epilogue) key; the batch then
+    // streams through the cached kernel pointer with no per-instance
+    // classification, cache probe, or packing.
+    frontend::SmallGemmSpec spec;
+    spec.m = static_cast<int>(m);
+    spec.n = static_cast<int>(n);
+    spec.k = static_cast<int>(k);
+    const bool zero_first = beta == 0.0;
+    spec.epilogue.scale = !(alpha == 1.0 && (beta == 1.0 || zero_first));
+    spec.epilogue.bias = bias != nullptr;
+    spec.epilogue.relu = relu;
+    const auto kernel = rt_.resolve_small(spec);
+    auto* fn = kernel->fn<SmallGemmFn>();
+
+    auto run_instance = [&](index_t p) {
+      const double* ap = a + p * stride_a;
+      const double* bp = b + p * stride_b;
+      double* cp = c + p * stride_c;
+      const double* biasp = bias == nullptr ? nullptr : bias + p * stride_bias;
+      if (zero_first)
+        // beta == 0 overwrite semantics: the kernel always reads C, so
+        // clear the instance first (0 * 0 is a clean 0 for the scale form).
+        for (index_t j = 0; j < n; ++j)
+          std::fill_n(&at(cp, ldc, 0, j), m, 0.0);
+      fn(ap, lda, bp, ldb, cp, ldc, biasp, alpha, beta);
+    };
+
+    // Partition instances across the pool; below a handful of instances the
+    // submit handshake costs more than it saves.
+    ThreadPool& pool = ThreadPool::global();
+    if (batch < 4 * pool.num_threads() || pool.num_threads() == 1) {
+      for (index_t p = 0; p < batch; ++p) run_instance(p);
+      return;
+    }
+    const int nt = pool.num_threads();
+    pool.run([&](int tid) {
+      const index_t lo = batch * tid / nt;
+      const index_t hi = batch * (tid + 1) / nt;
+      for (index_t p = lo; p < hi; ++p) run_instance(p);
+    });
   }
 
   void gemv(index_t m, index_t n, double alpha, const double* a, index_t lda,
@@ -75,6 +148,21 @@ class RuntimeBlas final : public blas::Blas {
   }
 
  private:
+  /// Post-GEMM bias/relu pass for batch instances served by the blocked
+  /// path (the small kernels fuse this into their stores instead).
+  static void apply_epilogue(index_t m, index_t n, double* c, index_t ldc,
+                             const double* bias, bool relu) {
+    if (bias == nullptr && !relu) return;
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        double v = at(c, ldc, i, j);
+        if (bias != nullptr) v += bias[i];
+        if (relu) v = v > 0.0 ? v : 0.0;  // MAXPD: NaN clamps to 0
+        at(c, ldc, i, j) = v;
+      }
+    }
+  }
+
   /// scal's alpha == 0 path never calls the kernel; passing a null fn
   /// keeps the zero-fill semantics without resolving one.
   static KernelSet::ScalFn* nullptr_scal() { return nullptr; }

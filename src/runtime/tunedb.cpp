@@ -93,6 +93,27 @@ std::optional<DbEntry> decode_record(const Json& rec) {
   e.key.isa = *parsed_isa;
   e.key.shape = *shape;
 
+  // Optional small-GEMM spec: the three baked-in extents plus the fused
+  // epilogue's feature flags. All-or-nothing — a record with only some of
+  // the extent fields is corrupt.
+  const auto sm = rec.number("small_m");
+  const auto sn = rec.number("small_n");
+  const auto sk = rec.number("small_k");
+  if (sm || sn || sk) {
+    if (!sm || !sn || !sk) return std::nullopt;
+    frontend::SmallGemmSpec spec;
+    spec.m = static_cast<int>(*sm);
+    spec.n = static_cast<int>(*sn);
+    spec.k = static_cast<int>(*sk);
+    if (spec.m < 1 || spec.n < 1 || spec.k < 1 || spec.m > 1024 ||
+        spec.n > 1024 || spec.k > 1024)
+      return std::nullopt;
+    if (const auto b = rec.boolean("epi_scale")) spec.epilogue.scale = *b;
+    if (const auto b = rec.boolean("epi_bias")) spec.epilogue.bias = *b;
+    if (const auto b = rec.boolean("epi_relu")) spec.epilogue.relu = *b;
+    e.key.small = spec;
+  }
+
   e.variant.params.mr = static_cast<int>(*mr);
   e.variant.params.nr = static_cast<int>(*nr);
   e.variant.params.ku = static_cast<int>(*ku);
@@ -118,6 +139,11 @@ std::optional<DbEntry> decode_record(const Json& rec) {
   if (!plausible(e.variant.params.mr) || !plausible(e.variant.params.nr) ||
       !plausible(e.variant.params.ku) || !plausible(e.variant.params.unroll))
     return std::nullopt;
+  // A small-GEMM record whose register tile cannot divide its baked-in
+  // extents would make the generator throw; treat it as corrupt instead.
+  if (e.key.small && (e.key.small->m % e.variant.params.mr != 0 ||
+                      e.key.small->n % e.variant.params.nr != 0))
+    return std::nullopt;
   return e;
 }
 
@@ -129,6 +155,14 @@ Json encode_record(const KernelKey& key, const TunedVariant& v) {
   rec["isa"] = Json(isa_name(key.isa));
   rec["dtype"] = Json(key.dtype);
   rec["shape"] = Json(shape_class_name(key.shape));
+  if (key.small) {
+    rec["small_m"] = Json(key.small->m);
+    rec["small_n"] = Json(key.small->n);
+    rec["small_k"] = Json(key.small->k);
+    rec["epi_scale"] = Json(key.small->epilogue.scale);
+    rec["epi_bias"] = Json(key.small->epilogue.bias);
+    rec["epi_relu"] = Json(key.small->epilogue.relu);
+  }
   rec["mr"] = Json(v.params.mr);
   rec["nr"] = Json(v.params.nr);
   rec["ku"] = Json(v.params.ku);

@@ -66,4 +66,25 @@ ir::Kernel generate_optimized_c(KernelKind kind, frontend::BLayout layout,
   return kernel;
 }
 
+ir::Kernel generate_small_gemm_c(const frontend::SmallGemmSpec& spec,
+                                 const CGenParams& params) {
+  AUGEM_CHECK(params.mr >= 1 && params.nr >= 1,
+              "invalid small-GEMM tile " << params.to_string());
+  AUGEM_CHECK(spec.m % params.mr == 0 && spec.n % params.nr == 0,
+              "small-GEMM tile " << params.mr << "x" << params.nr
+                                 << " must divide " << spec.to_string());
+  ir::Kernel kernel = frontend::make_small_gemm_kernel(spec);
+  unroll_and_jam(kernel, "i", params.mr, /*assume_divisible=*/true);
+  unroll_and_jam(kernel, "j", params.nr, /*assume_divisible=*/true);
+  // Like GEMM the strides (lda/ldb/ldc) are runtime values, so cursors are
+  // created before the depth loop is unrolled; unlike GEMM the depth extent
+  // is a constant, so it unrolls away completely.
+  strength_reduce(kernel);
+  if (spec.k > 1) unroll(kernel, "l", spec.k);
+  scalar_replace(kernel);
+  check_three_address_form(kernel);
+  insert_prefetch(kernel, params.prefetch);
+  return kernel;
+}
+
 }  // namespace augem::transform

@@ -41,4 +41,13 @@ ir::Kernel generate_optimized_c(frontend::KernelKind kind,
 void apply_pipeline(ir::Kernel& kernel, frontend::KernelKind kind,
                     const CGenParams& params);
 
+/// Small-GEMM pipeline: register-tiles i by `params.mr` and j by
+/// `params.nr` (both must divide the spec's constant extents), strength-
+/// reduces, fully unrolls the depth loop, and scalar-replaces — producing a
+/// straight-line low-level C kernel whose epilogue stores the Template
+/// Identifier's mmEpiSTORE template matches. `params.ku` is ignored: the
+/// unroll factor of l is always the spec's k.
+ir::Kernel generate_small_gemm_c(const frontend::SmallGemmSpec& spec,
+                                 const CGenParams& params);
+
 }  // namespace augem::transform

@@ -129,13 +129,17 @@ double Machine::call(const std::vector<Arg>& args) {
         vr_[index_of(i.vdst)] = vr_[index_of(i.vsrc1)];
         break;
       case MOp::kVMul:
-      case MOp::kVAdd: {
+      case MOp::kVAdd:
+      case MOp::kVMax: {
         const auto a = vr_[index_of(i.vsrc1)];
         const auto b = vr_[index_of(i.vsrc2)];
         auto& d = vr_[index_of(i.vdst)];
         for (int k = 0; k < 4; ++k) {
           if (k < w) {
-            d[k] = i.op == MOp::kVMul ? a[k] * b[k] : a[k] + b[k];
+            // kVMax matches MAXPD: src2 wins when src1 is NaN or on ties.
+            d[k] = i.op == MOp::kVMul   ? a[k] * b[k]
+                   : i.op == MOp::kVAdd ? a[k] + b[k]
+                                        : (a[k] > b[k] ? a[k] : b[k]);
           } else {
             d[k] = a[k];  // narrower ops inherit src1's upper lanes
           }

@@ -38,7 +38,7 @@ std::size_t count_kind(const AnalysisReport& r, const std::string& kind) {
 KernelContract vector_contract() {
   KernelContract c;
   c.args = {{"n", false}, {"x", false}, {"y", false}};
-  c.facts.push_back({"n", 1, std::nullopt});
+  c.facts.push_back({"n", 1, std::nullopt, std::nullopt});
   c.buffers.push_back({"x", ir::Poly::variable("n"), /*writable=*/false});
   c.buffers.push_back({"y", ir::Poly::variable("n"), /*writable=*/true});
   return c;

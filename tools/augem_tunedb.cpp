@@ -52,6 +52,11 @@ Json entry_json(const DbEntry& e) {
   rec["isa"] = Json(augem::isa_name(e.key.isa));
   rec["dtype"] = Json(e.key.dtype);
   rec["shape"] = Json(augem::runtime::shape_class_name(e.key.shape));
+  if (e.key.small) {
+    // Batched small-GEMM variant: the baked-in extents and fused-epilogue
+    // tag are part of the key (distinct entries per variant).
+    rec["small"] = Json(e.key.small->to_string());
+  }
   rec["cpu"] = Json(e.key.cpu);
   rec["mr"] = Json(e.variant.params.mr);
   rec["nr"] = Json(e.variant.params.nr);
@@ -64,11 +69,17 @@ Json entry_json(const DbEntry& e) {
 }
 
 void print_entry_row(const DbEntry& e) {
-  std::printf("%-5s %-5s %-6s  mr=%-3d nr=%-3d ku=%-2d unroll=%-3d %-8s "
+  // Batched small-GEMM entries show the baked-in extents + epilogue tag
+  // instead of the bare shape class (e.g. "small:16x16x16+bias+relu").
+  const std::string shape =
+      e.key.small
+          ? std::string(augem::runtime::shape_class_name(e.key.shape)) + ":" +
+                e.key.small->to_string()
+          : std::string(augem::runtime::shape_class_name(e.key.shape));
+  std::printf("%-5s %-5s %-26s  mr=%-3d nr=%-3d ku=%-2d unroll=%-3d %-8s "
               "prefetch=%d  %10.1f MFLOPS\n",
               frontend::kernel_kind_name(e.key.kind),
-              augem::isa_name(e.key.isa),
-              augem::runtime::shape_class_name(e.key.shape),
+              augem::isa_name(e.key.isa), shape.c_str(),
               e.variant.params.mr, e.variant.params.nr, e.variant.params.ku,
               e.variant.params.unroll,
               augem::opt::vec_strategy_name(e.variant.strategy),

@@ -12,6 +12,11 @@
 //     --layout rowpanel|colmajor         packed-B layout (GEMM)
 //     --strategy vdup|shuf|scalar|auto   vectorization strategy
 //     --mr N --nr N --ku N --unroll N    tile / unroll parameters
+//     --small MxNxK                      analyze the shape-specialized
+//                                        batched small-GEMM kernel instead
+//                                        of the blocked GEMM
+//     --epi scale,bias,relu              fused epilogue for --small (any
+//                                        comma-separated subset)
 //     --prefetch N | --no-prefetch       software prefetching
 //     --no-schedule                      disable instruction scheduling
 //     --no-bounds                        skip the symbolic bounds pass
@@ -26,11 +31,13 @@
 #include <cstdio>
 #include <cstring>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/analyzer.hpp"
 #include "asmgen/codegen.hpp"
+#include "augem/augem.hpp"
 #include "frontend/kernels.hpp"
 #include "opt/plan.hpp"
 #include "support/error.hpp"
@@ -50,6 +57,8 @@ usage: mirlint [--kernel K] [--isa I] [config options] [--text] [--sweep]
   --layout rowpanel|colmajor
   --strategy vdup|shuf|scalar|auto
   --mr N --nr N --ku N --unroll N
+  --small MxNxK   analyze the batched small-GEMM kernel for these extents
+  --epi LIST      fused epilogue for --small: comma-separated scale,bias,relu
   --prefetch DIST | --no-prefetch
   --no-schedule   disable instruction scheduling
   --no-bounds     skip the symbolic memory-bounds pass
@@ -81,14 +90,22 @@ struct Case {
   BLayout layout = BLayout::kRowPanel;
   opt::OptConfig config;
   transform::CGenParams params;
+  /// Set for the batched small-GEMM path: the shape-specialized fully
+  /// unrolled kernel with these extents + fused epilogue is analyzed
+  /// instead of the generic blocked kernel.
+  std::optional<frontend::SmallGemmSpec> small;
 
   std::string to_string() const {
     std::string s = frontend::kernel_kind_name(op);
+    if (small) {
+      s += " small=";
+      s += small->to_string();
+    }
     s += " [";
     s += isa_name(config.isa);
     s += ", ";
     s += vec_strategy_name(config.strategy);
-    if (op == KernelKind::kGemm) {
+    if (op == KernelKind::kGemm && !small) {
       s += layout == BLayout::kRowPanel ? ", rowpanel" : ", colmajor";
     }
     s += ", ";
@@ -104,7 +121,10 @@ int analyze_case(const Case& c, bool with_bounds, bool as_text, bool print) {
   asmgen::GeneratedKernel gen = [&] {
     // Generate WITHOUT a contract: the analyzer below is the one reporting,
     // so generation-time bounds failures don't abort before we can print.
-    ir::Kernel k = transform::generate_optimized_c(c.op, c.layout, c.params);
+    ir::Kernel k = c.small
+                       ? transform::generate_small_gemm_c(*c.small, c.params)
+                       : transform::generate_optimized_c(c.op, c.layout,
+                                                         c.params);
     return asmgen::generate_assembly(std::move(k), c.config);
   }();
 
@@ -113,7 +133,8 @@ int analyze_case(const Case& c, bool with_bounds, bool as_text, bool print) {
     if (p.type == ir::ScalarType::kF64) ++f64_params;
 
   const analysis::KernelContract contract =
-      analysis::contract_for(c.op, c.layout, c.params, gen.source);
+      c.small ? analysis::contract_for_small_gemm(*c.small, gen.source)
+              : analysis::contract_for(c.op, c.layout, c.params, gen.source);
   analysis::AnalyzeOptions aopts;
   aopts.num_f64_params = f64_params;
   if (with_bounds) aopts.contract = &contract;
@@ -132,7 +153,9 @@ int run_sweep(bool with_bounds) {
   int analyzed = 0, rejected = 0, errors = 0, warnings = 0, failed_cases = 0;
   auto visit = [&](const Case& c) {
     try {
-      ir::Kernel k = transform::generate_optimized_c(c.op, c.layout, c.params);
+      ir::Kernel k =
+          c.small ? transform::generate_small_gemm_c(*c.small, c.params)
+                  : transform::generate_optimized_c(c.op, c.layout, c.params);
       asmgen::GeneratedKernel gen =
           asmgen::generate_assembly(std::move(k), c.config);
 
@@ -140,7 +163,9 @@ int run_sweep(bool with_bounds) {
       for (const ir::Param& p : gen.source.params())
         if (p.type == ir::ScalarType::kF64) ++f64_params;
       const analysis::KernelContract contract =
-          analysis::contract_for(c.op, c.layout, c.params, gen.source);
+          c.small
+              ? analysis::contract_for_small_gemm(*c.small, gen.source)
+              : analysis::contract_for(c.op, c.layout, c.params, gen.source);
       analysis::AnalyzeOptions aopts;
       aopts.num_f64_params = f64_params;
       if (with_bounds) aopts.contract = &contract;
@@ -220,6 +245,41 @@ int run_sweep(bool with_bounds) {
     }
   }
 
+  // Batched small-GEMM kernels: shape x fused-epilogue grid on every ISA.
+  // The register tile comes from small_gemm_params (what the dispatcher
+  // bakes in), so this sweeps exactly the variants the runtime can serve.
+  {
+    const frontend::EpilogueSpec epis[] = {
+        {},
+        {.scale = true},
+        {.bias = true},
+        {.relu = true},
+        {.scale = true, .bias = true},
+        {.bias = true, .relu = true},
+        {.scale = true, .relu = true},
+        {.scale = true, .bias = true, .relu = true},
+    };
+    const struct {
+      int m, n, k;
+    } shapes[] = {{16, 16, 16}, {8, 4, 8}, {4, 4, 4}, {5, 3, 7}, {32, 32, 8}};
+    for (Isa isa : isas)
+      for (const auto& sh : shapes)
+        for (const frontend::EpilogueSpec& e : epis) {
+          frontend::SmallGemmSpec spec;
+          spec.m = sh.m;
+          spec.n = sh.n;
+          spec.k = sh.k;
+          spec.epilogue = e;
+          Case c;
+          c.op = KernelKind::kGemm;
+          c.small = spec;
+          c.config.isa = isa;
+          c.config.strategy = opt::VecStrategy::kVdup;
+          c.params = small_gemm_params(spec, isa);
+          visit(c);
+        }
+  }
+
   std::printf(
       "mirlint sweep: %d configs analyzed, %d rejected (out of domain), "
       "%d warning(s), %d error finding(s) in %d config(s)\n",
@@ -235,6 +295,9 @@ int main(int argc, char** argv) {
   bool with_bounds = true;
   bool as_text = false;
   bool sweep = false;
+  bool tile_set = false;      // explicit --mr/--nr override the small default
+  bool strategy_set = false;  // explicit --strategy overrides the small default
+  frontend::EpilogueSpec epi;
 
   auto need_value = [&](int& i) -> std::string {
     if (i + 1 >= argc) {
@@ -268,10 +331,37 @@ int main(int argc, char** argv) {
       else if (v == "scalar") c.config.strategy = opt::VecStrategy::kScalar;
       else if (v == "auto") c.config.strategy = opt::VecStrategy::kAuto;
       else usage(1);
+      strategy_set = true;
+    } else if (arg == "--small") {
+      const std::string v = need_value(i);
+      frontend::SmallGemmSpec spec;
+      if (std::sscanf(v.c_str(), "%dx%dx%d", &spec.m, &spec.n, &spec.k) != 3 ||
+          spec.m < 1 || spec.n < 1 || spec.k < 1) {
+        std::fprintf(stderr, "bad --small value: %s (want MxNxK)\n", v.c_str());
+        usage(1);
+      }
+      c.small = spec;
+    } else if (arg == "--epi") {
+      std::string v = need_value(i);
+      for (char& ch : v)
+        if (ch == ',' || ch == '+') ch = ' ';
+      std::istringstream in(v);
+      std::string tok;
+      while (in >> tok) {
+        if (tok == "scale") epi.scale = true;
+        else if (tok == "bias") epi.bias = true;
+        else if (tok == "relu") epi.relu = true;
+        else {
+          std::fprintf(stderr, "bad --epi token: %s\n", tok.c_str());
+          usage(1);
+        }
+      }
     } else if (arg == "--mr") {
       c.params.mr = std::stoi(need_value(i));
+      tile_set = true;
     } else if (arg == "--nr") {
       c.params.nr = std::stoi(need_value(i));
+      tile_set = true;
     } else if (arg == "--ku") {
       c.params.ku = std::stoi(need_value(i));
     } else if (arg == "--unroll") {
@@ -293,6 +383,19 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage(1);
     }
+  }
+
+  if (c.small) {
+    c.small->epilogue = epi;
+    c.op = KernelKind::kGemm;
+    // Mirror the dispatcher's defaults unless explicitly overridden: the
+    // register tile follows from the extents (and the scale epilogue's
+    // register pressure), and small kernels vectorize with vdup.
+    if (!tile_set) c.params = small_gemm_params(*c.small, c.config.isa);
+    if (!strategy_set) c.config.strategy = opt::VecStrategy::kVdup;
+  } else if (epi.scale || epi.bias || epi.relu) {
+    std::fprintf(stderr, "--epi requires --small\n");
+    usage(1);
   }
 
   try {
