@@ -13,6 +13,9 @@ namespace {
 using namespace augem;
 using namespace augem::bench;
 using blas::index_t;
+using blas::Side;
+using blas::Trans;
+using blas::Uplo;
 
 struct Routine {
   const char* name;
@@ -29,7 +32,8 @@ double run_symm(SuiteReporter& rep, const std::string& series,
   rng.fill(a.span());
   rng.fill(b.span());
   return rep.measure_mflops(series, mn, 256, 0, symm_flops(mn, 256), [&] {
-    lib.symm(mn, 256, 1.0, a.data(), mn, b.data(), mn, 0.0, c.data(), mn);
+    lib.symm(Side::kLeft, Uplo::kLower, mn, 256, 1.0, a.data(), mn,
+             b.data(), mn, 0.0, c.data(), mn);
   });
 }
 
@@ -39,7 +43,8 @@ double run_syrk(SuiteReporter& rep, const std::string& series,
   DoubleBuffer c(static_cast<std::size_t>(mn * mn));
   rng.fill(a.span());
   return rep.measure_mflops(series, mn, 0, k, syrk_flops(mn, k), [&] {
-    lib.syrk(mn, k, 1.0, a.data(), mn, 0.0, c.data(), mn);
+    lib.syrk(Uplo::kLower, Trans::kNo, mn, k, 1.0, a.data(), mn, 0.0,
+             c.data(), mn);
   });
 }
 
@@ -51,7 +56,8 @@ double run_syr2k(SuiteReporter& rep, const std::string& series,
   rng.fill(a.span());
   rng.fill(b.span());
   return rep.measure_mflops(series, mn, 0, k, syr2k_flops(mn, k), [&] {
-    lib.syr2k(mn, k, 1.0, a.data(), mn, b.data(), mn, 0.0, c.data(), mn);
+    lib.syr2k(Uplo::kLower, Trans::kNo, mn, k, 1.0, a.data(), mn,
+              b.data(), mn, 0.0, c.data(), mn);
   });
 }
 
@@ -63,7 +69,8 @@ double run_trmm(SuiteReporter& rep, const std::string& series,
   rng.fill(l.span());
   rng.fill(b.span());
   return rep.measure_mflops(series, mn, 256, 0, trmm_flops(mn, 256), [&] {
-    lib.trmm(mn, 256, l.data(), mn, b.data(), mn);
+    lib.trmm(Side::kLeft, Uplo::kLower, Trans::kNo, mn, 256, 1.0,
+             l.data(), mn, b.data(), mn);
   });
 }
 
@@ -76,7 +83,8 @@ double run_trsm(SuiteReporter& rep, const std::string& series,
   for (long i = 0; i < mn; ++i) l[i * mn + i] = 4.0 + i % 3;
   rng.fill(b.span());
   return rep.measure_mflops(series, mn, 256, 0, trsm_flops(mn, 256), [&] {
-    lib.trsm(mn, 256, l.data(), mn, b.data(), mn);
+    lib.trsm(Side::kLeft, Uplo::kLower, Trans::kNo, mn, 256, 1.0,
+             l.data(), mn, b.data(), mn);
   });
 }
 

@@ -45,7 +45,7 @@ int main() {
       xt[static_cast<std::size_t>(i * dims + j)] =
           x[static_cast<std::size_t>(j * samples + i)];
   DoubleBuffer c(static_cast<std::size_t>(dims * dims));
-  lib->syrk(dims, samples, 1.0 / static_cast<double>(samples), xt.data(),
+  lib->syrk(blas::Uplo::kLower, blas::Trans::kNo, dims, samples, 1.0 / static_cast<double>(samples), xt.data(),
             dims, 0.0, c.data(), dims);
   // Mirror to a full symmetric matrix for the GEMV iterations.
   for (long j = 0; j < dims; ++j)

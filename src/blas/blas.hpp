@@ -82,37 +82,59 @@ class Blas {
   virtual void ger(index_t m, index_t n, double alpha, const double* x,
                    const double* y, double* a, index_t lda);
 
-  /// C = alpha*A*B + beta*C with A symmetric (lower, left): the symmetric
-  /// operand is expanded blockwise and the bulk runs through GEMM.
-  virtual void symm(index_t m, index_t n, double alpha, const double* a,
-                    index_t lda, const double* b, index_t ldb, double beta,
-                    double* c, index_t ldc);
+  /// C = alpha*op-side(A_sym, B) + beta*C with A symmetric (m×m on the
+  /// left, n×n on the right), stored in triangle `uplo`: the symmetric
+  /// operand is expanded blockwise and the bulk runs through GEMM. netlib
+  /// semantics: beta == 0 overwrites, alpha == 0 reduces to the beta
+  /// update with A and B unread.
+  virtual void symm(Side side, Uplo uplo, index_t m, index_t n, double alpha,
+                    const double* a, index_t lda, const double* b, index_t ldb,
+                    double beta, double* c, index_t ldc);
 
-  /// C(n×n, lower) = alpha*A*A^T + beta*C — block panels through GEMM(N,T).
-  virtual void syrk(index_t n, index_t k, double alpha, const double* a,
-                    index_t lda, double beta, double* c, index_t ldc);
+  /// C(n×n, triangle `uplo`) = alpha*op(A)*op(A)^T + beta*C — block panels
+  /// through GEMM; op(A) is n×k.
+  virtual void syrk(Uplo uplo, Trans trans, index_t n, index_t k, double alpha,
+                    const double* a, index_t lda, double beta, double* c,
+                    index_t ldc);
 
-  /// C(n×n, lower) = alpha*(A*B^T + B*A^T) + beta*C — two GEMM sweeps.
-  virtual void syr2k(index_t n, index_t k, double alpha, const double* a,
-                     index_t lda, const double* b, index_t ldb, double beta,
-                     double* c, index_t ldc);
+  /// C(n×n, triangle `uplo`) = alpha*(op(A)*op(B)^T + op(B)*op(A)^T) +
+  /// beta*C — two GEMM sweeps per panel.
+  virtual void syr2k(Uplo uplo, Trans trans, index_t n, index_t k,
+                     double alpha, const double* a, index_t lda,
+                     const double* b, index_t ldb, double beta, double* c,
+                     index_t ldc);
 
-  /// B = L*B (left, lower): block panels via GEMM plus small triangular
-  /// block multiplies.
-  virtual void trmm(index_t m, index_t n, const double* l, index_t ldl,
-                    double* b, index_t ldb);
+  /// B = alpha*op(A)*B (kLeft) or alpha*B*op(A) (kRight), A triangular
+  /// (non-unit diagonal) stored in triangle `uplo`: block panels via GEMM
+  /// plus small dense-expanded triangular block multiplies. alpha == 0
+  /// zeroes B without reading A (netlib dtrmm).
+  virtual void trmm(Side side, Uplo uplo, Trans trans, index_t m, index_t n,
+                    double alpha, const double* a, index_t lda, double* b,
+                    index_t ldb);
 
-  /// B = L^{-1}*B (left, lower): blocked forward substitution. The
-  /// panel update B2 -= L21*B1 runs through GEMM; the diagonal solve
-  /// B1 = L11^{-1}*B1 is plain scalar code — reproducing the paper's
-  /// observed TRSM weakness (§5: "the first step cannot be simply derived
-  /// from the GEMM kernel").
-  virtual void trsm(index_t m, index_t n, const double* l, index_t ldl,
-                    double* b, index_t ldb);
+  /// Solves op(A)*X = alpha*B (kLeft) or X*op(A) = alpha*B (kRight) in
+  /// place in B; A triangular, non-unit diagonal, triangle `uplo`. Blocked
+  /// substitution: the panel update runs through GEMM; the diagonal solve
+  /// is plain scalar code — reproducing the paper's observed TRSM weakness
+  /// (§5: "the first step cannot be simply derived from the GEMM kernel").
+  /// Zero and non-finite pivots throw (docs/correctness.md).
+  virtual void trsm(Side side, Uplo uplo, Trans trans, index_t m, index_t n,
+                    double alpha, const double* a, index_t lda, double* b,
+                    index_t ldb);
+
+  /// Overrides the Level-3 decomposition block (default 128). A testing and
+  /// tuning hook: small blocks force multi-block decompositions at fuzz-
+  /// sized problems, exercising every block-boundary path.
+  void set_level3_block(index_t nb) { l3_block_ = nb < 1 ? 1 : nb; }
 
  protected:
-  /// Block size used by the default Level-3 algorithms.
+  /// Default block size of the Level-3 algorithms.
   static constexpr index_t kL3Block = 128;
+
+  index_t level3_block() const { return l3_block_; }
+
+ private:
+  index_t l3_block_ = kL3Block;
 };
 
 }  // namespace augem::blas

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "blas/pack.hpp"
+#include "support/error.hpp"
 #include "support/scratch.hpp"
 
 namespace augem::blas {
@@ -220,6 +221,152 @@ void blocked_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
                   const BlockSizes& sizes, const BlockKernel& kernel) {
   blocked_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
                serial_gemm_context(sizes), kernel);
+}
+
+// ---- prepacked panels -----------------------------------------------------
+
+PackedB::PackedB(index_t k, index_t n, index_t kc, index_t jw, double* storage)
+    : k_(k), n_(n), kc_(kc), jw_(jw), data_(storage) {
+  AUGEM_CHECK(k > 0 && n > 0 && kc > 0 && jw > 0 && storage != nullptr,
+              "invalid PackedB geometry");
+  kchunks_ = ceil_div(k, kc);
+  jchunks_ = ceil_div(n, jw);
+  uses_.assign(static_cast<std::size_t>(kchunks_ * jchunks_), 0);
+}
+
+std::size_t PackedB::storage_doubles(index_t k, index_t n, index_t kc) {
+  // Chunk qk lives at qk*kc*n whatever its actual row count, so storage is
+  // full-kc-sized per chunk (only the last chunk may leave slack).
+  return static_cast<std::size_t>(ceil_div(k, kc) * kc * n);
+}
+
+void PackedB::pack_rows(index_t k0, index_t k1, const PanelWriter& writer,
+                        const GemmContext& ctx, Level3Stats* stats) {
+  AUGEM_CHECK(k0 % kc_ == 0 && (k1 == k_ || k1 % kc_ == 0) && k0 <= k1 &&
+                  k1 <= k_,
+              "pack_rows range [" << k0 << ", " << k1
+                                  << ") is not chunk-aligned");
+  if (k1 <= k0) return;
+  const index_t q0 = k0 / kc_;
+  const index_t q1 = ceil_div(k1, kc_);
+  const index_t items = (q1 - q0) * jchunks_;
+  const auto pack_item = [&](index_t it) {
+    const index_t qk = q0 + it / jchunks_;
+    const index_t qj = it % jchunks_;
+    writer(qk * kc_, qj * jw_, chunk_rows(qk), chunk_cols(qj), chunk(qk, qj));
+  };
+  const int threads =
+      ctx.pool != nullptr ? std::min(ctx.threads, ctx.pool->num_threads()) : 1;
+  if (threads <= 1 || items <= 1) {
+    for (index_t it = 0; it < items; ++it) pack_item(it);
+  } else {
+    // Chunk writes are disjoint; spread them round-robin over the pool.
+    ctx.pool->run([&](int tid) {
+      if (tid >= threads) return;
+      for (index_t it = tid; it < items; it += threads) pack_item(it);
+    });
+  }
+  if (stats != nullptr) stats->panels_packed += items;
+}
+
+index_t default_jr_width(index_t n, index_t granule) {
+  // Enough chunks to feed a pool on single-block-row updates, but fixed
+  // independent of the thread count so serial and threaded consumers make
+  // identical kernel calls (the bit-identity condition).
+  constexpr index_t kTargetChunks = 16;
+  const index_t g = std::max<index_t>(1, granule);
+  if (n <= g) return g;
+  return std::max(g, ceil_div(ceil_div(n, kTargetChunks), g) * g);
+}
+
+void blocked_gemm_prepacked(index_t m, index_t j0, index_t j1, index_t k0,
+                            index_t k1, PackedB& pb, double beta, double* c,
+                            index_t ldc, const GemmContext& ctx,
+                            const BlockKernel& kernel, const APacker& apack,
+                            Level3Stats* stats) {
+  if (m <= 0 || j1 <= j0) return;
+  const index_t jw = pb.jw();
+  const index_t kc = pb.kc();
+  AUGEM_CHECK(j0 % jw == 0 && (j1 == pb.n() || j1 % jw == 0),
+              "column range [" << j0 << ", " << j1
+                               << ") is not jr-chunk-aligned");
+  AUGEM_CHECK(k0 % kc == 0 && (k1 == pb.k() || k1 % kc == 0) && k1 <= pb.k(),
+              "k range [" << k0 << ", " << k1 << ") is not chunk-aligned");
+
+  const int threads =
+      ctx.pool != nullptr ? std::min(ctx.threads, ctx.pool->num_threads()) : 1;
+  const index_t ncols = j1 - j0;
+  if (beta != 1.0) {
+    if (threads <= 1) {
+      for (index_t j = 0; j < ncols; ++j)
+        beta_scale(&at(c, ldc, 0, j), m, beta);
+    } else {
+      ThreadPool& pool = *ctx.pool;
+      const index_t T = threads;
+      pool.run([&](int tid) {
+        if (tid >= T) return;
+        const index_t c0 = ncols * tid / T;
+        const index_t c1 = ncols * (tid + 1) / T;
+        for (index_t j = c0; j < c1; ++j)
+          beta_scale(&at(c, ldc, 0, j), m, beta);
+      });
+    }
+  }
+  if (k1 <= k0) return;
+
+  const index_t mc = ctx.sizes.mc;
+  const index_t iblocks = ceil_div(m, mc);
+  const index_t qj0 = j0 / jw;
+  const index_t qj1 = ceil_div(j1, jw);
+  const index_t njr = qj1 - qj0;
+  const index_t qk0 = k0 / kc;
+  const index_t qk1 = ceil_div(k1, kc);
+
+  for (index_t qk = qk0; qk < qk1; ++qk) {
+    const index_t kcq = pb.chunk_rows(qk);
+    const index_t p0 = qk * kc;
+    const auto run_items = [&](index_t first, index_t stride, double* pa) {
+      index_t packed_bi = -1;
+      for (index_t it = first; it < iblocks * njr; it += stride) {
+        const index_t bi = it / njr;
+        const index_t qj = qj0 + it % njr;
+        const index_t ic = bi * mc;
+        const index_t mcb = std::min(mc, m - ic);
+        if (bi != packed_bi) {
+          apack(ic, p0, mcb, kcq, pa);
+          packed_bi = bi;
+        }
+        const index_t w = pb.chunk_cols(qj);
+        kernel(mcb, w, kcq, pa, pb.chunk(qk, qj),
+               &at(c, ldc, ic, qj * jw - j0), ldc);
+      }
+    };
+    if (threads <= 1) {
+      double* pa = scratch_doubles(static_cast<std::size_t>(mc * kcq),
+                                   Scratch::kGemmPackA);
+      run_items(0, 1, pa);
+    } else {
+      // Same (ic block × jr chunk) round-robin grid as parallel_gemm; the
+      // run() completion handshake orders successive k-chunks, so the
+      // accumulation order into any C tile matches the serial loop.
+      ThreadPool& pool = *ctx.pool;
+      const index_t T = threads;
+      pool.run([&](int tid) {
+        if (tid >= T) return;
+        double* pa = scratch_doubles(static_cast<std::size_t>(mc * kcq),
+                                     Scratch::kGemmPackA);
+        run_items(tid, T, pa);
+      });
+    }
+    // Reuse accounting on the calling thread: every chunk in range was
+    // consumed once per ic block this call.
+    for (index_t qj = qj0; qj < qj1; ++qj) {
+      auto& u = pb.uses()[static_cast<std::size_t>(qk * pb.jchunks() + qj)];
+      if (stats != nullptr)
+        stats->panel_reuses += iblocks - (u == 0 ? 1 : 0);
+      u += static_cast<std::int32_t>(iblocks);
+    }
+  }
 }
 
 }  // namespace augem::blas

@@ -5,7 +5,9 @@
 // panels; the driver owns the cache blocking, packing, beta handling and —
 // through a GemmContext — the multi-threaded macro-loop decomposition.
 
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "blas/types.hpp"
 #include "support/arch.hpp"
@@ -88,5 +90,104 @@ void blocked_gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k,
                   double alpha, const double* a, index_t lda, const double* b,
                   index_t ldb, double beta, double* c, index_t ldc,
                   const BlockSizes& sizes, const BlockKernel& kernel);
+
+// ---- prepacked panels for the Level-3 casting engine ----------------------
+//
+// The Level-3 routines (blas/level3.hpp) decompose into many GEMM panels
+// that share one operand: SYRK consumes the same op(A) panel for the
+// diagonal temporary and the off-diagonal update, TRSM's trailing updates
+// re-read every already-solved block. Going through blocked_gemm would
+// repack that operand for every call; a PackedB packs it once into the
+// driver's kernel layout and blocked_gemm_prepacked consumes it repeatedly,
+// counting the reuse (Level3Stats) so tests can assert panels are shared.
+
+/// Writes one packed sub-panel in kernel layout: dst[l*w + j] must become
+/// logical element (k0 + l, j0 + j) of the panel operand, l < kc, j < w.
+/// The writer abstracts the source (a plain matrix, a symmetric expansion,
+/// a masked triangle, the in-solve B…).
+using PanelWriter = std::function<void(index_t k0, index_t j0, index_t kc,
+                                       index_t w, double* dst)>;
+
+/// Packs an alpha-folded mc×kc A block: pa[l*mc + i] must become
+/// alpha * element (i0 + i, p0 + l) of the left operand.
+using APacker = std::function<void(index_t i0, index_t p0, index_t mc,
+                                   index_t kc, double* pa)>;
+
+/// Packed-panel accounting, aggregated across one Level-3 call.
+struct Level3Stats {
+  std::int64_t panels_packed = 0;  ///< chunk-panels written by pack_rows
+  std::int64_t panel_reuses = 0;   ///< kernel consumptions beyond the first
+};
+
+/// A k×n panel packed once into the block kernel's row-panel layout and
+/// consumed by many blocked_gemm_prepacked calls. Storage is chunked:
+/// k-chunks of `kc` rows, each split into column chunks of `jw` columns
+/// (the jr tiling, fixed at pack time so serial and threaded consumers see
+/// identical kernel-call boundaries — the bit-identity condition of the
+/// threaded driver). Chunk (qk, qj) lives at
+/// data + qk*kc*n + rows(qk)*qj*jw with row stride min(jw, n - qj*jw).
+/// The storage pointer is borrowed (normally a ScratchLease).
+class PackedB {
+ public:
+  PackedB(index_t k, index_t n, index_t kc, index_t jw, double* storage);
+
+  /// Doubles a PackedB of this geometry needs.
+  static std::size_t storage_doubles(index_t k, index_t n, index_t kc);
+
+  /// Packs rows [k0, k1) of the panel through `writer`. The range must
+  /// cover whole k-chunks (k0 aligned; k1 aligned or == k). With a
+  /// threaded ctx the independent chunk writes are spread over the pool.
+  void pack_rows(index_t k0, index_t k1, const PanelWriter& writer,
+                 const GemmContext& ctx, Level3Stats* stats = nullptr);
+
+  index_t k() const { return k_; }
+  index_t n() const { return n_; }
+  index_t kc() const { return kc_; }
+  index_t jw() const { return jw_; }
+  index_t kchunks() const { return kchunks_; }
+  index_t jchunks() const { return jchunks_; }
+  index_t chunk_rows(index_t qk) const {
+    return qk + 1 < kchunks_ ? kc_ : k_ - qk * kc_;
+  }
+  index_t chunk_cols(index_t qj) const {
+    return qj + 1 < jchunks_ ? jw_ : n_ - qj * jw_;
+  }
+  const double* chunk(index_t qk, index_t qj) const {
+    return data_ + qk * kc_ * n_ + chunk_rows(qk) * qj * jw_;
+  }
+  double* chunk(index_t qk, index_t qj) {
+    return data_ + qk * kc_ * n_ + chunk_rows(qk) * qj * jw_;
+  }
+
+  /// Consumption counters per (qk, qj) chunk, maintained by
+  /// blocked_gemm_prepacked for the reuse statistics.
+  std::vector<std::int32_t>& uses() { return uses_; }
+
+ private:
+  index_t k_, n_, kc_, jw_;
+  index_t kchunks_, jchunks_;
+  double* data_;
+  std::vector<std::int32_t> uses_;
+};
+
+/// A jr chunk width for full-width panel consumers: splits n into enough
+/// granule-aligned chunks for the pool to spread tall-skinny updates,
+/// independent of the thread count (serial and threaded runs must tile
+/// identically).
+index_t default_jr_width(index_t n, index_t granule);
+
+/// C(m × (j1-j0)) += sum over k-chunks in [k0, k1) of A(m×kc) * PB-chunk,
+/// with beta applied to C first (beta_scale semantics). `apack` packs each
+/// alpha-folded A block on demand; the panel rows come prepacked from
+/// `pb`. Ranges must be chunk-aligned: k0/k1 on kc boundaries (or == k),
+/// j0/j1 on jw boundaries (or == n). c points at the C element for panel
+/// column j0. k-chunks run in ascending order with a pool barrier between
+/// them, so threaded accumulation is bit-identical to serial. Reuse
+/// accounting lands in `stats` and pb.uses().
+void blocked_gemm_prepacked(index_t m, index_t j0, index_t j1, index_t k0,
+                            index_t k1, PackedB& pb, double beta, double* c,
+                            index_t ldc, const GemmContext& ctx,
+                            const BlockKernel& kernel, const APacker& apack,
+                            Level3Stats* stats = nullptr);
 
 }  // namespace augem::blas

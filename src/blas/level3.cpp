@@ -1,0 +1,395 @@
+#include "blas/level3.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/scratch.hpp"
+
+namespace augem::blas {
+
+namespace {
+
+void beta_scale_triangle(Uplo uplo, index_t n, double beta, double* c,
+                         index_t ldc) {
+  for (index_t j = 0; j < n; ++j) {
+    if (uplo == Uplo::kLower)
+      beta_scale(&at(c, ldc, j, j), n - j, beta);
+    else
+      beta_scale(&at(c, ldc, 0, j), j + 1, beta);
+  }
+}
+
+void check_pivot(double piv) {
+  AUGEM_CHECK(std::isfinite(piv) && piv != 0.0,
+              "non-finite or zero pivot in triangular solve");
+}
+
+void zero_matrix(index_t m, index_t n, double* b, index_t ldb) {
+  for (index_t j = 0; j < n; ++j) beta_scale(&at(b, ldb, 0, j), m, 0.0);
+}
+
+}  // namespace
+
+void level3_symm(const Level3Config& cfg, Side side, Uplo uplo, index_t m,
+                 index_t n, double alpha, const double* a, index_t lda,
+                 const double* b, index_t ldb, double beta, double* c,
+                 index_t ldc) {
+  if (m <= 0 || n <= 0) return;
+  if (alpha == 0.0) {  // netlib: beta update only, A and B unread
+    for (index_t j = 0; j < n; ++j) beta_scale(&at(c, ldc, 0, j), m, beta);
+    return;
+  }
+  const index_t ka = side == Side::kLeft ? m : n;
+  const index_t kc = std::min(cfg.ctx.sizes.kc, ka);
+  const index_t jw = default_jr_width(n, cfg.ctx.jr_granule);
+  ScratchLease storage(PackedB::storage_doubles(ka, n, kc),
+                       Scratch::kLevel3PackB);
+  PackedB pb(ka, n, kc, jw, storage.data());
+  if (side == Side::kLeft) {
+    // Panel = B, packed once; the symmetric expansion happens in the
+    // A-packer, which reads only the stored triangle through sym_at.
+    pb.pack_rows(
+        0, ka,
+        [&](index_t k0, index_t j0, index_t kcq, index_t w, double* dst) {
+          for (index_t l = 0; l < kcq; ++l)
+            for (index_t j = 0; j < w; ++j)
+              dst[l * w + j] = at(b, ldb, k0 + l, j0 + j);
+        },
+        cfg.ctx, cfg.stats);
+    blocked_gemm_prepacked(
+        m, 0, n, 0, ka, pb, beta, c, ldc, cfg.ctx, cfg.kernel,
+        [&](index_t i0, index_t p0, index_t mc, index_t kcq, double* pa) {
+          for (index_t l = 0; l < kcq; ++l)
+            for (index_t i = 0; i < mc; ++i)
+              pa[l * mc + i] =
+                  alpha * sym_at(a, lda, uplo, i0 + i, p0 + l);
+        },
+        cfg.stats);
+  } else {
+    // Panel = the expanded symmetric A (n×n), packed once; B streams
+    // through the A-packer unchanged.
+    pb.pack_rows(
+        0, ka,
+        [&](index_t k0, index_t j0, index_t kcq, index_t w, double* dst) {
+          for (index_t l = 0; l < kcq; ++l)
+            for (index_t j = 0; j < w; ++j)
+              dst[l * w + j] = sym_at(a, lda, uplo, k0 + l, j0 + j);
+        },
+        cfg.ctx, cfg.stats);
+    blocked_gemm_prepacked(
+        m, 0, n, 0, ka, pb, beta, c, ldc, cfg.ctx, cfg.kernel,
+        [&](index_t i0, index_t p0, index_t mc, index_t kcq, double* pa) {
+          for (index_t l = 0; l < kcq; ++l)
+            for (index_t i = 0; i < mc; ++i)
+              pa[l * mc + i] = alpha * at(b, ldb, i0 + i, p0 + l);
+        },
+        cfg.stats);
+  }
+}
+
+namespace {
+
+/// Shared SYRK/SYR2K core: walks C's column blocks, computing the diagonal
+/// block into a dense temporary (so only the stored triangle of C is
+/// touched) and the off-diagonal rows directly — both from the same packed
+/// op(X)^T panel chunks.
+struct RankUpdatePanel {
+  const double* x;
+  index_t ldx;
+  Trans trans;
+};
+
+void pack_rank_panel(PackedB& pb, const RankUpdatePanel& p,
+                     const Level3Config& cfg) {
+  pb.pack_rows(
+      0, pb.k(),
+      [&](index_t k0, index_t j0, index_t kcq, index_t w, double* dst) {
+        // Element (l, j) of op(X)^T = op(X)(j, l).
+        for (index_t l = 0; l < kcq; ++l)
+          for (index_t j = 0; j < w; ++j)
+            dst[l * w + j] = op_at(p.x, p.ldx, p.trans, j0 + j, k0 + l);
+      },
+      cfg.ctx, cfg.stats);
+}
+
+void rank_update_sweep(const Level3Config& cfg, Uplo uplo, index_t n,
+                       index_t k, double alpha, const RankUpdatePanel& left1,
+                       PackedB& panel1, const RankUpdatePanel* left2,
+                       PackedB* panel2, double* c, index_t ldc) {
+  const index_t nbk = cfg.block;
+  ScratchLease tmp(static_cast<std::size_t>(nbk * nbk), Scratch::kLevel3TmpA);
+  const auto left_packer = [](const RankUpdatePanel& p, index_t row0,
+                              double coeff) {
+    return [&p, row0, coeff](index_t i0, index_t p0, index_t mc, index_t kcq,
+                             double* pa) {
+      for (index_t l = 0; l < kcq; ++l)
+        for (index_t i = 0; i < mc; ++i)
+          pa[l * mc + i] =
+              coeff * op_at(p.x, p.ldx, p.trans, row0 + i0 + i, p0 + l);
+    };
+  };
+  for (index_t bj = 0; bj < n; bj += nbk) {
+    const index_t nb = std::min(nbk, n - bj);
+    // Diagonal block via the temporary (beta 0 overwrites stale contents).
+    blocked_gemm_prepacked(nb, bj, bj + nb, 0, k, panel1, 0.0, tmp.data(), nb,
+                           cfg.ctx, cfg.kernel, left_packer(left1, bj, 1.0),
+                           cfg.stats);
+    if (panel2 != nullptr)
+      blocked_gemm_prepacked(nb, bj, bj + nb, 0, k, *panel2, 1.0, tmp.data(),
+                             nb, cfg.ctx, cfg.kernel,
+                             left_packer(*left2, bj, 1.0), cfg.stats);
+    for (index_t jj = 0; jj < nb; ++jj) {
+      const index_t ii0 = uplo == Uplo::kLower ? jj : 0;
+      const index_t ii1 = uplo == Uplo::kLower ? nb : jj + 1;
+      for (index_t ii = ii0; ii < ii1; ++ii)
+        at(c, ldc, bj + ii, bj + jj) += alpha * tmp.data()[jj * nb + ii];
+    }
+    // Off-diagonal rows straight into C, consuming the same panel chunks.
+    const index_t r0 = uplo == Uplo::kLower ? bj + nb : 0;
+    const index_t rows = uplo == Uplo::kLower ? n - (bj + nb) : bj;
+    if (rows <= 0) continue;
+    blocked_gemm_prepacked(rows, bj, bj + nb, 0, k, panel1, 1.0,
+                           &at(c, ldc, r0, bj), ldc, cfg.ctx, cfg.kernel,
+                           left_packer(left1, r0, alpha), cfg.stats);
+    if (panel2 != nullptr)
+      blocked_gemm_prepacked(rows, bj, bj + nb, 0, k, *panel2, 1.0,
+                             &at(c, ldc, r0, bj), ldc, cfg.ctx, cfg.kernel,
+                             left_packer(*left2, r0, alpha), cfg.stats);
+  }
+}
+
+}  // namespace
+
+void level3_syrk(const Level3Config& cfg, Uplo uplo, Trans trans, index_t n,
+                 index_t k, double alpha, const double* a, index_t lda,
+                 double beta, double* c, index_t ldc) {
+  if (n <= 0) return;
+  beta_scale_triangle(uplo, n, beta, c, ldc);
+  if (alpha == 0.0 || k <= 0) return;  // netlib: A unread
+
+  const index_t kc = std::min(cfg.ctx.sizes.kc, k);
+  ScratchLease storage(PackedB::storage_doubles(k, n, kc),
+                       Scratch::kLevel3PackB);
+  // jw = block so C's column blocks land on jr-chunk boundaries.
+  PackedB panel(k, n, kc, cfg.block, storage.data());
+  const RankUpdatePanel opa{a, lda, trans};
+  pack_rank_panel(panel, opa, cfg);
+  rank_update_sweep(cfg, uplo, n, k, alpha, opa, panel, nullptr, nullptr, c,
+                    ldc);
+}
+
+void level3_syr2k(const Level3Config& cfg, Uplo uplo, Trans trans, index_t n,
+                  index_t k, double alpha, const double* a, index_t lda,
+                  const double* b, index_t ldb, double beta, double* c,
+                  index_t ldc) {
+  if (n <= 0) return;
+  beta_scale_triangle(uplo, n, beta, c, ldc);
+  if (alpha == 0.0 || k <= 0) return;  // netlib: A and B unread
+
+  const index_t kc = std::min(cfg.ctx.sizes.kc, k);
+  ScratchLease storage_b(PackedB::storage_doubles(k, n, kc),
+                         Scratch::kLevel3PackB);
+  ScratchLease storage_a(PackedB::storage_doubles(k, n, kc),
+                         Scratch::kLevel3PackB2);
+  PackedB panel_bt(k, n, kc, cfg.block, storage_b.data());
+  PackedB panel_at(k, n, kc, cfg.block, storage_a.data());
+  const RankUpdatePanel opa{a, lda, trans};
+  const RankUpdatePanel opb{b, ldb, trans};
+  // C = alpha*(op(A)*op(B)^T + op(B)*op(A)^T) + beta*C: op(A) rows pair
+  // with the packed op(B)^T panel and vice versa; each panel is consumed
+  // twice per column block (diagonal temporary + off-diagonal rows).
+  pack_rank_panel(panel_bt, opb, cfg);
+  pack_rank_panel(panel_at, opa, cfg);
+  rank_update_sweep(cfg, uplo, n, k, alpha, opa, panel_bt, &opb, &panel_at, c,
+                    ldc);
+}
+
+void level3_trmm(const Level3Config& cfg, Side side, Uplo uplo, Trans trans,
+                 index_t m, index_t n, double alpha, const double* a,
+                 index_t lda, double* b, index_t ldb) {
+  if (m <= 0 || n <= 0) return;
+  if (alpha == 0.0) {  // netlib dtrmm: B := 0, A unread
+    zero_matrix(m, n, b, ldb);
+    return;
+  }
+  if (side == Side::kLeft) {
+    // B := alpha*op(tri(A))*B as ONE masked prepacked GEMM: B is packed
+    // before the in-place overwrite starts, and the A-packer zeroes
+    // everything outside the effective triangle (tri_at), so no block
+    // decomposition of the triangle is needed.
+    const index_t kc = std::min(cfg.ctx.sizes.kc, m);
+    const index_t jw = default_jr_width(n, cfg.ctx.jr_granule);
+    ScratchLease storage(PackedB::storage_doubles(m, n, kc),
+                         Scratch::kLevel3PackB);
+    PackedB pb(m, n, kc, jw, storage.data());
+    pb.pack_rows(
+        0, m,
+        [&](index_t k0, index_t j0, index_t kcq, index_t w, double* dst) {
+          for (index_t l = 0; l < kcq; ++l)
+            for (index_t j = 0; j < w; ++j)
+              dst[l * w + j] = at(b, ldb, k0 + l, j0 + j);
+        },
+        cfg.ctx, cfg.stats);
+    blocked_gemm_prepacked(
+        m, 0, n, 0, m, pb, 0.0, b, ldb, cfg.ctx, cfg.kernel,
+        [&](index_t i0, index_t p0, index_t mc, index_t kcq, double* pa) {
+          for (index_t l = 0; l < kcq; ++l)
+            for (index_t i = 0; i < mc; ++i)
+              pa[l * mc + i] =
+                  alpha * tri_at(a, lda, uplo, trans, i0 + i, p0 + l);
+        },
+        cfg.stats);
+  } else {
+    // B := alpha*B*op(tri(A)): the masked triangle packs once as the
+    // panel; B must be copied first because it is both the left operand
+    // and the overwritten output across k-chunks.
+    const index_t kc = std::min(cfg.ctx.sizes.kc, n);
+    ScratchLease storage(PackedB::storage_doubles(n, n, kc),
+                         Scratch::kLevel3PackB);
+    ScratchLease copy(static_cast<std::size_t>(m) * static_cast<std::size_t>(n),
+                      Scratch::kLevel3TmpA);
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i)
+        copy.data()[j * m + i] = at(b, ldb, i, j);
+    const index_t jw = default_jr_width(n, cfg.ctx.jr_granule);
+    PackedB pb(n, n, kc, jw, storage.data());
+    pb.pack_rows(
+        0, n,
+        [&](index_t k0, index_t j0, index_t kcq, index_t w, double* dst) {
+          for (index_t l = 0; l < kcq; ++l)
+            for (index_t j = 0; j < w; ++j)
+              dst[l * w + j] = tri_at(a, lda, uplo, trans, k0 + l, j0 + j);
+        },
+        cfg.ctx, cfg.stats);
+    double* copied = copy.data();
+    blocked_gemm_prepacked(
+        m, 0, n, 0, n, pb, 0.0, b, ldb, cfg.ctx, cfg.kernel,
+        [copied, m, alpha](index_t i0, index_t p0, index_t mc, index_t kcq,
+                           double* pa) {
+          for (index_t l = 0; l < kcq; ++l)
+            for (index_t i = 0; i < mc; ++i)
+              pa[l * mc + i] = alpha * copied[(p0 + l) * m + (i0 + i)];
+        },
+        cfg.stats);
+  }
+}
+
+void level3_trsm(const Level3Config& cfg, Side side, Uplo uplo, Trans trans,
+                 index_t m, index_t n, double alpha, const double* a,
+                 index_t lda, double* b, index_t ldb) {
+  if (m <= 0 || n <= 0) return;
+  if (alpha == 0.0) {  // netlib dtrsm: B := 0, A unread
+    zero_matrix(m, n, b, ldb);
+    return;
+  }
+  if (alpha != 1.0)
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) at(b, ldb, i, j) *= alpha;
+
+  const bool upper = effective_upper(uplo, trans);
+  const index_t nbk = cfg.block;
+  if (side == Side::kLeft) {
+    // The solved-panel reuse case: each solved block of X packs once
+    // (chunk size = the solve block, so chunks align with solve order) and
+    // every later trailing update consumes those same chunks.
+    ScratchLease storage(PackedB::storage_doubles(m, n, nbk),
+                         Scratch::kLevel3PackB);
+    const index_t jw = default_jr_width(n, cfg.ctx.jr_granule);
+    PackedB solved(m, n, nbk, jw, storage.data());
+    const auto solved_writer = [&](index_t k0, index_t j0, index_t kcq,
+                                   index_t w, double* dst) {
+      for (index_t l = 0; l < kcq; ++l)
+        for (index_t j = 0; j < w; ++j)
+          dst[l * w + j] = at(b, ldb, k0 + l, j0 + j);
+    };
+    const index_t nblk = (m + nbk - 1) / nbk;
+    for (index_t step = 0; step < nblk; ++step) {
+      const index_t bi = (upper ? nblk - 1 - step : step) * nbk;
+      const index_t mb = std::min(nbk, m - bi);
+      const index_t s0 = upper ? bi + mb : 0;    // solved row range
+      const index_t s1 = upper ? m : bi;
+      if (s1 > s0) {
+        // B_bi -= op(A)(bi, solved) * X(solved, :) from the packed chunks;
+        // the coefficient region is strictly inside the effective
+        // triangle, hence dense stored data.
+        blocked_gemm_prepacked(
+            mb, 0, n, s0, s1, solved, 1.0, &at(b, ldb, bi, 0), ldb, cfg.ctx,
+            cfg.kernel,
+            [&](index_t i0, index_t p0, index_t mc, index_t kcq, double* pa) {
+              for (index_t l = 0; l < kcq; ++l)
+                for (index_t i = 0; i < mc; ++i)
+                  pa[l * mc + i] =
+                      -op_at(a, lda, trans, bi + i0 + i, p0 + l);
+            },
+            cfg.stats);
+      }
+      // Scalar in-block substitution (the paper's §5 TRSM caveat).
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t s = 0; s < mb; ++s) {
+          const index_t ii = upper ? mb - 1 - s : s;
+          double acc = at(b, ldb, bi + ii, j);
+          const index_t p0 = upper ? ii + 1 : 0;
+          const index_t p1 = upper ? mb : ii;
+          for (index_t p = p0; p < p1; ++p)
+            acc -=
+                op_at(a, lda, trans, bi + ii, bi + p) * at(b, ldb, bi + p, j);
+          const double piv = op_at(a, lda, trans, bi + ii, bi + ii);
+          check_pivot(piv);
+          at(b, ldb, bi + ii, j) = acc / piv;
+        }
+      }
+      // Publish the solved block into the shared panel for later updates.
+      solved.pack_rows(bi, bi + mb, solved_writer, cfg.ctx, cfg.stats);
+    }
+  } else {
+    // X*op(A) = B: the masked triangle packs once (A is read-only); the
+    // left operand of every trailing update is the already-solved columns
+    // of B, packed on demand.
+    ScratchLease storage(PackedB::storage_doubles(n, n, nbk),
+                         Scratch::kLevel3PackB);
+    PackedB tri(n, n, nbk, nbk, storage.data());
+    tri.pack_rows(
+        0, n,
+        [&](index_t k0, index_t j0, index_t kcq, index_t w, double* dst) {
+          for (index_t l = 0; l < kcq; ++l)
+            for (index_t j = 0; j < w; ++j)
+              dst[l * w + j] = tri_at(a, lda, uplo, trans, k0 + l, j0 + j);
+        },
+        cfg.ctx, cfg.stats);
+    const index_t nblk = (n + nbk - 1) / nbk;
+    for (index_t step = 0; step < nblk; ++step) {
+      const index_t bj = (upper ? step : nblk - 1 - step) * nbk;
+      const index_t jb = std::min(nbk, n - bj);
+      const index_t s0 = upper ? 0 : bj + jb;    // solved column range
+      const index_t s1 = upper ? bj : n;
+      if (s1 > s0) {
+        blocked_gemm_prepacked(
+            m, bj, bj + jb, s0, s1, tri, 1.0, &at(b, ldb, 0, bj), ldb,
+            cfg.ctx, cfg.kernel,
+            [&](index_t i0, index_t p0, index_t mc, index_t kcq, double* pa) {
+              for (index_t l = 0; l < kcq; ++l)
+                for (index_t i = 0; i < mc; ++i)
+                  pa[l * mc + i] = -at(b, ldb, i0 + i, p0 + l);
+            },
+            cfg.stats);
+      }
+      for (index_t s = 0; s < jb; ++s) {
+        const index_t jj = upper ? s : jb - 1 - s;
+        const double piv = op_at(a, lda, trans, bj + jj, bj + jj);
+        check_pivot(piv);
+        const index_t p0 = upper ? 0 : jj + 1;
+        const index_t p1 = upper ? jj : jb;
+        for (index_t i = 0; i < m; ++i) {
+          double acc = at(b, ldb, i, bj + jj);
+          for (index_t p = p0; p < p1; ++p)
+            acc -=
+                at(b, ldb, i, bj + p) * op_at(a, lda, trans, bj + p, bj + jj);
+          at(b, ldb, i, bj + jj) = acc / piv;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace augem::blas

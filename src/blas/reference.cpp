@@ -1,5 +1,7 @@
 #include "blas/reference.hpp"
 
+#include <cmath>
+
 #include "support/error.hpp"
 
 namespace augem::blas::ref {
@@ -75,73 +77,160 @@ void ger(index_t m, index_t n, double alpha, const double* x, const double* y,
 
 namespace {
 
-/// Symmetric element (i, j) from a lower-triangle-stored matrix.
-double sym_at(const double* a, index_t lda, index_t i, index_t j) {
-  return i >= j ? at(a, lda, i, j) : at(a, lda, j, i);
+/// Walks c's stored triangle column by column, scaling with beta_scale
+/// semantics (beta == 0 overwrites NaN/garbage instead of multiplying it).
+void beta_scale_triangle(Uplo uplo, index_t n, double beta, double* c,
+                         index_t ldc) {
+  for (index_t j = 0; j < n; ++j) {
+    if (uplo == Uplo::kLower)
+      beta_scale(&at(c, ldc, j, j), n - j, beta);
+    else
+      beta_scale(&at(c, ldc, 0, j), j + 1, beta);
+  }
+}
+
+/// The single pivot policy of every trsm in this repository: zero pivots
+/// are singular, and non-finite pivots (NaN compares unequal to zero, so
+/// `piv != 0.0` would wave NaN through) must be rejected too — dividing by
+/// them silently floods whole columns of the solution with NaN/Inf.
+void check_pivot(double piv) {
+  AUGEM_CHECK(std::isfinite(piv) && piv != 0.0,
+              "non-finite or zero pivot in triangular solve");
 }
 
 }  // namespace
 
-void symm(index_t m, index_t n, double alpha, const double* a, index_t lda,
-          const double* b, index_t ldb, double beta, double* c, index_t ldc) {
-  for (index_t j = 0; j < n; ++j) {
-    for (index_t i = 0; i < m; ++i) {
-      double acc = 0.0;
-      for (index_t l = 0; l < m; ++l)
-        acc += sym_at(a, lda, i, l) * at(b, ldb, l, j);
-      at(c, ldc, i, j) = alpha * acc + beta * at(c, ldc, i, j);
-    }
-  }
-}
-
-void syrk(index_t n, index_t k, double alpha, const double* a, index_t lda,
+void symm(Side side, Uplo uplo, index_t m, index_t n, double alpha,
+          const double* a, index_t lda, const double* b, index_t ldb,
           double beta, double* c, index_t ldc) {
-  for (index_t j = 0; j < n; ++j) {
-    for (index_t i = j; i < n; ++i) {  // lower triangle only
-      double acc = 0.0;
-      for (index_t l = 0; l < k; ++l)
-        acc += at(a, lda, i, l) * at(a, lda, j, l);
-      at(c, ldc, i, j) = alpha * acc + beta * at(c, ldc, i, j);
-    }
-  }
-}
-
-void syr2k(index_t n, index_t k, double alpha, const double* a, index_t lda,
-           const double* b, index_t ldb, double beta, double* c, index_t ldc) {
-  for (index_t j = 0; j < n; ++j) {
-    for (index_t i = j; i < n; ++i) {
-      double acc = 0.0;
-      for (index_t l = 0; l < k; ++l)
-        acc += at(a, lda, i, l) * at(b, ldb, j, l) +
-               at(b, ldb, i, l) * at(a, lda, j, l);
-      at(c, ldc, i, j) = alpha * acc + beta * at(c, ldc, i, j);
-    }
-  }
-}
-
-void trmm(index_t m, index_t n, const double* l, index_t ldl, double* b,
-          index_t ldb) {
-  // B = L*B in place: compute rows bottom-up so inputs stay unmodified.
-  for (index_t j = 0; j < n; ++j) {
-    for (index_t i = m - 1; i >= 0; --i) {
-      double acc = 0.0;
-      for (index_t p = 0; p <= i; ++p)
-        acc += at(l, ldl, i, p) * at(b, ldb, p, j);
-      at(b, ldb, i, j) = acc;
-    }
-  }
-}
-
-void trsm(index_t m, index_t n, const double* l, index_t ldl, double* b,
-          index_t ldb) {
-  // Forward substitution, column by column of B.
+  for (index_t j = 0; j < n; ++j) beta_scale(&at(c, ldc, 0, j), m, beta);
+  if (alpha == 0.0) return;  // netlib dsymm: A and B are not read
+  const index_t ka = side == Side::kLeft ? m : n;
   for (index_t j = 0; j < n; ++j) {
     for (index_t i = 0; i < m; ++i) {
-      double acc = at(b, ldb, i, j);
-      for (index_t p = 0; p < i; ++p)
-        acc -= at(l, ldl, i, p) * at(b, ldb, p, j);
-      AUGEM_CHECK(at(l, ldl, i, i) != 0.0, "singular triangular factor");
-      at(b, ldb, i, j) = acc / at(l, ldl, i, i);
+      double acc = 0.0;
+      for (index_t l = 0; l < ka; ++l)
+        acc += side == Side::kLeft
+                   ? sym_at(a, lda, uplo, i, l) * at(b, ldb, l, j)
+                   : at(b, ldb, i, l) * sym_at(a, lda, uplo, l, j);
+      at(c, ldc, i, j) += alpha * acc;
+    }
+  }
+}
+
+void syrk(Uplo uplo, Trans trans, index_t n, index_t k, double alpha,
+          const double* a, index_t lda, double beta, double* c, index_t ldc) {
+  beta_scale_triangle(uplo, n, beta, c, ldc);
+  if (alpha == 0.0 || k <= 0) return;  // netlib dsyrk: A is not read
+  for (index_t j = 0; j < n; ++j) {
+    const index_t i0 = uplo == Uplo::kLower ? j : 0;
+    const index_t i1 = uplo == Uplo::kLower ? n : j + 1;
+    for (index_t i = i0; i < i1; ++i) {
+      double acc = 0.0;
+      for (index_t l = 0; l < k; ++l)
+        acc += op_at(a, lda, trans, i, l) * op_at(a, lda, trans, j, l);
+      at(c, ldc, i, j) += alpha * acc;
+    }
+  }
+}
+
+void syr2k(Uplo uplo, Trans trans, index_t n, index_t k, double alpha,
+           const double* a, index_t lda, const double* b, index_t ldb,
+           double beta, double* c, index_t ldc) {
+  beta_scale_triangle(uplo, n, beta, c, ldc);
+  if (alpha == 0.0 || k <= 0) return;  // netlib dsyr2k: A and B not read
+  for (index_t j = 0; j < n; ++j) {
+    const index_t i0 = uplo == Uplo::kLower ? j : 0;
+    const index_t i1 = uplo == Uplo::kLower ? n : j + 1;
+    for (index_t i = i0; i < i1; ++i) {
+      double acc = 0.0;
+      for (index_t l = 0; l < k; ++l)
+        acc += op_at(a, lda, trans, i, l) * op_at(b, ldb, trans, j, l) +
+               op_at(b, ldb, trans, i, l) * op_at(a, lda, trans, j, l);
+      at(c, ldc, i, j) += alpha * acc;
+    }
+  }
+}
+
+void trmm(Side side, Uplo uplo, Trans trans, index_t m, index_t n,
+          double alpha, const double* a, index_t lda, double* b, index_t ldb) {
+  if (alpha == 0.0) {  // netlib dtrmm: B := 0, A not read
+    for (index_t j = 0; j < n; ++j) beta_scale(&at(b, ldb, 0, j), m, 0.0);
+    return;
+  }
+  const bool upper = effective_upper(uplo, trans);
+  if (side == Side::kLeft) {
+    // In-place row order: effective-upper rows read only rows below them
+    // (still inputs when walking top-down); effective-lower the reverse.
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t step = 0; step < m; ++step) {
+        const index_t i = upper ? step : m - 1 - step;
+        double acc = 0.0;
+        const index_t p0 = upper ? i : 0;
+        const index_t p1 = upper ? m : i + 1;
+        for (index_t p = p0; p < p1; ++p)
+          acc += tri_at(a, lda, uplo, trans, i, p) * at(b, ldb, p, j);
+        at(b, ldb, i, j) = alpha * acc;
+      }
+    }
+  } else {
+    // B := alpha * B * op(A): column j of the result reads B columns in
+    // op(A)'s column j support; effective-upper means p <= j (walk columns
+    // right-to-left), effective-lower p >= j (left-to-right).
+    for (index_t step = 0; step < n; ++step) {
+      const index_t j = upper ? n - 1 - step : step;
+      const index_t p0 = upper ? 0 : j;
+      const index_t p1 = upper ? j + 1 : n;
+      for (index_t i = 0; i < m; ++i) {
+        double acc = 0.0;
+        for (index_t p = p0; p < p1; ++p)
+          acc += at(b, ldb, i, p) * tri_at(a, lda, uplo, trans, p, j);
+        at(b, ldb, i, j) = alpha * acc;
+      }
+    }
+  }
+}
+
+void trsm(Side side, Uplo uplo, Trans trans, index_t m, index_t n,
+          double alpha, const double* a, index_t lda, double* b, index_t ldb) {
+  if (m <= 0 || n <= 0) return;  // netlib quick return (no pivot checks)
+  if (alpha == 0.0) {  // netlib dtrsm: B := 0, A not read
+    for (index_t j = 0; j < n; ++j) beta_scale(&at(b, ldb, 0, j), m, 0.0);
+    return;
+  }
+  const bool upper = effective_upper(uplo, trans);
+  if (side == Side::kLeft) {
+    // op(A) X = alpha B: forward substitution for effective-lower, backward
+    // for effective-upper, column by column of B.
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t step = 0; step < m; ++step) {
+        const index_t i = upper ? m - 1 - step : step;
+        double acc = alpha * at(b, ldb, i, j);
+        const index_t p0 = upper ? i + 1 : 0;
+        const index_t p1 = upper ? m : i;
+        for (index_t p = p0; p < p1; ++p)
+          acc -= tri_at(a, lda, uplo, trans, i, p) * at(b, ldb, p, j);
+        const double piv = op_at(a, lda, trans, i, i);
+        check_pivot(piv);
+        at(b, ldb, i, j) = acc / piv;
+      }
+    }
+  } else {
+    // X op(A) = alpha B: column j of X depends on columns p with
+    // op(A)(p, j) != 0, p != j — below j for effective-lower (solve
+    // right-to-left), above j for effective-upper (left-to-right).
+    for (index_t step = 0; step < n; ++step) {
+      const index_t j = upper ? step : n - 1 - step;
+      const double piv = op_at(a, lda, trans, j, j);
+      check_pivot(piv);
+      const index_t p0 = upper ? 0 : j + 1;
+      const index_t p1 = upper ? j : n;
+      for (index_t i = 0; i < m; ++i) {
+        double acc = alpha * at(b, ldb, i, j);
+        for (index_t p = p0; p < p1; ++p)
+          acc -= at(b, ldb, i, p) * tri_at(a, lda, uplo, trans, p, j);
+        at(b, ldb, i, j) = acc / piv;
+      }
     }
   }
 }

@@ -33,25 +33,37 @@ void scal(index_t n, double alpha, double* x);
 void ger(index_t m, index_t n, double alpha, const double* x, const double* y,
          double* a, index_t lda);
 
-/// C(m×n) = alpha * A * B + beta * C, A symmetric m×m stored in its lower
-/// triangle (Side=Left, Uplo=Lower).
-void symm(index_t m, index_t n, double alpha, const double* a, index_t lda,
-          const double* b, index_t ldb, double beta, double* c, index_t ldc);
-
-/// C(n×n) = alpha * A(n×k) * A^T + beta * C, lower triangle updated.
-void syrk(index_t n, index_t k, double alpha, const double* a, index_t lda,
+/// C(m×n) = alpha * A_sym * B + beta * C (kLeft) or
+/// alpha * B * A_sym + beta * C (kRight); A symmetric, stored in triangle
+/// `uplo`, m×m on the left / n×n on the right. netlib semantics: beta==0
+/// overwrites, alpha==0 reduces to the beta update with A/B unread.
+void symm(Side side, Uplo uplo, index_t m, index_t n, double alpha,
+          const double* a, index_t lda, const double* b, index_t ldb,
           double beta, double* c, index_t ldc);
 
-/// C(n×n) = alpha * (A*B^T + B*A^T) + beta * C, lower triangle updated.
-void syr2k(index_t n, index_t k, double alpha, const double* a, index_t lda,
-           const double* b, index_t ldb, double beta, double* c, index_t ldc);
+/// C(n×n) = alpha * op(A) * op(A)^T + beta * C, triangle `uplo` of C
+/// updated; op(A) is n×k (A is n×k for kNo, k×n for kYes).
+void syrk(Uplo uplo, Trans trans, index_t n, index_t k, double alpha,
+          const double* a, index_t lda, double beta, double* c, index_t ldc);
 
-/// B(m×n) = L * B, L unit-free lower-triangular m×m (Side=Left).
-void trmm(index_t m, index_t n, const double* l, index_t ldl, double* b,
-          index_t ldb);
+/// C(n×n) = alpha * (op(A)*op(B)^T + op(B)*op(A)^T) + beta * C, triangle
+/// `uplo` of C updated; op(A), op(B) are n×k.
+void syr2k(Uplo uplo, Trans trans, index_t n, index_t k, double alpha,
+           const double* a, index_t lda, const double* b, index_t ldb,
+           double beta, double* c, index_t ldc);
 
-/// B(m×n) = L^{-1} * B (forward substitution; Side=Left, Lower, NonUnit).
-void trsm(index_t m, index_t n, const double* l, index_t ldl, double* b,
-          index_t ldb);
+/// B(m×n) = alpha * op(A) * B (kLeft) or alpha * B * op(A) (kRight);
+/// A triangular (non-unit diagonal) stored in triangle `uplo`. alpha==0
+/// sets B to zero without reading A (netlib dtrmm).
+void trmm(Side side, Uplo uplo, Trans trans, index_t m, index_t n,
+          double alpha, const double* a, index_t lda, double* b, index_t ldb);
+
+/// Solves op(A) * X = alpha * B (kLeft) or X * op(A) = alpha * B (kRight)
+/// in place in B; A triangular (non-unit diagonal) stored in triangle
+/// `uplo`. Rejects zero and non-finite pivots (a NaN diagonal must error,
+/// not silently flood the solution with NaN). alpha==0 sets B to zero
+/// without reading A.
+void trsm(Side side, Uplo uplo, Trans trans, index_t m, index_t n,
+          double alpha, const double* a, index_t lda, double* b, index_t ldb);
 
 }  // namespace augem::blas::ref

@@ -2,9 +2,9 @@
 // Common BLAS-layer conventions.
 //
 // All matrices are column-major with explicit leading dimensions, matching
-// the netlib BLAS the paper's comparators implement. Only the operand
-// shapes the paper's evaluation exercises are supported: `Side::kLeft` and
-// `Uplo::kLower` for the symmetric/triangular routines.
+// the netlib BLAS the paper's comparators implement. The symmetric and
+// triangular Level-3 routines take the full netlib operand variants
+// (Side × Uplo × Trans, non-unit diagonal).
 
 #include <cstdint>
 
@@ -13,6 +13,20 @@ namespace augem::blas {
 using index_t = std::int64_t;
 
 enum class Trans : std::uint8_t { kNo, kYes };
+
+/// Which side the symmetric/triangular operand multiplies from:
+/// kLeft → op(A)·B, kRight → B·op(A).
+enum class Side : std::uint8_t { kLeft, kRight };
+
+/// Which triangle of the symmetric/triangular operand is stored.
+enum class Uplo : std::uint8_t { kLower, kUpper };
+
+/// The triangle op(A) *behaves* as: transposing flips the stored triangle,
+/// so op(A) is effectively upper-triangular iff exactly one of
+/// {stored-upper, transposed} holds.
+inline bool effective_upper(Uplo uplo, Trans trans) {
+  return (uplo == Uplo::kUpper) == (trans == Trans::kNo);
+}
 
 /// Element (i, j) of a column-major matrix with leading dimension ld.
 inline double& at(double* a, index_t ld, index_t i, index_t j) {
@@ -26,6 +40,24 @@ inline const double& at(const double* a, index_t ld, index_t i, index_t j) {
 inline const double& op_at(const double* a, index_t ld, Trans t, index_t i,
                            index_t j) {
   return t == Trans::kNo ? at(a, ld, i, j) : at(a, ld, j, i);
+}
+
+/// Element (i, j) of a symmetric matrix stored in triangle `uplo`; the
+/// opposite triangle is read through the mirrored stored element, so the
+/// unstored triangle is never touched.
+inline const double& sym_at(const double* a, index_t ld, Uplo uplo, index_t i,
+                            index_t j) {
+  const bool stored = uplo == Uplo::kLower ? i >= j : i <= j;
+  return stored ? at(a, ld, i, j) : at(a, ld, j, i);
+}
+
+/// Element (i, j) of op(A) for a triangular A stored in triangle `uplo`.
+/// Elements outside the effective triangle are structural zeros: the
+/// unstored triangle is never read (it may be NaN-poisoned or unmapped).
+inline double tri_at(const double* a, index_t ld, Uplo uplo, Trans trans,
+                     index_t i, index_t j) {
+  const bool inside = effective_upper(uplo, trans) ? i <= j : i >= j;
+  return inside ? op_at(a, ld, trans, i, j) : 0.0;
 }
 
 /// BLAS output-operand scaling: y[i] = beta * y[i], except that beta == 0

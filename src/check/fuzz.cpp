@@ -16,6 +16,7 @@
 #include "asmgen/codegen.hpp"
 #include "augem/augem_blas.hpp"
 #include "blas/driver.hpp"
+#include "blas/level3.hpp"
 #include "blas/libraries.hpp"
 #include "blas/reference.hpp"
 #include "check/ulp.hpp"
@@ -36,7 +37,9 @@ namespace augem::check {
 namespace {
 
 using blas::index_t;
+using blas::Side;
 using blas::Trans;
+using blas::Uplo;
 using frontend::BLayout;
 using frontend::KernelKind;
 
@@ -835,9 +838,11 @@ std::optional<std::string> check_blas(std::uint64_t case_seed,
 /// fused epilogues) vs the reference batch loop in blas::Blas. Shapes are
 /// drawn mostly inside the small-kernel window so the amortized-dispatch
 /// fast path is what actually runs; a minority lands outside it to cover
-/// the blocked fallback with the post-pass epilogue. Both sides multiply
-/// alpha into the finished k-sum and scale C by beta as one product each,
-/// so nonfinite alpha/beta see identical expression trees.
+/// the blocked fallback with the post-pass epilogue. Inside the window
+/// both sides multiply alpha into the finished k-sum and scale C by beta
+/// as one product each, so nonfinite alpha/beta see identical expression
+/// trees; the blocked fallback folds alpha into its packed panels instead,
+/// so outside the window alpha stays finite (see DInstance).
 struct TInstance {
   std::int64_t m = 1, n = 1, k = 1, batch = 1;
   std::int64_t sa = 0, sb = 0, sc = 0;  ///< leading-dimension slack
@@ -871,6 +876,9 @@ TInstance draw_tinstance(Rng& rng) {
   in.sb = pick(rng, kSmallSlackMenu);
   in.sc = pick(rng, kSmallSlackMenu);
   in.alpha = draw_alpha(rng, /*allow_nonfinite=*/true);
+  if (!runtime::use_small_gemm_kernel(in.m, in.n, in.k) &&
+      !std::isfinite(in.alpha))
+    in.alpha = rng.uniform(-2.0, 2.0);
   in.beta = draw_alpha(rng, /*allow_nonfinite=*/true);
   in.bias_mode = static_cast<int>(rng.uniform_int(0, 2));
   in.relu = rng.uniform_int(0, 1) != 0;
@@ -926,6 +934,366 @@ std::optional<std::string> check_batch(std::uint64_t case_seed,
   if (auto mm = check_untouched("A", a, a0)) return mm;
   if (auto mm = check_untouched("B", b, b0)) return mm;
   if (auto mm = check_untouched("bias", bias, bias0)) return mm;
+  return std::nullopt;
+}
+
+// ---- Level-3 routine instances --------------------------------------------
+
+enum class L3 { kSymm, kSyrk, kSyr2k, kTrmm, kTrsm };
+
+const char* l3_name(L3 r) {
+  switch (r) {
+    case L3::kSymm: return "symm";
+    case L3::kSyrk: return "syrk";
+    case L3::kSyr2k: return "syr2k";
+    case L3::kTrmm: return "trmm";
+    case L3::kTrsm: return "trsm";
+  }
+  return "?";
+}
+
+/// Instance for the Level-3 casting paths (SYMM/SYRK/SYR2K/TRMM/TRSM).
+/// The unstored triangle of every symmetric/triangular A is NaN-filled, so
+/// a single out-of-mask read in any decomposition shows up as a NaN
+/// mismatch against the oracle. Alpha stays finite and, when the data is
+/// poisoned, is forced to ±1: like GEMM, the engines fold alpha into their
+/// packed panels while the oracle applies it after the k-sum. TRMM poisons
+/// A only (see L3Data::prepare), and TRSM keeps clean data and a strictly
+/// diagonally dominant triangle — divisions amplify poison (and
+/// ill-conditioning) differently per decomposition.
+struct LInstance {
+  L3 routine = L3::kSymm;
+  Side side = Side::kLeft;
+  Uplo uplo = Uplo::kLower;
+  Trans trans = Trans::kNo;
+  std::int64_t m = 1, n = 1, k = 1;
+  std::int64_t slack = 0;
+  std::int64_t block = 16;  ///< decomposition block NB (set_level3_block)
+  double alpha = 1.0, beta = 1.0;
+  Poison pdata = Poison::kNone;
+
+  std::string to_string() const {
+    std::ostringstream os;
+    os.precision(17);
+    os << l3_name(routine);
+    switch (routine) {
+      case L3::kSyrk:
+      case L3::kSyr2k:
+        os << " uplo=" << (uplo == Uplo::kUpper ? "U" : "L")
+           << " trans=" << (trans == Trans::kYes ? "T" : "N") << " n=" << n
+           << " k=" << k;
+        break;
+      case L3::kSymm:
+        os << " side=" << (side == Side::kRight ? "R" : "L")
+           << " uplo=" << (uplo == Uplo::kUpper ? "U" : "L") << " m=" << m
+           << " n=" << n;
+        break;
+      default:
+        os << " side=" << (side == Side::kRight ? "R" : "L")
+           << " uplo=" << (uplo == Uplo::kUpper ? "U" : "L")
+           << " trans=" << (trans == Trans::kYes ? "T" : "N") << " m=" << m
+           << " n=" << n;
+        break;
+    }
+    os << " alpha=" << alpha << " beta=" << beta << " slack=" << slack
+       << " nb=" << block << " poison=" << poison_name(pdata);
+    return os.str();
+  }
+};
+
+LInstance draw_linstance(Rng& rng) {
+  LInstance in;
+  constexpr L3 kRoutines[5] = {L3::kSymm, L3::kSyrk, L3::kSyr2k, L3::kTrmm,
+                               L3::kTrsm};
+  in.routine = pick(rng, kRoutines);
+  in.side = rng.uniform_int(0, 1) ? Side::kRight : Side::kLeft;
+  in.uplo = rng.uniform_int(0, 1) ? Uplo::kUpper : Uplo::kLower;
+  in.trans = rng.uniform_int(0, 1) ? Trans::kYes : Trans::kNo;
+  in.m = dim_near(rng, 8);
+  in.n = dim_near(rng, 8);
+  in.k = dim_near(rng, 4);
+  in.slack = pick(rng, kSmallSlackMenu);
+  // Small decomposition blocks put several block boundaries inside even
+  // fuzz-sized triangles (partial diagonal blocks, short trailing panels).
+  constexpr std::int64_t kBlocks[4] = {4, 8, 12, 16};
+  in.block = pick(rng, kBlocks);
+  in.alpha = draw_alpha(rng, /*allow_nonfinite=*/false);
+  in.beta = draw_alpha(rng, /*allow_nonfinite=*/true);
+  constexpr Poison kPoisons[6] = {Poison::kNone, Poison::kNone, Poison::kNone,
+                                  Poison::kNaN,  Poison::kInf,  Poison::kMix};
+  in.pdata = pick(rng, kPoisons);
+  if (in.pdata != Poison::kNone && in.alpha != 1.0 && in.alpha != -1.0)
+    in.alpha = rng.uniform_int(0, 1) ? 1.0 : -1.0;
+  if (in.routine == L3::kTrsm) in.pdata = Poison::kNone;
+  return in;
+}
+
+struct L3Shape {
+  index_t a_rows = 0, a_cols = 0, lda = 1;
+  index_t b_rows = 0, b_cols = 0, ldb = 1;
+  index_t c_rows = 0, c_cols = 0, ldc = 1;
+};
+
+L3Shape l3_shape(const LInstance& in) {
+  L3Shape s;
+  const index_t ka = in.side == Side::kLeft ? in.m : in.n;
+  switch (in.routine) {
+    case L3::kSymm:
+      s.a_rows = s.a_cols = ka;
+      s.b_rows = in.m;
+      s.b_cols = in.n;
+      s.c_rows = in.m;
+      s.c_cols = in.n;
+      break;
+    case L3::kSyr2k:
+      s.b_rows = in.trans == Trans::kNo ? in.n : in.k;
+      s.b_cols = in.trans == Trans::kNo ? in.k : in.n;
+      [[fallthrough]];
+    case L3::kSyrk:
+      s.a_rows = in.trans == Trans::kNo ? in.n : in.k;
+      s.a_cols = in.trans == Trans::kNo ? in.k : in.n;
+      s.c_rows = s.c_cols = in.n;
+      break;
+    case L3::kTrmm:
+    case L3::kTrsm:
+      s.a_rows = s.a_cols = ka;
+      s.b_rows = in.m;
+      s.b_cols = in.n;
+      break;
+  }
+  s.lda = std::max<index_t>(1, s.a_rows + in.slack);
+  s.ldb = std::max<index_t>(1, s.b_rows + in.slack);
+  s.ldc = std::max<index_t>(1, s.c_rows + in.slack);
+  return s;
+}
+
+/// Operand + oracle state for one Level-3 instance, a pure function of
+/// (seed, instance) so shrinking re-runs stay deterministic. `bwant` /
+/// `cwant` hold the netlib-oracle result for whichever buffer the routine
+/// writes; the other stays an untouched-input expectation.
+struct L3Data {
+  L3Shape s;
+  Rng rng;
+  Buf a, b, c;
+  std::vector<double> a0, b0;
+  std::vector<double> bwant, cwant;
+
+  L3Data(std::uint64_t seed, const LInstance& in)
+      : s(l3_shape(in)),
+        rng(seed),
+        a(static_cast<std::size_t>(s.lda * s.a_cols), rng),
+        b(static_cast<std::size_t>(s.ldb * s.b_cols), rng),
+        c(static_cast<std::size_t>(s.ldc * s.c_cols), rng) {
+    prepare(in);
+    a0 = a.payload();
+    bwant = b.payload();
+    cwant = c.payload();
+    switch (in.routine) {
+      case L3::kSymm:
+        blas::ref::symm(in.side, in.uplo, in.m, in.n, in.alpha, a.cdata(),
+                        s.lda, b.cdata(), s.ldb, in.beta, cwant.data(), s.ldc);
+        b0 = b.payload();
+        break;
+      case L3::kSyrk:
+        blas::ref::syrk(in.uplo, in.trans, in.n, in.k, in.alpha, a.cdata(),
+                        s.lda, in.beta, cwant.data(), s.ldc);
+        b0 = b.payload();
+        break;
+      case L3::kSyr2k:
+        blas::ref::syr2k(in.uplo, in.trans, in.n, in.k, in.alpha, a.cdata(),
+                         s.lda, b.cdata(), s.ldb, in.beta, cwant.data(),
+                         s.ldc);
+        b0 = b.payload();
+        break;
+      case L3::kTrmm:
+        blas::ref::trmm(in.side, in.uplo, in.trans, in.m, in.n, in.alpha,
+                        a.cdata(), s.lda, bwant.data(), s.ldb);
+        break;
+      case L3::kTrsm:
+        blas::ref::trsm(in.side, in.uplo, in.trans, in.m, in.n, in.alpha,
+                        a.cdata(), s.lda, bwant.data(), s.ldb);
+        break;
+    }
+  }
+
+ private:
+  void prepare(const LInstance& in) {
+    const bool tri_a = in.routine == L3::kSymm || in.routine == L3::kTrmm ||
+                       in.routine == L3::kTrsm;
+    if (tri_a) {
+      for (index_t j = 0; j < s.a_cols; ++j)
+        for (index_t i = 0; i < s.a_rows; ++i) {
+          const bool stored = in.uplo == Uplo::kLower ? i >= j : i <= j;
+          if (!stored) blas::at(a.data(), s.lda, i, j) = kNaN;
+        }
+    }
+    if (in.routine == L3::kTrsm) {
+      // Strict diagonal dominance: |diag| >= 1.5 while every stored
+      // off-diagonal row sums below 1, so the solve stays well-conditioned
+      // at any decomposition and the ULP comparison stays meaningful.
+      const double damp =
+          1.0 / static_cast<double>(std::max<index_t>(1, s.a_rows));
+      for (index_t j = 0; j < s.a_cols; ++j)
+        for (index_t i = 0; i < s.a_rows; ++i) {
+          if (i == j)
+            blas::at(a.data(), s.lda, i, i) =
+                (i % 2 != 0 ? -1.0 : 1.0) *
+                (1.5 + 0.5 * static_cast<double>(i % 4));
+          else if (in.uplo == Uplo::kLower ? i > j : i < j)
+            blas::at(a.data(), s.lda, i, j) *= damp;
+        }
+    }
+    const bool exact_alpha = in.alpha == 1.0 || in.alpha == -1.0;
+    switch (in.routine) {
+      case L3::kSymm:
+      case L3::kSyr2k:
+        if (exact_alpha) {
+          poison(a, rng, in.pdata);  // may land in the NaN triangle: harmless
+          poison(b, rng, in.pdata);
+        }
+        poison(c, rng, in.pdata);
+        break;
+      case L3::kSyrk:
+        if (exact_alpha) poison(a, rng, in.pdata);
+        poison(c, rng, in.pdata);
+        break;
+      case L3::kTrmm:
+        // A only: netlib's loop bounds skip the structural zeros of the
+        // triangle, while the dense casting multiplies by them — a NaN/Inf
+        // in B meets 0·NaN = NaN there. Poison in the *stored* triangle of
+        // A participates in exactly the same products on both sides.
+        if (exact_alpha) poison(a, rng, in.pdata);
+        break;
+      case L3::kTrsm:
+        break;  // pdata forced to kNone at draw time
+    }
+  }
+};
+
+index_t l3_depth(const LInstance& in) {
+  switch (in.routine) {
+    case L3::kSyrk: return in.k + 2;
+    case L3::kSyr2k: return 2 * in.k + 2;
+    default: return (in.side == Side::kLeft ? in.m : in.n) + 2;
+  }
+}
+
+std::optional<std::string> l3_compare(const LInstance& in, const L3Data& d) {
+  const bool in_place = in.routine == L3::kTrmm || in.routine == L3::kTrsm;
+  const CompareSpec spec{.depth = l3_depth(in),
+                         .scale = in.routine == L3::kTrsm ? 8.0 : 2.0};
+  if (in_place) {
+    if (auto mm = compare_out("B", d.b.cdata(), d.bwant.data(), d.b.n, spec))
+      return mm;
+    if (!d.b.guard_ok()) return std::string("B: guard region overwritten");
+  } else {
+    if (auto mm = compare_out("C", d.c.cdata(), d.cwant.data(), d.c.n, spec))
+      return mm;
+    if (!d.c.guard_ok()) return std::string("C: guard region overwritten");
+    if (auto mm = check_untouched("B", d.b, d.b0)) return mm;
+  }
+  return check_untouched("A", d.a, d.a0);
+}
+
+void l3_call(blas::Blas& impl, const LInstance& in, L3Data& d) {
+  switch (in.routine) {
+    case L3::kSymm:
+      impl.symm(in.side, in.uplo, in.m, in.n, in.alpha, d.a.cdata(), d.s.lda,
+                d.b.cdata(), d.s.ldb, in.beta, d.c.data(), d.s.ldc);
+      break;
+    case L3::kSyrk:
+      impl.syrk(in.uplo, in.trans, in.n, in.k, in.alpha, d.a.cdata(), d.s.lda,
+                in.beta, d.c.data(), d.s.ldc);
+      break;
+    case L3::kSyr2k:
+      impl.syr2k(in.uplo, in.trans, in.n, in.k, in.alpha, d.a.cdata(),
+                 d.s.lda, d.b.cdata(), d.s.ldb, in.beta, d.c.data(), d.s.ldc);
+      break;
+    case L3::kTrmm:
+      impl.trmm(in.side, in.uplo, in.trans, in.m, in.n, in.alpha, d.a.cdata(),
+                d.s.lda, d.b.data(), d.s.ldb);
+      break;
+    case L3::kTrsm:
+      impl.trsm(in.side, in.uplo, in.trans, in.m, in.n, in.alpha, d.a.cdata(),
+                d.s.lda, d.b.data(), d.s.ldb);
+      break;
+  }
+}
+
+/// One Blas implementation's Level-3 routine vs blas::ref, under the
+/// instance's decomposition-block override (so NB boundaries get fuzzed).
+std::optional<std::string> check_level3(std::uint64_t case_seed,
+                                        blas::Blas& impl,
+                                        const LInstance& in) {
+  L3Data d(mix(case_seed, 0x1e73), in);
+  impl.set_level3_block(std::max<index_t>(1, in.block));
+  l3_call(impl, in, d);
+  return l3_compare(in, d);
+}
+
+/// The prepacked-panel engine (blas/level3.hpp) on the case's generated
+/// block kernel: serial and threaded contexts each vs blas::ref, then
+/// bit-compared against each other — the tile decomposition is fixed at
+/// pack time, so thread count must not change a single bit.
+std::optional<std::string> check_level3_engine(CaseRt& rt,
+                                               const augem::GemmBlockFn& block,
+                                               const LInstance& in) {
+  blas::BlockSizes sizes;
+  sizes.mc = rt.cfg.params.mr * 2;
+  sizes.nc = std::max<index_t>(8, rt.cfg.params.nr * 2);
+  sizes.kc = 6;
+  const blas::BlockKernel kernel = augem::padded_gemm_block_kernel(
+      block, rt.cfg.params.mr, rt.cfg.params.nr);
+
+  std::vector<double> serial_b, serial_c;
+  for (const bool threaded : {false, true}) {
+    L3Data d(mix(rt.case_seed, 0x1e75), in);  // identical data both ways
+    blas::GemmContext ctx = threaded ? blas::threaded_gemm_context(sizes)
+                                     : blas::serial_gemm_context(sizes);
+    ctx.jr_granule = std::max<index_t>(8, rt.cfg.params.nr);
+    const blas::Level3Config cfg{ctx, kernel,
+                                 std::max<index_t>(1, in.block), nullptr};
+    switch (in.routine) {
+      case L3::kSymm:
+        blas::level3_symm(cfg, in.side, in.uplo, in.m, in.n, in.alpha,
+                          d.a.cdata(), d.s.lda, d.b.cdata(), d.s.ldb, in.beta,
+                          d.c.data(), d.s.ldc);
+        break;
+      case L3::kSyrk:
+        blas::level3_syrk(cfg, in.uplo, in.trans, in.n, in.k, in.alpha,
+                          d.a.cdata(), d.s.lda, in.beta, d.c.data(), d.s.ldc);
+        break;
+      case L3::kSyr2k:
+        blas::level3_syr2k(cfg, in.uplo, in.trans, in.n, in.k, in.alpha,
+                           d.a.cdata(), d.s.lda, d.b.cdata(), d.s.ldb,
+                           in.beta, d.c.data(), d.s.ldc);
+        break;
+      case L3::kTrmm:
+        blas::level3_trmm(cfg, in.side, in.uplo, in.trans, in.m, in.n,
+                          in.alpha, d.a.cdata(), d.s.lda, d.b.data(),
+                          d.s.ldb);
+        break;
+      case L3::kTrsm:
+        blas::level3_trsm(cfg, in.side, in.uplo, in.trans, in.m, in.n,
+                          in.alpha, d.a.cdata(), d.s.lda, d.b.data(),
+                          d.s.ldb);
+        break;
+    }
+    if (auto mm = l3_compare(in, d))
+      return std::string(threaded ? "threaded: " : "serial: ") + *mm;
+    const std::vector<double> got_b = d.b.payload(), got_c = d.c.payload();
+    if (!threaded) {
+      serial_b = got_b;
+      serial_c = got_c;
+    } else if ((!got_b.empty() &&
+                std::memcmp(got_b.data(), serial_b.data(),
+                            got_b.size() * sizeof(double)) != 0) ||
+               (!got_c.empty() &&
+                std::memcmp(got_c.data(), serial_c.data(),
+                            got_c.size() * sizeof(double)) != 0)) {
+      return std::string("serial and threaded engine results differ bitwise");
+    }
+  }
   return std::nullopt;
 }
 
@@ -1002,7 +1370,9 @@ struct RunCtx {
 RunCtx make_run_ctx(const FuzzOptions& opts) {
   RunCtx ctx;
   ctx.jit_ok = opts.run_jit && jit::toolchain_available();
-  if (opts.run_batch && ctx.jit_ok) {
+  // The Level-3 paths reuse the batch runtime as their RuntimeBlas under
+  // test, so either toggle keeps it alive.
+  if ((opts.run_batch || opts.run_level3) && ctx.jit_ok) {
     runtime::RuntimeConfig rc;
     rc.use_persistent = false;
     rc.tune_on_miss = false;
@@ -1121,6 +1491,7 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
     const DInstance din = draw_dinstance(rng, rt.cfg);
     const BInstance bin = draw_binstance(rng, rt.cfg);
     const TInstance tin = draw_tinstance(rng);
+    const LInstance lin = draw_linstance(rng);
 
     ++rep.cases_run;
 
@@ -1237,10 +1608,11 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
 
     // ---- blocked driver (GEMM configurations) ----------------------------
     // The driver's pack_b produces the row-panel layout (pb[l*nc + j]);
-    // col-major-layout kernels are VM/interp-only by construction.
-    if (opts.run_driver && rt.cfg.op == KernelKind::kGemm &&
+    // col-major-layout kernels are VM/interp-only by construction. The block
+    // function is shared with the Level-3 engine path below.
+    augem::GemmBlockFn block;
+    if (rt.cfg.op == KernelKind::kGemm &&
         rt.cfg.layout == BLayout::kRowPanel) {
-      augem::GemmBlockFn block;
       if (rt.mod != nullptr) {
         auto* fn = rt.mod->fn<void(long, long, long, const double*,
                                    const double*, double*, long)>(rt.g->name);
@@ -1255,6 +1627,8 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
           m.call({mc, nc, kc, pa, pb, c, ldc});
         };
       }
+    }
+    if (opts.run_driver && block) {
       for (const bool threaded : {false, true}) {
         const char* pname = threaded ? "driver-threaded" : "driver-serial";
         ++rep.path_runs[pname];
@@ -1371,6 +1745,77 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
         record("batch", small.to_string(),
                fail.value_or("unreproducible after shrink"));
       }
+    }
+
+    // ---- Level-3 routines (SYMM/SYRK/SYR2K/TRMM/TRSM) --------------------
+    // Gated on GEMM configs like the batch path: the casting engines ride
+    // on the same generated block kernels, and 1/5 of all cases keeps the
+    // JIT build count bounded while covering every routine × variant. Three
+    // families per case: the library casting of every Blas implementation,
+    // the RuntimeBlas dispatch path, and the prepacked-panel engine (serial
+    // vs threaded, bit-compared).
+    if (opts.run_level3 && rt.cfg.op == KernelKind::kGemm) {
+      const std::string routine = l3_name(lin.routine);
+      auto sweep_l3 = [&](const std::string& pname,
+                          const std::function<std::optional<std::string>(
+                              const LInstance&)>& run_check) {
+        ++rep.path_runs[pname];
+        std::optional<std::string> fail = run_check(lin);
+        if (!fail) return;
+        LInstance small = lin;
+        if (opts.shrink) {
+          auto fails = [&]() { return run_check(small).has_value(); };
+          shrink_dims({&small.m, &small.n, &small.k, &small.slack},
+                      {0, 0, 0, 0}, {1, 1, 1, 1}, fails);
+          try_simplify(small.pdata, Poison::kNone, fails);
+          try_simplify(small.beta, 1.0, fails);
+          try_simplify(small.alpha, 1.0, fails);
+          try_simplify(small.block, std::int64_t{16}, fails);
+          fail = run_check(small);
+          if (!fail) {
+            small = lin;
+            fail = run_check(small);
+          }
+        }
+        record(pname, small.to_string(),
+               fail.value_or("unreproducible after shrink"));
+      };
+
+      if (opts.run_blas) {
+        for (NamedBlas& nb : run.impls) {
+          if (static_cast<std::int64_t>(rep.failures.size()) >=
+              opts.max_failures)
+            break;
+          sweep_l3("level3:" + nb.name + ":" + routine,
+                   [&](const LInstance& inst) -> std::optional<std::string> {
+                     try {
+                       return check_level3(case_seed, *nb.impl, inst);
+                     } catch (const Error& e) {
+                       return std::string("execution error: ") + e.what();
+                     }
+                   });
+        }
+      }
+      if (run.batch_impl != nullptr &&
+          static_cast<std::int64_t>(rep.failures.size()) < opts.max_failures)
+        sweep_l3("level3:runtime:" + routine,
+                 [&](const LInstance& inst) -> std::optional<std::string> {
+                   try {
+                     return check_level3(case_seed, *run.batch_impl, inst);
+                   } catch (const Error& e) {
+                     return std::string("execution error: ") + e.what();
+                   }
+                 });
+      if (block &&
+          static_cast<std::int64_t>(rep.failures.size()) < opts.max_failures)
+        sweep_l3("level3-engine:" + routine,
+                 [&](const LInstance& inst) -> std::optional<std::string> {
+                   try {
+                     return check_level3_engine(rt, block, inst);
+                   } catch (const Error& e) {
+                     return std::string("execution error: ") + e.what();
+                   }
+                 });
     }
 
     if (opts.log != nullptr && (ci + 1) % 100 == 0)

@@ -18,7 +18,13 @@
 //   * the batched small-GEMM serving path (`gemm_batch_strided` with fused
 //     alpha/beta, bias, and ReLU epilogues) against the reference batch
 //     loop in `blas::Blas` — including NaN/Inf propagation through the
-//     MAXPD-semantics ReLU (relu(NaN) == 0).
+//     MAXPD-semantics ReLU (relu(NaN) == 0),
+//   * the Level-3 routines (SYMM/SYRK/SYR2K/TRMM/TRSM, Side × Uplo × Trans)
+//     three ways: every library's GEMM-casting vs the netlib oracle, the
+//     prepacked-panel engine serial vs threaded (which must be
+//     bit-identical) vs the oracle, and the RuntimeBlas dispatch path —
+//     with NaN-filled unstored triangles proving the masked accessors never
+//     read outside the stored triangle.
 //
 // Every generated kernel additionally passes through the static machine-code
 // verifier (`opt::verify_machine_code`). All numeric paths are cross-checked
@@ -48,6 +54,9 @@ struct FuzzOptions {
   bool run_blas = true;     ///< BLAS-level wrappers vs blas::ref
   bool run_batch = true;    ///< batched small-GEMM fast path vs the
                             ///< reference epilogue oracle (JIT hosts only)
+  bool run_level3 = true;   ///< SYMM/SYRK/SYR2K/TRMM/TRSM: library casting,
+                            ///< prepacked engine (serial ≡ threaded), and
+                            ///< RuntimeBlas dispatch vs blas::ref
   bool shrink = true;       ///< minimize failing instances
 
   std::int64_t max_failures = 16;  ///< stop after this many failures

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "augem/augem.hpp"
+#include "augem/augem_blas.hpp"
+#include "blas/level3.hpp"
 #include "perf/clock.hpp"
 #include "runtime/dispatch.hpp"
 #include "runtime/runtime_blas.hpp"
@@ -128,10 +130,67 @@ BenchReport run_batch_small(const SuiteOptions& options,
   return report;
 }
 
+/// The Level-3 casting engine (blas/level3.hpp): SYMM, SYRK and TRSM
+/// through the prepacked-panel driver on the generated block kernel, at
+/// dense square sizes. Pessimize mode pairs the scalar GEMM kernel with a
+/// serial context — the two optimizations this suite guards (SIMD block
+/// kernels under the casting, parallel panel GEMMs) — so a normal-config
+/// baseline vs a pessimized run must gate as regressed.
+BenchReport run_level3(const SuiteOptions& options, const BenchRunner& runner) {
+  KernelSet set = make_suite_kernels(options.pessimize);
+  const long d = options.quick ? 128 : 256;
+
+  blas::BlockSizes sizes;
+  blas::GemmContext ctx = options.pessimize
+                              ? blas::serial_gemm_context(sizes)
+                              : blas::threaded_gemm_context(sizes);
+  const blas::Level3Config cfg{
+      ctx,
+      augem::padded_gemm_block_kernel(set.gemm(), set.gemm_mr(),
+                                      set.gemm_nr()),
+      128, nullptr};
+
+  BenchReport report = make_host_report("level3");
+  Rng rng(101);
+  DoubleBuffer a(static_cast<std::size_t>(d * d));
+  DoubleBuffer b(static_cast<std::size_t>(d * d));
+  DoubleBuffer c(static_cast<std::size_t>(d * d));
+  rng.fill(a.span());
+  rng.fill(b.span());
+
+  const Measurement sm = runner.run(symm_flops(d, d), [&] {
+    blas::level3_symm(cfg, blas::Side::kLeft, blas::Uplo::kLower, d, d, 1.0,
+                      a.data(), d, b.data(), d, 0.0, c.data(), d);
+  });
+  report.rows.push_back(BenchRow::from_measurement(sm, "symm", d, d));
+
+  const Measurement km = runner.run(syrk_flops(d, d), [&] {
+    blas::level3_syrk(cfg, blas::Uplo::kLower, blas::Trans::kNo, d, d, 1.0,
+                      a.data(), d, 0.0, c.data(), d);
+  });
+  report.rows.push_back(BenchRow::from_measurement(km, "syrk", d, d));
+
+  // Well-conditioned triangle: repeated timed solves stay finite.
+  for (long i = 0; i < d; ++i)
+    a.data()[i * d + i] = 4.0 + static_cast<double>(i % 3);
+  DoubleBuffer b0(static_cast<std::size_t>(d * d));
+  std::copy(b.data(), b.data() + d * d, b0.data());
+  const Measurement tm = runner.run(trsm_flops(d, d), [&] {
+    // Restore B first: TRSM overwrites it, and back-to-back solves of the
+    // previous solution would decay toward denormals. The copy is O(d^2)
+    // against the O(d^3) solve.
+    std::copy(b0.data(), b0.data() + d * d, b.data());
+    blas::level3_trsm(cfg, blas::Side::kLeft, blas::Uplo::kLower,
+                      blas::Trans::kNo, d, d, 1.0, a.data(), d, b.data(), d);
+  });
+  report.rows.push_back(BenchRow::from_measurement(tm, "trsm", d, d));
+  return report;
+}
+
 }  // namespace
 
 std::vector<std::string> suite_names() {
-  return {"micro", "level1", "batch_small"};
+  return {"micro", "level1", "batch_small", "level3"};
 }
 
 bool is_suite_name(const std::string& name) {
@@ -143,10 +202,11 @@ BenchReport run_suite(const std::string& name, const SuiteOptions& options) {
   AUGEM_CHECK(is_suite_name(name), "unknown bench suite '"
                                        << name
                                        << "' (known: micro, level1, "
-                                          "batch_small)");
+                                          "batch_small, level3)");
   const Sizes sz = sizes_for(options.quick);
   const BenchRunner runner(runner_for(options));
   if (name == "batch_small") return run_batch_small(options, runner);
+  if (name == "level3") return run_level3(options, runner);
   KernelSet set = make_suite_kernels(options.pessimize);
   BenchReport report = make_host_report(name);
 

@@ -27,8 +27,9 @@ struct SuiteOptions {
 
 /// The suites bench_gate knows: "micro" (all five generated kernels on
 /// packed-block / in-cache problems), "level1" (the memory-bound
-/// streaming kernels at figure sizes), and "batch_small" (the batched
-/// small-GEMM fast path with amortized dispatch and fused epilogues).
+/// streaming kernels at figure sizes), "batch_small" (the batched
+/// small-GEMM fast path with amortized dispatch and fused epilogues), and
+/// "level3" (SYMM/SYRK/TRSM through the prepacked-panel casting engine).
 std::vector<std::string> suite_names();
 bool is_suite_name(const std::string& name);
 

@@ -1,14 +1,67 @@
 #include "support/scratch.hpp"
 
 #include "support/buffer.hpp"
+#include "support/error.hpp"
 
 namespace augem {
 
-double* scratch_doubles(std::size_t count, Scratch slot) {
+namespace {
+
+#ifndef NDEBUG
+/// Debug live-slot accounting: per thread, which slots a ScratchLease
+/// currently owns. scratch_doubles and ScratchLease check against it.
+thread_local bool g_leased[static_cast<int>(Scratch::kCount)] = {};
+#endif
+
+DoubleBuffer& slot_buffer(Scratch slot) {
   thread_local DoubleBuffer buffers[static_cast<int>(Scratch::kCount)];
-  DoubleBuffer& buf = buffers[static_cast<int>(slot)];
+  return buffers[static_cast<int>(slot)];
+}
+
+}  // namespace
+
+bool scratch_guard_enabled() {
+#ifndef NDEBUG
+  return true;
+#else
+  return false;
+#endif
+}
+
+double* scratch_doubles(std::size_t count, Scratch slot) {
+#ifndef NDEBUG
+  // A raw acquisition may *grow* the buffer a live lease points into —
+  // that invalidates the lease holder's pointer with no visible failure
+  // until the stale data is read back.
+  AUGEM_CHECK(!g_leased[static_cast<int>(slot)],
+              "scratch slot " << static_cast<int>(slot)
+                              << " acquired while held by a live lease");
+#endif
+  DoubleBuffer& buf = slot_buffer(slot);
   if (buf.size() < count) buf = DoubleBuffer(count);
   return buf.data();
+}
+
+ScratchLease::ScratchLease(std::size_t count, Scratch slot) : slot_(slot) {
+#ifndef NDEBUG
+  AUGEM_CHECK(!g_leased[static_cast<int>(slot)],
+              "scratch slot " << static_cast<int>(slot)
+                              << " leased while held by a live lease");
+#endif
+  DoubleBuffer& buf = slot_buffer(slot);
+  if (buf.size() < count) buf = DoubleBuffer(count);
+  data_ = buf.data();
+#ifndef NDEBUG
+  g_leased[static_cast<int>(slot)] = true;
+#endif
+}
+
+ScratchLease::~ScratchLease() {
+#ifndef NDEBUG
+  g_leased[static_cast<int>(slot_)] = false;
+#else
+  (void)slot_;
+#endif
 }
 
 }  // namespace augem

@@ -15,7 +15,9 @@ namespace {
 
 using blas::at;
 using blas::index_t;
+using blas::Side;
 using blas::Trans;
+using blas::Uplo;
 
 class AugemBlasTest : public ::testing::Test {
  protected:
@@ -128,8 +130,10 @@ TEST_F(AugemBlasTest, Table6RoutinesMatchReference) {
     rng_.fill(a);
     rng_.fill(c);
     std::vector<double> c_ref = c;
-    lib_->syrk(n, k, 1.0, a.data(), n, 1.0, c.data(), n);
-    blas::ref::syrk(n, k, 1.0, a.data(), n, 1.0, c_ref.data(), n);
+    lib_->syrk(Uplo::kLower, Trans::kNo, n, k, 1.0, a.data(), n, 1.0,
+               c.data(), n);
+    blas::ref::syrk(Uplo::kLower, Trans::kNo, n, k, 1.0, a.data(), n,
+                    1.0, c_ref.data(), n);
     for (std::size_t i = 0; i < c.size(); ++i)
       ASSERT_NEAR(c[i], c_ref[i], 1e-10) << "syrk " << i;
   }
@@ -142,9 +146,10 @@ TEST_F(AugemBlasTest, Table6RoutinesMatchReference) {
     rng_.fill(b);
     rng_.fill(c);
     std::vector<double> c_ref = c;
-    lib_->symm(m, cols, 1.0, a.data(), m, b.data(), m, 0.0, c.data(), m);
-    blas::ref::symm(m, cols, 1.0, a.data(), m, b.data(), m, 0.0, c_ref.data(),
-                    m);
+    lib_->symm(Side::kLeft, Uplo::kLower, m, cols, 1.0, a.data(), m,
+               b.data(), m, 0.0, c.data(), m);
+    blas::ref::symm(Side::kLeft, Uplo::kLower, m, cols, 1.0, a.data(), m,
+                    b.data(), m, 0.0, c_ref.data(), m);
     for (std::size_t i = 0; i < c.size(); ++i)
       ASSERT_NEAR(c[i], c_ref[i], 1e-10) << "symm " << i;
   }
@@ -156,8 +161,10 @@ TEST_F(AugemBlasTest, Table6RoutinesMatchReference) {
     for (index_t i = 0; i < m; ++i) at(l.data(), m, i, i) = 4.0 + i % 3;
     rng_.fill(b);
     std::vector<double> orig = b;
-    lib_->trmm(m, cols, l.data(), m, b.data(), m);
-    lib_->trsm(m, cols, l.data(), m, b.data(), m);
+    lib_->trmm(Side::kLeft, Uplo::kLower, Trans::kNo, m, cols, 1.0,
+               l.data(), m, b.data(), m);
+    lib_->trsm(Side::kLeft, Uplo::kLower, Trans::kNo, m, cols, 1.0,
+               l.data(), m, b.data(), m);
     for (std::size_t i = 0; i < b.size(); ++i)
       ASSERT_NEAR(b[i], orig[i], 1e-8) << "trmm/trsm " << i;
   }

@@ -1,7 +1,8 @@
 // The Table 6 routines (SYMM/SYRK/SYR2K/TRMM/TRSM/GER) as implemented by
 // the default GEMM-casting algorithms in blas::Blas, checked against the
 // reference implementations — across every library (the defaults call the
-// library's own virtual gemm/axpy).
+// library's own virtual gemm/axpy) and every operand variant
+// (Side × Uplo × Trans).
 
 #include <gtest/gtest.h>
 
@@ -21,6 +22,10 @@ std::unique_ptr<Blas> make_library(const std::string& which) {
   if (which == "atlsim") return make_atlsim();
   return make_vendorsim();
 }
+
+constexpr Side kSides[] = {Side::kLeft, Side::kRight};
+constexpr Uplo kUplos[] = {Uplo::kLower, Uplo::kUpper};
+constexpr Trans kTranses[] = {Trans::kNo, Trans::kYes};
 
 class Level3 : public ::testing::TestWithParam<std::string> {
  protected:
@@ -44,72 +49,119 @@ TEST_P(Level3, GerMatchesReference) {
 TEST_P(Level3, SymmMatchesReference) {
   // m > kL3Block exercises off-diagonal, transposed and diagonal blocks.
   const index_t m = 150, n = 40;
-  std::vector<double> a(static_cast<std::size_t>(m * m)),
-      b(static_cast<std::size_t>(m * n)), c(static_cast<std::size_t>(m * n));
-  rng_.fill(a);
-  rng_.fill(b);
-  rng_.fill(c);
-  std::vector<double> c_ref = c;
-  lib_->symm(m, n, 1.25, a.data(), m, b.data(), m, 0.5, c.data(), m);
-  ref::symm(m, n, 1.25, a.data(), m, b.data(), m, 0.5, c_ref.data(), m);
-  for (std::size_t i = 0; i < c.size(); ++i)
-    ASSERT_NEAR(c[i], c_ref[i], 1e-10) << i;
+  for (Side side : kSides) {
+    for (Uplo uplo : kUplos) {
+      const index_t ka = side == Side::kLeft ? m : n;
+      std::vector<double> a(static_cast<std::size_t>(ka * ka)),
+          b(static_cast<std::size_t>(m * n)), c(static_cast<std::size_t>(m * n));
+      rng_.fill(a);
+      rng_.fill(b);
+      rng_.fill(c);
+      std::vector<double> c_ref = c;
+      lib_->symm(side, uplo, m, n, 1.25, a.data(), ka, b.data(), m, 0.5,
+                 c.data(), m);
+      ref::symm(side, uplo, m, n, 1.25, a.data(), ka, b.data(), m, 0.5,
+                c_ref.data(), m);
+      for (std::size_t i = 0; i < c.size(); ++i)
+        ASSERT_NEAR(c[i], c_ref[i], 1e-10)
+            << i << " side=" << static_cast<int>(side)
+            << " uplo=" << static_cast<int>(uplo);
+    }
+  }
 }
 
-TEST_P(Level3, SyrkMatchesReferenceAndPreservesUpper) {
+TEST_P(Level3, SyrkMatchesReferenceAndPreservesOppositeTriangle) {
   const index_t n = 150, k = 33;
-  std::vector<double> a(static_cast<std::size_t>(n * k)),
-      c(static_cast<std::size_t>(n * n));
-  rng_.fill(a);
-  rng_.fill(c);
-  std::vector<double> c_ref = c;
-  lib_->syrk(n, k, 2.0, a.data(), n, 0.75, c.data(), n);
-  ref::syrk(n, k, 2.0, a.data(), n, 0.75, c_ref.data(), n);
-  for (index_t j = 0; j < n; ++j)
-    for (index_t i = 0; i < n; ++i)
-      ASSERT_NEAR(at(c.data(), n, i, j), at(c_ref.data(), n, i, j), 1e-10)
-          << i << "," << j;
+  for (Uplo uplo : kUplos) {
+    for (Trans trans : kTranses) {
+      const index_t lda = trans == Trans::kNo ? n : k;
+      std::vector<double> a(static_cast<std::size_t>(n * k)),
+          c(static_cast<std::size_t>(n * n));
+      rng_.fill(a);
+      rng_.fill(c);
+      std::vector<double> c_ref = c;
+      lib_->syrk(uplo, trans, n, k, 2.0, a.data(), lda, 0.75, c.data(), n);
+      ref::syrk(uplo, trans, n, k, 2.0, a.data(), lda, 0.75, c_ref.data(), n);
+      for (index_t j = 0; j < n; ++j)
+        for (index_t i = 0; i < n; ++i)
+          ASSERT_NEAR(at(c.data(), n, i, j), at(c_ref.data(), n, i, j), 1e-10)
+              << i << "," << j << " uplo=" << static_cast<int>(uplo)
+              << " trans=" << static_cast<int>(trans);
+    }
+  }
 }
 
 TEST_P(Level3, Syr2kMatchesReference) {
   const index_t n = 140, k = 20;
-  std::vector<double> a(static_cast<std::size_t>(n * k)),
-      b(static_cast<std::size_t>(n * k)), c(static_cast<std::size_t>(n * n));
-  rng_.fill(a);
-  rng_.fill(b);
-  rng_.fill(c);
-  std::vector<double> c_ref = c;
-  lib_->syr2k(n, k, 1.5, a.data(), n, b.data(), n, 0.25, c.data(), n);
-  ref::syr2k(n, k, 1.5, a.data(), n, b.data(), n, 0.25, c_ref.data(), n);
-  for (std::size_t i = 0; i < c.size(); ++i)
-    ASSERT_NEAR(c[i], c_ref[i], 1e-10) << i;
+  for (Uplo uplo : kUplos) {
+    for (Trans trans : kTranses) {
+      const index_t ld = trans == Trans::kNo ? n : k;
+      std::vector<double> a(static_cast<std::size_t>(n * k)),
+          b(static_cast<std::size_t>(n * k)), c(static_cast<std::size_t>(n * n));
+      rng_.fill(a);
+      rng_.fill(b);
+      rng_.fill(c);
+      std::vector<double> c_ref = c;
+      lib_->syr2k(uplo, trans, n, k, 1.5, a.data(), ld, b.data(), ld, 0.25,
+                  c.data(), n);
+      ref::syr2k(uplo, trans, n, k, 1.5, a.data(), ld, b.data(), ld, 0.25,
+                 c_ref.data(), n);
+      for (std::size_t i = 0; i < c.size(); ++i)
+        ASSERT_NEAR(c[i], c_ref[i], 1e-10)
+            << i << " uplo=" << static_cast<int>(uplo)
+            << " trans=" << static_cast<int>(trans);
+    }
+  }
 }
 
-TEST_P(Level3, TrmmMatchesReference) {
+TEST_P(Level3, TrmmMatchesReferenceAllVariants) {
   const index_t m = 150, n = 30;
-  std::vector<double> l(static_cast<std::size_t>(m * m)),
-      b(static_cast<std::size_t>(m * n));
-  rng_.fill(l);
-  rng_.fill(b);
-  std::vector<double> b_ref = b;
-  lib_->trmm(m, n, l.data(), m, b.data(), m);
-  ref::trmm(m, n, l.data(), m, b_ref.data(), m);
-  for (std::size_t i = 0; i < b.size(); ++i)
-    ASSERT_NEAR(b[i], b_ref[i], 1e-9) << i;
+  for (Side side : kSides) {
+    for (Uplo uplo : kUplos) {
+      for (Trans trans : kTranses) {
+        const index_t ka = side == Side::kLeft ? m : n;
+        std::vector<double> a(static_cast<std::size_t>(ka * ka)),
+            b(static_cast<std::size_t>(m * n));
+        rng_.fill(a);
+        rng_.fill(b);
+        std::vector<double> b_ref = b;
+        lib_->trmm(side, uplo, trans, m, n, 1.25, a.data(), ka, b.data(), m);
+        ref::trmm(side, uplo, trans, m, n, 1.25, a.data(), ka, b_ref.data(),
+                  m);
+        for (std::size_t i = 0; i < b.size(); ++i)
+          ASSERT_NEAR(b[i], b_ref[i], 1e-9)
+              << i << " side=" << static_cast<int>(side)
+              << " uplo=" << static_cast<int>(uplo)
+              << " trans=" << static_cast<int>(trans);
+      }
+    }
+  }
 }
 
-TEST_P(Level3, TrsmMatchesReference) {
+TEST_P(Level3, TrsmMatchesReferenceAllVariants) {
   const index_t m = 150, n = 30;
-  std::vector<double> l(static_cast<std::size_t>(m * m)),
-      b(static_cast<std::size_t>(m * n));
-  rng_.fill(l);
-  for (index_t i = 0; i < m; ++i) at(l.data(), m, i, i) = 3.0 + i % 5;
-  rng_.fill(b);
-  std::vector<double> b_ref = b;
-  lib_->trsm(m, n, l.data(), m, b.data(), m);
-  ref::trsm(m, n, l.data(), m, b_ref.data(), m);
-  for (std::size_t i = 0; i < b.size(); ++i)
-    ASSERT_NEAR(b[i], b_ref[i], 1e-8) << i;
+  for (Side side : kSides) {
+    for (Uplo uplo : kUplos) {
+      for (Trans trans : kTranses) {
+        const index_t ka = side == Side::kLeft ? m : n;
+        std::vector<double> a(static_cast<std::size_t>(ka * ka)),
+            b(static_cast<std::size_t>(m * n));
+        rng_.fill(a);
+        for (index_t i = 0; i < ka; ++i)
+          at(a.data(), ka, i, i) = 3.0 + i % 5;  // well-posed
+        rng_.fill(b);
+        std::vector<double> b_ref = b;
+        lib_->trsm(side, uplo, trans, m, n, 0.75, a.data(), ka, b.data(), m);
+        ref::trsm(side, uplo, trans, m, n, 0.75, a.data(), ka, b_ref.data(),
+                  m);
+        for (std::size_t i = 0; i < b.size(); ++i)
+          ASSERT_NEAR(b[i], b_ref[i], 1e-8)
+              << i << " side=" << static_cast<int>(side)
+              << " uplo=" << static_cast<int>(uplo)
+              << " trans=" << static_cast<int>(trans);
+      }
+    }
+  }
 }
 
 TEST_P(Level3, SmallSizesBelowOneBlock) {
@@ -120,9 +172,41 @@ TEST_P(Level3, SmallSizesBelowOneBlock) {
   for (index_t i = 0; i < m; ++i) at(l.data(), m, i, i) = 2.0;
   rng_.fill(b);
   std::vector<double> b_ref = b;
-  lib_->trmm(m, n, l.data(), m, b.data(), m);
-  ref::trmm(m, n, l.data(), m, b_ref.data(), m);
+  lib_->trmm(Side::kLeft, Uplo::kLower, Trans::kNo, m, n, 1.0, l.data(), m,
+             b.data(), m);
+  ref::trmm(Side::kLeft, Uplo::kLower, Trans::kNo, m, n, 1.0, l.data(), m,
+            b_ref.data(), m);
   for (std::size_t i = 0; i < b.size(); ++i) ASSERT_NEAR(b[i], b_ref[i], 1e-11);
+}
+
+TEST_P(Level3, TinyDecompositionBlockCrossesEveryBoundary) {
+  // set_level3_block(8) forces multi-block decompositions at small sizes:
+  // every diagonal/off-diagonal/partial-block path runs within one test.
+  lib_->set_level3_block(8);
+  const index_t m = 37, n = 21;
+  for (Uplo uplo : kUplos) {
+    std::vector<double> a(static_cast<std::size_t>(m * m)),
+        b(static_cast<std::size_t>(m * n));
+    rng_.fill(a);
+    for (index_t i = 0; i < m; ++i) at(a.data(), m, i, i) = 2.5 + i % 3;
+    rng_.fill(b);
+    std::vector<double> b_ref = b;
+    lib_->trsm(Side::kLeft, uplo, Trans::kYes, m, n, 1.5, a.data(), m,
+               b.data(), m);
+    ref::trsm(Side::kLeft, uplo, Trans::kYes, m, n, 1.5, a.data(), m,
+              b_ref.data(), m);
+    for (std::size_t i = 0; i < b.size(); ++i)
+      ASSERT_NEAR(b[i], b_ref[i], 1e-9) << i;
+
+    std::vector<double> c(static_cast<std::size_t>(m * m));
+    rng_.fill(c);
+    std::vector<double> c_ref = c;
+    lib_->syrk(uplo, Trans::kYes, m, n, 1.25, b.data(), n, 0.5, c.data(), m);
+    ref::syrk(uplo, Trans::kYes, m, n, 1.25, b.data(), n, 0.5, c_ref.data(),
+              m);
+    for (std::size_t i = 0; i < c.size(); ++i)
+      ASSERT_NEAR(c[i], c_ref[i], 1e-9) << i;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllLibraries, Level3,

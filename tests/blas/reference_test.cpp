@@ -96,7 +96,7 @@ TEST(Reference, SymmMatchesExpandedGemm) {
   rng.fill(a);
   rng.fill(b);
   std::vector<double> c2 = c;
-  ref::symm(m, n, 1.5, a.data(), m, b.data(), m, 0.25, c.data(), m);
+  ref::symm(Side::kLeft, Uplo::kLower, m, n, 1.5, a.data(), m, b.data(), m, 0.25, c.data(), m);
   // Expand the lower triangle symmetrically, then plain GEMM.
   std::vector<double> full(static_cast<std::size_t>(m * m));
   for (index_t j = 0; j < m; ++j)
@@ -114,7 +114,7 @@ TEST(Reference, SyrkOnlyTouchesLowerTriangle) {
   std::vector<double> a(static_cast<std::size_t>(n * k));
   rng.fill(a);
   std::vector<double> c(static_cast<std::size_t>(n * n), 99.0);
-  ref::syrk(n, k, 1.0, a.data(), n, 0.0, c.data(), n);
+  ref::syrk(Uplo::kLower, Trans::kNo, n, k, 1.0, a.data(), n, 0.0, c.data(), n);
   for (index_t j = 0; j < n; ++j)
     for (index_t i = 0; i < n; ++i) {
       if (i < j) {
@@ -136,7 +136,7 @@ TEST(Reference, Syr2kSymmetrizedProduct) {
   rng.fill(a);
   rng.fill(b);
   std::vector<double> c(static_cast<std::size_t>(n * n), 0.0);
-  ref::syr2k(n, k, 1.0, a.data(), n, b.data(), n, 0.0, c.data(), n);
+  ref::syr2k(Uplo::kLower, Trans::kNo, n, k, 1.0, a.data(), n, b.data(), n, 0.0, c.data(), n);
   // Diagonal entries equal 2*dot(a_i, b_i).
   for (index_t i = 0; i < n; ++i) {
     double acc = 0;
@@ -155,8 +155,10 @@ TEST(Reference, TrsmInvertsTrmm) {
   std::vector<double> b(static_cast<std::size_t>(m * n));
   rng.fill(b);
   std::vector<double> orig = b;
-  ref::trmm(m, n, l.data(), m, b.data(), m);  // B = L*B
-  ref::trsm(m, n, l.data(), m, b.data(), m);  // B = L^{-1}*B
+  ref::trmm(Side::kLeft, Uplo::kLower, Trans::kNo, m, n, 1.0, l.data(), m,
+            b.data(), m);  // B = L*B
+  ref::trsm(Side::kLeft, Uplo::kLower, Trans::kNo, m, n, 1.0, l.data(), m,
+            b.data(), m);  // B = L^{-1}*B
   for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(b[i], orig[i], 1e-10);
 }
 

@@ -102,6 +102,25 @@ TEST_P(SemanticsEdge, GemmKZeroIsBetaUpdateOnly) {
     ASSERT_DOUBLE_EQ(c[i], -0.5 * c0[i]) << GetParam() << " C[" << i << "]";
 }
 
+TEST_P(SemanticsEdge, BatchStridedAlphaZeroNeverReadsAOrB) {
+  // Regression: the reference batch loop accumulated the k-sum before
+  // multiplying by alpha, so alpha == 0 with an Inf/NaN operand produced
+  // 0 * Inf = NaN where netlib semantics (and the amortized fast path)
+  // reduce the call to the beta update. Found by fuzz --seed 7 --case 2649.
+  const index_t m = 5, n = 3, k = 2, batch = 2;
+  const index_t stride_a = m * k, stride_b = k * n, stride_c = m * n;
+  std::vector<double> a(static_cast<std::size_t>(stride_a * batch), kInf),
+      b(static_cast<std::size_t>(stride_b * batch), kNaN),
+      c(static_cast<std::size_t>(stride_c * batch));
+  rng_.fill(c);
+  const std::vector<double> c0 = c;
+  lib_->gemm_batch_strided(m, n, k, 0.0, a.data(), m, stride_a, b.data(), k,
+                           stride_b, -2.0, c.data(), m, stride_c, batch,
+                           nullptr, 0, false);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    ASSERT_DOUBLE_EQ(c[i], -2.0 * c0[i]) << GetParam() << " C[" << i << "]";
+}
+
 TEST_P(SemanticsEdge, ScalZeroClearsNaN) {
   std::vector<double> x = {kNaN, kInf, -kInf, 3.0, kNaN};
   lib_->scal(static_cast<index_t>(x.size()), 0.0, x.data());

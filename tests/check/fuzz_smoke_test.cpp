@@ -32,10 +32,15 @@ TEST(FuzzSmoke, BoundedSweepFindsNoMismatches) {
   EXPECT_GT(rep.path_runs.at("vm"), 0);
   EXPECT_GT(rep.path_runs.at("driver-serial"), 0);
   EXPECT_GT(rep.path_runs.at("driver-threaded"), 0);
-  bool any_blas = false;
-  for (const auto& [name, runs] : rep.path_runs)
+  bool any_blas = false, any_level3 = false, any_level3_engine = false;
+  for (const auto& [name, runs] : rep.path_runs) {
     any_blas |= name.rfind("blas:", 0) == 0 && runs > 0;
+    any_level3 |= name.rfind("level3:", 0) == 0 && runs > 0;
+    any_level3_engine |= name.rfind("level3-engine:", 0) == 0 && runs > 0;
+  }
   EXPECT_TRUE(any_blas);
+  EXPECT_TRUE(any_level3);
+  EXPECT_TRUE(any_level3_engine);
 }
 
 TEST(FuzzSmoke, DeterministicForFixedSeed) {
@@ -74,9 +79,33 @@ TEST(FuzzSmoke, PathTogglesDisableOnlyTheirPath) {
   const FuzzReport rep = run_fuzz(opts);
   EXPECT_TRUE(rep.ok());
   EXPECT_EQ(rep.path_runs.count("jit"), 0u);
-  for (const auto& [name, runs] : rep.path_runs)
+  for (const auto& [name, runs] : rep.path_runs) {
     EXPECT_NE(name.rfind("blas:", 0), 0u) << name << " ran " << runs;
+    // run_blas gates the Level-3 library sweep too; the engine path (and,
+    // on JIT hosts, the runtime dispatch path) are level3-only toggles.
+    EXPECT_EQ(name.find("level3:refblas"), std::string::npos)
+        << name << " ran " << runs;
+  }
   EXPECT_GT(rep.path_runs.at("vm"), 0);
+}
+
+TEST(FuzzSmoke, Level3ToggleDisablesAllLevel3Paths) {
+  FuzzOptions opts;
+  opts.seed = 12;
+  opts.cases = 15;
+  opts.run_level3 = false;
+  const FuzzReport rep = run_fuzz(opts);
+  EXPECT_TRUE(rep.ok());
+  for (const auto& [name, runs] : rep.path_runs) {
+    EXPECT_NE(name.rfind("level3:", 0), 0u) << name << " ran " << runs;
+    EXPECT_NE(name.rfind("level3-engine:", 0), 0u) << name << " ran " << runs;
+  }
+  // The classic paths are untouched by the toggle.
+  EXPECT_GT(rep.path_runs.at("vm"), 0);
+  bool any_blas = false;
+  for (const auto& [name, runs] : rep.path_runs)
+    any_blas |= name.rfind("blas:", 0) == 0 && runs > 0;
+  EXPECT_TRUE(any_blas);
 }
 
 TEST(FuzzSmoke, ReportSerializesToJson) {

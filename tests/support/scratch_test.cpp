@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "support/error.hpp"
+
 namespace augem {
 namespace {
 
@@ -34,6 +36,46 @@ TEST(Scratch, PerThreadBuffersAreDistinct) {
   std::thread other([&] { theirs = scratch_doubles(32, Scratch::kGemmPadA); });
   other.join();
   EXPECT_NE(mine, theirs);
+}
+
+TEST(ScratchLease, HoldsAndReleasesSlot) {
+  {
+    ScratchLease lease(64, Scratch::kLevel3TmpA);
+    ASSERT_NE(lease.data(), nullptr);
+    lease.data()[0] = 1.0;
+    lease.data()[63] = 2.0;
+    // A *different* slot is still freely available while this one is held.
+    ScratchLease other(16, Scratch::kLevel3TmpB);
+    EXPECT_NE(other.data(), lease.data());
+  }
+  // Both released: re-acquiring must succeed.
+  ScratchLease again(64, Scratch::kLevel3TmpA);
+  EXPECT_NE(again.data(), nullptr);
+}
+
+TEST(ScratchLease, DebugGuardRejectsAcquireWhileHeld) {
+  if (!scratch_guard_enabled())
+    GTEST_SKIP() << "live-slot accounting compiled out (NDEBUG)";
+  ScratchLease held(32, Scratch::kLevel3PackB);
+  // Nested lease of the held slot would alias (or, worse, grow and
+  // invalidate) the buffer the outer holder points into.
+  EXPECT_THROW(ScratchLease(8, Scratch::kLevel3PackB), augem::Error);
+  // A raw scratch_doubles on the held slot is the same hazard.
+  EXPECT_THROW(scratch_doubles(1024, Scratch::kLevel3PackB), augem::Error);
+}
+
+TEST(ScratchLease, GuardIsPerThread) {
+  if (!scratch_guard_enabled())
+    GTEST_SKIP() << "live-slot accounting compiled out (NDEBUG)";
+  ScratchLease held(32, Scratch::kLevel3PackB);
+  bool other_thread_ok = false;
+  std::thread other([&] {
+    // The slot is only leased on *this* thread; workers keep their own.
+    ScratchLease mine(32, Scratch::kLevel3PackB);
+    other_thread_ok = mine.data() != nullptr && mine.data() != held.data();
+  });
+  other.join();
+  EXPECT_TRUE(other_thread_ok);
 }
 
 }  // namespace
