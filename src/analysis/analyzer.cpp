@@ -24,6 +24,9 @@ AnalysisReport analyze(const opt::MInstList& insts,
     BoundsOptions bo;
     bo.prefetch_slack_bytes = options.prefetch_slack_bytes;
     run_bounds_check(insts, *options.contract, bo, report);
+    if (options.semantics != nullptr)
+      run_semantics_check(insts, *options.contract, *options.semantics,
+                          report);
   }
   return report;
 }

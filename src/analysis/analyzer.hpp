@@ -21,6 +21,7 @@
 #include "analysis/bounds.hpp"
 #include "analysis/contract.hpp"
 #include "analysis/findings.hpp"
+#include "analysis/semantics.hpp"
 #include "opt/minst.hpp"
 
 namespace augem::analysis {
@@ -28,6 +29,10 @@ namespace augem::analysis {
 struct AnalyzeOptions {
   int num_f64_params = 0;  ///< SysV SSE-class args preinitializing xmm0..n-1
   const KernelContract* contract = nullptr;  ///< enables the bounds pass
+  /// With a contract, enables the translation-validation pass: the stores
+  /// of the kernel are proven equivalent to the reference semantics named
+  /// by the spec (see analysis/semantics.hpp).
+  const SemanticsSpec* semantics = nullptr;
   int queue_reuse_window = 2;   ///< see run_queue_reuse_check
   int prefetch_slack_bytes = 1024;
 };

@@ -1,15 +1,13 @@
 #include "analysis/bounds.hpp"
 
-#include <array>
-#include <cstdlib>
 #include <map>
 #include <optional>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/cfg.hpp"
+#include "analysis/symexec.hpp"
 
 namespace augem::analysis {
 
@@ -19,250 +17,34 @@ using opt::Mem;
 using opt::MInst;
 using opt::MInstList;
 using opt::MOp;
-using opt::Vr;
 
 namespace {
 
-constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+using symexec::AccessRef;
+using symexec::IntState;
+using symexec::kNoneIdx;
+using symexec::kRsp0;
+using symexec::LoopShape;
+using symexec::SymVal;
 
-/// Entry-rsp symbol: stack addresses are RSP0-relative constants.
-const char* kRsp0 = "rsp0$";
-
-/// Abstract value: a polynomial over parameter/counter symbols, or unknown.
-using SymVal = std::optional<Poly>;
-
-struct SymInfo {
-  std::string name;
-  std::optional<Poly> lo;  ///< inclusive lower bound (over older symbols)
-  std::optional<Poly> hi;  ///< inclusive upper bound (over older symbols)
-  bool nonneg = false;
-  std::int64_t divisible_by = 1;
-};
-
-enum class Sign { kNonNeg, kNonPos, kUnknown };
-
-/// A trackable storage location: a GPR or an entry-rsp-relative frame slot.
-struct Loc {
-  bool is_slot = false;
-  Gpr reg = Gpr::kNoGpr;
-  std::int64_t off = 0;
-
-  bool operator<(const Loc& o) const {
-    if (is_slot != o.is_slot) return is_slot < o.is_slot;
-    if (is_slot) return off < o.off;
-    return reg < o.reg;
-  }
-  bool operator==(const Loc& o) const {
-    return is_slot == o.is_slot && (is_slot ? off == o.off : reg == o.reg);
-  }
-};
-
-struct State {
-  std::array<SymVal, opt::kNumGprs> gpr;
-  std::map<std::int64_t, SymVal> stack;  ///< entry-rsp-relative offset -> val
-  std::int64_t rsp_rel = 0;              ///< rsp - entry rsp (<= 0)
-};
-
-class BoundsEngine {
+/// The bounds prover: the shared symbolic engine plus the access-checking
+/// policy (what must be proven about each load/store/prefetch and what an
+/// uninterpretable shape means — a single bounds-unsupported error).
+class BoundsEngine : private symexec::SymExec {
  public:
   BoundsEngine(const MInstList& insts, const KernelContract& contract,
                const BoundsOptions& opts, AnalysisReport& report)
-      : insts_(insts), contract_(contract), opts_(opts), report_(report) {}
+      : SymExec(insts, contract), opts_(opts), report_(report) {}
 
   void run() {
-    State st = initial_state();
+    IntState st = initial_state();
     analyze_span(0, insts_.size(), st, /*check=*/true);
   }
 
  private:
-  const MInstList& insts_;
-  const KernelContract& contract_;
   const BoundsOptions& opts_;
   AnalysisReport& report_;
-
-  std::vector<SymInfo> symbols_;  // creation order; elimination runs newest
-                                  // to oldest so bounds only reference what
-                                  // remains
-  std::map<std::string, std::size_t> sym_index_;
-  std::set<std::string> pointer_syms_;
-  int n_stack_args_ = 0;
-  int fresh_ = 0;
   bool bailed_ = false;
-
-  // ---- symbols and proofs --------------------------------------------------
-
-  std::size_t add_symbol(SymInfo info) {
-    sym_index_[info.name] = symbols_.size();
-    symbols_.push_back(std::move(info));
-    return symbols_.size() - 1;
-  }
-
-  const SymInfo* find_symbol(const std::string& name) const {
-    auto it = sym_index_.find(name);
-    return it == sym_index_.end() ? nullptr : &symbols_[it->second];
-  }
-
-  /// Syntactic sign: every term has the given sign with all variables
-  /// known nonnegative. Conservative (kUnknown fails proofs).
-  Sign sign_of(const Poly& p) const {
-    bool has_pos = false, has_neg = false;
-    for (const ir::PolyTerm& t : p.terms()) {
-      for (const std::string& var : t.vars) {
-        const SymInfo* s = find_symbol(var);
-        if (s == nullptr || !s->nonneg) return Sign::kUnknown;
-      }
-      (t.coeff > 0 ? has_pos : has_neg) = true;
-    }
-    if (has_pos && has_neg) return Sign::kUnknown;
-    return has_neg ? Sign::kNonPos : Sign::kNonNeg;
-  }
-
-  /// Constant lower bound of `p` by monomial-wise symbol elimination:
-  /// a symbol with nonnegative coefficient is replaced by its lower bound,
-  /// with nonpositive coefficient by its upper bound. Substituted bounds
-  /// may reference other symbols, so sweep until only a constant remains.
-  std::optional<std::int64_t> lower_bound(Poly p) const {
-    for (int sweep = 0; sweep < 64; ++sweep) {
-      if (p.without_constant().terms().empty()) return p.constant_part();
-      bool progressed = false;
-      // Upper-bound substitutions first: they carry the contract's
-      // relational facts (mc <= ldc, counter <= extent), which must cancel
-      // against other terms before any variable is floored at its
-      // relation-free lower bound. E.g. 8*ldc - 8*mc proves >= 0 only via
-      // mc -> ldc; flooring ldc -> 0 first would lose the relation.
-      for (std::size_t i = symbols_.size(); i-- > 0;) {
-        const SymInfo& s = symbols_[i];
-        if (p.independent_of(s.name)) continue;
-        const std::optional<Poly> c = p.coefficient_of(s.name);
-        if (!c) continue;  // nonlinear in s; other substitutions may fix it
-        if (sign_of(*c) != Sign::kNonPos || !s.hi) continue;
-        p = p.substitute(s.name, *s.hi);
-        progressed = true;
-      }
-      if (progressed) continue;
-      // No relational fact applies: floor one nonnegative-coefficient
-      // variable (newest first) and re-sweep.
-      for (std::size_t i = symbols_.size(); i-- > 0;) {
-        const SymInfo& s = symbols_[i];
-        if (p.independent_of(s.name)) continue;
-        const std::optional<Poly> c = p.coefficient_of(s.name);
-        if (!c || sign_of(*c) != Sign::kNonNeg) continue;
-        if (s.lo)
-          p = p.substitute(s.name, *s.lo);
-        else if (s.nonneg)
-          p = p.substitute(s.name, Poly::constant(0));
-        else
-          continue;
-        progressed = true;
-        break;
-      }
-      if (!progressed) return std::nullopt;  // stuck: unknown sign or var
-    }
-    return std::nullopt;
-  }
-
-  bool prove_nonneg(const Poly& p) const {
-    const std::optional<std::int64_t> lb = lower_bound(p);
-    return lb.has_value() && *lb >= 0;
-  }
-
-  /// True when `p` is provably a multiple of `d` (term-wise, using the
-  /// declared divisibility of each variable; arithmetic is mod d).
-  bool divisible(const Poly& p, std::int64_t d) const {
-    if (d == 1) return true;
-    if (d == 0) return false;
-    for (const ir::PolyTerm& t : p.terms()) {
-      std::int64_t f = t.coeff % d;
-      for (const std::string& var : t.vars) {
-        const SymInfo* s = find_symbol(var);
-        const std::int64_t m = s != nullptr ? s->divisible_by : 1;
-        f = (f * (m % d)) % d;
-      }
-      if (f != 0) return false;
-    }
-    return true;
-  }
-
-  static std::optional<Poly> poly_div(const Poly& p, std::int64_t d) {
-    if (d == 0) return std::nullopt;
-    Poly q;
-    for (const ir::PolyTerm& t : p.terms()) {
-      if (t.coeff % d != 0) return std::nullopt;
-      Poly term = Poly::constant(t.coeff / d);
-      for (const std::string& var : t.vars) term = term * Poly::variable(var);
-      q = q + term;
-    }
-    return q;
-  }
-
-  static bool uses_only_older(const Poly& p, std::size_t watermark,
-                              const std::map<std::string, std::size_t>& idx) {
-    for (const ir::PolyTerm& t : p.terms())
-      for (const std::string& var : t.vars) {
-        auto it = idx.find(var);
-        if (it == idx.end() || it->second >= watermark) return false;
-      }
-    return true;
-  }
-
-  // ---- state ---------------------------------------------------------------
-
-  State initial_state() {
-    State st;
-    add_symbol({kRsp0, std::nullopt, std::nullopt, true, 1});
-
-    static constexpr Gpr kIntArgRegs[6] = {Gpr::rdi, Gpr::rsi, Gpr::rdx,
-                                           Gpr::rcx, Gpr::r8,  Gpr::r9};
-    int next_int = 0;
-    std::int64_t next_stack = 8;  // 0 is the return address
-    for (const ArgSpec& a : contract_.args) {
-      if (a.is_f64) continue;  // SSE class: vector values are untracked
-      SymInfo si;
-      si.name = a.name;
-      si.nonneg = true;  // extents are nonnegative; pointers are addresses
-      if (const ParamFacts* f = contract_.facts_for(a.name)) {
-        si.divisible_by = f->divisible_by;
-        si.hi = f->upper_bound;
-        if (f->min_value) si.lo = Poly::constant(*f->min_value);
-      }
-      if (contract_.buffer_for(a.name) != nullptr)
-        pointer_syms_.insert(a.name);
-      add_symbol(si);
-      if (next_int < 6) {
-        st.gpr[index_of(kIntArgRegs[next_int++])] = Poly::variable(a.name);
-      } else {
-        st.stack[next_stack] = Poly::variable(a.name);
-        next_stack += 8;
-        ++n_stack_args_;
-      }
-    }
-    return st;
-  }
-
-  SymVal get(const State& st, Gpr g) const {
-    if (g == Gpr::rsp)
-      return Poly::variable(kRsp0) + Poly::constant(st.rsp_rel);
-    return st.gpr[index_of(g)];
-  }
-
-  SymVal get_loc(const State& st, const Loc& l) const {
-    if (!l.is_slot) return get(st, l.reg);
-    auto it = st.stack.find(l.off);
-    return it == st.stack.end() ? std::nullopt : it->second;
-  }
-
-  SymVal addr_of(const State& st, const Mem& m) const {
-    if (!m.valid()) return std::nullopt;
-    SymVal base = get(st, m.base);
-    if (!base) return std::nullopt;
-    Poly a = *base + Poly::constant(m.disp);
-    if (m.has_index()) {
-      SymVal idx = get(st, m.index);
-      if (!idx) return std::nullopt;
-      a = a + *idx * Poly::constant(m.scale);
-    }
-    return a;
-  }
 
   // ---- findings ------------------------------------------------------------
 
@@ -276,26 +58,27 @@ class BoundsEngine {
 
   // ---- memory access checks ------------------------------------------------
 
-  void check_stack_access(std::size_t i, const State& st, std::int64_t off,
+  void check_stack_access(std::size_t i, const IntState& st, std::int64_t off,
                           int bytes, bool is_write) {
     // Own frame (spill slots + saved registers) below the entry rsp...
     if (off >= st.rsp_rel && off + bytes <= 0) return;
     // ...or the caller's stack-argument area above the return address,
     // which the kernel must not write.
-    if (!is_write && off >= 8 && off + bytes <= 8 + 8 * n_stack_args_) return;
+    if (!is_write && off >= 8 && off + bytes <= 8 + 8 * num_stack_args())
+      return;
     report_.add(i, Severity::kError, "oob-frame",
                 std::string(is_write ? "store to" : "load from") +
                     " stack offset " + std::to_string(off) +
                     " (entry-rsp-relative) outside the frame [" +
                     std::to_string(st.rsp_rel) + ", 0) and argument area [8, " +
-                    std::to_string(8 + 8 * n_stack_args_) + ")");
+                    std::to_string(8 + 8 * num_stack_args()) + ")");
   }
 
   void check_data_access(std::size_t i, const Poly& addr, int bytes,
                          bool is_write, bool is_prefetch) {
     // The address must be base + offset for exactly one contract buffer.
     const BufferSpec* buf = nullptr;
-    for (const std::string& p : pointer_syms_) {
+    for (const std::string& p : pointer_syms()) {
       const std::optional<Poly> c = addr.coefficient_of(p);
       if (!c || c->without_constant().terms().empty() == false ||
           c->constant_part() == 0)
@@ -349,426 +132,126 @@ class BoundsEngine {
                       (slack ? " + slack " + std::to_string(slack) : ""));
   }
 
-  /// Routes one memory operand to the stack or data checker. Returns the
-  /// entry-relative stack offset when the access is a frame access.
-  std::optional<std::int64_t> check_access(std::size_t i, const State& st,
-                                           const Mem& m, int bytes,
-                                           bool is_write, bool is_prefetch,
-                                           bool check) {
-    const SymVal addr = addr_of(st, m);
-    if (!addr) {
-      if (check && !is_prefetch)
-        report_.add(i, Severity::kError, "unknown-address",
-                    "memory access through a register with no symbolic "
-                    "value");
-      return std::nullopt;
-    }
-    const std::optional<Poly> c = addr->coefficient_of(kRsp0);
-    if (c && !(c->without_constant().terms().empty() &&
-               c->constant_part() == 0)) {
-      // Stack access: must be a constant entry-relative offset.
-      const Poly rem = *addr - Poly::variable(kRsp0);
-      if (!(c->without_constant().terms().empty() && c->constant_part() == 1) ||
-          !rem.without_constant().terms().empty()) {
-        if (check)
+  /// Routes one memory operand to the stack or data checker.
+  void check_access(std::size_t i, const IntState& st, const Mem& m, int bytes,
+                    bool is_write, bool is_prefetch) {
+    const AccessRef ref = classify_access(st, m);
+    switch (ref.kind) {
+      case AccessRef::kUnknown:
+        if (ref.nonconst_stack) {
           report_.add(i, Severity::kError, "unknown-address",
-                      "non-constant stack address " + addr->to_string());
-        return std::nullopt;
-      }
-      const std::int64_t off = rem.constant_part();
-      if (check && !is_prefetch) check_stack_access(i, st, off, bytes, is_write);
-      return off;
+                      "non-constant stack address " + ref.addr->to_string());
+        } else if (!is_prefetch) {
+          report_.add(i, Severity::kError, "unknown-address",
+                      "memory access through a register with no symbolic "
+                      "value");
+        }
+        break;
+      case AccessRef::kStack:
+        if (!is_prefetch)
+          check_stack_access(i, st, ref.slot, bytes, is_write);
+        break;
+      case AccessRef::kData:
+        check_data_access(i, *ref.addr, bytes, is_write, is_prefetch);
+        break;
     }
-    if (check) check_data_access(i, *addr, bytes, is_write, is_prefetch);
-    return std::nullopt;
   }
 
   // ---- abstract execution --------------------------------------------------
 
-  void exec(std::size_t i, State& st, bool check) {
+  void exec(std::size_t i, IntState& st, bool check) {
     const MInst& inst = insts_[i];
-    auto setg = [&](Gpr g, SymVal v) {
-      if (g == Gpr::kNoGpr) return;
-      if (g == Gpr::rsp) {
-        bail(i, "unexpected write to rsp");
-        return;
+    if (check) {
+      switch (inst.op) {
+        case MOp::kILoad:
+        case MOp::kIAddMem:
+        case MOp::kISubMem:
+        case MOp::kIMulMem:
+          check_access(i, st, inst.mem, 8, false, false);
+          break;
+        case MOp::kIStore:
+          check_access(i, st, inst.mem, 8, true, false);
+          break;
+        case MOp::kVLoad:
+          check_access(i, st, inst.mem, 8 * inst.width, false, false);
+          break;
+        case MOp::kVBroadcast:
+        case MOp::kFLoad:
+          check_access(i, st, inst.mem, 8, false, false);
+          break;
+        case MOp::kVStore:
+          check_access(i, st, inst.mem, 8 * inst.width, true, false);
+          break;
+        case MOp::kFStore:
+          check_access(i, st, inst.mem, 8, true, false);
+          break;
+        case MOp::kPrefetch:
+          // A prefetch cannot fault; it is checked (with slack) so that a
+          // runaway prefetch cursor is still surfaced, at warning severity.
+          check_access(i, st, inst.mem, 64, false, true);
+          break;
+        default:
+          break;
       }
-      st.gpr[index_of(g)] = std::move(v);
-    };
-    auto bin = [&](auto f) -> SymVal {
-      SymVal a = get(st, inst.gdst), b = get(st, inst.gsrc);
-      if (!a || !b) return std::nullopt;
-      return f(*a, *b);
-    };
-
-    switch (inst.op) {
-      case MOp::kIMovImm:
-        setg(inst.gdst, Poly::constant(inst.imm));
-        break;
-      case MOp::kIMov:
-        setg(inst.gdst, get(st, inst.gsrc));
-        break;
-      case MOp::kIAdd:
-        setg(inst.gdst, bin([](const Poly& a, const Poly& b) { return a + b; }));
-        break;
-      case MOp::kISub:
-        setg(inst.gdst, bin([](const Poly& a, const Poly& b) { return a - b; }));
-        break;
-      case MOp::kIMul:
-        setg(inst.gdst, bin([](const Poly& a, const Poly& b) { return a * b; }));
-        break;
-      case MOp::kIAddImm:
-        if (inst.gdst == Gpr::rsp) {
-          st.rsp_rel += inst.imm;
-        } else {
-          SymVal v = get(st, inst.gdst);
-          setg(inst.gdst, v ? SymVal(*v + Poly::constant(inst.imm)) : v);
-        }
-        break;
-      case MOp::kISubImm:
-        if (inst.gdst == Gpr::rsp) {
-          st.rsp_rel -= inst.imm;
-        } else {
-          SymVal v = get(st, inst.gdst);
-          setg(inst.gdst, v ? SymVal(*v - Poly::constant(inst.imm)) : v);
-        }
-        break;
-      case MOp::kIMulImm: {
-        SymVal v = get(st, inst.gsrc);
-        setg(inst.gdst, v ? SymVal(*v * Poly::constant(inst.imm)) : v);
-        break;
-      }
-      case MOp::kIShlImm: {
-        SymVal v = get(st, inst.gdst);
-        if (v && inst.imm >= 0 && inst.imm < 62)
-          setg(inst.gdst, *v * Poly::constant(std::int64_t{1} << inst.imm));
-        else
-          setg(inst.gdst, std::nullopt);
-        break;
-      }
-      case MOp::kINeg: {
-        SymVal v = get(st, inst.gdst);
-        setg(inst.gdst, v ? SymVal(Poly::constant(0) - *v) : v);
-        break;
-      }
-      case MOp::kLea:
-        setg(inst.gdst, addr_of(st, inst.mem));
-        break;
-
-      case MOp::kILoad: {
-        const auto slot = check_access(i, st, inst.mem, 8, false, false, check);
-        if (slot) {
-          auto it = st.stack.find(*slot);
-          setg(inst.gdst, it == st.stack.end() ? SymVal{} : it->second);
-        } else {
-          setg(inst.gdst, std::nullopt);
-        }
-        break;
-      }
-      case MOp::kIStore: {
-        const auto slot = check_access(i, st, inst.mem, 8, true, false, check);
-        if (slot) st.stack[*slot] = get(st, inst.gsrc);
-        break;
-      }
-      case MOp::kIAddMem:
-      case MOp::kISubMem:
-      case MOp::kIMulMem: {
-        const auto slot = check_access(i, st, inst.mem, 8, false, false, check);
-        SymVal mv;
-        if (slot) {
-          auto it = st.stack.find(*slot);
-          if (it != st.stack.end()) mv = it->second;
-        }
-        SymVal v = get(st, inst.gdst);
-        if (v && mv) {
-          if (inst.op == MOp::kIAddMem)
-            setg(inst.gdst, *v + *mv);
-          else if (inst.op == MOp::kISubMem)
-            setg(inst.gdst, *v - *mv);
-          else
-            setg(inst.gdst, *v * *mv);
-        } else {
-          setg(inst.gdst, std::nullopt);
-        }
-        break;
-      }
-
-      case MOp::kVLoad:
-        check_access(i, st, inst.mem, 8 * inst.width, false, false, check);
-        break;
-      case MOp::kVBroadcast:
-      case MOp::kFLoad:
-        check_access(i, st, inst.mem, 8, false, false, check);
-        break;
-      case MOp::kVStore:
-        check_access(i, st, inst.mem, 8 * inst.width, true, false, check);
-        break;
-      case MOp::kFStore:
-        check_access(i, st, inst.mem, 8, true, false, check);
-        break;
-      case MOp::kPrefetch:
-        // A prefetch cannot fault; it is checked (with slack) so that a
-        // runaway prefetch cursor is still surfaced, at warning severity.
-        check_access(i, st, inst.mem, 64, false, true, check);
-        break;
-
-      case MOp::kPush:
-        st.stack[st.rsp_rel - 8] = get(st, inst.gsrc);
-        st.rsp_rel -= 8;
-        break;
-      case MOp::kPop: {
-        auto it = st.stack.find(st.rsp_rel);
-        setg(inst.gdst, it == st.stack.end() ? SymVal{} : it->second);
-        st.rsp_rel += 8;
-        break;
-      }
-
-      default:
-        break;  // vector arithmetic, cmp, labels, comments, vzeroupper, ret
     }
+    std::string why;
+    if (!exec_int(i, st, &why)) bail(i, why);
   }
 
   // ---- loop protocol -------------------------------------------------------
 
-  /// Index of the latest conditional back-jump in (head, last) targeting
-  /// the label at `head`, or kNone.
-  std::size_t find_latch(std::size_t head, std::size_t last) const {
-    const std::string& name = insts_[head].label;
-    std::size_t latch = kNone;
-    for (std::size_t j = head + 1; j < last; ++j)
-      if ((is_cond_jump(insts_[j].op) || insts_[j].op == MOp::kJmp) &&
-          insts_[j].label == name)
-        latch = j;
-    return latch;
-  }
-
-  std::size_t prev_real(std::size_t i, std::size_t floor) const {
-    while (i-- > floor)
-      if (insts_[i].op != MOp::kComment) return i;
-    return kNone;
-  }
-
-  /// Locations written anywhere in [first, last): GPR defs plus constant
-  /// rsp-relative stores. Returns false (bail) on pushes/pops inside the
-  /// range or non-constant stack stores.
-  bool modified_locs(std::size_t first, std::size_t last, const State& st,
-                     std::set<Loc>& out) {
-    std::vector<Gpr> dg;
-    std::vector<Vr> dv;
-    for (std::size_t i = first; i < last; ++i) {
-      const MInst& inst = insts_[i];
-      if (inst.op == MOp::kPush || inst.op == MOp::kPop) {
-        bail(i, "push/pop inside a loop");
-        return false;
-      }
-      defs_of(inst, dg, dv);
-      for (Gpr g : dg) {
-        if (g == Gpr::rsp) {
-          bail(i, "rsp adjustment inside a loop");
-          return false;
-        }
-        out.insert({false, g, 0});
-      }
-      if (inst.op == MOp::kIStore || inst.op == MOp::kFStore ||
-          inst.op == MOp::kVStore) {
-        if (inst.mem.base == Gpr::rsp) {
-          if (inst.mem.has_index()) {
-            bail(i, "indexed stack store inside a loop");
-            return false;
-          }
-          out.insert({true, Gpr::kNoGpr, st.rsp_rel + inst.mem.disp});
-        }
-      }
-    }
-    return true;
-  }
-
-  /// The storage location whose value the compare at `cmp_idx` reads as its
-  /// left operand, looking back through at most one reload from a frame
-  /// slot. `floor` limits the def search.
-  std::optional<Loc> trace_cmp_lhs(std::size_t cmp_idx, std::size_t floor,
-                                   const State& st) {
-    const Gpr r = insts_[cmp_idx].gdst;
-    std::vector<Gpr> dg;
-    std::vector<Vr> dv;
-    for (std::size_t j = cmp_idx; j-- > floor;) {
-      const MInst& inst = insts_[j];
-      defs_of(inst, dg, dv);
-      bool defs_r = false;
-      for (Gpr g : dg) defs_r |= g == r;
-      if (!defs_r) continue;
-      if (inst.op == MOp::kILoad && inst.mem.base == Gpr::rsp &&
-          !inst.mem.has_index())
-        return Loc{true, Gpr::kNoGpr, st.rsp_rel + inst.mem.disp};
-      if (inst.op == MOp::kIAdd || inst.op == MOp::kIAddImm ||
-          inst.op == MOp::kISub || inst.op == MOp::kISubImm)
-        return Loc{false, r, 0};
-      return std::nullopt;  // counter produced some other way: unsupported
-    }
-    return Loc{false, r, 0};  // not redefined in range: the register itself
-  }
-
-  /// Value of the compare's right operand (the loop bound) in `st`.
-  SymVal cmp_rhs_value(std::size_t cmp_idx, const State& st) const {
-    const MInst& c = insts_[cmp_idx];
-    if (c.op == MOp::kCmpImm) return Poly::constant(c.imm);
-    return get(st, c.gsrc);
-  }
-
-  bool analyze_loop(std::size_t head, std::size_t latch, State& st,
+  bool analyze_loop(std::size_t head, std::size_t latch, IntState& st,
                     bool check) {
-    if (insts_[latch].op != MOp::kJl) {
-      bail(latch, "loop latch is not jl");
+    std::size_t where = head;
+    std::string why;
+    const std::optional<LoopShape> shape =
+        loop_shape(head, latch, st, &where, &why);
+    if (!shape) {
+      bail(where, why);
       return false;
-    }
-    const std::size_t cmp_idx = prev_real(latch, head);
-    if (cmp_idx == kNone || (insts_[cmp_idx].op != MOp::kCmp &&
-                             insts_[cmp_idx].op != MOp::kCmpImm)) {
-      bail(latch, "loop latch without a compare");
-      return false;
-    }
-
-    const std::optional<Loc> counter = trace_cmp_lhs(cmp_idx, head + 1, st);
-    if (!counter) {
-      bail(cmp_idx, "cannot identify the loop counter");
-      return false;
-    }
-    const SymVal c0v = get_loc(st, *counter);
-    if (!c0v) {
-      bail(head, "loop counter has no symbolic entry value");
-      return false;
-    }
-    const Poly c0 = *c0v;
-
-    // The bound: evaluated at loop entry; pass A verifies it does not move.
-    const SymVal bound0 = cmp_rhs_value(cmp_idx, st);
-
-    // Pre-guard: `cmp c0, B; jge END` immediately before the loop head,
-    // where END labels the instruction after the latch. Without it the
-    // first iteration is unconstrained, so the counter gets no upper bound.
-    bool guarded = false;
-    if (bound0 && latch + 1 < insts_.size() &&
-        insts_[latch + 1].op == MOp::kLabel) {
-      const std::size_t g_jge = prev_real(head, 0);
-      if (g_jge != kNone && insts_[g_jge].op == MOp::kJge &&
-          insts_[g_jge].label == insts_[latch + 1].label) {
-        const std::size_t g_cmp = prev_real(g_jge, 0);
-        if (g_cmp != kNone && (insts_[g_cmp].op == MOp::kCmp ||
-                               insts_[g_cmp].op == MOp::kCmpImm)) {
-          const SymVal glhs = get(st, insts_[g_cmp].gdst);
-          const SymVal grhs = cmp_rhs_value(g_cmp, st);
-          guarded = glhs && grhs && *glhs == c0 && *grhs == *bound0;
-        }
-      }
     }
 
     // Pass A: one abstract iteration from the entry state, checks off, to
     // discover every location's per-iteration delta.
-    const std::size_t watermark = symbols_.size();
-    std::set<Loc> modified;
-    if (!modified_locs(head + 1, latch, st, modified)) return false;
-    State s1 = st;
+    IntState s1 = st;
     if (!analyze_span(head + 1, latch, s1, /*check=*/false)) return false;
 
     // The bound must be loop-invariant.
-    const SymVal bound1 = cmp_rhs_value(cmp_idx, s1);
-    const bool bound_ok = bound0 && bound1 && *bound0 == *bound1;
+    const bool bound_ok = bound_invariant(*shape, s1);
 
     // Counter step: constant and positive.
-    const SymVal c1v = get_loc(s1, *counter);
-    if (!c1v) {
-      bail(latch, "loop counter value lost across the body");
+    const std::optional<std::int64_t> step = loop_step(*shape, s1, &where, &why);
+    if (!step) {
+      bail(where, why);
       return false;
     }
-    const Poly delta_c = *c1v - c0;
-    if (!delta_c.without_constant().terms().empty() ||
-        delta_c.constant_part() <= 0) {
-      bail(latch, "loop counter step is not a positive constant");
-      return false;
-    }
-    const std::int64_t step = delta_c.constant_part();
 
     // The counter symbol: value of the counter location at body entry.
-    SymInfo ct;
-    ct.name = "ct$" + std::to_string(fresh_++);
-    ct.lo = c0;
-    ct.nonneg = prove_nonneg(c0);
-    if (guarded && bound_ok) {
-      const Poly b = *bound0;
-      ct.hi = divisible(b - c0, step) ? b - Poly::constant(step)
-                                      : b - Poly::constant(1);
-    }
-    add_symbol(ct);
-    const Poly ctv = Poly::variable(ct.name);
-
-    // Induction state for the body: every modified location that advanced
-    // by a loop-invariant multiple of the step is re-expressed in ct.
-    auto inducted = [&](const State& base, const Poly& sym)
-        -> std::map<Loc, SymVal> {
-      std::map<Loc, SymVal> vals;
-      for (const Loc& loc : modified) {
-        if (loc == *counter) {
-          vals[loc] = sym;
-          continue;
-        }
-        const SymVal a = get_loc(base, loc);
-        const SymVal b = get_loc(s1, loc);
-        SymVal v;
-        if (a && b) {
-          const Poly d = *b - *a;
-          if (uses_only_older(d, watermark, sym_index_)) {
-            if (const std::optional<Poly> q = poly_div(d, step))
-              v = *a + *q * (sym - c0);
-          }
-        }
-        vals[loc] = v;
-      }
-      return vals;
-    };
-    auto apply = [&](State& dst, const std::map<Loc, SymVal>& vals) {
-      for (const auto& [loc, v] : vals) {
-        if (loc.is_slot) {
-          dst.stack[loc.off] = v;
-        } else {
-          dst.gpr[index_of(loc.reg)] = v;
-        }
-      }
-    };
+    const std::string ct = make_counter_symbol(*shape, *step, bound_ok);
 
     if (check) {
-      State body = st;
-      apply(body, inducted(st, ctv));
+      IntState body = st;
+      apply(body, inducted(*shape, st, s1, *step, Poly::variable(ct)));
       if (!analyze_span(head + 1, latch, body, /*check=*/true)) return false;
     }
 
-    // Exit: the counter leaves holding some value in [c0, B + step - 1]
-    // (the failed-guard value after the last iteration, or c0 when the
-    // pre-guard skipped the loop entirely); everything inductive is
-    // re-expressed in a fresh exit symbol so remainder loops keep the
-    // cursor/counter correlation.
-    SymInfo ex;
-    ex.name = "exit$" + std::to_string(fresh_++);
-    ex.lo = c0;
-    ex.nonneg = ct.nonneg;
-    if (guarded && bound_ok) {
-      const Poly hi = *bound0 + Poly::constant(step - 1);
-      if (prove_nonneg(hi - c0)) ex.hi = hi;
-    }
-    add_symbol(ex);
-    apply(st, inducted(st, Poly::variable(ex.name)));
+    // Exit: everything inductive is re-expressed in a fresh exit symbol so
+    // remainder loops keep the cursor/counter correlation.
+    const std::string ex = make_exit_symbol(*shape, *step, bound_ok);
+    apply(st, inducted(*shape, st, s1, *step, Poly::variable(ex)));
     return true;
   }
 
   // ---- structured walk -----------------------------------------------------
 
-  bool analyze_span(std::size_t first, std::size_t last, State& st,
+  bool analyze_span(std::size_t first, std::size_t last, IntState& st,
                     bool check) {
     std::size_t i = first;
     while (i < last && !bailed_) {
       const MInst& inst = insts_[i];
       if (inst.op == MOp::kLabel) {
         const std::size_t latch = find_latch(i, last);
-        if (latch != kNone) {
+        if (latch != kNoneIdx) {
           if (!analyze_loop(i, latch, st, check)) return false;
           i = latch + 1;
           continue;

@@ -35,10 +35,14 @@ KernelContract contract_for(KernelKind kind, BLayout layout,
       // leading dimension, so mc <= ldc.
       (void)layout;  // row-panel B[l*nc+j] and col-major B[j*kc+l] have the
                      // same kc*nc footprint.
-      c.facts.push_back({"mc", params.mr, v("ldc")});
-      c.facts.push_back({"nc", params.nr, std::nullopt});
-      c.facts.push_back({"kc", 1, std::nullopt});
-      c.facts.push_back({"ldc", 1, std::nullopt});
+      // The block extents are positive multiples of the register tile, so
+      // mc >= mr and nc >= nr; ldc >= mc >= mr transitively. These floors
+      // let the translation validator separate a C-tile load from the store
+      // to the previous column (one ldc stride apart).
+      c.facts.push_back({"mc", params.mr, v("ldc"), params.mr});
+      c.facts.push_back({"nc", params.nr, std::nullopt, params.nr});
+      c.facts.push_back({"kc", 1, std::nullopt, 1});
+      c.facts.push_back({"ldc", 1, std::nullopt, params.mr});
       c.buffers.push_back({"A", v("mc") * v("kc"), false});
       c.buffers.push_back({"B", v("kc") * v("nc"), false});
       c.buffers.push_back({"C", v("ldc") * v("nc"), true});

@@ -1,0 +1,1661 @@
+#include "analysis/semantics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/symexec.hpp"
+#include "opt/schedule.hpp"
+#include "support/error.hpp"
+
+namespace augem::analysis {
+
+using frontend::BLayout;
+using frontend::KernelKind;
+using ir::Poly;
+using opt::Gpr;
+using opt::Mem;
+using opt::MInst;
+using opt::MInstList;
+using opt::MOp;
+using opt::Vr;
+
+namespace {
+
+using symexec::AccessRef;
+using symexec::IntState;
+using symexec::kNoneIdx;
+using symexec::LoopShape;
+using symexec::SymVal;
+
+/// Reserved bound-variable name of every kSum body. The induction machinery
+/// never emits a counter with this name, so it cannot collide with free
+/// variables.
+const char* const kSumVar = "sum$";
+
+// ---- symbolic value DAG ----------------------------------------------------
+//
+// The abstract domain for one vector lane: real-valued expressions over
+// pristine memory, f64 arguments and opaque "visit" leaves, kept in a
+// canonical form where addition and multiplication are flattened n-ary
+// nodes with key-sorted children. Equal canonical keys mean the two values
+// are equal under reassociation/commutation of + and * — exactly the
+// rewrites the optimizer is licensed to perform — and nothing else (no
+// distribution, no cancellation beyond the +0/*0/*1 identities).
+
+enum class SK : std::uint8_t {
+  kConst,  ///< floating-point literal
+  kParam,  ///< f64 kernel argument (alpha, beta)
+  kInit,   ///< pristine memory: buffer + byte offset at kernel entry
+  kVisit,  ///< opaque value the checker cannot (or need not) resolve
+  kLoop,   ///< pass-B placeholder for a loop-carried lane (never escapes)
+  kAdd,    ///< n-ary sum; children key-sorted (commutative, associative)
+  kMul,    ///< n-ary product; children key-sorted
+  kMax,    ///< ordered max(a, b): MAXPD picks b on NaN/ties, so no sorting
+  kSum,    ///< sum of `body` over `sum$` in [lo, hi) stepping `step`
+};
+
+struct SExpr;
+using SRef = std::shared_ptr<const SExpr>;
+
+struct SExpr {
+  SK kind = SK::kConst;
+  double cval = 0.0;       // kConst
+  std::string name;        // kParam: argument; kInit/kVisit: buffer param
+  Poly off;                // kInit (and informationally kVisit): byte offset
+  int id = -1;             // kVisit / kLoop
+  std::vector<SRef> kids;  // kAdd/kMul (n), kMax (2), kSum (1: the body)
+  Poly lo, hi;             // kSum: bound-variable range [lo, hi)
+  std::int64_t step = 1;   // kSum
+
+  // Cached canonical form and facts (filled by intern()).
+  std::string key;       ///< equal keys <=> equivalent canonical values
+  bool has_sum = false;  ///< a kSum appears somewhere in the tree
+  bool has_loop = false; ///< a pass-B placeholder appears in the tree
+  int max_visit = -1;    ///< largest kVisit id in the tree (-1: none)
+};
+
+std::string fmt_const(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Finalizes a node: folds child facts upward and computes the canonical
+/// key. Every construction path funnels through here.
+SRef intern(SExpr e) {
+  for (const SRef& k : e.kids) {
+    e.has_sum = e.has_sum || k->has_sum;
+    e.has_loop = e.has_loop || k->has_loop;
+    e.max_visit = std::max(e.max_visit, k->max_visit);
+  }
+  switch (e.kind) {
+    case SK::kConst:
+      e.key = "c:" + fmt_const(e.cval);
+      break;
+    case SK::kParam:
+      e.key = "P:" + e.name;
+      break;
+    case SK::kInit:
+      e.key = "I:" + e.name + ":" + e.off.to_string();
+      break;
+    case SK::kVisit:
+      e.key = "V:" + std::to_string(e.id);
+      e.max_visit = std::max(e.max_visit, e.id);
+      break;
+    case SK::kLoop:
+      e.key = "L:" + std::to_string(e.id);
+      e.has_loop = true;
+      break;
+    case SK::kAdd: {
+      e.key = "(+";
+      for (const SRef& k : e.kids) {
+        e.key += ' ';
+        e.key += k->key;
+      }
+      e.key += ')';
+      break;
+    }
+    case SK::kMul: {
+      e.key = "(*";
+      for (const SRef& k : e.kids) {
+        e.key += ' ';
+        e.key += k->key;
+      }
+      e.key += ')';
+      break;
+    }
+    case SK::kMax:
+      e.key = "(max " + e.kids[0]->key + " " + e.kids[1]->key + ")";
+      break;
+    case SK::kSum:
+      e.has_sum = true;
+      e.key = "(sum " + e.lo.to_string() + ";" + e.hi.to_string() + ";" +
+              std::to_string(e.step) + " " + e.kids[0]->key + ")";
+      break;
+  }
+  return std::make_shared<const SExpr>(std::move(e));
+}
+
+bool key_less(const SRef& a, const SRef& b) { return a->key < b->key; }
+
+/// Substitutes integer variable `var` with `repl` inside every embedded
+/// polynomial (kInit/kVisit offsets, kSum bounds). `sum$` is a binder:
+/// substituting it must not recurse into nested kSum bodies, where the
+/// inner binder shadows it. Re-sorts kAdd/kMul children because offsets —
+/// and hence keys — change under substitution.
+SRef subst_var(const SRef& e, const std::string& var, const Poly& repl) {
+  if (!e) return e;
+  SExpr n;
+  bool changed = false;
+  auto copy = [&] {
+    if (!changed) {
+      n = *e;
+      n.has_sum = n.has_loop = false;
+      n.max_visit = -1;
+      n.key.clear();
+      changed = true;
+    }
+  };
+  switch (e->kind) {
+    case SK::kInit:
+    case SK::kVisit:
+      if (!e->off.independent_of(var)) {
+        copy();
+        n.off = e->off.substitute(var, repl);
+      }
+      break;
+    case SK::kSum: {
+      if (!e->lo.independent_of(var)) {
+        copy();
+        n.lo = e->lo.substitute(var, repl);
+      }
+      if (!e->hi.independent_of(var)) {
+        copy();
+        n.hi = e->hi.substitute(var, repl);
+      }
+      if (var != kSumVar) {
+        const SRef b = subst_var(e->kids[0], var, repl);
+        if (b != e->kids[0]) {
+          copy();
+          n.kids[0] = b;
+        }
+      }
+      break;
+    }
+    case SK::kAdd:
+    case SK::kMul:
+    case SK::kMax:
+      for (std::size_t i = 0; i < e->kids.size(); ++i) {
+        const SRef k = subst_var(e->kids[i], var, repl);
+        if (k != e->kids[i]) {
+          copy();
+          n.kids[i] = k;
+        }
+      }
+      if (changed && e->kind != SK::kMax)
+        std::sort(n.kids.begin(), n.kids.end(), key_less);
+      break;
+    default:
+      break;
+  }
+  return changed ? intern(std::move(n)) : e;
+}
+
+/// Human-readable rendering for finding messages (not the canonical key).
+void render_to(const SRef& e, std::string& out) {
+  if (out.size() > 400) return;  // truncated by render() anyway
+  if (!e) {
+    out += "<undef>";
+    return;
+  }
+  switch (e->kind) {
+    case SK::kConst:
+      out += fmt_const(e->cval);
+      break;
+    case SK::kParam:
+      out += e->name;
+      break;
+    case SK::kInit:
+      out += e->name + "[" + e->off.to_string() + "]";
+      break;
+    case SK::kVisit:
+      out += "?" + std::to_string(e->id);
+      if (!e->name.empty())
+        out += "{" + e->name + "[" + e->off.to_string() + "]}";
+      break;
+    case SK::kLoop:
+      out += "loop#" + std::to_string(e->id);
+      break;
+    case SK::kAdd:
+    case SK::kMul: {
+      const char* sep = e->kind == SK::kAdd ? " + " : " * ";
+      out += '(';
+      for (std::size_t i = 0; i < e->kids.size(); ++i) {
+        if (i) out += sep;
+        render_to(e->kids[i], out);
+      }
+      out += ')';
+      break;
+    }
+    case SK::kMax:
+      out += "max(";
+      render_to(e->kids[0], out);
+      out += ", ";
+      render_to(e->kids[1], out);
+      out += ')';
+      break;
+    case SK::kSum:
+      out += "sum{" + std::string(kSumVar) + "=" + e->lo.to_string() + ".." +
+             e->hi.to_string() + " step " + std::to_string(e->step) + "}(";
+      render_to(e->kids[0], out);
+      out += ')';
+      break;
+  }
+}
+
+std::string render(const SRef& e) {
+  std::string out;
+  render_to(e, out);
+  if (out.size() > 400) {
+    out.resize(400);
+    out += "...";
+  }
+  return out;
+}
+
+// ---- per-lane machine state ------------------------------------------------
+
+struct Lanes {
+  std::array<SRef, 4> l{};
+};
+
+/// One store into a writable data buffer: lane 0's byte offset plus the
+/// stored lane values. Later loads forward from the newest matching event.
+struct Ev {
+  std::string buf;
+  Poly off;
+  int lanes = 1;
+  std::array<SRef, 4> val{};
+};
+
+struct FpState {
+  std::array<Lanes, opt::kNumVrs> vr{};
+  std::map<std::int64_t, SRef> slots;  ///< entry-rsp-relative offset -> value
+  std::vector<Ev> events;
+};
+
+struct SemState {
+  IntState in;
+  FpState fp;
+};
+
+/// Which walk this is. Only kCheck walks verify stores and may resolve a
+/// writable-buffer load as pristine memory; the two loop-discovery walks
+/// run over states that do not represent all prior iterations, so their
+/// unresolved loads must stay opaque.
+enum class Mode { kDiscover, kInduct, kCheck };
+
+
+// ---- the engine ------------------------------------------------------------
+
+class SemEngine : private symexec::SymExec {
+ public:
+  SemEngine(const MInstList& insts, const KernelContract& contract,
+            const SemanticsSpec& spec, AnalysisReport& report)
+      : SymExec(insts, contract), spec_(spec), report_(report) {
+    zero_ = mk_const(0.0);
+    one_ = mk_const(1.0);
+  }
+
+  void run() {
+    SemState st;
+    st.in = initial_state();
+    seed_fp(st.fp);
+    walk(0, insts_.size(), st, Mode::kCheck);
+    if (!stop_ && spec_.kind == KernelKind::kDot) check_dot_return(st);
+  }
+
+ private:
+  const SemanticsSpec& spec_;
+  AnalysisReport& report_;
+  bool stop_ = false;
+  int visit_id_ = 0;
+  int loop_id_ = 0;
+  SRef zero_, one_;
+
+  // ---- findings ------------------------------------------------------------
+
+  void finding(std::size_t i, const char* kind, const std::string& msg) {
+    if (stop_) return;
+    stop_ = true;
+    report_.add(i, Severity::kError, kind, msg);
+  }
+  void unsupported(std::size_t i, const std::string& why) {
+    finding(i, "semantics-unsupported",
+            "translation validation cannot interpret this code (" + why +
+                "); the kernel is unproven");
+  }
+  void unproven(std::size_t i, const std::string& msg) {
+    finding(i, "semantics-unproven", msg);
+  }
+  void mismatch(std::size_t i, const std::string& msg) {
+    finding(i, "semantics-mismatch", msg);
+  }
+
+  // ---- expression builders -------------------------------------------------
+  //
+  // Member functions because canonicalization (phase merge, range gluing,
+  // chunk splitting) needs the engine's divisibility and sign facts.
+
+  SRef mk_const(double v) {
+    if (zero_ && v == 0.0) return zero_;
+    if (one_ && v == 1.0) return one_;
+    SExpr e;
+    e.kind = SK::kConst;
+    e.cval = v;
+    return intern(std::move(e));
+  }
+
+  SRef mk_param(const std::string& name) {
+    SExpr e;
+    e.kind = SK::kParam;
+    e.name = name;
+    return intern(std::move(e));
+  }
+
+  SRef mk_init(const std::string& buf, Poly off) {
+    SExpr e;
+    e.kind = SK::kInit;
+    e.name = buf;
+    e.off = std::move(off);
+    return intern(std::move(e));
+  }
+
+  SRef mk_visit() {
+    SExpr e;
+    e.kind = SK::kVisit;
+    e.id = visit_id_++;
+    return intern(std::move(e));
+  }
+
+  SRef mk_visit_at(const std::string& buf, Poly off) {
+    SExpr e;
+    e.kind = SK::kVisit;
+    e.id = visit_id_++;
+    e.name = buf;
+    e.off = std::move(off);
+    return intern(std::move(e));
+  }
+
+  SRef mk_loop() {
+    SExpr e;
+    e.kind = SK::kLoop;
+    e.id = loop_id_++;
+    return intern(std::move(e));
+  }
+
+  /// n-ary sum: flatten, fold constants (dropping +0), merge phase-shifted
+  /// partial sums, glue adjacent ranges, sort. Null (undefined) operands
+  /// poison the result.
+  SRef mk_add(std::vector<SRef> in) {
+    std::vector<SRef> kids;
+    double c = 0.0;
+    bool has_c = false;
+    for (const SRef& k : in) {
+      if (!k) return nullptr;
+      if (k->kind == SK::kAdd) {
+        for (const SRef& g : k->kids) {
+          if (g->kind == SK::kConst) {
+            c += g->cval;
+            has_c = true;
+          } else {
+            kids.push_back(g);
+          }
+        }
+      } else if (k->kind == SK::kConst) {
+        c += k->cval;
+        has_c = true;
+      } else {
+        kids.push_back(k);
+      }
+    }
+    if (has_c && c != 0.0) kids.push_back(mk_const(c));
+    while (phase_merge(kids) || range_glue(kids)) {
+    }
+    if (kids.empty()) return zero_;
+    if (kids.size() == 1) return kids[0];
+    std::sort(kids.begin(), kids.end(), key_less);
+    SExpr e;
+    e.kind = SK::kAdd;
+    e.kids = std::move(kids);
+    return intern(std::move(e));
+  }
+
+  /// n-ary product: flatten, fold constants (*1 drops, *0 annihilates —
+  /// a real-arithmetic identity that ignores signed zeros and NaN; see
+  /// docs/static-analysis.md), sort.
+  SRef mk_mul(std::vector<SRef> in) {
+    std::vector<SRef> kids;
+    double c = 1.0;
+    bool has_c = false;
+    for (const SRef& k : in) {
+      if (!k) return nullptr;
+      if (k->kind == SK::kMul) {
+        for (const SRef& g : k->kids) {
+          if (g->kind == SK::kConst) {
+            c *= g->cval;
+            has_c = true;
+          } else {
+            kids.push_back(g);
+          }
+        }
+      } else if (k->kind == SK::kConst) {
+        c *= k->cval;
+        has_c = true;
+      } else {
+        kids.push_back(k);
+      }
+    }
+    if (has_c && c == 0.0) return zero_;
+    if (has_c && c != 1.0) kids.push_back(mk_const(c));
+    if (kids.empty()) return one_;
+    if (kids.size() == 1) return kids[0];
+    std::sort(kids.begin(), kids.end(), key_less);
+    SExpr e;
+    e.kind = SK::kMul;
+    e.kids = std::move(kids);
+    return intern(std::move(e));
+  }
+
+  /// Ordered max: MAXPD returns src2 on NaN and on ties, so max(a,b) and
+  /// max(b,a) are NOT interchangeable and the operands stay in machine
+  /// order.
+  SRef mk_max(SRef a, SRef b) {
+    if (!a || !b) return nullptr;
+    SExpr e;
+    e.kind = SK::kMax;
+    e.kids = {std::move(a), std::move(b)};
+    return intern(std::move(e));
+  }
+
+  /// Counted sum of `body` over sum$ in [lo, hi) stepping `step`. An
+  /// unrolled body — an Add whose children are `c` phase shifts of one
+  /// base term with stride step/c — is split into the equivalent
+  /// finer-stepped sum, so unroll-by-c loops summarize identically to
+  /// their scalar remainder loops.
+  SRef mk_sum(const Poly& lo, const Poly& hi, std::int64_t step, SRef body) {
+    if (!body) return nullptr;
+    if (body->key == zero_->key || lo == hi) return zero_;
+    // A constant trip count unrolls to the plain n-ary sum: fully and
+    // partially unrolled kernels then share one canonical form with their
+    // loop-summarized siblings (and with the reference expansion).
+    {
+      const Poly span = hi - lo;
+      if (span.without_constant().terms().empty() &&
+          lo.without_constant().terms().empty()) {
+        const std::int64_t n = span.constant_part();
+        const std::int64_t trips = (n + step - 1) / step;
+        if (trips > 0 && trips <= 256) {
+          std::vector<SRef> terms;
+          for (std::int64_t t = 0; t < trips; ++t)
+            terms.push_back(subst_var(
+                body, kSumVar,
+                Poly::constant(lo.constant_part() + t * step)));
+          return mk_add(std::move(terms));
+        }
+      }
+    }
+    if (body->kind == SK::kAdd && !body->has_sum) {
+      const auto c = static_cast<std::int64_t>(body->kids.size());
+      if (c >= 2 && step % c == 0 && divisible(hi - lo, step)) {
+        const std::int64_t delta = step / c;
+        std::multiset<std::string> have;
+        for (const SRef& k : body->kids) have.insert(k->key);
+        for (const SRef& base : body->kids) {
+          std::multiset<std::string> want;
+          for (std::int64_t u = 0; u < c; ++u)
+            want.insert(subst_var(base, kSumVar,
+                                  Poly::variable(kSumVar) +
+                                      Poly::constant(u * delta))
+                            ->key);
+          if (want == have) return mk_sum(lo, hi, delta, base);
+        }
+      }
+    }
+    SExpr e;
+    e.kind = SK::kSum;
+    e.lo = lo;
+    e.hi = hi;
+    e.step = step;
+    e.kids = {std::move(body)};
+    return intern(std::move(e));
+  }
+
+  /// Merges `step` sibling sums over the same [lo, hi) with stride step>1
+  /// whose bodies are the stride's phase shifts of one base body into a
+  /// single stride-1 sum. This is how per-lane / per-register partial sums
+  /// combine after a horizontal reduction.
+  bool phase_merge(std::vector<SRef>& kids) {
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      const SRef& s = kids[i];
+      if (s->kind != SK::kSum || s->step <= 1 || s->kids[0]->has_sum)
+        continue;
+      if (!divisible(s->hi - s->lo, s->step)) continue;
+      std::set<std::size_t> taken;
+      bool ok = true;
+      for (std::int64_t v = 0; v < s->step && ok; ++v) {
+        const SRef want =
+            subst_var(s->kids[0], kSumVar,
+                      Poly::variable(kSumVar) + Poly::constant(v));
+        ok = false;
+        for (std::size_t j = 0; j < kids.size(); ++j) {
+          if (taken.count(j)) continue;
+          const SRef& t = kids[j];
+          if (t->kind == SK::kSum && t->step == s->step && t->lo == s->lo &&
+              t->hi == s->hi && t->kids[0]->key == want->key) {
+            taken.insert(j);
+            ok = true;
+            break;
+          }
+        }
+      }
+      if (!ok) continue;
+      const SRef merged = mk_sum(s->lo, s->hi, 1, s->kids[0]);
+      std::vector<SRef> out;
+      for (std::size_t j = 0; j < kids.size(); ++j)
+        if (!taken.count(j)) out.push_back(kids[j]);
+      if (merged->key != zero_->key) out.push_back(merged);
+      kids = std::move(out);
+      return true;
+    }
+    return false;
+  }
+
+  /// Glues sum(lo,m) + sum(m,hi) with equal stride and body into
+  /// sum(lo,hi): a main loop and its remainder loop become one range.
+  bool range_glue(std::vector<SRef>& kids) {
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      for (std::size_t j = 0; j < kids.size(); ++j) {
+        if (i == j) continue;
+        const SRef& x = kids[i];
+        const SRef& y = kids[j];
+        if (x->kind != SK::kSum || y->kind != SK::kSum) continue;
+        if (x->step != y->step || x->kids[0]->key != y->kids[0]->key)
+          continue;
+        if (!(x->hi == y->lo)) continue;
+        if (x->step > 1 && !divisible(x->hi - x->lo, x->step)) continue;
+        const SRef merged = mk_sum(x->lo, y->hi, x->step, x->kids[0]);
+        std::vector<SRef> out;
+        for (std::size_t k = 0; k < kids.size(); ++k)
+          if (k != i && k != j) out.push_back(kids[k]);
+        if (merged->key != zero_->key) out.push_back(merged);
+        kids = std::move(out);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // ---- state seeding -------------------------------------------------------
+
+  /// Entry FP state: every lane of every register is opaque garbage; then
+  /// the f64-class arguments land in xmm0… (lane 0 only — the SysV upper
+  /// bits are undefined).
+  void seed_fp(FpState& fp) {
+    for (auto& r : fp.vr)
+      for (auto& v : r.l) v = mk_visit();
+    int next_xmm = 0;
+    for (const ArgSpec& a : contract_.args)
+      if (a.is_f64 && next_xmm < 8)
+        fp.vr[next_xmm++].l[0] = mk_param(a.name);
+  }
+
+  // ---- structured walk -----------------------------------------------------
+
+  void walk(std::size_t first, std::size_t last, SemState& st, Mode mode) {
+    std::size_t i = first;
+    while (i < last && !stop_) {
+      const MInst& inst = insts_[i];
+      if (inst.op == MOp::kLabel) {
+        const std::size_t latch = find_latch(i, last);
+        if (latch != kNoneIdx) {
+          sem_loop(i, latch, st, mode);
+          i = latch + 1;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      if (is_cond_jump(inst.op)) {
+        // Forward guards fall through (the loop protocol's exit symbol
+        // covers the skip path); a backward jump here is not the counted
+        // idiom.
+        bool forward = false;
+        for (std::size_t j = i + 1; j < insts_.size() && !forward; ++j)
+          forward = insts_[j].op == MOp::kLabel && insts_[j].label == inst.label;
+        if (!forward) {
+          unsupported(i, "backward jump outside the counted-loop idiom");
+          return;
+        }
+        ++i;
+        continue;
+      }
+      if (inst.op == MOp::kJmp) {
+        unsupported(i, "unconditional jump");
+        return;
+      }
+      exec_sem(i, st, mode);
+      ++i;
+    }
+  }
+
+  // ---- one instruction -----------------------------------------------------
+
+  int vidx(Vr v) const { return opt::index_of(v); }
+
+  void exec_sem(std::size_t i, SemState& st, Mode mode) {
+    const MInst& inst = insts_[i];
+    auto& vr = st.fp.vr;
+    const int w = inst.width;
+    switch (inst.op) {
+      case MOp::kVZero: {
+        for (auto& v : vr[vidx(inst.vdst)].l) v = zero_;
+        return;
+      }
+      case MOp::kVLoad:
+      case MOp::kFLoad: {
+        Lanes d;
+        load_lanes(i, st, inst.mem, w, d, mode);
+        for (int k = w; k < 4; ++k) d.l[k] = zero_;
+        vr[vidx(inst.vdst)] = d;
+        return;
+      }
+      case MOp::kVBroadcast: {
+        Lanes d;
+        load_lanes(i, st, inst.mem, 1, d, mode);
+        for (int k = 1; k < w; ++k) d.l[k] = d.l[0];
+        for (int k = w; k < 4; ++k) d.l[k] = zero_;
+        vr[vidx(inst.vdst)] = d;
+        return;
+      }
+      case MOp::kVStore:
+      case MOp::kFStore:
+        do_store(i, st, inst.mem, w, vr[vidx(inst.vsrc1)], mode);
+        return;
+      case MOp::kVMov:
+        vr[vidx(inst.vdst)] = vr[vidx(inst.vsrc1)];
+        return;
+      case MOp::kVMul:
+      case MOp::kVAdd:
+      case MOp::kVMax: {
+        const Lanes a = vr[vidx(inst.vsrc1)];
+        const Lanes b = vr[vidx(inst.vsrc2)];
+        Lanes d = a;  // upper lanes pass src1 through
+        for (int k = 0; k < w; ++k) {
+          if (inst.op == MOp::kVMul)
+            d.l[k] = mk_mul({a.l[k], b.l[k]});
+          else if (inst.op == MOp::kVAdd)
+            d.l[k] = mk_add({a.l[k], b.l[k]});
+          else
+            d.l[k] = mk_max(a.l[k], b.l[k]);
+        }
+        vr[vidx(inst.vdst)] = d;
+        return;
+      }
+      case MOp::kVFma231: {
+        const Lanes a = vr[vidx(inst.vsrc1)];
+        const Lanes b = vr[vidx(inst.vsrc2)];
+        Lanes d = vr[vidx(inst.vdst)];  // upper lanes keep the accumulator
+        for (int k = 0; k < w; ++k)
+          d.l[k] = mk_add({d.l[k], mk_mul({a.l[k], b.l[k]})});
+        vr[vidx(inst.vdst)] = d;
+        return;
+      }
+      case MOp::kVFma4: {
+        const Lanes a = vr[vidx(inst.vsrc1)];
+        const Lanes b = vr[vidx(inst.vsrc2)];
+        const Lanes c = vr[vidx(inst.vsrc3)];
+        Lanes d = a;  // upper lanes pass src1 through
+        for (int k = 0; k < w; ++k)
+          d.l[k] = mk_add({mk_mul({a.l[k], b.l[k]}), c.l[k]});
+        vr[vidx(inst.vdst)] = d;
+        return;
+      }
+      case MOp::kVShuf: {
+        const Lanes a = vr[vidx(inst.vsrc1)];
+        const Lanes b = vr[vidx(inst.vsrc2)];
+        Lanes d = a;
+        d.l[0] = a.l[inst.imm & 1];
+        d.l[1] = b.l[(inst.imm >> 1) & 1];
+        if (w == 4) {
+          d.l[2] = a.l[2 + ((inst.imm >> 2) & 1)];
+          d.l[3] = b.l[2 + ((inst.imm >> 3) & 1)];
+        }
+        vr[vidx(inst.vdst)] = d;
+        return;
+      }
+      case MOp::kVPerm128: {
+        const Lanes a = vr[vidx(inst.vsrc1)];
+        const Lanes b = vr[vidx(inst.vsrc2)];
+        auto pick = [&](std::int64_t sel, int lane) -> SRef {
+          switch (sel & 3) {
+            case 0: return a.l[lane];
+            case 1: return a.l[2 + lane];
+            case 2: return b.l[lane];
+            default: return b.l[2 + lane];
+          }
+        };
+        Lanes d;
+        d.l[0] = pick(inst.imm, 0);
+        d.l[1] = pick(inst.imm, 1);
+        d.l[2] = pick(inst.imm >> 4, 0);
+        d.l[3] = pick(inst.imm >> 4, 1);
+        vr[vidx(inst.vdst)] = d;
+        return;
+      }
+      case MOp::kVBlend: {
+        const Lanes a = vr[vidx(inst.vsrc1)];
+        const Lanes b = vr[vidx(inst.vsrc2)];
+        Lanes d = a;
+        for (int k = 0; k < w; ++k)
+          d.l[k] = ((inst.imm >> k) & 1) ? b.l[k] : a.l[k];
+        vr[vidx(inst.vdst)] = d;
+        return;
+      }
+      case MOp::kVExtractHigh: {
+        const Lanes s = vr[vidx(inst.vsrc1)];
+        Lanes d;
+        d.l[0] = s.l[2];
+        d.l[1] = s.l[3];
+        d.l[2] = zero_;
+        d.l[3] = zero_;
+        vr[vidx(inst.vdst)] = d;
+        return;
+      }
+      case MOp::kVZeroUpper: {
+        for (auto& r : vr) {
+          r.l[2] = zero_;
+          r.l[3] = zero_;
+        }
+        return;
+      }
+      default: {
+        // Integer / control path. An integer store can overwrite an FP
+        // frame slot — or, if it escapes to a data buffer, corrupt the
+        // value the FP tracking believes is there.
+        if (inst.op == MOp::kIStore) {
+          const AccessRef ref = classify_access(st.in, inst.mem);
+          if (ref.kind == AccessRef::kStack) {
+            st.fp.slots.erase(ref.slot);
+          } else {
+            const auto dr = ref.addr ? data_ref(*ref.addr) : std::nullopt;
+            if (!dr || dr->first->writable) {
+              unsupported(i, "integer store to a data address");
+              return;
+            }
+          }
+        } else if (inst.op == MOp::kPush) {
+          st.fp.slots.erase(st.in.rsp_rel - 8);
+        }
+        std::string why;
+        if (!exec_int(i, st.in, &why)) unsupported(i, why);
+        return;
+      }
+    }
+  }
+
+  // ---- loads ---------------------------------------------------------------
+
+  void load_lanes(std::size_t i, SemState& st, const Mem& m, int width,
+                  Lanes& out, Mode mode) {
+    const AccessRef ref = classify_access(st.in, m);
+    if (ref.kind == AccessRef::kStack) {
+      for (int k = 0; k < width; ++k) {
+        auto it = st.fp.slots.find(ref.slot + 8 * k);
+        out.l[k] =
+            (it != st.fp.slots.end() && it->second) ? it->second : mk_visit();
+      }
+      return;
+    }
+    if (ref.kind == AccessRef::kData) {
+      const auto dr = data_ref(*ref.addr);
+      if (dr) {
+        const BufferSpec* buf = dr->first;
+        if (!buf->writable) {
+          for (int k = 0; k < width; ++k)
+            out.l[k] = mk_init(buf->param, dr->second + Poly::constant(8 * k));
+          return;
+        }
+        for (int k = 0; k < width; ++k)
+          out.l[k] = resolve_writable(st, buf->param,
+                                      dr->second + Poly::constant(8 * k), mode);
+        return;
+      }
+    }
+    (void)i;
+    for (int k = 0; k < width; ++k) out.l[k] = mk_visit();
+  }
+
+  /// One lane loaded from a writable buffer: forward from the newest store
+  /// event that provably covers it, fall through events proven disjoint,
+  /// and go opaque on any possible partial overlap. With no matching event
+  /// the memory is pristine — but only a kCheck walk may conclude that;
+  /// the discovery walks do not carry events for prior iterations.
+  SRef resolve_writable(SemState& st, const std::string& buf, const Poly& offk,
+                        Mode mode) {
+    for (auto it = st.fp.events.rbegin(); it != st.fp.events.rend(); ++it) {
+      const Ev& ev = *it;
+      if (ev.buf != buf) continue;  // distinct buffers never overlap
+      const Poly d = offk - ev.off;
+      if (d.without_constant().terms().empty()) {
+        const std::int64_t c = d.constant_part();
+        if (c >= 8 * ev.lanes || c <= -8) continue;  // disjoint
+        if (c % 8 == 0 && c >= 0) return ev.val[c / 8];
+        return mk_visit_at(buf, offk);  // partial overlap
+      }
+      if (prove_nonneg(offk - ev.off - Poly::constant(8 * ev.lanes)) ||
+          prove_nonneg(ev.off - offk - Poly::constant(8)))
+        continue;                     // provably disjoint
+      return mk_visit_at(buf, offk);  // may alias
+    }
+    if (mode == Mode::kCheck) return mk_init(buf, offk);
+    return mk_visit_at(buf, offk);
+  }
+
+  // ---- stores --------------------------------------------------------------
+
+  void do_store(std::size_t i, SemState& st, const Mem& m, int width,
+                const Lanes& src, Mode mode) {
+    const AccessRef ref = classify_access(st.in, m);
+    if (ref.kind == AccessRef::kStack) {
+      for (int k = 0; k < width; ++k) {
+        st.fp.slots[ref.slot + 8 * k] = src.l[k];
+        // The slot no longer holds whatever integer value it held.
+        auto it = st.in.stack.find(ref.slot + 8 * k);
+        if (it != st.in.stack.end()) it->second = std::nullopt;
+      }
+      return;
+    }
+    if (ref.kind == AccessRef::kData) {
+      const auto dr = data_ref(*ref.addr);
+      if (dr) {
+        const BufferSpec* buf = dr->first;
+        if (!buf->writable) return;  // the bounds pass owns readonly-store
+        if (mode == Mode::kCheck) check_store(i, buf, dr->second, width, src);
+        Ev ev;
+        ev.buf = buf->param;
+        ev.off = dr->second;
+        ev.lanes = width;
+        for (int k = 0; k < width; ++k) ev.val[k] = src.l[k];
+        st.fp.events.push_back(std::move(ev));
+        return;
+      }
+    }
+    // An unattributable store could hit the output buffer; every walk must
+    // refuse it or later loads would be unsound.
+    unsupported(i, "store to an address the checker cannot attribute to a "
+                   "frame slot or kernel buffer");
+  }
+
+  // ---- loops ---------------------------------------------------------------
+
+  /// Vector registers and FP frame slots the body can write. Mirrors
+  /// modified_locs for the FP state.
+  bool fp_modified(std::size_t first, std::size_t last, const SemState& st,
+                   std::set<int>& regs, std::set<std::int64_t>& slots,
+                   std::size_t* where, std::string* why) const {
+    std::vector<Gpr> dg;
+    std::vector<Vr> dv;
+    for (std::size_t i = first; i < last; ++i) {
+      const MInst& inst = insts_[i];
+      if (inst.op == MOp::kVZeroUpper) {
+        for (int r = 0; r < opt::kNumVrs; ++r) regs.insert(r);
+        continue;
+      }
+      defs_of(inst, dg, dv);
+      for (Vr v : dv) regs.insert(opt::index_of(v));
+      if (inst.op == MOp::kVStore || inst.op == MOp::kFStore ||
+          inst.op == MOp::kIStore) {
+        if (inst.mem.base == Gpr::rsp) {
+          if (inst.mem.has_index()) {
+            *where = i;
+            *why = "indexed stack store inside a loop";
+            return false;
+          }
+          const int w = inst.op == MOp::kVStore ? inst.width : 1;
+          for (int k = 0; k < w; ++k)
+            slots.insert(st.in.rsp_rel + inst.mem.disp + 8 * k);
+        }
+      }
+    }
+    return true;
+  }
+
+  /// How one loop-carried lane evolved across one generic iteration.
+  enum class LK { kUnchanged, kInductive, kOpaque };
+  struct LaneSum {
+    LK lk = LK::kOpaque;
+    SRef delta;  ///< kInductive: the per-iteration added term(s)
+  };
+
+  void sem_loop(std::size_t head, std::size_t latch, SemState& st, Mode mode) {
+    std::size_t where = head;
+    std::string why;
+    const std::optional<LoopShape> shape =
+        loop_shape(head, latch, st.in, &where, &why);
+    if (!shape) {
+      unsupported(where, why);
+      return;
+    }
+
+    std::set<int> mod_vr;
+    std::set<std::int64_t> mod_slots;
+    if (!fp_modified(head + 1, latch, st, mod_vr, mod_slots, &where, &why)) {
+      unsupported(where, why);
+      return;
+    }
+
+    // Pass A (discover): one abstract iteration from the entry state to
+    // learn the integer deltas; the FP side of this pass is discarded.
+    SemState sA = st;
+    walk(head + 1, latch, sA, Mode::kDiscover);
+    if (stop_) return;
+
+    const bool bound_ok = bound_invariant(*shape, sA.in);
+    const std::optional<std::int64_t> step =
+        loop_step(*shape, sA.in, &where, &why);
+    if (!step) {
+      unsupported(where, why);
+      return;
+    }
+
+    const std::string ct = make_counter_symbol(*shape, *step, bound_ok);
+    const Poly ctp = Poly::variable(ct);
+
+    // Pass B (induct): rerun the body as a generic iteration. The integer
+    // state is the inducted one; every FP lane/slot the body can write
+    // starts as a unique placeholder so its exit expression exposes the
+    // per-iteration delta. Events are cleared: prior iterations' stores
+    // are not represented here, so loads must not forward across them.
+    SemState sB;
+    sB.in = st.in;
+    apply(sB.in, inducted(*shape, st.in, sA.in, *step, ctp));
+    sB.fp = st.fp;
+    sB.fp.events.clear();
+    std::map<std::pair<int, int>, SRef> vr_ph;
+    std::map<std::int64_t, SRef> slot_ph;
+    for (int r : mod_vr)
+      for (int k = 0; k < 4; ++k) {
+        const SRef p = mk_loop();
+        vr_ph[{r, k}] = p;
+        sB.fp.vr[r].l[k] = p;
+      }
+    for (std::int64_t s : mod_slots) {
+      const SRef p = mk_loop();
+      slot_ph[s] = p;
+      sB.fp.slots[s] = p;
+    }
+    const int vwm = visit_id_;
+    walk(head + 1, latch, sB, Mode::kInduct);
+    if (stop_) return;
+
+    // Classify every seeded lane: unchanged, inductive (placeholder plus a
+    // delta that is loop-invariant — no placeholders, no visits minted
+    // during pass B, no nested sums that would capture the binder), or
+    // opaque.
+    auto classify = [&](const SRef& ph, const SRef& res) -> LaneSum {
+      if (res && res->key == ph->key) return {LK::kUnchanged, nullptr};
+      if (res && res->kind == SK::kAdd) {
+        std::vector<SRef> rest;
+        bool seen = false;
+        for (const SRef& k : res->kids) {
+          if (!seen && k->key == ph->key) {
+            seen = true;
+            continue;
+          }
+          rest.push_back(k);
+        }
+        if (seen) {
+          bool ok = true;
+          for (const SRef& k : rest)
+            ok = ok && !k->has_loop && k->max_visit < vwm && !k->has_sum;
+          if (ok) return {LK::kInductive, mk_add(std::move(rest))};
+        }
+      }
+      return {LK::kOpaque, nullptr};
+    };
+    std::map<std::pair<int, int>, LaneSum> vr_cls;
+    for (const auto& [rk, ph] : vr_ph)
+      vr_cls[rk] = classify(ph, sB.fp.vr[rk.first].l[rk.second]);
+    std::map<std::int64_t, LaneSum> slot_cls;
+    for (const auto& [s, ph] : slot_ph) {
+      auto it = sB.fp.slots.find(s);
+      slot_cls[s] =
+          classify(ph, it == sB.fp.slots.end() ? nullptr : it->second);
+    }
+
+    // A summarized lane at counter value `upto`: entry value plus the
+    // accumulated deltas of the iterations in [c0, upto).
+    auto summed = [&](const SRef& entry, const LaneSum& c,
+                      const Poly& upto) -> SRef {
+      switch (c.lk) {
+        case LK::kUnchanged:
+          return entry;
+        case LK::kInductive: {
+          if (!entry) return nullptr;
+          const SRef body = subst_var(c.delta, ct, Poly::variable(kSumVar));
+          return mk_add({entry, mk_sum(shape->c0, upto, *step, body)});
+        }
+        case LK::kOpaque:
+        default:
+          return mk_visit();
+      }
+    };
+    // Stores of the iterations in [c0, upto): each pass-B event retagged
+    // at a universally quantified counter value, its payload replaced by
+    // opaque visits — the concrete pass-B lanes could leak placeholders
+    // through loop-invariant address forwarding.
+    auto retag_events = [&](std::vector<Ev>& out, const Poly& upto) {
+      if (sB.fp.events.empty()) return;
+      symexec::SymInfo kappa;
+      kappa.name = "all$" + std::to_string(fresh_++);
+      kappa.lo = shape->c0;
+      kappa.hi = upto - Poly::constant(*step);
+      kappa.nonneg = prove_nonneg(shape->c0);
+      if (divisible(shape->c0, *step)) kappa.divisible_by = *step;
+      add_symbol(kappa);
+      const Poly kp = Poly::variable(kappa.name);
+      for (const Ev& ev : sB.fp.events) {
+        Ev r;
+        r.buf = ev.buf;
+        r.off = ev.off.substitute(ct, kp);
+        r.lanes = ev.lanes;
+        for (int k = 0; k < ev.lanes; ++k)
+          r.val[k] = mk_visit_at(r.buf, r.off + Poly::constant(8 * k));
+        out.push_back(std::move(r));
+      }
+    };
+
+    // Pass C (check): the body once more at the generic iteration, with
+    // real prefix values and the prior iterations' stores visible, and
+    // store checking on.
+    if (mode == Mode::kCheck) {
+      SemState sC;
+      sC.in = st.in;
+      apply(sC.in, inducted(*shape, st.in, sA.in, *step, ctp));
+      sC.fp.vr = st.fp.vr;
+      sC.fp.slots = st.fp.slots;
+      for (const auto& [rk, c] : vr_cls)
+        sC.fp.vr[rk.first].l[rk.second] =
+            summed(st.fp.vr[rk.first].l[rk.second], c, ctp);
+      for (const auto& [s, c] : slot_cls) {
+        auto it = st.fp.slots.find(s);
+        sC.fp.slots[s] =
+            summed(it == st.fp.slots.end() ? nullptr : it->second, c, ctp);
+      }
+      sC.fp.events = st.fp.events;
+      retag_events(sC.fp.events, ctp);
+      walk(head + 1, latch, sC, Mode::kCheck);
+      if (stop_) return;
+    }
+
+    // Exit. The integer state always leaves through the exit symbol (the
+    // zero-trip path forbids assuming the bound was reached); the FP side
+    // may use the exact bound when the trip count provably lands on it —
+    // a remainder loop then starts at the symbolic integer exit and its
+    // partial sum glues to (or is empty alongside) the main loop's.
+    const std::string ex = make_exit_symbol(*shape, *step, bound_ok);
+    Poly efp = Poly::variable(ex);
+    if (shape->guarded && bound_ok && shape->bound0) {
+      const Poly b = *shape->bound0;
+      if (divisible(b - shape->c0, *step) && prove_nonneg(b - shape->c0))
+        efp = b;
+    }
+    FpState exit_fp;
+    exit_fp.vr = st.fp.vr;
+    exit_fp.slots = st.fp.slots;
+    for (const auto& [rk, c] : vr_cls)
+      exit_fp.vr[rk.first].l[rk.second] =
+          summed(st.fp.vr[rk.first].l[rk.second], c, efp);
+    for (const auto& [s, c] : slot_cls) {
+      auto it = st.fp.slots.find(s);
+      exit_fp.slots[s] =
+          summed(it == st.fp.slots.end() ? nullptr : it->second, c, efp);
+    }
+    exit_fp.events = st.fp.events;
+    retag_events(exit_fp.events, efp);
+    apply(st.in, inducted(*shape, st.in, sA.in, *step, Poly::variable(ex)));
+    st.fp = std::move(exit_fp);
+  }
+
+  // ---- the reference semantics ---------------------------------------------
+
+  void check_store(std::size_t i, const BufferSpec* buf, const Poly& off,
+                   int width, const Lanes& src) {
+    for (int k = 0; k < width && !stop_; ++k)
+      check_lane(i, buf, off + Poly::constant(8 * k), src.l[k]);
+  }
+
+  void check_lane(std::size_t i, const BufferSpec* buf, const Poly& offk,
+                  const SRef& got) {
+    (void)buf;  // the kernel kind has exactly one writable buffer
+    switch (spec_.kind) {
+      case KernelKind::kGemm:
+        if (spec_.small)
+          check_small_lane(i, offk, got);
+        else
+          check_gemm_lane(i, offk, got);
+        break;
+      case KernelKind::kGemv:
+        check_gemv_lane(i, offk, got);
+        break;
+      case KernelKind::kAxpy:
+        check_axpy_lane(i, offk, got);
+        break;
+      case KernelKind::kScal:
+        check_scal_lane(i, offk, got);
+        break;
+      case KernelKind::kDot:
+        unsupported(i, "dot kernels must not store to a data buffer");
+        break;
+    }
+  }
+
+  /// Shared verdict: equal canonical keys prove the lane; otherwise any
+  /// opaque part means "unproven", a fully resolved difference means the
+  /// machine code computes the wrong value.
+  void verdict(std::size_t i, const std::string& elem, const SRef& got,
+               const SRef& want) {
+    if (!got) {
+      unproven(i, elem + ": stored value is undefined");
+      return;
+    }
+    if (want && got->key == want->key) return;
+    if (got->has_loop || got->max_visit >= 0)
+      unproven(i, elem + ": stored value has parts the checker cannot "
+                        "resolve: got " +
+                   render(got) + "; want " + render(want));
+    else
+      mismatch(i, elem + ": stored value is not a permitted reassociation "
+                        "of the reference semantics: got " +
+                   render(got) + "; want " + render(want));
+  }
+
+  /// Decodes a C element from its byte offset: e = j*ldc + i (elements).
+  struct CElem {
+    Poly i, j;
+    std::string name;
+  };
+  std::optional<CElem> decode_c(std::size_t idx, const Poly& offk) {
+    const std::optional<Poly> e = poly_div(offk, 8);
+    if (!e) {
+      unproven(idx, "store to C at byte offset " + offk.to_string() +
+                        ": offset is not a multiple of the element size");
+      return std::nullopt;
+    }
+    const std::optional<Poly> j = e->coefficient_of("ldc");
+    if (!j) {
+      unproven(idx, "store to C at element offset " + e->to_string() +
+                        ": cannot decode the (i, j) element indices");
+      return std::nullopt;
+    }
+    CElem el;
+    el.j = *j;
+    el.i = *e - *j * Poly::variable("ldc");
+    el.name =
+        "C[i = " + el.i.to_string() + ", j = " + el.j.to_string() + "]";
+    return el;
+  }
+
+  // GEMM inner kernel: C[j*ldc+i] += sum_l A[l*mc+i] * B(l,j) with
+  // B(l,j) = B[l*nc+j] (row panel) or B[j*kc+l] (column major). Alpha/beta
+  // scaling and the netlib short-circuits live in the blocked drivers, not
+  // in this kernel (see docs/static-analysis.md).
+  void check_gemm_lane(std::size_t i, const Poly& offk, const SRef& got) {
+    const std::optional<CElem> el = decode_c(i, offk);
+    if (!el) return;
+    const Poly sigma = Poly::variable(kSumVar);
+    const Poly aoff =
+        Poly::constant(8) * (sigma * Poly::variable("mc") + el->i);
+    const Poly boff =
+        spec_.layout == BLayout::kRowPanel
+            ? Poly::constant(8) * (sigma * Poly::variable("nc") + el->j)
+            : Poly::constant(8) * (el->j * Poly::variable("kc") + sigma);
+    const SRef prod = mk_mul({mk_init("A", aoff), mk_init("B", boff)});
+    const SRef want =
+        mk_add({mk_init("C", offk),
+                mk_sum(Poly::constant(0), Poly::variable("kc"), 1, prod)});
+    verdict(i, el->name, got, want);
+  }
+
+  // Small GEMM: C[j*ldc+i] = epilogue(C, sum_l A[l*lda+i]*B[j*ldb+l]) with
+  // the fused scale/bias/relu epilogue in exactly that order.
+  void check_small_lane(std::size_t i, const Poly& offk, const SRef& got) {
+    const frontend::SmallGemmSpec& sg = *spec_.small;
+    const std::optional<CElem> el = decode_c(i, offk);
+    if (!el) return;
+    std::vector<SRef> prods;
+    prods.reserve(sg.k);
+    for (int l = 0; l < sg.k; ++l)
+      prods.push_back(mk_mul(
+          {mk_init("A", Poly::constant(8) *
+                            (Poly::constant(l) * Poly::variable("lda") +
+                             el->i)),
+           mk_init("B", Poly::constant(8) *
+                            (el->j * Poly::variable("ldb") +
+                             Poly::constant(l)))}));
+    const SRef acc = mk_add(std::move(prods));
+    SRef want;
+    if (sg.epilogue.scale)
+      want = mk_add({mk_mul({mk_init("C", offk), mk_param("beta")}),
+                     mk_mul({acc, mk_param("alpha")})});
+    else
+      want = mk_add({mk_init("C", offk), acc});
+    if (sg.epilogue.bias)
+      want = mk_add({want, mk_init("bias", Poly::constant(8) * el->i)});
+    if (sg.epilogue.relu) want = mk_max(want, zero_);
+    verdict(i, el->name, got, want);
+  }
+
+  // GEMV (column-traversal AXPY form): each store must be the carried
+  // y[j] — the pristine element or an opaque revisit of exactly this
+  // offset — plus A[i*lda+j] * x[i] for the current outer iteration. The
+  // per-outer-iteration delta is checked structurally; that the outer loop
+  // applies it exactly once per i is a documented limit (the fuzz harness
+  // owns cross-iteration multiplicity).
+  void check_gemv_lane(std::size_t i, const Poly& offk, const SRef& got) {
+    const std::optional<Poly> e = poly_div(offk, 8);
+    if (!e) {
+      unproven(i, "store to y at byte offset " + offk.to_string() +
+                      ": offset is not a multiple of the element size");
+      return;
+    }
+    const std::string elem = "y[j = " + e->to_string() + "]";
+    if (!got) {
+      unproven(i, elem + ": stored value is undefined");
+      return;
+    }
+    auto fail = [&] {
+      const std::string want =
+          "y[" + offk.to_string() + "] + A[8*(i*lda) + " + offk.to_string() +
+          "] * x[8*i]";
+      if (got->has_loop || got->max_visit >= 0)
+        unproven(i, elem + ": stored value has parts the checker cannot "
+                          "resolve: got " +
+                     render(got) + "; want " + want);
+      else
+        mismatch(i, elem + ": stored value is not a permitted "
+                          "reassociation of the reference semantics: got " +
+                     render(got) + "; want " + want);
+    };
+    if (got->kind != SK::kAdd || got->kids.size() != 2) return fail();
+    const SRef* leaf = nullptr;
+    const SRef* prod = nullptr;
+    for (const SRef& k : got->kids) {
+      if ((k->kind == SK::kVisit || k->kind == SK::kInit) && k->name == "y")
+        leaf = &k;
+      else if (k->kind == SK::kMul && k->kids.size() == 2)
+        prod = &k;
+    }
+    if (!leaf || !prod || !((*leaf)->off == offk)) return fail();
+    const SRef* ai = nullptr;
+    const SRef* xi = nullptr;
+    for (const SRef& k : (*prod)->kids) {
+      if (k->kind != SK::kInit) return fail();
+      if (k->name == "A")
+        ai = &k;
+      else if (k->name == "x")
+        xi = &k;
+    }
+    if (!ai || !xi) return fail();
+    const std::optional<Poly> q = poly_div((*xi)->off, 8);
+    if (!q) return fail();
+    const Poly want_a = Poly::constant(8) * *q * Poly::variable("lda") + offk;
+    if (!((*ai)->off == want_a)) return fail();
+  }
+
+  // AXPY: y[i] += x[i] * alpha.
+  void check_axpy_lane(std::size_t i, const Poly& offk, const SRef& got) {
+    const std::optional<Poly> e = poly_div(offk, 8);
+    if (!e) {
+      unproven(i, "store to y at byte offset " + offk.to_string() +
+                      ": offset is not a multiple of the element size");
+      return;
+    }
+    const SRef want = mk_add(
+        {mk_init("y", offk), mk_mul({mk_init("x", offk), mk_param("alpha")})});
+    verdict(i, "y[i = " + e->to_string() + "]", got, want);
+  }
+
+  // SCAL: x[i] *= alpha.
+  void check_scal_lane(std::size_t i, const Poly& offk, const SRef& got) {
+    const std::optional<Poly> e = poly_div(offk, 8);
+    if (!e) {
+      unproven(i, "store to x at byte offset " + offk.to_string() +
+                      ": offset is not a multiple of the element size");
+      return;
+    }
+    const SRef want = mk_mul({mk_init("x", offk), mk_param("alpha")});
+    verdict(i, "x[i = " + e->to_string() + "]", got, want);
+  }
+
+  // DOT: the kernel returns sum_i x[i]*y[i] in xmm0 lane 0.
+  void check_dot_return(const SemState& st) {
+    std::size_t ri = insts_.empty() ? 0 : insts_.size() - 1;
+    for (std::size_t i = 0; i < insts_.size(); ++i)
+      if (insts_[i].op == MOp::kRet) ri = i;
+    const Poly sigma = Poly::variable(kSumVar);
+    const SRef body = mk_mul({mk_init("x", Poly::constant(8) * sigma),
+                              mk_init("y", Poly::constant(8) * sigma)});
+    const SRef want =
+        mk_sum(Poly::constant(0), Poly::variable("n"), 1, body);
+    verdict(ri, "return value", st.fp.vr[0].l[0], want);
+  }
+};
+
+}  // namespace
+
+void run_semantics_check(const MInstList& insts,
+                         const KernelContract& contract,
+                         const SemanticsSpec& spec, AnalysisReport& report) {
+  SemEngine(insts, contract, spec, report).run();
+}
+
+// ---- scheduler translation validation --------------------------------------
+//
+// The scheduler only permutes instructions inside straight-line spans, so
+// equivalence is checkable span by span with plain value numbering: every
+// register value is a string built from the op and its operands' values,
+// loads are keyed by (address value, number of stores issued so far in the
+// span), and stores form an ordered sequence. Two spans are equivalent when
+// the final value of every register, the store sequence, and (when the span
+// feeds a conditional jump) the flags value all agree.
+
+namespace {
+
+struct SpanSim {
+  std::map<int, std::string> gpr;
+  std::map<int, std::string> vr;
+  std::vector<std::string> stores;  ///< "addr|width|value", in order
+  std::string flags = "f:init";
+
+  std::string g(Gpr r) {
+    const int i = static_cast<int>(r);
+    auto it = gpr.find(i);
+    if (it == gpr.end())
+      it = gpr.emplace(i, "g:init" + std::to_string(i)).first;
+    return it->second;
+  }
+  std::string v(opt::Vr r) {
+    const int i = opt::index_of(r);
+    auto it = vr.find(i);
+    if (it == vr.end()) it = vr.emplace(i, "v:init" + std::to_string(i)).first;
+    return it->second;
+  }
+  std::string addr(const Mem& m) {
+    std::string a = "[" + g(m.base);
+    if (m.has_index())
+      a += "+" + g(m.index) + "*" + std::to_string(m.scale);
+    return a + "+" + std::to_string(m.disp) + "]";
+  }
+  std::string load(const MInst& in) {
+    return "ld(" + std::to_string(in.width) + "," + addr(in.mem) + ",@" +
+           std::to_string(stores.size()) + ")";
+  }
+
+  void exec(const MInst& in) {
+    auto wstr = [&] { return std::to_string(in.width); };
+    auto istr = [&] { return std::to_string(in.imm); };
+    switch (in.op) {
+      case MOp::kVZero:
+        vr[opt::index_of(in.vdst)] = "vz(" + wstr() + ")";
+        break;
+      case MOp::kVLoad:
+      case MOp::kFLoad:
+        vr[opt::index_of(in.vdst)] = load(in);
+        break;
+      case MOp::kVBroadcast:
+        vr[opt::index_of(in.vdst)] = "bc(" + load(in) + ")";
+        break;
+      case MOp::kVStore:
+      case MOp::kFStore:
+        stores.push_back(addr(in.mem) + "|" + wstr() + "|" + v(in.vsrc1));
+        break;
+      case MOp::kVMov:
+        vr[opt::index_of(in.vdst)] = v(in.vsrc1);
+        break;
+      case MOp::kVMul:
+      case MOp::kVAdd:
+      case MOp::kVMax: {
+        const char* op = in.op == MOp::kVMul ? "mul"
+                         : in.op == MOp::kVAdd ? "add"
+                                               : "max";
+        vr[opt::index_of(in.vdst)] = std::string(op) + "(" + wstr() + "," +
+                                     v(in.vsrc1) + "," + v(in.vsrc2) + ")";
+        break;
+      }
+      case MOp::kVFma231:
+        vr[opt::index_of(in.vdst)] = "fma231(" + wstr() + "," + v(in.vdst) +
+                                     "," + v(in.vsrc1) + "," + v(in.vsrc2) +
+                                     ")";
+        break;
+      case MOp::kVFma4:
+        vr[opt::index_of(in.vdst)] = "fma4(" + wstr() + "," + v(in.vsrc1) +
+                                     "," + v(in.vsrc2) + "," + v(in.vsrc3) +
+                                     ")";
+        break;
+      case MOp::kVShuf:
+      case MOp::kVPerm128:
+      case MOp::kVBlend: {
+        const char* op = in.op == MOp::kVShuf ? "shuf"
+                         : in.op == MOp::kVPerm128 ? "perm"
+                                                   : "blend";
+        vr[opt::index_of(in.vdst)] = std::string(op) + "(" + wstr() + "," +
+                                     v(in.vsrc1) + "," + v(in.vsrc2) + "," +
+                                     istr() + ")";
+        break;
+      }
+      case MOp::kVExtractHigh:
+        vr[opt::index_of(in.vdst)] = "exth(" + v(in.vsrc1) + ")";
+        break;
+      case MOp::kVZeroUpper:
+        for (int i = 0; i < opt::kNumVrs; ++i) {
+          auto it = vr.find(i);
+          const std::string old =
+              it == vr.end() ? "v:init" + std::to_string(i) : it->second;
+          vr[i] = "vzu(" + old + ")";
+        }
+        break;
+      case MOp::kIMovImm:
+        gpr[static_cast<int>(in.gdst)] = "i:" + istr();
+        break;
+      case MOp::kIMov:
+        gpr[static_cast<int>(in.gdst)] = g(in.gsrc);
+        break;
+      case MOp::kIAdd:
+      case MOp::kISub:
+      case MOp::kIMul: {
+        const char* op = in.op == MOp::kIAdd ? "add"
+                         : in.op == MOp::kISub ? "sub"
+                                               : "mul";
+        const std::string val =
+            std::string(op) + "(" + g(in.gdst) + "," + g(in.gsrc) + ")";
+        gpr[static_cast<int>(in.gdst)] = val;
+        flags = val;
+        break;
+      }
+      case MOp::kIAddImm:
+      case MOp::kISubImm:
+      case MOp::kIShlImm: {
+        const char* op = in.op == MOp::kIAddImm ? "addi"
+                         : in.op == MOp::kISubImm ? "subi"
+                                                  : "shli";
+        const std::string val =
+            std::string(op) + "(" + g(in.gdst) + "," + istr() + ")";
+        gpr[static_cast<int>(in.gdst)] = val;
+        flags = val;
+        break;
+      }
+      case MOp::kIMulImm: {
+        const std::string val = "muli(" + g(in.gsrc) + "," + istr() + ")";
+        gpr[static_cast<int>(in.gdst)] = val;
+        flags = val;
+        break;
+      }
+      case MOp::kINeg: {
+        const std::string val = "neg(" + g(in.gdst) + ")";
+        gpr[static_cast<int>(in.gdst)] = val;
+        flags = val;
+        break;
+      }
+      case MOp::kILoad:
+        gpr[static_cast<int>(in.gdst)] = "i" + load(in);
+        break;
+      case MOp::kIStore:
+        stores.push_back(addr(in.mem) + "|i|" + g(in.gsrc));
+        break;
+      case MOp::kIAddMem:
+      case MOp::kISubMem:
+      case MOp::kIMulMem: {
+        const char* op = in.op == MOp::kIAddMem ? "addm"
+                         : in.op == MOp::kISubMem ? "subm"
+                                                  : "mulm";
+        const std::string val =
+            std::string(op) + "(" + g(in.gdst) + "," + load(in) + ")";
+        gpr[static_cast<int>(in.gdst)] = val;
+        flags = val;
+        break;
+      }
+      case MOp::kLea:
+        gpr[static_cast<int>(in.gdst)] =
+            "lea(" + addr(in.mem) + "," + istr() + ")";
+        break;
+      case MOp::kCmp:
+        flags = "cmp(" + g(in.gdst) + "," + g(in.gsrc) + ")";
+        break;
+      case MOp::kCmpImm:
+        flags = "cmpi(" + g(in.gdst) + "," + istr() + ")";
+        break;
+      case MOp::kPush: {
+        const std::string rsp = g(Gpr::rsp);
+        stores.push_back("push(" + rsp + ")|i|" + g(in.gsrc));
+        gpr[static_cast<int>(Gpr::rsp)] = "pushadj(" + rsp + ")";
+        break;
+      }
+      case MOp::kPop: {
+        const std::string rsp = g(Gpr::rsp);
+        gpr[static_cast<int>(in.gdst)] =
+            "pop(" + rsp + ",@" + std::to_string(stores.size()) + ")";
+        gpr[static_cast<int>(Gpr::rsp)] = "popadj(" + rsp + ")";
+        break;
+      }
+      case MOp::kPrefetch:
+        break;  // hint: no dataflow
+      default:
+        break;  // barriers never reach exec()
+    }
+  }
+};
+
+bool sched_is_barrier(const MInst& in) {
+  return opt::is_control(in) || in.op == MOp::kComment;
+}
+
+/// Simulates [first, last) of `insts` into `sim`.
+void sim_span(const MInstList& insts, std::size_t first, std::size_t last,
+              SpanSim& sim) {
+  for (std::size_t i = first; i < last; ++i) sim.exec(insts[i]);
+}
+
+[[noreturn]] void sched_fail(std::size_t span_at, const std::string& what) {
+  AUGEM_FAIL("instruction scheduler broke dataflow in the span at index " +
+             std::to_string(span_at) + ": " + what);
+}
+
+void compare_spans(std::size_t span_at, bool flags_live, SpanSim& a,
+                   SpanSim& b) {
+  if (a.stores != b.stores) {
+    const std::size_t n = std::min(a.stores.size(), b.stores.size());
+    std::size_t i = 0;
+    while (i < n && a.stores[i] == b.stores[i]) ++i;
+    sched_fail(span_at,
+               "store sequence diverges at store " + std::to_string(i) +
+                   ": before=" +
+                   (i < a.stores.size() ? a.stores[i] : "<missing>") +
+                   " after=" + (i < b.stores.size() ? b.stores[i] : "<missing>"));
+  }
+  auto cmp_regs = [&](std::map<int, std::string>& ra,
+                      std::map<int, std::string>& rb, const char* kind,
+                      const char* init) {
+    std::set<int> keys;
+    for (const auto& [k, _] : ra) keys.insert(k);
+    for (const auto& [k, _] : rb) keys.insert(k);
+    for (int k : keys) {
+      auto ita = ra.find(k), itb = rb.find(k);
+      const std::string va =
+          ita == ra.end() ? init + std::to_string(k) : ita->second;
+      const std::string vb =
+          itb == rb.end() ? init + std::to_string(k) : itb->second;
+      if (va != vb)
+        sched_fail(span_at, std::string(kind) + " register " +
+                                std::to_string(k) + " holds " + vb +
+                                " after scheduling but " + va + " before");
+    }
+  };
+  cmp_regs(a.gpr, b.gpr, "general-purpose", "g:init");
+  cmp_regs(a.vr, b.vr, "vector", "v:init");
+  if (flags_live && a.flags != b.flags)
+    sched_fail(span_at, "flags feeding the conditional jump come from " +
+                            b.flags + " after scheduling but " + a.flags +
+                            " before");
+}
+
+}  // namespace
+
+void validate_schedule_equivalence(const MInstList& before,
+                                   const MInstList& after) {
+  if (before.size() != after.size())
+    AUGEM_FAIL("instruction scheduler changed the instruction count (" +
+               std::to_string(before.size()) + " -> " +
+               std::to_string(after.size()) + ")");
+  std::size_t span_start = 0;
+  for (std::size_t i = 0; i <= before.size(); ++i) {
+    const bool at_end = i == before.size();
+    if (!at_end && !sched_is_barrier(before[i])) continue;
+    if (!at_end) {
+      // Barriers delimit spans and must be untouched, position and all.
+      if (!sched_is_barrier(after[i]) ||
+          after[i].to_string() != before[i].to_string())
+        AUGEM_FAIL("instruction scheduler moved a control instruction: " +
+                   before[i].to_string() + " is no longer at index " +
+                   std::to_string(i));
+    }
+    SpanSim a, b;
+    sim_span(before, span_start, i, a);
+    sim_span(after, span_start, i, b);
+    const bool flags_live =
+        !at_end && is_cond_jump(before[i].op);
+    compare_spans(span_start, flags_live, a, b);
+    span_start = i + 1;
+  }
+}
+
+namespace {
+const struct ScheduleValidatorRegistrar {
+  ScheduleValidatorRegistrar() {
+    opt::set_schedule_validator(&validate_schedule_equivalence);
+  }
+} schedule_validator_registrar;
+}  // namespace
+
+}  // namespace augem::analysis

@@ -1,0 +1,57 @@
+#pragma once
+// Translation validation for generated kernels: a per-lane symbolic
+// executor over the final MInstList that proves each stored element of the
+// output buffer is a permitted reassociation of the kernel's reference
+// semantics (the beta*C + alpha*sum a[i,k]*b[k,j] form, including fused
+// bias/ReLU/scale epilogues). See docs/static-analysis.md for the
+// abstraction, the canonical multiset-of-products form, the accepted
+// rewrites, and the known limits.
+//
+// Findings (all errors; the absence of findings means "proved", so an
+// uninterpretable shape must be a finding too):
+//   semantics-mismatch    a stored value decodes to the wrong expression
+//   semantics-unproven    a stored value contains opaque parts the checker
+//                         cannot resolve (may-alias load, non-inductive
+//                         accumulator)
+//   semantics-unsupported the code walks outside the supported shape
+//
+// The pass stops at its first finding: downstream values are built on the
+// same state, so later mismatches are usually echoes of the first.
+
+#include <optional>
+
+#include "analysis/contract.hpp"
+#include "analysis/findings.hpp"
+#include "frontend/kernels.hpp"
+#include "opt/minst.hpp"
+
+namespace augem::analysis {
+
+/// What the kernel under analysis is supposed to compute. The contract
+/// names the buffers; this names the math.
+struct SemanticsSpec {
+  frontend::KernelKind kind = frontend::KernelKind::kGemm;
+  frontend::BLayout layout = frontend::BLayout::kRowPanel;
+  /// Set for fully-unrolled small-GEMM kernels (fused epilogues, compile
+  /// time shape); unset for the counted-loop kernels.
+  std::optional<frontend::SmallGemmSpec> small;
+};
+
+/// Symbolically executes `insts` and checks every store into the writable
+/// contract buffer (and the return value, for dot) against `spec`.
+/// Appends at most one finding to `report`.
+void run_semantics_check(const opt::MInstList& insts,
+                         const KernelContract& contract,
+                         const SemanticsSpec& spec, AnalysisReport& report);
+
+/// Translation validation of the instruction scheduler: value-numbers both
+/// instruction lists span by span (spans are delimited by control flow and
+/// comments, which the scheduler never crosses) and AUGEM_FAILs unless
+/// every register's final value, the ordered store sequence, and the flags
+/// feeding each conditional jump agree. Installed into
+/// opt::set_schedule_validator at static-initialization time, so debug
+/// builds assert this after every opt::schedule_instructions call.
+void validate_schedule_equivalence(const opt::MInstList& before,
+                                   const opt::MInstList& after);
+
+}  // namespace augem::analysis

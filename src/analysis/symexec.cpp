@@ -1,0 +1,600 @@
+#include "analysis/symexec.hpp"
+
+#include <utility>
+
+#include "analysis/cfg.hpp"
+
+namespace augem::analysis::symexec {
+
+using ir::Poly;
+using opt::Gpr;
+using opt::Mem;
+using opt::MInst;
+using opt::MInstList;
+using opt::MOp;
+using opt::Vr;
+
+const char* const kRsp0 = "rsp0$";
+
+SymExec::SymExec(const MInstList& insts, const KernelContract& contract)
+    : insts_(insts), contract_(contract) {}
+
+// ---- symbols and proofs ----------------------------------------------------
+
+std::size_t SymExec::add_symbol(SymInfo info) {
+  sym_index_[info.name] = symbols_.size();
+  symbols_.push_back(std::move(info));
+  return symbols_.size() - 1;
+}
+
+const SymInfo* SymExec::find_symbol(const std::string& name) const {
+  auto it = sym_index_.find(name);
+  return it == sym_index_.end() ? nullptr : &symbols_[it->second];
+}
+
+Sign SymExec::sign_of(const Poly& p) const {
+  bool has_pos = false, has_neg = false;
+  for (const ir::PolyTerm& t : p.terms()) {
+    for (const std::string& var : t.vars) {
+      const SymInfo* s = find_symbol(var);
+      if (s == nullptr || !s->nonneg) return Sign::kUnknown;
+    }
+    (t.coeff > 0 ? has_pos : has_neg) = true;
+  }
+  if (has_pos && has_neg) return Sign::kUnknown;
+  return has_neg ? Sign::kNonPos : Sign::kNonNeg;
+}
+
+std::optional<std::int64_t> SymExec::lower_bound(Poly p) const {
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    if (p.without_constant().terms().empty()) return p.constant_part();
+    bool progressed = false;
+    // Relational substitutions first: bounds expressed over OTHER symbols
+    // carry the contract's and loop protocol's relational facts (mc <= ldc,
+    // counter <= extent, remainder-counter >= main-loop exit), which must
+    // cancel against other terms before any variable is floored at its
+    // relation-free lower bound. E.g. 8*ldc - 8*mc proves >= 0 only via
+    // mc -> ldc; flooring ldc -> 0 first would lose the relation. Symmetric
+    // on the low side: 8*ct - 8*k with ct.lo = exit and k.hi = exit - 1
+    // proves >= 8 only via ct -> exit, so a non-constant lower bound joins
+    // this sweep (constant floors stay in the fallback pass below).
+    for (std::size_t i = symbols_.size(); i-- > 0;) {
+      const SymInfo& s = symbols_[i];
+      if (p.independent_of(s.name)) continue;
+      const std::optional<Poly> c = p.coefficient_of(s.name);
+      if (!c) continue;  // nonlinear in s; other substitutions may fix it
+      if (sign_of(*c) == Sign::kNonPos && s.hi) {
+        p = p.substitute(s.name, *s.hi);
+        progressed = true;
+      } else if (sign_of(*c) == Sign::kNonNeg && s.lo &&
+                 !s.lo->without_constant().terms().empty()) {
+        p = p.substitute(s.name, *s.lo);
+        progressed = true;
+      }
+    }
+    if (progressed) continue;
+    // No relational fact applies: floor one nonnegative-coefficient
+    // variable (newest first) and re-sweep.
+    for (std::size_t i = symbols_.size(); i-- > 0;) {
+      const SymInfo& s = symbols_[i];
+      if (p.independent_of(s.name)) continue;
+      const std::optional<Poly> c = p.coefficient_of(s.name);
+      if (!c || sign_of(*c) != Sign::kNonNeg) continue;
+      if (s.lo)
+        p = p.substitute(s.name, *s.lo);
+      else if (s.nonneg)
+        p = p.substitute(s.name, Poly::constant(0));
+      else
+        continue;
+      progressed = true;
+      break;
+    }
+    if (!progressed) return std::nullopt;  // stuck: unknown sign or var
+  }
+  return std::nullopt;
+}
+
+bool SymExec::prove_nonneg(const Poly& p) const {
+  const std::optional<std::int64_t> lb = lower_bound(p);
+  return lb.has_value() && *lb >= 0;
+}
+
+bool SymExec::divisible(const Poly& p, std::int64_t d) const {
+  if (d == 1) return true;
+  if (d == 0) return false;
+  for (const ir::PolyTerm& t : p.terms()) {
+    std::int64_t f = t.coeff % d;
+    for (const std::string& var : t.vars) {
+      const SymInfo* s = find_symbol(var);
+      const std::int64_t m = s != nullptr ? s->divisible_by : 1;
+      f = (f * (m % d)) % d;
+    }
+    if (f != 0) return false;
+  }
+  return true;
+}
+
+std::optional<Poly> SymExec::poly_div(const Poly& p, std::int64_t d) {
+  if (d == 0) return std::nullopt;
+  Poly q;
+  for (const ir::PolyTerm& t : p.terms()) {
+    if (t.coeff % d != 0) return std::nullopt;
+    Poly term = Poly::constant(t.coeff / d);
+    for (const std::string& var : t.vars) term = term * Poly::variable(var);
+    q = q + term;
+  }
+  return q;
+}
+
+bool SymExec::uses_only_older(const Poly& p, std::size_t watermark) const {
+  for (const ir::PolyTerm& t : p.terms())
+    for (const std::string& var : t.vars) {
+      auto it = sym_index_.find(var);
+      if (it == sym_index_.end() || it->second >= watermark) return false;
+    }
+  return true;
+}
+
+// ---- state -----------------------------------------------------------------
+
+IntState SymExec::initial_state() {
+  IntState st;
+  add_symbol({kRsp0, std::nullopt, std::nullopt, true, 1});
+
+  static constexpr Gpr kIntArgRegs[6] = {Gpr::rdi, Gpr::rsi, Gpr::rdx,
+                                         Gpr::rcx, Gpr::r8,  Gpr::r9};
+  int next_int = 0;
+  std::int64_t next_stack = 8;  // 0 is the return address
+  for (const ArgSpec& a : contract_.args) {
+    if (a.is_f64) continue;  // SSE class: vector values are untracked here
+    SymInfo si;
+    si.name = a.name;
+    si.nonneg = true;  // extents are nonnegative; pointers are addresses
+    if (const ParamFacts* f = contract_.facts_for(a.name)) {
+      si.divisible_by = f->divisible_by;
+      si.hi = f->upper_bound;
+      if (f->min_value) si.lo = Poly::constant(*f->min_value);
+    }
+    if (contract_.buffer_for(a.name) != nullptr) pointer_syms_.insert(a.name);
+    add_symbol(si);
+    if (next_int < 6) {
+      st.gpr[index_of(kIntArgRegs[next_int++])] = Poly::variable(a.name);
+    } else {
+      st.stack[next_stack] = Poly::variable(a.name);
+      next_stack += 8;
+      ++n_stack_args_;
+    }
+  }
+  return st;
+}
+
+SymVal SymExec::get(const IntState& st, Gpr g) const {
+  if (g == Gpr::rsp)
+    return Poly::variable(kRsp0) + Poly::constant(st.rsp_rel);
+  return st.gpr[index_of(g)];
+}
+
+SymVal SymExec::get_loc(const IntState& st, const Loc& l) const {
+  if (!l.is_slot) return get(st, l.reg);
+  auto it = st.stack.find(l.off);
+  return it == st.stack.end() ? std::nullopt : it->second;
+}
+
+void SymExec::set_loc(IntState& st, const Loc& l, SymVal v) {
+  if (l.is_slot)
+    st.stack[l.off] = std::move(v);
+  else
+    st.gpr[index_of(l.reg)] = std::move(v);
+}
+
+SymVal SymExec::addr_of(const IntState& st, const Mem& m) const {
+  if (!m.valid()) return std::nullopt;
+  SymVal base = get(st, m.base);
+  if (!base) return std::nullopt;
+  Poly a = *base + Poly::constant(m.disp);
+  if (m.has_index()) {
+    SymVal idx = get(st, m.index);
+    if (!idx) return std::nullopt;
+    a = a + *idx * Poly::constant(m.scale);
+  }
+  return a;
+}
+
+AccessRef SymExec::classify_access(const IntState& st, const Mem& m) const {
+  AccessRef ref;
+  const SymVal addr = addr_of(st, m);
+  if (!addr) return ref;
+  const std::optional<Poly> c = addr->coefficient_of(kRsp0);
+  if (c && !(c->without_constant().terms().empty() &&
+             c->constant_part() == 0)) {
+    // Stack access: must be a constant entry-relative offset.
+    const Poly rem = *addr - Poly::variable(kRsp0);
+    if (!(c->without_constant().terms().empty() && c->constant_part() == 1) ||
+        !rem.without_constant().terms().empty()) {
+      ref.nonconst_stack = true;
+      ref.addr = *addr;
+      return ref;
+    }
+    ref.kind = AccessRef::kStack;
+    ref.slot = rem.constant_part();
+    return ref;
+  }
+  ref.kind = AccessRef::kData;
+  ref.addr = *addr;
+  return ref;
+}
+
+std::optional<std::pair<const BufferSpec*, Poly>> SymExec::data_ref(
+    const Poly& addr) const {
+  const BufferSpec* buf = nullptr;
+  for (const std::string& p : pointer_syms_) {
+    const std::optional<Poly> c = addr.coefficient_of(p);
+    if (!c || c->without_constant().terms().empty() == false ||
+        c->constant_part() == 0)
+      continue;
+    if (c->constant_part() != 1 || buf != nullptr) return std::nullopt;
+    buf = contract_.buffer_for(p);
+  }
+  if (buf == nullptr) return std::nullopt;
+  return std::make_pair(buf, addr - Poly::variable(buf->param));
+}
+
+// ---- abstract integer transfer ---------------------------------------------
+
+bool SymExec::exec_int(std::size_t i, IntState& st, std::string* why) const {
+  const MInst& inst = insts_[i];
+  bool ok = true;
+  auto setg = [&](Gpr g, SymVal v) {
+    if (g == Gpr::kNoGpr) return;
+    if (g == Gpr::rsp) {
+      if (why != nullptr) *why = "unexpected write to rsp";
+      ok = false;
+      return;
+    }
+    st.gpr[index_of(g)] = std::move(v);
+  };
+  auto bin = [&](auto f) -> SymVal {
+    SymVal a = get(st, inst.gdst), b = get(st, inst.gsrc);
+    if (!a || !b) return std::nullopt;
+    return f(*a, *b);
+  };
+  auto slot_of = [&](const Mem& m) -> std::optional<std::int64_t> {
+    const AccessRef ref = classify_access(st, m);
+    if (ref.kind != AccessRef::kStack) return std::nullopt;
+    return ref.slot;
+  };
+
+  switch (inst.op) {
+    case MOp::kIMovImm:
+      setg(inst.gdst, Poly::constant(inst.imm));
+      break;
+    case MOp::kIMov:
+      setg(inst.gdst, get(st, inst.gsrc));
+      break;
+    case MOp::kIAdd:
+      setg(inst.gdst, bin([](const Poly& a, const Poly& b) { return a + b; }));
+      break;
+    case MOp::kISub:
+      setg(inst.gdst, bin([](const Poly& a, const Poly& b) { return a - b; }));
+      break;
+    case MOp::kIMul:
+      setg(inst.gdst, bin([](const Poly& a, const Poly& b) { return a * b; }));
+      break;
+    case MOp::kIAddImm:
+      if (inst.gdst == Gpr::rsp) {
+        st.rsp_rel += inst.imm;
+      } else {
+        SymVal v = get(st, inst.gdst);
+        setg(inst.gdst, v ? SymVal(*v + Poly::constant(inst.imm)) : v);
+      }
+      break;
+    case MOp::kISubImm:
+      if (inst.gdst == Gpr::rsp) {
+        st.rsp_rel -= inst.imm;
+      } else {
+        SymVal v = get(st, inst.gdst);
+        setg(inst.gdst, v ? SymVal(*v - Poly::constant(inst.imm)) : v);
+      }
+      break;
+    case MOp::kIMulImm: {
+      SymVal v = get(st, inst.gsrc);
+      setg(inst.gdst, v ? SymVal(*v * Poly::constant(inst.imm)) : v);
+      break;
+    }
+    case MOp::kIShlImm: {
+      SymVal v = get(st, inst.gdst);
+      if (v && inst.imm >= 0 && inst.imm < 62)
+        setg(inst.gdst, *v * Poly::constant(std::int64_t{1} << inst.imm));
+      else
+        setg(inst.gdst, std::nullopt);
+      break;
+    }
+    case MOp::kINeg: {
+      SymVal v = get(st, inst.gdst);
+      setg(inst.gdst, v ? SymVal(Poly::constant(0) - *v) : v);
+      break;
+    }
+    case MOp::kLea:
+      setg(inst.gdst, addr_of(st, inst.mem));
+      break;
+
+    case MOp::kILoad: {
+      const auto slot = slot_of(inst.mem);
+      if (slot) {
+        auto it = st.stack.find(*slot);
+        setg(inst.gdst, it == st.stack.end() ? SymVal{} : it->second);
+      } else {
+        setg(inst.gdst, std::nullopt);
+      }
+      break;
+    }
+    case MOp::kIStore: {
+      const auto slot = slot_of(inst.mem);
+      if (slot) st.stack[*slot] = get(st, inst.gsrc);
+      break;
+    }
+    case MOp::kIAddMem:
+    case MOp::kISubMem:
+    case MOp::kIMulMem: {
+      const auto slot = slot_of(inst.mem);
+      SymVal mv;
+      if (slot) {
+        auto it = st.stack.find(*slot);
+        if (it != st.stack.end()) mv = it->second;
+      }
+      SymVal v = get(st, inst.gdst);
+      if (v && mv) {
+        if (inst.op == MOp::kIAddMem)
+          setg(inst.gdst, *v + *mv);
+        else if (inst.op == MOp::kISubMem)
+          setg(inst.gdst, *v - *mv);
+        else
+          setg(inst.gdst, *v * *mv);
+      } else {
+        setg(inst.gdst, std::nullopt);
+      }
+      break;
+    }
+
+    case MOp::kPush:
+      st.stack[st.rsp_rel - 8] = get(st, inst.gsrc);
+      st.rsp_rel -= 8;
+      break;
+    case MOp::kPop: {
+      auto it = st.stack.find(st.rsp_rel);
+      setg(inst.gdst, it == st.stack.end() ? SymVal{} : it->second);
+      st.rsp_rel += 8;
+      break;
+    }
+
+    default:
+      break;  // vector arithmetic, cmp, labels, comments, vzeroupper, ret
+  }
+  return ok;
+}
+
+// ---- counted-loop idiom ----------------------------------------------------
+
+std::size_t SymExec::find_latch(std::size_t head, std::size_t last) const {
+  const std::string& name = insts_[head].label;
+  std::size_t latch = kNoneIdx;
+  for (std::size_t j = head + 1; j < last; ++j)
+    if ((is_cond_jump(insts_[j].op) || insts_[j].op == MOp::kJmp) &&
+        insts_[j].label == name)
+      latch = j;
+  return latch;
+}
+
+std::size_t SymExec::prev_real(std::size_t i, std::size_t floor) const {
+  while (i-- > floor)
+    if (insts_[i].op != MOp::kComment) return i;
+  return kNoneIdx;
+}
+
+SymVal SymExec::cmp_rhs_value(std::size_t cmp_idx, const IntState& st) const {
+  const MInst& c = insts_[cmp_idx];
+  if (c.op == MOp::kCmpImm) return Poly::constant(c.imm);
+  return get(st, c.gsrc);
+}
+
+std::optional<Loc> SymExec::trace_cmp_lhs(std::size_t cmp_idx,
+                                          std::size_t floor,
+                                          const IntState& st) const {
+  const Gpr r = insts_[cmp_idx].gdst;
+  std::vector<Gpr> dg;
+  std::vector<Vr> dv;
+  for (std::size_t j = cmp_idx; j-- > floor;) {
+    const MInst& inst = insts_[j];
+    defs_of(inst, dg, dv);
+    bool defs_r = false;
+    for (Gpr g : dg) defs_r |= g == r;
+    if (!defs_r) continue;
+    if (inst.op == MOp::kILoad && inst.mem.base == Gpr::rsp &&
+        !inst.mem.has_index())
+      return Loc{true, Gpr::kNoGpr, st.rsp_rel + inst.mem.disp};
+    if (inst.op == MOp::kIAdd || inst.op == MOp::kIAddImm ||
+        inst.op == MOp::kISub || inst.op == MOp::kISubImm)
+      return Loc{false, r, 0};
+    return std::nullopt;  // counter produced some other way: unsupported
+  }
+  return Loc{false, r, 0};  // not redefined in range: the register itself
+}
+
+bool SymExec::modified_locs(std::size_t first, std::size_t last,
+                            const IntState& st, std::set<Loc>& out,
+                            std::size_t* where, std::string* why) const {
+  std::vector<Gpr> dg;
+  std::vector<Vr> dv;
+  auto fail = [&](std::size_t i, const char* msg) {
+    if (where != nullptr) *where = i;
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  for (std::size_t i = first; i < last; ++i) {
+    const MInst& inst = insts_[i];
+    if (inst.op == MOp::kPush || inst.op == MOp::kPop)
+      return fail(i, "push/pop inside a loop");
+    defs_of(inst, dg, dv);
+    for (Gpr g : dg) {
+      if (g == Gpr::rsp) return fail(i, "rsp adjustment inside a loop");
+      out.insert({false, g, 0});
+    }
+    if (inst.op == MOp::kIStore || inst.op == MOp::kFStore ||
+        inst.op == MOp::kVStore) {
+      if (inst.mem.base == Gpr::rsp) {
+        if (inst.mem.has_index())
+          return fail(i, "indexed stack store inside a loop");
+        out.insert({true, Gpr::kNoGpr, st.rsp_rel + inst.mem.disp});
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<LoopShape> SymExec::loop_shape(std::size_t head,
+                                             std::size_t latch,
+                                             const IntState& st,
+                                             std::size_t* where,
+                                             std::string* why) const {
+  auto fail = [&](std::size_t i, const char* msg) -> std::optional<LoopShape> {
+    if (where != nullptr) *where = i;
+    if (why != nullptr) *why = msg;
+    return std::nullopt;
+  };
+  if (insts_[latch].op != MOp::kJl) return fail(latch, "loop latch is not jl");
+  const std::size_t cmp_idx = prev_real(latch, head);
+  if (cmp_idx == kNoneIdx || (insts_[cmp_idx].op != MOp::kCmp &&
+                              insts_[cmp_idx].op != MOp::kCmpImm))
+    return fail(latch, "loop latch without a compare");
+
+  LoopShape shape;
+  shape.head = head;
+  shape.latch = latch;
+  shape.cmp_idx = cmp_idx;
+
+  const std::optional<Loc> counter = trace_cmp_lhs(cmp_idx, head + 1, st);
+  if (!counter) return fail(cmp_idx, "cannot identify the loop counter");
+  shape.counter = *counter;
+  const SymVal c0v = get_loc(st, *counter);
+  if (!c0v) return fail(head, "loop counter has no symbolic entry value");
+  shape.c0 = *c0v;
+
+  // The bound: evaluated at loop entry; the discovery pass verifies it
+  // does not move.
+  shape.bound0 = cmp_rhs_value(cmp_idx, st);
+
+  // Pre-guard: `cmp c0, B; jge END` immediately before the loop head,
+  // where END labels the instruction after the latch. Without it the
+  // first iteration is unconstrained, so the counter gets no upper bound.
+  if (shape.bound0 && latch + 1 < insts_.size() &&
+      insts_[latch + 1].op == MOp::kLabel) {
+    const std::size_t g_jge = prev_real(head, 0);
+    if (g_jge != kNoneIdx && insts_[g_jge].op == MOp::kJge &&
+        insts_[g_jge].label == insts_[latch + 1].label) {
+      const std::size_t g_cmp = prev_real(g_jge, 0);
+      if (g_cmp != kNoneIdx && (insts_[g_cmp].op == MOp::kCmp ||
+                                insts_[g_cmp].op == MOp::kCmpImm)) {
+        const SymVal glhs = get(st, insts_[g_cmp].gdst);
+        const SymVal grhs = cmp_rhs_value(g_cmp, st);
+        shape.guarded =
+            glhs && grhs && *glhs == shape.c0 && *grhs == *shape.bound0;
+      }
+    }
+  }
+
+  shape.watermark = symbols_.size();
+  if (!modified_locs(head + 1, latch, st, shape.modified, where, why))
+    return std::nullopt;
+  return shape;
+}
+
+std::optional<std::int64_t> SymExec::loop_step(const LoopShape& shape,
+                                               const IntState& s1,
+                                               std::size_t* where,
+                                               std::string* why) const {
+  auto fail = [&](const char* msg) -> std::optional<std::int64_t> {
+    if (where != nullptr) *where = shape.latch;
+    if (why != nullptr) *why = msg;
+    return std::nullopt;
+  };
+  const SymVal c1v = get_loc(s1, shape.counter);
+  if (!c1v) return fail("loop counter value lost across the body");
+  const Poly delta_c = *c1v - shape.c0;
+  if (!delta_c.without_constant().terms().empty() ||
+      delta_c.constant_part() <= 0)
+    return fail("loop counter step is not a positive constant");
+  return delta_c.constant_part();
+}
+
+bool SymExec::bound_invariant(const LoopShape& shape,
+                              const IntState& s1) const {
+  const SymVal bound1 = cmp_rhs_value(shape.cmp_idx, s1);
+  return shape.bound0 && bound1 && *shape.bound0 == *bound1;
+}
+
+std::string SymExec::make_counter_symbol(const LoopShape& shape,
+                                         std::int64_t step, bool bound_ok) {
+  SymInfo ct;
+  ct.name = "ct$" + std::to_string(fresh_++);
+  ct.lo = shape.c0;
+  ct.nonneg = prove_nonneg(shape.c0);
+  if (shape.guarded && bound_ok) {
+    const Poly b = *shape.bound0;
+    ct.hi = divisible(b - shape.c0, step) ? b - Poly::constant(step)
+                                          : b - Poly::constant(1);
+  }
+  if (divisible(shape.c0, step)) ct.divisible_by = step;
+  add_symbol(ct);
+  return symbols_.back().name;
+}
+
+std::string SymExec::make_exit_symbol(const LoopShape& shape,
+                                      std::int64_t step, bool bound_ok) {
+  // The counter leaves holding some value in [c0, B + step - 1] (the
+  // failed-guard value after the last iteration, or c0 when the pre-guard
+  // skipped the loop entirely). It is always exactly c0 + step*trips, so
+  // when c0 is a multiple of the step the exit value is too — that fact
+  // lets remainder-loop summaries line up with the main loop's.
+  SymInfo ex;
+  ex.name = "exit$" + std::to_string(fresh_++);
+  ex.lo = shape.c0;
+  ex.nonneg = prove_nonneg(shape.c0);
+  if (shape.guarded && bound_ok) {
+    const Poly hi = *shape.bound0 + Poly::constant(step - 1);
+    if (prove_nonneg(hi - shape.c0)) ex.hi = hi;
+  }
+  if (divisible(shape.c0, step)) ex.divisible_by = step;
+  add_symbol(ex);
+  return symbols_.back().name;
+}
+
+std::map<Loc, SymVal> SymExec::inducted(const LoopShape& shape,
+                                        const IntState& base,
+                                        const IntState& s1, std::int64_t step,
+                                        const Poly& sym) const {
+  std::map<Loc, SymVal> vals;
+  for (const Loc& loc : shape.modified) {
+    if (loc == shape.counter) {
+      vals[loc] = sym;
+      continue;
+    }
+    const SymVal a = get_loc(base, loc);
+    const SymVal b = get_loc(s1, loc);
+    SymVal v;
+    if (a && b) {
+      const Poly d = *b - *a;
+      if (uses_only_older(d, shape.watermark)) {
+        if (const std::optional<Poly> q = poly_div(d, step))
+          v = *a + *q * (sym - shape.c0);
+      }
+    }
+    vals[loc] = v;
+  }
+  return vals;
+}
+
+void SymExec::apply(IntState& dst, const std::map<Loc, SymVal>& vals) {
+  for (const auto& [loc, v] : vals) set_loc(dst, loc, v);
+}
+
+}  // namespace augem::analysis::symexec

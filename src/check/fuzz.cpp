@@ -1444,6 +1444,19 @@ std::string FuzzReport::to_json() const {
     first = false;
     os << "\"" << json_escape(name) << "\":" << count;
   }
+  os << "},\"path_families\":{";
+  // Aggregate by path family: everything before the first ':' (so
+  // "blas:gotosim:gemv" counts toward "blas"), giving a stable coarse
+  // coverage summary even as the per-path names grow.
+  std::map<std::string, std::int64_t> families;
+  for (const auto& [name, count] : path_runs)
+    families[name.substr(0, name.find(':'))] += count;
+  first = true;
+  for (const auto& [name, count] : families) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << count;
+  }
   os << "},\"failures\":[";
   first = true;
   for (const Failure& f : failures) {
@@ -1539,20 +1552,34 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
     // that every memory access stays inside the caller's buffers. A proof
     // failure here is a generator bug even if every numeric path agrees.
     ++rep.path_runs["mirlint"];
+    if (opts.run_semantics) ++rep.path_runs["semantics"];
     {
       const analysis::KernelContract contract = analysis::contract_for(
           rt.cfg.op, rt.cfg.layout, rt.cfg.params, rt.g->source);
+      analysis::SemanticsSpec sspec;
+      sspec.kind = rt.cfg.op;
+      sspec.layout = rt.cfg.layout;
       analysis::AnalyzeOptions aopts;
       aopts.num_f64_params = count_f64_params(rt.g->source);
       aopts.contract = &contract;
+      // The translation validator rides the same analyze() call, so the
+      // static proofs cost one pass per case; its findings are attributed
+      // to their own path (the `semantics-*` kind prefix).
+      if (opts.run_semantics) aopts.semantics = &sspec;
       const analysis::AnalysisReport ar = analysis::analyze(rt.g->insts, aopts);
       if (ar.errors() > 0) {
-        std::ostringstream os;
-        for (const analysis::Finding& f : ar.findings)
-          if (f.severity == analysis::Severity::kError)
-            os << "[inst " << f.index << "] " << f.kind << ": " << f.message
-               << "; ";
-        record("mirlint", kin.to_string(rt.cfg.op), os.str());
+        std::ostringstream bounds_os, sem_os;
+        for (const analysis::Finding& f : ar.findings) {
+          if (f.severity != analysis::Severity::kError) continue;
+          std::ostringstream& os =
+              f.kind.rfind("semantics-", 0) == 0 ? sem_os : bounds_os;
+          os << "[inst " << f.index << "] " << f.kind << ": " << f.message
+             << "; ";
+        }
+        if (!bounds_os.str().empty())
+          record("mirlint", kin.to_string(rt.cfg.op), bounds_os.str());
+        if (!sem_os.str().empty())
+          record("semantics", kin.to_string(rt.cfg.op), sem_os.str());
         continue;
       }
     }

@@ -57,6 +57,9 @@ struct FuzzOptions {
   bool run_level3 = true;   ///< SYMM/SYRK/SYR2K/TRMM/TRSM: library casting,
                             ///< prepacked engine (serial ≡ threaded), and
                             ///< RuntimeBlas dispatch vs blas::ref
+  bool run_semantics = true;  ///< translation validation (the symbolic
+                              ///< equivalence proof) on every generated
+                              ///< kernel, alongside the bounds proofs
   bool shrink = true;       ///< minimize failing instances
 
   std::int64_t max_failures = 16;  ///< stop after this many failures

@@ -94,9 +94,17 @@ void schedule_span(MInstList& insts, std::size_t first, std::size_t last) {
   std::move(scheduled.begin(), scheduled.end(), insts.begin() + first);
 }
 
+ScheduleValidator g_validator = nullptr;
+
 }  // namespace
 
+void set_schedule_validator(ScheduleValidator v) { g_validator = v; }
+
 void schedule_instructions(MInstList& insts) {
+#ifndef NDEBUG
+  MInstList before;
+  if (g_validator != nullptr) before = insts;
+#endif
   std::size_t span_start = 0;
   for (std::size_t i = 0; i <= insts.size(); ++i) {
     if (i == insts.size() || is_barrier(insts[i])) {
@@ -104,6 +112,9 @@ void schedule_instructions(MInstList& insts) {
       span_start = i + 1;
     }
   }
+#ifndef NDEBUG
+  if (g_validator != nullptr) g_validator(before, insts);
+#endif
 }
 
 }  // namespace augem::opt

@@ -20,4 +20,15 @@ namespace augem::opt {
 /// never moves anything across control flow.
 void schedule_instructions(MInstList& insts);
 
+/// Translation validation of the scheduler itself. In debug builds, when a
+/// validator is installed, schedule_instructions hands it the instruction
+/// list before and after reordering; the validator must abort (AUGEM_FAIL)
+/// on any dataflow divergence. The analysis library installs a value-
+/// numbering comparator at static-initialization time, so every target that
+/// links it gets the assertion for free; release builds skip the copy and
+/// the call entirely.
+using ScheduleValidator = void (*)(const MInstList& before,
+                                   const MInstList& after);
+void set_schedule_validator(ScheduleValidator v);
+
 }  // namespace augem::opt

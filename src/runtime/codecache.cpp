@@ -144,7 +144,7 @@ std::vector<std::string> CodeCache::resident_keys() const {
   std::vector<std::string> keys;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    for (const std::string& k : shard->lru) keys.push_back(k);
+    keys.insert(keys.end(), shard->lru.begin(), shard->lru.end());
   }
   return keys;
 }

@@ -55,7 +55,8 @@ void make_dirs(const std::string& path) {
   if (!path.empty() && path[0] == '/') partial = "/";
   while (std::getline(is, component, '/')) {
     if (component.empty()) continue;
-    partial += component + "/";
+    partial += component;
+    partial += '/';
     ::mkdir(partial.c_str(), 0755);  // EEXIST is fine
   }
 }

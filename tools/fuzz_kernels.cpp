@@ -27,7 +27,7 @@ int usage(const char* argv0) {
       << "  --max-failures N   stop after N failures (default 16)\n"
       << "  --json PATH        write the machine-readable report to PATH\n"
       << "  --no-interp | --no-vm | --no-jit | --no-driver | --no-blas\n"
-      << "  --no-batch | --no-level3\n"
+      << "  --no-batch | --no-level3 | --no-semantics\n"
       << "                     disable individual execution paths\n"
       << "  --no-shrink        report original instances without minimizing\n"
       << "  --quiet            suppress progress/failure narration\n";
@@ -96,6 +96,8 @@ int main(int argc, char** argv) {
       opts.run_batch = false;
     } else if (arg == "--no-level3") {
       opts.run_level3 = false;
+    } else if (arg == "--no-semantics") {
+      opts.run_semantics = false;
     } else if (arg == "--no-shrink") {
       opts.shrink = false;
     } else if (arg == "--quiet") {

@@ -20,17 +20,31 @@
 //     --prefetch N | --no-prefetch       software prefetching
 //     --no-schedule                      disable instruction scheduling
 //     --no-bounds                        skip the symbolic bounds pass
+//     --semantics                        also run translation validation
+//                                        (single-case mode; the sweep always
+//                                        runs it unless --no-semantics)
+//     --no-semantics                     skip translation validation
 //     --text                             human-readable findings (default JSON)
 //     --sweep                            analyze the full op x layout x ISA x
-//                                        strategy x tile grid; print a summary
+//                                        strategy x tile grid; print progress,
+//                                        a per-pass findings table and a
+//                                        summary
+//     --artifact PATH                    (with --sweep) also write a JSON
+//                                        artifact with per-section results
+//     --check-artifact PATH              validate a sweep artifact instead of
+//                                        analyzing; requires --section
+//     --section bounds|semantics         artifact section to gate on
 //     --help
 //
 // Exit status: 0 when no error-severity findings, 1 otherwise (warnings
 // alone — dead stores, queue-reuse hazards, long prefetches — exit 0).
+// The artifact schema is documented in docs/static-analysis.md.
 
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -62,8 +76,13 @@ usage: mirlint [--kernel K] [--isa I] [config options] [--text] [--sweep]
   --prefetch DIST | --no-prefetch
   --no-schedule   disable instruction scheduling
   --no-bounds     skip the symbolic memory-bounds pass
+  --semantics     also run translation validation (default in --sweep)
+  --no-semantics  skip translation validation
   --text          human-readable findings instead of JSON
   --sweep         analyze every op x layout x ISA x strategy x tile config
+  --artifact P    (with --sweep) write a JSON artifact of the results
+  --check-artifact P --section bounds|semantics
+                  gate on one section of a previously written artifact
 exit: 0 = no errors (warnings allowed), 1 = error findings or bad usage
 )");
   std::exit(code);
@@ -115,9 +134,20 @@ struct Case {
   }
 };
 
+/// The reference-semantics spec the translation validator should prove a
+/// case against.
+analysis::SemanticsSpec semantics_spec_for(const Case& c) {
+  analysis::SemanticsSpec s;
+  s.kind = c.op;
+  s.layout = c.layout;
+  s.small = c.small;
+  return s;
+}
+
 /// Generates and analyzes one configuration. Returns the number of
 /// error-severity findings (a generation-time verifier throw counts as one).
-int analyze_case(const Case& c, bool with_bounds, bool as_text, bool print) {
+int analyze_case(const Case& c, bool with_bounds, bool with_semantics,
+                 bool as_text, bool print) {
   asmgen::GeneratedKernel gen = [&] {
     // Generate WITHOUT a contract: the analyzer below is the one reporting,
     // so generation-time bounds failures don't abort before we can print.
@@ -135,9 +165,11 @@ int analyze_case(const Case& c, bool with_bounds, bool as_text, bool print) {
   const analysis::KernelContract contract =
       c.small ? analysis::contract_for_small_gemm(*c.small, gen.source)
               : analysis::contract_for(c.op, c.layout, c.params, gen.source);
+  const analysis::SemanticsSpec sspec = semantics_spec_for(c);
   analysis::AnalyzeOptions aopts;
   aopts.num_f64_params = f64_params;
   if (with_bounds) aopts.contract = &contract;
+  if (with_bounds && with_semantics) aopts.semantics = &sspec;
 
   const analysis::AnalysisReport report = analysis::analyze(gen.insts, aopts);
   if (print) {
@@ -149,9 +181,117 @@ int analyze_case(const Case& c, bool with_bounds, bool as_text, bool print) {
   return static_cast<int>(report.errors());
 }
 
-int run_sweep(bool with_bounds) {
-  int analyzed = 0, rejected = 0, errors = 0, warnings = 0, failed_cases = 0;
+/// Aggregated sweep results, split into the two gated sections: the
+/// semantics section holds every `semantics-*` finding (the translation
+/// validator), the bounds section everything else (bounds proofs plus the
+/// structural/flags/assignment passes and generation-time verifier throws).
+struct SweepStats {
+  int analyzed = 0;
+  int rejected = 0;
+  int warnings = 0;
+  int errors_bounds = 0;
+  int errors_semantics = 0;
+  std::vector<std::string> failed_bounds;
+  std::vector<std::string> failed_semantics;
+  std::map<std::string, int> by_kind;  ///< error/warning findings per kind
+};
+
+bool is_semantics_kind(const std::string& kind) {
+  return kind.rfind("semantics-", 0) == 0;
+}
+
+void write_artifact(const SweepStats& s, const std::string& path) {
+  std::ostringstream os;
+  auto section = [&](const char* name, int errors,
+                     const std::vector<std::string>& failed) {
+    os << "\"" << name << "\":{\"errors\":" << errors
+       << ",\"failed_configs\":[";
+    for (std::size_t i = 0; i < failed.size(); ++i) {
+      if (i) os << ",";
+      os << "\"" << analysis::json_escape(failed[i]) << "\"";
+    }
+    os << "]}";
+  };
+  os << "{\"analyzed\":" << s.analyzed << ",\"rejected\":" << s.rejected
+     << ",\"warnings\":" << s.warnings << ",\"sections\":{";
+  section("bounds", s.errors_bounds, s.failed_bounds);
+  os << ",";
+  section("semantics", s.errors_semantics, s.failed_semantics);
+  os << "},\"by_kind\":{";
+  bool first = true;
+  for (const auto& [kind, n] : s.by_kind) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << analysis::json_escape(kind) << "\":" << n;
+  }
+  os << "}}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "mirlint: cannot write artifact %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fputs(os.str().c_str(), f);
+  std::fclose(f);
+}
+
+/// Gate on one section of a previously written sweep artifact. Kept to a
+/// deliberately small parser: the artifact is produced by write_artifact
+/// above, so its shape is fully known.
+int check_artifact(const std::string& path, const std::string& section) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "mirlint: cannot read artifact %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  int analyzed = -1;
+  if (std::sscanf(text.c_str(), "{\"analyzed\":%d", &analyzed) != 1 ||
+      analyzed <= 0) {
+    std::fprintf(stderr, "mirlint: artifact %s has no analyzed configs\n",
+                 path.c_str());
+    return 1;
+  }
+  const std::string key = "\"" + section + "\":{\"errors\":";
+  const char* at = std::strstr(text.c_str(), key.c_str());
+  int errors = -1;
+  if (at == nullptr ||
+      std::sscanf(at + key.size(), "%d", &errors) != 1 || errors < 0) {
+    std::fprintf(stderr, "mirlint: artifact %s has no '%s' section\n",
+                 path.c_str(), section.c_str());
+    return 1;
+  }
+  std::printf("mirlint %s gate: %d configs analyzed, %d error finding(s)\n",
+              section.c_str(), analyzed, errors);
+  if (errors > 0) {
+    // Surface the failing configs for the log.
+    const std::string fkey = "\"failed_configs\":[";
+    const char* fat = std::strstr(at, fkey.c_str());
+    if (fat != nullptr) {
+      const char* end = std::strchr(fat, ']');
+      if (end != nullptr)
+        std::printf("  failing: %.*s\n",
+                    static_cast<int>(end - fat - fkey.size()),
+                    fat + fkey.size());
+    }
+  }
+  return errors > 0 ? 1 : 0;
+}
+
+int run_sweep(bool with_bounds, bool with_semantics,
+              const std::string& artifact_path) {
+  SweepStats stats;
+  constexpr int kProgressEvery = 128;
+  int visited = 0;
   auto visit = [&](const Case& c) {
+    if (++visited % kProgressEvery == 0)
+      std::fprintf(stderr, "mirlint sweep: ... %d configs visited (%d "
+                           "analyzed, %d rejected)\n",
+                   visited, stats.analyzed, stats.rejected);
     try {
       ir::Kernel k =
           c.small ? transform::generate_small_gemm_c(*c.small, c.params)
@@ -166,34 +306,54 @@ int run_sweep(bool with_bounds) {
           c.small
               ? analysis::contract_for_small_gemm(*c.small, gen.source)
               : analysis::contract_for(c.op, c.layout, c.params, gen.source);
+      const analysis::SemanticsSpec sspec = semantics_spec_for(c);
       analysis::AnalyzeOptions aopts;
       aopts.num_f64_params = f64_params;
       if (with_bounds) aopts.contract = &contract;
+      if (with_bounds && with_semantics) aopts.semantics = &sspec;
 
       const analysis::AnalysisReport report =
           analysis::analyze(gen.insts, aopts);
-      ++analyzed;
-      warnings += static_cast<int>(report.count(analysis::Severity::kWarning));
-      if (report.errors() > 0) {
-        ++failed_cases;
-        errors += static_cast<int>(report.errors());
+      ++stats.analyzed;
+      stats.warnings +=
+          static_cast<int>(report.count(analysis::Severity::kWarning));
+      int err_bounds = 0, err_sem = 0;
+      for (const analysis::Finding& f : report.findings) {
+        if (f.severity == analysis::Severity::kNote) continue;
+        ++stats.by_kind[f.kind];
+        if (f.severity != analysis::Severity::kError) continue;
+        if (is_semantics_kind(f.kind))
+          ++err_sem;
+        else
+          ++err_bounds;
+      }
+      if (err_bounds + err_sem > 0) {
         std::printf("FAIL %s\n", c.to_string().c_str());
         for (const analysis::Finding& f : report.findings)
           if (f.severity == analysis::Severity::kError)
             std::printf("  [%zu] %s: %s\n", f.index, f.kind.c_str(),
                         f.message.c_str());
       }
+      if (err_bounds > 0) {
+        stats.errors_bounds += err_bounds;
+        stats.failed_bounds.push_back(c.to_string());
+      }
+      if (err_sem > 0) {
+        stats.errors_semantics += err_sem;
+        stats.failed_semantics.push_back(c.to_string());
+      }
     } catch (const Error& e) {
       // Planner / register-allocator rejections are expected out-of-domain
       // outcomes; a verification failure inside generation is a real error.
       if (std::strstr(e.what(), "machine-code verification failed") !=
           nullptr) {
-        ++failed_cases;
-        ++errors;
+        ++stats.errors_bounds;
+        stats.failed_bounds.push_back(c.to_string());
+        ++stats.by_kind["generation-verify"];
         std::printf("FAIL %s\n  generation-time verification: %s\n",
                     c.to_string().c_str(), e.what());
       } else {
-        ++rejected;
+        ++stats.rejected;
       }
     }
   };
@@ -280,10 +440,33 @@ int run_sweep(bool with_bounds) {
         }
   }
 
+  // Count distinct failing configs (a config can fail both sections).
+  std::set<std::string> failed(stats.failed_bounds.begin(),
+                               stats.failed_bounds.end());
+  failed.insert(stats.failed_semantics.begin(), stats.failed_semantics.end());
+  const int errors = stats.errors_bounds + stats.errors_semantics;
   std::printf(
       "mirlint sweep: %d configs analyzed, %d rejected (out of domain), "
       "%d warning(s), %d error finding(s) in %d config(s)\n",
-      analyzed, rejected, warnings, errors, failed_cases);
+      stats.analyzed, stats.rejected, stats.warnings, errors,
+      static_cast<int>(failed.size()));
+
+  // Per-pass breakdown: every error/warning kind seen, grouped by section.
+  if (with_bounds) {
+    std::printf("  section     errors  failing configs\n");
+    std::printf("  bounds      %6d  %d\n", stats.errors_bounds,
+                static_cast<int>(stats.failed_bounds.size()));
+    if (with_semantics)
+      std::printf("  semantics   %6d  %d\n", stats.errors_semantics,
+                  static_cast<int>(stats.failed_semantics.size()));
+  }
+  if (!stats.by_kind.empty()) {
+    std::printf("  findings by kind:\n");
+    for (const auto& [kind, n] : stats.by_kind)
+      std::printf("    %-28s %d\n", kind.c_str(), n);
+  }
+
+  if (!artifact_path.empty()) write_artifact(stats, artifact_path);
   return errors > 0 ? 1 : 0;
 }
 
@@ -293,8 +476,13 @@ int main(int argc, char** argv) {
   Case c;
   c.config.isa = Isa::kFma3;
   bool with_bounds = true;
+  bool with_semantics = false;  // single-case default; --sweep defaults on
+  bool semantics_set = false;
   bool as_text = false;
   bool sweep = false;
+  std::string artifact_path;
+  std::string check_path;
+  std::string section;
   bool tile_set = false;      // explicit --mr/--nr override the small default
   bool strategy_set = false;  // explicit --strategy overrides the small default
   frontend::EpilogueSpec epi;
@@ -375,6 +563,22 @@ int main(int argc, char** argv) {
       c.config.schedule = false;
     } else if (arg == "--no-bounds") {
       with_bounds = false;
+    } else if (arg == "--semantics") {
+      with_semantics = true;
+      semantics_set = true;
+    } else if (arg == "--no-semantics") {
+      with_semantics = false;
+      semantics_set = true;
+    } else if (arg == "--artifact") {
+      artifact_path = need_value(i);
+    } else if (arg == "--check-artifact") {
+      check_path = need_value(i);
+    } else if (arg == "--section") {
+      section = need_value(i);
+      if (section != "bounds" && section != "semantics") {
+        std::fprintf(stderr, "bad --section value: %s\n", section.c_str());
+        usage(1);
+      }
     } else if (arg == "--text") {
       as_text = true;
     } else if (arg == "--sweep") {
@@ -398,9 +602,25 @@ int main(int argc, char** argv) {
     usage(1);
   }
 
+  if (!check_path.empty()) {
+    if (section.empty()) {
+      std::fprintf(stderr, "--check-artifact requires --section\n");
+      usage(1);
+    }
+    return check_artifact(check_path, section);
+  }
+
+  // The sweep is the gate: it runs the translation validator by default so
+  // both sections land in one generation pass. Single-case mode keeps it
+  // opt-in (--semantics) since its reports are much longer.
+  if (sweep && !semantics_set) with_semantics = true;
+
   try {
-    if (sweep) return run_sweep(with_bounds);
-    return analyze_case(c, with_bounds, as_text, /*print=*/true) > 0 ? 1 : 0;
+    if (sweep) return run_sweep(with_bounds, with_semantics, artifact_path);
+    return analyze_case(c, with_bounds, with_semantics, as_text,
+                        /*print=*/true) > 0
+               ? 1
+               : 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "mirlint: %s\n", e.what());
     return 1;
