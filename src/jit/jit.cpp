@@ -17,9 +17,13 @@ struct CompiledModule::Impl {
   void* handle = nullptr;
   std::string s_path;
   std::string so_path;
+  /// Modules assembled here own their temp files; a module loaded from a
+  /// shared artifact (load_shared_object) must leave the file alone.
+  bool owns_files = true;
 
   ~Impl() {
     if (handle != nullptr) dlclose(handle);
+    if (!owns_files) return;
     if (!s_path.empty()) std::remove(s_path.c_str());
     if (!so_path.empty()) std::remove(so_path.c_str());
   }
@@ -115,6 +119,17 @@ CompiledModule compile_c(const std::string& c_text, const std::string& flags) {
   impl->handle = dlopen(impl->so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
   AUGEM_CHECK(impl->handle != nullptr,
               "dlopen failed: " << (dlerror() ? dlerror() : "?"));
+  return CompiledModule(std::move(impl));
+}
+
+CompiledModule load_shared_object(const std::string& so_path) {
+  auto impl = std::make_unique<CompiledModule::Impl>();
+  impl->so_path = so_path;
+  impl->owns_files = false;
+  impl->handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  AUGEM_CHECK(impl->handle != nullptr,
+              "dlopen " << so_path
+                        << " failed: " << (dlerror() ? dlerror() : "?"));
   return CompiledModule(std::move(impl));
 }
 

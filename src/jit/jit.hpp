@@ -39,6 +39,7 @@ class CompiledModule {
   friend CompiledModule assemble(const std::string& asm_text);
   friend CompiledModule compile_c(const std::string& c_text,
                                   const std::string& flags);
+  friend CompiledModule load_shared_object(const std::string& so_path);
   struct Impl;
   explicit CompiledModule(std::unique_ptr<Impl> impl);
   std::unique_ptr<Impl> impl_;
@@ -55,6 +56,12 @@ CompiledModule assemble(const std::string& asm_text);
 /// exactly this path.
 CompiledModule compile_c(const std::string& c_text,
                          const std::string& flags = "-O2");
+
+/// Loads an already-built shared object (e.g. a kernel artifact published
+/// by the tuning daemon, docs/serving.md) without taking ownership of the
+/// file: destruction dlcloses the handle but leaves the .so on disk, since
+/// other processes share it. Throws augem::Error when dlopen fails.
+CompiledModule load_shared_object(const std::string& so_path);
 
 /// True if a working assembler toolchain is available (checked once).
 bool toolchain_available();

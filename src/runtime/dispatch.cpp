@@ -1,6 +1,8 @@
 #include "runtime/dispatch.hpp"
 
 #include "augem/augem.hpp"
+#include "jit/jit.hpp"
+#include "service/client.hpp"
 #include "support/error.hpp"
 
 namespace augem::runtime {
@@ -52,6 +54,8 @@ KernelRuntime::KernelRuntime(RuntimeConfig config)
     db_ = std::make_unique<TuningDatabase>(config_.cache_dir);
 }
 
+KernelRuntime::~KernelRuntime() = default;
+
 KernelRuntime& KernelRuntime::global() {
   static KernelRuntime runtime{RuntimeConfig{}};
   return runtime;
@@ -63,17 +67,29 @@ RuntimeCounters KernelRuntime::counters() const {
   c.db_misses = db_misses_.load(std::memory_order_relaxed);
   c.tuner_runs = tuner_runs_.load(std::memory_order_relaxed);
   c.builds = builds_.load(std::memory_order_relaxed);
+  c.daemon_hits = daemon_hits_.load(std::memory_order_relaxed);
+  c.daemon_misses = daemon_misses_.load(std::memory_order_relaxed);
+  c.artifact_loads = artifact_loads_.load(std::memory_order_relaxed);
   return c;
 }
 
-TunedVariant KernelRuntime::tuned_variant_for(const KernelKey& key) {
-  TunedVariant v;
-  if (db_ != nullptr && db_->lookup(key, v)) {
-    db_hits_.fetch_add(1, std::memory_order_relaxed);
-    return v;
-  }
-  db_misses_.fetch_add(1, std::memory_order_relaxed);
+bool KernelRuntime::invalidate(const KernelKey& key) {
+  return cache_.erase(key);
+}
 
+service::ServiceClient* KernelRuntime::daemon_client() {
+  if (!config_.use_daemon) return nullptr;
+  std::call_once(client_once_, [this] {
+    service::ClientOptions o;
+    o.cache_dir = config_.cache_dir;
+    o.autospawn = service::want_daemon_env();
+    client_ = service::ServiceClient::try_connect(std::move(o));
+  });
+  return client_ != nullptr && client_->healthy() ? client_.get() : nullptr;
+}
+
+TunedVariant KernelRuntime::tune_variant_locally(const KernelKey& key) {
+  TunedVariant v;
   if (key.small) {
     // Small-GEMM variants skip the empirical tuner: with every extent a
     // compile-time constant the register tile follows from the shape, and
@@ -102,12 +118,60 @@ TunedVariant KernelRuntime::tuned_variant_for(const KernelKey& key) {
     v.mflops = 0.0;
   }
   if (db_ != nullptr) db_->store(key, v);
+  // A result tuned while no daemon answered is still worth sharing: offer
+  // it, and let the daemon keep whichever entry scores better.
+  if (auto* client = daemon_client()) client->publish(key, v);
   return v;
 }
 
 std::shared_ptr<const CachedKernel> KernelRuntime::build_kernel(
     const KernelKey& key) {
-  const TunedVariant variant = tuned_variant_for(key);
+  TunedVariant variant;
+  bool have_variant = false;
+
+  // The machine's tuning daemon first: it is the single writer of the
+  // shared database, and its published artifact lets this process skip the
+  // whole tune+generate+assemble pipeline. Every daemon-side failure —
+  // none running, protocol mismatch, key not servable, death mid-request —
+  // lands in the `else` and the in-process path below takes over.
+  if (auto* client = daemon_client()) {
+    if (const auto entry = client->resolve(key)) {
+      daemon_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (!entry->so_path.empty() && !entry->symbol.empty()) {
+        try {
+          auto kernel = std::make_shared<CachedKernel>();
+          kernel->key = key;
+          kernel->variant = entry->variant;
+          kernel->mr = entry->mr;
+          kernel->nr = entry->nr;
+          kernel->symbol = entry->symbol;
+          kernel->module = std::make_shared<jit::CompiledModule>(
+              jit::load_shared_object(entry->so_path));
+          kernel->entry = kernel->module->raw_symbol(entry->symbol);
+          artifact_loads_.fetch_add(1, std::memory_order_relaxed);
+          return kernel;  // no local build: one assembly per key machine-wide
+        } catch (const Error&) {
+          // Artifact unreadable (e.g. swept by a cache cleanup): build
+          // locally from the served variant.
+        }
+      }
+      variant = entry->variant;
+      have_variant = true;
+      // Deliberately NOT stored in the local database view: the daemon is
+      // the one writer of the shared file.
+    } else {
+      daemon_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (!have_variant && db_ != nullptr && db_->lookup(key, variant)) {
+    db_hits_.fetch_add(1, std::memory_order_relaxed);
+    have_variant = true;
+  }
+  if (!have_variant) {
+    db_misses_.fetch_add(1, std::memory_order_relaxed);
+    variant = tune_variant_locally(key);
+  }
   builds_.fetch_add(1, std::memory_order_relaxed);
 
   // Regeneration goes through the same pipeline as direct use of the

@@ -1,7 +1,11 @@
 #include "runtime/tunedb.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -61,38 +65,45 @@ void make_dirs(const std::string& path) {
   }
 }
 
-std::optional<DbEntry> decode_record(const Json& rec) {
-  if (!rec.is_object()) return std::nullopt;
-  const auto schema = rec.number("schema");
-  if (!schema || static_cast<int>(*schema) != kTuneDbSchema)
-    return std::nullopt;
+}  // namespace
 
+Json encode_kernel_key(const KernelKey& key) {
+  Json rec = Json::object();
+  rec["cpu"] = Json(key.cpu);
+  rec["kind"] = Json(frontend::kernel_kind_name(key.kind));
+  rec["isa"] = Json(isa_name(key.isa));
+  rec["dtype"] = Json(key.dtype);
+  rec["shape"] = Json(shape_class_name(key.shape));
+  if (key.small) {
+    rec["small_m"] = Json(key.small->m);
+    rec["small_n"] = Json(key.small->n);
+    rec["small_k"] = Json(key.small->k);
+    rec["epi_scale"] = Json(key.small->epilogue.scale);
+    rec["epi_bias"] = Json(key.small->epilogue.bias);
+    rec["epi_relu"] = Json(key.small->epilogue.relu);
+  }
+  return rec;
+}
+
+std::optional<KernelKey> decode_kernel_key(const Json& rec) {
+  if (!rec.is_object()) return std::nullopt;
   const auto cpu = rec.string("cpu");
   const auto kind_name = rec.string("kind");
   const auto isa = rec.string("isa");
   const auto dtype = rec.string("dtype");
   const auto shape_name = rec.string("shape");
-  const auto mr = rec.number("mr");
-  const auto nr = rec.number("nr");
-  const auto ku = rec.number("ku");
-  const auto unroll = rec.number("unroll");
-  const auto prefetch = rec.boolean("prefetch");
-  const auto strategy_name = rec.string("strategy");
-  const auto mflops = rec.number("mflops");
-  if (!cpu || !kind_name || !isa || !dtype || !shape_name || !mr || !nr ||
-      !ku || !unroll || !prefetch || !strategy_name || !mflops)
-    return std::nullopt;
+  if (!cpu || !kind_name || !isa || !dtype || !shape_name) return std::nullopt;
 
-  DbEntry e;
-  e.key.cpu = *cpu;
-  e.key.dtype = *dtype;
+  KernelKey key;
+  key.cpu = *cpu;
+  key.dtype = *dtype;
   const auto kind = parse_kernel_kind(*kind_name);
   const auto parsed_isa = parse_isa(*isa);
   const auto shape = parse_shape_class(*shape_name);
   if (!kind || !parsed_isa || !shape) return std::nullopt;
-  e.key.kind = *kind;
-  e.key.isa = *parsed_isa;
-  e.key.shape = *shape;
+  key.kind = *kind;
+  key.isa = *parsed_isa;
+  key.shape = *shape;
 
   // Optional small-GEMM spec: the three baked-in extents plus the fused
   // epilogue's feature flags. All-or-nothing — a record with only some of
@@ -112,58 +123,13 @@ std::optional<DbEntry> decode_record(const Json& rec) {
     if (const auto b = rec.boolean("epi_scale")) spec.epilogue.scale = *b;
     if (const auto b = rec.boolean("epi_bias")) spec.epilogue.bias = *b;
     if (const auto b = rec.boolean("epi_relu")) spec.epilogue.relu = *b;
-    e.key.small = spec;
+    key.small = spec;
   }
-
-  e.variant.params.mr = static_cast<int>(*mr);
-  e.variant.params.nr = static_cast<int>(*nr);
-  e.variant.params.ku = static_cast<int>(*ku);
-  e.variant.params.unroll = static_cast<int>(*unroll);
-  e.variant.params.prefetch.enabled = *prefetch;
-  if (const auto dist = rec.number("prefetch_distance"))
-    e.variant.params.prefetch.distance = static_cast<int>(*dist);
-  e.variant.mflops = *mflops;
-
-  bool strategy_known = false;
-  for (opt::VecStrategy s :
-       {opt::VecStrategy::kAuto, opt::VecStrategy::kVdup,
-        opt::VecStrategy::kShuf, opt::VecStrategy::kScalar})
-    if (*strategy_name == opt::vec_strategy_name(s)) {
-      e.variant.strategy = s;
-      strategy_known = true;
-    }
-  if (!strategy_known) return std::nullopt;
-
-  // Reject parameter values no generator configuration can produce — a
-  // bit-flipped record must not reach the kernel generator.
-  const auto plausible = [](int v) { return v >= 1 && v <= 1024; };
-  if (!plausible(e.variant.params.mr) || !plausible(e.variant.params.nr) ||
-      !plausible(e.variant.params.ku) || !plausible(e.variant.params.unroll))
-    return std::nullopt;
-  // A small-GEMM record whose register tile cannot divide its baked-in
-  // extents would make the generator throw; treat it as corrupt instead.
-  if (e.key.small && (e.key.small->m % e.variant.params.mr != 0 ||
-                      e.key.small->n % e.variant.params.nr != 0))
-    return std::nullopt;
-  return e;
+  return key;
 }
 
-Json encode_record(const KernelKey& key, const TunedVariant& v) {
+Json encode_tuned_variant(const TunedVariant& v) {
   Json rec = Json::object();
-  rec["schema"] = Json(kTuneDbSchema);
-  rec["cpu"] = Json(key.cpu);
-  rec["kind"] = Json(frontend::kernel_kind_name(key.kind));
-  rec["isa"] = Json(isa_name(key.isa));
-  rec["dtype"] = Json(key.dtype);
-  rec["shape"] = Json(shape_class_name(key.shape));
-  if (key.small) {
-    rec["small_m"] = Json(key.small->m);
-    rec["small_n"] = Json(key.small->n);
-    rec["small_k"] = Json(key.small->k);
-    rec["epi_scale"] = Json(key.small->epilogue.scale);
-    rec["epi_bias"] = Json(key.small->epilogue.bias);
-    rec["epi_relu"] = Json(key.small->epilogue.relu);
-  }
   rec["mr"] = Json(v.params.mr);
   rec["nr"] = Json(v.params.nr);
   rec["ku"] = Json(v.params.ku);
@@ -175,7 +141,85 @@ Json encode_record(const KernelKey& key, const TunedVariant& v) {
   return rec;
 }
 
-}  // namespace
+std::optional<TunedVariant> decode_tuned_variant(const Json& rec) {
+  if (!rec.is_object()) return std::nullopt;
+  const auto mr = rec.number("mr");
+  const auto nr = rec.number("nr");
+  const auto ku = rec.number("ku");
+  const auto unroll = rec.number("unroll");
+  const auto prefetch = rec.boolean("prefetch");
+  const auto strategy_name = rec.string("strategy");
+  const auto mflops = rec.number("mflops");
+  if (!mr || !nr || !ku || !unroll || !prefetch || !strategy_name || !mflops)
+    return std::nullopt;
+
+  TunedVariant v;
+  v.params.mr = static_cast<int>(*mr);
+  v.params.nr = static_cast<int>(*nr);
+  v.params.ku = static_cast<int>(*ku);
+  v.params.unroll = static_cast<int>(*unroll);
+  v.params.prefetch.enabled = *prefetch;
+  if (const auto dist = rec.number("prefetch_distance"))
+    v.params.prefetch.distance = static_cast<int>(*dist);
+  v.mflops = *mflops;
+
+  bool strategy_known = false;
+  for (opt::VecStrategy s :
+       {opt::VecStrategy::kAuto, opt::VecStrategy::kVdup,
+        opt::VecStrategy::kShuf, opt::VecStrategy::kScalar})
+    if (*strategy_name == opt::vec_strategy_name(s)) {
+      v.strategy = s;
+      strategy_known = true;
+    }
+  if (!strategy_known) return std::nullopt;
+
+  // Reject parameter values no generator configuration can produce — a
+  // bit-flipped record must not reach the kernel generator.
+  const auto plausible = [](int x) { return x >= 1 && x <= 1024; };
+  if (!plausible(v.params.mr) || !plausible(v.params.nr) ||
+      !plausible(v.params.ku) || !plausible(v.params.unroll))
+    return std::nullopt;
+  return v;
+}
+
+Json encode_db_record(const KernelKey& key, const TunedVariant& v) {
+  Json rec = encode_kernel_key(key);
+  const Json variant = encode_tuned_variant(v);
+  for (const auto& [field, value] : variant.fields()) rec[field] = value;
+  rec["schema"] = Json(kTuneDbSchema);
+  return rec;
+}
+
+std::optional<DbEntry> decode_db_record(const Json& rec) {
+  if (!rec.is_object()) return std::nullopt;
+  const auto schema = rec.number("schema");
+  if (!schema || static_cast<int>(*schema) != kTuneDbSchema)
+    return std::nullopt;
+  const auto key = decode_kernel_key(rec);
+  const auto variant = decode_tuned_variant(rec);
+  if (!key || !variant) return std::nullopt;
+
+  DbEntry e;
+  e.key = *key;
+  e.variant = *variant;
+  // A small-GEMM record whose register tile cannot divide its baked-in
+  // extents would make the generator throw; treat it as corrupt instead.
+  if (e.key.small && (e.key.small->m % e.variant.params.mr != 0 ||
+                      e.key.small->n % e.variant.params.nr != 0))
+    return std::nullopt;
+  return e;
+}
+
+Json ReplayStats::to_json() const {
+  Json j = Json::object();
+  j["total_lines"] = Json(static_cast<double>(total_lines));
+  j["parse_errors"] = Json(static_cast<double>(parse_errors));
+  j["schema_mismatches"] = Json(static_cast<double>(schema_mismatches));
+  j["invalid_records"] = Json(static_cast<double>(invalid_records));
+  j["skipped"] = Json(static_cast<double>(skipped()));
+  j["live_entries"] = Json(static_cast<double>(live_entries));
+  return j;
+}
 
 TuningDatabase::TuningDatabase(std::string dir)
     : dir_(dir.empty() ? default_cache_dir() : std::move(dir)) {
@@ -192,22 +236,34 @@ std::string TuningDatabase::file_path() const {
 
 void TuningDatabase::replay_locked() {
   entries_.clear();
-  skipped_ = 0;
+  replay_ = ReplayStats{};
   std::ifstream in(file_path());
   if (!in.good()) return;  // no database yet: every lookup misses
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    ++replay_.total_lines;
+    // Corrupt, truncated, or foreign-schema lines are skipped (counted per
+    // category): the entry such a line would have named simply misses and
+    // gets re-tuned + re-appended.
     const auto doc = parse_json(line);
-    const auto entry = doc ? decode_record(*doc) : std::nullopt;
+    if (!doc) {
+      ++replay_.parse_errors;
+      continue;
+    }
+    const auto schema = doc->number("schema");
+    if (!schema || static_cast<int>(*schema) != kTuneDbSchema) {
+      ++replay_.schema_mismatches;
+      continue;
+    }
+    const auto entry = decode_db_record(*doc);
     if (!entry) {
-      // Corrupt, truncated, or foreign-schema line: skip it. The entry it
-      // would have named simply misses and gets re-tuned + re-appended.
-      ++skipped_;
+      ++replay_.invalid_records;
       continue;
     }
     entries_[entry->key.to_string()] = *entry;  // last entry wins
   }
+  replay_.live_entries = entries_.size();
 }
 
 bool TuningDatabase::lookup(const KernelKey& key, TunedVariant& out) const {
@@ -221,10 +277,33 @@ bool TuningDatabase::lookup(const KernelKey& key, TunedVariant& out) const {
 void TuningDatabase::append_locked(const KernelKey& key,
                                    const TunedVariant& variant) {
   make_dirs(dir_);
-  std::ofstream out(file_path(), std::ios::app);
-  AUGEM_CHECK(out.good(), "cannot write tuning database " << file_path());
-  out << encode_record(key, variant).dump() << "\n";
-  out.flush();
+  const std::string line = encode_db_record(key, variant).dump() + "\n";
+  // O_APPEND makes each successful write land at the end of the file, but
+  // libc/ofstream may split one line across several writes; an advisory
+  // flock around the whole line keeps two processes sharing AUGEM_CACHE_DIR
+  // from interleaving partial lines (the corrupt lines the reader would
+  // then have to skip). flock failure degrades to O_APPEND-only — a
+  // filesystem without lock support must not make stores fatal.
+  const int fd = ::open(file_path().c_str(),
+                        O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  AUGEM_CHECK(fd >= 0, "cannot write tuning database " << file_path());
+  (void)::flock(fd, LOCK_EX);
+  const char* p = line.data();
+  std::size_t left = line.size();
+  bool ok = true;
+  while (left > 0) {
+    const ssize_t w = ::write(fd, p, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    p += w;
+    left -= static_cast<std::size_t>(w);
+  }
+  (void)::flock(fd, LOCK_UN);
+  ::close(fd);
+  AUGEM_CHECK(ok, "cannot write tuning database " << file_path());
 }
 
 void TuningDatabase::store(const KernelKey& key, const TunedVariant& variant) {
@@ -244,7 +323,7 @@ void TuningDatabase::reload() {
 void TuningDatabase::purge() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
-  skipped_ = 0;
+  replay_ = ReplayStats{};
   std::remove(file_path().c_str());
 }
 
@@ -258,7 +337,12 @@ std::vector<DbEntry> TuningDatabase::entries() const {
 
 std::uint64_t TuningDatabase::skipped_records() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return skipped_;
+  return replay_.skipped();
+}
+
+ReplayStats TuningDatabase::replay_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return replay_;
 }
 
 }  // namespace augem::runtime

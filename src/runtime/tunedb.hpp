@@ -9,19 +9,24 @@
 // AUGEM_CACHE_DIR; AUGEM_DISABLE_TUNE_CACHE=1 disables persistence
 // entirely).
 //
-// Durability contract: records are appended atomically-per-line with
-// last-entry-wins replay, every record carries a schema version, and any
-// line that fails to parse or validate is *skipped* — a corrupt or
-// truncated database degrades to a cold cache, it never takes the process
-// down.
+// Durability contract: records are appended atomically-per-line (O_APPEND
+// plus an advisory flock around each append, so two processes sharing
+// AUGEM_CACHE_DIR cannot interleave partial lines) with last-entry-wins
+// replay, every record carries a schema version, and any line that fails
+// to parse or validate is *skipped* — a corrupt or truncated database
+// degrades to a cold cache, it never takes the process down. Replays
+// count what they skipped per category (ReplayStats) so fleet health is
+// inspectable.
 
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "runtime/key.hpp"
+#include "support/json.hpp"
 #include "tuning/tuner.hpp"
 
 namespace augem::runtime {
@@ -48,6 +53,46 @@ struct DbEntry {
 /// Schema version written into every record; loaders skip records from a
 /// different schema (they will be re-tuned and re-appended).
 inline constexpr int kTuneDbSchema = 1;
+
+// ---- record codecs ---------------------------------------------------------
+//
+// The database file and the tuning-service wire protocol (src/service)
+// speak the same JSON shape, so the codecs are exported instead of living
+// in the .cpp: a record is the union of its key fields and variant fields
+// plus the schema tag. Decoders return nullopt on anything missing,
+// mistyped, or implausible — the caller treats that as a corrupt record
+// (or a malformed request), never as a crash.
+
+/// Key fields only (cpu, kind, isa, dtype, shape, optional small spec).
+Json encode_kernel_key(const KernelKey& key);
+std::optional<KernelKey> decode_kernel_key(const Json& j);
+
+/// Variant fields only (tile params, strategy, mflops). Rejects parameter
+/// values no generator configuration can produce.
+Json encode_tuned_variant(const TunedVariant& v);
+std::optional<TunedVariant> decode_tuned_variant(const Json& j);
+
+/// One full on-disk record (schema + key + variant). decode additionally
+/// enforces cross-field validity (a small-GEMM record whose register tile
+/// cannot divide its baked-in extents is corrupt).
+Json encode_db_record(const KernelKey& key, const TunedVariant& v);
+std::optional<DbEntry> decode_db_record(const Json& rec);
+
+/// Per-category accounting of the last replay, exposed so fleet health is
+/// inspectable (`augem_tunedb list --json`, the daemon's `stats` request)
+/// instead of silently folded into one number.
+struct ReplayStats {
+  std::uint64_t total_lines = 0;       ///< non-empty lines seen
+  std::uint64_t parse_errors = 0;      ///< not valid JSON (truncated/garbled)
+  std::uint64_t schema_mismatches = 0; ///< valid JSON, foreign/missing schema
+  std::uint64_t invalid_records = 0;   ///< right schema, bad/implausible fields
+  std::uint64_t live_entries = 0;      ///< entries after last-entry-wins
+
+  std::uint64_t skipped() const {
+    return parse_errors + schema_mismatches + invalid_records;
+  }
+  Json to_json() const;
+};
 
 /// Resolves the cache directory: $AUGEM_CACHE_DIR, else $HOME/.cache/augem,
 /// else /tmp/augem-cache. The directory is not created here.
@@ -88,6 +133,9 @@ class TuningDatabase {
   /// different schema, or truncated. Exposed for tests and the CLI.
   std::uint64_t skipped_records() const;
 
+  /// The full per-category breakdown of the last replay.
+  ReplayStats replay_stats() const;
+
  private:
   void replay_locked();
   void append_locked(const KernelKey& key, const TunedVariant& variant);
@@ -95,7 +143,7 @@ class TuningDatabase {
   std::string dir_;
   mutable std::mutex mutex_;
   std::map<std::string, DbEntry> entries_;  ///< keyed by KernelKey::to_string
-  std::uint64_t skipped_ = 0;
+  ReplayStats replay_;
 };
 
 }  // namespace augem::runtime

@@ -1,0 +1,173 @@
+#include "service/client.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace augem::service {
+
+namespace {
+
+/// Connects to the unix socket; -1 on any failure (including a path too
+/// long for sockaddr_un — then there simply is no daemon for this dir).
+int connect_socket(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void set_timeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - double(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Spawns `augem_serviced --dir <dir>` detached (double fork: the
+/// grandchild is re-parented to init, so the caller never collects it and
+/// the daemon outlives the spawning client). The binary is $AUGEM_SERVICED
+/// or "augem_serviced" on PATH; a missing binary just means the connect
+/// retry below fails and the caller falls back in-process.
+void spawn_serviced(const std::string& dir) {
+  const char* env = std::getenv("AUGEM_SERVICED");
+  const std::string bin =
+      env != nullptr && env[0] != '\0' ? env : "augem_serviced";
+  const pid_t child = ::fork();
+  if (child < 0) return;
+  if (child == 0) {
+    ::setsid();  // own session: no controlling terminal, survives the client
+    const pid_t grandchild = ::fork();
+    if (grandchild != 0) ::_exit(grandchild > 0 ? 0 : 127);
+    const int devnull = ::open("/dev/null", O_RDWR);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDIN_FILENO);
+      ::dup2(devnull, STDOUT_FILENO);
+      ::dup2(devnull, STDERR_FILENO);
+      if (devnull > STDERR_FILENO) ::close(devnull);
+    }
+    ::execlp(bin.c_str(), bin.c_str(), "--dir", dir.c_str(),
+             static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  int status = 0;
+  ::waitpid(child, &status, 0);  // the intermediate exits immediately
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(ClientOptions opts, int fd)
+    : opts_(std::move(opts)), fd_(fd), healthy_(true) {}
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool ServiceClient::healthy() const { return healthy_; }
+
+std::unique_ptr<ServiceClient> ServiceClient::try_connect(ClientOptions opts) {
+  if (no_daemon_env()) return nullptr;
+  if (opts.cache_dir.empty()) opts.cache_dir = runtime::default_cache_dir();
+  const std::string path = socket_path(opts.cache_dir);
+
+  int fd = connect_socket(path);
+  if (fd < 0 && opts.autospawn) {
+    spawn_serviced(opts.cache_dir);
+    // The daemon needs a moment to bind; bounded retry, then give up and
+    // serve in-process (the spawn may have failed entirely — no binary,
+    // another daemon racing for the dir lock, ...).
+    for (int attempt = 0; attempt < 100 && fd < 0; ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      fd = connect_socket(path);
+    }
+  }
+  if (fd < 0) return nullptr;
+  set_timeout(fd, opts.timeout_s);
+
+  auto client =
+      std::unique_ptr<ServiceClient>(new ServiceClient(std::move(opts), fd));
+  // Version handshake: both sides name their protocol version; any
+  // mismatch (or a peer that is not a tuning daemon at all) disqualifies
+  // the connection before a single real request.
+  Json hello = make_request("hello");
+  hello["v"] = Json(client->opts_.protocol_version);
+  const auto reply = client->roundtrip(hello);
+  if (!reply || !response_ok(*reply)) return nullptr;
+  const auto daemon_version = reply->number("v");
+  if (!daemon_version ||
+      static_cast<int>(*daemon_version) != kServiceProtocolVersion)
+    return nullptr;
+  return client;
+}
+
+std::optional<Json> ServiceClient::roundtrip(const Json& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!healthy_ || fd_ < 0) return std::nullopt;
+  Json reply;
+  if (!write_frame(fd_, request) ||
+      read_frame(fd_, reply) != ReadStatus::kOk) {
+    // Any transport failure poisons the connection: requests and replies
+    // can no longer be paired up, so the client goes dead and the runtime
+    // falls back in-process for the rest of this process's lifetime.
+    healthy_ = false;
+    return std::nullopt;
+  }
+  return reply;
+}
+
+std::optional<ResolvedEntry> ServiceClient::resolve(
+    const runtime::KernelKey& key) {
+  Json req = make_request("resolve");
+  req["key"] = runtime::encode_kernel_key(key);
+  const auto reply = roundtrip(req);
+  if (!reply || !response_ok(*reply)) return std::nullopt;
+  const Json* variant = reply->get("variant");
+  if (variant == nullptr) return std::nullopt;
+  const auto decoded = runtime::decode_tuned_variant(*variant);
+  if (!decoded) return std::nullopt;
+
+  ResolvedEntry entry;
+  entry.variant = *decoded;
+  if (const auto so = reply->string("so")) entry.so_path = *so;
+  if (const auto sym = reply->string("symbol")) entry.symbol = *sym;
+  if (const auto mr = reply->number("mr")) entry.mr = static_cast<int>(*mr);
+  if (const auto nr = reply->number("nr")) entry.nr = static_cast<int>(*nr);
+  return entry;
+}
+
+bool ServiceClient::publish(const runtime::KernelKey& key,
+                            const runtime::TunedVariant& variant) {
+  Json req = make_request("publish");
+  req["key"] = runtime::encode_kernel_key(key);
+  req["variant"] = runtime::encode_tuned_variant(variant);
+  const auto reply = roundtrip(req);
+  return reply && response_ok(*reply);
+}
+
+std::optional<Json> ServiceClient::stats() {
+  const auto reply = roundtrip(make_request("stats"));
+  if (!reply || !response_ok(*reply)) return std::nullopt;
+  return reply;
+}
+
+bool ServiceClient::request_shutdown() {
+  const auto reply = roundtrip(make_request("shutdown"));
+  return reply && response_ok(*reply);
+}
+
+}  // namespace augem::service

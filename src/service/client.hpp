@@ -1,0 +1,98 @@
+#pragma once
+// Thin client of the per-machine tuning daemon (docs/serving.md).
+//
+// The client is a *pure acceleration layer* for the kernel runtime: on a
+// local-database miss the dispatcher asks the daemon before paying a tuner
+// run, and uses the daemon's published .so artifact instead of paying a
+// generate→assemble cycle. Every failure mode — no daemon, connect
+// refused, protocol-version mismatch, mid-request death, AUGEM_NO_DAEMON —
+// degrades to "resolve() returns nullopt" and the dispatcher continues on
+// the existing in-process path, so no client-visible call can fail because
+// a daemon is missing or dying.
+//
+// Engagement policy (decided in try_connect, documented in the fallback
+// matrix of docs/serving.md):
+//   * AUGEM_NO_DAEMON=1            -> never connect, never spawn;
+//   * a live socket in the dir     -> connect to it;
+//   * AUGEM_DAEMON=1, dead socket  -> auto-spawn `augem_serviced` for the
+//                                     dir, then connect (first-miss spawn);
+//   * otherwise                    -> no client, pure in-process serving.
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "runtime/tunedb.hpp"
+#include "service/protocol.hpp"
+
+namespace augem::service {
+
+struct ClientOptions {
+  /// Cache directory whose daemon to talk to; empty resolves through
+  /// runtime::default_cache_dir() (AUGEM_CACHE_DIR et al.).
+  std::string cache_dir;
+  /// Spawn `augem_serviced` when no daemon answers (see engagement policy;
+  /// the dispatcher sets this from AUGEM_DAEMON).
+  bool autospawn = false;
+  /// Per-request receive timeout. Generous by default: a cold resolve can
+  /// sit behind a server-side tuner run.
+  double timeout_s = 300.0;
+  /// Version sent in the handshake — a test hook; leave at the default.
+  int protocol_version = kServiceProtocolVersion;
+};
+
+/// What a daemon-side resolve hands back: the tuned variant, plus (when
+/// artifact publication succeeded) the shared object every process on the
+/// machine can dlopen directly — the "one build per key machine-wide" path.
+struct ResolvedEntry {
+  runtime::TunedVariant variant;
+  std::string so_path;  ///< empty: no shared artifact, build locally
+  std::string symbol;
+  int mr = 0;  ///< GEMM register tile of the published artifact
+  int nr = 0;
+};
+
+class ServiceClient {
+ public:
+  ~ServiceClient();
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Applies the engagement policy and performs the version handshake.
+  /// nullptr means "no daemon": the caller serves in-process.
+  static std::unique_ptr<ServiceClient> try_connect(ClientOptions opts);
+
+  /// Asks the daemon to resolve `key` (tuning and building server-side if
+  /// needed). nullopt on any failure; the client is dead afterwards
+  /// (healthy() false) and every later call returns failure immediately.
+  std::optional<ResolvedEntry> resolve(const runtime::KernelKey& key);
+
+  /// Offers a locally tuned result to the daemon (e.g. tuned while the
+  /// daemon was down). The daemon keeps the better entry.
+  bool publish(const runtime::KernelKey& key,
+               const runtime::TunedVariant& variant);
+
+  /// The daemon's counters / cache / database status as a JSON object.
+  std::optional<Json> stats();
+
+  /// Asks the daemon to exit gracefully.
+  bool request_shutdown();
+
+  bool healthy() const;
+  const std::string& dir() const { return opts_.cache_dir; }
+
+ private:
+  explicit ServiceClient(ClientOptions opts, int fd);
+
+  /// One request/response exchange; marks the client dead on any framing,
+  /// I/O, or timeout failure.
+  std::optional<Json> roundtrip(const Json& request);
+
+  ClientOptions opts_;
+  int fd_ = -1;
+  bool healthy_ = false;
+  std::mutex mutex_;  ///< requests are serialized on the one connection
+};
+
+}  // namespace augem::service

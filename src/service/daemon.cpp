@@ -1,0 +1,647 @@
+#include "service/daemon.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "augem/augem.hpp"
+#include "jit/jit.hpp"
+#include "perf/report.hpp"
+#include "support/buffer.hpp"
+#include "support/error.hpp"
+#include "support/flops.hpp"
+#include "support/rng.hpp"
+
+namespace augem::service {
+
+using runtime::CachedKernel;
+using runtime::KernelKey;
+using runtime::KernelRuntime;
+using runtime::TunedVariant;
+using frontend::KernelKind;
+
+namespace {
+
+/// mkdir -p: every component, existing directories tolerated.
+void make_dirs(const std::string& path) {
+  std::string partial;
+  std::istringstream is(path);
+  std::string component;
+  if (!path.empty() && path[0] == '/') partial = "/";
+  while (std::getline(is, component, '/')) {
+    if (component.empty()) continue;
+    partial += component;
+    partial += '/';
+    ::mkdir(partial.c_str(), 0755);  // EEXIST is fine
+  }
+}
+
+bool same_configuration(const TunedVariant& a, const TunedVariant& b) {
+  return a.params.mr == b.params.mr && a.params.nr == b.params.nr &&
+         a.params.ku == b.params.ku && a.params.unroll == b.params.unroll &&
+         a.params.prefetch.enabled == b.params.prefetch.enabled &&
+         a.params.prefetch.distance == b.params.prefetch.distance &&
+         a.strategy == b.strategy;
+}
+
+/// Generates + assembles `variant` for `key` and times it on the tuning
+/// workload with the BenchRunner, so the promotion gate's numbers carry
+/// the same semantics (median of post-warmup reps with a CI) as every
+/// other GFLOPS figure in the repository.
+perf::Measurement measure_variant(const KernelKey& key,
+                                  const TunedVariant& variant,
+                                  const tuning::TuneWorkload& w,
+                                  const perf::RunnerOptions& ropts) {
+  GenerateOptions options = default_options(key.kind, key.isa);
+  options.params = variant.params;
+  options.config.isa = key.isa;
+  options.config.strategy = variant.strategy;
+  const asmgen::GeneratedKernel gen = generate_kernel(key.kind, options);
+  jit::CompiledModule mod = jit::assemble(gen.asm_text);
+
+  const perf::BenchRunner runner(ropts);
+  Rng rng(11);
+  switch (key.kind) {
+    case KernelKind::kGemm: {
+      auto* fn = mod.fn<void(long, long, long, const double*, const double*,
+                             double*, long)>(gen.name);
+      DoubleBuffer a(static_cast<std::size_t>(w.mc * w.kc));
+      DoubleBuffer b(static_cast<std::size_t>(w.nc * w.kc));
+      DoubleBuffer c(static_cast<std::size_t>(w.nc * w.mc));
+      rng.fill(a.span());
+      rng.fill(b.span());
+      const std::int64_t m_main = w.mc / variant.params.mr * variant.params.mr;
+      const std::int64_t n_main = w.nc / variant.params.nr * variant.params.nr;
+      return runner.run(gemm_flops(m_main, n_main, w.kc), [&] {
+        fn(m_main, n_main, w.kc, a.data(), b.data(), c.data(), w.mc);
+      });
+    }
+    case KernelKind::kGemv: {
+      auto* fn = mod.fn<void(long, long, const double*, long, const double*,
+                             double*)>(gen.name);
+      const std::int64_t m = w.vec_len / 8, n = 64;
+      DoubleBuffer a(static_cast<std::size_t>(m * n));
+      DoubleBuffer x(static_cast<std::size_t>(n));
+      DoubleBuffer y(static_cast<std::size_t>(m));
+      rng.fill(a.span());
+      rng.fill(x.span());
+      return runner.run(gemv_flops(m, n),
+                        [&] { fn(m, n, a.data(), m, x.data(), y.data()); });
+    }
+    case KernelKind::kAxpy: {
+      auto* fn = mod.fn<void(long, double, const double*, double*)>(gen.name);
+      DoubleBuffer x(static_cast<std::size_t>(w.vec_len));
+      DoubleBuffer y(static_cast<std::size_t>(w.vec_len));
+      rng.fill(x.span());
+      return runner.run(axpy_flops(w.vec_len),
+                        [&] { fn(w.vec_len, 1.1, x.data(), y.data()); });
+    }
+    case KernelKind::kScal: {
+      auto* fn = mod.fn<void(long, double, double*)>(gen.name);
+      DoubleBuffer x(static_cast<std::size_t>(w.vec_len));
+      rng.fill(x.span());
+      return runner.run(static_cast<double>(w.vec_len),
+                        [&] { fn(w.vec_len, 1.0000001, x.data()); });
+    }
+    case KernelKind::kDot: {
+      auto* fn = mod.fn<double(long, const double*, const double*)>(gen.name);
+      DoubleBuffer x(static_cast<std::size_t>(w.vec_len));
+      DoubleBuffer y(static_cast<std::size_t>(w.vec_len));
+      rng.fill(x.span());
+      rng.fill(y.span());
+      volatile double sink = 0.0;
+      const perf::Measurement m = runner.run(
+          dot_flops(w.vec_len),
+          [&] { sink = fn(w.vec_len, x.data(), y.data()); });
+      (void)sink;
+      return m;
+    }
+  }
+  AUGEM_FAIL("unknown kernel kind");
+}
+
+}  // namespace
+
+Json DaemonCounters::to_json() const {
+  Json j = Json::object();
+  j["connections"] = Json(static_cast<double>(connections));
+  j["resolves"] = Json(static_cast<double>(resolves));
+  j["resolve_hits"] = Json(static_cast<double>(resolve_hits));
+  j["builds_deduped"] = Json(static_cast<double>(builds_deduped));
+  j["publishes"] = Json(static_cast<double>(publishes));
+  j["retunes"] = Json(static_cast<double>(retunes));
+  j["promotions"] = Json(static_cast<double>(promotions));
+  j["rejected_promotions"] = Json(static_cast<double>(rejected_promotions));
+  j["protocol_errors"] = Json(static_cast<double>(protocol_errors));
+  return j;
+}
+
+const char* promotion_outcome_name(PromotionOutcome o) {
+  switch (o) {
+    case PromotionOutcome::kPromoted: return "promoted";
+    case PromotionOutcome::kRejected: return "rejected";
+    case PromotionOutcome::kUnchanged: return "unchanged";
+    case PromotionOutcome::kError: return "error";
+  }
+  return "?";
+}
+
+Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {
+  dir_ = config_.cache_dir.empty() ? runtime::default_cache_dir()
+                                   : config_.cache_dir;
+  runtime::RuntimeConfig rc;
+  rc.cache_dir = dir_;
+  rc.use_persistent = true;  // the daemon IS the persistence layer
+  rc.workload_override = config_.workload_override;
+  rc.code_cache_capacity = config_.code_cache_capacity;
+  rc.use_daemon = false;  // never fall through to (i.e. recurse into) itself
+  rt_ = std::make_unique<KernelRuntime>(rc);
+}
+
+Daemon::~Daemon() {
+  stop();
+  if (lock_fd_ >= 0) ::close(lock_fd_);
+}
+
+bool Daemon::start() {
+  if (running_.load()) return true;
+  make_dirs(artifact_dir(dir_));  // also creates dir_ itself
+
+  // Single instance per directory: the holder of the flock is the one
+  // authoritative writer. A crashed daemon's lock dies with its process,
+  // so recovery is automatic — no stale-pidfile heuristics.
+  lock_fd_ = ::open(lock_path(dir_).c_str(),
+                    O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (lock_fd_ < 0) {
+    last_error_ = "cannot open " + lock_path(dir_);
+    return false;
+  }
+  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    last_error_ = "another daemon owns " + dir_;
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    return false;
+  }
+
+  const std::string path = socket_path();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    last_error_ = "socket path too long: " + path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // we hold the lock: any existing socket is stale
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0 ||
+      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    last_error_ = "cannot bind " + path + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  running_.store(true);
+  shutdown_requested_.store(false);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (config_.retune) retune_thread_ = std::thread([this] { retune_loop(); });
+  return true;
+}
+
+void Daemon::stop() {
+  if (!running_.exchange(false)) return;
+  stop_cv_.notify_all();
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    // Wake every connection handler blocked in read_frame.
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (retune_thread_.joinable()) retune_thread_.join();
+  {
+    std::unique_lock<std::mutex> lock(conn_mutex_);
+    conn_cv_.wait(lock, [this] { return conn_fds_.empty(); });
+  }
+  ::unlink(socket_path().c_str());
+  if (lock_fd_ >= 0) {
+    ::close(lock_fd_);  // releases the flock: a successor may take over
+    lock_fd_ = -1;
+  }
+}
+
+void Daemon::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      if (errno == EINTR) continue;
+      break;  // listen socket gone
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++counters_.connections;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      conn_fds_.insert(fd);
+    }
+    // One detached thread per connection: requests are short and clients
+    // hold one connection each; stop() waits for the set to drain.
+    std::thread([this, fd] {
+      handle_connection(fd);
+      ::close(fd);
+      {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        conn_fds_.erase(fd);
+      }
+      conn_cv_.notify_all();
+    }).detach();
+  }
+}
+
+void Daemon::handle_connection(int fd) {
+  while (running_.load()) {
+    Json request;
+    const ReadStatus st = read_frame(fd, request);
+    if (st == ReadStatus::kEof) return;
+    if (st == ReadStatus::kError) {
+      // Garbage, a truncated frame, or a peer that died mid-request. The
+      // framing cannot resync, so the connection is done — but the daemon
+      // keeps serving everyone else.
+      if (running_.load()) {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        ++counters_.protocol_errors;
+      }
+      return;
+    }
+    bool close_after = false;
+    Json response;
+    const auto version = request.number("v");
+    const auto op = request.string("op");
+    if (!version || static_cast<int>(*version) != kServiceProtocolVersion) {
+      response = make_error_response("protocol-version-mismatch");
+      response["v"] = Json(kServiceProtocolVersion);
+      close_after = true;
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++counters_.protocol_errors;
+    } else if (!op) {
+      response = make_error_response("missing-op");
+      close_after = true;
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++counters_.protocol_errors;
+    } else {
+      response = handle_request(request);
+      close_after = *op == "shutdown";
+    }
+    if (!write_frame(fd, response)) return;
+    if (close_after) return;
+  }
+}
+
+Json Daemon::handle_request(const Json& request) {
+  const std::string op = *request.string("op");
+  if (op == "hello") {
+    Json r = make_ok_response();
+    r["v"] = Json(kServiceProtocolVersion);
+    r["pid"] = Json(static_cast<double>(::getpid()));
+    return r;
+  }
+  if (op == "resolve") return handle_resolve(request);
+  if (op == "publish") return handle_publish(request);
+  if (op == "stats") return handle_stats();
+  if (op == "shutdown") {
+    shutdown_requested_.store(true);
+    stop_cv_.notify_all();
+    return make_ok_response();
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.protocol_errors;
+  }
+  return make_error_response("unknown-op: " + op);
+}
+
+Json Daemon::handle_resolve(const Json& request) {
+  const Json* kj = request.get("key");
+  const auto key = kj != nullptr ? runtime::decode_kernel_key(*kj)
+                                 : std::nullopt;
+  if (!key) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.protocol_errors;
+    return make_error_response("bad-key");
+  }
+  // A tuned kernel is only valid on its machine class; a key for another
+  // CPU / ISA / dtype is not servable here and the client must fall back.
+  KernelKey expected = runtime::host_kernel_key(key->kind, key->shape);
+  expected.small = key->small;
+  if (!(expected == *key))
+    return make_error_response("key-mismatch: not servable on this host");
+
+  const std::string ks = key->to_string();
+  bool was_inflight = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.resolves;
+    TunedVariant tmp;
+    if (rt_->database() != nullptr && rt_->database()->lookup(*key, tmp))
+      ++counters_.resolve_hits;
+    was_inflight = !inflight_.insert(ks).second;
+    if (was_inflight) ++counters_.builds_deduped;
+  }
+
+  Json response;
+  try {
+    // The runtime's per-key promise/future dedup makes the concurrent
+    // requesters of one key block here on a single tuner+build.
+    const auto kernel = key->small ? rt_->resolve_small(*key->small)
+                                   : rt_->resolve(key->kind, key->shape);
+    note_served(*key);
+    const std::string so = publish_artifact(*key, kernel);
+    response = make_ok_response();
+    response["variant"] = runtime::encode_tuned_variant(kernel->variant);
+    response["symbol"] = Json(kernel->symbol);
+    response["mr"] = Json(kernel->mr);
+    response["nr"] = Json(kernel->nr);
+    if (!so.empty()) response["so"] = Json(so);
+  } catch (const Error& e) {
+    response = make_error_response(std::string("resolve-failed: ") + e.what());
+  }
+  if (!was_inflight) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    inflight_.erase(ks);
+  }
+  return response;
+}
+
+Json Daemon::handle_publish(const Json& request) {
+  const Json* kj = request.get("key");
+  const Json* vj = request.get("variant");
+  const auto key = kj != nullptr ? runtime::decode_kernel_key(*kj)
+                                 : std::nullopt;
+  const auto variant = vj != nullptr ? runtime::decode_tuned_variant(*vj)
+                                     : std::nullopt;
+  if (!key || !variant ||
+      (key->small && (key->small->m % variant->params.mr != 0 ||
+                      key->small->n % variant->params.nr != 0))) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.protocol_errors;
+    return make_error_response("bad-record");
+  }
+  bool stored = false;
+  if (auto* db = rt_->database()) {
+    TunedVariant existing;
+    // Keep the better-scored entry: a publish never downgrades what the
+    // daemon already serves.
+    if (!db->lookup(*key, existing) || existing.mflops < variant->mflops) {
+      db->store(*key, *variant);
+      stored = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.publishes;
+  }
+  Json r = make_ok_response();
+  r["stored"] = Json(stored);
+  return r;
+}
+
+Json Daemon::handle_stats() {
+  Json r = make_ok_response();
+  r["v"] = Json(kServiceProtocolVersion);
+  r["pid"] = Json(static_cast<double>(::getpid()));
+  r["dir"] = Json(dir_);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    r["counters"] = counters_.to_json();
+    r["served_keys"] = Json(static_cast<double>(served_.size()));
+  }
+  const auto rc = rt_->counters();
+  Json rj = Json::object();
+  rj["db_hits"] = Json(static_cast<double>(rc.db_hits));
+  rj["db_misses"] = Json(static_cast<double>(rc.db_misses));
+  rj["tuner_runs"] = Json(static_cast<double>(rc.tuner_runs));
+  rj["builds"] = Json(static_cast<double>(rc.builds));
+  r["runtime"] = rj;
+  const auto cs = rt_->code_stats();
+  Json cj = Json::object();
+  cj["hits"] = Json(static_cast<double>(cs.hits));
+  cj["misses"] = Json(static_cast<double>(cs.misses));
+  cj["evictions"] = Json(static_cast<double>(cs.evictions));
+  r["code_cache"] = cj;
+  if (auto* db = rt_->database()) {
+    r["tunedb"] = db->replay_stats().to_json();
+    r["tunedb_file"] = Json(db->file_path());
+  }
+  return r;
+}
+
+std::string Daemon::publish_artifact(
+    const KernelKey& key, const std::shared_ptr<const CachedKernel>& kernel) {
+  if (kernel == nullptr || kernel->module == nullptr) return "";
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  const std::string ks = key.to_string();
+  const auto it = artifact_of_.find(ks);
+  if (it != artifact_of_.end() && it->second == kernel.get())
+    return artifact_path_[ks];
+
+  char name[32];
+  std::snprintf(name, sizeof(name), "k%016llx.so",
+                static_cast<unsigned long long>(fnv1a64(ks)));
+  const std::string dst = artifact_dir(dir_) + "/" + name;
+  static std::atomic<std::uint64_t> tmp_counter{0};
+  const std::string tmp = dst + ".tmp" +
+                          std::to_string(tmp_counter.fetch_add(1)) + "." +
+                          std::to_string(::getpid());
+  {
+    // Copy the module's (temporary) .so, then rename into place: clients
+    // either see the complete old artifact or the complete new one, and a
+    // client that already mapped the old inode keeps running it —
+    // zero-downtime promotion.
+    std::ifstream in(kernel->module->so_path(), std::ios::binary);
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!in.good() || !out.good()) {
+      std::remove(tmp.c_str());
+      return "";
+    }
+    out << in.rdbuf();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      return "";
+    }
+  }
+  if (::rename(tmp.c_str(), dst.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return "";
+  }
+  artifact_of_[ks] = kernel.get();
+  artifact_path_[ks] = dst;
+  return dst;
+}
+
+void Daemon::note_served(const KernelKey& key) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  auto& entry = served_[key.to_string()];
+  entry.key = key;
+}
+
+std::vector<std::string> Daemon::served_keys() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  std::vector<std::string> out;
+  out.reserve(served_.size());
+  for (const auto& [ks, s] : served_) out.push_back(ks);
+  return out;
+}
+
+std::optional<KernelKey> Daemon::next_retune_candidate() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  Served* best = nullptr;
+  for (auto& [ks, s] : served_) {
+    if (s.key.small) continue;  // baked-in extents: no search space
+    if (best == nullptr || s.last_retune_tick < best->last_retune_tick)
+      best = &s;
+  }
+  if (best == nullptr) return std::nullopt;
+  // Round-robin oldest-first: stamp now so a failed retune does not wedge
+  // the sweep on one key.
+  best->last_retune_tick = ++retune_tick_;
+  return best->key;
+}
+
+void Daemon::retune_loop() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  while (running_.load()) {
+    stop_cv_.wait_for(
+        lock,
+        std::chrono::milliseconds(
+            static_cast<long>(config_.retune_interval_s * 1000.0)),
+        [this] { return !running_.load(); });
+    if (!running_.load()) break;
+    lock.unlock();
+    const auto key = next_retune_candidate();
+    if (key) retune_key(*key);
+    lock.lock();
+  }
+}
+
+PromotionOutcome Daemon::retune_key(const KernelKey& key) {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.retunes;
+  }
+  auto* db = rt_->database();
+  TunedVariant incumbent;
+  if (db == nullptr || !db->lookup(key, incumbent))
+    return PromotionOutcome::kError;
+  if (key.small) return PromotionOutcome::kUnchanged;
+
+  const tuning::TuneWorkload w =
+      config_.workload_override
+          ? *config_.workload_override
+          : runtime::tune_workload_for(key.kind, key.shape);
+  TunedVariant candidate;
+  try {
+    const tuning::TuneResult r =
+        key.kind == KernelKind::kGemm
+            ? tuning::tune_gemm(key.isa, w)
+            : tuning::tune_level1(key.kind, key.isa, w);
+    candidate = TunedVariant::from_tune_result(r);
+  } catch (const Error&) {
+    return PromotionOutcome::kError;
+  }
+  if (same_configuration(candidate, incumbent))
+    return PromotionOutcome::kUnchanged;
+  return try_promote(key, candidate);
+}
+
+PromotionOutcome Daemon::try_promote(const KernelKey& key,
+                                     const TunedVariant& candidate) {
+  auto* db = rt_->database();
+  TunedVariant incumbent;
+  if (db == nullptr || !db->lookup(key, incumbent) || key.small)
+    return PromotionOutcome::kError;
+  if (same_configuration(candidate, incumbent))
+    return PromotionOutcome::kUnchanged;
+
+  const tuning::TuneWorkload w =
+      config_.workload_override
+          ? *config_.workload_override
+          : runtime::tune_workload_for(key.kind, key.shape);
+  perf::Measurement inc_m;
+  perf::Measurement cand_m;
+  try {
+    inc_m = measure_variant(key, incumbent, w, config_.runner);
+    cand_m = measure_variant(key, candidate, w, config_.runner);
+  } catch (const Error&) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.rejected_promotions;
+    return PromotionOutcome::kError;
+  }
+
+  // The promotion gate IS the perf harness's noise-aware diff: a candidate
+  // wins only when it is faster beyond both the configured threshold and
+  // the pooled confidence intervals, so measurement noise can neither
+  // promote a loser nor flap between equivalent variants.
+  perf::BenchReport base = perf::make_host_report("promotion");
+  perf::BenchReport cur = base;
+  base.rows.push_back(
+      perf::BenchRow::from_measurement(inc_m, key.to_string()));
+  cur.rows.push_back(
+      perf::BenchRow::from_measurement(cand_m, key.to_string()));
+  perf::DiffOptions dopts;
+  dopts.threshold = config_.promote_threshold;
+  const perf::DiffResult diff = perf::diff_reports(base, cur, dopts);
+  if (!diff.comparable() || diff.rows.size() != 1)
+    return PromotionOutcome::kError;
+
+  if (diff.rows[0].verdict != perf::RowVerdict::kImproved) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.rejected_promotions;
+    return PromotionOutcome::kRejected;
+  }
+
+  TunedVariant promoted = candidate;
+  promoted.mflops = cand_m.mflops();
+  db->store(key, promoted);
+  // Drop the resident incumbent and rebuild so the artifact under
+  // <dir>/kernels is republished from the winner; clients already running
+  // the old code keep their mapping, the next resolve serves the new one.
+  rt_->invalidate(key);
+  try {
+    const auto kernel = rt_->resolve(key.kind, key.shape);
+    publish_artifact(key, kernel);
+  } catch (const Error&) {
+    // The promoted entry is stored; the artifact refresh can wait for the
+    // next resolve.
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.promotions;
+  }
+  return PromotionOutcome::kPromoted;
+}
+
+DaemonCounters Daemon::counters() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return counters_;
+}
+
+}  // namespace augem::service

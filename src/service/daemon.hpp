@@ -1,0 +1,182 @@
+#pragma once
+// The per-machine kernel-tuning daemon (docs/serving.md).
+//
+// One daemon per cache directory (enforced by an flock'd lock file) owns
+// the authoritative TuningDatabase and JIT code cache for the machine:
+//
+//   * every tunedb write on the serving path goes through this process, so
+//     thousands of concurrent clients never interleave JSONL lines;
+//   * a resolve request tunes/generates/assembles at most once per key
+//     machine-wide (concurrent requests for the same key piggyback on the
+//     in-flight build — the `builds_deduped` counter) and publishes the
+//     compiled kernel as a .so artifact under <dir>/kernels/ that every
+//     client process dlopens directly instead of assembling its own copy;
+//   * a background retuning thread sweeps the keys this daemon has served,
+//     re-runs the empirical tuner off the serving path, and *promotes* the
+//     new parameterization only when the perf harness's noise-aware report
+//     diff (src/perf/report.hpp) says it won — a promotion rewrites the
+//     database entry and republishes the artifact atomically (rename), so
+//     running clients keep their mapped code and later resolves pick up
+//     the winner with zero downtime.
+//
+// The daemon is an acceleration layer, not a dependency: clients fall back
+// to the in-process path on any failure (see client.hpp).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "perf/bench_runner.hpp"
+#include "runtime/dispatch.hpp"
+#include "service/protocol.hpp"
+
+namespace augem::service {
+
+struct DaemonConfig {
+  /// Cache directory to own; empty → runtime::default_cache_dir().
+  std::string cache_dir;
+  /// Tuning workload override (CI/tests use a tiny one; unset picks the
+  /// shape-matched workload, exactly like the in-process runtime).
+  std::optional<tuning::TuneWorkload> workload_override;
+  /// Run the background retuning sweep.
+  bool retune = true;
+  /// Seconds between retune attempts (one key per tick, oldest first).
+  double retune_interval_s = 300.0;
+  /// Relative improvement the noise-aware diff must certify (beyond the
+  /// pooled CI) before a retuned variant replaces a served one.
+  double promote_threshold = 0.05;
+  /// Measurement budget of the promotion gate's A/B timing.
+  perf::RunnerOptions runner;
+  /// Code-cache bound of the daemon's runtime (generous: the daemon is the
+  /// machine-wide cache of record).
+  std::size_t code_cache_capacity = 64;
+};
+
+struct DaemonCounters {
+  std::uint64_t connections = 0;
+  std::uint64_t resolves = 0;
+  std::uint64_t resolve_hits = 0;   ///< served from the database, no tuner
+  std::uint64_t builds_deduped = 0; ///< piggybacked on an in-flight build
+  std::uint64_t publishes = 0;
+  std::uint64_t retunes = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t rejected_promotions = 0;
+  std::uint64_t protocol_errors = 0;
+
+  Json to_json() const;
+};
+
+enum class PromotionOutcome {
+  kPromoted,   ///< diff verdict improved: entry replaced, artifact republished
+  kRejected,   ///< diff verdict not improved: incumbent kept
+  kUnchanged,  ///< candidate identical to incumbent: nothing to gate
+  kError,      ///< no incumbent, or measurement/generation failed
+};
+const char* promotion_outcome_name(PromotionOutcome o);
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config = {});
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Acquires the directory lock, binds the socket, and starts the accept
+  /// (and retune) threads. False when another daemon already owns the
+  /// directory or the socket cannot be bound; the error is printable via
+  /// last_error().
+  bool start();
+
+  /// Stops the threads, closes every connection, and removes the socket.
+  /// Idempotent; the lock file is released on destruction.
+  void stop();
+
+  bool running() const { return running_.load(); }
+  /// Set once a client's `shutdown` request was honored; the hosting
+  /// process (tools/augem_serviced) polls this and calls stop().
+  bool shutdown_requested() const { return shutdown_requested_.load(); }
+
+  const std::string& dir() const { return dir_; }
+  std::string socket_path() const { return service::socket_path(dir_); }
+  const std::string& last_error() const { return last_error_; }
+
+  DaemonCounters counters() const;
+  runtime::KernelRuntime& runtime() { return *rt_; }
+
+  // ---- retuning / promotion (driven by the background thread; exposed so
+  // tests exercise the gate deterministically) -----------------------------
+
+  /// Re-runs the empirical tuner for `key` and feeds the winner through
+  /// try_promote. kUnchanged when the tuner reproduces the incumbent.
+  PromotionOutcome retune_key(const runtime::KernelKey& key);
+
+  /// A/B-times incumbent vs `candidate` with the BenchRunner and promotes
+  /// the candidate only when the noise-aware report diff's verdict is
+  /// `improved` at the configured threshold.
+  PromotionOutcome try_promote(const runtime::KernelKey& key,
+                               const runtime::TunedVariant& candidate);
+
+  /// Keys the daemon has served (resolve requests), i.e. the retuning
+  /// sweep's work list. Sorted; exposed for stats and tests.
+  std::vector<std::string> served_keys() const;
+
+ private:
+  struct Served {
+    runtime::KernelKey key;
+    std::uint64_t last_retune_tick = 0;
+  };
+
+  void accept_loop();
+  void retune_loop();
+  void handle_connection(int fd);
+  Json handle_request(const Json& request);
+  Json handle_resolve(const Json& request);
+  Json handle_publish(const Json& request);
+  Json handle_stats();
+
+  /// Copies the module behind `kernel` into the artifact directory under a
+  /// name derived from the key (atomic rename). Returns the artifact path,
+  /// or empty on failure (the response then omits the artifact and the
+  /// client builds locally — degraded, never broken).
+  std::string publish_artifact(
+      const runtime::KernelKey& key,
+      const std::shared_ptr<const runtime::CachedKernel>& kernel);
+
+  void note_served(const runtime::KernelKey& key);
+  std::optional<runtime::KernelKey> next_retune_candidate();
+
+  DaemonConfig config_;
+  std::string dir_;
+  std::string last_error_;
+  int lock_fd_ = -1;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shutdown_requested_{false};
+
+  std::unique_ptr<runtime::KernelRuntime> rt_;
+
+  std::thread accept_thread_;
+  std::thread retune_thread_;
+  std::set<int> conn_fds_;  ///< open connections (shutdown-able from stop())
+  mutable std::mutex conn_mutex_;
+  std::condition_variable conn_cv_;  ///< signaled as handlers drain
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable stop_cv_;
+  DaemonCounters counters_;
+  std::map<std::string, Served> served_;
+  std::set<std::string> inflight_;  ///< keys with a build in progress
+  std::map<std::string, const void*> artifact_of_;  ///< key → built kernel id
+  std::map<std::string, std::string> artifact_path_;
+  std::uint64_t retune_tick_ = 0;
+};
+
+}  // namespace augem::service

@@ -1,0 +1,106 @@
+#pragma once
+// Wire protocol of the per-machine tuning service (docs/serving.md).
+//
+// Transport is a local (AF_UNIX, SOCK_STREAM) socket inside the cache
+// directory, so filesystem permissions are the access control and a cache
+// dir identifies its daemon. Every message is one length-prefixed frame:
+//
+//   [4-byte magic "AUGS"] [4-byte little-endian payload length] [payload]
+//
+// where the payload is one JSON object. The magic makes a peer that
+// connects to the wrong socket fail fast instead of misreading a length;
+// the length bound keeps a garbled or hostile peer from driving an
+// unbounded allocation. decode_frame is a pure function over a byte buffer
+// so the framing is directly fuzzable with truncated/garbage input
+// (tests/service/protocol_test.cpp) without a socket in the loop.
+//
+// Requests carry {"v": kServiceProtocolVersion, "op": <name>, ...}; the
+// ops are hello, resolve, publish, stats, shutdown. Responses carry
+// {"ok": true, ...} or {"ok": false, "error": <message>}. A version the
+// daemon does not speak gets an error response and the client falls back
+// to the in-process path — a protocol mismatch is never fatal to serving.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "support/json.hpp"
+
+namespace augem::service {
+
+/// Bumped on any incompatible change to the frame layout or the message
+/// schema. Client and daemon exchange it in `hello`; a mismatch means
+/// "fall back to in-process", never "best-effort parse".
+inline constexpr int kServiceProtocolVersion = 1;
+
+inline constexpr char kFrameMagic[4] = {'A', 'U', 'G', 'S'};
+inline constexpr std::size_t kFrameHeaderSize = 8;
+/// Upper bound on one payload. Far above any real message (records are a
+/// few hundred bytes) while bounding what a corrupt length can allocate.
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;
+
+enum class FrameStatus {
+  kOk,         ///< one complete frame decoded
+  kNeedMore,   ///< a valid truncated prefix; read more bytes
+  kBadMagic,   ///< first bytes are not "AUGS" — not our protocol
+  kOversized,  ///< declared payload length exceeds kMaxFramePayload
+  kBadPayload, ///< complete frame whose payload is not one JSON object
+};
+const char* frame_status_name(FrameStatus s);
+
+/// Encodes one message as a frame (header + compact JSON payload).
+std::string encode_frame(const Json& msg);
+
+/// Decodes the first frame of `buf`. On kOk, `out` holds the payload and
+/// `consumed` the frame's total byte length (a buffer can hold several
+/// frames back to back). On any other status `consumed` is 0; every error
+/// status is unrecoverable for the connection — a byte stream without
+/// frame boundaries cannot resynchronize, so the peer must close.
+FrameStatus decode_frame(std::string_view buf, std::size_t& consumed,
+                         Json& out);
+
+// ---- blocking fd transport -------------------------------------------------
+
+/// Writes one frame; false on any error (EPIPE is suppressed via
+/// MSG_NOSIGNAL — a dying peer must not signal the process).
+bool write_frame(int fd, const Json& msg);
+
+enum class ReadStatus {
+  kOk,     ///< one frame read
+  kEof,    ///< clean close at a frame boundary
+  kError,  ///< I/O error, timeout, mid-frame EOF, or framing violation
+};
+
+/// Reads exactly one frame (blocking, honoring the fd's receive timeout).
+ReadStatus read_frame(int fd, Json& out);
+
+// ---- message helpers -------------------------------------------------------
+
+/// A request skeleton: {"v": kServiceProtocolVersion, "op": op}.
+Json make_request(const std::string& op);
+Json make_ok_response();
+Json make_error_response(const std::string& error);
+
+/// True when the response object says ok (missing/false → failure).
+bool response_ok(const Json& msg);
+
+// ---- well-known paths and engagement policy --------------------------------
+
+/// The daemon's socket / single-instance lock file inside a cache dir.
+std::string socket_path(const std::string& cache_dir);
+std::string lock_path(const std::string& cache_dir);
+/// Directory the daemon publishes kernel artifacts (.so files) into.
+std::string artifact_dir(const std::string& cache_dir);
+
+/// AUGEM_NO_DAEMON=1 — never talk to (or spawn) a daemon.
+bool no_daemon_env();
+/// AUGEM_DAEMON=1 — opt into auto-spawning a daemon on first miss (without
+/// it, a client only uses a daemon whose socket is already live).
+bool want_daemon_env();
+
+/// FNV-1a 64-bit over a string: stable artifact file names keyed by the
+/// kernel-key string, shared by daemon and tests.
+std::uint64_t fnv1a64(std::string_view s);
+
+}  // namespace augem::service

@@ -152,6 +152,66 @@ TEST(CodeCache, FailedBuildPropagatesAndRetries) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
+TEST(CodeCache, EraseDropsTheEntryButNeverTheHeldModule) {
+  // The promotion path (KernelRuntime::invalidate) erases a served entry so
+  // the next resolve rebuilds from the updated database; callers holding
+  // the old module must keep a valid mapping.
+  CodeCache cache(/*capacity=*/4, /*shards=*/1);
+  const auto held = cache.get_or_build(key_named("a"), fake_builder("a"));
+  EXPECT_FALSE(cache.erase(key_named("missing")));
+  EXPECT_TRUE(cache.erase(key_named("a")));
+  EXPECT_FALSE(cache.erase(key_named("a")));  // already gone
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(key_named("a")), nullptr);
+  EXPECT_EQ(held->symbol, "a");  // the caller's shared_ptr still works
+  // The next request is a rebuild, not a hit on a stale entry.
+  std::atomic<int> rebuilds{0};
+  (void)cache.get_or_build(key_named("a"), fake_builder("a", &rebuilds));
+  EXPECT_EQ(rebuilds.load(), 1);
+}
+
+// Run under ThreadSanitizer (cmake -DAUGEM_SANITIZE=thread) this is the
+// regression test for the eviction/resolve race: a capacity-1 shard where
+// every insert evicts, one thread churning builds and erasing while others
+// resolve and *use* their kernels through the returned shared_ptr. An
+// eviction that unmapped a held module would be a use-after-free here; the
+// contract is that eviction only drops the cache's reference.
+TEST(CodeCache, EvictionRacingResolveNeverInvalidatesHeldKernels) {
+  CodeCache cache(/*capacity=*/1, /*shards=*/1);
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+
+  std::thread churn([&] {
+    int i = 0;
+    while (!stop.load()) {
+      const std::string name = "churn" + std::to_string(i++ % 8);
+      const auto k = cache.get_or_build(key_named(name), fake_builder(name));
+      if (k->symbol != name) bad.fetch_add(1);
+      (void)cache.erase(key_named("hot"));  // concurrent invalidate
+    }
+  });
+
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r)
+    readers.emplace_back([&] {
+      for (int iter = 0; iter < 2000; ++iter) {
+        const auto held =
+            cache.get_or_build(key_named("hot"), fake_builder("hot"));
+        // Touch the kernel *after* the churn thread has had every chance
+        // to evict or erase it from the shard.
+        if (held->symbol != "hot" || held->key.cpu != "hot") bad.fetch_add(1);
+      }
+    });
+  for (auto& th : readers) th.join();
+  stop.store(true);
+  churn.join();
+  EXPECT_EQ(bad.load(), 0);
+  // Sanity: the capacity-1 shard really was thrashing.
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
 TEST(CodeCache, ClearEmptiesEveryShard)  {
   CodeCache cache(/*capacity=*/16, /*shards=*/4);
   for (int i = 0; i < 6; ++i) {

@@ -1,11 +1,13 @@
 #include "runtime/tunedb.hpp"
 
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <vector>
 
 namespace augem::runtime {
 namespace {
@@ -132,6 +134,76 @@ TEST_F(TuneDbTest, CorruptAndTruncatedLinesAreSkippedNotFatal) {
   db2.store(test_key(KernelKind::kDot, ShapeClass::kSmall), test_variant());
   TuningDatabase db3(dir_);
   EXPECT_EQ(db3.entries().size(), 2u);
+}
+
+TEST_F(TuneDbTest, ReplayStatsBreakRecoveriesDownByCategory) {
+  // The fleet-health contract behind `augem_tunedb list --json` and the
+  // daemon's `stats` request: skipped lines are attributed to a category,
+  // not folded into one opaque number.
+  {
+    TuningDatabase db(dir_);
+    db.store(test_key(), test_variant(42.0));
+  }
+  append_raw("\x01\x02 not json at all");         // parse error
+  append_raw("{\"schema\":1,\"cpu\":\"trunc");    // parse error (torn write)
+  append_raw("{\"schema\":999,\"cpu\":\"x\"}");   // foreign schema
+  append_raw("{\"cpu\":\"x\"}");                  // missing schema
+  append_raw(
+      "{\"schema\":1,\"cpu\":\"c\",\"kind\":\"gemm\",\"isa\":\"FMA3\","
+      "\"dtype\":\"f64\",\"shape\":\"large\",\"mr\":0,\"nr\":4,\"ku\":1,"
+      "\"unroll\":8,\"prefetch\":false,\"strategy\":\"vdup\",\"mflops\":1}");
+  append_raw("");  // blank: tolerated silently, not a line
+
+  TuningDatabase db2(dir_);
+  const ReplayStats s = db2.replay_stats();
+  EXPECT_EQ(s.total_lines, 6u);  // 1 good + 5 corrupt, blank not counted
+  EXPECT_EQ(s.parse_errors, 2u);
+  EXPECT_EQ(s.schema_mismatches, 2u);
+  EXPECT_EQ(s.invalid_records, 1u);
+  EXPECT_EQ(s.live_entries, 1u);
+  EXPECT_EQ(s.skipped(), 5u);
+  EXPECT_EQ(db2.skipped_records(), s.skipped());
+
+  // The JSON rendering carries every field (what the CLI/daemon expose).
+  const Json j = s.to_json();
+  EXPECT_EQ(j.number("total_lines").value_or(-1), 6.0);
+  EXPECT_EQ(j.number("parse_errors").value_or(-1), 2.0);
+  EXPECT_EQ(j.number("schema_mismatches").value_or(-1), 2.0);
+  EXPECT_EQ(j.number("invalid_records").value_or(-1), 1.0);
+  EXPECT_EQ(j.number("live_entries").value_or(-1), 1.0);
+}
+
+TEST_F(TuneDbTest, ConcurrentProcessesNeverTearLines) {
+  // The flock-around-append contract: writer *processes* (not threads)
+  // hammering the same file must produce a replayable database with zero
+  // skipped lines — no interleaved partial records.
+  constexpr int kWriters = 4;
+  constexpr int kEach = 32;
+  std::vector<pid_t> pids;
+  for (int w = 0; w < kWriters; ++w) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      TuningDatabase db(dir_);
+      for (int i = 0; i < kEach; ++i) {
+        KernelKey key = test_key();
+        key.cpu = "writer" + std::to_string(w) + "_key" + std::to_string(i);
+        db.store(key, test_variant(static_cast<double>(i)));
+      }
+      _exit(0);  // no gtest teardown in the child
+    }
+    pids.push_back(pid);
+  }
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+  TuningDatabase db(dir_);
+  const ReplayStats s = db.replay_stats();
+  EXPECT_EQ(s.skipped(), 0u);
+  EXPECT_EQ(s.total_lines, static_cast<std::uint64_t>(kWriters * kEach));
+  EXPECT_EQ(db.entries().size(), static_cast<std::size_t>(kWriters * kEach));
 }
 
 TEST_F(TuneDbTest, WholeFileGarbageDegradesToColdCache) {

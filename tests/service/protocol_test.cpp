@@ -1,0 +1,227 @@
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <optional>
+#include <random>
+#include <string>
+
+namespace augem::service {
+namespace {
+
+/// Hand-assembles a frame so tests can claim a length that disagrees with
+/// the payload actually present (torn writes, hostile peers).
+std::string raw_frame(std::string_view payload,
+                      std::optional<std::uint32_t> claimed = std::nullopt) {
+  std::string f(kFrameMagic, sizeof(kFrameMagic));
+  const std::uint32_t len =
+      claimed.value_or(static_cast<std::uint32_t>(payload.size()));
+  for (int i = 0; i < 4; ++i)
+    f.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  f.append(payload);
+  return f;
+}
+
+FrameStatus decode(std::string_view buf, std::size_t& consumed) {
+  Json ignored;
+  return decode_frame(buf, consumed, ignored);
+}
+
+TEST(Protocol, EncodeDecodeRoundTrip) {
+  Json msg = make_request("resolve");
+  msg["key"] = Json(std::string("gemm/large/testcpu"));
+  msg["n"] = Json(42.0);
+  const std::string frame = encode_frame(msg);
+  std::size_t consumed = 0;
+  Json out;
+  ASSERT_EQ(decode_frame(frame, consumed, out), FrameStatus::kOk);
+  EXPECT_EQ(consumed, frame.size());
+  EXPECT_EQ(out.dump(), msg.dump());
+}
+
+TEST(Protocol, BackToBackFramesDecodeSequentially) {
+  // A buffer can hold several frames; consumed tells the reader where the
+  // next one starts.
+  Json b = make_request("stats");
+  b["x"] = Json(3.0);
+  std::string buf = encode_frame(make_request("hello")) + encode_frame(b);
+  std::size_t consumed = 0;
+  Json out;
+  ASSERT_EQ(decode_frame(buf, consumed, out), FrameStatus::kOk);
+  EXPECT_EQ(out.string("op").value_or(""), "hello");
+  buf.erase(0, consumed);
+  ASSERT_EQ(decode_frame(buf, consumed, out), FrameStatus::kOk);
+  EXPECT_EQ(out.string("op").value_or(""), "stats");
+  buf.erase(0, consumed);
+  EXPECT_EQ(decode(buf, consumed), FrameStatus::kNeedMore);  // empty tail
+}
+
+TEST(Protocol, TruncationAtEveryByteBoundaryAsksForMore) {
+  // Every strict prefix of a valid frame is "keep reading", never an error
+  // and never a partial decode.
+  const std::string frame = encode_frame(make_request("stats"));
+  for (std::size_t n = 0; n < frame.size(); ++n) {
+    std::size_t consumed = 7;  // must be reset to 0 by the decoder
+    EXPECT_EQ(decode(std::string_view(frame).substr(0, n), consumed),
+              FrameStatus::kNeedMore)
+        << "prefix length " << n;
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(Protocol, BadMagicDetectedFromTheFirstDivergentByte) {
+  std::size_t consumed = 0;
+  // Garbage shorter than the magic still fails fast (a peer speaking HTTP
+  // must not be told "need more").
+  EXPECT_EQ(decode("X", consumed), FrameStatus::kBadMagic);
+  EXPECT_EQ(decode("AX", consumed), FrameStatus::kBadMagic);
+  EXPECT_EQ(decode("AUGX", consumed), FrameStatus::kBadMagic);
+  EXPECT_EQ(decode("GET / HTTP/1.1\r\n", consumed), FrameStatus::kBadMagic);
+  // …while a valid magic prefix is genuinely "need more".
+  EXPECT_EQ(decode("A", consumed), FrameStatus::kNeedMore);
+  EXPECT_EQ(decode("AUG", consumed), FrameStatus::kNeedMore);
+  // A corrupted first byte of an otherwise valid frame.
+  std::string frame = encode_frame(make_request("hello"));
+  frame[0] = 'B';
+  EXPECT_EQ(decode(frame, consumed), FrameStatus::kBadMagic);
+  EXPECT_EQ(consumed, 0u);
+}
+
+TEST(Protocol, OversizedLengthRejectedBeforeAllocation) {
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode(raw_frame("", kMaxFramePayload + 1), consumed),
+            FrameStatus::kOversized);
+  EXPECT_EQ(consumed, 0u);
+  // The bound itself is allowed: with only the header present that is a
+  // truncated-but-valid frame.
+  EXPECT_EQ(decode(raw_frame("", kMaxFramePayload), consumed),
+            FrameStatus::kNeedMore);
+}
+
+TEST(Protocol, NonObjectPayloadsRejected) {
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode(raw_frame("not json"), consumed), FrameStatus::kBadPayload);
+  EXPECT_EQ(decode(raw_frame("[1,2,3]"), consumed), FrameStatus::kBadPayload);
+  EXPECT_EQ(decode(raw_frame("42"), consumed), FrameStatus::kBadPayload);
+  EXPECT_EQ(decode(raw_frame("\"str\""), consumed), FrameStatus::kBadPayload);
+  EXPECT_EQ(decode(raw_frame(""), consumed), FrameStatus::kBadPayload);
+  EXPECT_EQ(consumed, 0u);
+  Json out;
+  ASSERT_EQ(decode_frame(raw_frame("{}"), consumed, out), FrameStatus::kOk);
+  EXPECT_TRUE(out.is_object());
+}
+
+TEST(ProtocolFuzz, BitFlippedFramesNeverCrashOrOverconsume) {
+  // Flip every bit of a valid frame once. Any status is acceptable; what
+  // must hold is no crash, no consumed bytes on failure, and no claim of
+  // bytes beyond the buffer on success (a flipped length byte must not
+  // read out of bounds).
+  Json msg = make_request("resolve");
+  msg["key"] = Json(std::string(40, 'k'));
+  const std::string frame = encode_frame(msg);
+  for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string f = frame;
+      f[byte] = static_cast<char>(f[byte] ^ (1 << bit));
+      std::size_t consumed = 1234;
+      Json out;
+      const FrameStatus s = decode_frame(f, consumed, out);
+      if (s == FrameStatus::kOk) {
+        EXPECT_LE(consumed, f.size());
+      } else {
+        EXPECT_EQ(consumed, 0u) << frame_status_name(s);
+      }
+    }
+  }
+}
+
+TEST(ProtocolFuzz, SeededRandomBuffersNeverCrash) {
+  std::mt19937 rng(20260808);
+  std::uniform_int_distribution<int> len_dist(0, 96);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::string buf(static_cast<std::size_t>(len_dist(rng)), '\0');
+    for (char& c : buf) c = static_cast<char>(byte_dist(rng));
+    // Half the buffers keep a valid magic so the length and payload stages
+    // get fuzzed too, not just the magic check.
+    if (iter % 2 == 0 && buf.size() >= sizeof(kFrameMagic))
+      std::memcpy(buf.data(), kFrameMagic, sizeof(kFrameMagic));
+    std::size_t consumed = 1;
+    Json out;
+    const FrameStatus s = decode_frame(buf, consumed, out);
+    if (s == FrameStatus::kOk) {
+      EXPECT_LE(consumed, buf.size());
+    } else {
+      EXPECT_EQ(consumed, 0u);
+    }
+  }
+}
+
+TEST(Protocol, SocketTransportRoundTripEofAndGarbage) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  Json msg = make_request("hello");
+  msg["pid"] = Json(123.0);
+  ASSERT_TRUE(write_frame(sv[0], msg));
+  Json got;
+  ASSERT_EQ(read_frame(sv[1], got), ReadStatus::kOk);
+  EXPECT_EQ(got.dump(), msg.dump());
+
+  // Garbage on the wire is a connection-fatal error, not a parse attempt.
+  const char junk[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_GT(::send(sv[0], junk, sizeof(junk), 0), 0);
+  EXPECT_EQ(read_frame(sv[1], got), ReadStatus::kError);
+  ::close(sv[0]);
+  ::close(sv[1]);
+
+  // A clean close at a frame boundary is kEof; mid-frame it is kError.
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ::close(sv[0]);
+  EXPECT_EQ(read_frame(sv[1], got), ReadStatus::kEof);
+  ::close(sv[1]);
+
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const std::string frame = encode_frame(msg);
+  ASSERT_GT(::send(sv[0], frame.data(), frame.size() / 2, 0), 0);
+  ::close(sv[0]);  // EOF mid-frame
+  EXPECT_EQ(read_frame(sv[1], got), ReadStatus::kError);
+  ::close(sv[1]);
+}
+
+TEST(Protocol, RequestAndResponseHelpers) {
+  const Json req = make_request("resolve");
+  EXPECT_EQ(req.number("v").value_or(0.0), kServiceProtocolVersion);
+  EXPECT_EQ(req.string("op").value_or(""), "resolve");
+  EXPECT_FALSE(response_ok(req));  // missing "ok" means failure
+
+  EXPECT_TRUE(response_ok(make_ok_response()));
+  const Json err = make_error_response("nope");
+  EXPECT_FALSE(response_ok(err));
+  EXPECT_EQ(err.string("error").value_or(""), "nope");
+
+  EXPECT_STREQ(frame_status_name(FrameStatus::kOk), "ok");
+  EXPECT_STREQ(frame_status_name(FrameStatus::kNeedMore), "need-more");
+  EXPECT_STREQ(frame_status_name(FrameStatus::kBadMagic), "bad-magic");
+  EXPECT_STREQ(frame_status_name(FrameStatus::kOversized), "oversized");
+  EXPECT_STREQ(frame_status_name(FrameStatus::kBadPayload), "bad-payload");
+}
+
+TEST(Protocol, WellKnownPathsLiveInsideTheCacheDir) {
+  EXPECT_EQ(socket_path("/x"), "/x/daemon.sock");
+  EXPECT_EQ(lock_path("/x"), "/x/daemon.lock");
+  EXPECT_EQ(artifact_dir("/x"), "/x/kernels");
+}
+
+TEST(Protocol, FnvMatchesPublishedVectors) {
+  // The standard FNV-1a 64-bit test vectors: artifact file names derived
+  // from key strings must be stable across builds and processes.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+}  // namespace
+}  // namespace augem::service

@@ -1,0 +1,103 @@
+// augem_serviced — the per-machine kernel-tuning daemon (docs/serving.md).
+//
+//   augem_serviced [--dir DIR] [--quick] [--no-retune]
+//                  [--retune-interval SECONDS] [--promote-threshold FRAC]
+//
+// Owns the tuning database and code cache of one cache directory behind a
+// local socket; at most one instance per directory (the flock'd lock file
+// decides). Runs until SIGTERM/SIGINT or a client's `shutdown` request.
+//
+// --quick (or AUGEM_SERVICED_QUICK=1, which the client's auto-spawn path
+// inherits) switches to the reduced tuning workload and a minimal
+// measurement budget — for tests and CI, where fidelity of the tuned
+// numbers does not matter but wall clock does.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "service/daemon.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signaled = 0;
+
+void on_signal(int) { g_signaled = 1; }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: augem_serviced [--dir DIR] [--quick] [--no-retune] "
+               "[--retune-interval SECONDS] [--promote-threshold FRAC]\n");
+  return 2;
+}
+
+bool truthy_env(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  augem::service::DaemonConfig config;
+  bool quick = truthy_env("AUGEM_SERVICED_QUICK");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dir") {
+      if (++i >= argc) return usage();
+      config.cache_dir = argv[i];
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--no-retune") {
+      config.retune = false;
+    } else if (arg == "--retune-interval") {
+      if (++i >= argc) return usage();
+      config.retune_interval_s = std::atof(argv[i]);
+    } else if (arg == "--promote-threshold") {
+      if (++i >= argc) return usage();
+      config.promote_threshold = std::atof(argv[i]);
+    } else {
+      return usage();
+    }
+  }
+  if (quick) {
+    augem::tuning::TuneWorkload w;
+    w.mc = 32;
+    w.nc = 32;
+    w.kc = 64;
+    w.vec_len = 2048;
+    w.reps = 1;
+    config.workload_override = w;
+    config.runner.min_reps = 1;
+    config.runner.max_reps = 3;
+    config.runner.max_seconds = 0.25;
+    config.runner.warmup_max_reps = 1;
+    config.runner.check_frequency = false;
+  }
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    augem::service::Daemon daemon(std::move(config));
+    if (!daemon.start()) {
+      std::fprintf(stderr, "augem_serviced: %s\n",
+                   daemon.last_error().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "augem_serviced: serving %s\n",
+                 daemon.dir().c_str());
+    while (g_signaled == 0 && !daemon.shutdown_requested())
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    daemon.stop();
+  } catch (const augem::Error& e) {
+    std::fprintf(stderr, "augem_serviced: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

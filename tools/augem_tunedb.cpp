@@ -4,14 +4,18 @@
 //   augem_tunedb [--dir DIR] [--json] list
 //   augem_tunedb [--dir DIR] [--json] show <kind> <shape>
 //   augem_tunedb [--dir DIR] [--json] prewarm [--quick]
+//   augem_tunedb [--dir DIR] [--json] daemon-status
 //   augem_tunedb [--dir DIR] purge
 //
-// `list` prints every stored entry; `show` prints the entry the host's
-// dispatcher would serve for (kind, shape); `prewarm` tunes every kernel
-// kind × shape class for the host CPU so later processes start warm
-// (--quick uses a reduced timing workload, e.g. for CI); `purge` deletes
-// the database file. --dir overrides the directory (default: the
-// AUGEM_CACHE_DIR / ~/.cache/augem resolution the runtime itself uses).
+// `list` prints every stored entry plus the replay-recovery breakdown
+// (lines skipped as unparseable / foreign-schema / invalid); `show` prints
+// the entry the host's dispatcher would serve for (kind, shape); `prewarm`
+// tunes every kernel kind × shape class for the host CPU so later
+// processes start warm (--quick uses a reduced timing workload, e.g. for
+// CI); `daemon-status` queries the directory's tuning daemon
+// (docs/serving.md) for its serving counters; `purge` deletes the database
+// file. --dir overrides the directory (default: the AUGEM_CACHE_DIR /
+// ~/.cache/augem resolution the runtime itself uses).
 
 #include <cstdio>
 #include <cstring>
@@ -22,6 +26,7 @@
 #include "runtime/json.hpp"
 #include "runtime/key.hpp"
 #include "runtime/tunedb.hpp"
+#include "service/client.hpp"
 #include "support/error.hpp"
 
 namespace {
@@ -39,7 +44,8 @@ namespace frontend = augem::frontend;
 int usage() {
   std::fprintf(stderr,
                "usage: augem_tunedb [--dir DIR] [--json] "
-               "{list | show <kind> <shape> | prewarm [--quick] | purge}\n"
+               "{list | show <kind> <shape> | prewarm [--quick] | "
+               "daemon-status | purge}\n"
                "  kinds:  gemm gemv axpy dot scal\n"
                "  shapes: small skinny large\n");
   return 2;
@@ -88,10 +94,12 @@ void print_entry_row(const DbEntry& e) {
 
 int cmd_list(TuningDatabase& db, bool json) {
   const std::vector<DbEntry> entries = db.entries();
+  const augem::runtime::ReplayStats replay = db.replay_stats();
   if (json) {
     Json out = Json::object();
     out["file"] = Json(db.file_path());
-    out["skipped_records"] = Json(static_cast<double>(db.skipped_records()));
+    out["skipped_records"] = Json(static_cast<double>(replay.skipped()));
+    out["replay"] = replay.to_json();
     Json arr = Json::array();
     for (const DbEntry& e : entries) arr.push_back(entry_json(e));
     out["entries"] = arr;
@@ -100,11 +108,77 @@ int cmd_list(TuningDatabase& db, bool json) {
   }
   std::printf("database: %s (%zu entries", db.file_path().c_str(),
               entries.size());
-  if (db.skipped_records() > 0)
-    std::printf(", %llu corrupt records skipped",
-                static_cast<unsigned long long>(db.skipped_records()));
+  if (replay.skipped() > 0)
+    std::printf(
+        ", %llu corrupt records skipped: %llu unparseable, %llu foreign "
+        "schema, %llu invalid",
+        static_cast<unsigned long long>(replay.skipped()),
+        static_cast<unsigned long long>(replay.parse_errors),
+        static_cast<unsigned long long>(replay.schema_mismatches),
+        static_cast<unsigned long long>(replay.invalid_records));
   std::printf(")\n");
   for (const DbEntry& e : entries) print_entry_row(e);
+  return 0;
+}
+
+int cmd_daemon_status(const std::string& dir, bool json) {
+  augem::service::ClientOptions opts;
+  opts.cache_dir = dir;
+  const auto client = augem::service::ServiceClient::try_connect(opts);
+  if (client == nullptr) {
+    const std::string resolved =
+        dir.empty() ? augem::runtime::default_cache_dir() : dir;
+    if (json) {
+      Json out = Json::object();
+      out["running"] = Json(false);
+      out["dir"] = Json(resolved);
+      std::printf("%s\n", out.dump().c_str());
+    } else {
+      std::printf("no daemon serving %s\n", resolved.c_str());
+    }
+    return 1;
+  }
+  const auto stats = client->stats();
+  if (!stats) {
+    std::fprintf(stderr, "daemon stats request failed\n");
+    return 1;
+  }
+  if (json) {
+    Json out = *stats;
+    out["running"] = Json(true);
+    std::printf("%s\n", out.dump().c_str());
+    return 0;
+  }
+  const auto num = [&](const char* section, const char* field) {
+    const Json* s = stats->get(section);
+    std::optional<double> v;
+    if (s != nullptr) v = s->number(field);
+    return static_cast<unsigned long long>(v.value_or(0.0));
+  };
+  std::printf("daemon serving %s (pid %llu, protocol v%llu)\n",
+              stats->string("dir").value_or("?").c_str(),
+              static_cast<unsigned long long>(
+                  stats->number("pid").value_or(0.0)),
+              static_cast<unsigned long long>(
+                  stats->number("v").value_or(0.0)));
+  std::printf(
+      "  connections=%llu resolves=%llu resolve_hits=%llu "
+      "builds_deduped=%llu publishes=%llu\n",
+      num("counters", "connections"), num("counters", "resolves"),
+      num("counters", "resolve_hits"), num("counters", "builds_deduped"),
+      num("counters", "publishes"));
+  std::printf(
+      "  retunes=%llu promotions=%llu rejected_promotions=%llu "
+      "protocol_errors=%llu\n",
+      num("counters", "retunes"), num("counters", "promotions"),
+      num("counters", "rejected_promotions"),
+      num("counters", "protocol_errors"));
+  std::printf("  runtime: tuner_runs=%llu builds=%llu db_hits=%llu\n",
+              num("runtime", "tuner_runs"), num("runtime", "builds"),
+              num("runtime", "db_hits"));
+  std::printf("  code cache: hits=%llu misses=%llu evictions=%llu\n",
+              num("code_cache", "hits"), num("code_cache", "misses"),
+              num("code_cache", "evictions"));
   return 0;
 }
 
@@ -228,6 +302,7 @@ int main(int argc, char** argv) {
   try {
     const std::string& cmd = args[0];
     if (cmd == "prewarm") return cmd_prewarm(dir, json, quick);
+    if (cmd == "daemon-status") return cmd_daemon_status(dir, json);
     TuningDatabase db(dir);
     if (cmd == "list") return cmd_list(db, json);
     if (cmd == "show")

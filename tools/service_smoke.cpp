@@ -1,0 +1,424 @@
+// service_smoke — end-to-end gate for tuning-as-a-service (docs/serving.md).
+//
+//   service_smoke --serviced <path-to-augem_serviced>
+//
+// One binary, two roles: the parent orchestrates a real daemon process plus
+// a herd of client processes; with --client it *is* one of those clients
+// (re-exec'd via /proc/self/exe). The scenario:
+//
+//   1. spawn `augem_serviced --quick` on a private cache dir;
+//   2. 8 cold clients, released simultaneously by a start-time barrier, all
+//      resolve the same two kernels — every client must get bit-identical
+//      results, perform zero local builds and zero tuner runs (counters!),
+//      and the daemon must report exactly one build per key machine-wide
+//      with at least one resolve piggybacked on an in-flight build;
+//   3. 4 warm clients — same checksum, daemon serves from its caches;
+//   4. an AUGEM_NO_DAEMON=1 client — serves in-process from the shared
+//      database file (daemon untouched), same checksum;
+//   5. the parent itself resolves serially through the daemon — the serial
+//      reference every concurrent checksum must equal bit for bit;
+//   6. SIGKILL the daemon mid-run — the parent's live (now dead) client
+//      must fall back to the in-process tuner without an error surfacing;
+//   7. a fresh dir with AUGEM_DAEMON=1 — the first miss auto-spawns a
+//      daemon, which is then asked to shut down over the protocol.
+//
+// Any violated expectation prints and exits nonzero (a ctest failure).
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/dispatch.hpp"
+#include "service/client.hpp"
+#include "support/buffer.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using augem::DoubleBuffer;
+using augem::Json;
+using augem::Rng;
+using augem::frontend::KernelKind;
+using augem::runtime::KernelRuntime;
+using augem::runtime::RuntimeConfig;
+using augem::runtime::ShapeClass;
+
+#define SMOKE_CHECK(cond, ...)                                       \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::fprintf(stderr, "service_smoke FAILED at %s:%d: %s\n  ",  \
+                   __FILE__, __LINE__, #cond);                       \
+      std::fprintf(stderr, __VA_ARGS__);                             \
+      std::fprintf(stderr, "\n");                                    \
+      std::exit(1);                                                  \
+    }                                                                \
+  } while (0)
+
+std::uint64_t fnv_bytes(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+RuntimeConfig quick_config(const std::string& dir) {
+  RuntimeConfig cfg;
+  cfg.cache_dir = dir;
+  cfg.use_persistent = true;
+  augem::tuning::TuneWorkload w;
+  w.mc = 32;
+  w.nc = 32;
+  w.kc = 64;
+  w.vec_len = 2048;
+  w.reps = 1;
+  cfg.workload_override = w;
+  return cfg;
+}
+
+/// The workload every participant runs: one large-shape GEMM microkernel
+/// call and one AXPY over identical deterministically-seeded buffers.
+/// Returns the FNV-1a checksum of the output bytes — any divergence in the
+/// served kernel or its results shows up as a checksum mismatch.
+std::uint64_t compute_checksum(KernelRuntime& rt) {
+  const auto gemm = rt.resolve(KernelKind::kGemm, ShapeClass::kLarge);
+  const auto axpy = rt.resolve(KernelKind::kAxpy, ShapeClass::kLarge);
+
+  constexpr long kMc = 32, kNc = 32, kKc = 64, kVec = 2048;
+  Rng rng(77);
+  DoubleBuffer a(kMc * kKc), b(kNc * kKc), c(kMc * kNc);
+  rng.fill(a.span());
+  rng.fill(b.span());
+  rng.fill(c.span());
+  const long m = kMc / gemm->mr * gemm->mr;
+  const long n = kNc / gemm->nr * gemm->nr;
+  auto* gf = gemm->fn<void(long, long, long, const double*, const double*,
+                           double*, long)>();
+  gf(m, n, kKc, a.data(), b.data(), c.data(), kMc);
+
+  DoubleBuffer x(kVec), y(kVec);
+  rng.fill(x.span());
+  rng.fill(y.span());
+  auto* af = axpy->fn<void(long, double, const double*, double*)>();
+  af(kVec, 1.25, x.data(), y.data());
+
+  std::uint64_t h = 14695981039346656037ull;
+  h = fnv_bytes(h, c.data(), c.size() * sizeof(double));
+  h = fnv_bytes(h, y.data(), y.size() * sizeof(double));
+  return h;
+}
+
+// ---- client role -----------------------------------------------------------
+
+int run_client(const std::string& dir, long long start_at_ms,
+               const std::string& out_path) {
+  Json out = Json::object();
+  try {
+    KernelRuntime rt(quick_config(dir));
+    if (start_at_ms > 0) {
+      // Start barrier: every cold client begins resolving at the same
+      // instant, so the daemon sees genuinely concurrent first misses.
+      for (;;) {
+        const auto now = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::system_clock::now().time_since_epoch())
+                             .count();
+        if (now >= start_at_ms) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    const std::uint64_t checksum = compute_checksum(rt);
+    const auto counters = rt.counters();
+    out["ok"] = Json(true);
+    std::ostringstream hex;
+    hex << std::hex << checksum;
+    out["checksum"] = Json(hex.str());
+    out["builds"] = Json(static_cast<double>(counters.builds));
+    out["tuner_runs"] = Json(static_cast<double>(counters.tuner_runs));
+    out["daemon_hits"] = Json(static_cast<double>(counters.daemon_hits));
+    out["daemon_misses"] = Json(static_cast<double>(counters.daemon_misses));
+    out["artifact_loads"] =
+        Json(static_cast<double>(counters.artifact_loads));
+    out["db_hits"] = Json(static_cast<double>(counters.db_hits));
+  } catch (const augem::Error& e) {
+    out["ok"] = Json(false);
+    out["error"] = Json(std::string(e.what()));
+  }
+  std::ofstream f(out_path, std::ios::trunc);
+  f << out.dump() << "\n";
+  return out.boolean("ok").value_or(false) ? 0 : 1;
+}
+
+// ---- parent role -----------------------------------------------------------
+
+pid_t spawn(const std::vector<std::string>& argv_strs) {
+  std::vector<char*> argv;
+  for (const auto& s : argv_strs) argv.push_back(const_cast<char*>(s.c_str()));
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    std::perror("execv");
+    ::_exit(127);
+  }
+  return pid;
+}
+
+Json read_json_file(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const auto doc = augem::parse_json(ss.str());
+  SMOKE_CHECK(doc.has_value(), "client output %s is not JSON: '%s'",
+              path.c_str(), ss.str().c_str());
+  return *doc;
+}
+
+std::uint64_t counter(const Json& j, const char* field) {
+  return static_cast<std::uint64_t>(j.number(field).value_or(-1.0));
+}
+
+std::uint64_t stats_counter(const Json& stats, const char* section,
+                            const char* field) {
+  const Json* s = stats.get(section);
+  SMOKE_CHECK(s != nullptr, "daemon stats missing section %s", section);
+  return static_cast<std::uint64_t>(s->number(field).value_or(-1.0));
+}
+
+struct ClientBatch {
+  std::vector<pid_t> pids;
+  std::vector<std::string> outs;
+};
+
+ClientBatch launch_clients(const std::string& self, const std::string& dir,
+                           int count, bool barrier,
+                           const std::string& tag) {
+  long long start_at = 0;
+  if (barrier) {
+    start_at = std::chrono::duration_cast<std::chrono::milliseconds>(
+                   std::chrono::system_clock::now().time_since_epoch())
+                   .count() +
+               2000;
+  }
+  ClientBatch batch;
+  for (int i = 0; i < count; ++i) {
+    const std::string out = dir + "/client_" + tag + "_" +
+                            std::to_string(i) + ".json";
+    batch.outs.push_back(out);
+    batch.pids.push_back(spawn({self, "--client", "--dir", dir, "--start-at",
+                                std::to_string(start_at), "--out", out}));
+  }
+  return batch;
+}
+
+std::vector<Json> collect(const ClientBatch& batch) {
+  for (const pid_t pid : batch.pids) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    SMOKE_CHECK(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                "client pid %d exited with status %d", pid, status);
+  }
+  std::vector<Json> results;
+  for (const auto& path : batch.outs) results.push_back(read_json_file(path));
+  return results;
+}
+
+int run_parent(const std::string& self, const std::string& serviced) {
+  char tmpl[] = "/tmp/augem_service_smoke_XXXXXX";
+  SMOKE_CHECK(::mkdtemp(tmpl) != nullptr, "mkdtemp failed");
+  const std::string dir = tmpl;
+
+  // Make sure no inherited policy interferes with the staged scenario.
+  ::unsetenv("AUGEM_NO_DAEMON");
+  ::unsetenv("AUGEM_DAEMON");
+  ::unsetenv("AUGEM_CACHE_DIR");
+  ::unsetenv("AUGEM_DISABLE_TUNE_CACHE");
+
+  // Stage 1: a real daemon process on the private dir. Retuning stays
+  // enabled but on an interval that never fires during the test.
+  const pid_t daemon_pid = spawn(
+      {serviced, "--dir", dir, "--quick", "--retune-interval", "3600"});
+  std::unique_ptr<augem::service::ServiceClient> probe;
+  for (int i = 0; i < 200 && probe == nullptr; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    augem::service::ClientOptions o;
+    o.cache_dir = dir;
+    probe = augem::service::ServiceClient::try_connect(o);
+  }
+  SMOKE_CHECK(probe != nullptr, "daemon did not come up in %s", dir.c_str());
+  std::fprintf(stderr, "[smoke] daemon up (pid %d)\n", daemon_pid);
+
+  // Stage 2: 8 cold clients behind a start barrier.
+  const auto cold = collect(launch_clients(self, dir, 8, true, "cold"));
+  const std::string checksum = *cold[0].string("checksum");
+  for (const Json& r : cold) {
+    SMOKE_CHECK(*r.string("checksum") == checksum,
+                "cold clients disagree: %s vs %s",
+                r.string("checksum")->c_str(), checksum.c_str());
+    SMOKE_CHECK(counter(r, "builds") == 0, "cold client built locally");
+    SMOKE_CHECK(counter(r, "tuner_runs") == 0, "cold client ran the tuner");
+    SMOKE_CHECK(counter(r, "daemon_hits") == 2,
+                "cold client daemon_hits=%llu",
+                (unsigned long long)counter(r, "daemon_hits"));
+    SMOKE_CHECK(counter(r, "artifact_loads") == 2,
+                "cold client artifact_loads=%llu",
+                (unsigned long long)counter(r, "artifact_loads"));
+  }
+  std::fprintf(stderr, "[smoke] 8 cold clients: checksum %s, zero builds\n",
+               checksum.c_str());
+
+  auto stats = probe->stats();
+  SMOKE_CHECK(stats.has_value(), "stats request failed");
+  SMOKE_CHECK(stats_counter(*stats, "counters", "resolves") == 16,
+              "daemon resolves=%llu, want 16",
+              (unsigned long long)stats_counter(*stats, "counters",
+                                                "resolves"));
+  // Exactly one build per key machine-wide: two keys, two builds, and at
+  // least one of the 16 concurrent resolves piggybacked on a build that
+  // was already in flight.
+  SMOKE_CHECK(stats_counter(*stats, "runtime", "builds") == 2,
+              "daemon builds=%llu, want 2",
+              (unsigned long long)stats_counter(*stats, "runtime", "builds"));
+  SMOKE_CHECK(stats_counter(*stats, "runtime", "tuner_runs") == 2,
+              "daemon tuner_runs=%llu, want 2",
+              (unsigned long long)stats_counter(*stats, "runtime",
+                                                "tuner_runs"));
+  SMOKE_CHECK(stats_counter(*stats, "counters", "builds_deduped") >= 1,
+              "no resolve overlapped an in-flight build (deduped=%llu)",
+              (unsigned long long)stats_counter(*stats, "counters",
+                                                "builds_deduped"));
+
+  // Stage 3: warm clients.
+  const auto warm = collect(launch_clients(self, dir, 4, false, "warm"));
+  for (const Json& r : warm) {
+    SMOKE_CHECK(*r.string("checksum") == checksum, "warm checksum mismatch");
+    SMOKE_CHECK(counter(r, "builds") == 0, "warm client built locally");
+    SMOKE_CHECK(counter(r, "artifact_loads") == 2,
+                "warm client did not use the artifact");
+  }
+  stats = probe->stats();
+  SMOKE_CHECK(stats_counter(*stats, "counters", "resolves") == 24,
+              "daemon resolves after warm batch != 24");
+  SMOKE_CHECK(stats_counter(*stats, "runtime", "builds") == 2,
+              "daemon rebuilt for warm clients");
+  std::fprintf(stderr, "[smoke] 4 warm clients served from cache\n");
+
+  // Stage 4: explicit opt-out serves in-process from the shared database
+  // file, without touching the daemon.
+  ::setenv("AUGEM_NO_DAEMON", "1", 1);
+  const auto solo = collect(launch_clients(self, dir, 1, false, "nodaemon"));
+  ::unsetenv("AUGEM_NO_DAEMON");
+  SMOKE_CHECK(*solo[0].string("checksum") == checksum,
+              "AUGEM_NO_DAEMON checksum mismatch");
+  SMOKE_CHECK(counter(solo[0], "daemon_hits") == 0,
+              "AUGEM_NO_DAEMON client talked to the daemon");
+  SMOKE_CHECK(counter(solo[0], "builds") == 2,
+              "AUGEM_NO_DAEMON client should build locally");
+  SMOKE_CHECK(counter(solo[0], "tuner_runs") == 0,
+              "AUGEM_NO_DAEMON client re-tuned despite the shared db");
+  SMOKE_CHECK(counter(solo[0], "db_hits") == 2,
+              "AUGEM_NO_DAEMON client missed the shared db");
+  stats = probe->stats();
+  SMOKE_CHECK(stats_counter(*stats, "counters", "resolves") == 24,
+              "AUGEM_NO_DAEMON client reached the daemon");
+  std::fprintf(stderr, "[smoke] AUGEM_NO_DAEMON fallback matches\n");
+
+  // Stage 5: the parent's own serial reference through the same daemon.
+  KernelRuntime parent_rt(quick_config(dir));
+  std::ostringstream parent_hex;
+  parent_hex << std::hex << compute_checksum(parent_rt);
+  SMOKE_CHECK(parent_hex.str() == checksum,
+              "serial reference %s != concurrent checksum %s",
+              parent_hex.str().c_str(), checksum.c_str());
+  SMOKE_CHECK(parent_rt.counters().builds == 0,
+              "serial reference built locally");
+
+  // Stage 6: kill the daemon mid-run. The parent's connected client is now
+  // talking to a corpse; the next resolve must fall back to the in-process
+  // tuner with no error escaping.
+  ::kill(daemon_pid, SIGKILL);
+  int status = 0;
+  ::waitpid(daemon_pid, &status, 0);
+  const auto gemv = parent_rt.resolve(KernelKind::kGemv, ShapeClass::kLarge);
+  SMOKE_CHECK(gemv != nullptr && gemv->entry != nullptr,
+              "post-kill resolve failed");
+  const auto pc = parent_rt.counters();
+  SMOKE_CHECK(pc.daemon_misses >= 1,
+              "dead daemon not recorded as a miss (daemon_misses=%llu)",
+              (unsigned long long)pc.daemon_misses);
+  SMOKE_CHECK(pc.tuner_runs == 1, "fallback did not tune locally");
+  std::fprintf(stderr, "[smoke] daemon killed; live client fell back\n");
+
+  // Stage 7: auto-spawn on first miss in a fresh dir, then a protocol
+  // shutdown.
+  const std::string dir2 = dir + "/auto";
+  ::setenv("AUGEM_DAEMON", "1", 1);
+  ::setenv("AUGEM_SERVICED", serviced.c_str(), 1);
+  ::setenv("AUGEM_SERVICED_QUICK", "1", 1);
+  const auto autod = collect(launch_clients(self, dir2, 1, false, "auto"));
+  ::unsetenv("AUGEM_DAEMON");
+  ::unsetenv("AUGEM_SERVICED");
+  ::unsetenv("AUGEM_SERVICED_QUICK");
+  SMOKE_CHECK(counter(autod[0], "daemon_hits") == 2,
+              "auto-spawned daemon did not serve the client");
+  SMOKE_CHECK(counter(autod[0], "builds") == 0,
+              "client built despite auto-spawned daemon");
+
+  augem::service::ClientOptions o2;
+  o2.cache_dir = dir2;
+  auto probe2 = augem::service::ServiceClient::try_connect(o2);
+  SMOKE_CHECK(probe2 != nullptr, "auto-spawned daemon not reachable");
+  SMOKE_CHECK(probe2->request_shutdown(), "shutdown request failed");
+  bool gone = false;
+  for (int i = 0; i < 200 && !gone; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    augem::service::ClientOptions o3;
+    o3.cache_dir = dir2;
+    gone = augem::service::ServiceClient::try_connect(o3) == nullptr;
+  }
+  SMOKE_CHECK(gone, "auto-spawned daemon ignored the shutdown request");
+  std::fprintf(stderr, "[smoke] auto-spawn + protocol shutdown ok\n");
+
+  std::printf("service_smoke PASSED\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool client = false;
+  std::string dir, out, serviced;
+  long long start_at = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--client") client = true;
+    else if (arg == "--dir" && i + 1 < argc) dir = argv[++i];
+    else if (arg == "--out" && i + 1 < argc) out = argv[++i];
+    else if (arg == "--start-at" && i + 1 < argc) start_at = std::atoll(argv[++i]);
+    else if (arg == "--serviced" && i + 1 < argc) serviced = argv[++i];
+    else {
+      std::fprintf(stderr, "unknown arg %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (client) return run_client(dir, start_at, out);
+  if (serviced.empty()) {
+    std::fprintf(stderr,
+                 "usage: service_smoke --serviced <augem_serviced>\n");
+    return 2;
+  }
+  return run_parent("/proc/self/exe", serviced);
+}
