@@ -1,6 +1,8 @@
 #include "opt/schedule.hpp"
 
 #include <algorithm>
+#include <array>
+#include <limits>
 #include <vector>
 
 namespace augem::opt {
@@ -11,25 +13,43 @@ bool is_barrier(const MInst& inst) {
   return is_control(inst) || inst.op == MOp::kComment;
 }
 
-bool is_load_like(const MInst& inst) {
+bool is_cond_jump(const MInst& inst) {
   switch (inst.op) {
-    case MOp::kVLoad:
-    case MOp::kVBroadcast:
-    case MOp::kFLoad:
-    case MOp::kILoad:
+    case MOp::kJl:
+    case MOp::kJge:
+    case MOp::kJne:
+    case MOp::kJe:
       return true;
     default:
       return false;
   }
 }
 
-/// Schedules one straight-line span [first, last) in place.
-void schedule_span(MInstList& insts, std::size_t first, std::size_t last) {
+constexpr unsigned ports(std::initializer_list<int> ps) {
+  unsigned m = 0;
+  for (int p : ps) m |= 1u << p;
+  return m;
+}
+
+/// One dependence edge: `node` is the other endpoint (the predecessor in a
+/// preds list, the successor in a succs list); the dependent's operands are
+/// ready `lat` cycles after the producer issues (0 for ordering-only
+/// anti/output/memory edges, the producer latency for true RAW edges).
+struct Edge {
+  std::size_t node;
+  int lat;
+};
+
+/// Schedules one straight-line span [first, last) in place. When the span
+/// feeds a conditional jump (`cond_jump_follows`), its last flags-writer is
+/// pinned behind every other flags-writer so the jump still reads the
+/// flags the original program computed.
+void schedule_span(MInstList& insts, std::size_t first, std::size_t last,
+                   bool cond_jump_follows) {
   const std::size_t n = last - first;
   if (n < 3) return;
 
-  // Dependence edges: pred[i] = indices (span-relative) that must precede i.
-  std::vector<std::vector<std::size_t>> preds(n);
+  std::vector<std::vector<Edge>> preds(n);
   std::vector<Gpr> dg, ug, dg2, ug2;
   std::vector<Vr> dv, uv, dv2, uv2;
   for (std::size_t i = 0; i < n; ++i) {
@@ -40,63 +60,205 @@ void schedule_span(MInstList& insts, std::size_t first, std::size_t last) {
       const MInst& b = insts[first + j];
       defs_of(b, dg2, dv2);
       uses_of(b, ug2, uv2);
-      bool dep = false;
-      // RAW: b uses a's defs. WAR: b defines a's uses. WAW: same defs.
-      for (Gpr g : dg)
-        dep |= std::count(ug2.begin(), ug2.end(), g) > 0 ||
-               std::count(dg2.begin(), dg2.end(), g) > 0;
-      for (Vr v : dv)
-        dep |= std::count(uv2.begin(), uv2.end(), v) > 0 ||
-               std::count(dv2.begin(), dv2.end(), v) > 0;
-      for (Gpr g : ug) dep |= std::count(dg2.begin(), dg2.end(), g) > 0;
-      for (Vr v : uv) dep |= std::count(dv2.begin(), dv2.end(), v) > 0;
+      // RAW (b reads a's result) carries a's latency; WAR/WAW only
+      // constrain order — the consumer may issue the same cycle.
+      bool raw = false, order = false;
+      for (Gpr g : dg) {
+        raw |= std::count(ug2.begin(), ug2.end(), g) > 0;
+        order |= std::count(dg2.begin(), dg2.end(), g) > 0;
+      }
+      for (Vr v : dv) {
+        raw |= std::count(uv2.begin(), uv2.end(), v) > 0;
+        order |= std::count(dv2.begin(), dv2.end(), v) > 0;
+      }
+      for (Gpr g : ug) order |= std::count(dg2.begin(), dg2.end(), g) > 0;
+      for (Vr v : uv) order |= std::count(dv2.begin(), dv2.end(), v) > 0;
       // Memory: stores are ordered against all other memory operations
       // (bases may alias; prefetches are hints and stay free).
       const bool a_mem = touches_memory(a) && a.op != MOp::kPrefetch;
       const bool b_mem = touches_memory(b) && b.op != MOp::kPrefetch;
-      if (a_mem && b_mem && (writes_memory(a) || writes_memory(b))) dep = true;
-      if (dep) preds[j].push_back(i);
+      if (a_mem && b_mem && (writes_memory(a) || writes_memory(b)))
+        order = true;
+      if (raw) {
+        preds[j].push_back({i, std::max(1, op_cost(a).latency)});
+      } else if (order) {
+        preds[j].push_back({i, 0});
+      }
     }
   }
 
-  // Greedy list scheduling: among ready instructions prefer loads (issue
-  // early), then original order for determinism.
-  std::vector<std::size_t> remaining_preds(n);
-  for (std::size_t i = 0; i < n; ++i) remaining_preds[i] = preds[i].size();
-  std::vector<std::vector<std::size_t>> succs(n);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t p : preds[i]) succs[p].push_back(i);
+  // EFLAGS: spans carry no flags dataflow edges (nothing in a span reads
+  // flags — conditional jumps are barriers), but when the next instruction
+  // is a conditional jump the last flags-writer L feeds it. Earlier flag
+  // writers are harmless before L (L overwrites the flags) and fatal after
+  // it, so pin L behind every other flags-writer.
+  if (cond_jump_follows) {
+    std::size_t flags_last = n;
+    for (std::size_t i = 0; i < n; ++i)
+      if (writes_flags(insts[first + i])) flags_last = i;
+    if (flags_last != n)
+      for (std::size_t i = 0; i < flags_last; ++i)
+        if (writes_flags(insts[first + i]))
+          preds[flags_last].push_back({i, 0});
+  }
 
+  std::vector<std::vector<Edge>> succs(n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (const Edge& e : preds[j]) succs[e.node].push_back({j, e.lat});
+
+  // Critical-path height: latency of the instruction plus the tallest
+  // successor. Edges always point forward (i < j), so a reverse walk is a
+  // topological order.
+  std::vector<long> cp(n, 0);
+  for (std::size_t i = n; i-- > 0;) {
+    long tallest = 0;
+    for (const Edge& e : succs[i]) tallest = std::max(tallest, cp[e.node]);
+    cp[i] = op_cost(insts[first + i]).latency + tallest;
+  }
+
+  // Cycle simulation. ready[i]: earliest cycle i's operands are available;
+  // port_free[p]: first cycle port p can accept another op (one per cycle);
+  // port_issued[p]: total ops sent to p so far (the saturation tie-break).
+  std::vector<long> ready(n, 0);
+  std::vector<std::size_t> remaining(n);
+  for (std::size_t i = 0; i < n; ++i) remaining[i] = preds[i].size();
+  std::array<long, kNumIssuePorts> port_free{};
+  std::array<long, kNumIssuePorts> port_issued{};
   std::vector<bool> emitted(n, false);
-  std::vector<std::size_t> order;
-  order.reserve(n);
+  std::vector<std::size_t> order_out;
+  order_out.reserve(n);
+
   for (std::size_t step = 0; step < n; ++step) {
     std::size_t pick = n;
-    bool pick_is_load = false;
+    int pick_port = -1;
+    long pick_t = 0, pick_cp = 0, pick_load = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      if (emitted[i] || remaining_preds[i] != 0) continue;
-      const bool load = is_load_like(insts[first + i]);
-      if (pick == n || (load && !pick_is_load)) {
+      if (emitted[i] || remaining[i] != 0) continue;
+      const OpCost c = op_cost(insts[first + i]);
+      // Cheapest port for i: earliest issue cycle, then least issued.
+      int best_p = -1;
+      long best_t = std::numeric_limits<long>::max(), best_load = 0;
+      for (int p = 0; p < kNumIssuePorts; ++p) {
+        if ((c.ports & (1u << p)) == 0) continue;
+        const long t = std::max(ready[i], port_free[p]);
+        if (best_p < 0 || t < best_t ||
+            (t == best_t && port_issued[p] < best_load)) {
+          best_p = p;
+          best_t = t;
+          best_load = port_issued[p];
+        }
+      }
+      // Candidate order: earliest issue, then tallest critical path, then
+      // least-saturated port, then original index (determinism).
+      if (pick == n || best_t < pick_t ||
+          (best_t == pick_t &&
+           (cp[i] > pick_cp ||
+            (cp[i] == pick_cp && best_load < pick_load)))) {
         pick = i;
-        pick_is_load = load;
-        if (load) break;  // earliest ready load wins
+        pick_port = best_p;
+        pick_t = best_t;
+        pick_cp = cp[i];
+        pick_load = best_load;
       }
     }
     emitted[pick] = true;
-    order.push_back(pick);
-    for (std::size_t s : succs[pick])
-      if (remaining_preds[s] > 0) --remaining_preds[s];
+    order_out.push_back(pick);
+    port_free[pick_port] = pick_t + 1;
+    ++port_issued[pick_port];
+    for (const Edge& e : succs[pick]) {
+      ready[e.node] = std::max(ready[e.node], pick_t + e.lat);
+      if (remaining[e.node] > 0) --remaining[e.node];
+    }
   }
 
   MInstList scheduled;
   scheduled.reserve(n);
-  for (std::size_t i : order) scheduled.push_back(insts[first + i]);
+  for (std::size_t i : order_out) scheduled.push_back(insts[first + i]);
   std::move(scheduled.begin(), scheduled.end(), insts.begin() + first);
 }
 
 ScheduleValidator g_validator = nullptr;
 
 }  // namespace
+
+OpCost op_cost(const MInst& inst) {
+  // Latencies/ports after Agner Fog's Haswell–Skylake tables (docs/tuning.md
+  // has the provenance): FMA/mul 5c on p0/p1, add 4c, loads 6c on p2/p3,
+  // store-data on p4, shuffles 1c on p5, scalar ALU 1c on p0/p1/p5/p6.
+  switch (inst.op) {
+    case MOp::kVFma231:
+    case MOp::kVFma4:
+    case MOp::kVMul:
+      return {5, ports({0, 1})};
+    case MOp::kVAdd:
+    case MOp::kVMax:
+      return {4, ports({0, 1})};
+    case MOp::kVZero:
+    case MOp::kVMov:
+      return {1, ports({0, 1, 5})};
+    case MOp::kVLoad:
+    case MOp::kVBroadcast:
+    case MOp::kFLoad:
+      return {6, ports({2, 3})};
+    case MOp::kILoad:
+    case MOp::kIAddMem:
+    case MOp::kISubMem:
+    case MOp::kIMulMem:
+      return {5, ports({2, 3})};
+    case MOp::kVStore:
+    case MOp::kFStore:
+    case MOp::kIStore:
+      return {1, ports({4})};
+    case MOp::kVShuf:
+    case MOp::kVBlend:
+    case MOp::kVExtractHigh:
+      return {1, ports({5})};
+    case MOp::kVPerm128:
+      return {3, ports({5})};
+    case MOp::kIMul:
+    case MOp::kIMulImm:
+      return {3, ports({1})};
+    case MOp::kLea:
+      return {1, ports({1, 5})};
+    case MOp::kPrefetch:
+      return {0, ports({2, 3})};
+    case MOp::kIMovImm:
+    case MOp::kIMov:
+    case MOp::kIAdd:
+    case MOp::kIAddImm:
+    case MOp::kISub:
+    case MOp::kISubImm:
+    case MOp::kIShlImm:
+    case MOp::kINeg:
+    case MOp::kCmp:
+    case MOp::kCmpImm:
+      return {1, ports({0, 1, 5, 6})};
+    default:
+      // Control flow and pseudo-ops never enter a scheduled span.
+      return {1, ports({6})};
+  }
+}
+
+bool writes_flags(const MInst& inst) {
+  switch (inst.op) {
+    case MOp::kIAdd:
+    case MOp::kIAddImm:
+    case MOp::kISub:
+    case MOp::kISubImm:
+    case MOp::kIMul:
+    case MOp::kIMulImm:
+    case MOp::kIShlImm:
+    case MOp::kINeg:
+    case MOp::kIAddMem:
+    case MOp::kISubMem:
+    case MOp::kIMulMem:
+    case MOp::kCmp:
+    case MOp::kCmpImm:
+      return true;
+    default:
+      return false;
+  }
+}
 
 void set_schedule_validator(ScheduleValidator v) { g_validator = v; }
 
@@ -108,7 +270,8 @@ void schedule_instructions(MInstList& insts) {
   std::size_t span_start = 0;
   for (std::size_t i = 0; i <= insts.size(); ++i) {
     if (i == insts.size() || is_barrier(insts[i])) {
-      schedule_span(insts, span_start, i);
+      const bool cond = i < insts.size() && is_cond_jump(insts[i]);
+      schedule_span(insts, span_start, i, cond);
       span_start = i + 1;
     }
   }

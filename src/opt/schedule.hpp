@@ -3,21 +3,49 @@
 // among the collectively applied machine-level optimizations).
 //
 // A list scheduler for straight-line instruction runs: builds the register
-// and memory dependence graph and re-orders instructions so that loads and
-// broadcasts issue as early as their dependences allow, hiding load latency
-// under the multiply-add chains — the effect hand-written kernels obtain by
-// interleaving loads of iteration k+1 with arithmetic of iteration k.
+// and memory dependence graph and re-orders instructions under a
+// port-pressure cost model — each opcode carries a latency and the set of
+// issue ports that can execute it (Agner Fog's Haswell/Skylake tables,
+// collapsed to the shape every recent x86 big core shares: two FMA ports,
+// two load ports, one store port, one shuffle port). Selection is by
+// earliest issue cycle, then critical-path height, then least-loaded port,
+// then original order — the effect hand-written kernels obtain by hoisting
+// loads of iteration k+1 over the multiply-add chains of iteration k and by
+// interleaving independent work into latency bubbles.
 //
 // Control-flow instructions act as barriers; only the straight-line spans
 // between them are reordered, so scheduling a whole function body is safe.
+// A span that feeds a conditional jump additionally keeps its last
+// flags-writer (the compare) as the final flags write of the span.
 
 #include "opt/minst.hpp"
 
 namespace augem::opt {
 
+/// Issue ports in the cost model. Modeled on the Haswell/Skylake execution
+/// engine: p0/p1 FMA + vector ALU, p2/p3 loads, p4 store-data, p5 shuffle
+/// + vector ALU, p6 scalar ALU/branch.
+inline constexpr int kNumIssuePorts = 7;
+
+/// Per-opcode cost: result latency in cycles and the bitmask of issue
+/// ports (bit p set ⇒ port p can execute it, one op per port per cycle).
+struct OpCost {
+  int latency = 1;
+  unsigned ports = 0;
+};
+
+/// The latency/port table entry for `inst` (tests and docs read this too).
+OpCost op_cost(const MInst& inst);
+
+/// True for instructions that write EFLAGS (arithmetic and compares). The
+/// scheduler uses this to keep the compare feeding a conditional jump the
+/// last flags write in its span.
+bool writes_flags(const MInst& inst);
+
 /// Reorders `insts` in place. Semantics-preserving: respects RAW/WAR/WAW
-/// register dependences, keeps stores ordered with all memory accesses, and
-/// never moves anything across control flow.
+/// register dependences, keeps stores ordered with all memory accesses,
+/// keeps the flags producer of a conditional jump last among flag writers,
+/// and never moves anything across control flow.
 void schedule_instructions(MInstList& insts);
 
 /// Translation validation of the scheduler itself. In debug builds, when a

@@ -21,6 +21,8 @@ TunedVariant TunedVariant::from_tune_result(const tuning::TuneResult& r) {
   v.params = r.params;
   v.strategy = r.config.strategy;
   v.mflops = r.mflops;
+  v.search = r.search;
+  v.trial_log = r.trials;
   return v;
 }
 
@@ -31,6 +33,8 @@ tuning::TuneResult TunedVariant::to_tune_result(const KernelKey& key) const {
   r.config.isa = key.isa;
   r.config.strategy = strategy;
   r.mflops = mflops;
+  if (search) r.search = *search;
+  r.trials = trial_log;
   return r;
 }
 
@@ -138,8 +142,108 @@ Json encode_tuned_variant(const TunedVariant& v) {
   rec["prefetch_distance"] = Json(v.params.prefetch.distance);
   rec["strategy"] = Json(opt::vec_strategy_name(v.strategy));
   rec["mflops"] = Json(v.mflops);
+  if (v.search) {
+    // The search section is optional and self-contained: pre-search
+    // readers ignore the extra field, pre-search records simply lack it.
+    Json s = Json::object();
+    s["algorithm"] = Json(v.search->algorithm);
+    // Seeds are full 64-bit values; numbers are doubles, so persist the
+    // seed as a decimal string to round-trip all 64 bits.
+    s["seed"] = Json(std::to_string(v.search->seed));
+    s["budget_trials"] = Json(v.search->budget_trials);
+    s["budget_seconds"] = Json(v.search->budget_seconds);
+    s["grid"] = Json(v.search->grid_size);
+    s["trials_run"] = Json(v.search->trials_run);
+    s["restarts"] = Json(v.search->restarts_used);
+    s["elapsed_s"] = Json(v.search->elapsed_seconds);
+    s["wall_capped"] = Json(v.search->wall_capped);
+    s["synthetic"] = Json(v.search->synthetic);
+    Json log = Json::array();
+    for (const tuning::Trial& t : v.trial_log) {
+      Json tj = Json::object();
+      tj["mr"] = Json(t.params.mr);
+      tj["nr"] = Json(t.params.nr);
+      tj["ku"] = Json(t.params.ku);
+      tj["unroll"] = Json(t.params.unroll);
+      tj["pf"] = Json(t.params.prefetch.enabled);
+      tj["pfd"] = Json(t.params.prefetch.distance);
+      tj["strategy"] = Json(opt::vec_strategy_name(t.strategy));
+      tj["mflops"] = Json(t.mflops);
+      tj["ci"] = Json(t.ci_half);
+      tj["reason"] = Json(tuning::infeasible_reason_name(t.reason));
+      log.push_back(std::move(tj));
+    }
+    s["trials"] = std::move(log);
+    rec["search"] = std::move(s);
+  }
   return rec;
 }
+
+namespace {
+
+/// Decodes the optional search section. A malformed section is dropped
+/// (the variant itself stays usable) — same tolerance as the rest of the
+/// replay path.
+void decode_search_section(const Json& rec, TunedVariant& v) {
+  const Json* s = rec.get("search");
+  if (s == nullptr || !s->is_object()) return;
+  const auto algorithm = s->string("algorithm");
+  const auto seed = s->string("seed");
+  if (!algorithm || !seed) return;
+  tuning::SearchMeta meta;
+  meta.algorithm = *algorithm;
+  meta.seed = std::strtoull(seed->c_str(), nullptr, 10);
+  meta.budget_trials = static_cast<int>(s->number("budget_trials").value_or(0));
+  meta.budget_seconds = s->number("budget_seconds").value_or(0.0);
+  meta.grid_size = static_cast<int>(s->number("grid").value_or(0));
+  meta.trials_run = static_cast<int>(s->number("trials_run").value_or(0));
+  meta.restarts_used = static_cast<int>(s->number("restarts").value_or(0));
+  meta.elapsed_seconds = s->number("elapsed_s").value_or(0.0);
+  meta.wall_capped = s->boolean("wall_capped").value_or(false);
+  meta.synthetic = s->boolean("synthetic").value_or(false);
+
+  std::vector<tuning::Trial> log;
+  if (const Json* trials = s->get("trials"); trials != nullptr) {
+    if (!trials->is_array()) return;
+    for (const Json& tj : trials->items()) {
+      if (!tj.is_object()) return;
+      tuning::Trial t;
+      const auto mr = tj.number("mr");
+      const auto nr = tj.number("nr");
+      const auto ku = tj.number("ku");
+      const auto unroll = tj.number("unroll");
+      const auto strategy_name = tj.string("strategy");
+      const auto reason_name = tj.string("reason");
+      if (!mr || !nr || !ku || !unroll || !strategy_name || !reason_name)
+        return;
+      t.params.mr = static_cast<int>(*mr);
+      t.params.nr = static_cast<int>(*nr);
+      t.params.ku = static_cast<int>(*ku);
+      t.params.unroll = static_cast<int>(*unroll);
+      t.params.prefetch.enabled = tj.boolean("pf").value_or(true);
+      t.params.prefetch.distance =
+          static_cast<int>(tj.number("pfd").value_or(16));
+      bool strategy_known = false;
+      for (opt::VecStrategy st :
+           {opt::VecStrategy::kAuto, opt::VecStrategy::kVdup,
+            opt::VecStrategy::kShuf, opt::VecStrategy::kScalar})
+        if (*strategy_name == opt::vec_strategy_name(st)) {
+          t.strategy = st;
+          strategy_known = true;
+        }
+      if (!strategy_known) return;
+      if (!tuning::parse_infeasible_reason(*reason_name, t.reason)) return;
+      t.feasible = t.reason == tuning::InfeasibleReason::kNone;
+      t.mflops = tj.number("mflops").value_or(0.0);
+      t.ci_half = tj.number("ci").value_or(0.0);
+      log.push_back(std::move(t));
+    }
+  }
+  v.search = meta;
+  v.trial_log = std::move(log);
+}
+
+}  // namespace
 
 std::optional<TunedVariant> decode_tuned_variant(const Json& rec) {
   if (!rec.is_object()) return std::nullopt;
@@ -179,6 +283,7 @@ std::optional<TunedVariant> decode_tuned_variant(const Json& rec) {
   if (!plausible(v.params.mr) || !plausible(v.params.nr) ||
       !plausible(v.params.ku) || !plausible(v.params.unroll))
     return std::nullopt;
+  decode_search_section(rec, v);
   return v;
 }
 

@@ -33,11 +33,18 @@ namespace augem::runtime {
 
 /// The persisted payload of one database entry: everything needed to
 /// regenerate the winning kernel deterministically, plus the score for
-/// reporting.
+/// reporting and — when the entry came from a tuner run — the search
+/// metadata and trial log, so `augem_tunedb show` can answer "how was this
+/// found" and determinism gates can compare search traces across
+/// processes. Both are optional: pre-search records (and hand-written
+/// ones) decode with `search == nullopt` and an empty log, so the schema
+/// version stays at 1.
 struct TunedVariant {
   transform::CGenParams params;
   opt::VecStrategy strategy = opt::VecStrategy::kVdup;
   double mflops = 0.0;
+  std::optional<tuning::SearchMeta> search;
+  std::vector<tuning::Trial> trial_log;
 
   /// Conversion from/to the tuner's result type.
   static TunedVariant from_tune_result(const tuning::TuneResult& r);

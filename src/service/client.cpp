@@ -165,6 +165,15 @@ std::optional<Json> ServiceClient::stats() {
   return reply;
 }
 
+std::optional<std::string> ServiceClient::request_retune(
+    const runtime::KernelKey& key) {
+  Json req = make_request("retune");
+  req["key"] = runtime::encode_kernel_key(key);
+  const auto reply = roundtrip(req);
+  if (!reply || !response_ok(*reply)) return std::nullopt;
+  return reply->string("outcome");
+}
+
 bool ServiceClient::request_shutdown() {
   const auto reply = roundtrip(make_request("shutdown"));
   return reply && response_ok(*reply);

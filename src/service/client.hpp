@@ -76,6 +76,11 @@ class ServiceClient {
   /// The daemon's counters / cache / database status as a JSON object.
   std::optional<Json> stats();
 
+  /// Asks the daemon to retune `key` now (the same path its background
+  /// sweep takes). Returns the promotion outcome name ("promoted",
+  /// "rejected", "unchanged", "error"), or nullopt on transport failure.
+  std::optional<std::string> request_retune(const runtime::KernelKey& key);
+
   /// Asks the daemon to exit gracefully.
   bool request_shutdown();
 

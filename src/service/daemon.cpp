@@ -327,6 +327,7 @@ Json Daemon::handle_request(const Json& request) {
   if (op == "resolve") return handle_resolve(request);
   if (op == "publish") return handle_publish(request);
   if (op == "stats") return handle_stats();
+  if (op == "retune") return handle_retune(request);
   if (op == "shutdown") {
     shutdown_requested_.store(true);
     stop_cv_.notify_all();
@@ -337,6 +338,25 @@ Json Daemon::handle_request(const Json& request) {
     ++counters_.protocol_errors;
   }
   return make_error_response("unknown-op: " + op);
+}
+
+Json Daemon::handle_retune(const Json& request) {
+  // On-demand retune of one served key, synchronous: the reply names the
+  // promotion outcome. Exists so gates (service_smoke's seeded-retune
+  // stage) drive the same path the background sweep takes, without racing
+  // an interval timer.
+  const Json* kj = request.get("key");
+  const auto key = kj != nullptr ? runtime::decode_kernel_key(*kj)
+                                 : std::nullopt;
+  if (!key) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.protocol_errors;
+    return make_error_response("bad-key");
+  }
+  const PromotionOutcome outcome = retune_key(*key);
+  Json r = make_ok_response();
+  r["outcome"] = Json(std::string(promotion_outcome_name(outcome)));
+  return r;
 }
 
 Json Daemon::handle_resolve(const Json& request) {
@@ -557,12 +577,23 @@ PromotionOutcome Daemon::retune_key(const KernelKey& key) {
       config_.workload_override
           ? *config_.workload_override
           : runtime::tune_workload_for(key.kind, key.shape);
+  // The retune runs the same seeded search as in-process tuning (so a
+  // pinned AUGEM_TUNE_SEED reproduces identical trial sequences across the
+  // daemon and client paths — the determinism the service smoke gate
+  // asserts). Without a pinned seed, each retune round folds its tick into
+  // the seed so successive retunes of one key explore different restarts
+  // instead of replaying the same climb forever.
+  tuning::SearchOptions sopts = tuning::SearchOptions::from_env();
+  if (!sopts.seed_from_env) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    sopts.seed ^= 0x9e3779b97f4a7c15ull * counters_.retunes;
+  }
   TunedVariant candidate;
   try {
     const tuning::TuneResult r =
         key.kind == KernelKind::kGemm
-            ? tuning::tune_gemm(key.isa, w)
-            : tuning::tune_level1(key.kind, key.isa, w);
+            ? tuning::tune_gemm(key.isa, w, sopts)
+            : tuning::tune_level1(key.kind, key.isa, w, sopts);
     candidate = TunedVariant::from_tune_result(r);
   } catch (const Error&) {
     return PromotionOutcome::kError;

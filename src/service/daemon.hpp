@@ -141,6 +141,7 @@ class Daemon {
   Json handle_resolve(const Json& request);
   Json handle_publish(const Json& request);
   Json handle_stats();
+  Json handle_retune(const Json& request);
 
   /// Copies the module behind `kernel` into the artifact directory under a
   /// name derived from the key (atomic rename). Returns the artifact path,

@@ -11,6 +11,7 @@
 #include "asmgen/codegen.hpp"
 #include "frontend/kernels.hpp"
 #include "ir/affine.hpp"
+#include "opt/schedule.hpp"
 #include "transform/ckernel.hpp"
 
 namespace augem::analysis {
@@ -199,6 +200,70 @@ TEST(Analyzer, OffByOneInLoopBodyCaught) {
   l.push_back(opt::label("end"));
   l.push_back(opt::vzero(Vr::v0, 1, false));
   l.push_back(opt::ret());
+
+  const KernelContract c = vector_contract();
+  AnalyzeOptions o;
+  o.contract = &c;
+  const AnalysisReport r = analyze(l, o);
+  EXPECT_TRUE(has_finding(r, Severity::kError, "oob-load"));
+}
+
+// ---- seeded defects survive rescheduling -------------------------------
+//
+// The port-aware list scheduler reorders within straight-line spans; the
+// analyzer is its safety net, so every seeded defect must still be caught
+// on the scheduled form of the same kernel — a reorder that hid a bug from
+// the analyzer would be a scheduler correctness hole.
+
+TEST(Analyzer, OutOfBoundsStoreStillCaughtAfterReschedule) {
+  MInstList l;
+  l.push_back(opt::imov(Gpr::rax, Gpr::rdx));
+  l.push_back(opt::imov(Gpr::rcx, Gpr::rdi));
+  l.push_back(opt::ishl_imm(Gpr::rcx, 3));
+  l.push_back(opt::iadd(Gpr::rax, Gpr::rcx));
+  l.push_back(opt::vzero(Vr::v0, 1, false));
+  l.push_back(opt::fstore(Vr::v0, opt::mem_bd(Gpr::rax, 0), false));
+  l.push_back(opt::ret());
+  opt::schedule_instructions(l);
+
+  const KernelContract c = vector_contract();
+  AnalyzeOptions o;
+  o.contract = &c;
+  const AnalysisReport r = analyze(l, o);
+  EXPECT_TRUE(has_finding(r, Severity::kError, "oob-store"));
+}
+
+TEST(Analyzer, ReadBeforeWriteOnJumpPathStillCaughtAfterReschedule) {
+  MInstList l;
+  l.push_back(opt::imov_imm(Gpr::rax, 0));
+  l.push_back(opt::cmp_imm(Gpr::rax, 5));
+  l.push_back(opt::jge("skip"));
+  l.push_back(opt::vzero(Vr::v4, 2, true));
+  l.push_back(opt::label("skip"));
+  l.push_back(opt::vmov(Vr::v0, Vr::v4, 2, true));
+  l.push_back(opt::ret());
+  opt::schedule_instructions(l);
+
+  const AnalysisReport r = analyze(l, {});
+  EXPECT_TRUE(has_finding(r, Severity::kError, "read-uninit-vreg"));
+}
+
+TEST(Analyzer, OffByOneInLoopBodyStillCaughtAfterReschedule) {
+  MInstList l;
+  l.push_back(opt::imov_imm(Gpr::rax, 0));
+  l.push_back(opt::cmp(Gpr::rax, Gpr::rdi));
+  l.push_back(opt::jge("end"));
+  l.push_back(opt::label("body"));
+  l.push_back(
+      opt::fload(Vr::v1, opt::mem_bis(Gpr::rsi, Gpr::rax, 8, 8), false));
+  l.push_back(opt::fstore(Vr::v1, opt::mem_bis(Gpr::rdx, Gpr::rax, 8), false));
+  l.push_back(opt::iadd_imm(Gpr::rax, 1));
+  l.push_back(opt::cmp(Gpr::rax, Gpr::rdi));
+  l.push_back(opt::jl("body"));
+  l.push_back(opt::label("end"));
+  l.push_back(opt::vzero(Vr::v0, 1, false));
+  l.push_back(opt::ret());
+  opt::schedule_instructions(l);
 
   const KernelContract c = vector_contract();
   AnalyzeOptions o;

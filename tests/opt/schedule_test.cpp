@@ -94,5 +94,101 @@ TEST(Schedule, DeterministicOnTies) {
     EXPECT_EQ(a[i].vdst, b[i].vdst) << i;
 }
 
+// ---- port-pressure cost model (docs/tuning.md) ----------------------------
+
+TEST(Schedule, CostTableShapesMatchTheMicroarchitecture) {
+  // FMA: 5 cycles on the two FMA ports.
+  const OpCost fma = op_cost(vfma231(Vr::v0, Vr::v1, Vr::v2, 4));
+  EXPECT_EQ(fma.latency, 5);
+  EXPECT_EQ(fma.ports, 0b0000011u);
+  // Loads: 6 cycles on the two load ports; stores on the store port.
+  const OpCost load = op_cost(vload(Vr::v0, mem_bd(Gpr::rdi, 0), 4, true));
+  EXPECT_EQ(load.latency, 6);
+  EXPECT_EQ(load.ports, 0b0001100u);
+  const OpCost store = op_cost(vstore(Vr::v0, mem_bd(Gpr::rdi, 0), 4, true));
+  EXPECT_EQ(store.ports, 0b0010000u);
+  // Shuffles live on the shuffle port; prefetches are free load-port ops.
+  EXPECT_EQ(op_cost(vshuf(Vr::v0, Vr::v1, Vr::v2, 1, 2, false)).ports,
+            0b0100000u);
+  EXPECT_EQ(op_cost(prefetch(mem_bd(Gpr::rdi, 64), 3)).latency, 0);
+}
+
+TEST(Schedule, BroadcastHoistsLikeALoad) {
+  MInstList l;
+  l.push_back(vbroadcast(Vr::v0, mem_bd(Gpr::rdi, 0), 4, true));
+  l.push_back(vfma231(Vr::v2, Vr::v0, Vr::v3, 4));
+  l.push_back(vbroadcast(Vr::v1, mem_bd(Gpr::rsi, 0), 4, true));
+  l.push_back(vfma231(Vr::v4, Vr::v1, Vr::v3, 4));
+  schedule_instructions(l);
+  EXPECT_EQ(ops_of(l), (std::vector<MOp>{MOp::kVBroadcast, MOp::kVBroadcast,
+                                         MOp::kVFma231, MOp::kVFma231}));
+}
+
+// A serial FMA chain saturates nothing but stalls on latency; independent
+// single-cycle work must be pulled into the bubbles between chain links
+// instead of trailing the whole chain.
+TEST(Schedule, InterleavesIndependentWorkIntoFmaChainBubbles) {
+  MInstList l;
+  l.push_back(vfma231(Vr::v0, Vr::v8, Vr::v9, 4));   // chain 1
+  l.push_back(vfma231(Vr::v0, Vr::v10, Vr::v11, 4)); // chain 2 (RAW on v0)
+  l.push_back(vfma231(Vr::v0, Vr::v12, Vr::v13, 4)); // chain 3 (RAW on v0)
+  l.push_back(vshuf(Vr::v1, Vr::v8, Vr::v9, 1, 2, false));   // independent
+  l.push_back(vshuf(Vr::v2, Vr::v10, Vr::v11, 1, 2, false)); // independent
+  l.push_back(vshuf(Vr::v3, Vr::v12, Vr::v13, 1, 2, false)); // independent
+  schedule_instructions(l);
+  // The first chain link issues at cycle 0, the second not before cycle 5 —
+  // so every independent shuffle must be pulled into that bubble instead of
+  // trailing the chain.
+  std::vector<std::size_t> fma_pos;
+  for (std::size_t i = 0; i < l.size(); ++i)
+    if (l[i].op == MOp::kVFma231) fma_pos.push_back(i);
+  ASSERT_EQ(fma_pos.size(), 3u);
+  EXPECT_EQ(fma_pos[1] - fma_pos[0], 4u);  // all 3 shuffles in the bubble
+  // The chain links themselves stay in dependence order.
+  EXPECT_EQ(l[fma_pos[0]].vsrc1, Vr::v8);
+  EXPECT_EQ(l[fma_pos[1]].vsrc1, Vr::v10);
+  EXPECT_EQ(l[fma_pos[2]].vsrc1, Vr::v12);
+}
+
+// With both FMA ports saturated by independent accumulators, a dependent
+// op's extra latency keeps it behind the parallel work (port saturation is
+// modeled, not just dependences).
+TEST(Schedule, StoresNeverCrossMemoryAccessesInLongSpans) {
+  MInstList l;
+  l.push_back(vstore(Vr::v0, mem_bd(Gpr::rdi, 0), 4, true));
+  l.push_back(vload(Vr::v1, mem_bd(Gpr::rsi, 0), 4, true));
+  l.push_back(vstore(Vr::v2, mem_bd(Gpr::rdx, 0), 4, true));
+  l.push_back(vload(Vr::v3, mem_bd(Gpr::rcx, 0), 4, true));
+  schedule_instructions(l);
+  // Every store keeps its position relative to all other memory ops.
+  EXPECT_EQ(ops_of(l), (std::vector<MOp>{MOp::kVStore, MOp::kVLoad,
+                                         MOp::kVStore, MOp::kVLoad}));
+}
+
+// A flags-writing instruction must not drift between the compare and the
+// conditional jump it feeds, even when its operands are ready earlier.
+TEST(Schedule, CompareStaysLastFlagsWriterBeforeCondJump) {
+  MInstList l;
+  l.push_back(iload(Gpr::rcx, mem_bd(Gpr::rsp, 8)));  // 5-cycle load
+  l.push_back(iadd_imm(Gpr::rcx, 1));                 // flags writer, RAW
+  l.push_back(cmp(Gpr::rax, Gpr::rbx));               // ready at cycle 0
+  l.push_back(jl("loop"));
+  l.push_back(label("loop"));
+  schedule_instructions(l);
+  // Without the flags edge the cmp would issue first (its operands are
+  // ready) and the add would clobber the flags the jump reads.
+  EXPECT_EQ(ops_of(l), (std::vector<MOp>{MOp::kILoad, MOp::kIAddImm,
+                                         MOp::kCmp, MOp::kJl, MOp::kLabel}));
+}
+
+TEST(Schedule, WritesFlagsTable) {
+  EXPECT_TRUE(writes_flags(iadd_imm(Gpr::rax, 1)));
+  EXPECT_TRUE(writes_flags(cmp(Gpr::rax, Gpr::rbx)));
+  EXPECT_TRUE(writes_flags(ineg(Gpr::rax)));
+  EXPECT_FALSE(writes_flags(imov(Gpr::rax, Gpr::rbx)));
+  EXPECT_FALSE(writes_flags(lea(Gpr::rax, mem_bd(Gpr::rbx, 8))));
+  EXPECT_FALSE(writes_flags(vload(Vr::v0, mem_bd(Gpr::rdi, 0), 4, true)));
+}
+
 }  // namespace
 }  // namespace augem::opt

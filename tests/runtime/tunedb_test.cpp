@@ -81,6 +81,90 @@ TEST_F(TuneDbTest, RoundTripAcrossStoreInstances) {
   EXPECT_EQ(db2.skipped_records(), 0u);
 }
 
+TEST_F(TuneDbTest, SearchMetaAndTrialLogRoundTripWithBothInfeasibleReasons) {
+  // ISSUE PR10 satellite: the split infeasible-reason enum must survive the
+  // record codec — a planner-rejected and a regalloc-exhausted trial both
+  // appear in the decoded log with their reasons intact, alongside the
+  // search metadata (64-bit seed included).
+  TunedVariant v = test_variant(2500.0);
+  v.search = tuning::SearchMeta{};
+  v.search->algorithm = "hillclimb";
+  v.search->seed = 0xdeadbeefcafe1234ull;  // exercises the 64-bit path
+  v.search->budget_trials = 30;
+  v.search->budget_seconds = 12.5;
+  v.search->grid_size = 240;
+  v.search->trials_run = 3;
+  v.search->restarts_used = 1;
+  v.search->elapsed_seconds = 0.75;
+  v.search->wall_capped = true;
+  v.search->synthetic = true;
+
+  tuning::Trial ok;
+  ok.params = v.params;
+  ok.strategy = v.strategy;
+  ok.mflops = 2500.0;
+  ok.ci_half = 12.0;
+  ok.feasible = true;
+
+  tuning::Trial planner;
+  planner.params.mr = 16;
+  planner.params.nr = 8;
+  planner.feasible = false;
+  planner.reason = tuning::InfeasibleReason::kPlannerRejected;
+
+  tuning::Trial regalloc;
+  regalloc.params.mr = 8;
+  regalloc.params.nr = 8;
+  regalloc.feasible = false;
+  regalloc.reason = tuning::InfeasibleReason::kRegallocExhausted;
+
+  v.trial_log = {ok, planner, regalloc};
+
+  const Json rec = encode_db_record(test_key(), v);
+  const std::optional<DbEntry> got = decode_db_record(rec);
+  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got->variant.search.has_value());
+  const tuning::SearchMeta& m = *got->variant.search;
+  EXPECT_EQ(m.algorithm, "hillclimb");
+  EXPECT_EQ(m.seed, 0xdeadbeefcafe1234ull);
+  EXPECT_EQ(m.budget_trials, 30);
+  EXPECT_EQ(m.budget_seconds, 12.5);
+  EXPECT_EQ(m.grid_size, 240);
+  EXPECT_EQ(m.trials_run, 3);
+  EXPECT_EQ(m.restarts_used, 1);
+  EXPECT_EQ(m.elapsed_seconds, 0.75);
+  EXPECT_TRUE(m.wall_capped);
+  EXPECT_TRUE(m.synthetic);
+
+  const std::vector<tuning::Trial>& log = got->variant.trial_log;
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_TRUE(log[0].feasible);
+  EXPECT_EQ(log[0].mflops, 2500.0);
+  EXPECT_EQ(log[0].ci_half, 12.0);
+  EXPECT_EQ(log[0].reason, tuning::InfeasibleReason::kNone);
+  EXPECT_FALSE(log[1].feasible);
+  EXPECT_EQ(log[1].reason, tuning::InfeasibleReason::kPlannerRejected);
+  EXPECT_EQ(log[1].params.mr, 16);
+  EXPECT_FALSE(log[2].feasible);
+  EXPECT_EQ(log[2].reason, tuning::InfeasibleReason::kRegallocExhausted);
+  // Both split reasons render distinctly in the human-readable trace.
+  EXPECT_NE(log[1].describe().find("planner rejected"), std::string::npos);
+  EXPECT_NE(log[2].describe().find("regalloc exhausted"), std::string::npos);
+}
+
+TEST_F(TuneDbTest, MalformedSearchSectionIsDroppedNotFatal) {
+  // Tolerant decode: a record with a garbled "search" section keeps the
+  // variant (last-good params) and just loses the provenance.
+  Json rec = encode_db_record(test_key(), test_variant());
+  Json bad = Json::object();
+  bad["algorithm"] = Json(7);  // wrong type
+  rec["search"] = bad;
+  const std::optional<DbEntry> got = decode_db_record(rec);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_FALSE(got->variant.search.has_value());
+  EXPECT_EQ(got->variant.params.mr, 4);
+}
+
 TEST_F(TuneDbTest, LastEntryWinsOnReplay) {
   {
     TuningDatabase db(dir_);

@@ -71,7 +71,26 @@ Json entry_json(const DbEntry& e) {
   rec["prefetch"] = Json(e.variant.params.prefetch.enabled);
   rec["strategy"] = Json(augem::opt::vec_strategy_name(e.variant.strategy));
   rec["mflops"] = Json(e.variant.mflops);
+  if (e.variant.search) {
+    // The codec already knows the search/trial-log shape; lift its section
+    // instead of duplicating the field list here.
+    const Json full = augem::runtime::encode_tuned_variant(e.variant);
+    if (const Json* search = full.get("search")) rec["search"] = *search;
+  }
   return rec;
+}
+
+void print_search_details(const augem::runtime::TunedVariant& v) {
+  if (!v.search) return;
+  const augem::tuning::SearchMeta& m = *v.search;
+  std::printf("  search: %s seed=%llu trials=%d/%d grid=%d restarts=%d "
+              "elapsed=%.2fs%s%s\n",
+              m.algorithm.c_str(), static_cast<unsigned long long>(m.seed),
+              m.trials_run, m.budget_trials, m.grid_size, m.restarts_used,
+              m.elapsed_seconds, m.wall_capped ? " (wall-capped)" : "",
+              m.synthetic ? " (synthetic)" : "");
+  for (const augem::tuning::Trial& t : v.trial_log)
+    std::printf("    %s\n", t.describe().c_str());
 }
 
 void print_entry_row(const DbEntry& e) {
@@ -209,6 +228,7 @@ int cmd_show(TuningDatabase& db, bool json, const std::string& kind_name,
     std::printf("%s\n", out.dump().c_str());
   } else {
     print_entry_row(e);
+    print_search_details(v);
   }
   return 0;
 }

@@ -31,9 +31,18 @@
 //                                        summary
 //     --artifact PATH                    (with --sweep) also write a JSON
 //                                        artifact with per-section results
+//     --search-sample N                  (with --sweep) additionally analyze
+//                                        N random points drawn from the
+//                                        tuner's search spaces — the same
+//                                        spaces the hill climb walks — so
+//                                        search-reachable configs outside
+//                                        the fixed grid are bounds-proved
+//     --search-seed S                    RNG seed for --search-sample
+//                                        (default 2013, deterministic)
 //     --check-artifact PATH              validate a sweep artifact instead of
 //                                        analyzing; requires --section
-//     --section bounds|semantics         artifact section to gate on
+//     --section bounds|semantics|search_sample
+//                                        artifact section to gate on
 //     --help
 //
 // Exit status: 0 when no error-severity findings, 1 otherwise (warnings
@@ -55,7 +64,9 @@
 #include "frontend/kernels.hpp"
 #include "opt/plan.hpp"
 #include "support/error.hpp"
+#include "support/rng.hpp"
 #include "transform/ckernel.hpp"
+#include "tuning/search.hpp"
 
 namespace {
 
@@ -80,8 +91,10 @@ usage: mirlint [--kernel K] [--isa I] [config options] [--text] [--sweep]
   --no-semantics  skip translation validation
   --text          human-readable findings instead of JSON
   --sweep         analyze every op x layout x ISA x strategy x tile config
+  --search-sample N  (with --sweep) also analyze N random tuner-search points
+  --search-seed S    RNG seed for --search-sample (default 2013)
   --artifact P    (with --sweep) write a JSON artifact of the results
-  --check-artifact P --section bounds|semantics
+  --check-artifact P --section bounds|semantics|search_sample
                   gate on one section of a previously written artifact
 exit: 0 = no errors (warnings allowed), 1 = error findings or bad usage
 )");
@@ -191,8 +204,11 @@ struct SweepStats {
   int warnings = 0;
   int errors_bounds = 0;
   int errors_semantics = 0;
+  int sampled = 0;            ///< --search-sample points analyzed
+  int errors_search = 0;      ///< error findings on sampled search points
   std::vector<std::string> failed_bounds;
   std::vector<std::string> failed_semantics;
+  std::vector<std::string> failed_search;
   std::map<std::string, int> by_kind;  ///< error/warning findings per kind
 };
 
@@ -217,7 +233,9 @@ void write_artifact(const SweepStats& s, const std::string& path) {
   section("bounds", s.errors_bounds, s.failed_bounds);
   os << ",";
   section("semantics", s.errors_semantics, s.failed_semantics);
-  os << "},\"by_kind\":{";
+  os << ",";
+  section("search_sample", s.errors_search, s.failed_search);
+  os << "},\"sampled\":" << s.sampled << ",\"by_kind\":{";
   bool first = true;
   for (const auto& [kind, n] : s.by_kind) {
     if (!first) os << ",";
@@ -282,11 +300,15 @@ int check_artifact(const std::string& path, const std::string& section) {
   return errors > 0 ? 1 : 0;
 }
 
-int run_sweep(bool with_bounds, bool with_semantics,
-              const std::string& artifact_path) {
+int run_sweep(bool with_bounds, bool with_semantics, int search_sample,
+              std::uint64_t search_seed, const std::string& artifact_path) {
   SweepStats stats;
   constexpr int kProgressEvery = 128;
   int visited = 0;
+  // `sampled` routes a case's error findings into the search_sample
+  // artifact section instead of bounds/semantics: sampled points gate the
+  // tuner's reachable space, the fixed grid gates the generator itself.
+  bool sampled = false;
   auto visit = [&](const Case& c) {
     if (++visited % kProgressEvery == 0)
       std::fprintf(stderr, "mirlint sweep: ... %d configs visited (%d "
@@ -315,6 +337,7 @@ int run_sweep(bool with_bounds, bool with_semantics,
       const analysis::AnalysisReport report =
           analysis::analyze(gen.insts, aopts);
       ++stats.analyzed;
+      if (sampled) ++stats.sampled;
       stats.warnings +=
           static_cast<int>(report.count(analysis::Severity::kWarning));
       int err_bounds = 0, err_sem = 0;
@@ -334,21 +357,33 @@ int run_sweep(bool with_bounds, bool with_semantics,
             std::printf("  [%zu] %s: %s\n", f.index, f.kind.c_str(),
                         f.message.c_str());
       }
-      if (err_bounds > 0) {
-        stats.errors_bounds += err_bounds;
-        stats.failed_bounds.push_back(c.to_string());
-      }
-      if (err_sem > 0) {
-        stats.errors_semantics += err_sem;
-        stats.failed_semantics.push_back(c.to_string());
+      if (sampled) {
+        if (err_bounds + err_sem > 0) {
+          stats.errors_search += err_bounds + err_sem;
+          stats.failed_search.push_back(c.to_string());
+        }
+      } else {
+        if (err_bounds > 0) {
+          stats.errors_bounds += err_bounds;
+          stats.failed_bounds.push_back(c.to_string());
+        }
+        if (err_sem > 0) {
+          stats.errors_semantics += err_sem;
+          stats.failed_semantics.push_back(c.to_string());
+        }
       }
     } catch (const Error& e) {
       // Planner / register-allocator rejections are expected out-of-domain
       // outcomes; a verification failure inside generation is a real error.
       if (std::strstr(e.what(), "machine-code verification failed") !=
           nullptr) {
-        ++stats.errors_bounds;
-        stats.failed_bounds.push_back(c.to_string());
+        if (sampled) {
+          ++stats.errors_search;
+          stats.failed_search.push_back(c.to_string());
+        } else {
+          ++stats.errors_bounds;
+          stats.failed_bounds.push_back(c.to_string());
+        }
         ++stats.by_kind["generation-verify"];
         std::printf("FAIL %s\n  generation-time verification: %s\n",
                     c.to_string().c_str(), e.what());
@@ -440,11 +475,42 @@ int run_sweep(bool with_bounds, bool with_semantics,
         }
   }
 
+  // --search-sample: draw N random points from the tuner's own search
+  // spaces (tuning/search.hpp) and push them through the same analysis.
+  // The hill climb can reach any of these; every one must bounds-prove
+  // even though the fixed grid above never visits it.
+  if (search_sample > 0) {
+    Rng rng(search_seed);
+    sampled = true;
+    const KernelKind l1_ops[] = {KernelKind::kGemv, KernelKind::kAxpy,
+                                 KernelKind::kDot, KernelKind::kScal};
+    for (int i = 0; i < search_sample; ++i) {
+      const Isa isa = isas[rng.engine()() % 4];
+      const bool gemm = rng.engine()() % 2 == 0;
+      const tuning::SearchSpace space =
+          gemm ? tuning::SearchSpace::gemm(isa) : tuning::SearchSpace::level1();
+      const tuning::Candidate cand = space.materialize(space.random_point(rng));
+      Case c;
+      c.op = gemm ? KernelKind::kGemm : l1_ops[rng.engine()() % 4];
+      c.config.isa = isa;
+      c.config.strategy = cand.strategy;
+      c.params = cand.params;
+      visit(c);
+    }
+    sampled = false;
+    std::printf("mirlint search-sample: %d points drawn (seed %llu), "
+                "%d analyzed, %d error finding(s)\n",
+                search_sample, (unsigned long long)search_seed, stats.sampled,
+                stats.errors_search);
+  }
+
   // Count distinct failing configs (a config can fail both sections).
   std::set<std::string> failed(stats.failed_bounds.begin(),
                                stats.failed_bounds.end());
   failed.insert(stats.failed_semantics.begin(), stats.failed_semantics.end());
-  const int errors = stats.errors_bounds + stats.errors_semantics;
+  failed.insert(stats.failed_search.begin(), stats.failed_search.end());
+  const int errors =
+      stats.errors_bounds + stats.errors_semantics + stats.errors_search;
   std::printf(
       "mirlint sweep: %d configs analyzed, %d rejected (out of domain), "
       "%d warning(s), %d error finding(s) in %d config(s)\n",
@@ -459,6 +525,9 @@ int run_sweep(bool with_bounds, bool with_semantics,
     if (with_semantics)
       std::printf("  semantics   %6d  %d\n", stats.errors_semantics,
                   static_cast<int>(stats.failed_semantics.size()));
+    if (search_sample > 0)
+      std::printf("  search      %6d  %d\n", stats.errors_search,
+                  static_cast<int>(stats.failed_search.size()));
   }
   if (!stats.by_kind.empty()) {
     std::printf("  findings by kind:\n");
@@ -480,6 +549,8 @@ int main(int argc, char** argv) {
   bool semantics_set = false;
   bool as_text = false;
   bool sweep = false;
+  int search_sample = 0;
+  std::uint64_t search_seed = 2013;
   std::string artifact_path;
   std::string check_path;
   std::string section;
@@ -573,9 +644,14 @@ int main(int argc, char** argv) {
       artifact_path = need_value(i);
     } else if (arg == "--check-artifact") {
       check_path = need_value(i);
+    } else if (arg == "--search-sample") {
+      search_sample = std::stoi(need_value(i));
+    } else if (arg == "--search-seed") {
+      search_seed = std::stoull(need_value(i));
     } else if (arg == "--section") {
       section = need_value(i);
-      if (section != "bounds" && section != "semantics") {
+      if (section != "bounds" && section != "semantics" &&
+          section != "search_sample") {
         std::fprintf(stderr, "bad --section value: %s\n", section.c_str());
         usage(1);
       }
@@ -616,7 +692,9 @@ int main(int argc, char** argv) {
   if (sweep && !semantics_set) with_semantics = true;
 
   try {
-    if (sweep) return run_sweep(with_bounds, with_semantics, artifact_path);
+    if (sweep)
+      return run_sweep(with_bounds, with_semantics, search_sample, search_seed,
+                       artifact_path);
     return analyze_case(c, with_bounds, with_semantics, as_text,
                         /*print=*/true) > 0
                ? 1

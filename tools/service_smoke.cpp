@@ -40,7 +40,10 @@
 #include <vector>
 
 #include "runtime/dispatch.hpp"
+#include "runtime/key.hpp"
+#include "runtime/tunedb.hpp"
 #include "service/client.hpp"
+#include "tuning/tuner.hpp"
 #include "support/buffer.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
@@ -391,6 +394,102 @@ int run_parent(const std::string& self, const std::string& serviced) {
   }
   SMOKE_CHECK(gone, "auto-spawned daemon ignored the shutdown request");
   std::fprintf(stderr, "[smoke] auto-spawn + protocol shutdown ok\n");
+
+  // Stage 8: seeded-retune determinism. With a pinned AUGEM_TUNE_SEED (and
+  // synthetic scoring + fixed reps to silence measurement noise), the
+  // daemon's tuner, an in-process tuner run, and the daemon's retune sweep
+  // must all walk the identical trial sequence and land on the identical
+  // winner — so a retune of an already-seeded key reports "unchanged".
+  const std::string dir3 = dir + "/seeded";
+  ::setenv("AUGEM_TUNE_SEED", "424242", 1);
+  ::setenv("AUGEM_TUNE_SYNTHETIC", "1", 1);
+  ::setenv("AUGEM_BENCH_REPS", "1", 1);
+  const pid_t daemon3_pid = spawn(
+      {serviced, "--dir", dir3, "--quick", "--retune-interval", "3600"});
+  std::unique_ptr<augem::service::ServiceClient> probe3;
+  for (int i = 0; i < 200 && probe3 == nullptr; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    augem::service::ClientOptions o4;
+    o4.cache_dir = dir3;
+    probe3 = augem::service::ServiceClient::try_connect(o4);
+  }
+  SMOKE_CHECK(probe3 != nullptr, "seeded daemon did not come up");
+
+  // Resolve GEMM through the daemon: its tuner runs the seeded search and
+  // the trial log lands in the shared database.
+  {
+    KernelRuntime rt3(quick_config(dir3));
+    const auto k = rt3.resolve(KernelKind::kGemm, ShapeClass::kLarge);
+    SMOKE_CHECK(k != nullptr, "seeded resolve failed");
+    SMOKE_CHECK(rt3.counters().tuner_runs == 0,
+                "seeded client tuned locally instead of via daemon");
+  }
+
+  const augem::runtime::KernelKey gemm_key =
+      augem::runtime::host_kernel_key(KernelKind::kGemm, ShapeClass::kLarge);
+  augem::runtime::TuningDatabase db3(dir3);
+  augem::runtime::TunedVariant served;
+  SMOKE_CHECK(db3.lookup(gemm_key, served), "seeded db entry missing");
+  SMOKE_CHECK(served.search.has_value(), "seeded entry lost search metadata");
+  SMOKE_CHECK(served.search->seed == 424242ull,
+              "daemon ignored AUGEM_TUNE_SEED (seed=%llu)",
+              (unsigned long long)served.search->seed);
+  SMOKE_CHECK(!served.trial_log.empty(), "seeded entry lost the trial log");
+
+  // The in-process reference: identical env → identical trial sequence and
+  // winning configuration.
+  augem::tuning::TuneWorkload w3;
+  w3.mc = 32;
+  w3.nc = 32;
+  w3.kc = 64;
+  w3.vec_len = 2048;
+  w3.reps = 1;
+  const augem::tuning::TuneResult ref = augem::tuning::tune_gemm(
+      gemm_key.isa, w3, augem::tuning::SearchOptions::from_env());
+  SMOKE_CHECK(ref.trials.size() == served.trial_log.size(),
+              "trial counts diverge: in-process %zu vs daemon %zu",
+              ref.trials.size(), served.trial_log.size());
+  for (std::size_t i = 0; i < ref.trials.size(); ++i) {
+    const auto& a = ref.trials[i];
+    const auto& b = served.trial_log[i];
+    SMOKE_CHECK(a.params.mr == b.params.mr && a.params.nr == b.params.nr &&
+                    a.params.ku == b.params.ku &&
+                    a.params.unroll == b.params.unroll &&
+                    a.strategy == b.strategy && a.feasible == b.feasible &&
+                    a.reason == b.reason,
+                "trial %zu diverges: %s vs %s", i, a.describe().c_str(),
+                b.describe().c_str());
+  }
+  SMOKE_CHECK(ref.params.mr == served.params.mr &&
+                  ref.params.nr == served.params.nr &&
+                  ref.params.ku == served.params.ku &&
+                  ref.params.unroll == served.params.unroll,
+              "winning configurations diverge");
+  std::fprintf(stderr,
+               "[smoke] seeded search: %zu identical trials, same winner\n",
+               ref.trials.size());
+
+  // The daemon's retune sweep replays the same seeded search, reproduces
+  // the incumbent, and must not touch the database.
+  const auto outcome = probe3->request_retune(gemm_key);
+  SMOKE_CHECK(outcome.has_value(), "retune request failed");
+  SMOKE_CHECK(*outcome == "unchanged",
+              "seeded retune outcome '%s', want 'unchanged'",
+              outcome->c_str());
+  db3.reload();
+  augem::runtime::TunedVariant after;
+  SMOKE_CHECK(db3.lookup(gemm_key, after), "entry vanished after retune");
+  SMOKE_CHECK(after.trial_log.size() == served.trial_log.size() &&
+                  after.params.mr == served.params.mr,
+              "seeded retune mutated the stored entry");
+  std::fprintf(stderr, "[smoke] seeded retune reported unchanged\n");
+
+  SMOKE_CHECK(probe3->request_shutdown(), "seeded daemon shutdown failed");
+  int st3 = 0;
+  ::waitpid(daemon3_pid, &st3, 0);
+  ::unsetenv("AUGEM_TUNE_SEED");
+  ::unsetenv("AUGEM_TUNE_SYNTHETIC");
+  ::unsetenv("AUGEM_BENCH_REPS");
 
   std::printf("service_smoke PASSED\n");
   return 0;
